@@ -1,0 +1,495 @@
+package repro_test
+
+// This file provides one testing.B benchmark per table and figure of the
+// paper's evaluation (run them all with `go test -bench=. -benchmem`), plus
+// the ablation benches DESIGN.md calls out (ASPaS sort vs sequential,
+// sampling vs uniform splitters, permutation-matrix distribution vs naive
+// modulo, CSC compression, Ethernet vs InfiniBand sensitivity). Reported
+// custom metrics carry the paper-facing quantities (virtual milliseconds,
+// speedups, ratios) so a bench run regenerates the EXPERIMENTS.md numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/aspas"
+	"repro/internal/blast"
+	"repro/internal/ccomp"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/hadoop"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/pagerank"
+	"repro/internal/permute"
+	"repro/internal/powerlyra"
+	"repro/internal/sample"
+	"repro/internal/vtime"
+)
+
+// benchOpts keeps benchmark iterations fast while preserving shapes.
+func benchOpts() experiments.Options {
+	return experiments.Options{BlastScale: 0.005, GraphScale: 0.004, Nodes: 8, Seed: 42}
+}
+
+func BenchmarkTable2GraphStats(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Stats) != 3 {
+			b.Fatal("wrong dataset count")
+		}
+	}
+}
+
+func BenchmarkCorrectness(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Correctness(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.AllEqual() {
+			b.Fatal("partitions diverged from the reference implementations")
+		}
+	}
+}
+
+func BenchmarkFig12SearchSkew(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var worst float64 = 1
+	for _, row := range last.Rows {
+		if row.BlockOverCyclic > worst {
+			worst = row.BlockOverCyclic
+		}
+	}
+	b.ReportMetric(worst, "max-block/cyclic")
+}
+
+func BenchmarkFig13Partitioning(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.Fig13aResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13a(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Speedup, row.Database+"-speedup")
+	}
+}
+
+func BenchmarkFig13Scaling(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.Fig13bResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13b(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, db := range last.Databases {
+		sp := last.Speedups[db]
+		b.ReportMetric(sp[len(sp)-1], db+"-final-speedup")
+	}
+}
+
+func BenchmarkFig14PageRank(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var maxEdge float64
+	for _, row := range last.Rows {
+		if row.Edge > maxEdge {
+			maxEdge = row.Edge
+		}
+	}
+	b.ReportMetric(maxEdge, "max-edgecut/hybrid")
+}
+
+func BenchmarkFig15Partitioning(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.Fig15aResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15a(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.PaParSpeedup, row.Graph+"-papar-speedup")
+	}
+}
+
+func BenchmarkFig15Scaling(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.Fig15bResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15b(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	n := len(last.Nodes) - 1
+	b.ReportMetric(last.PaPar["LiveJournal"][n], "papar-lj-speedup")
+	b.ReportMetric(last.PowerLyra["Google"][n], "powerlyra-google-speedup")
+}
+
+func BenchmarkCompressionAblation(b *testing.B) {
+	opts := benchOpts()
+	var last *experiments.CompressionResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Compression(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Saving*100, row.Graph+"-saving-%")
+	}
+}
+
+// --- Ablation benches ---
+
+// BenchmarkAblationSort compares the ASPaS-style parallel mergesort used by
+// the sort operator with a sequential stdlib sort — the paper's explanation
+// for PaPar beating muBLASTP's partitioner even on one node.
+func BenchmarkAblationSort(b *testing.B) {
+	db := blast.Generate(blast.EnvNR(), 0.05, 1) // 300k entries
+	for _, variant := range []string{"aspas-parallel", "sequential"} {
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				entries := append([]blast.IndexEntry(nil), db.Entries...)
+				if variant == "aspas-parallel" {
+					aspas.Int64Key(entries, func(e blast.IndexEntry) int64 { return int64(e.SeqSize) })
+				} else {
+					aspas.SortSequential(entries, func(x, y blast.IndexEntry) bool { return x.SeqSize < y.SeqSize })
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSampling compares reducer imbalance with the §III-D
+// sampler versus naive uniform splitters on skewed keys.
+func BenchmarkAblationSampling(b *testing.B) {
+	db := blast.Generate(blast.NR(), 0.005, 2)
+	keys := make([]int64, db.NumSequences())
+	var min, max int64 = 1 << 62, 0
+	for i, e := range db.Entries {
+		keys[i] = int64(e.SeqSize)
+		if keys[i] < min {
+			min = keys[i]
+		}
+		if keys[i] > max {
+			max = keys[i]
+		}
+	}
+	const buckets = 32
+	var sampled, uniform float64
+	b.Run("sampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := sample.NewReservoir(1024, 3)
+			for _, k := range keys {
+				res.Offer(k)
+			}
+			sp, err := sample.Splitters(res.Sample(), buckets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sampled = sample.Imbalance(sample.Histogram(sp, keys))
+		}
+		b.ReportMetric(sampled, "imbalance")
+	})
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := sample.UniformSplitters(min, max, buckets)
+			uniform = sample.Imbalance(sample.Histogram(sp, keys))
+		}
+		b.ReportMetric(uniform, "imbalance")
+	})
+}
+
+// BenchmarkAblationPermutation compares the stride-permutation-matrix
+// formulation of the cyclic policy against a naive modulo loop: identical
+// output, so the matrix formalism costs nothing at runtime.
+func BenchmarkAblationPermutation(b *testing.B) {
+	const n, np = 1 << 16, 32
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	b.Run("matrix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := permute.StrideMatrix(n, np)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := permute.ApplySlice(m, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = out
+		}
+	})
+	b.Run("modulo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buckets := make([][]int, np)
+			for _, v := range in {
+				buckets[v%np] = append(buckets[v%np], v)
+			}
+			_ = buckets
+		}
+	})
+}
+
+// BenchmarkAblationNetwork re-runs the PaPar hybrid-cut partitioner with
+// the PowerLyra Ethernet model to isolate the interconnect's share of the
+// Fig. 15 story.
+func BenchmarkAblationNetwork(b *testing.B) {
+	g := graph.Generate(graph.Pokec(), 0.002, 4)
+	rows := core.RecordsToRows(graph.EdgesToRows(g.Edges))
+	fw := core.NewFramework()
+	schema := graph.Schema()
+	if err := fw.RegisterSchema(schema); err != nil {
+		b.Fatal(err)
+	}
+	for _, netName := range []string{"infiniband", "ethernet"} {
+		b.Run(netName, func(b *testing.B) {
+			var makespan vtime.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.DefaultConfig(8)
+				if netName == "ethernet" {
+					cfg.Network = vtime.EthernetSocket()
+				}
+				cl := cluster.New(cfg)
+				plan := compileHybridForBench(b, fw)
+				locals := make([][]core.Row, cl.Size())
+				for r := range locals {
+					locals[r] = rows[len(rows)*r/cl.Size() : len(rows)*(r+1)/cl.Size()]
+				}
+				res, err := core.Execute(cl, plan, core.Input{LocalRows: locals})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Makespan
+			}
+			b.ReportMetric(makespan.Milliseconds(), "virtual-ms")
+		})
+	}
+}
+
+func compileHybridForBench(b *testing.B, fw *core.Framework) *core.Plan {
+	b.Helper()
+	plan, err := fw.CompileWorkflowConfig([]byte(hybridWorkflowXMLBench), map[string]string{
+		"input_file": "mem://g", "output_path": "mem://o",
+		"num_partitions": "16", "threshold": fmt.Sprint(powerlyra.DefaultThreshold),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+const hybridWorkflowXMLBench = `
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="Group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=,$threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="DistrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+// BenchmarkAblationCompression measures the CSC codec itself.
+func BenchmarkAblationCompression(b *testing.B) {
+	g := graph.Generate(graph.Google(), 0.01, 5)
+	indeg := g.InDegrees()
+	triples := make([]csr.Triple, g.NumEdges())
+	for i, e := range g.Edges {
+		triples[i] = csr.Triple{Major: int64(e.Dst), Minor: int64(e.Src), Value: int64(indeg[e.Dst])}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := csr.Compress(triples)
+		buf := c.Encode()
+		if _, err := csr.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRankDistributed measures the distributed PageRank engine on
+// the hybrid-cut partitions (the Fig. 14 inner loop).
+func BenchmarkPageRankDistributed(b *testing.B) {
+	g := graph.Generate(graph.Google(), 0.005, 6)
+	a, err := powerlyra.Partition(g, powerlyra.HybridCut, 16, powerlyra.DefaultThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(cluster.DefaultConfig(8))
+		if _, err := pagerank.Distributed(cl, a, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransport compares the MR-MPI collective shuffle with
+// the raw-MPI point-to-point shuffle (the paper's third mapping) on the
+// same aggregate.
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		t    mrmpi.Transport
+	}{{"collective", mrmpi.Collective}, {"p2p-isend-irecv", mrmpi.PointToPoint}} {
+		b.Run(tr.name, func(b *testing.B) {
+			var makespan vtime.Duration
+			for i := 0; i < b.N; i++ {
+				cl := cluster.New(cluster.DefaultConfig(8))
+				_, err := cl.Run(func(r *cluster.Rank) error {
+					mr := mrmpi.New(mpi.NewComm(r))
+					mr.SetTransport(tr.t)
+					if err := mr.Map(func(emit mrmpi.Emitter) error {
+						for k := 0; k < 2000; k++ {
+							emit([]byte(fmt.Sprintf("key-%d", k)), make([]byte, 32))
+						}
+						return nil
+					}); err != nil {
+						return err
+					}
+					return mr.Aggregate(mrmpi.HashPartitioner)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = cl.Makespan()
+			}
+			b.ReportMetric(makespan.Milliseconds(), "virtual-ms")
+		})
+	}
+}
+
+// BenchmarkConnectedComponents runs the second PowerLyra algorithm over
+// hybrid-cut partitions.
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := graph.Generate(graph.Google(), 0.004, 3)
+	a, err := powerlyra.Partition(g, powerlyra.HybridCut, 16, powerlyra.DefaultThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(cluster.DefaultConfig(8))
+		res, err := ccomp.Distributed(cl, a, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}
+
+// BenchmarkHadoopBackend runs the Fig. 8 workflow on the Hadoop-style
+// engine (wall clock; the Hadoop mapping has no virtual-time model).
+func BenchmarkHadoopBackend(b *testing.B) {
+	db := blast.Generate(blast.EnvNR(), 0.002, 7)
+	dir := b.TempDir()
+	dbPath := dir + "/db.bin"
+	if err := blast.WriteDB(db, dbPath); err != nil {
+		b.Fatal(err)
+	}
+	fw := core.NewFramework()
+	if _, err := fw.RegisterInputConfig(repro.Config("blast_db.xml")); err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fw.CompileWorkflowConfig(repro.Config("blast_partition.xml"), map[string]string{
+		"input_path": dbPath, "output_path": dir, "num_partitions": "8", "num_reducers": "8",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hadoop.ExecutePlan(plan, dbPath, fmt.Sprintf("%s/w%d", dir, i), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRebalance measures the §V dynamic redistribution collective.
+func BenchmarkRebalance(b *testing.B) {
+	db := blast.Generate(blast.EnvNR(), 0.005, 9)
+	rows := core.RecordsToRows(db.Records())
+	b.ResetTimer()
+	var moved int64
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(cluster.DefaultConfig(8))
+		_, err := cl.Run(func(r *cluster.Rank) error {
+			d := &core.Dataset{Schema: core.NewRowSchema(blast.Schema())}
+			if r.ID() == 0 {
+				d.Rows = rows
+			}
+			_, stats, err := core.Rebalance(mpi.NewComm(r), d, core.Cyclic)
+			if err == nil && r.ID() == 0 {
+				moved = stats.Moved
+			}
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(moved), "entries-moved")
+}

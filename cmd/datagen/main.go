@@ -1,0 +1,93 @@
+// Command datagen generates the synthetic datasets the reproduction uses in
+// place of the paper's downloads: the env_nr/nr protein-database indices
+// (Fig. 4 binary format) and the Google/Pokec/LiveJournal graph twins
+// (Fig. 5 edge-list text format).
+//
+// Usage:
+//
+//	datagen -kind blast -name env_nr -scale 0.01 -out env_nr.db
+//	datagen -kind graph -name LiveJournal -scale 0.01 -out lj.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blast"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind  = flag.String("kind", "", `"blast" or "graph"`)
+		name  = flag.String("name", "", `dataset name (env_nr, nr; Google, Pokec, LiveJournal; or "custom")`)
+		scale = flag.Float64("scale", 0.01, "fraction of the paper's dataset size")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		out   = flag.String("out", "", "output file (required)")
+		// Custom profile knobs (used with -name custom).
+		size       = flag.Int("size", 100000, "custom: sequences or vertices at scale 1.0")
+		edges      = flag.Int("edges", 1000000, "custom graph: edges at scale 1.0")
+		alpha      = flag.Float64("alpha", 2.3, "custom graph: in-degree power-law exponent")
+		clustering = flag.Float64("clustering", 0.3, "custom graph: triad-closure probability")
+		meanLen    = flag.Float64("meanlen", 4.3, "custom blast: log-mean sequence length")
+		sigmaLen   = flag.Float64("sigmalen", 0.55, "custom blast: log-sigma of sequence length")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	switch *kind {
+	case "blast":
+		var prof blast.Profile
+		switch strings.ToLower(*name) {
+		case "env_nr":
+			prof = blast.EnvNR()
+		case "nr":
+			prof = blast.NR()
+		case "custom":
+			prof = blast.Profile{Name: "custom", NumSequences: *size,
+				MeanLen: *meanLen, SigmaLen: *sigmaLen, MaxLen: 10000, ClusterRun: 512}
+		default:
+			return fmt.Errorf("unknown blast database %q (env_nr, nr, custom)", *name)
+		}
+		db := blast.Generate(prof, *scale, *seed)
+		if err := blast.WriteDB(db, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d sequences, %d total residues\n",
+			*out, db.NumSequences(), db.TotalResidues())
+		return nil
+	case "graph":
+		var prof graph.Profile
+		switch strings.ToLower(*name) {
+		case "google":
+			prof = graph.Google()
+		case "pokec":
+			prof = graph.Pokec()
+		case "livejournal", "lj":
+			prof = graph.LiveJournal()
+		case "custom":
+			prof = graph.Profile{Name: "custom", Vertices: *size, Edges: *edges,
+				Alpha: *alpha, Clustering: *clustering}
+		default:
+			return fmt.Errorf("unknown graph %q (Google, Pokec, LiveJournal, custom)", *name)
+		}
+		g := graph.Generate(prof, *scale, *seed)
+		if err := graph.WriteEdgeList(g, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumVertices, g.NumEdges())
+		return nil
+	default:
+		return fmt.Errorf(`-kind must be "blast" or "graph"`)
+	}
+}

@@ -1,0 +1,158 @@
+// Command papar is the PaPar front end: it takes the two configuration
+// files the paper defines as the user interface — an input data description
+// (Fig. 4/5) and a workflow description (Fig. 8/10) — generates the
+// parallel partitioner, and runs it on the simulated cluster.
+//
+// Usage:
+//
+//	papar -input configs/blast_db.xml -workflow configs/blast_partition.xml \
+//	      -data env_nr.db -out parts/ -nodes 16 \
+//	      -arg num_partitions=32 [-arg k=v ...]
+//
+// Flags:
+//
+//	-plan     print the compiled job plan and exit (no execution)
+//	-emit-go  print the generated Go source and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hadoop"
+)
+
+// argList collects repeated -arg name=value flags.
+type argList map[string]string
+
+func (a argList) String() string { return fmt.Sprint(map[string]string(a)) }
+
+func (a argList) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("-arg wants name=value, got %q", s)
+	}
+	a[name] = value
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "papar:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inputCfgs  stringList
+		workflow   = flag.String("workflow", "", "workflow configuration file (required)")
+		data       = flag.String("data", "", "input data file to partition (required unless -plan/-emit-go)")
+		out        = flag.String("out", "", "output directory for part-NNNNN files")
+		nodes      = flag.Int("nodes", 16, "simulated compute nodes (2 ranks each)")
+		backend    = flag.String("backend", "mrmpi", `execution backend: "mrmpi" (simulated cluster) or "hadoop" (disk-based engine)`)
+		workDir    = flag.String("workdir", "", "working directory for the hadoop backend (default: temp dir)")
+		planOnly   = flag.Bool("plan", false, "print the compiled plan and exit")
+		emitGo     = flag.Bool("emit-go", false, "print the generated Go program and exit")
+		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
+		runtimeArg = argList{}
+	)
+	flag.Var(&inputCfgs, "input", "input data description file (repeatable)")
+	flag.Var(runtimeArg, "arg", "workflow argument name=value (repeatable)")
+	flag.Parse()
+
+	if *workflow == "" || len(inputCfgs) == 0 {
+		return fmt.Errorf("-workflow and at least one -input are required")
+	}
+	fw := core.NewFramework()
+	for _, path := range inputCfgs {
+		if _, err := fw.RegisterInputFile(path); err != nil {
+			return err
+		}
+	}
+	plan, err := fw.CompileWorkflowFile(*workflow, runtimeArg)
+	if err != nil {
+		return err
+	}
+	if *planOnly {
+		fmt.Print(plan.Describe())
+		return nil
+	}
+	if *emitGo {
+		fmt.Print(plan.EmitGo("main"))
+		return nil
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required to execute the partitioner")
+	}
+	switch *backend {
+	case "mrmpi":
+		cl := cluster.New(cluster.DefaultConfig(*nodes))
+		if *traceN > 0 {
+			cl.EnableTrace()
+		}
+		res, err := core.Execute(cl, plan, core.Input{Path: *data})
+		if err != nil {
+			return err
+		}
+		if *traceN > 0 {
+			fmt.Printf("transport trace (first %d events):\n%s", *traceN, cl.RenderTrace(*traceN))
+		}
+		fmt.Printf("workflow %s: %d partitions in %v virtual time (%d bytes shuffled, %d messages)\n",
+			plan.WorkflowID, len(res.Partitions), res.Makespan, res.ShuffleBytes, res.ShuffleMessages)
+		for i, m := range res.JobMakespans {
+			fmt.Printf("  after job %d (%s): %v\n", i+1, plan.Jobs[i].JobID(), m)
+		}
+		if *out != "" {
+			if err := core.WritePartitions(plan, res, *out); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d partition files under %s\n", len(res.Partitions), *out)
+		}
+		return nil
+	case "hadoop":
+		wd := *workDir
+		if wd == "" {
+			var err error
+			wd, err = os.MkdirTemp("", "papar-hadoop")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(wd)
+		}
+		res, err := hadoop.ExecutePlan(plan, *data, wd, *nodes*2)
+		if err != nil {
+			return err
+		}
+		total := int64(0)
+		for _, c := range res.JobCounters {
+			total += c.ShuffleBytes
+		}
+		fmt.Printf("workflow %s on hadoop backend: %d partitions, %d jobs, %d bytes spilled\n",
+			plan.WorkflowID, len(res.Partitions), len(res.JobCounters), total)
+		if *out != "" {
+			cres := &core.Result{Partitions: res.Partitions}
+			if err := core.WritePartitions(plan, cres, *out); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d partition files under %s\n", len(res.Partitions), *out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown backend %q (mrmpi, hadoop)", *backend)
+	}
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's shape (see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	paperbench                 # run everything at the default scales
+//	paperbench -exp fig13a     # one experiment
+//	paperbench -blast-scale 0.05 -graph-scale 0.02 -nodes 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// renderer is any experiment result.
+type renderer interface{ Render() string }
+
+// experiment binds a name to its runner.
+type experiment struct {
+	name string
+	desc string
+	run  func(experiments.Options) (renderer, error)
+}
+
+// wrap adapts a typed experiment runner to the renderer interface.
+func wrap[T renderer](f func(experiments.Options) (T, error)) func(experiments.Options) (renderer, error) {
+	return func(o experiments.Options) (renderer, error) { return f(o) }
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"table2", "graph dataset statistics", wrap(experiments.Table2)},
+		{"correctness", "PaPar vs application partitions", wrap(experiments.Correctness)},
+		{"fig12", "muBLASTP search, cyclic vs block", wrap(experiments.Fig12)},
+		{"fig13a", "partitioning time, PaPar vs muBLASTP", wrap(experiments.Fig13a)},
+		{"fig13b", "PaPar strong scaling", wrap(experiments.Fig13b)},
+		{"fig14", "PageRank across cut methods", wrap(experiments.Fig14)},
+		{"fig15a", "hybrid-cut time, PaPar vs PowerLyra", wrap(experiments.Fig15a)},
+		{"fig15b", "hybrid-cut strong scaling", wrap(experiments.Fig15b)},
+		{"compress", "CSC data compression", wrap(experiments.Compression)},
+		{"ccomp", "connected components across cut methods (extension)", wrap(experiments.ConnectedComponents)},
+		{"ablations", "design-choice ablations", wrap(experiments.Ablations)},
+	}
+}
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations)")
+		blastScale = flag.Float64("blast-scale", 0, "BLAST database scale (default 0.02)")
+		graphScale = flag.Float64("graph-scale", 0, "graph dataset scale (default 0.01)")
+		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")
+		seed       = flag.Int64("seed", 0, "dataset seed (default 42)")
+	)
+	flag.Parse()
+	opts := experiments.Options{
+		BlastScale: *blastScale,
+		GraphScale: *graphScale,
+		Nodes:      *nodes,
+		Seed:       *seed,
+	}
+	ran := 0
+	for _, e := range catalog() {
+		if *exp != "all" && !strings.EqualFold(*exp, e.name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (wall %.1fs) ==\n%s\n", e.name, e.desc, time.Since(start).Seconds(), res.Render())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,40 @@
+// Package repro is a from-scratch Go reproduction of "PaPar: A Parallel
+// Data Partitioning Framework for Big Data Applications" (Wang et al.,
+// IPDPS workshops 2017).
+//
+// The implementation lives under internal/: the PaPar framework itself in
+// internal/core, its substrates (simulated cluster, MPI layer,
+// MapReduce-over-MPI, permutation matrices, sampling, sorting, CSR/CSC
+// compression, data formats, configuration parsing) in sibling packages,
+// and the two case-study applications (muBLASTP and PowerLyra) plus the
+// experiment harness alongside them. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-versus-measured record.
+//
+// This root package exports the canonical configuration files from the
+// paper's figures, embedded so examples, tools and benchmarks share one
+// copy.
+package repro
+
+import "embed"
+
+// ConfigFS holds the paper's configuration files:
+//
+//	configs/blast_db.xml              input description, Fig. 4
+//	configs/graph_edge.xml            input description, Fig. 5
+//	configs/blast_partition.xml       muBLASTP workflow, Fig. 8
+//	configs/blast_partition_block.xml muBLASTP default (block) workflow
+//	configs/hybrid_cut.xml            PowerLyra workflow, Fig. 10
+//
+//go:embed configs/*.xml
+var ConfigFS embed.FS
+
+// Config returns one embedded configuration file by base name
+// (e.g. "blast_db.xml"); it panics on unknown names, which are programmer
+// errors.
+func Config(name string) []byte {
+	b, err := ConfigFS.ReadFile("configs/" + name)
+	if err != nil {
+		panic("repro: unknown embedded config " + name)
+	}
+	return b
+}

@@ -1,0 +1,237 @@
+package aspas
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func randomInts(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n / 2) // duplicates on purpose
+	}
+	return out
+}
+
+func TestSortSmall(t *testing.T) {
+	for _, in := range [][]int{
+		nil,
+		{},
+		{1},
+		{2, 1},
+		{3, 1, 2},
+		{5, 5, 5},
+	} {
+		got := append([]int(nil), in...)
+		Sort(got, intLess)
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Errorf("Sort(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSortLargeParallelPath(t *testing.T) {
+	in := randomInts(200_000, 1)
+	got := append([]int(nil), in...)
+	Sort(got, intLess)
+	want := append([]int(nil), in...)
+	sort.Ints(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel Sort produced wrong order")
+	}
+}
+
+func TestSortStableLarge(t *testing.T) {
+	type rec struct {
+		key      int
+		tiebreak int
+	}
+	rng := rand.New(rand.NewSource(3))
+	in := make([]rec, 150_000)
+	for i := range in {
+		in[i] = rec{key: rng.Intn(100), tiebreak: i}
+	}
+	got := append([]rec(nil), in...)
+	SortStable(got, func(a, b rec) bool { return a.key < b.key })
+	for i := 1; i < len(got); i++ {
+		if got[i-1].key > got[i].key {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if got[i-1].key == got[i].key && got[i-1].tiebreak > got[i].tiebreak {
+			t.Fatalf("instability at %d: %v before %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestSortSequentialMatchesParallel(t *testing.T) {
+	in := randomInts(50_000, 9)
+	a := append([]int(nil), in...)
+	b := append([]int(nil), in...)
+	Sort(a, intLess)
+	SortSequential(b, intLess)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("parallel and sequential sorts disagree")
+	}
+}
+
+func TestInt64Key(t *testing.T) {
+	type tuple struct {
+		SeqStart, SeqSize int64
+	}
+	in := []tuple{{0, 94}, {94, 100}, {194, 99}, {293, 91}}
+	Int64Key(in, func(t tuple) int64 { return t.SeqSize })
+	want := []int64{91, 94, 99, 100}
+	for i, tu := range in {
+		if tu.SeqSize != want[i] {
+			t.Fatalf("Int64Key order: %v", in)
+		}
+	}
+}
+
+func TestInt64KeyStable(t *testing.T) {
+	type rec struct{ key, id int64 }
+	in := make([]rec, 50_000)
+	rng := rand.New(rand.NewSource(11))
+	for i := range in {
+		in[i] = rec{key: int64(rng.Intn(50)), id: int64(i)}
+	}
+	Int64Key(in, func(r rec) int64 { return r.key })
+	for i := 1; i < len(in); i++ {
+		if in[i-1].key == in[i].key && in[i-1].id > in[i].id {
+			t.Fatalf("Int64Key unstable at %d", i)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int{1, 2, 2, 3}, intLess) {
+		t.Error("sorted slice reported unsorted")
+	}
+	if IsSorted([]int{2, 1}, intLess) {
+		t.Error("unsorted slice reported sorted")
+	}
+	if !IsSorted([]int{}, intLess) || !IsSorted([]int{7}, intLess) {
+		t.Error("trivial slices should be sorted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []int{1, 3, 5}
+	b := []int{2, 3, 4, 6}
+	got := Merge(a, b, intLess)
+	want := []int{1, 2, 3, 3, 4, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+	if got := Merge(nil, b, intLess); !reflect.DeepEqual(got, b) {
+		t.Fatalf("Merge(nil, b) = %v", got)
+	}
+	if got := Merge(a, nil, intLess); !reflect.DeepEqual(got, a) {
+		t.Fatalf("Merge(a, nil) = %v", got)
+	}
+}
+
+func TestMergeStability(t *testing.T) {
+	type rec struct {
+		k    int
+		from string
+	}
+	a := []rec{{1, "a"}, {2, "a"}}
+	b := []rec{{1, "b"}, {2, "b"}}
+	got := Merge(a, b, func(x, y rec) bool { return x.k < y.k })
+	want := []rec{{1, "a"}, {1, "b"}, {2, "a"}, {2, "b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge not stable: %v", got)
+	}
+}
+
+// Property: Sort output is a sorted permutation of input.
+func TestSortPermutationProperty(t *testing.T) {
+	f := func(in []int) bool {
+		got := append([]int(nil), in...)
+		Sort(got, intLess)
+		if !IsSorted(got, intLess) {
+			return false
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge of two sorted slices is sorted and length-preserving.
+func TestMergeProperty(t *testing.T) {
+	f := func(a, b []int) bool {
+		sort.Ints(a)
+		sort.Ints(b)
+		m := Merge(a, b, intLess)
+		return len(m) == len(a)+len(b) && IsSorted(m, intLess)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The host running the suite may have a single core, which would route
+// every Sort through the sequential fallback; these tests force the
+// parallel merge path with explicit worker counts.
+func TestParallelPathExplicitWorkers(t *testing.T) {
+	for _, workers := range []int{2, 3, 8, 64} {
+		for _, stable := range []bool{false, true} {
+			in := randomInts(60_000, int64(workers))
+			got := append([]int(nil), in...)
+			sortParallelN(got, intLess, stable, workers)
+			want := append([]int(nil), in...)
+			sort.Ints(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d stable=%v: wrong order", workers, stable)
+			}
+		}
+	}
+}
+
+func TestParallelPathStability(t *testing.T) {
+	type rec struct{ key, id int }
+	in := make([]rec, 50_000)
+	rng := rand.New(rand.NewSource(21))
+	for i := range in {
+		in[i] = rec{key: rng.Intn(40), id: i}
+	}
+	got := append([]rec(nil), in...)
+	sortParallelN(got, func(a, b rec) bool { return a.key < b.key }, true, 7)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].key == got[i].key && got[i-1].id > got[i].id {
+			t.Fatalf("parallel stable sort broke tie order at %d", i)
+		}
+	}
+}
+
+func TestParallelWorkerClamp(t *testing.T) {
+	// More workers than data/1024 must clamp, not crash or misorder.
+	in := randomInts(MinParallel+1, 5)
+	got := append([]int(nil), in...)
+	sortParallelN(got, intLess, false, 1024)
+	if !IsSorted(got, intLess) {
+		t.Fatal("clamped worker sort misordered")
+	}
+}
+
+func TestParallelAllEqualKeys(t *testing.T) {
+	in := make([]int, 30_000)
+	got := append([]int(nil), in...)
+	sortParallelN(got, intLess, true, 4)
+	if !IsSorted(got, intLess) || len(got) != len(in) {
+		t.Fatal("all-equal sort failed")
+	}
+}

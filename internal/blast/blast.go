@@ -1,0 +1,228 @@
+// Package blast is the muBLASTP substrate: the sequence-database side of the
+// paper's first case study.
+//
+// It provides (a) a synthetic protein-database generator standing in for the
+// env_nr and nr databases (the real files are multi-GB downloads; the
+// partitioning algorithms only read the four-tuple index, whose statistical
+// shape — most sequences under 100 letters with a long tail, and family/
+// length-clustered ordering — the generator reproduces at any scale), (b)
+// the muBLASTP on-disk index format from Fig. 4 (binary, 32-byte header,
+// {seq_start, seq_size, desc_start, desc_size}), (c) the application's own
+// reference partitioners (block and sort+cyclic, §II-A), and (d) a search
+// cost model for the Fig. 12 experiments.
+package blast
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataformat"
+)
+
+// IndexEntry is one sequence's four-tuple index record (Fig. 1).
+type IndexEntry struct {
+	SeqStart  int32
+	SeqSize   int32
+	DescStart int32
+	DescSize  int32
+}
+
+// Database is a generated sequence database: the index plus identifying
+// metadata. Sequence payloads are not materialized — every algorithm in the
+// paper touches only the index.
+type Database struct {
+	Name    string
+	Entries []IndexEntry
+}
+
+// NumSequences returns the number of sequences.
+func (db *Database) NumSequences() int { return len(db.Entries) }
+
+// TotalResidues returns the summed encoded sequence length.
+func (db *Database) TotalResidues() int64 {
+	var t int64
+	for _, e := range db.Entries {
+		t += int64(e.SeqSize)
+	}
+	return t
+}
+
+// Schema returns the Fig. 4 input schema for the index.
+func Schema() *dataformat.Schema {
+	return &dataformat.Schema{
+		ID:            "blast_db",
+		Name:          "BLAST Database file",
+		Binary:        true,
+		StartPosition: 32,
+		Fields: []dataformat.Field{
+			{Name: "seq_start", Type: dataformat.Integer},
+			{Name: "seq_size", Type: dataformat.Integer},
+			{Name: "desc_start", Type: dataformat.Integer},
+			{Name: "desc_size", Type: dataformat.Integer},
+		},
+	}
+}
+
+// Profile describes a database generator configuration.
+type Profile struct {
+	Name string
+	// NumSequences at scale 1.0.
+	NumSequences int
+	// MeanLen/SigmaLen parameterize the log-normal length distribution.
+	// Protein databases skew short: most sequences under 100 letters
+	// (paper §IV-A), with a heavy tail.
+	MeanLen  float64
+	SigmaLen float64
+	// MaxLen truncates the tail.
+	MaxLen int
+	// ClusterRun is the family-clustering run length: real databases list
+	// related (similar-length) sequences together, which is what starves
+	// contiguous block partitions. 1 disables clustering.
+	ClusterRun int
+}
+
+// EnvNR approximates the env_nr database: ~6M sequences, 1.7 GB.
+func EnvNR() Profile {
+	return Profile{
+		Name:         "env_nr",
+		NumSequences: 6_000_000,
+		MeanLen:      4.3, // exp(4.3) ~ 74 letters median
+		SigmaLen:     0.55,
+		MaxLen:       8000,
+		ClusterRun:   512,
+	}
+}
+
+// NR approximates the nr database: ~85M sequences, 53 GB.
+func NR() Profile {
+	return Profile{
+		Name:         "nr",
+		NumSequences: 85_000_000,
+		MeanLen:      4.4,
+		SigmaLen:     0.65,
+		MaxLen:       12000,
+		ClusterRun:   1024,
+	}
+}
+
+// Generate builds a database at the given scale factor (1.0 = paper size;
+// the harness uses ~1/1000 scales). Deterministic per (profile, scale,
+// seed).
+func Generate(p Profile, scale float64, seed int64) *Database {
+	n := int(float64(p.NumSequences) * scale)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lengths := make([]int32, 0, n)
+	run := p.ClusterRun
+	if run < 1 {
+		run = 1
+	}
+	for len(lengths) < n {
+		// One "family": a cluster of sequences with correlated lengths.
+		base := math.Exp(rng.NormFloat64()*p.SigmaLen + p.MeanLen)
+		members := 1 + rng.Intn(run)
+		for m := 0; m < members && len(lengths) < n; m++ {
+			// Family members vary ±20% around the family length.
+			l := base * (0.8 + 0.4*rng.Float64())
+			li := int32(l)
+			if li < 10 {
+				li = 10
+			}
+			if li > int32(p.MaxLen) {
+				li = int32(p.MaxLen)
+			}
+			lengths = append(lengths, li)
+		}
+	}
+
+	db := &Database{Name: p.Name, Entries: make([]IndexEntry, n)}
+	var seqOff, descOff int32
+	for i, l := range lengths {
+		desc := int32(40 + rng.Intn(80))
+		db.Entries[i] = IndexEntry{
+			SeqStart:  seqOff,
+			SeqSize:   l,
+			DescStart: descOff,
+			DescSize:  desc,
+		}
+		seqOff += l
+		descOff += desc
+	}
+	return db
+}
+
+// Records converts the index to dataformat records for file I/O and for
+// feeding PaPar.
+func (db *Database) Records() []dataformat.Record {
+	s := Schema()
+	recs := make([]dataformat.Record, len(db.Entries))
+	for i, e := range db.Entries {
+		recs[i] = dataformat.Record{Schema: s, Values: []dataformat.Value{
+			dataformat.IntVal(int64(e.SeqStart)),
+			dataformat.IntVal(int64(e.SeqSize)),
+			dataformat.IntVal(int64(e.DescStart)),
+			dataformat.IntVal(int64(e.DescSize)),
+		}}
+	}
+	return recs
+}
+
+// FromRecords rebuilds index entries from records (e.g. PaPar output rows).
+func FromRecords(recs []dataformat.Record) ([]IndexEntry, error) {
+	out := make([]IndexEntry, len(recs))
+	for i, r := range recs {
+		vals := make([]int64, 4)
+		for j := 0; j < 4; j++ {
+			v, err := r.Values[j].AsInt()
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = v
+		}
+		out[i] = IndexEntry{
+			SeqStart: int32(vals[0]), SeqSize: int32(vals[1]),
+			DescStart: int32(vals[2]), DescSize: int32(vals[3]),
+		}
+	}
+	return out, nil
+}
+
+// WriteDB writes the index in the Fig. 4 binary format.
+func WriteDB(db *Database, path string) error {
+	return dataformat.WriteFile(Schema(), path, db.Records())
+}
+
+// ReadDB reads an index file back.
+func ReadDB(path string) (*Database, error) {
+	recs, err := dataformat.ReadAll(Schema(), path)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := FromRecords(recs)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{Name: path, Entries: entries}, nil
+}
+
+// RecalcIndex rewrites the start pointers of a partition's entries so that
+// each partition is a self-contained database (the user-defined add-on
+// operator mentioned in §III-C: "muBLASTP needs to recalculate the start
+// pointers of sequence data and description data").
+func RecalcIndex(entries []IndexEntry) []IndexEntry {
+	out := make([]IndexEntry, len(entries))
+	var seqOff, descOff int32
+	for i, e := range entries {
+		out[i] = IndexEntry{
+			SeqStart:  seqOff,
+			SeqSize:   e.SeqSize,
+			DescStart: descOff,
+			DescSize:  e.DescSize,
+		}
+		seqOff += e.SeqSize
+		descOff += e.DescSize
+	}
+	return out
+}

@@ -1,0 +1,477 @@
+package blast
+
+import (
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/vtime"
+)
+
+func smallDB(t *testing.T) *Database {
+	t.Helper()
+	p := EnvNR()
+	db := Generate(p, 0.001, 42) // ~6000 sequences
+	if db.NumSequences() < 1000 {
+		t.Fatalf("scaled db too small: %d", db.NumSequences())
+	}
+	return db
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(EnvNR(), 0.0005, 7)
+	b := Generate(EnvNR(), 0.0005, 7)
+	if a.NumSequences() != b.NumSequences() {
+		t.Fatalf("sizes differ: %d vs %d", a.NumSequences(), b.NumSequences())
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c := Generate(EnvNR(), 0.0005, 8)
+	same := true
+	for i := range a.Entries {
+		if a.Entries[i] != c.Entries[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+func TestGenerateLengthProfile(t *testing.T) {
+	db := smallDB(t)
+	short := 0
+	for _, e := range db.Entries {
+		if e.SeqSize < 10 {
+			t.Fatalf("sequence of %d letters generated", e.SeqSize)
+		}
+		if e.SeqSize < 150 {
+			short++
+		}
+	}
+	// §IV-A: "Most of the sequences in two databases are less than 100
+	// letters" — at least 60% short at our median ~74.
+	if frac := float64(short) / float64(db.NumSequences()); frac < 0.6 {
+		t.Fatalf("only %.0f%% of sequences are short; profile drifted", frac*100)
+	}
+}
+
+func TestGenerateOffsetsConsistent(t *testing.T) {
+	db := smallDB(t)
+	var seqOff, descOff int32
+	for i, e := range db.Entries {
+		if e.SeqStart != seqOff || e.DescStart != descOff {
+			t.Fatalf("entry %d offsets inconsistent", i)
+		}
+		seqOff += e.SeqSize
+		descOff += e.DescSize
+	}
+}
+
+func TestGenerateClusteringCreatesLocalCorrelation(t *testing.T) {
+	db := Generate(EnvNR(), 0.002, 3)
+	// Family clustering means neighbors correlate in length: the mean
+	// absolute difference between adjacent entries must be much smaller
+	// than between random pairs.
+	var adj, rnd float64
+	n := db.NumSequences()
+	for i := 1; i < n; i++ {
+		adj += absF(float64(db.Entries[i].SeqSize) - float64(db.Entries[i-1].SeqSize))
+		j := (i * 7919) % n
+		rnd += absF(float64(db.Entries[i].SeqSize) - float64(db.Entries[j].SeqSize))
+	}
+	if adj >= rnd*0.8 {
+		t.Fatalf("no length clustering: adjacent diff %.0f vs random %.0f", adj, rnd)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestScaleOne(t *testing.T) {
+	db := Generate(Profile{Name: "tiny", NumSequences: 100, MeanLen: 4, SigmaLen: 0.3, MaxLen: 500, ClusterRun: 4}, 0.001, 1)
+	if db.NumSequences() != 1 {
+		t.Fatalf("minimum size not clamped: %d", db.NumSequences())
+	}
+}
+
+func TestDBFileRoundTrip(t *testing.T) {
+	db := Generate(EnvNR(), 0.0002, 9)
+	path := filepath.Join(t.TempDir(), "env_nr.db")
+	if err := WriteDB(db, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSequences() != db.NumSequences() {
+		t.Fatalf("size mismatch after round trip")
+	}
+	for i := range db.Entries {
+		if db.Entries[i] != back.Entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestRecordsFromRecordsRoundTrip(t *testing.T) {
+	db := Generate(EnvNR(), 0.0001, 2)
+	entries, err := FromRecords(db.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Entries {
+		if entries[i] != db.Entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestBlockPartitionBalancedCounts(t *testing.T) {
+	db := smallDB(t)
+	for _, np := range []int{1, 2, 16, 32} {
+		parts := BlockPartition(db.Entries, np)
+		if len(parts) != np {
+			t.Fatalf("np=%d: got %d partitions", np, len(parts))
+		}
+		total, minC, maxC := 0, db.NumSequences(), 0
+		for _, p := range parts {
+			total += len(p.Entries)
+			if len(p.Entries) < minC {
+				minC = len(p.Entries)
+			}
+			if len(p.Entries) > maxC {
+				maxC = len(p.Entries)
+			}
+		}
+		if total != db.NumSequences() {
+			t.Fatalf("np=%d: lost entries", np)
+		}
+		if maxC-minC > 1 {
+			t.Fatalf("np=%d: block counts spread %d..%d", np, minC, maxC)
+		}
+	}
+}
+
+func TestBlockPartitionPreservesOrder(t *testing.T) {
+	db := smallDB(t)
+	parts := BlockPartition(db.Entries, 4)
+	i := 0
+	for _, p := range parts {
+		for _, e := range p.Entries {
+			if e != db.Entries[i] {
+				t.Fatalf("block partition reordered entries at %d", i)
+			}
+			i++
+		}
+	}
+}
+
+func TestCyclicPartitionInvariants(t *testing.T) {
+	db := smallDB(t)
+	const np = 16
+	parts := CyclicPartition(db.Entries, np)
+
+	// (1) near-equal counts.
+	minC, maxC := db.NumSequences(), 0
+	for _, p := range parts {
+		if len(p.Entries) < minC {
+			minC = len(p.Entries)
+		}
+		if len(p.Entries) > maxC {
+			maxC = len(p.Entries)
+		}
+	}
+	if maxC-minC > 1 {
+		t.Fatalf("cyclic counts spread %d..%d", minC, maxC)
+	}
+
+	// (2) each partition's entries are sorted by length (a consequence of
+	// dealing from the sorted order).
+	for pi, p := range parts {
+		for i := 1; i < len(p.Entries); i++ {
+			if p.Entries[i].SeqSize < p.Entries[i-1].SeqSize {
+				t.Fatalf("partition %d not length-ordered at %d", pi, i)
+			}
+		}
+	}
+
+	// (3) near-equal total residues (the third §II-A requirement).
+	var sizes []float64
+	for _, p := range parts {
+		var s float64
+		for _, e := range p.Entries {
+			s += float64(e.SeqSize)
+		}
+		sizes = append(sizes, s)
+	}
+	mean := 0.0
+	for _, s := range sizes {
+		mean += s
+	}
+	mean /= float64(np)
+	for pi, s := range sizes {
+		if absF(s-mean)/mean > 0.02 {
+			t.Fatalf("partition %d residues %.0f deviate >2%% from mean %.0f", pi, s, mean)
+		}
+	}
+}
+
+func TestSortByLengthMatchesStableSort(t *testing.T) {
+	db := Generate(EnvNR(), 0.0005, 11)
+	for _, threads := range []int{1, 2, 3, 8, runtime.GOMAXPROCS(0)} {
+		got := sortByLength(db.Entries, threads)
+		want := append([]IndexEntry(nil), db.Entries...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].SeqSize < want[j].SeqSize })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d: order diverges from stable sort at %d", threads, i)
+			}
+		}
+	}
+}
+
+func TestSortByLengthTrivialInputs(t *testing.T) {
+	if got := sortByLength(nil, 4); len(got) != 0 {
+		t.Fatal("nil input")
+	}
+	one := []IndexEntry{{SeqSize: 5}}
+	if got := sortByLength(one, 4); len(got) != 1 || got[0] != one[0] {
+		t.Fatal("single entry")
+	}
+}
+
+func TestRecalcIndex(t *testing.T) {
+	entries := []IndexEntry{
+		{SeqStart: 500, SeqSize: 10, DescStart: 300, DescSize: 5},
+		{SeqStart: 900, SeqSize: 20, DescStart: 700, DescSize: 7},
+	}
+	out := RecalcIndex(entries)
+	if out[0].SeqStart != 0 || out[0].DescStart != 0 {
+		t.Fatalf("first entry not rebased: %+v", out[0])
+	}
+	if out[1].SeqStart != 10 || out[1].DescStart != 5 {
+		t.Fatalf("second entry offsets wrong: %+v", out[1])
+	}
+	if out[1].SeqSize != 20 || out[1].DescSize != 7 {
+		t.Fatalf("sizes changed: %+v", out[1])
+	}
+	// Original untouched.
+	if entries[0].SeqStart != 500 {
+		t.Fatal("RecalcIndex mutated input")
+	}
+}
+
+func TestMakeBatch(t *testing.T) {
+	db := smallDB(t)
+	b100 := MakeBatch("100", db, 100, 100, 1)
+	if len(b100.Lengths) != 100 {
+		t.Fatalf("batch size %d", len(b100.Lengths))
+	}
+	for _, l := range b100.Lengths {
+		if l > 100 {
+			t.Fatalf("batch 100 contains length %d", l)
+		}
+	}
+	mixed := MakeBatch("mixed", db, 100, 0, 2)
+	if len(mixed.Lengths) != 100 {
+		t.Fatalf("mixed batch size %d", len(mixed.Lengths))
+	}
+}
+
+func TestSearchSkewBlockVsCyclic(t *testing.T) {
+	// The Fig. 12 mechanism: on a clustered database, cyclic partitions
+	// must have (much) lower search imbalance than block partitions, and
+	// the cyclic makespan must beat the block makespan.
+	db := smallDB(t)
+	const np = 16
+	block := BlockPartition(db.Entries, np)
+	cyclic := CyclicPartition(db.Entries, np)
+	batch := MakeBatch("500", db, 100, 500, 3)
+
+	ib := SearchImbalance(block, batch)
+	ic := SearchImbalance(cyclic, batch)
+	if ic >= ib {
+		t.Fatalf("cyclic imbalance %.3f not better than block %.3f", ic, ib)
+	}
+	if ic > 1.05 {
+		t.Fatalf("cyclic imbalance %.3f; should be near 1", ic)
+	}
+	mb := SearchMakespan(block, batch)
+	mc := SearchMakespan(cyclic, batch)
+	if mc >= mb {
+		t.Fatalf("cyclic makespan %v not better than block %v", mc, mb)
+	}
+}
+
+func TestLongerBatchAmplifiesSkew(t *testing.T) {
+	// §IV-B: "the cyclic policy can achieve more performance benefits for
+	// the larger batch" — block/cyclic ratio grows with query length.
+	db := smallDB(t)
+	const np = 16
+	block := BlockPartition(db.Entries, np)
+	cyclic := CyclicPartition(db.Entries, np)
+	ratio := func(maxLen int, seed int64) float64 {
+		b := MakeBatch("b", db, 100, maxLen, seed)
+		return float64(SearchMakespan(block, b)) / float64(SearchMakespan(cyclic, b))
+	}
+	r100, r500 := ratio(100, 4), ratio(500, 4)
+	if r500 <= r100 {
+		t.Fatalf("batch 500 ratio %.3f not larger than batch 100 ratio %.3f", r500, r100)
+	}
+}
+
+func TestPartitionSearchTimeAdditive(t *testing.T) {
+	p := Partition{Entries: []IndexEntry{{SeqSize: 100}, {SeqSize: 200}}}
+	single := QueryBatch{Lengths: []int{50}}
+	double := QueryBatch{Lengths: []int{50, 50}}
+	if got, want := PartitionSearchTime(p, double), 2*PartitionSearchTime(p, single); got != want {
+		t.Fatalf("batch cost not additive: %v vs %v", got, want)
+	}
+}
+
+func TestSearchImbalanceEdgeCases(t *testing.T) {
+	if SearchImbalance(nil, QueryBatch{}) != 1 {
+		t.Error("no partitions should give imbalance 1")
+	}
+	empty := []Partition{{}, {}}
+	if SearchImbalance(empty, QueryBatch{Lengths: []int{10}}) != 1 {
+		t.Error("empty partitions should give imbalance 1")
+	}
+}
+
+func TestRefPartitionTimeModel(t *testing.T) {
+	m := vtime.SandyBridge()
+	if RefPartitionTime(0, 8, m) != 0 {
+		t.Error("empty input should cost nothing")
+	}
+	t1 := RefPartitionTime(1_000_000, 1, m)
+	t16 := RefPartitionTime(1_000_000, 16, m)
+	if t16 >= t1 {
+		t.Fatalf("threads gave no speedup: %v vs %v", t16, t1)
+	}
+	// Diminishing returns: 16->64 threads helps less than 1->16 (the
+	// sequential merge cascade and deal loop dominate).
+	t64 := RefPartitionTime(1_000_000, 64, m)
+	if float64(t16)/float64(t64) > float64(t1)/float64(t16) {
+		t.Fatalf("model scales too well beyond one socket")
+	}
+}
+
+func TestSameAsRows(t *testing.T) {
+	p := Partition{Entries: []IndexEntry{{SeqSize: 1}, {SeqSize: 2}}}
+	if !p.SameAsRows([]IndexEntry{{SeqSize: 1}, {SeqSize: 2}}) {
+		t.Error("equal entries reported different")
+	}
+	if p.SameAsRows([]IndexEntry{{SeqSize: 1}}) {
+		t.Error("length mismatch reported same")
+	}
+	if p.SameAsRows([]IndexEntry{{SeqSize: 1}, {SeqSize: 3}}) {
+		t.Error("different entries reported same")
+	}
+}
+
+// Property: cyclic partitioning is a permutation of the input (no entry
+// lost or duplicated) for any partition count.
+func TestCyclicPermutationProperty(t *testing.T) {
+	db := Generate(EnvNR(), 0.0002, 13)
+	f := func(npRaw uint8) bool {
+		np := int(npRaw%32) + 1
+		parts := CyclicPartition(db.Entries, np)
+		count := map[IndexEntry]int{}
+		for _, p := range parts {
+			for _, e := range p.Entries {
+				count[e]++
+			}
+		}
+		seen := 0
+		for _, e := range db.Entries {
+			if count[e] <= 0 {
+				return false
+			}
+			count[e]--
+			seen++
+		}
+		return seen == len(db.Entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedSearchAgreesWithAnalytic(t *testing.T) {
+	db := smallDB(t)
+	const np = 8
+	parts := CyclicPartition(db.Entries, np)
+	batch := MakeBatch("mixed", db, 50, 0, 6)
+
+	cfg := cluster.DefaultConfig(np)
+	cfg.RanksPerNode = 1
+	cl := cluster.New(cfg)
+	res, err := DistributedSearch(cl, parts, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := SearchMakespan(parts, batch)
+	// The cluster run adds only the tiny completion-reduction overhead on
+	// top of the slowest partition's model time.
+	if res.Makespan < analytic {
+		t.Fatalf("cluster makespan %v below analytic %v", res.Makespan, analytic)
+	}
+	if float64(res.Makespan) > float64(analytic)*1.01+1e6 {
+		t.Fatalf("cluster makespan %v far above analytic %v", res.Makespan, analytic)
+	}
+	if got := res.PerPartition[res.Straggler]; got != maxDuration(res.PerPartition) {
+		t.Fatalf("straggler %d is not the slowest partition", res.Straggler)
+	}
+}
+
+func maxDuration(xs []vtime.Duration) vtime.Duration {
+	var m vtime.Duration
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestDistributedSearchBlockStragglesHarder(t *testing.T) {
+	db := smallDB(t)
+	const np = 8
+	batch := MakeBatch("500", db, 50, 500, 7)
+	run := func(parts []Partition) vtime.Duration {
+		cfg := cluster.DefaultConfig(np)
+		cfg.RanksPerNode = 1
+		cl := cluster.New(cfg)
+		res, err := DistributedSearch(cl, parts, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if c, b := run(CyclicPartition(db.Entries, np)), run(BlockPartition(db.Entries, np)); c >= b {
+		t.Fatalf("cyclic (%v) not faster than block (%v) on the cluster", c, b)
+	}
+}
+
+func TestDistributedSearchRankMismatch(t *testing.T) {
+	db := smallDB(t)
+	parts := CyclicPartition(db.Entries, 4)
+	cl := cluster.New(cluster.DefaultConfig(4)) // 8 ranks != 4 partitions
+	if _, err := DistributedSearch(cl, parts, QueryBatch{}); err == nil {
+		t.Fatal("rank/partition mismatch accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package blast
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/vtime"
+)
+
+// DistributedSearch runs the muBLASTP search phase on the simulated cluster
+// the way §IV-B describes the real deployment: every partition is bound to
+// one MPI process (one per socket), each process searches the whole query
+// batch against its own database partition, and the job completes when the
+// slowest process finishes (a final barrier-style reduction collects the
+// per-partition times). The per-partition cost comes from the same model as
+// PartitionSearchTime, so the analytic SearchMakespan is this function's
+// closed form — the test suite checks they agree — but this version also
+// exercises the substrate and reports the straggler.
+type SearchResult struct {
+	Makespan vtime.Duration
+	// Straggler is the partition that finished last.
+	Straggler int
+	// PerPartition holds each partition's search time.
+	PerPartition []vtime.Duration
+}
+
+// DistributedSearch requires exactly one rank per partition.
+func DistributedSearch(cl *cluster.Cluster, parts []Partition, batch QueryBatch) (*SearchResult, error) {
+	if cl.Size() != len(parts) {
+		return nil, fmt.Errorf("blast: %d ranks for %d partitions (bind one process per partition)", cl.Size(), len(parts))
+	}
+	cl.Reset()
+	times := make([]vtime.Duration, len(parts))
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		comm := mpi.NewComm(r)
+		me := r.ID()
+		t := PartitionSearchTime(parts[me], batch)
+		r.Charge(t)
+		times[me] = t
+		// Completion reduction: everyone reports to rank 0 (the paper's
+		// runs measure the whole job's wall time).
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(float64(t)))
+		_, err := comm.Reduce(0, buf, func(a, b []byte) []byte {
+			x := binary.LittleEndian.Uint64(a)
+			y := binary.LittleEndian.Uint64(b)
+			if y > x {
+				x = y
+			}
+			out := make([]byte, 8)
+			binary.LittleEndian.PutUint64(out, x)
+			return out
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SearchResult{PerPartition: times, Makespan: cl.Makespan()}
+	for i, t := range times {
+		if t > times[res.Straggler] {
+			res.Straggler = i
+		}
+	}
+	return res, nil
+}

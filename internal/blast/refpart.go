@@ -1,0 +1,149 @@
+package blast
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// This file reimplements muBLASTP's own partitioning program — the baseline
+// PaPar is compared against in Fig. 13. The implementation is single-node
+// and multithreaded (§IV-B: "the current implementation of muBLASTP
+// partitioning only provides a multithreaded method for the input database,
+// it can not scale out"). It doubles as the correctness reference: for the
+// same input, PaPar must produce identical partitions (§IV "Correctness").
+
+// Partition is one output database partition.
+type Partition struct {
+	Entries []IndexEntry
+}
+
+// BlockPartition is muBLASTP's default method: keep the number of sequences
+// in partitions similar by contiguous ranges (the "block" label in §IV-B).
+func BlockPartition(entries []IndexEntry, np int) []Partition {
+	out := make([]Partition, np)
+	n := len(entries)
+	for i := 0; i < np; i++ {
+		lo := n * i / np
+		hi := n * (i + 1) / np
+		out[i].Entries = append([]IndexEntry(nil), entries[lo:hi]...)
+	}
+	return out
+}
+
+// CyclicPartition is the optimized method from [36] (§II-A, Fig. 1): sort
+// the index by encoded sequence length, then deal sequences to partitions
+// round-robin, so that partitions get near-equal counts, near-equal sizes,
+// and matched length distributions.
+func CyclicPartition(entries []IndexEntry, np int) []Partition {
+	sorted := sortByLength(entries, runtime.GOMAXPROCS(0))
+	out := make([]Partition, np)
+	for i, e := range sorted {
+		p := i % np
+		out[p].Entries = append(out[p].Entries, e)
+	}
+	return out
+}
+
+// sortByLength is the multithreaded sort at the heart of the reference
+// partitioner: chunked parallel sort + sequential binary merge cascade,
+// mirroring the structure (and the single-node ceiling) of the original
+// pthreads implementation.
+func sortByLength(entries []IndexEntry, threads int) []IndexEntry {
+	work := append([]IndexEntry(nil), entries...)
+	if threads < 1 {
+		threads = 1
+	}
+	n := len(work)
+	if n < 2 {
+		return work
+	}
+	if threads > n {
+		threads = n
+	}
+	chunks := make([][]IndexEntry, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := n * t / threads
+		hi := n * (t + 1) / threads
+		chunks[t] = work[lo:hi]
+		wg.Add(1)
+		go func(c []IndexEntry) {
+			defer wg.Done()
+			sort.SliceStable(c, func(i, j int) bool { return c[i].SeqSize < c[j].SeqSize })
+		}(chunks[t])
+	}
+	wg.Wait()
+	// Sequential pairwise merge cascade (the original's final single-thread
+	// merge step).
+	for len(chunks) > 1 {
+		merged := make([][]IndexEntry, 0, (len(chunks)+1)/2)
+		for i := 0; i < len(chunks); i += 2 {
+			if i+1 == len(chunks) {
+				merged = append(merged, chunks[i])
+				continue
+			}
+			merged = append(merged, mergeByLength(chunks[i], chunks[i+1]))
+		}
+		chunks = merged
+	}
+	return chunks[0]
+}
+
+func mergeByLength(a, b []IndexEntry) []IndexEntry {
+	out := make([]IndexEntry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].SeqSize < a[i].SeqSize {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// RefPartitionTime models the virtual running time of the reference
+// multithreaded partitioner on one node with the given thread count — the
+// baseline bar of Fig. 13(a). The model mirrors the implementation above:
+// parallel chunk sorts, then a sequential merge cascade and a sequential
+// deal loop, which is why the baseline stops scaling inside one node.
+func RefPartitionTime(n int, threads int, m vtime.ComputeModel) vtime.Duration {
+	if n == 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	const rec = 16 // four 4-byte integers per entry
+	chunk := (n + threads - 1) / threads
+	t := m.SortCost(chunk, rec) // parallel chunk sorts (perfectly overlapped)
+	// log2(threads) sequential merge passes over all n entries.
+	passes := 0
+	for v := threads; v > 1; v >>= 1 {
+		passes++
+	}
+	t += vtime.Duration(passes) * m.ScanCost(n, n*rec)
+	// Sequential cyclic deal + output copy.
+	t += m.ScanCost(n, 0) + m.CopyCost(n*rec)
+	return t
+}
+
+// SameAsRows reports whether a partition's entries equal the given entries
+// elementwise — used to compare reference partitions against PaPar output.
+func (p Partition) SameAsRows(entries []IndexEntry) bool {
+	if len(p.Entries) != len(entries) {
+		return false
+	}
+	for i := range entries {
+		if p.Entries[i] != entries[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package ccomp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/powerlyra"
+)
+
+func TestSequentialKnownGraphs(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; vertex 5 isolated.
+	g := &graph.Graph{NumVertices: 6, Edges: []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4},
+	}}
+	labels := Sequential(g)
+	want := []int32{0, 0, 0, 3, 3, 5}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	if NumComponents(labels) != 3 {
+		t.Fatalf("components = %d", NumComponents(labels))
+	}
+}
+
+func TestSequentialDirectionIgnored(t *testing.T) {
+	// Direction must not matter: a->b and b->a give the same components.
+	a := &graph.Graph{NumVertices: 3, Edges: []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}}}
+	b := &graph.Graph{NumVertices: 3, Edges: []graph.Edge{{Src: 1, Dst: 0}, {Src: 1, Dst: 2}}}
+	if !reflect.DeepEqual(Sequential(a), Sequential(b)) {
+		t.Fatal("edge direction changed components")
+	}
+}
+
+func TestSequentialChain(t *testing.T) {
+	// A long chain: one component labeled 0.
+	const n = 500
+	g := &graph.Graph{NumVertices: n}
+	for i := int32(0); i < n-1; i++ {
+		g.Edges = append(g.Edges, graph.Edge{Src: i + 1, Dst: i})
+	}
+	labels := Sequential(g)
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("vertex %d labeled %d", v, l)
+		}
+	}
+}
+
+func distributedMatches(t *testing.T, method powerlyra.Method) *Result {
+	t.Helper()
+	g := graph.Generate(graph.Google(), 0.002, 8)
+	want := Sequential(g)
+	a, err := powerlyra.Partition(g, method, 8, powerlyra.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(cluster.DefaultConfig(4))
+	res, err := Distributed(cl, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Labels, want) {
+		t.Fatalf("%v: distributed labels diverge from sequential", method)
+	}
+	return res
+}
+
+func TestDistributedMatchesSequentialHybrid(t *testing.T) {
+	res := distributedMatches(t, powerlyra.HybridCut)
+	if res.Iterations <= 0 || res.Makespan <= 0 || res.WireBytes <= 0 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+}
+
+func TestDistributedMatchesSequentialVertexCut(t *testing.T) {
+	distributedMatches(t, powerlyra.VertexCut)
+}
+
+func TestDistributedMatchesSequentialEdgeCut(t *testing.T) {
+	distributedMatches(t, powerlyra.EdgeCut)
+}
+
+func TestDistributedValidation(t *testing.T) {
+	empty, _ := powerlyra.Partition(&graph.Graph{}, powerlyra.HybridCut, 2, 0)
+	cl := cluster.New(cluster.DefaultConfig(1))
+	if _, err := Distributed(cl, empty, 5); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	g := graph.Generate(graph.Pokec(), 0.0005, 2)
+	a, _ := powerlyra.Partition(g, powerlyra.HybridCut, 8, 0)
+	run := func() (float64, int) {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		res, err := Distributed(cl, a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Makespan), res.Iterations
+	}
+	m1, i1 := run()
+	m2, i2 := run()
+	if m1 != m2 || i1 != i2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", m1, i1, m2, i2)
+	}
+}
+
+func TestHybridFasterThanEdgeCut(t *testing.T) {
+	// The Fig. 14 ordering holds for connected components too: hybrid's
+	// lower replication means less label traffic.
+	g := graph.Generate(graph.Google(), 0.004, 6)
+	timeFor := func(m powerlyra.Method) float64 {
+		a, err := powerlyra.Partition(g, m, 16, powerlyra.DefaultThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.New(cluster.DefaultConfig(8))
+		res, err := Distributed(cl, a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Makespan)
+	}
+	if h, e := timeFor(powerlyra.HybridCut), timeFor(powerlyra.EdgeCut); h >= e {
+		t.Fatalf("hybrid (%v) not faster than edge-cut (%v)", h, e)
+	}
+}
+
+func TestForeachVLErrors(t *testing.T) {
+	if err := foreachVL([]byte{1, 2, 3}, func(v, l int32) {}); err == nil {
+		t.Error("ragged buffer accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRankFailureUnblocksPeers injects a failure on one rank while its
+// peers block in Recv: the run must unwind with the injected error instead
+// of deadlocking (the MPI-style failure semantics real partitioner runs
+// need).
+func TestRankFailureUnblocksPeers(t *testing.T) {
+	boom := errors.New("injected failure")
+	c := New(DefaultConfig(2))
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = c.Run(func(r *Rank) error {
+			if r.ID() == 2 {
+				return boom
+			}
+			// Everyone else waits for a message that will never come.
+			_, _, err := r.Recv((r.ID()+1)%c.Size(), 9)
+			return err
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run deadlocked after rank failure")
+	}
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("run error = %v, want the injected failure", runErr)
+	}
+	if !strings.Contains(runErr.Error(), "rank 2") {
+		t.Fatalf("error %q does not name the failing rank", runErr)
+	}
+}
+
+// TestCollateralAbortsReportRootCause ensures peers that die with
+// ErrAborted do not mask the root cause even when they sit at lower rank
+// ids.
+func TestCollateralAbortsReportRootCause(t *testing.T) {
+	boom := errors.New("root cause")
+	c := New(DefaultConfig(2))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 3 {
+			return boom
+		}
+		_, _, err := r.Recv(3, 1)
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("run error = %v, want root cause from rank 3", err)
+	}
+}
+
+// TestClusterReusableAfterFailure verifies a failed run leaves the cluster
+// usable: mailboxes drained, abort flag cleared.
+func TestClusterReusableAfterFailure(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			// Leave an undelivered message behind, then fail.
+			if err := r.Send(1, 5, []byte("orphan")); err != nil {
+				return err
+			}
+			return errors.New("fail after send")
+		}
+		_, _, err := r.Recv(0, 99) // never sent; unblocked by abort
+		return err
+	})
+	if err == nil {
+		t.Fatal("first run should fail")
+	}
+	c.Reset() // must not panic: failed run drains mailboxes
+
+	// A fresh, correct run works.
+	_, err = c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			return r.Send(1, 5, []byte("hello"))
+		}
+		b, _, err := r.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(b) != "hello" {
+			return errors.New("stale message leaked from failed run")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("cluster unusable after failed run: %v", err)
+	}
+}
+
+// TestAllRanksFailing reports some rank's error, not a hang.
+func TestAllRanksFailing(t *testing.T) {
+	c := New(DefaultConfig(2))
+	_, err := c.Run(func(r *Rank) error {
+		return errors.New("everyone fails")
+	})
+	if err == nil || !strings.Contains(err.Error(), "everyone fails") {
+		t.Fatalf("err = %v", err)
+	}
+}

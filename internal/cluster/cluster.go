@@ -1,0 +1,202 @@
+// Package cluster simulates the paper's 16-node compute cluster in-process.
+//
+// A Cluster is a set of ranks (one goroutine each, SPMD style) spread over
+// physical nodes. Ranks exchange real byte payloads through per-rank
+// mailboxes, so programs built on top of the cluster are functionally
+// correct, while a vtime.NetworkModel stamps every message with a virtual
+// arrival time so that the harness can report deterministic, hardware-like
+// performance numbers (makespan, per-rank busy time, bytes moved).
+//
+// This is the substitution for the paper's MVAPICH2 + InfiniBand testbed: no
+// standard MPI exists for Go, so the distribution layer is custom (see
+// DESIGN.md).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vtime"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Nodes is the number of physical nodes (the paper uses up to 16).
+	Nodes int
+	// RanksPerNode is how many ranks run on each node (the paper binds one
+	// MPI process per socket: 2 per node).
+	RanksPerNode int
+	// Network is the interconnect model.
+	Network vtime.NetworkModel
+	// Compute is the per-core compute cost model.
+	Compute vtime.ComputeModel
+}
+
+// DefaultConfig mirrors the paper's testbed at a given node count: 2 ranks
+// per node (one per socket), QDR InfiniBand, Sandy Bridge cores.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:        nodes,
+		RanksPerNode: 2,
+		Network:      vtime.InfiniBandQDR(),
+		Compute:      vtime.SandyBridge(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.RanksPerNode <= 0 {
+		return fmt.Errorf("cluster: RanksPerNode must be positive, got %d", c.RanksPerNode)
+	}
+	if c.Network.BytesPerSecond <= 0 {
+		return fmt.Errorf("cluster: network model %q has no bandwidth", c.Network.Name)
+	}
+	return nil
+}
+
+// Size returns the total number of ranks.
+func (c Config) Size() int { return c.Nodes * c.RanksPerNode }
+
+// Cluster is the simulated machine. Create one with New, run SPMD programs
+// with Run, and read the Stats afterwards.
+type Cluster struct {
+	cfg   Config
+	ranks []*Rank
+
+	bytesOnWire atomic.Int64
+	msgsOnWire  atomic.Int64
+	trace       tracer
+}
+
+// New builds a cluster. It panics on an invalid config (configuration is
+// programmer input, not user input).
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{cfg: cfg}
+	n := cfg.Size()
+	c.ranks = make([]*Rank, n)
+	for i := 0; i < n; i++ {
+		c.ranks[i] = &Rank{
+			id:      i,
+			node:    i / cfg.RanksPerNode,
+			cluster: c,
+			clock:   vtime.NewClock(),
+			mailbox: newMailbox(),
+		}
+	}
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return len(c.ranks) }
+
+// Rank returns rank i. It panics if i is out of range.
+func (c *Cluster) Rank(i int) *Rank { return c.ranks[i] }
+
+// ErrAborted is returned from a blocked Recv when another rank of the same
+// Run failed: the failing rank's error is the root cause; ErrAborted marks
+// the collateral unwinds.
+var ErrAborted = errors.New("cluster: run aborted because another rank failed")
+
+// Run executes body once per rank, concurrently, SPMD style, and blocks
+// until all ranks return. If any rank returns an error, the run is aborted:
+// ranks blocked in Recv are woken with ErrAborted so the whole SPMD program
+// unwinds instead of deadlocking, and Run reports the first non-collateral
+// error (by rank order). The makespan — the maximum virtual clock across
+// ranks — is returned either way.
+func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
+	errs := make([]error, len(c.ranks))
+	var wg sync.WaitGroup
+	for i, r := range c.ranks {
+		wg.Add(1)
+		go func(i int, r *Rank) {
+			defer wg.Done()
+			errs[i] = body(r)
+			if errs[i] != nil {
+				for _, peer := range c.ranks {
+					peer.mailbox.abort()
+				}
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAborted) {
+			if first == nil {
+				first = fmt.Errorf("rank %d: %w", i, err)
+			}
+			continue
+		}
+		first = fmt.Errorf("rank %d: %w", i, err)
+		break
+	}
+	if first != nil {
+		// Drain undelivered messages and rearm mailboxes so a failed run
+		// leaves the cluster reusable.
+		for _, r := range c.ranks {
+			r.mailbox.mu.Lock()
+			r.mailbox.byKey = make(map[mailKey][]message)
+			r.mailbox.count = 0
+			r.mailbox.mu.Unlock()
+			r.mailbox.clearAbort()
+		}
+		return c.Makespan(), first
+	}
+	return c.Makespan(), nil
+}
+
+// Makespan returns the maximum virtual time across all rank clocks.
+func (c *Cluster) Makespan() vtime.Duration {
+	clocks := make([]*vtime.Clock, len(c.ranks))
+	for i, r := range c.ranks {
+		clocks[i] = r.clock
+	}
+	return vtime.Max(clocks...)
+}
+
+// Reset rewinds every rank clock and traffic counter, preparing the cluster
+// for another experiment. Mailboxes must already be drained (a completed SPMD
+// program leaves them empty; Reset panics otherwise to surface protocol
+// bugs).
+func (c *Cluster) Reset() {
+	for _, r := range c.ranks {
+		if n := r.mailbox.pending(); n != 0 {
+			panic(fmt.Sprintf("cluster: rank %d has %d undelivered messages at Reset", r.id, n))
+		}
+		r.clock.Reset()
+		r.sentBytes = 0
+		r.sentMsgs = 0
+	}
+	c.bytesOnWire.Store(0)
+	c.msgsOnWire.Store(0)
+}
+
+// Stats summarizes traffic since the last Reset.
+type Stats struct {
+	BytesOnWire int64
+	Messages    int64
+	Makespan    vtime.Duration
+}
+
+// Stats returns cumulative traffic counters and the current makespan.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		BytesOnWire: c.bytesOnWire.Load(),
+		Messages:    c.msgsOnWire.Load(),
+		Makespan:    c.Makespan(),
+	}
+}

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, bad := range []Config{
+		{Nodes: 0, RanksPerNode: 2, Network: vtime.InfiniBandQDR()},
+		{Nodes: 2, RanksPerNode: 0, Network: vtime.InfiniBandQDR()},
+		{Nodes: 2, RanksPerNode: 2}, // zero-bandwidth network
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v validated but should not", bad)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New did not panic on invalid config")
+		}
+	}()
+	New(Config{})
+}
+
+func TestSizeAndNodeAssignment(t *testing.T) {
+	c := New(DefaultConfig(4)) // 4 nodes * 2 ranks
+	if c.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", c.Size())
+	}
+	for i := 0; i < c.Size(); i++ {
+		r := c.Rank(i)
+		if r.ID() != i {
+			t.Errorf("rank %d reports ID %d", i, r.ID())
+		}
+		if want := i / 2; r.Node() != want {
+			t.Errorf("rank %d on node %d, want %d", i, r.Node(), want)
+		}
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			if err := r.Send(1, 7, []byte("ping")); err != nil {
+				return err
+			}
+			got, src, err := r.Recv(1, 8)
+			if err != nil {
+				return err
+			}
+			if src != 1 || string(got) != "pong" {
+				return fmt.Errorf("got %q from %d", got, src)
+			}
+		case 1:
+			got, _, err := r.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(got) != "ping" {
+				return fmt.Errorf("got %q", got)
+			}
+			return r.Send(0, 8, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		return r.Send(99, 0, nil)
+	})
+	if err == nil {
+		t.Fatal("send to invalid rank succeeded")
+	}
+}
+
+func TestRecvInvalidRank(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		_, _, err := r.Recv(-7, 0)
+		return err
+	})
+	if err == nil {
+		t.Fatal("recv from invalid rank succeeded")
+	}
+}
+
+func TestVirtualTimeAdvancesOnTraffic(t *testing.T) {
+	c := New(DefaultConfig(2))
+	makespan, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			return r.Send(3, 1, make([]byte, 1<<20)) // cross-node MB
+		}
+		if r.ID() == 3 {
+			_, _, err := r.Recv(0, 1)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan <= 0 {
+		t.Fatalf("makespan %v, want > 0 after cross-node transfer", makespan)
+	}
+	// 1 MiB at 4 GB/s is ~260us; makespan must be at least the wire time.
+	wire := vtime.InfiniBandQDR().TransferTime(1 << 20)
+	if makespan < wire {
+		t.Fatalf("makespan %v < wire time %v", makespan, wire)
+	}
+}
+
+func TestIntraNodeCheaperThanCrossNode(t *testing.T) {
+	run := func(dst int) vtime.Duration {
+		c := New(DefaultConfig(2)) // ranks 0,1 on node 0; 2,3 on node 1
+		_, err := c.Run(func(r *Rank) error {
+			if r.ID() == 0 {
+				return r.Send(dst, 1, make([]byte, 1<<20))
+			}
+			if r.ID() == dst {
+				_, _, err := r.Recv(0, 1)
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Rank(dst).Clock().Now()
+	}
+	local, remote := run(1), run(2)
+	if local >= remote {
+		t.Fatalf("intra-node recv time %v >= cross-node %v", local, remote)
+	}
+}
+
+func TestMessageOrderingPerPair(t *testing.T) {
+	c := New(DefaultConfig(1))
+	const n = 50
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < n; i++ {
+				if err := r.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			p, _, err := r.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if p[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order: %d", i, p[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	c := New(DefaultConfig(2))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				_, src, err := r.Recv(AnySource, 5)
+				if err != nil {
+					return err
+				}
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				return fmt.Errorf("expected 3 distinct sources, saw %v", seen)
+			}
+			return nil
+		}
+		return r.Send(0, 5, []byte{byte(r.ID())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			if _, _, ok := r.TryRecv(1, 9); ok {
+				return errors.New("TryRecv returned a message before any send")
+			}
+			if err := r.Send(1, 10, []byte("go")); err != nil {
+				return err
+			}
+			// Now block until the reply actually exists.
+			p, _, err := r.Recv(1, 9)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(p, []byte("ok")) {
+				return fmt.Errorf("reply %q", p)
+			}
+			return nil
+		}
+		if _, _, err := r.Recv(0, 10); err != nil {
+			return err
+		}
+		return r.Send(0, 9, []byte("ok"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	c := New(DefaultConfig(1))
+	boom := errors.New("boom")
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped boom", err)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			return r.Send(1, 0, make([]byte, 100))
+		}
+		_, _, err := r.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.BytesOnWire != 100 || s.Messages != 1 {
+		t.Fatalf("stats = %+v, want 100 bytes / 1 message", s)
+	}
+	c.Reset()
+	s = c.Stats()
+	if s.BytesOnWire != 0 || s.Messages != 0 || s.Makespan != 0 {
+		t.Fatalf("stats after Reset = %+v, want zeros", s)
+	}
+}
+
+func TestResetPanicsOnPendingMessages(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			return r.Send(1, 0, []byte("orphan"))
+		}
+		return nil // rank 1 never receives
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Reset did not panic with undelivered messages")
+		}
+	}()
+	c.Reset()
+}
+
+func TestDeterministicTimeline(t *testing.T) {
+	run := func() vtime.Duration {
+		c := New(DefaultConfig(4))
+		_, err := c.Run(func(r *Rank) error {
+			n := r.Size()
+			// Ring exchange: send to right, receive from left, 10 rounds.
+			for round := 0; round < 10; round++ {
+				payload := make([]byte, 1000*(r.ID()+1))
+				if err := r.Send((r.ID()+1)%n, round, payload); err != nil {
+					return err
+				}
+				if _, _, err := r.Recv((r.ID()+n-1)%n, round); err != nil {
+					return err
+				}
+				r.Charge(r.Compute().ScanCost(100, len(payload)))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Makespan()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic makespan: run %d gave %v, first gave %v", i, got, first)
+		}
+	}
+}

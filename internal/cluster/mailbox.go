@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// message is one in-flight payload with its virtual arrival stamp.
+type message struct {
+	src     int
+	tag     int
+	payload []byte
+	arrival vtime.Duration
+}
+
+// mailbox is an unbounded, (src,tag)-matched message store. Senders put from
+// their own goroutines; the owning rank gets. Matching is FIFO per (src,tag)
+// pair, which preserves MPI's non-overtaking guarantee.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	byKey   map[mailKey][]message
+	count   int
+	aborted bool
+}
+
+type mailKey struct {
+	src int
+	tag int
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{byKey: make(map[mailKey][]message)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	k := mailKey{msg.src, msg.tag}
+	m.byKey[k] = append(m.byKey[k], msg)
+	m.count++
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// match pops the first message matching (src,tag); src may be AnySource.
+// Caller holds m.mu.
+func (m *mailbox) match(src, tag int) (message, bool) {
+	if src != AnySource {
+		k := mailKey{src, tag}
+		q := m.byKey[k]
+		if len(q) == 0 {
+			return message{}, false
+		}
+		msg := q[0]
+		if len(q) == 1 {
+			delete(m.byKey, k)
+		} else {
+			m.byKey[k] = q[1:]
+		}
+		m.count--
+		return msg, true
+	}
+	// AnySource: pick the pending message with the earliest arrival stamp so
+	// the simulated timeline stays deterministic regardless of goroutine
+	// scheduling order.
+	bestKey := mailKey{}
+	found := false
+	var best message
+	for k, q := range m.byKey {
+		if k.tag != tag || len(q) == 0 {
+			continue
+		}
+		cand := q[0]
+		if !found || cand.arrival < best.arrival ||
+			(cand.arrival == best.arrival && cand.src < best.src) {
+			best, bestKey, found = cand, k, true
+		}
+	}
+	if !found {
+		return message{}, false
+	}
+	q := m.byKey[bestKey]
+	if len(q) == 1 {
+		delete(m.byKey, bestKey)
+	} else {
+		m.byKey[bestKey] = q[1:]
+	}
+	m.count--
+	return best, true
+}
+
+// get blocks for a matching message. ok=false reports that the run was
+// aborted (some rank failed) and no message will ever arrive.
+func (m *mailbox) get(src, tag int) (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if msg, ok := m.match(src, tag); ok {
+			return msg, true
+		}
+		if m.aborted {
+			return message{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// abort wakes any blocked get and makes all future gets fail; clearAbort
+// rearms the mailbox for the next run.
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) clearAbort() {
+	m.mu.Lock()
+	m.aborted = false
+	m.mu.Unlock()
+}
+
+func (m *mailbox) tryGet(src, tag int) (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.match(src, tag)
+}
+
+func (m *mailbox) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// Rank is one simulated MPI process: an ID, a home node, a virtual clock and
+// a mailbox. All methods must be called only from the goroutine executing
+// this rank's SPMD body (except Clock reads by the harness after Run
+// returns).
+type Rank struct {
+	id      int
+	node    int
+	cluster *Cluster
+	clock   *vtime.Clock
+	mailbox *mailbox
+	// sentBytes/sentMsgs count this rank's own sends; written only by the
+	// owning goroutine, so a rank can snapshot them deterministically
+	// mid-program (harnesses sum the per-rank snapshots).
+	sentBytes int64
+	sentMsgs  int64
+}
+
+// SentStats returns this rank's cumulative send counters. Call from the
+// rank's own goroutine (or after the run completes).
+func (r *Rank) SentStats() (bytes, msgs int64) { return r.sentBytes, r.sentMsgs }
+
+// ID returns the rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Node returns the physical node hosting this rank.
+func (r *Rank) Node() int { return r.node }
+
+// Size returns the number of ranks in the cluster.
+func (r *Rank) Size() int { return r.cluster.Size() }
+
+// Clock exposes the rank's virtual clock.
+func (r *Rank) Clock() *vtime.Clock { return r.clock }
+
+// Compute returns the compute cost model for this rank's core.
+func (r *Rank) Compute() vtime.ComputeModel { return r.cluster.cfg.Compute }
+
+// Network returns the interconnect model.
+func (r *Rank) Network() vtime.NetworkModel { return r.cluster.cfg.Network }
+
+// Charge advances this rank's clock by a compute cost.
+func (r *Rank) Charge(d vtime.Duration) { r.clock.Advance(d) }
+
+// Send delivers payload to rank dst under tag. The payload slice is handed
+// over; the caller must not modify it afterwards. Send never blocks (the
+// mailbox is unbounded, as MR-MPI's aggregate buffers effectively are), which
+// also means the simulated timeline charges bandwidth, not flow control.
+func (r *Rank) Send(dst, tag int, payload []byte) error {
+	if dst < 0 || dst >= r.cluster.Size() {
+		return fmt.Errorf("cluster: send to invalid rank %d (size %d)", dst, r.cluster.Size())
+	}
+	net := r.Network()
+	r.clock.Advance(net.SendOverhead)
+	to := r.cluster.ranks[dst]
+	var wire vtime.Duration
+	if to.node == r.node {
+		wire = net.LocalTransferTime(len(payload))
+	} else {
+		wire = net.TransferTime(len(payload))
+	}
+	arrival := r.clock.Now() + wire
+	r.cluster.bytesOnWire.Add(int64(len(payload)))
+	r.cluster.msgsOnWire.Add(1)
+	r.sentBytes += int64(len(payload))
+	r.sentMsgs++
+	r.cluster.trace.record(TraceEvent{
+		Time: r.clock.Now(), Rank: r.id, Kind: "send", Peer: dst, Tag: tag, Size: len(payload),
+	})
+	to.mailbox.put(message{src: r.id, tag: tag, payload: payload, arrival: arrival})
+	return nil
+}
+
+// Recv blocks until a message with the given source and tag arrives, then
+// synchronizes the rank clock with the message's arrival time and returns
+// the payload. src == AnySource matches any sender.
+func (r *Rank) Recv(src, tag int) ([]byte, int, error) {
+	if src != AnySource && (src < 0 || src >= r.cluster.Size()) {
+		return nil, 0, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", src, r.cluster.Size())
+	}
+	m, ok := r.mailbox.get(src, tag)
+	if !ok {
+		return nil, 0, ErrAborted
+	}
+	r.clock.AdvanceTo(m.arrival)
+	r.clock.Advance(r.Network().RecvOverhead)
+	r.cluster.trace.record(TraceEvent{
+		Time: r.clock.Now(), Rank: r.id, Kind: "recv", Peer: m.src, Tag: m.tag, Size: len(m.payload),
+	})
+	return m.payload, m.src, nil
+}
+
+// TryRecv is a non-blocking receive: it returns ok=false if no matching
+// message has been *sent* yet. Note that, matching MPI probe semantics on an
+// eager transport, a message counts as available as soon as the sender
+// enqueued it, even if its virtual arrival time is in this rank's future; the
+// clock still synchronizes with the arrival stamp.
+func (r *Rank) TryRecv(src, tag int) ([]byte, int, bool) {
+	m, ok := r.mailbox.tryGet(src, tag)
+	if !ok {
+		return nil, 0, false
+	}
+	r.clock.AdvanceTo(m.arrival)
+	r.clock.Advance(r.Network().RecvOverhead)
+	return m.payload, m.src, true
+}
+
+// AnySource matches any sending rank in Recv.
+const AnySource = -1

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// TraceEvent is one recorded transport event on the virtual timeline.
+type TraceEvent struct {
+	// Time is the acting rank's virtual clock when the event completed.
+	Time vtime.Duration
+	Rank int
+	// Kind is "send" or "recv".
+	Kind string
+	Peer int
+	Tag  int
+	Size int
+}
+
+// String renders one event compactly.
+func (e TraceEvent) String() string {
+	arrow := "->"
+	if e.Kind == "recv" {
+		arrow = "<-"
+	}
+	return fmt.Sprintf("%12v  r%d %s r%d  tag=%d  %dB", e.Time, e.Rank, arrow, e.Peer, e.Tag, e.Size)
+}
+
+// tracer collects events when enabled.
+type tracer struct {
+	mu     sync.Mutex
+	on     bool
+	events []TraceEvent
+}
+
+func (t *tracer) record(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.on {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// EnableTrace starts recording transport events. Tracing costs wall-clock
+// time but no virtual time, so traced and untraced runs have identical
+// simulated timelines.
+func (c *Cluster) EnableTrace() {
+	c.trace.mu.Lock()
+	c.trace.on = true
+	c.trace.events = nil
+	c.trace.mu.Unlock()
+}
+
+// DisableTrace stops recording.
+func (c *Cluster) DisableTrace() {
+	c.trace.mu.Lock()
+	c.trace.on = false
+	c.trace.mu.Unlock()
+}
+
+// Trace returns the recorded events ordered by virtual time (ties by rank,
+// then kind), giving a deterministic timeline of the last run.
+func (c *Cluster) Trace() []TraceEvent {
+	c.trace.mu.Lock()
+	out := append([]TraceEvent(nil), c.trace.events...)
+	c.trace.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// RenderTrace prints the timeline, at most limit lines (0 = all).
+func (c *Cluster) RenderTrace(limit int) string {
+	events := c.Trace()
+	if limit > 0 && len(events) > limit {
+		events = events[:limit]
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func pingPong(t *testing.T, c *Cluster) {
+	t.Helper()
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			if err := r.Send(1, 3, []byte("ping")); err != nil {
+				return err
+			}
+			_, _, err := r.Recv(1, 4)
+			return err
+		}
+		if r.ID() == 1 {
+			if _, _, err := r.Recv(0, 3); err != nil {
+				return err
+			}
+			return r.Send(0, 4, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRecordsTransport(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.EnableTrace()
+	pingPong(t, c)
+	events := c.Trace()
+	if len(events) != 4 { // 2 sends + 2 recvs
+		t.Fatalf("got %d events, want 4: %v", len(events), events)
+	}
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds["send"] != 2 || kinds["recv"] != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// Timeline ordering: monotone times.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatalf("trace not time-ordered at %d", i)
+		}
+	}
+	// A recv of the ping must carry its size.
+	found := false
+	for _, e := range events {
+		if e.Kind == "recv" && e.Rank == 1 && e.Size == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ping recv missing from trace: %v", events)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	c := New(DefaultConfig(1))
+	pingPong(t, c)
+	if got := c.Trace(); len(got) != 0 {
+		t.Fatalf("trace recorded %d events while disabled", len(got))
+	}
+}
+
+func TestTraceDoesNotChangeVirtualTime(t *testing.T) {
+	run := func(trace bool) float64 {
+		c := New(DefaultConfig(2))
+		if trace {
+			c.EnableTrace()
+		}
+		_, err := c.Run(func(r *Rank) error {
+			n := r.Size()
+			for round := 0; round < 5; round++ {
+				if err := r.Send((r.ID()+1)%n, round, make([]byte, 512)); err != nil {
+					return err
+				}
+				if _, _, err := r.Recv((r.ID()+n-1)%n, round); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.Makespan())
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("tracing changed the virtual timeline: %v vs %v", a, b)
+	}
+}
+
+func TestTraceDisableAndRender(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.EnableTrace()
+	pingPong(t, c)
+	c.Reset()
+	c.DisableTrace()
+	out := c.RenderTrace(2)
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("RenderTrace(2) printed %d lines", lines)
+	}
+	if !strings.Contains(out, "r0 -> r1") {
+		t.Fatalf("render missing send arrow: %q", out)
+	}
+	// Re-enabling clears old events.
+	c.EnableTrace()
+	if len(c.Trace()) != 0 {
+		t.Fatal("EnableTrace did not clear prior events")
+	}
+}

@@ -1,0 +1,487 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataformat"
+)
+
+// fig4 is the paper's Figure 4: data type description for the BLAST index.
+const fig4 = `
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>`
+
+// fig5 is the paper's Figure 5: data type description for graph edge lists.
+const fig5 = `
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>`
+
+// fig8 is the paper's Figure 8: the muBLASTP partitioning workflow.
+const fig8 = `
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="num_reducers" type="integer" value="3"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="$num_reducers">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="ouputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.ouputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+// fig10 is the paper's Figure 10: the PowerLyra hybrid-cut workflow.
+const fig10 = `
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="Group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=,$threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="DistrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+// fig7 is the paper's Figure 7: registration of a customized sort operator.
+const fig7 = `
+<prog id="Sort" type="operator" name="MapReduce sort operator">
+  <import classpath="/user/mr/sort" package="com.mr.sort" class="Sort"/>
+  <arguments>
+    <param name="inputPath" type="String"/>
+    <param name="outputPath" type="String"/>
+    <param name="keyId" type="KeyId"/>
+    <param name="ascending" type="boolean" default="true"/>
+  </arguments>
+</prog>`
+
+func TestParseInputFig4(t *testing.T) {
+	s, err := ParseInput([]byte(fig4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "blast_db" || !s.Binary || s.StartPosition != 32 {
+		t.Fatalf("schema = %+v", s)
+	}
+	if len(s.Fields) != 4 {
+		t.Fatalf("got %d fields", len(s.Fields))
+	}
+	names := []string{"seq_start", "seq_size", "desc_start", "desc_size"}
+	for i, f := range s.Fields {
+		if f.Name != names[i] || f.Type != dataformat.Integer {
+			t.Errorf("field %d = %+v", i, f)
+		}
+	}
+	if rs, err := s.RecordSize(); err != nil || rs != 16 {
+		t.Fatalf("record size = %d, %v; paper says 16 bytes", rs, err)
+	}
+}
+
+func TestParseInputFig5(t *testing.T) {
+	s, err := ParseInput([]byte(fig5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "graph_edge" || s.Binary {
+		t.Fatalf("schema = %+v", s)
+	}
+	if len(s.Fields) != 2 {
+		t.Fatalf("got %d fields", len(s.Fields))
+	}
+	if s.Fields[0].Delimiter != "\t" || s.Fields[1].Delimiter != "\n" {
+		t.Fatalf("delimiters = %q, %q", s.Fields[0].Delimiter, s.Fields[1].Delimiter)
+	}
+	if s.Fields[0].Type != dataformat.String {
+		t.Fatalf("vertex_a type = %v", s.Fields[0].Type)
+	}
+}
+
+func TestParseInputErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":        "<<<",
+		"missing format": `<input id="x"><element><value name="a" type="integer"/></element></input>`,
+		"unknown format": `<input id="x"><input_format>csv</input_format><element><value name="a" type="integer"/></element></input>`,
+		"bad start":      `<input id="x"><input_format>binary</input_format><start_position>-3</start_position><element><value name="a" type="integer"/></element></input>`,
+		"unknown type":   `<input id="x"><input_format>binary</input_format><element><value name="a" type="float"/></element></input>`,
+		"orphan delim":   `<input id="x"><input_format>text</input_format><element><delimiter value=","/><value name="a" type="String"/></element></input>`,
+		"no fields":      `<input id="x"><input_format>binary</input_format><element/></input>`,
+		"unknown child":  `<input id="x"><input_format>binary</input_format><element><widget/></element></input>`,
+		"string ino bin": `<input id="x"><input_format>binary</input_format><element><value name="a" type="String"/></element></input>`,
+		"text no delim":  `<input id="x"><input_format>text</input_format><element><value name="a" type="String"/></element></input>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseInput([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestUnescapeDelimiter(t *testing.T) {
+	cases := map[string]string{
+		`\t`: "\t", `\n`: "\n", `\r`: "\r", `\\`: `\`, `,`: ",", `::`: "::",
+	}
+	for in, want := range cases {
+		if got := unescapeDelimiter(in); got != want {
+			t.Errorf("unescapeDelimiter(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseWorkflowFig8(t *testing.T) {
+	w, err := ParseWorkflow([]byte(fig8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ID != "blast_partition" || len(w.Arguments) != 4 || len(w.Operators) != 2 {
+		t.Fatalf("workflow = %+v", w)
+	}
+	sortOp, ok := w.OperatorByID("sort")
+	if !ok || sortOp.Operator != "Sort" {
+		t.Fatalf("sort op = %+v", sortOp)
+	}
+	if sortOp.ParamValue("key") != "seq_size" {
+		t.Fatalf("sort key = %q", sortOp.ParamValue("key"))
+	}
+	distr, _ := w.OperatorByID("distr")
+	if distr.ParamValue("distrPolicy") != "roundRobin" {
+		t.Fatalf("distr policy = %q", distr.ParamValue("distrPolicy"))
+	}
+	if arg, ok := w.Argument("num_reducers"); !ok || arg.Value != "3" {
+		t.Fatalf("num_reducers = %+v", arg)
+	}
+}
+
+func TestParseWorkflowFig10(t *testing.T) {
+	w, err := ParseWorkflow([]byte(fig10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Operators) != 3 {
+		t.Fatalf("got %d operators", len(w.Operators))
+	}
+	group, _ := w.OperatorByID("group")
+	if len(group.AddOns) != 1 {
+		t.Fatalf("group addons = %+v", group.AddOns)
+	}
+	a := group.AddOns[0]
+	if a.Operator != "count" || a.Key != "vertex_b" || a.Attr != "indegree" {
+		t.Fatalf("addon = %+v", a)
+	}
+	if group.OutputFormats[0] != "pack" {
+		t.Fatalf("group output format = %v", group.OutputFormats)
+	}
+	split, _ := w.OperatorByID("split")
+	if len(split.OutputFormats) != 2 || split.OutputFormats[0] != "unpack" || split.OutputFormats[1] != "orig" {
+		t.Fatalf("split output formats = %v", split.OutputFormats)
+	}
+}
+
+func TestParseWorkflowErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml": "<<<",
+		"no id":   `<workflow><operators><operator id="a" operator="Sort"/></operators></workflow>`,
+		"no ops":  `<workflow id="w"><operators></operators></workflow>`,
+		"dup op": `<workflow id="w"><operators>
+			<operator id="a" operator="Sort"/><operator id="a" operator="Sort"/></operators></workflow>`,
+		"op no class": `<workflow id="w"><operators><operator id="a"/></operators></workflow>`,
+		"op no id":    `<workflow id="w"><operators><operator operator="Sort"/></operators></workflow>`,
+		"dup arg": `<workflow id="w"><arguments><param name="x"/><param name="x"/></arguments>
+			<operators><operator id="a" operator="Sort"/></operators></workflow>`,
+		"unnamed arg": `<workflow id="w"><arguments><param/></arguments>
+			<operators><operator id="a" operator="Sort"/></operators></workflow>`,
+		"bad reducers": `<workflow id="w"><operators><operator id="a" operator="Sort" num_reducers="lots"/></operators></workflow>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseWorkflow([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestNumReducersLiteralAndReference(t *testing.T) {
+	w, err := ParseWorkflow([]byte(strings.Replace(fig8,
+		`num_reducers="$num_reducers"`, `num_reducers="5"`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortOp, _ := w.OperatorByID("sort")
+	if sortOp.NumReducers != 5 {
+		t.Fatalf("literal num_reducers = %d", sortOp.NumReducers)
+	}
+
+	w2, err := ParseWorkflow([]byte(fig8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortOp2, _ := w2.OperatorByID("sort")
+	if sortOp2.NumReducers != 0 {
+		t.Fatalf("referenced num_reducers should defer, got %d", sortOp2.NumReducers)
+	}
+	r, err := NewResolver(w2, map[string]string{"num_partitions": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.ResolveInt(sortOp2.ParamValue("num_reducers")); err != nil || n != 3 {
+		t.Fatalf("resolved num_reducers = %d, %v", n, err)
+	}
+}
+
+func TestResolverArguments(t *testing.T) {
+	w, err := ParseWorkflow([]byte(fig8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResolver(w, map[string]string{
+		"input_path":     "/data/env_nr.db",
+		"output_path":    "/out",
+		"num_partitions": "32",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortOp, _ := w.OperatorByID("sort")
+	if got, err := r.Resolve(sortOp.ParamValue("inputPath")); err != nil || got != "/data/env_nr.db" {
+		t.Fatalf("inputPath = %q, %v", got, err)
+	}
+	distr, _ := w.OperatorByID("distr")
+	// $sort.ouputPath — the paper's own spelling — must find the sort job's
+	// output parameter.
+	if got, err := r.Resolve(distr.ParamValue("inputPath")); err != nil || got != "/user/sort_output" {
+		t.Fatalf("$sort.ouputPath = %q, %v", got, err)
+	}
+	if got, err := r.ResolveInt(distr.ParamValue("numPartitions")); err != nil || got != 32 {
+		t.Fatalf("numPartitions = %d, %v", got, err)
+	}
+	// File-bound value (num_reducers=3) without runtime override.
+	if v, ok := r.Arg("num_reducers"); !ok || v != "3" {
+		t.Fatalf("num_reducers arg = %q, %v", v, ok)
+	}
+}
+
+func TestResolverAddOnAttribute(t *testing.T) {
+	w, err := ParseWorkflow([]byte(fig10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResolver(w, map[string]string{
+		"input_file": "/g.txt", "output_path": "/out",
+		"num_partitions": "4", "threshold": "200",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _ := w.OperatorByID("split")
+	// $group.$indegree resolves to the attribute name produced by the
+	// count add-on.
+	if got, err := r.Resolve(split.ParamValue("key")); err != nil || got != "indegree" {
+		t.Fatalf("$group.$indegree = %q, %v", got, err)
+	}
+	if _, err := r.Resolve("$group.$nosuch"); err == nil {
+		t.Error("unknown add-on attribute resolved")
+	}
+}
+
+func TestResolverErrors(t *testing.T) {
+	w, _ := ParseWorkflow([]byte(fig8))
+	if _, err := NewResolver(w, map[string]string{"bogus": "1"}); err == nil {
+		t.Error("undeclared runtime argument accepted")
+	}
+	r, _ := NewResolver(w, nil)
+	for _, ref := range []string{"$", "$nope", "$nojob.param", "$sort.nope", "$num_partitions"} {
+		if _, err := r.Resolve(ref); err == nil {
+			t.Errorf("Resolve(%q) succeeded", ref)
+		}
+	}
+	if _, err := r.ResolveInt("$input_path"); err == nil {
+		t.Error("ResolveInt of unbound arg succeeded")
+	}
+	r2, _ := NewResolver(w, map[string]string{"input_path": "abc"})
+	if _, err := r2.ResolveInt("$input_path"); err == nil {
+		t.Error("ResolveInt of non-numeric succeeded")
+	}
+}
+
+func TestResolvePassthrough(t *testing.T) {
+	w, _ := ParseWorkflow([]byte(fig8))
+	r, _ := NewResolver(w, nil)
+	if got, err := r.Resolve("  literal "); err != nil || got != "literal" {
+		t.Fatalf("passthrough = %q, %v", got, err)
+	}
+}
+
+func TestParseOperatorProgFig7(t *testing.T) {
+	p, err := ParseOperatorProg([]byte(fig7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "Sort" || p.Import.Class != "Sort" || p.Import.Package != "com.mr.sort" {
+		t.Fatalf("prog = %+v", p)
+	}
+	if len(p.Params) != 4 {
+		t.Fatalf("got %d params", len(p.Params))
+	}
+	if p.Params[3].Name != "ascending" || p.Params[3].Default != "true" {
+		t.Fatalf("ascending param = %+v", p.Params[3])
+	}
+}
+
+func TestParseOperatorProgErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":  "<<<",
+		"no id":    `<prog type="operator"><import class="X"/></prog>`,
+		"bad type": `<prog id="X" type="job"><import class="X"/></prog>`,
+		"no class": `<prog id="X" type="operator"><import/></prog>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseOperatorProg([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+// nestedInput exercises the §III-A derived-type support: a nested element's
+// fields flatten into the parent schema with dotted names.
+const nestedInput = `
+<input id="reads" name="sequencing reads">
+  <input_format>binary</input_format>
+  <element>
+    <value name="id" type="long"/>
+    <element name="span">
+      <value name="start" type="integer"/>
+      <value name="end" type="integer"/>
+    </element>
+    <value name="flags" type="integer"/>
+  </element>
+</input>`
+
+func TestParseInputNestedElements(t *testing.T) {
+	s, err := ParseInput([]byte(nestedInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range s.Fields {
+		names = append(names, f.Name)
+	}
+	want := []string{"id", "span.start", "span.end", "flags"}
+	if len(names) != len(want) {
+		t.Fatalf("fields = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("fields = %v, want %v", names, want)
+		}
+	}
+	if rs, err := s.RecordSize(); err != nil || rs != 8+4+4+4 {
+		t.Fatalf("record size = %d, %v", rs, err)
+	}
+}
+
+func TestParseInputDeeplyNested(t *testing.T) {
+	doc := `
+<input id="x" name="x">
+  <input_format>binary</input_format>
+  <element>
+    <element name="a">
+      <element name="b">
+        <value name="v" type="integer"/>
+      </element>
+    </element>
+  </element>
+</input>`
+	s, err := ParseInput([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields[0].Name != "a.b.v" {
+		t.Fatalf("field = %q, want a.b.v", s.Fields[0].Name)
+	}
+}
+
+func TestParseInputNestedUnnamedRejected(t *testing.T) {
+	doc := `
+<input id="x" name="x">
+  <input_format>binary</input_format>
+  <element>
+    <element>
+      <value name="v" type="integer"/>
+    </element>
+  </element>
+</input>`
+	if _, err := ParseInput([]byte(doc)); err == nil {
+		t.Fatal("unnamed nested element accepted")
+	}
+}
+
+func TestParseInputNestedTextWithDelimiters(t *testing.T) {
+	doc := `
+<input id="x" name="x">
+  <input_format>text</input_format>
+  <element>
+    <element name="pos">
+      <value name="x" type="long"/>
+      <delimiter value=","/>
+      <value name="y" type="long"/>
+      <delimiter value="\t"/>
+    </element>
+    <value name="label" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>`
+	s, err := ParseInput([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields[0].Name != "pos.x" || s.Fields[0].Delimiter != "," {
+		t.Fatalf("field 0 = %+v", s.Fields[0])
+	}
+	if s.Fields[2].Name != "label" || s.Fields[2].Delimiter != "\n" {
+		t.Fatalf("field 2 = %+v", s.Fields[2])
+	}
+}

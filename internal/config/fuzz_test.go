@@ -1,0 +1,37 @@
+package config
+
+import "testing"
+
+// The two configuration parsers are the framework's only untrusted inputs;
+// they must reject garbage with errors, never panic.
+
+func FuzzParseInput(f *testing.F) {
+	f.Add(fig4)
+	f.Add(fig5)
+	f.Add("<input>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := ParseInput([]byte(doc))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted schema fails its own validation: %v", err)
+		}
+	})
+}
+
+func FuzzParseWorkflow(f *testing.F) {
+	f.Add(fig8)
+	f.Add(fig10)
+	f.Add("<workflow/>")
+	f.Fuzz(func(t *testing.T, doc string) {
+		w, err := ParseWorkflow([]byte(doc))
+		if err != nil {
+			return
+		}
+		if w.ID == "" || len(w.Operators) == 0 {
+			t.Fatal("accepted workflow violates its invariants")
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package config parses PaPar's user-facing configuration files: the input
+// data description (paper Fig. 4 and Fig. 5), the workflow description
+// (Fig. 8 and Fig. 10), and the custom-operator registration file (Fig. 7).
+//
+// These XML files are the whole user interface of the framework — PaPar is
+// "programming-free" (§III-A): the user describes the data and the desired
+// operator pipeline, and the framework generates the parallel partitioner.
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataformat"
+)
+
+// ParseInput parses an <input> document into a dataformat.Schema.
+func ParseInput(data []byte) (*dataformat.Schema, error) {
+	var doc inputDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("config: parsing input description: %w", err)
+	}
+	return doc.toSchema()
+}
+
+type inputDoc struct {
+	XMLName       xml.Name     `xml:"input"`
+	ID            string       `xml:"id,attr"`
+	Name          string       `xml:"name,attr"`
+	InputFormat   string       `xml:"input_format"`
+	StartPosition string       `xml:"start_position"`
+	Element       inputElement `xml:"element"`
+}
+
+// inputElement preserves the document order of <value>, <delimiter> and
+// nested <element> children. Nested elements describe derived data types
+// (§III-A: "for derived data types, users may need to declare the nested
+// elements in the configuration file"); their fields flatten into the
+// parent schema with dotted names (outer.inner).
+type inputElement struct {
+	Name  string
+	items []elementItem
+}
+
+type elementItem struct {
+	// exactly one of the three is set
+	value  *valueDecl
+	delim  string
+	nested *inputElement
+}
+
+type valueDecl struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// UnmarshalXML walks the element's children in order.
+func (e *inputElement) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for _, a := range start.Attr {
+		if a.Name.Local == "name" {
+			e.Name = a.Value
+		}
+	}
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return fmt.Errorf("unterminated <element>")
+		}
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "value":
+				var v valueDecl
+				if err := d.DecodeElement(&v, &t); err != nil {
+					return err
+				}
+				e.items = append(e.items, elementItem{value: &v})
+			case "delimiter":
+				var del struct {
+					Value string `xml:"value,attr"`
+				}
+				if err := d.DecodeElement(&del, &t); err != nil {
+					return err
+				}
+				e.items = append(e.items, elementItem{delim: unescapeDelimiter(del.Value)})
+			case "element":
+				var nested inputElement
+				if err := nested.UnmarshalXML(d, t); err != nil {
+					return err
+				}
+				if nested.Name == "" {
+					return fmt.Errorf("nested <element> needs a name attribute")
+				}
+				e.items = append(e.items, elementItem{nested: &nested})
+			default:
+				return fmt.Errorf("unknown element child <%s>", t.Name.Local)
+			}
+		case xml.EndElement:
+			if t.Name == start.Name {
+				return nil
+			}
+		}
+	}
+}
+
+// unescapeDelimiter turns the configuration spellings "\t" and "\n" (literal
+// backslash sequences, as in the paper's Figure 5) into real characters.
+func unescapeDelimiter(s string) string {
+	r := strings.NewReplacer(`\t`, "\t", `\n`, "\n", `\r`, "\r", `\\`, `\`)
+	return r.Replace(s)
+}
+
+func (d *inputDoc) toSchema() (*dataformat.Schema, error) {
+	s := &dataformat.Schema{ID: d.ID, Name: d.Name}
+	switch strings.TrimSpace(d.InputFormat) {
+	case "binary":
+		s.Binary = true
+	case "text":
+		s.Binary = false
+	case "":
+		return nil, fmt.Errorf("config: input %q: missing <input_format>", d.ID)
+	default:
+		return nil, fmt.Errorf("config: input %q: unknown input_format %q", d.ID, d.InputFormat)
+	}
+	if sp := strings.TrimSpace(d.StartPosition); sp != "" {
+		v, err := strconv.ParseInt(sp, 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("config: input %q: bad start_position %q", d.ID, sp)
+		}
+		s.StartPosition = v
+	}
+
+	var pendingValue *valueDecl
+	flush := func(delim string) error {
+		if pendingValue == nil {
+			if delim != "" {
+				return fmt.Errorf("config: input %q: delimiter with no preceding value", d.ID)
+			}
+			return nil
+		}
+		ft, err := dataformat.ParseFieldType(pendingValue.Type)
+		if err != nil {
+			return fmt.Errorf("config: input %q field %q: %w", d.ID, pendingValue.Name, err)
+		}
+		s.Fields = append(s.Fields, dataformat.Field{Name: pendingValue.Name, Type: ft, Delimiter: delim})
+		pendingValue = nil
+		return nil
+	}
+	// walk flattens the element tree in document order; nested element
+	// fields get dotted names (prefix.name).
+	var walk func(e *inputElement, prefix string) error
+	walk = func(e *inputElement, prefix string) error {
+		for _, item := range e.items {
+			switch {
+			case item.value != nil:
+				// Two values in a row: the first had no delimiter (binary).
+				if err := flush(""); err != nil {
+					return err
+				}
+				v := *item.value
+				if prefix != "" {
+					v.Name = prefix + "." + v.Name
+				}
+				pendingValue = &v
+			case item.nested != nil:
+				if err := flush(""); err != nil {
+					return err
+				}
+				sub := prefix
+				if sub != "" {
+					sub += "."
+				}
+				if err := walk(item.nested, sub+item.nested.Name); err != nil {
+					return err
+				}
+			default:
+				if err := flush(item.delim); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(&d.Element, ""); err != nil {
+		return nil, err
+	}
+	if err := flush(""); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,73 @@
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// OperatorProg is the parsed <prog> document that registers a user-defined
+// operator (paper Fig. 7): where the implementation lives and what arguments
+// the framework must pass when invoking it.
+type OperatorProg struct {
+	ID   string
+	Type string
+	Name string
+	// Import locates the implementation. In the paper this is a Java
+	// classpath; in this reproduction it names a Go constructor registered
+	// in the core operator registry.
+	Import ImportDecl
+	Params []Param
+}
+
+// ImportDecl mirrors the <import> element.
+type ImportDecl struct {
+	ClassPath string
+	Package   string
+	Class     string
+}
+
+// ParseOperatorProg parses a <prog> registration document.
+func ParseOperatorProg(data []byte) (*OperatorProg, error) {
+	var doc progDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("config: parsing operator registration: %w", err)
+	}
+	p := &OperatorProg{
+		ID:   doc.ID,
+		Type: doc.Type,
+		Name: doc.Name,
+		Import: ImportDecl{
+			ClassPath: doc.Import.ClassPath,
+			Package:   doc.Import.Package,
+			Class:     doc.Import.Class,
+		},
+	}
+	for _, pd := range doc.Arguments.Params {
+		p.Params = append(p.Params, pd.toParam())
+	}
+	if p.ID == "" {
+		return nil, fmt.Errorf("config: operator registration has no id")
+	}
+	if p.Type != "operator" {
+		return nil, fmt.Errorf("config: registration %q has type %q, want \"operator\"", p.ID, p.Type)
+	}
+	if p.Import.Class == "" {
+		return nil, fmt.Errorf("config: registration %q names no implementation class", p.ID)
+	}
+	return p, nil
+}
+
+type progDoc struct {
+	XMLName xml.Name `xml:"prog"`
+	ID      string   `xml:"id,attr"`
+	Type    string   `xml:"type,attr"`
+	Name    string   `xml:"name,attr"`
+	Import  struct {
+		ClassPath string `xml:"classpath,attr"`
+		Package   string `xml:"package,attr"`
+		Class     string `xml:"class,attr"`
+	} `xml:"import"`
+	Arguments struct {
+		Params []paramDecl `xml:"param"`
+	} `xml:"arguments"`
+}

@@ -1,0 +1,126 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Resolver substitutes $-references in workflow parameter values (§III-C:
+// "We use the symbol $ to represent the variable coming from intermediate
+// data", e.g. "$sort.outputPath" or "$num_partitions").
+//
+// Two reference forms exist:
+//
+//	$name          — a workflow argument (bound at launch or in the file)
+//	$job.name      — a parameter of an earlier operator job
+//	$job.$attr     — an attribute produced by an earlier job's add-on
+//	                 (e.g. "$group.$indegree"); resolves to the attribute
+//	                 name itself, which downstream operators look up in the
+//	                 intermediate schema.
+type Resolver struct {
+	wf   *Workflow
+	args map[string]string
+}
+
+// NewResolver binds runtime argument values over the workflow's declared
+// arguments. Missing runtime values fall back to the file's value=, then
+// default=.
+func NewResolver(wf *Workflow, runtimeArgs map[string]string) (*Resolver, error) {
+	args := make(map[string]string, len(wf.Arguments))
+	for _, a := range wf.Arguments {
+		switch {
+		case runtimeArgs[a.Name] != "":
+			args[a.Name] = runtimeArgs[a.Name]
+		case a.Value != "":
+			args[a.Name] = a.Value
+		case a.Default != "":
+			args[a.Name] = a.Default
+		}
+	}
+	for name := range runtimeArgs {
+		if _, declared := wf.Argument(name); !declared {
+			return nil, fmt.Errorf("config: runtime argument %q is not declared by workflow %q", name, wf.ID)
+		}
+	}
+	return &Resolver{wf: wf, args: args}, nil
+}
+
+// Arg returns the bound value of a workflow argument.
+func (r *Resolver) Arg(name string) (string, bool) {
+	v, ok := r.args[name]
+	return v, ok
+}
+
+// Resolve expands a single parameter value. Non-$ values pass through.
+func (r *Resolver) Resolve(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if !strings.HasPrefix(raw, "$") {
+		return raw, nil
+	}
+	body := raw[1:]
+	if body == "" {
+		return "", fmt.Errorf("config: empty $-reference")
+	}
+	// $job.name or $job.$attr
+	if dot := strings.IndexByte(body, '.'); dot >= 0 {
+		jobID, rest := body[:dot], body[dot+1:]
+		op, ok := r.wf.OperatorByID(jobID)
+		if !ok {
+			return "", fmt.Errorf("config: $-reference %q names unknown job %q", raw, jobID)
+		}
+		if strings.HasPrefix(rest, "$") {
+			// Add-on attribute reference: resolve to the attribute name,
+			// checking the job actually declares it.
+			attr := rest[1:]
+			for _, a := range op.AddOns {
+				if a.Attr == attr {
+					return attr, nil
+				}
+			}
+			return "", fmt.Errorf("config: job %q declares no add-on attribute %q", jobID, attr)
+		}
+		// Tolerate the paper's own typos: Fig. 8 writes "ouputPath" in one
+		// place and "outputPath" in another. Match case-insensitively with
+		// an alias for the common misspelling.
+		if v := opParamFuzzy(op, rest); v != "" {
+			return r.Resolve(v) // parameter values may themselves be references
+		}
+		return "", fmt.Errorf("config: job %q has no parameter %q", jobID, rest)
+	}
+	// $name — workflow argument
+	if v, ok := r.args[body]; ok {
+		return v, nil
+	}
+	if _, declared := r.wf.Argument(body); declared {
+		return "", fmt.Errorf("config: workflow argument %q has no value bound", body)
+	}
+	return "", fmt.Errorf("config: unknown workflow argument %q", body)
+}
+
+// ResolveInt resolves a value and parses it as an integer.
+func (r *Resolver) ResolveInt(raw string) (int, error) {
+	s, err := r.Resolve(raw)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return 0, fmt.Errorf("config: %q does not resolve to an integer (got %q)", raw, s)
+	}
+	return n, nil
+}
+
+func opParamFuzzy(op *OperatorDecl, name string) string {
+	if p, ok := op.Param(name); ok {
+		return p.Value
+	}
+	lower := strings.ToLower(name)
+	alias := map[string]string{"outputpath": "ouputpath", "ouputpath": "outputpath"}
+	for _, p := range op.Params {
+		pl := strings.ToLower(p.Name)
+		if pl == lower || pl == alias[lower] {
+			return p.Value
+		}
+	}
+	return ""
+}

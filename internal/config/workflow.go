@@ -1,0 +1,203 @@
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// Workflow is the parsed <workflow> document: the declaration of a
+// partitioning algorithm as a sequence of operator jobs (paper Fig. 8 for
+// muBLASTP, Fig. 10 for the PowerLyra hybrid-cut).
+type Workflow struct {
+	ID        string
+	Name      string
+	Arguments []Param
+	Operators []OperatorDecl
+}
+
+// Param is one <param> declaration: workflow-level arguments carry a type
+// and optionally a bound value and an input-format reference; operator-level
+// params carry values (possibly $-references).
+type Param struct {
+	Name    string
+	Type    string
+	Value   string
+	Default string
+	// Format references an <input id=...> schema for hdfs params.
+	Format string
+}
+
+// OperatorDecl is one <operator> element: which registered operator runs,
+// its parameters, and its attached add-on operators.
+type OperatorDecl struct {
+	ID       string
+	Operator string
+	// NumReducers overrides the workflow-level reducer count for this job
+	// (the num_reducers attribute from Fig. 8); 0 means inherit.
+	NumReducers int
+	Params      []Param
+	AddOns      []AddOnDecl
+	// OutputFormats holds the per-output format operators (orig, pack,
+	// unpack) pulled from param format attributes.
+	OutputFormats []string
+}
+
+// AddOnDecl is one <addon> element: an add-on operator (count, max, ...)
+// cooperating with the enclosing basic operator, producing a new attribute.
+type AddOnDecl struct {
+	Operator string
+	Key      string
+	Value    string
+	Attr     string
+}
+
+// Param returns the named operator parameter and whether it exists.
+func (o *OperatorDecl) Param(name string) (Param, bool) {
+	for _, p := range o.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// ParamValue returns the named parameter's value or the empty string.
+func (o *OperatorDecl) ParamValue(name string) string {
+	p, _ := o.Param(name)
+	return p.Value
+}
+
+// Argument returns the named workflow argument and whether it exists.
+func (w *Workflow) Argument(name string) (Param, bool) {
+	for _, p := range w.Arguments {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// OperatorByID returns the named job declaration.
+func (w *Workflow) OperatorByID(id string) (*OperatorDecl, bool) {
+	for i := range w.Operators {
+		if w.Operators[i].ID == id {
+			return &w.Operators[i], true
+		}
+	}
+	return nil, false
+}
+
+// ParseWorkflow parses a <workflow> document.
+func ParseWorkflow(data []byte) (*Workflow, error) {
+	var doc workflowDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("config: parsing workflow: %w", err)
+	}
+	w := &Workflow{ID: doc.ID, Name: doc.Name}
+	for _, p := range doc.Arguments.Params {
+		w.Arguments = append(w.Arguments, p.toParam())
+	}
+	for _, op := range doc.Operators.Operators {
+		decl := OperatorDecl{ID: op.ID, Operator: op.Operator}
+		if nr := strings.TrimSpace(op.NumReducers); nr != "" && !strings.HasPrefix(nr, "$") {
+			if _, err := fmt.Sscanf(nr, "%d", &decl.NumReducers); err != nil {
+				return nil, fmt.Errorf("config: operator %q: bad num_reducers %q", op.ID, nr)
+			}
+		} else if strings.HasPrefix(nr, "$") {
+			// Deferred to resolution time; keep as param.
+			decl.Params = append(decl.Params, Param{Name: "num_reducers", Value: nr})
+		}
+		for _, p := range op.Params {
+			pp := p.toParam()
+			decl.Params = append(decl.Params, pp)
+			if pp.Format != "" {
+				for _, f := range strings.Split(pp.Format, ",") {
+					decl.OutputFormats = append(decl.OutputFormats, strings.TrimSpace(f))
+				}
+			}
+		}
+		for _, a := range op.AddOns {
+			decl.AddOns = append(decl.AddOns, AddOnDecl{
+				Operator: a.Operator, Key: a.Key, Value: a.Value, Attr: a.Attr,
+			})
+		}
+		w.Operators = append(w.Operators, decl)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Workflow) validate() error {
+	if w.ID == "" {
+		return fmt.Errorf("config: workflow has no id")
+	}
+	if len(w.Operators) == 0 {
+		return fmt.Errorf("config: workflow %q declares no operators", w.ID)
+	}
+	seen := map[string]bool{}
+	for _, op := range w.Operators {
+		if op.ID == "" {
+			return fmt.Errorf("config: workflow %q has an operator without id", w.ID)
+		}
+		if seen[op.ID] {
+			return fmt.Errorf("config: workflow %q has duplicate operator id %q", w.ID, op.ID)
+		}
+		seen[op.ID] = true
+		if op.Operator == "" {
+			return fmt.Errorf("config: operator %q does not name an operator class", op.ID)
+		}
+	}
+	seenArg := map[string]bool{}
+	for _, a := range w.Arguments {
+		if a.Name == "" {
+			return fmt.Errorf("config: workflow %q has an unnamed argument", w.ID)
+		}
+		if seenArg[a.Name] {
+			return fmt.Errorf("config: workflow %q has duplicate argument %q", w.ID, a.Name)
+		}
+		seenArg[a.Name] = true
+	}
+	return nil
+}
+
+type workflowDoc struct {
+	XMLName   xml.Name `xml:"workflow"`
+	ID        string   `xml:"id,attr"`
+	Name      string   `xml:"name,attr"`
+	Arguments struct {
+		Params []paramDecl `xml:"param"`
+	} `xml:"arguments"`
+	Operators struct {
+		Operators []operatorDecl `xml:"operator"`
+	} `xml:"operators"`
+}
+
+type paramDecl struct {
+	Name    string `xml:"name,attr"`
+	Type    string `xml:"type,attr"`
+	Value   string `xml:"value,attr"`
+	Default string `xml:"default,attr"`
+	Format  string `xml:"format,attr"`
+}
+
+func (p paramDecl) toParam() Param {
+	return Param{Name: p.Name, Type: p.Type, Value: p.Value, Default: p.Default, Format: p.Format}
+}
+
+type operatorDecl struct {
+	ID          string      `xml:"id,attr"`
+	Operator    string      `xml:"operator,attr"`
+	NumReducers string      `xml:"num_reducers,attr"`
+	Params      []paramDecl `xml:"param"`
+	AddOns      []addonDecl `xml:"addon"`
+}
+
+type addonDecl struct {
+	Operator string `xml:"operator,attr"`
+	Key      string `xml:"key,attr"`
+	Value    string `xml:"value,attr"`
+	Attr     string `xml:"attr,attr"`
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataformat"
+)
+
+// AddOn is an add-on operator (§III-B Table I): it computes one aggregate
+// over the elements sharing a key and appends the result as a new attribute.
+// Add-ons cannot form a job by themselves; a basic operator hosts them.
+type AddOn interface {
+	// Name is the configuration spelling ("count", "max", ...).
+	Name() string
+	// Compute aggregates over the group's rows. valueIdx is the column the
+	// aggregate reads (-1 for count, which needs no column).
+	Compute(rows []Row, valueIdx int) (dataformat.Value, error)
+	// NeedsValue reports whether the add-on reads a value column.
+	NeedsValue() bool
+}
+
+// addOnRegistry maps configuration names to constructors. Users extend it
+// through RegisterAddOn (the Fig. 7 mechanism applied to add-ons).
+var addOnRegistry = map[string]func() AddOn{}
+
+// RegisterAddOn installs a user-defined add-on operator. It panics on
+// duplicates, which are programmer errors.
+func RegisterAddOn(name string, ctor func() AddOn) {
+	if _, dup := addOnRegistry[name]; dup {
+		panic(fmt.Sprintf("core: add-on %q registered twice", name))
+	}
+	addOnRegistry[name] = ctor
+}
+
+// NewAddOn instantiates a registered add-on by name.
+func NewAddOn(name string) (AddOn, error) {
+	ctor, ok := addOnRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown add-on operator %q", name)
+	}
+	return ctor(), nil
+}
+
+// AddOnNames lists the registered add-ons (for documentation and error
+// messages).
+func AddOnNames() []string {
+	out := make([]string, 0, len(addOnRegistry))
+	for k := range addOnRegistry {
+		out = append(out, k)
+	}
+	return out
+}
+
+func init() {
+	RegisterAddOn("count", func() AddOn { return countAddOn{} })
+	RegisterAddOn("max", func() AddOn { return maxAddOn{} })
+	RegisterAddOn("min", func() AddOn { return minAddOn{} })
+	RegisterAddOn("mean", func() AddOn { return meanAddOn{} })
+	RegisterAddOn("sum", func() AddOn { return sumAddOn{} })
+}
+
+// countAddOn counts the elements with the key — e.g. the vertex indegree in
+// the hybrid-cut workflow.
+type countAddOn struct{}
+
+func (countAddOn) Name() string     { return "count" }
+func (countAddOn) NeedsValue() bool { return false }
+func (countAddOn) Compute(rows []Row, _ int) (dataformat.Value, error) {
+	return dataformat.IntVal(int64(len(rows))), nil
+}
+
+func groupInts(rows []Row, valueIdx int) ([]int64, error) {
+	if valueIdx < 0 {
+		return nil, fmt.Errorf("core: add-on needs a value column")
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		if valueIdx >= len(r.Values) {
+			return nil, fmt.Errorf("core: row has no column %d", valueIdx)
+		}
+		v, err := r.Values[valueIdx].AsInt()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type maxAddOn struct{}
+
+func (maxAddOn) Name() string     { return "max" }
+func (maxAddOn) NeedsValue() bool { return true }
+func (maxAddOn) Compute(rows []Row, valueIdx int) (dataformat.Value, error) {
+	vs, err := groupInts(rows, valueIdx)
+	if err != nil {
+		return dataformat.Value{}, err
+	}
+	if len(vs) == 0 {
+		return dataformat.Value{}, fmt.Errorf("core: max of empty group")
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return dataformat.IntVal(m), nil
+}
+
+type minAddOn struct{}
+
+func (minAddOn) Name() string     { return "min" }
+func (minAddOn) NeedsValue() bool { return true }
+func (minAddOn) Compute(rows []Row, valueIdx int) (dataformat.Value, error) {
+	vs, err := groupInts(rows, valueIdx)
+	if err != nil {
+		return dataformat.Value{}, err
+	}
+	if len(vs) == 0 {
+		return dataformat.Value{}, fmt.Errorf("core: min of empty group")
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return dataformat.IntVal(m), nil
+}
+
+type sumAddOn struct{}
+
+func (sumAddOn) Name() string     { return "sum" }
+func (sumAddOn) NeedsValue() bool { return true }
+func (sumAddOn) Compute(rows []Row, valueIdx int) (dataformat.Value, error) {
+	vs, err := groupInts(rows, valueIdx)
+	if err != nil {
+		return dataformat.Value{}, err
+	}
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	return dataformat.IntVal(s), nil
+}
+
+type meanAddOn struct{}
+
+func (meanAddOn) Name() string     { return "mean" }
+func (meanAddOn) NeedsValue() bool { return true }
+func (meanAddOn) Compute(rows []Row, valueIdx int) (dataformat.Value, error) {
+	vs, err := groupInts(rows, valueIdx)
+	if err != nil {
+		return dataformat.Value{}, err
+	}
+	if len(vs) == 0 {
+		return dataformat.Value{}, fmt.Errorf("core: mean of empty group")
+	}
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	// Integer mean, truncating toward zero; attributes stay integers so the
+	// packed wire format is uniform.
+	return dataformat.IntVal(s / int64(len(vs))), nil
+}

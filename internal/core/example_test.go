@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataformat"
+)
+
+// ExampleParseSplitPolicy parses the Fig. 10 split policy syntax.
+func ExampleParseSplitPolicy() {
+	conds, err := core.ParseSplitPolicy("{>=,200},{<,200}")
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range conds {
+		fmt.Printf("%s matches 250: %v\n", c, c.Eval(250))
+	}
+	// Output:
+	// {>=,200} matches 250: true
+	// {<,200} matches 250: false
+}
+
+// ExampleFramework_CompileWorkflowConfig shows the whole front end: register
+// an input description, compile a workflow, inspect the generated plan.
+func ExampleFramework_CompileWorkflowConfig() {
+	fw := core.NewFramework()
+	if _, err := fw.RegisterInputConfig([]byte(`
+<input id="pairs" name="pairs">
+  <input_format>text</input_format>
+  <element>
+    <value name="k" type="long"/>
+    <delimiter value="\t"/>
+    <value name="v" type="long"/>
+    <delimiter value="\n"/>
+  </element>
+</input>`)); err != nil {
+		panic(err)
+	}
+	plan, err := fw.CompileWorkflowConfig([]byte(`
+<workflow id="demo" name="sort pairs">
+  <arguments>
+    <param name="input_path" type="hdfs" format="pairs"/>
+    <param name="output_path" type="hdfs" format="pairs"/>
+    <param name="num_partitions" type="integer" value="2"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="key" type="KeyId" value="k"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="distrPolicy" type="DistrPolicy" value="cyclic"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`), map[string]string{"input_path": "/data", "output_path": "/parts"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan.Describe())
+	// Output:
+	// workflow demo (sort pairs): input=/data output=/parts partitions=2
+	//   job 1: sort[sort] key=k asc reducers=0
+	//   job 2: distribute[distr] policy=cyclic partitions=2 input=current
+}
+
+// ExampleRow_String shows the paper's tuple notation.
+func ExampleRow_String() {
+	r := core.Row{Values: []dataformat.Value{
+		dataformat.IntVal(0), dataformat.IntVal(94), dataformat.IntVal(0), dataformat.IntVal(74),
+	}}
+	fmt.Println(r)
+	// Output: {0, 94, 0, 74}
+}

@@ -1,0 +1,573 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataformat"
+)
+
+// fig9Index is the 12-entry muBLASTP index from the paper's Figure 9.
+func fig9Index() []Row {
+	tuples := [][4]int64{
+		{0, 94, 0, 74}, {94, 192, 74, 89}, {286, 99, 163, 109}, {385, 91, 272, 107},
+		{476, 90, 379, 111}, {566, 51, 490, 120}, {617, 72, 610, 118}, {689, 94, 728, 71},
+		{783, 64, 799, 91}, {847, 99, 890, 113}, {946, 95, 1003, 104}, {1041, 79, 1107, 76},
+	}
+	rows := make([]Row, 0, len(tuples))
+	for _, tu := range tuples {
+		rows = append(rows, intRow(tu[0], tu[1], tu[2], tu[3]))
+	}
+	return rows
+}
+
+// spread splits rows across nranks contiguous chunks (what the input
+// splitter does).
+func spread(rows []Row, nranks int) [][]Row {
+	out := make([][]Row, nranks)
+	for i := 0; i < nranks; i++ {
+		lo := len(rows) * i / nranks
+		hi := len(rows) * (i + 1) / nranks
+		out[i] = rows[lo:hi]
+	}
+	return out
+}
+
+func rowTuples(rows []Row) [][]int64 {
+	out := make([][]int64, 0, len(rows))
+	for _, r := range rows {
+		t := make([]int64, 0, len(r.Values))
+		for _, v := range r.Values {
+			n, _ := v.AsInt()
+			t = append(t, n)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// TestFig9ExactReproduction executes the Fig. 8 workflow on the Fig. 9 index
+// and requires exactly the partitions drawn in the paper's Figure 9.
+func TestFig9ExactReproduction(t *testing.T) {
+	plan := compileBlast(t, "3")
+	// The figure uses 3 mappers/reducers; run 3 ranks (3 nodes x 1 rank).
+	cfg := cluster.DefaultConfig(3)
+	cfg.RanksPerNode = 1
+	cl := cluster.New(cfg)
+	res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 3 {
+		t.Fatalf("got %d partitions", len(res.Partitions))
+	}
+	want := [][][]int64{
+		{ // j2 reducer 0 in the figure
+			{566, 51, 490, 120}, {1041, 79, 1107, 76}, {0, 94, 0, 74}, {286, 99, 163, 109},
+		},
+		{ // j2 reducer 1
+			{783, 64, 799, 91}, {476, 90, 379, 111}, {689, 94, 728, 71}, {847, 99, 890, 113},
+		},
+		{ // j2 reducer 2
+			{617, 72, 610, 118}, {385, 91, 272, 107}, {946, 95, 1003, 104}, {94, 192, 74, 89},
+		},
+	}
+	for p := range want {
+		if got := rowTuples(res.Partitions[p]); !reflect.DeepEqual(got, want[p]) {
+			t.Errorf("partition %d:\n got %v\nwant %v", p, got, want[p])
+		}
+	}
+}
+
+func TestSortThenCyclicInvariants(t *testing.T) {
+	// A bigger randomized instance: verify the two partition invariants the
+	// paper's optimized method targets (§II-A): near-equal counts, and
+	// cyclic striping of the globally sorted order.
+	const n, np = 1000, 7
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = intRow(int64(i), int64((i*7919)%400+20), 0, 0)
+	}
+	plan := compileBlast(t, fmt.Sprint(np))
+	cl := cluster.New(cluster.DefaultConfig(4))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts differ by at most 1.
+	minC, maxC := n, 0
+	total := 0
+	for _, p := range res.Partitions {
+		if len(p) < minC {
+			minC = len(p)
+		}
+		if len(p) > maxC {
+			maxC = len(p)
+		}
+		total += len(p)
+	}
+	if total != n {
+		t.Fatalf("lost rows: %d of %d", total, n)
+	}
+	if maxC-minC > 1 {
+		t.Fatalf("partition counts spread %d..%d; cyclic must balance to ±1", minC, maxC)
+	}
+	// Reconstruct the global sorted order and check partition p holds
+	// exactly ranks p, p+np, p+2np, ...
+	sorted := append([]Row(nil), rows...)
+	SortRowsByColumn(sorted, 1)
+	for p, part := range res.Partitions {
+		for i, row := range part {
+			want := sorted[p+i*np]
+			if row.Values[1].Int != want.Values[1].Int {
+				t.Fatalf("partition %d element %d: seq_size %d, want %d",
+					p, i, row.Values[1].Int, want.Values[1].Int)
+			}
+		}
+	}
+}
+
+func TestSortDescending(t *testing.T) {
+	plan := compileBlast(t, "2")
+	plan.Jobs[0].(*SortJob).Descending = true
+	cl := cluster.New(cluster.DefaultConfig(2))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 must start with the largest key (192).
+	if got := res.Partitions[0][0].Values[1].Int; got != 192 {
+		t.Fatalf("descending sort: first element has seq_size %d, want 192", got)
+	}
+}
+
+func TestBlockPolicyContiguous(t *testing.T) {
+	plan := compileBlast(t, "3")
+	plan.Jobs[1].(*DistributeJob).Policy = Block
+	cfg := cluster.DefaultConfig(3)
+	cfg.RanksPerNode = 1
+	cl := cluster.New(cfg)
+	res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block keeps the sorted order contiguous: partition 0 holds the 4
+	// smallest keys.
+	keys := func(rows []Row) []int64 {
+		out := make([]int64, len(rows))
+		for i, r := range rows {
+			out[i] = r.Values[1].Int
+		}
+		return out
+	}
+	if got := keys(res.Partitions[0]); !reflect.DeepEqual(got, []int64{51, 64, 72, 79}) {
+		t.Fatalf("block partition 0 keys = %v", got)
+	}
+	if got := keys(res.Partitions[2]); !reflect.DeepEqual(got, []int64{95, 99, 99, 192}) {
+		t.Fatalf("block partition 2 keys = %v", got)
+	}
+}
+
+// edges returns a small skewed graph: vertex 1 has indegree 4 (high with
+// threshold 4), everything else is low-degree.
+func hybridEdges() []Row {
+	strRow := func(a, b string) Row {
+		return Row{Values: []dataformat.Value{dataformat.StrVal(a), dataformat.StrVal(b)}}
+	}
+	return []Row{
+		strRow("2", "1"), strRow("3", "1"), strRow("4", "1"), strRow("5", "1"), // high: in-vertex 1
+		strRow("1", "2"),                   // low: in-vertex 2 (indegree 1)
+		strRow("1", "3"), strRow("2", "3"), // low: in-vertex 3 (indegree 2)
+	}
+}
+
+func TestHybridCutSemantics(t *testing.T) {
+	plan := compileHybrid(t, "3", "4")
+	cfg := cluster.DefaultConfig(3)
+	cfg.RanksPerNode = 1
+	cl := cluster.New(cfg)
+	res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every edge appears exactly once, with the input arity restored
+	// (indegree attribute dropped).
+	seen := map[string]int{}
+	for _, part := range res.Partitions {
+		for _, r := range part {
+			if len(r.Values) != 2 {
+				t.Fatalf("output row has %d values, want 2 (attrs dropped): %v", len(r.Values), r)
+			}
+			seen[r.Values[0].AsString()+"->"+r.Values[1].AsString()]++
+		}
+	}
+	if len(seen) != len(hybridEdges()) {
+		t.Fatalf("saw %d distinct edges, want %d: %v", len(seen), len(hybridEdges()), seen)
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Fatalf("edge %s appears %d times", e, c)
+		}
+	}
+
+	// Low-cut invariant: all edges of a low-degree in-vertex live in one
+	// partition.
+	for _, lowV := range []string{"2", "3"} {
+		home := -1
+		for pi, part := range res.Partitions {
+			for _, r := range part {
+				if r.Values[1].AsString() == lowV {
+					if home >= 0 && home != pi {
+						t.Fatalf("low-degree vertex %s split across partitions %d and %d", lowV, home, pi)
+					}
+					home = pi
+				}
+			}
+		}
+	}
+
+	// High-cut invariant: edges of in-vertex 1 are placed by out-vertex
+	// hash — with 4 distinct out-vertices over 3 partitions they cannot all
+	// land together unless hashing collides completely; verify placement
+	// matches HashValue exactly.
+	for pi, part := range res.Partitions {
+		for _, r := range part {
+			if r.Values[1].AsString() == "1" {
+				if want := HashValue(r.Values[0], 3); want != pi {
+					t.Fatalf("high-degree edge %v in partition %d, hash says %d", r, pi, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHybridThresholdBoundary(t *testing.T) {
+	// threshold = 5: indegree-4 vertex 1 becomes low-degree; every
+	// in-vertex group must now stay whole.
+	plan := compileHybrid(t, "3", "5")
+	cl := cluster.New(cluster.DefaultConfig(2))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"1", "2", "3"} {
+		home := -1
+		for pi, part := range res.Partitions {
+			for _, r := range part {
+				if r.Values[1].AsString() == v {
+					if home >= 0 && home != pi {
+						t.Fatalf("vertex %s split with threshold above its degree", v)
+					}
+					home = pi
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteFromFile(t *testing.T) {
+	plan := compileBlast(t, "3")
+	dir := t.TempDir()
+	path := dir + "/in.db"
+	recs, err := RowsToRecords(blastFileSchema(), fig9Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataformat.WriteFile(blastFileSchema(), path, recs); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig(3)
+	cfg.RanksPerNode = 1
+	cl := cluster.New(cfg)
+	res, err := Execute(cl, plan, Input{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Partitions {
+		total += len(p)
+	}
+	if total != 12 {
+		t.Fatalf("file execution lost rows: %d", total)
+	}
+
+	// And write the partitions back out in the input format.
+	if err := WritePartitions(plan, res, dir+"/out"); err != nil {
+		t.Fatal(err)
+	}
+	part0, err := dataformat.ReadAll(blastFileSchema(), dataformat.PartitionPath(dir+"/out", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part0) != len(res.Partitions[0]) {
+		t.Fatalf("written partition 0 has %d records, want %d", len(part0), len(res.Partitions[0]))
+	}
+}
+
+func TestExecuteInputValidation(t *testing.T) {
+	plan := compileBlast(t, "2")
+	cl := cluster.New(cluster.DefaultConfig(1))
+	if _, err := Execute(cl, plan, Input{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Execute(cl, plan, Input{LocalRows: make([][]Row, 1)}); err == nil {
+		t.Error("wrong rank count accepted")
+	}
+	if _, err := Execute(cl, plan, Input{Path: "/no/such/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	plan := compileHybrid(t, "4", "4")
+	run := func() (*Result, [][]int64) {
+		cl := cluster.New(cluster.DefaultConfig(2))
+		res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shapes [][]int64
+		for _, p := range res.Partitions {
+			var s []int64
+			for _, r := range p {
+				a, _ := r.Values[0].AsInt()
+				b, _ := r.Values[1].AsInt()
+				s = append(s, a*1000+b)
+			}
+			shapes = append(shapes, s)
+		}
+		return res, shapes
+	}
+	r1, s1 := run()
+	for i := 0; i < 3; i++ {
+		r2, s2 := run()
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("nondeterministic partitions across runs")
+		}
+		if r1.Makespan != r2.Makespan {
+			t.Fatalf("nondeterministic makespan: %v vs %v", r1.Makespan, r2.Makespan)
+		}
+		if !reflect.DeepEqual(r1.JobBytes, r2.JobBytes) || !reflect.DeepEqual(r1.JobMessages, r2.JobMessages) {
+			t.Fatalf("nondeterministic per-job traffic: %v vs %v", r1.JobBytes, r2.JobBytes)
+		}
+	}
+}
+
+func TestJobMakespansMonotone(t *testing.T) {
+	plan := compileHybrid(t, "3", "4")
+	cl := cluster.New(cluster.DefaultConfig(2))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JobMakespans) != len(plan.Jobs) {
+		t.Fatalf("got %d job makespans for %d jobs", len(res.JobMakespans), len(plan.Jobs))
+	}
+	var prev float64
+	for i, m := range res.JobMakespans {
+		if float64(m) < prev {
+			t.Fatalf("job %d makespan %v < previous %v", i, m, prev)
+		}
+		prev = float64(m)
+	}
+	if res.Makespan < res.JobMakespans[len(res.JobMakespans)-1] {
+		t.Fatalf("total makespan below last job's")
+	}
+	if res.ShuffleBytes <= 0 || res.ShuffleMessages <= 0 {
+		t.Fatalf("no traffic recorded: %+v", res)
+	}
+}
+
+func TestMoreNodesScaleSortDistribute(t *testing.T) {
+	// Strong scaling sanity: the same (large) input partitioned on more
+	// nodes must have a smaller virtual makespan.
+	const n = 20000
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = intRow(int64(i), int64((i*104729)%1000), 0, 0)
+	}
+	makespan := func(nodes int) float64 {
+		plan := compileBlast(t, "32")
+		cl := cluster.New(cluster.DefaultConfig(nodes))
+		res, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Makespan)
+	}
+	one, sixteen := makespan(1), makespan(16)
+	if sixteen >= one {
+		t.Fatalf("no speedup from 1 to 16 nodes: %v vs %v", one, sixteen)
+	}
+}
+
+func TestJobTrafficBreakdown(t *testing.T) {
+	plan := compileHybrid(t, "3", "4")
+	cl := cluster.New(cluster.DefaultConfig(2))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JobBytes) != len(plan.Jobs) || len(res.JobMessages) != len(plan.Jobs) {
+		t.Fatalf("traffic breakdown lengths: %d/%d for %d jobs",
+			len(res.JobBytes), len(res.JobMessages), len(plan.Jobs))
+	}
+	var prev int64
+	for i, b := range res.JobBytes {
+		if b < prev {
+			t.Fatalf("job %d cumulative bytes %d < previous %d", i, b, prev)
+		}
+		prev = b
+	}
+	last := len(plan.Jobs) - 1
+	if res.JobBytes[last] != res.ShuffleBytes || res.JobMessages[last] != res.ShuffleMessages {
+		t.Fatalf("final job snapshot (%d, %d) != totals (%d, %d)",
+			res.JobBytes[last], res.JobMessages[last], res.ShuffleBytes, res.ShuffleMessages)
+	}
+	// The group job (first) must move real data.
+	if res.JobBytes[0] <= 0 {
+		t.Fatalf("group job recorded no traffic")
+	}
+}
+
+func TestBalancedPolicyBeatsHashOnSkewedGroups(t *testing.T) {
+	// Hybrid-cut with the low-cut placed by hash suffers when a few
+	// low-degree-but-chunky vertices collide; the Balanced extension packs
+	// groups by size instead. Construct strongly skewed group sizes.
+	strRow := func(a, b string) Row {
+		return Row{Values: []dataformat.Value{dataformat.StrVal(a), dataformat.StrVal(b)}}
+	}
+	var rows []Row
+	for v := 0; v < 12; v++ {
+		size := 1 << (v % 6) // group sizes 1..32
+		for e := 0; e < size; e++ {
+			rows = append(rows, strRow(fmt.Sprint(100+e), fmt.Sprint(v)))
+		}
+	}
+	const np = 4
+	run := func(policy DistrPolicy) []int {
+		plan := compileHybrid(t, fmt.Sprint(np), "1000") // all vertices low-cut
+		plan.Jobs[2].(*DistributeJob).Policy = policy
+		cl := cluster.New(cluster.DefaultConfig(2))
+		res, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := make([]int, np)
+		for p, part := range res.Partitions {
+			sizes[p] = len(part)
+		}
+		return sizes
+	}
+	imbalance := func(sizes []int) float64 {
+		total, max := 0, 0
+		for _, s := range sizes {
+			total += s
+			if s > max {
+				max = s
+			}
+		}
+		return float64(max) * float64(len(sizes)) / float64(total)
+	}
+	hashI := imbalance(run(GraphVertexCut))
+	balI := imbalance(run(Balanced))
+	if balI > hashI {
+		t.Fatalf("balanced imbalance %.2f worse than hash %.2f", balI, hashI)
+	}
+	if balI > 1.35 {
+		t.Fatalf("balanced imbalance %.2f too high", balI)
+	}
+}
+
+func TestBalancedPolicyGroupsStayWhole(t *testing.T) {
+	plan := compileHybrid(t, "3", "1000")
+	plan.Jobs[2].(*DistributeJob).Policy = Balanced
+	cl := cluster.New(cluster.DefaultConfig(2))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	home := map[string]int{}
+	for pi, part := range res.Partitions {
+		total += len(part)
+		for _, r := range part {
+			v := r.Values[1].AsString()
+			if h, ok := home[v]; ok && h != pi {
+				t.Fatalf("balanced policy split group %q across partitions", v)
+			}
+			home[v] = pi
+		}
+	}
+	if total != len(hybridEdges()) {
+		t.Fatalf("lost rows: %d", total)
+	}
+}
+
+func TestBalancedPolicyDeterministic(t *testing.T) {
+	plan := compileHybrid(t, "4", "1000")
+	plan.Jobs[2].(*DistributeJob).Policy = Balanced
+	run := func() [][]int64 {
+		cl := cluster.New(cluster.DefaultConfig(2))
+		res, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]int64
+		for _, p := range res.Partitions {
+			var s []int64
+			for _, r := range p {
+				a, _ := r.Values[0].AsInt()
+				b, _ := r.Values[1].AsInt()
+				s = append(s, a*1000+b)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("balanced policy nondeterministic")
+	}
+}
+
+func TestParseBalancedPolicy(t *testing.T) {
+	for _, s := range []string{"balanced", "weighted", "lpt"} {
+		p, err := ParseDistrPolicy(s)
+		if err != nil || p != Balanced {
+			t.Fatalf("ParseDistrPolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if Balanced.String() != "balanced" {
+		t.Fatalf("String() = %q", Balanced.String())
+	}
+}
+
+func TestPartitionsInvariantToTopology(t *testing.T) {
+	// The same plan over the same data must produce identical partitions
+	// regardless of how ranks map to physical nodes — only virtual time may
+	// differ.
+	plan := compileBlast(t, "4")
+	run := func(nodes, ranksPerNode int) [][][]int64 {
+		cfg := cluster.DefaultConfig(nodes)
+		cfg.RanksPerNode = ranksPerNode
+		cl := cluster.New(cfg)
+		res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), cl.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][][]int64, len(res.Partitions))
+		for p, rows := range res.Partitions {
+			out[p] = rowTuples(rows)
+		}
+		return out
+	}
+	base := run(2, 2) // 4 ranks as 2x2
+	flat := run(4, 1) // 4 ranks as 4x1
+	one := run(1, 4)  // 4 ranks on one node
+	if !reflect.DeepEqual(base, flat) || !reflect.DeepEqual(base, one) {
+		t.Fatal("partitions depend on rank-to-node topology")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+)
+
+// This file implements the paper's operator-extension mechanism (Fig. 7):
+// "PaPar allows users to define their own operators. Users need to inherit
+// one of these three operator classes, and provide a configuration file to
+// describe the operator." In Go terms a user-defined basic operator is a
+// compiler (declaration -> job) plus a job that can run against the
+// executor's state; it is registered under the name workflows reference in
+// their operator= attribute. Add-on operators have their own registry in
+// addon.go; format operators are closed (orig/pack/unpack) per Table I.
+
+// ExecContext is the per-rank runtime state a custom job operates on.
+type ExecContext struct {
+	// Comm is the rank's communicator; collectives must be called
+	// SPMD-consistently.
+	Comm *mpi.Comm
+	// MR is the rank's MapReduce handle (shared KV state across jobs).
+	MR *mrmpi.MapReduce
+	// Plan is the enclosing plan (schemas, partition counts).
+	Plan *Plan
+	// Data is the current main-line dataset fragment; jobs replace it.
+	Data *Dataset
+	// Side holds named split-branch outputs.
+	Side map[string]*Dataset
+}
+
+// CustomJob is a user-defined basic operator's runtime half. Compile-time
+// validation happens in the OperatorCompiler; Run executes on every rank.
+type CustomJob interface {
+	Job
+	// Run transforms ctx.Data (and/or ctx.Side) in place. It must be
+	// SPMD-safe: every rank calls it in the same job order.
+	Run(ctx *ExecContext) error
+}
+
+// OperatorCompiler lowers one workflow <operator> declaration into a job,
+// returning the (possibly extended) row schema that downstream operators
+// will see.
+type OperatorCompiler func(op *config.OperatorDecl, res *config.Resolver, rs *RowSchema) (CustomJob, *RowSchema, error)
+
+var (
+	operatorMu       sync.RWMutex
+	operatorRegistry = map[string]OperatorCompiler{}
+)
+
+// RegisterOperator installs a user-defined basic operator under the given
+// workflow name (case-insensitive). The four built-ins (Sort, Group, Split,
+// Distribute) cannot be overridden; duplicate registration panics, as both
+// are programmer errors.
+func RegisterOperator(name string, c OperatorCompiler) {
+	key := strings.ToLower(name)
+	switch key {
+	case "sort", "group", "split", "distribute":
+		panic(fmt.Sprintf("core: cannot override built-in operator %q", name))
+	}
+	operatorMu.Lock()
+	defer operatorMu.Unlock()
+	if _, dup := operatorRegistry[key]; dup {
+		panic(fmt.Sprintf("core: operator %q registered twice", name))
+	}
+	operatorRegistry[key] = c
+}
+
+// lookupOperator finds a registered compiler.
+func lookupOperator(name string) (OperatorCompiler, bool) {
+	operatorMu.RLock()
+	defer operatorMu.RUnlock()
+	c, ok := operatorRegistry[strings.ToLower(name)]
+	return c, ok
+}
+
+// OperatorNames lists the registered custom operators, sorted.
+func OperatorNames() []string {
+	operatorMu.RLock()
+	defer operatorMu.RUnlock()
+	out := make([]string, 0, len(operatorRegistry))
+	for k := range operatorRegistry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterOperatorProg registers a custom operator from its Fig. 7 <prog>
+// description plus the Go compiler implementing it, validating that the
+// document is well formed and declares type "operator".
+func RegisterOperatorProg(progXML []byte, c OperatorCompiler) (*config.OperatorProg, error) {
+	prog, err := config.ParseOperatorProg(progXML)
+	if err != nil {
+		return nil, err
+	}
+	RegisterOperator(prog.ID, c)
+	return prog, nil
+}

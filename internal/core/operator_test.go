@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/dataformat"
+	"repro/internal/keyval"
+	"repro/internal/mrmpi"
+)
+
+// dedupJob is a user-defined basic operator for tests: it drops local rows
+// whose key column repeats an earlier row's value (a "basic" operator per
+// Table I — it reorders/filters but adds no attribute).
+type dedupJob struct {
+	id  string
+	col int
+}
+
+func (j *dedupJob) JobID() string { return j.id }
+
+func (j *dedupJob) Describe() string { return fmt.Sprintf("dedup[%s] col=%d", j.id, j.col) }
+
+func (j *dedupJob) Run(ctx *ExecContext) error {
+	if ctx.Data.Packed {
+		return fmt.Errorf("dedup: packed input unsupported")
+	}
+	// Distributed dedup: shuffle rows by the key column so duplicates
+	// collide on one rank, then keep each key's first arrival — a genuine
+	// MapReduce job built from the same backend verbs the built-ins use.
+	rows := ctx.Data.Rows
+	if err := ctx.MR.Map(func(emit mrmpi.Emitter) error {
+		for _, r := range rows {
+			emit([]byte(r.Values[j.col].AsString()), EncodeRow(r))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := ctx.MR.Aggregate(mrmpi.HashPartitioner); err != nil {
+		return err
+	}
+	ctx.MR.Convert()
+	if err := ctx.MR.Reduce(func(g keyval.KMV, emit mrmpi.Emitter) error {
+		emit(g.Key, g.Values[0])
+		return nil
+	}); err != nil {
+		return err
+	}
+	var out []Row
+	for _, kv := range ctx.MR.KV().Pairs {
+		r, err := DecodeRow(kv.Value)
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+	}
+	ctx.Data = &Dataset{Schema: ctx.Data.Schema, Rows: out}
+	return nil
+}
+
+func compileDedup(op *config.OperatorDecl, res *config.Resolver, rs *RowSchema) (CustomJob, *RowSchema, error) {
+	key, err := res.Resolve(op.ParamValue("key"))
+	if err != nil {
+		return nil, nil, err
+	}
+	col := rs.Index(key)
+	if col < 0 {
+		return nil, nil, fmt.Errorf("dedup key %q not in schema %v", key, rs.Fields)
+	}
+	return &dedupJob{id: op.ID, col: col}, rs, nil
+}
+
+const dedupProg = `
+<prog id="Dedup" type="operator" name="drop repeated keys">
+  <import classpath="test" package="core_test" class="dedupJob"/>
+  <arguments>
+    <param name="key" type="KeyId"/>
+  </arguments>
+</prog>`
+
+func registerDedupOnce(t *testing.T) {
+	t.Helper()
+	if _, ok := lookupOperator("dedup"); ok {
+		return
+	}
+	prog, err := RegisterOperatorProg([]byte(dedupProg), compileDedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ID != "Dedup" {
+		t.Fatalf("prog id = %q", prog.ID)
+	}
+}
+
+const dedupWorkflow = `
+<workflow id="dedup_blast" name="dedup then distribute">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="dd" operator="Dedup">
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="x"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+func TestCustomOperatorEndToEnd(t *testing.T) {
+	registerDedupOnce(t)
+	wf, err := config.ParseWorkflow([]byte(dedupWorkflow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(wf, map[string]*dataformat.Schema{"blast_db": testSchema()},
+		map[string]string{"input_path": "/x", "output_path": "/y", "num_partitions": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Jobs) != 2 {
+		t.Fatalf("got %d jobs", len(plan.Jobs))
+	}
+	if !strings.Contains(plan.Describe(), "dedup[dd]") {
+		t.Fatalf("Describe missing custom job: %s", plan.Describe())
+	}
+
+	// 12 Fig. 9 rows contain two seq_size duplicates (94 and 99 appear
+	// twice): dedup keeps 10 distinct keys.
+	cl := cluster.New(cluster.DefaultConfig(2))
+	res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Partitions {
+		total += len(p)
+	}
+	if total != 10 {
+		t.Fatalf("dedup kept %d rows, want 10", total)
+	}
+}
+
+func TestRegisterOperatorGuards(t *testing.T) {
+	for _, builtin := range []string{"Sort", "group", "SPLIT", "Distribute"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("overriding built-in %q did not panic", builtin)
+				}
+			}()
+			RegisterOperator(builtin, nil)
+		}()
+	}
+	// Duplicate registration panics.
+	registerDedupOnce(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterOperator("dedup", compileDedup)
+}
+
+func TestRegisterOperatorProgRejectsBadDoc(t *testing.T) {
+	if _, err := RegisterOperatorProg([]byte("<<<"), compileDedup); err == nil {
+		t.Error("bad XML accepted")
+	}
+	if _, err := RegisterOperatorProg([]byte(`<prog id="X" type="job"><import class="X"/></prog>`), compileDedup); err == nil {
+		t.Error("wrong type accepted")
+	}
+}
+
+func TestOperatorNamesListsRegistrations(t *testing.T) {
+	registerDedupOnce(t)
+	found := false
+	for _, n := range OperatorNames() {
+		if n == "dedup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("OperatorNames() = %v, missing dedup", OperatorNames())
+	}
+}
+
+func TestUnknownOperatorMentionsRegistry(t *testing.T) {
+	registerDedupOnce(t)
+	bad := strings.Replace(dedupWorkflow, `operator="Dedup"`, `operator="Nope"`, 1)
+	wf, err := config.ParseWorkflow([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(wf, map[string]*dataformat.Schema{"blast_db": testSchema()},
+		map[string]string{"input_path": "/x", "output_path": "/y", "num_partitions": "2"})
+	if err == nil || !strings.Contains(err.Error(), "dedup") {
+		t.Fatalf("error should list registered operators: %v", err)
+	}
+}
+
+func TestCustomOperatorCompileError(t *testing.T) {
+	registerDedupOnce(t)
+	bad := strings.Replace(dedupWorkflow, `value="seq_size"`, `value="nope"`, 1)
+	wf, err := config.ParseWorkflow([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(wf, map[string]*dataformat.Schema{"blast_db": testSchema()},
+		map[string]string{"input_path": "/x", "output_path": "/y", "num_partitions": "2"}); err == nil {
+		t.Fatal("bad key accepted by custom compiler")
+	}
+}

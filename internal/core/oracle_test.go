@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/dataformat"
+)
+
+// This file checks the distributed executor against a tiny sequential
+// interpreter of the same plan semantics (the "oracle"): for arbitrary
+// inputs and partition counts, running the workflow on the simulated
+// cluster must equal running its definition on one machine. This is the
+// repository's strongest correctness property — it covers the sampler, the
+// shuffles, the global-offset bookkeeping and the format operators all at
+// once.
+
+// oracleExecute interprets the plan sequentially over all rows.
+func oracleExecute(plan *Plan, rows []Row) ([][]Row, error) {
+	type entry struct {
+		row   Row
+		group *Group
+	}
+	schema := NewRowSchema(plan.InputSchema)
+	var data []entry
+	for _, r := range rows {
+		data = append(data, entry{row: r.Clone()})
+	}
+	side := map[string][]entry{}
+
+	for _, job := range plan.Jobs {
+		switch j := job.(type) {
+		case *SortJob:
+			col := schema.Index(j.KeyCol)
+			sort.SliceStable(data, func(a, b int) bool {
+				c := compareValues(data[a].row.Values[col], data[b].row.Values[col])
+				if j.Descending {
+					return c > 0
+				}
+				return c < 0
+			})
+
+		case *GroupJob:
+			col := schema.Index(j.KeyCol)
+			order := []string{}
+			groups := map[string][]Row{}
+			for _, e := range data {
+				k := e.row.Values[col].AsString()
+				if _, ok := groups[k]; !ok {
+					order = append(order, k)
+				}
+				groups[k] = append(groups[k], e.row)
+			}
+			// Deterministic order: by key string (the distributed run's
+			// arrival order differs, so comparisons must canonicalize).
+			sort.Strings(order)
+			valueIdx := make([]int, len(j.AddOns))
+			for i, a := range j.AddOns {
+				valueIdx[i] = -1
+				if a.ValueCol != "" {
+					valueIdx[i] = schema.Index(a.ValueCol)
+				}
+			}
+			for _, a := range j.AddOns {
+				var err error
+				schema, err = schema.WithAttr(a.AttrName, dataformat.Long)
+				if err != nil {
+					return nil, err
+				}
+			}
+			var out []entry
+			for _, k := range order {
+				members := groups[k]
+				attrs := make([]dataformat.Value, len(j.AddOns))
+				for i, a := range j.AddOns {
+					var err error
+					attrs[i], err = a.AddOn.Compute(members, valueIdx[i])
+					if err != nil {
+						return nil, err
+					}
+				}
+				for mi := range members {
+					members[mi].Values = append(members[mi].Values, attrs...)
+				}
+				if j.Pack {
+					g := Group{Key: members[0].Values[col], Rows: members}
+					out = append(out, entry{group: &g})
+				} else {
+					for _, m := range members {
+						out = append(out, entry{row: m})
+					}
+				}
+			}
+			data = out
+
+		case *SplitJob:
+			col := schema.Index(j.KeyCol)
+			for _, e := range data {
+				probe := e.row
+				if e.group != nil {
+					probe = e.group.Rows[0]
+				}
+				k, err := probe.Values[col].AsInt()
+				if err != nil {
+					return nil, err
+				}
+				matched := false
+				for _, b := range j.Branches {
+					if !b.Condition.Eval(k) {
+						continue
+					}
+					matched = true
+					if b.Format == "unpack" && e.group != nil {
+						for _, r := range e.group.Rows {
+							side[b.Name] = append(side[b.Name], entry{row: r})
+						}
+					} else {
+						side[b.Name] = append(side[b.Name], e)
+					}
+					break
+				}
+				if !matched {
+					return nil, fmt.Errorf("oracle: unmatched split key %d", k)
+				}
+			}
+			data = nil
+
+		case *DistributeJob:
+			inputs := [][]entry{data}
+			if len(j.InputBranches) > 0 {
+				inputs = inputs[:0]
+				for _, name := range j.InputBranches {
+					inputs = append(inputs, side[name])
+				}
+			}
+			parts := make([][]Row, j.NumPartitions)
+			for _, in := range inputs {
+				total := int64(len(in))
+				for i, e := range in {
+					var p int
+					switch j.Policy {
+					case Cyclic:
+						p = int(int64(i) % int64(j.NumPartitions))
+					case Block:
+						if total == 0 {
+							p = 0
+						} else {
+							p = int(((int64(i)+1)*int64(j.NumPartitions)+total-1)/total) - 1
+						}
+					case GraphVertexCut:
+						if e.group != nil {
+							p = HashValue(e.group.Key, j.NumPartitions)
+						} else {
+							p = HashValue(e.row.Values[0], j.NumPartitions)
+						}
+					}
+					rows := []Row{e.row}
+					if e.group != nil {
+						rows = e.group.Rows
+					}
+					for _, r := range rows {
+						rr := r.Clone()
+						if j.RestoreFormat && len(rr.Values) > len(plan.InputSchema.Fields) {
+							rr.Values = rr.Values[:len(plan.InputSchema.Fields)]
+						}
+						parts[p] = append(parts[p], rr)
+					}
+				}
+			}
+			return parts, nil
+		}
+	}
+	return nil, fmt.Errorf("oracle: plan had no distribute job")
+}
+
+// canonicalize renders a partition as a sorted multiset of row strings.
+func canonicalize(parts [][]Row) [][]string {
+	out := make([][]string, len(parts))
+	for p, rows := range parts {
+		for _, r := range rows {
+			out[p] = append(out[p], r.String())
+		}
+		sort.Strings(out[p])
+	}
+	return out
+}
+
+func TestOracleMatchesFig9(t *testing.T) {
+	// Sanity-check the oracle itself against the paper's worked example.
+	plan := compileBlast(t, "3")
+	parts, err := oracleExecute(plan, fig9Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowTuples(parts[0]); !reflect.DeepEqual(got, [][]int64{
+		{566, 51, 490, 120}, {1041, 79, 1107, 76}, {0, 94, 0, 74}, {286, 99, 163, 109},
+	}) {
+		t.Fatalf("oracle partition 0 = %v", got)
+	}
+}
+
+// TestDistributedMatchesOracleBlastProperty quick-checks the sort+cyclic
+// workflow: arbitrary seq_size values, arbitrary partition counts, both
+// policies.
+func TestDistributedMatchesOracleBlastProperty(t *testing.T) {
+	f := func(sizes []uint16, npRaw, nodesRaw uint8) bool {
+		if len(sizes) == 0 {
+			sizes = []uint16{1}
+		}
+		if len(sizes) > 300 {
+			sizes = sizes[:300]
+		}
+		np := int(npRaw%8) + 1
+		nodes := int(nodesRaw%4) + 1
+		rows := make([]Row, len(sizes))
+		for i, s := range sizes {
+			rows[i] = intRow(int64(i), int64(s), int64(i), int64(i%7))
+		}
+		plan := compileBlast(t, fmt.Sprint(np))
+		want, err := oracleExecute(plan, rows)
+		if err != nil {
+			return false
+		}
+		cl := cluster.New(cluster.DefaultConfig(nodes))
+		got, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+		if err != nil {
+			return false
+		}
+		// Sort+cyclic is fully deterministic: exact element-wise equality.
+		for p := range want {
+			if !reflect.DeepEqual(rowTuples(want[p]), rowTuples(got.Partitions[p])) {
+				t.Logf("np=%d nodes=%d partition %d:\noracle %v\nexec   %v",
+					np, nodes, p, rowTuples(want[p]), rowTuples(got.Partitions[p]))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedMatchesOracleHybridProperty quick-checks the hybrid-cut
+// workflow: random edge lists, thresholds and partition counts. Partition
+// contents are compared as multisets (group arrival order differs between
+// the two executions by design).
+func TestDistributedMatchesOracleHybridProperty(t *testing.T) {
+	f := func(pairs []uint16, npRaw, thrRaw, nodesRaw uint8) bool {
+		if len(pairs) < 2 {
+			pairs = []uint16{1, 2, 3, 4}
+		}
+		if len(pairs) > 240 {
+			pairs = pairs[:240]
+		}
+		np := int(npRaw%6) + 1
+		thr := int(thrRaw%6) + 1
+		nodes := int(nodesRaw%4) + 1
+		var rows []Row
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a := fmt.Sprint(pairs[i] % 50)
+			b := fmt.Sprint(pairs[i+1] % 20)
+			rows = append(rows, Row{Values: []dataformat.Value{
+				dataformat.StrVal(a), dataformat.StrVal(b)}})
+		}
+		plan := compileHybrid(t, fmt.Sprint(np), fmt.Sprint(thr))
+		want, err := oracleExecute(plan, rows)
+		if err != nil {
+			return false
+		}
+		cl := cluster.New(cluster.DefaultConfig(nodes))
+		got, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(canonicalize(want), canonicalize(got.Partitions))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/dataformat"
+)
+
+// Plan is the generated partitioner: the workflow lowered to a sequence of
+// typed jobs over the MapReduce-over-MPI backend. Building a Plan is PaPar's
+// "code generation" step (§III-D): the parser walks the two configuration
+// files, binds every operator's parameters (resolving $-references), decides
+// the key columns and intermediate schemas, and emits a job list that the
+// executor — or the Go source emitter — turns into a running partitioner.
+type Plan struct {
+	WorkflowID   string
+	WorkflowName string
+	InputSchema  *dataformat.Schema
+	// InputPath/OutputPath are the resolved workflow-level paths ("" when
+	// the caller feeds in-memory data).
+	InputPath  string
+	OutputPath string
+	// NumPartitions is the resolved partition count of the final
+	// distribute.
+	NumPartitions int
+	Jobs          []Job
+	// FinalSchema is the row schema after the last job (before the final
+	// attribute drop that restores the input format).
+	FinalSchema *RowSchema
+	// SourceWorkflowXML and SourceInputXMLs carry the original
+	// configuration texts when the plan was compiled through a Framework;
+	// the Go source emitter embeds them so the generated program is
+	// self-contained.
+	SourceWorkflowXML string
+	SourceInputXMLs   []string
+}
+
+// Job is one generated MapReduce job.
+type Job interface {
+	// JobID returns the operator id from the workflow file.
+	JobID() string
+	// Describe renders a one-line summary for logs and EXPERIMENTS.md.
+	Describe() string
+}
+
+// SortJob sorts the dataset globally by a key column (Table I Sort).
+type SortJob struct {
+	ID     string
+	KeyCol string
+	// Descending mirrors Table I's flag (-1 ascending, 1 descending).
+	Descending  bool
+	NumReducers int
+}
+
+// JobID implements Job.
+func (j *SortJob) JobID() string { return j.ID }
+
+// Describe implements Job.
+func (j *SortJob) Describe() string {
+	dir := "asc"
+	if j.Descending {
+		dir = "desc"
+	}
+	return fmt.Sprintf("sort[%s] key=%s %s reducers=%d", j.ID, j.KeyCol, dir, j.NumReducers)
+}
+
+// BoundAddOn is an add-on operator bound to its columns.
+type BoundAddOn struct {
+	AddOn AddOn
+	// ValueCol is the column the aggregate reads ("" for count).
+	ValueCol string
+	// AttrName is the appended attribute column.
+	AttrName string
+}
+
+// GroupJob groups rows by a key column, runs add-ons, and optionally packs
+// the output (Table I Group + pack format operator).
+type GroupJob struct {
+	ID     string
+	KeyCol string
+	AddOns []BoundAddOn
+	// Pack selects the packed output format.
+	Pack        bool
+	NumReducers int
+}
+
+// JobID implements Job.
+func (j *GroupJob) JobID() string { return j.ID }
+
+// Describe implements Job.
+func (j *GroupJob) Describe() string {
+	names := make([]string, 0, len(j.AddOns))
+	for _, a := range j.AddOns {
+		names = append(names, a.AddOn.Name()+"->"+a.AttrName)
+	}
+	format := "orig"
+	if j.Pack {
+		format = "pack"
+	}
+	return fmt.Sprintf("group[%s] key=%s addons=[%s] format=%s", j.ID, j.KeyCol, strings.Join(names, ","), format)
+}
+
+// SplitBranch is one output of a Split job.
+type SplitBranch struct {
+	// Name is the output path tail ("high_degree").
+	Name      string
+	Condition SplitCondition
+	// Format is the per-branch format operator: "orig", "pack" or "unpack".
+	Format string
+}
+
+// SplitJob routes entries to branch outputs by conditions on a key column
+// (Table I Split).
+type SplitJob struct {
+	ID       string
+	KeyCol   string
+	Branches []SplitBranch
+}
+
+// JobID implements Job.
+func (j *SplitJob) JobID() string { return j.ID }
+
+// Describe implements Job.
+func (j *SplitJob) Describe() string {
+	bs := make([]string, 0, len(j.Branches))
+	for _, b := range j.Branches {
+		bs = append(bs, fmt.Sprintf("%s%s:%s", b.Name, b.Condition, b.Format))
+	}
+	return fmt.Sprintf("split[%s] key=%s branches=[%s]", j.ID, j.KeyCol, strings.Join(bs, " "))
+}
+
+// DistributeJob places entries into output partitions (Table I Distribute).
+type DistributeJob struct {
+	ID            string
+	Policy        DistrPolicy
+	NumPartitions int
+	// InputBranches names split outputs to distribute; empty means the
+	// current dataset.
+	InputBranches []string
+	// RestoreFormat drops appended attributes and unpacks groups so the
+	// output matches the input file format (§III-C: "all data will be
+	// unpacked to make sure the output has the same format of input").
+	RestoreFormat bool
+}
+
+// JobID implements Job.
+func (j *DistributeJob) JobID() string { return j.ID }
+
+// Describe implements Job.
+func (j *DistributeJob) Describe() string {
+	in := "current"
+	if len(j.InputBranches) > 0 {
+		in = strings.Join(j.InputBranches, "+")
+	}
+	return fmt.Sprintf("distribute[%s] policy=%s partitions=%d input=%s", j.ID, j.Policy, j.NumPartitions, in)
+}
+
+// Compile lowers a parsed workflow into a Plan. schemas maps input ids
+// (the format= attributes) to parsed input schemas; runtimeArgs binds the
+// workflow arguments.
+func Compile(wf *config.Workflow, schemas map[string]*dataformat.Schema, runtimeArgs map[string]string) (*Plan, error) {
+	res, err := config.NewResolver(wf, runtimeArgs)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{WorkflowID: wf.ID, WorkflowName: wf.Name}
+
+	// Bind the input schema from the first hdfs argument with a format.
+	for _, a := range wf.Arguments {
+		if a.Format == "" {
+			continue
+		}
+		s, ok := schemas[a.Format]
+		if !ok {
+			return nil, fmt.Errorf("core: workflow %q argument %q references unknown input format %q", wf.ID, a.Name, a.Format)
+		}
+		if plan.InputSchema == nil {
+			plan.InputSchema = s
+		}
+		if v, ok := res.Arg(a.Name); ok {
+			if strings.Contains(a.Name, "input") && plan.InputPath == "" {
+				plan.InputPath = v
+			}
+			if strings.Contains(a.Name, "output") && plan.OutputPath == "" {
+				plan.OutputPath = v
+			}
+		}
+	}
+	if plan.InputSchema == nil {
+		return nil, fmt.Errorf("core: workflow %q binds no input schema (no argument has a format attribute)", wf.ID)
+	}
+
+	rowSchema := NewRowSchema(plan.InputSchema)
+	branchNames := map[string]bool{}
+
+	for i := range wf.Operators {
+		op := &wf.Operators[i]
+		switch strings.ToLower(op.Operator) {
+		case "sort":
+			j, err := compileSort(op, res, rowSchema)
+			if err != nil {
+				return nil, err
+			}
+			plan.Jobs = append(plan.Jobs, j)
+
+		case "group":
+			j, schema2, err := compileGroup(op, res, rowSchema)
+			if err != nil {
+				return nil, err
+			}
+			rowSchema = schema2
+			plan.Jobs = append(plan.Jobs, j)
+
+		case "split":
+			j, err := compileSplit(op, res, rowSchema)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range j.Branches {
+				branchNames[b.Name] = true
+			}
+			plan.Jobs = append(plan.Jobs, j)
+
+		case "distribute":
+			j, err := compileDistribute(op, res, branchNames)
+			if err != nil {
+				return nil, err
+			}
+			plan.NumPartitions = j.NumPartitions
+			plan.Jobs = append(plan.Jobs, j)
+
+		default:
+			compiler, ok := lookupOperator(op.Operator)
+			if !ok {
+				return nil, fmt.Errorf("core: workflow %q job %q uses unknown operator %q (built-ins: Sort, Group, Split, Distribute; registered: %v)",
+					wf.ID, op.ID, op.Operator, OperatorNames())
+			}
+			j, schema2, err := compiler(op, res, rowSchema)
+			if err != nil {
+				return nil, fmt.Errorf("core: custom operator %q (job %q): %w", op.Operator, op.ID, err)
+			}
+			if schema2 != nil {
+				rowSchema = schema2
+			}
+			plan.Jobs = append(plan.Jobs, j)
+		}
+	}
+	if len(plan.Jobs) == 0 {
+		return nil, fmt.Errorf("core: workflow %q compiled to no jobs", wf.ID)
+	}
+	plan.FinalSchema = rowSchema
+	return plan, nil
+}
+
+func compileSort(op *config.OperatorDecl, res *config.Resolver, rs *RowSchema) (*SortJob, error) {
+	key, err := res.Resolve(op.ParamValue("key"))
+	if err != nil {
+		return nil, fmt.Errorf("core: sort %q: %w", op.ID, err)
+	}
+	if rs.Index(key) < 0 {
+		return nil, fmt.Errorf("core: sort %q: key column %q not in schema %v", op.ID, key, rs.Fields)
+	}
+	j := &SortJob{ID: op.ID, KeyCol: key, NumReducers: op.NumReducers}
+	if p, ok := op.Param("num_reducers"); ok {
+		n, err := res.ResolveInt(p.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: sort %q: %w", op.ID, err)
+		}
+		j.NumReducers = n
+	}
+	if f := op.ParamValue("flag"); f != "" {
+		// Table I: -1 ascending, 1 descending.
+		n, err := res.ResolveInt(f)
+		if err != nil {
+			return nil, fmt.Errorf("core: sort %q: %w", op.ID, err)
+		}
+		j.Descending = n > 0
+	}
+	return j, nil
+}
+
+func compileGroup(op *config.OperatorDecl, res *config.Resolver, rs *RowSchema) (*GroupJob, *RowSchema, error) {
+	key, err := res.Resolve(op.ParamValue("key"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: group %q: %w", op.ID, err)
+	}
+	if rs.Index(key) < 0 {
+		return nil, nil, fmt.Errorf("core: group %q: key column %q not in schema %v", op.ID, key, rs.Fields)
+	}
+	j := &GroupJob{ID: op.ID, KeyCol: key, NumReducers: op.NumReducers}
+	for _, f := range op.OutputFormats {
+		if f == "pack" {
+			j.Pack = true
+		}
+	}
+	out := rs
+	for _, a := range op.AddOns {
+		impl, err := NewAddOn(a.Operator)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: group %q: %w", op.ID, err)
+		}
+		bound := BoundAddOn{AddOn: impl, AttrName: a.Attr}
+		if bound.AttrName == "" {
+			bound.AttrName = a.Operator + "_" + key
+		}
+		if impl.NeedsValue() {
+			bound.ValueCol = a.Value
+			if bound.ValueCol == "" {
+				return nil, nil, fmt.Errorf("core: group %q: add-on %q needs a value column", op.ID, a.Operator)
+			}
+			if out.Index(bound.ValueCol) < 0 {
+				return nil, nil, fmt.Errorf("core: group %q: add-on value column %q not in schema", op.ID, bound.ValueCol)
+			}
+		}
+		out, err = out.WithAttr(bound.AttrName, dataformat.Long)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: group %q: %w", op.ID, err)
+		}
+		j.AddOns = append(j.AddOns, bound)
+	}
+	return j, out, nil
+}
+
+func compileSplit(op *config.OperatorDecl, res *config.Resolver, rs *RowSchema) (*SplitJob, error) {
+	key, err := res.Resolve(op.ParamValue("key"))
+	if err != nil {
+		return nil, fmt.Errorf("core: split %q: %w", op.ID, err)
+	}
+	if rs.Index(key) < 0 {
+		return nil, fmt.Errorf("core: split %q: key column %q not in schema %v", op.ID, key, rs.Fields)
+	}
+	rawPolicy, err := resolveInside(res, op.ParamValue("policy"))
+	if err != nil {
+		return nil, fmt.Errorf("core: split %q: %w", op.ID, err)
+	}
+	conds, err := ParseSplitPolicy(rawPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("core: split %q: %w", op.ID, err)
+	}
+	pathList, err := res.Resolve(op.ParamValue("outputPathList"))
+	if err != nil {
+		return nil, fmt.Errorf("core: split %q: %w", op.ID, err)
+	}
+	var names []string
+	for _, p := range strings.Split(pathList, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		segs := strings.Split(strings.Trim(p, "/"), "/")
+		names = append(names, segs[len(segs)-1])
+	}
+	if len(names) != len(conds) {
+		return nil, fmt.Errorf("core: split %q: %d outputs for %d conditions", op.ID, len(names), len(conds))
+	}
+	formats := op.OutputFormats
+	j := &SplitJob{ID: op.ID, KeyCol: key}
+	for i, c := range conds {
+		f := "orig"
+		if i < len(formats) && formats[i] != "" {
+			f = formats[i]
+		}
+		switch f {
+		case "orig", "pack", "unpack":
+		default:
+			return nil, fmt.Errorf("core: split %q: unknown format operator %q", op.ID, f)
+		}
+		j.Branches = append(j.Branches, SplitBranch{Name: names[i], Condition: c, Format: f})
+	}
+	return j, nil
+}
+
+func compileDistribute(op *config.OperatorDecl, res *config.Resolver, branches map[string]bool) (*DistributeJob, error) {
+	rawPolicy := op.ParamValue("policy")
+	if rawPolicy == "" {
+		rawPolicy = op.ParamValue("distrPolicy")
+	}
+	pol, err := res.Resolve(rawPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("core: distribute %q: %w", op.ID, err)
+	}
+	policy, err := ParseDistrPolicy(pol)
+	if err != nil {
+		return nil, fmt.Errorf("core: distribute %q: %w", op.ID, err)
+	}
+	np, err := res.ResolveInt(op.ParamValue("numPartitions"))
+	if err != nil {
+		return nil, fmt.Errorf("core: distribute %q: %w", op.ID, err)
+	}
+	if np <= 0 {
+		return nil, fmt.Errorf("core: distribute %q: numPartitions must be positive, got %d", op.ID, np)
+	}
+	j := &DistributeJob{ID: op.ID, Policy: policy, NumPartitions: np, RestoreFormat: true}
+	// If the input path is a split output directory, bind all branches.
+	if in, err := res.Resolve(op.ParamValue("inputPath")); err == nil && len(branches) > 0 {
+		for name := range branches {
+			if strings.Contains(op.ParamValue("inputPath"), name) || strings.HasSuffix(in, "/") {
+				j.InputBranches = append(j.InputBranches, name)
+			}
+		}
+		// Deterministic order: as declared by the split job — retained by
+		// sorting names descending so "high_degree" precedes "low_degree"
+		// (alphabetical happens to invert them).
+		sortBranchNames(j.InputBranches)
+	}
+	return j, nil
+}
+
+// resolveInside expands $refs embedded in a larger string (the split policy
+// "{>=,$threshold},{<,$threshold}").
+func resolveInside(res *config.Resolver, s string) (string, error) {
+	var out strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '$' {
+			out.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (isIdent(s[j]) || s[j] == '.') {
+			j++
+		}
+		v, err := res.Resolve(s[i:j])
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(v)
+		i = j
+	}
+	return out.String(), nil
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || c == '$' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func sortBranchNames(names []string) {
+	// The hybrid-cut workflow lists high_degree before low_degree; keep
+	// that convention stable for any branch set by simple lexicographic
+	// sort (high < low).
+	for i := 1; i < len(names); i++ {
+		for k := i; k > 0 && names[k] < names[k-1]; k-- {
+			names[k], names[k-1] = names[k-1], names[k]
+		}
+	}
+}
+
+// Describe renders the full plan, one job per line.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow %s (%s): input=%s output=%s partitions=%d\n",
+		p.WorkflowID, p.WorkflowName, p.InputPath, p.OutputPath, p.NumPartitions)
+	for i, j := range p.Jobs {
+		fmt.Fprintf(&b, "  job %d: %s\n", i+1, j.Describe())
+	}
+	return b.String()
+}

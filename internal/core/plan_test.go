@@ -1,0 +1,286 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataformat"
+)
+
+// The two paper workflows (Figures 8 and 10), used across planner and
+// executor tests.
+const blastWorkflowXML = `
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="num_reducers" type="integer" value="3"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="$num_reducers">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="ouputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.ouputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+const hybridWorkflowXML = `
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="Group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=,$threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="DistrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+func blastFileSchema() *dataformat.Schema { return testSchema() }
+
+func edgeFileSchema() *dataformat.Schema {
+	return &dataformat.Schema{
+		ID: "graph_edge", Binary: false,
+		Fields: []dataformat.Field{
+			{Name: "vertex_a", Type: dataformat.String, Delimiter: "\t"},
+			{Name: "vertex_b", Type: dataformat.String, Delimiter: "\n"},
+		},
+	}
+}
+
+func compileBlast(t *testing.T, np string) *Plan {
+	t.Helper()
+	wf, err := config.ParseWorkflow([]byte(blastWorkflowXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(wf, map[string]*dataformat.Schema{"blast_db": blastFileSchema()},
+		map[string]string{"input_path": "/in.db", "output_path": "/out", "num_partitions": np})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func compileHybrid(t *testing.T, np, threshold string) *Plan {
+	t.Helper()
+	wf, err := config.ParseWorkflow([]byte(hybridWorkflowXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(wf, map[string]*dataformat.Schema{"graph_edge": edgeFileSchema()},
+		map[string]string{"input_file": "/g.txt", "output_path": "/out",
+			"num_partitions": np, "threshold": threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestCompileBlastWorkflow(t *testing.T) {
+	plan := compileBlast(t, "3")
+	if len(plan.Jobs) != 2 {
+		t.Fatalf("got %d jobs: %s", len(plan.Jobs), plan.Describe())
+	}
+	sortJob, ok := plan.Jobs[0].(*SortJob)
+	if !ok || sortJob.KeyCol != "seq_size" || sortJob.Descending {
+		t.Fatalf("job 0 = %#v", plan.Jobs[0])
+	}
+	if sortJob.NumReducers != 3 {
+		t.Fatalf("num reducers = %d (from $num_reducers=3)", sortJob.NumReducers)
+	}
+	distr, ok := plan.Jobs[1].(*DistributeJob)
+	if !ok || distr.Policy != Cyclic || distr.NumPartitions != 3 {
+		t.Fatalf("job 1 = %#v", plan.Jobs[1])
+	}
+	if plan.InputPath != "/in.db" || plan.OutputPath != "/out" || plan.NumPartitions != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !strings.Contains(plan.Describe(), "sort[sort] key=seq_size") {
+		t.Fatalf("Describe() = %q", plan.Describe())
+	}
+}
+
+func TestCompileHybridWorkflow(t *testing.T) {
+	plan := compileHybrid(t, "3", "4")
+	if len(plan.Jobs) != 3 {
+		t.Fatalf("got %d jobs", len(plan.Jobs))
+	}
+	group, ok := plan.Jobs[0].(*GroupJob)
+	if !ok || group.KeyCol != "vertex_b" || !group.Pack {
+		t.Fatalf("job 0 = %#v", plan.Jobs[0])
+	}
+	if len(group.AddOns) != 1 || group.AddOns[0].AttrName != "indegree" ||
+		group.AddOns[0].AddOn.Name() != "count" {
+		t.Fatalf("addons = %+v", group.AddOns)
+	}
+	split, ok := plan.Jobs[1].(*SplitJob)
+	if !ok || split.KeyCol != "indegree" || len(split.Branches) != 2 {
+		t.Fatalf("job 1 = %#v", plan.Jobs[1])
+	}
+	if split.Branches[0].Name != "high_degree" || split.Branches[0].Condition.Op != ">=" ||
+		split.Branches[0].Condition.Threshold != 4 || split.Branches[0].Format != "unpack" {
+		t.Fatalf("branch 0 = %+v", split.Branches[0])
+	}
+	if split.Branches[1].Name != "low_degree" || split.Branches[1].Format != "orig" {
+		t.Fatalf("branch 1 = %+v", split.Branches[1])
+	}
+	distr, ok := plan.Jobs[2].(*DistributeJob)
+	if !ok || distr.Policy != GraphVertexCut {
+		t.Fatalf("job 2 = %#v", plan.Jobs[2])
+	}
+	if len(distr.InputBranches) != 2 || distr.InputBranches[0] != "high_degree" {
+		t.Fatalf("input branches = %v", distr.InputBranches)
+	}
+	// The group job extended the schema with the indegree attribute.
+	if plan.FinalSchema.Index("indegree") != 2 {
+		t.Fatalf("final schema = %v", plan.FinalSchema.Fields)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	wf, err := config.ParseWorkflow([]byte(blastWorkflowXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas := map[string]*dataformat.Schema{"blast_db": blastFileSchema()}
+
+	// Unknown schema reference.
+	if _, err := Compile(wf, map[string]*dataformat.Schema{}, nil); err == nil {
+		t.Error("missing schema accepted")
+	}
+	// Missing required argument (num_partitions) surfaces at resolve time.
+	if _, err := Compile(wf, schemas, map[string]string{"input_path": "/x"}); err == nil {
+		t.Error("unbound num_partitions accepted")
+	}
+	// Bad key column.
+	bad := strings.Replace(blastWorkflowXML, `value="seq_size"`, `value="no_such"`, 1)
+	wf2, err := config.ParseWorkflow([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(wf2, schemas, map[string]string{
+		"input_path": "/x", "output_path": "/y", "num_partitions": "2"}); err == nil {
+		t.Error("unknown sort key accepted")
+	}
+	// Unknown operator.
+	bad2 := strings.Replace(blastWorkflowXML, `operator="Sort"`, `operator="Shuffle"`, 1)
+	wf3, err := config.ParseWorkflow([]byte(bad2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(wf3, schemas, map[string]string{
+		"input_path": "/x", "output_path": "/y", "num_partitions": "2"}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	// Zero partitions.
+	if _, err := Compile(wf, schemas, map[string]string{
+		"input_path": "/x", "output_path": "/y", "num_partitions": "0"}); err == nil {
+		t.Error("zero partitions accepted")
+	}
+}
+
+func TestCompileSortFlagDescending(t *testing.T) {
+	withFlag := strings.Replace(blastWorkflowXML,
+		`<param name="key" type="KeyId" value="seq_size"/>`,
+		`<param name="key" type="KeyId" value="seq_size"/>
+       <param name="flag" type="integer" value="1"/>`, 1)
+	wf, err := config.ParseWorkflow([]byte(withFlag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(wf, map[string]*dataformat.Schema{"blast_db": blastFileSchema()},
+		map[string]string{"input_path": "/x", "output_path": "/y", "num_partitions": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Jobs[0].(*SortJob).Descending {
+		t.Fatal("flag=1 did not select descending")
+	}
+}
+
+func TestFrameworkEndToEndCompile(t *testing.T) {
+	f := NewFramework()
+	if _, err := f.RegisterInputConfig([]byte(`
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Schema("blast_db"); !ok {
+		t.Fatal("schema not registered")
+	}
+	plan, err := f.CompileWorkflowConfig([]byte(blastWorkflowXML), map[string]string{
+		"input_path": "/a", "output_path": "/b", "num_partitions": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPartitions != 4 {
+		t.Fatalf("partitions = %d", plan.NumPartitions)
+	}
+}
+
+func TestFrameworkDuplicateSchema(t *testing.T) {
+	f := NewFramework()
+	if err := f.RegisterSchema(blastFileSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RegisterSchema(blastFileSchema()); err == nil {
+		t.Fatal("duplicate schema accepted")
+	}
+}
+
+func TestEmitGo(t *testing.T) {
+	plan := compileBlast(t, "3")
+	src := plan.EmitGo("main")
+	for _, want := range []string{
+		"Code generated by PaPar",
+		"package main",
+		"func RunBlastPartition(",
+		"sort[sort] key=seq_size",
+		"distribute[distr] policy=cyclic partitions=3",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted source missing %q", want)
+		}
+	}
+	if got := emitFuncName("hybrid_cut"); got != "RunHybridCut" {
+		t.Errorf("emitFuncName = %q", got)
+	}
+}

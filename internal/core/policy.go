@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/dataformat"
+)
+
+// DistrPolicy names a distribution policy for the Distribute operator
+// (§III-B Table I: "policy of distribution: cyclic and block"; Fig. 10 adds
+// the graph-specific "graphVertexCut").
+type DistrPolicy int
+
+const (
+	// Cyclic distributes entries round-robin via the stride permutation
+	// matrix L^n_p ("roundRobin" in Fig. 8).
+	Cyclic DistrPolicy = iota
+	// Block keeps entries contiguous (identity matrix L^n_n).
+	Block
+	// GraphVertexCut is the PowerLyra policy: packed groups (low-degree
+	// vertices with all their edges) are placed whole by hashing the group
+	// key; unpacked rows (high-degree edges) are spread by hashing the
+	// out-vertex (first column).
+	GraphVertexCut
+	// Balanced is an extension beyond the paper's cyclic/block/hash set: a
+	// greedy longest-processing-time placement that assigns whole packed
+	// groups to the currently lightest partition (weight = member rows).
+	// It trades one extra size exchange for near-perfect row balance when
+	// group sizes are skewed. Flat rows degrade to cyclic.
+	Balanced
+)
+
+// ParseDistrPolicy converts configuration spellings.
+func ParseDistrPolicy(s string) (DistrPolicy, error) {
+	switch strings.TrimSpace(s) {
+	case "cyclic", "roundRobin", "round_robin":
+		return Cyclic, nil
+	case "block":
+		return Block, nil
+	case "graphVertexCut", "graph_vertex_cut", "hybrid":
+		return GraphVertexCut, nil
+	case "balanced", "weighted", "lpt":
+		return Balanced, nil
+	default:
+		return 0, fmt.Errorf("core: unknown distribution policy %q", s)
+	}
+}
+
+// String renders the canonical spelling.
+func (p DistrPolicy) String() string {
+	switch p {
+	case Cyclic:
+		return "cyclic"
+	case Block:
+		return "block"
+	case GraphVertexCut:
+		return "graphVertexCut"
+	case Balanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("DistrPolicy(%d)", int(p))
+	}
+}
+
+// HashValue buckets a value into [0, n) with a stable hash — used by the
+// graphVertexCut policy and the shuffle partitioners. Strings and the
+// numbers they parse to hash identically, so text and binary inputs
+// partition the same way.
+func HashValue(v dataformat.Value, n int) int {
+	h := fnv.New32a()
+	fmt.Fprint(h, v.AsString())
+	return int(h.Sum32() % uint32(n))
+}
+
+// SplitCondition is one arm of a Split policy: an operator and a threshold,
+// e.g. {>=, 200}.
+type SplitCondition struct {
+	Op        string // one of ">=", ">", "<=", "<", "==", "!="
+	Threshold int64
+}
+
+// Eval applies the condition to a key value.
+func (c SplitCondition) Eval(key int64) bool {
+	switch c.Op {
+	case ">=":
+		return key >= c.Threshold
+	case ">":
+		return key > c.Threshold
+	case "<=":
+		return key <= c.Threshold
+	case "<":
+		return key < c.Threshold
+	case "==":
+		return key == c.Threshold
+	case "!=":
+		return key != c.Threshold
+	default:
+		return false
+	}
+}
+
+// String renders the condition in the configuration syntax.
+func (c SplitCondition) String() string {
+	return fmt.Sprintf("{%s,%d}", c.Op, c.Threshold)
+}
+
+// ParseSplitPolicy parses the Fig. 10 split policy syntax, a comma-separated
+// list of conditions: "{>=,200},{<,200}". References must already be
+// resolved (the threshold is numeric).
+func ParseSplitPolicy(s string) ([]SplitCondition, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("core: empty split policy")
+	}
+	var out []SplitCondition
+	for len(s) > 0 {
+		if s[0] == ',' {
+			s = strings.TrimSpace(s[1:])
+			continue
+		}
+		if s[0] != '{' {
+			return nil, fmt.Errorf("core: split policy: expected '{' at %q", s)
+		}
+		end := strings.IndexByte(s, '}')
+		if end < 0 {
+			return nil, fmt.Errorf("core: split policy: unterminated condition in %q", s)
+		}
+		body := s[1:end]
+		s = strings.TrimSpace(s[end+1:])
+		parts := strings.SplitN(body, ",", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("core: split policy condition %q needs an operator and a threshold", body)
+		}
+		op := strings.TrimSpace(parts[0])
+		switch op {
+		case ">=", ">", "<=", "<", "==", "!=":
+		default:
+			return nil, fmt.Errorf("core: split policy: unknown comparison %q", op)
+		}
+		var thr int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(parts[1]), "%d", &thr); err != nil {
+			return nil, fmt.Errorf("core: split policy: bad threshold %q", parts[1])
+		}
+		out = append(out, SplitCondition{Op: op, Threshold: thr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: split policy %q has no conditions", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataformat"
+)
+
+func TestParseDistrPolicy(t *testing.T) {
+	cases := map[string]DistrPolicy{
+		"cyclic": Cyclic, "roundRobin": Cyclic, "round_robin": Cyclic,
+		"block":          Block,
+		"graphVertexCut": GraphVertexCut, "hybrid": GraphVertexCut,
+	}
+	for in, want := range cases {
+		got, err := ParseDistrPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDistrPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseDistrPolicy("random"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestDistrPolicyString(t *testing.T) {
+	for _, p := range []DistrPolicy{Cyclic, Block, GraphVertexCut} {
+		back, err := ParseDistrPolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip of %v failed", p)
+		}
+	}
+}
+
+func TestHashValueRangeAndStability(t *testing.T) {
+	v := dataformat.StrVal("vertex-17")
+	first := HashValue(v, 7)
+	for i := 0; i < 10; i++ {
+		if got := HashValue(v, 7); got != first {
+			t.Fatal("HashValue not stable")
+		}
+	}
+	if first < 0 || first >= 7 {
+		t.Fatalf("HashValue out of range: %d", first)
+	}
+	// Ints and their decimal strings hash identically (text and binary
+	// inputs partition the same).
+	if HashValue(dataformat.IntVal(42), 13) != HashValue(dataformat.StrVal("42"), 13) {
+		t.Fatal("numeric and string forms hash differently")
+	}
+}
+
+func TestHashValueRangeProperty(t *testing.T) {
+	f := func(s string, nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		h := HashValue(dataformat.StrVal(s), n)
+		return h >= 0 && h < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitConditionEval(t *testing.T) {
+	cases := []struct {
+		op   string
+		key  int64
+		want bool
+	}{
+		{">=", 200, true}, {">=", 199, false},
+		{">", 200, false}, {">", 201, true},
+		{"<=", 200, true}, {"<=", 201, false},
+		{"<", 199, true}, {"<", 200, false},
+		{"==", 200, true}, {"==", 1, false},
+		{"!=", 1, true}, {"!=", 200, false},
+		{"??", 200, false}, // unknown operator never matches
+	}
+	for _, c := range cases {
+		cond := SplitCondition{Op: c.op, Threshold: 200}
+		if got := cond.Eval(c.key); got != c.want {
+			t.Errorf("{%s,200}.Eval(%d) = %v, want %v", c.op, c.key, got, c.want)
+		}
+	}
+}
+
+func TestParseSplitPolicyPaperSyntax(t *testing.T) {
+	// Fig. 10: value="{>=, $threshold},{<,$threshold}" with threshold=4
+	// resolved.
+	conds, err := ParseSplitPolicy("{>=, 4},{<,4}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 2 {
+		t.Fatalf("got %d conditions", len(conds))
+	}
+	if conds[0].Op != ">=" || conds[0].Threshold != 4 {
+		t.Fatalf("cond 0 = %+v", conds[0])
+	}
+	if conds[1].Op != "<" || conds[1].Threshold != 4 {
+		t.Fatalf("cond 1 = %+v", conds[1])
+	}
+	if conds[0].String() != "{>=,4}" {
+		t.Fatalf("String() = %q", conds[0].String())
+	}
+}
+
+func TestParseSplitPolicyErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "nonsense", "{>=}", "{>=,x}", "{~,4}", "{>=,4", ",,,",
+	} {
+		if _, err := ParseSplitPolicy(s); err == nil {
+			t.Errorf("ParseSplitPolicy(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParseSplitPolicyWhitespaceTolerant(t *testing.T) {
+	conds, err := ParseSplitPolicy("  {>=, 200} , {<, 200}  ")
+	if err != nil || len(conds) != 2 {
+		t.Fatalf("conds = %v, %v", conds, err)
+	}
+}

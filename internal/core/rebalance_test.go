@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataformat"
+	"repro/internal/mpi"
+)
+
+// runRebalance executes a rebalance over a skewed initial placement and
+// returns the per-rank fragments.
+func runRebalance(t *testing.T, policy DistrPolicy, packed bool) ([][]Row, [][]Group, *RebalanceStats) {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(2)) // 4 ranks
+	rowsByRank := make([][]Row, cl.Size())
+	groupsByRank := make([][]Group, cl.Size())
+	var statsOut *RebalanceStats
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		comm := mpi.NewComm(r)
+		d := &Dataset{Schema: NewRowSchema(testSchema()), Packed: packed}
+		// Skew: rank 0 holds 40 entries, everyone else holds 0 — the
+		// straggler scenario §V's dynamic redistribution targets.
+		if r.ID() == 0 {
+			for i := 0; i < 40; i++ {
+				if packed {
+					d.Groups = append(d.Groups, Group{
+						Key:  dataformat.IntVal(int64(i)),
+						Rows: []Row{intRow(int64(i), 0, 0, 0)},
+					})
+				} else {
+					d.Rows = append(d.Rows, intRow(int64(i), int64(i), 0, 0))
+				}
+			}
+		}
+		out, stats, err := Rebalance(comm, d, policy)
+		if err != nil {
+			return err
+		}
+		rowsByRank[r.ID()] = out.Rows
+		groupsByRank[r.ID()] = out.Groups
+		if r.ID() == 0 {
+			statsOut = stats
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rowsByRank, groupsByRank, statsOut
+}
+
+func TestRebalanceCyclicEvensOutSkew(t *testing.T) {
+	rows, _, stats := runRebalance(t, Cyclic, false)
+	for rank, rs := range rows {
+		if len(rs) != 10 {
+			t.Fatalf("rank %d holds %d rows, want 10", rank, len(rs))
+		}
+		// Cyclic striping: rank r holds global entries r, r+4, ...
+		for i, row := range rs {
+			if want := int64(rank + 4*i); row.Values[0].Int != want {
+				t.Fatalf("rank %d row %d = %d, want %d", rank, i, row.Values[0].Int, want)
+			}
+		}
+	}
+	if stats.BeforeMax != 40 || stats.AfterMax != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Moved != 30 { // rank 0 keeps its 10
+		t.Fatalf("moved = %d, want 30", stats.Moved)
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatalf("no virtual time recorded")
+	}
+}
+
+func TestRebalanceBlockPreservesOrder(t *testing.T) {
+	rows, _, _ := runRebalance(t, Block, false)
+	next := int64(0)
+	for rank, rs := range rows {
+		if len(rs) != 10 {
+			t.Fatalf("rank %d holds %d rows", rank, len(rs))
+		}
+		for _, row := range rs {
+			if row.Values[0].Int != next {
+				t.Fatalf("block order broken: got %d, want %d", row.Values[0].Int, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestRebalancePackedGroups(t *testing.T) {
+	_, groups, _ := runRebalance(t, Cyclic, true)
+	total := 0
+	for rank, gs := range groups {
+		if len(gs) != 10 {
+			t.Fatalf("rank %d holds %d groups", rank, len(gs))
+		}
+		total += len(gs)
+	}
+	if total != 40 {
+		t.Fatalf("groups lost: %d", total)
+	}
+}
+
+func TestRebalanceRejectsGraphPolicy(t *testing.T) {
+	cl := cluster.New(cluster.DefaultConfig(1))
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		_, _, err := Rebalance(mpi.NewComm(r), &Dataset{Schema: NewRowSchema(testSchema())}, GraphVertexCut)
+		if err == nil {
+			return fmt.Errorf("graphVertexCut accepted by Rebalance")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceAlreadyBalancedMovesLittle(t *testing.T) {
+	cl := cluster.New(cluster.DefaultConfig(2))
+	var moved int64 = -1
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		comm := mpi.NewComm(r)
+		d := &Dataset{Schema: NewRowSchema(testSchema())}
+		// Already block-balanced: rank r holds globals [10r, 10r+10).
+		for i := 0; i < 10; i++ {
+			d.Rows = append(d.Rows, intRow(int64(r.ID()*10+i), 0, 0, 0))
+		}
+		_, stats, err := Rebalance(comm, d, Block)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			moved = stats.Moved
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("balanced data moved %d entries under block policy", moved)
+	}
+}
+
+func TestSplitFramedErrors(t *testing.T) {
+	if _, err := splitFramed([]byte{1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := splitFramed([]byte{5, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	out, err := splitFramed(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty buffer: %v, %v", out, err)
+	}
+}

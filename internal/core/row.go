@@ -1,0 +1,295 @@
+// Package core implements PaPar itself: the operator taxonomy (§III-B), the
+// workflow planner/code generator (§III-D), and the runtime that executes
+// generated partitioners on the MapReduce-over-MPI backend.
+//
+// A workflow flows Datasets between jobs. A Dataset is either flat — a
+// distributed collection of Rows — or packed — a distributed collection of
+// Groups, the output of the pack format operator. Each Row is the field
+// values of one input element (per the input schema) plus any attribute
+// columns appended by add-on operators; the RowSchema names the columns at
+// each point of the workflow so that operators can bind keys by name.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dataformat"
+)
+
+// Row is one element flowing through a workflow.
+type Row struct {
+	Values []dataformat.Value
+}
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	return Row{Values: append([]dataformat.Value(nil), r.Values...)}
+}
+
+// String renders the row in the paper's tuple notation.
+func (r Row) String() string {
+	out := "{"
+	for i, v := range r.Values {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.AsString()
+	}
+	return out + "}"
+}
+
+// RowSchema names the columns of rows at one point in a workflow. It starts
+// as the input schema's field list and grows when add-on operators append
+// attributes (§III-B: add-on operators "will add or delete data
+// attributes").
+type RowSchema struct {
+	Fields []string
+	Types  []dataformat.FieldType
+}
+
+// NewRowSchema derives the starting row schema from an input schema.
+func NewRowSchema(s *dataformat.Schema) *RowSchema {
+	rs := &RowSchema{
+		Fields: make([]string, len(s.Fields)),
+		Types:  make([]dataformat.FieldType, len(s.Fields)),
+	}
+	for i, f := range s.Fields {
+		rs.Fields[i] = f.Name
+		rs.Types[i] = f.Type
+	}
+	return rs
+}
+
+// Clone copies the schema.
+func (rs *RowSchema) Clone() *RowSchema {
+	return &RowSchema{
+		Fields: append([]string(nil), rs.Fields...),
+		Types:  append([]dataformat.FieldType(nil), rs.Types...),
+	}
+}
+
+// Index returns the column position of the named field, or -1.
+func (rs *RowSchema) Index(name string) int {
+	for i, f := range rs.Fields {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// WithAttr returns a copy of the schema with one appended attribute column.
+func (rs *RowSchema) WithAttr(name string, t dataformat.FieldType) (*RowSchema, error) {
+	if rs.Index(name) >= 0 {
+		return nil, fmt.Errorf("core: schema already has column %q", name)
+	}
+	out := rs.Clone()
+	out.Fields = append(out.Fields, name)
+	out.Types = append(out.Types, t)
+	return out, nil
+}
+
+// Project returns a copy keeping only the first n columns — used when
+// output must drop appended attributes to recover the input format.
+func (rs *RowSchema) Project(n int) *RowSchema {
+	out := rs.Clone()
+	out.Fields = out.Fields[:n]
+	out.Types = out.Types[:n]
+	return out
+}
+
+// Group is one packed entry: a group key and its member rows — the output of
+// the pack format operator (§III-B), e.g. all edges sharing an in-vertex.
+type Group struct {
+	Key  dataformat.Value
+	Rows []Row
+}
+
+// Dataset is a rank-local fragment of the distributed data between jobs.
+// Exactly one of Rows/Groups is meaningful depending on Packed.
+type Dataset struct {
+	Schema *RowSchema
+	Packed bool
+	Rows   []Row
+	Groups []Group
+}
+
+// Len returns the number of top-level entries (rows, or groups when packed).
+func (d *Dataset) Len() int {
+	if d.Packed {
+		return len(d.Groups)
+	}
+	return len(d.Rows)
+}
+
+// TotalRows returns the number of member rows, unpacking groups.
+func (d *Dataset) TotalRows() int {
+	if !d.Packed {
+		return len(d.Rows)
+	}
+	n := 0
+	for _, g := range d.Groups {
+		n += len(g.Rows)
+	}
+	return n
+}
+
+// encodeValue serializes one value: tag byte then payload.
+func encodeValue(buf []byte, v dataformat.Value) []byte {
+	if v.IsStr {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Str)))
+		return append(buf, v.Str...)
+	}
+	buf = append(buf, 0)
+	return binary.LittleEndian.AppendUint64(buf, uint64(v.Int))
+}
+
+func decodeValue(buf []byte) (dataformat.Value, []byte, error) {
+	if len(buf) < 1 {
+		return dataformat.Value{}, nil, fmt.Errorf("core: truncated value")
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case 0:
+		if len(buf) < 8 {
+			return dataformat.Value{}, nil, fmt.Errorf("core: truncated int value")
+		}
+		v := dataformat.IntVal(int64(binary.LittleEndian.Uint64(buf)))
+		return v, buf[8:], nil
+	case 1:
+		if len(buf) < 4 {
+			return dataformat.Value{}, nil, fmt.Errorf("core: truncated string header")
+		}
+		n := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < n {
+			return dataformat.Value{}, nil, fmt.Errorf("core: truncated string value")
+		}
+		v := dataformat.StrVal(string(buf[:n]))
+		return v, buf[n:], nil
+	default:
+		return dataformat.Value{}, nil, fmt.Errorf("core: unknown value tag %d", tag)
+	}
+}
+
+// EncodeRow serializes a row for the shuffle.
+func EncodeRow(r Row) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(r.Values)))
+	for _, v := range r.Values {
+		buf = encodeValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeRow parses a buffer produced by EncodeRow.
+func DecodeRow(buf []byte) (Row, error) {
+	r, rest, err := decodeRowPrefix(buf)
+	if err != nil {
+		return Row{}, err
+	}
+	if len(rest) != 0 {
+		return Row{}, fmt.Errorf("core: %d trailing bytes after row", len(rest))
+	}
+	return r, nil
+}
+
+func decodeRowPrefix(buf []byte) (Row, []byte, error) {
+	if len(buf) < 4 {
+		return Row{}, nil, fmt.Errorf("core: truncated row header")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	// The count is untrusted wire data: cap the preallocation so a corrupt
+	// header cannot demand gigabytes (append still grows as needed).
+	r := Row{Values: make([]dataformat.Value, 0, clampPrealloc(n))}
+	for i := uint32(0); i < n; i++ {
+		var v dataformat.Value
+		var err error
+		v, buf, err = decodeValue(buf)
+		if err != nil {
+			return Row{}, nil, err
+		}
+		r.Values = append(r.Values, v)
+	}
+	return r, buf, nil
+}
+
+// EncodeGroup serializes a packed group for the shuffle.
+func EncodeGroup(g Group) []byte {
+	buf := encodeValue(nil, g.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Rows)))
+	for _, r := range g.Rows {
+		row := EncodeRow(r)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(row)))
+		buf = append(buf, row...)
+	}
+	return buf
+}
+
+// DecodeGroup parses a buffer produced by EncodeGroup.
+func DecodeGroup(buf []byte) (Group, error) {
+	key, buf, err := decodeValue(buf)
+	if err != nil {
+		return Group{}, err
+	}
+	if len(buf) < 4 {
+		return Group{}, fmt.Errorf("core: truncated group header")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	g := Group{Key: key, Rows: make([]Row, 0, clampPrealloc(n))}
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 4 {
+			return Group{}, fmt.Errorf("core: truncated group row header")
+		}
+		l := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < l {
+			return Group{}, fmt.Errorf("core: truncated group row")
+		}
+		r, err := DecodeRow(buf[:l])
+		if err != nil {
+			return Group{}, err
+		}
+		buf = buf[l:]
+		g.Rows = append(g.Rows, r)
+	}
+	if len(buf) != 0 {
+		return Group{}, fmt.Errorf("core: %d trailing bytes after group", len(buf))
+	}
+	return g, nil
+}
+
+// clampPrealloc bounds slice preallocation driven by untrusted wire counts.
+func clampPrealloc(n uint32) int {
+	const max = 4096
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+// RecordsToRows converts parsed input records into workflow rows.
+func RecordsToRows(recs []dataformat.Record) []Row {
+	rows := make([]Row, len(recs))
+	for i, rec := range recs {
+		rows[i] = Row{Values: append([]dataformat.Value(nil), rec.Values...)}
+	}
+	return rows
+}
+
+// RowsToRecords converts rows back to records of the given file schema,
+// verifying the arity matches (attributes must have been dropped first).
+func RowsToRecords(s *dataformat.Schema, rows []Row) ([]dataformat.Record, error) {
+	recs := make([]dataformat.Record, len(rows))
+	for i, r := range rows {
+		if len(r.Values) != len(s.Fields) {
+			return nil, fmt.Errorf("core: row %d has %d values for %d schema fields", i, len(r.Values), len(s.Fields))
+		}
+		recs[i] = dataformat.Record{Schema: s, Values: append([]dataformat.Value(nil), r.Values...)}
+	}
+	return recs, nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataformat"
+)
+
+func testSchema() *dataformat.Schema {
+	return &dataformat.Schema{
+		ID: "blast_db", Binary: true, StartPosition: 32,
+		Fields: []dataformat.Field{
+			{Name: "seq_start", Type: dataformat.Integer},
+			{Name: "seq_size", Type: dataformat.Integer},
+			{Name: "desc_start", Type: dataformat.Integer},
+			{Name: "desc_size", Type: dataformat.Integer},
+		},
+	}
+}
+
+func intRow(vals ...int64) Row {
+	r := Row{Values: make([]dataformat.Value, len(vals))}
+	for i, v := range vals {
+		r.Values[i] = dataformat.IntVal(v)
+	}
+	return r
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := intRow(1, 2)
+	c := r.Clone()
+	c.Values[0] = dataformat.IntVal(99)
+	if r.Values[0].Int != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRowStringPaperNotation(t *testing.T) {
+	if got := intRow(0, 94, 0, 74).String(); got != "{0, 94, 0, 74}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestNewRowSchema(t *testing.T) {
+	rs := NewRowSchema(testSchema())
+	if len(rs.Fields) != 4 || rs.Index("seq_size") != 1 || rs.Index("none") != -1 {
+		t.Fatalf("row schema = %+v", rs)
+	}
+}
+
+func TestRowSchemaWithAttr(t *testing.T) {
+	rs := NewRowSchema(testSchema())
+	rs2, err := rs.WithAttr("indegree", dataformat.Long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Index("indegree") != 4 {
+		t.Fatalf("attr index = %d", rs2.Index("indegree"))
+	}
+	if rs.Index("indegree") != -1 {
+		t.Fatal("WithAttr mutated the receiver")
+	}
+	if _, err := rs2.WithAttr("indegree", dataformat.Long); err == nil {
+		t.Fatal("duplicate attr accepted")
+	}
+}
+
+func TestRowSchemaProject(t *testing.T) {
+	rs := NewRowSchema(testSchema())
+	rs2, _ := rs.WithAttr("x", dataformat.Long)
+	back := rs2.Project(4)
+	if !reflect.DeepEqual(back.Fields, rs.Fields) {
+		t.Fatalf("Project = %v", back.Fields)
+	}
+}
+
+func TestEncodeDecodeRow(t *testing.T) {
+	rows := []Row{
+		intRow(),
+		intRow(1, -2, 3),
+		{Values: []dataformat.Value{dataformat.StrVal("vertex"), dataformat.IntVal(7)}},
+		{Values: []dataformat.Value{dataformat.StrVal("")}},
+	}
+	for i, r := range rows {
+		got, err := DecodeRow(EncodeRow(r))
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if len(got.Values) != len(r.Values) {
+			t.Fatalf("row %d arity mismatch", i)
+		}
+		for j := range r.Values {
+			if got.Values[j].AsString() != r.Values[j].AsString() ||
+				got.Values[j].IsStr != r.Values[j].IsStr {
+				t.Fatalf("row %d value %d: %v vs %v", i, j, got.Values[j], r.Values[j])
+			}
+		}
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 0},
+		{1, 0, 0, 0},                       // declares 1 value, no payload
+		{1, 0, 0, 0, 9},                    // unknown tag
+		{1, 0, 0, 0, 0, 1, 2},              // truncated int
+		{1, 0, 0, 0, 1, 5, 0, 0},           // truncated string header
+		{1, 0, 0, 0, 1, 5, 0, 0, 0, 'a'},   // truncated string
+		append(EncodeRow(intRow(1)), 0xFF), // trailing bytes
+	}
+	for i, buf := range cases {
+		if _, err := DecodeRow(buf); err == nil {
+			t.Errorf("case %d: DecodeRow succeeded", i)
+		}
+	}
+}
+
+func TestEncodeDecodeGroup(t *testing.T) {
+	g := Group{
+		Key:  dataformat.StrVal("1"),
+		Rows: []Row{intRow(2, 1, 4), intRow(3, 1, 4)},
+	}
+	got, err := DecodeGroup(EncodeGroup(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key.AsString() != "1" || len(got.Rows) != 2 {
+		t.Fatalf("group = %+v", got)
+	}
+	if got.Rows[1].Values[0].Int != 3 {
+		t.Fatalf("member row lost: %v", got.Rows[1])
+	}
+}
+
+func TestDecodeGroupErrors(t *testing.T) {
+	good := EncodeGroup(Group{Key: dataformat.IntVal(1), Rows: []Row{intRow(1)}})
+	cases := [][]byte{
+		nil,
+		good[:5],
+		good[:len(good)-2],
+		append(append([]byte(nil), good...), 1),
+	}
+	for i, buf := range cases {
+		if _, err := DecodeGroup(buf); err == nil {
+			t.Errorf("case %d: DecodeGroup succeeded", i)
+		}
+	}
+}
+
+func TestDatasetCounts(t *testing.T) {
+	flat := &Dataset{Rows: []Row{intRow(1), intRow(2)}}
+	if flat.Len() != 2 || flat.TotalRows() != 2 {
+		t.Fatalf("flat counts: %d, %d", flat.Len(), flat.TotalRows())
+	}
+	packed := &Dataset{Packed: true, Groups: []Group{
+		{Key: dataformat.IntVal(1), Rows: []Row{intRow(1), intRow(2)}},
+		{Key: dataformat.IntVal(2), Rows: []Row{intRow(3)}},
+	}}
+	if packed.Len() != 2 || packed.TotalRows() != 3 {
+		t.Fatalf("packed counts: %d, %d", packed.Len(), packed.TotalRows())
+	}
+}
+
+func TestRecordsRowsRoundTrip(t *testing.T) {
+	s := testSchema()
+	recs := []dataformat.Record{
+		{Schema: s, Values: []dataformat.Value{
+			dataformat.IntVal(0), dataformat.IntVal(94), dataformat.IntVal(0), dataformat.IntVal(74)}},
+	}
+	rows := RecordsToRows(recs)
+	back, err := RowsToRecords(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back[0].Values, recs[0].Values) {
+		t.Fatalf("round trip mismatch")
+	}
+	// Arity mismatch must be rejected.
+	if _, err := RowsToRecords(s, []Row{intRow(1, 2)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+// Property: row encode/decode round-trips arbitrary int rows.
+func TestRowCodecProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		r := Row{Values: make([]dataformat.Value, len(vals))}
+		for i, v := range vals {
+			r.Values[i] = dataformat.IntVal(v)
+		}
+		got, err := DecodeRow(EncodeRow(r))
+		if err != nil || len(got.Values) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got.Values[i].Int != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: keyAsSortable is monotone for strings.
+func TestKeyAsSortableMonotoneProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := dataformat.StrVal(a), dataformat.StrVal(b)
+		if a <= b {
+			return keyAsSortable(va) <= keyAsSortable(vb)
+		}
+		return keyAsSortable(va) >= keyAsSortable(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b dataformat.Value
+		want int
+	}{
+		{dataformat.IntVal(1), dataformat.IntVal(2), -1},
+		{dataformat.IntVal(2), dataformat.IntVal(2), 0},
+		{dataformat.IntVal(3), dataformat.IntVal(2), 1},
+		{dataformat.StrVal("a"), dataformat.StrVal("b"), -1},
+		{dataformat.StrVal("b"), dataformat.StrVal("b"), 0},
+		{dataformat.StrVal("10"), dataformat.IntVal(9), -1}, // mixed: string compare
+	}
+	for i, c := range cases {
+		if got := compareValues(c.a, c.b); got != c.want {
+			t.Errorf("case %d: compare = %d, want %d", i, got, c.want)
+		}
+	}
+}

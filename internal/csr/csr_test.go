@@ -1,0 +1,197 @@
+package csr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperTriples is the §III-D example: reducer 0 holds packed data
+// {{2,1,4},{3,1,4},{4,1,4},{5,1,4}} — out-vertices 2..5 all pointing at
+// in-vertex 1 which has indegree 4.
+func paperTriples() []Triple {
+	return []Triple{
+		{Major: 1, Minor: 2, Value: 4},
+		{Major: 1, Minor: 3, Value: 4},
+		{Major: 1, Minor: 4, Value: 4},
+		{Major: 1, Minor: 5, Value: 4},
+	}
+}
+
+func TestCompressPaperExample(t *testing.T) {
+	c := Compress(paperTriples())
+	if c.Groups() != 1 || c.Len() != 4 {
+		t.Fatalf("groups=%d len=%d", c.Groups(), c.Len())
+	}
+	major, minors, values := c.Group(0)
+	if major != 1 {
+		t.Fatalf("major = %d", major)
+	}
+	// Paper's CSC form: {0, {2,3,4,5}, {4,4,4,4}}.
+	if c.Starts[0] != 0 {
+		t.Fatalf("start pointer = %d, want 0", c.Starts[0])
+	}
+	if !reflect.DeepEqual(minors, []int64{2, 3, 4, 5}) {
+		t.Fatalf("minors = %v", minors)
+	}
+	if !reflect.DeepEqual(values, []int64{4, 4, 4, 4}) {
+		t.Fatalf("values = %v", values)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ts := make([]Triple, 500)
+	for i := range ts {
+		ts[i] = Triple{Major: int64(rng.Intn(20)), Minor: int64(i), Value: int64(rng.Intn(5))}
+	}
+	got := Compress(ts).Decompress()
+	if len(got) != len(ts) {
+		t.Fatalf("lost triples: %d vs %d", len(got), len(ts))
+	}
+	// Decompress emits groups ascending by major with per-major input order
+	// preserved; verify per-major subsequences.
+	perMajor := func(ts []Triple) map[int64][]Triple {
+		m := map[int64][]Triple{}
+		for _, t := range ts {
+			m[t.Major] = append(m[t.Major], t)
+		}
+		return m
+	}
+	a, b := perMajor(ts), perMajor(got)
+	if len(a) != len(b) {
+		t.Fatalf("major set changed")
+	}
+	for k, v := range a {
+		if !reflect.DeepEqual(v, b[k]) {
+			t.Fatalf("major %d order changed", k)
+		}
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	c := Compress(nil)
+	if c.Groups() != 0 || c.Len() != 0 {
+		t.Fatalf("empty compress: %d groups, %d triples", c.Groups(), c.Len())
+	}
+	if got := c.Decompress(); len(got) != 0 {
+		t.Fatalf("decompress of empty = %v", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := Compress(paperTriples())
+	buf := c.Encode()
+	if len(buf) != c.EncodedSize() {
+		t.Fatalf("Encode produced %d bytes, EncodedSize says %d", len(buf), c.EncodedSize())
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("decode mismatch:\n%+v\n%+v", got, c)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Compress(paperTriples()).Encode()
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     {1, 2, 3},
+		"truncated": good[:len(good)-4],
+		"padded":    append(append([]byte(nil), good...), 0),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: Decode succeeded", name)
+		}
+	}
+}
+
+func TestDecodeValidatesStructure(t *testing.T) {
+	c := Compress(paperTriples())
+	c.Starts[1] = 99 // corrupt final pointer
+	if _, err := Decode(c.Encode()); err == nil {
+		t.Fatal("corrupt starts accepted")
+	}
+}
+
+func TestCompressionHelpsRedundantData(t *testing.T) {
+	// High redundancy (one major, many edges) must compress well below raw.
+	n := 1000
+	ts := make([]Triple, n)
+	for i := range ts {
+		ts[i] = Triple{Major: 7, Minor: int64(i), Value: int64(n)}
+	}
+	c := Compress(ts)
+	ratio := float64(c.EncodedSize()) / float64(RawSize(n))
+	if ratio >= 0.75 {
+		t.Fatalf("compression ratio %.2f on redundant data, want < 0.75", ratio)
+	}
+}
+
+func TestCompressionRatioFormula(t *testing.T) {
+	ts := make([]Triple, 200)
+	for i := range ts {
+		ts[i] = Triple{Major: int64(i % 10), Minor: int64(i), Value: 1}
+	}
+	c := Compress(ts)
+	want := float64(c.EncodedSize()) / float64(RawSize(len(ts)))
+	if got := CompressionRatio(len(ts), c.Groups()); got != want {
+		t.Fatalf("CompressionRatio = %v, want %v", got, want)
+	}
+	if got := CompressionRatio(0, 0); got != 1 {
+		t.Fatalf("CompressionRatio(0,0) = %v", got)
+	}
+}
+
+func TestValuesNotCompressed(t *testing.T) {
+	// The paper keeps the value array uncompressed for generality: distinct
+	// per-edge values must round-trip exactly.
+	ts := []Triple{
+		{Major: 1, Minor: 2, Value: 10},
+		{Major: 1, Minor: 3, Value: 20},
+		{Major: 1, Minor: 4, Value: 30},
+	}
+	c := Compress(ts)
+	_, _, values := c.Group(0)
+	if !reflect.DeepEqual(values, []int64{10, 20, 30}) {
+		t.Fatalf("values = %v", values)
+	}
+}
+
+// Property: Compress/Decompress preserves the triple multiset and sorts
+// groups by major.
+func TestCompressProperty(t *testing.T) {
+	f := func(majors []uint8, minors []uint8) bool {
+		n := len(majors)
+		if len(minors) < n {
+			n = len(minors)
+		}
+		ts := make([]Triple, n)
+		for i := 0; i < n; i++ {
+			ts[i] = Triple{Major: int64(majors[i] % 10), Minor: int64(minors[i]), Value: int64(i)}
+		}
+		c := Compress(ts)
+		if err := c.validate(); err != nil {
+			return false
+		}
+		back := c.Decompress()
+		if len(back) != n {
+			return false
+		}
+		for i := 1; i < c.Groups(); i++ {
+			if c.Majors[i-1] >= c.Majors[i] {
+				return false
+			}
+		}
+		// Round-trip through wire form too.
+		c2, err := Decode(c.Encode())
+		return err == nil && reflect.DeepEqual(c2, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+package dataformat
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// blastSchema mirrors the paper's Figure 4: binary file, index starts at
+// byte 32, four integer fields.
+func blastSchema() *Schema {
+	return &Schema{
+		ID:            "blast_db",
+		Name:          "BLAST Database file",
+		Binary:        true,
+		StartPosition: 32,
+		Fields: []Field{
+			{Name: "seq_start", Type: Integer},
+			{Name: "seq_size", Type: Integer},
+			{Name: "desc_start", Type: Integer},
+			{Name: "desc_size", Type: Integer},
+		},
+	}
+}
+
+// edgeSchema mirrors Figure 5: text file, vertex_a TAB vertex_b NEWLINE.
+func edgeSchema() *Schema {
+	return &Schema{
+		ID:     "graph_edge",
+		Name:   "edge lists",
+		Binary: false,
+		Fields: []Field{
+			{Name: "vertex_a", Type: String, Delimiter: "\t"},
+			{Name: "vertex_b", Type: String, Delimiter: "\n"},
+		},
+	}
+}
+
+func TestParseFieldType(t *testing.T) {
+	cases := map[string]FieldType{
+		"integer": Integer, "int": Integer,
+		"long": Long, "int64": Long,
+		"String": String, "string": String,
+	}
+	for in, want := range cases {
+		got, err := ParseFieldType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFieldType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFieldType("float"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	for _, ft := range []FieldType{Integer, Long, String} {
+		back, err := ParseFieldType(ft.String())
+		if err != nil || back != ft {
+			t.Errorf("round trip of %v failed: %v, %v", ft, back, err)
+		}
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := blastSchema().Validate(); err != nil {
+		t.Errorf("paper blast schema invalid: %v", err)
+	}
+	if err := edgeSchema().Validate(); err != nil {
+		t.Errorf("paper edge schema invalid: %v", err)
+	}
+	bad := []*Schema{
+		{},                                     // no id
+		{ID: "x"},                              // no fields
+		{ID: "x", Fields: []Field{{Name: ""}}}, // unnamed field
+		{ID: "x", Fields: []Field{{Name: "a", Type: Integer, Delimiter: ","}, {Name: "a", Type: Integer, Delimiter: ","}}}, // dup
+		{ID: "x", Binary: true, Fields: []Field{{Name: "s", Type: String}}},                                                // string in binary
+		{ID: "x", Fields: []Field{{Name: "a", Type: String}}},                                                              // text field w/o delimiter
+		{ID: "x", StartPosition: 8, Fields: []Field{{Name: "a", Type: String, Delimiter: ","}}},                            // start pos on text
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d validated", i)
+		}
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	n, err := blastSchema().RecordSize()
+	if err != nil || n != 16 {
+		t.Fatalf("blast record size = %d, %v; want 16 (paper: 4 bytes/integer * 4)", n, err)
+	}
+	if _, err := edgeSchema().RecordSize(); err == nil {
+		t.Error("RecordSize on text schema succeeded")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if v, err := StrVal("123").AsInt(); err != nil || v != 123 {
+		t.Errorf("AsInt(\"123\") = %d, %v", v, err)
+	}
+	if _, err := StrVal("abc").AsInt(); err == nil {
+		t.Error("AsInt(\"abc\") succeeded")
+	}
+	if got := IntVal(-9).AsString(); got != "-9" {
+		t.Errorf("AsString(-9) = %q", got)
+	}
+	if got := StrVal("x").AsString(); got != "x" {
+		t.Errorf("AsString(x) = %q", got)
+	}
+}
+
+func TestRecordFieldAccess(t *testing.T) {
+	s := blastSchema()
+	r := Record{Schema: s, Values: []Value{IntVal(0), IntVal(94), IntVal(0), IntVal(74)}}
+	if v, err := r.IntField("seq_size"); err != nil || v != 94 {
+		t.Fatalf("seq_size = %d, %v", v, err)
+	}
+	if _, err := r.Field("nope"); err == nil {
+		t.Error("missing field access succeeded")
+	}
+	if got := r.String(); got != "{0, 94, 0, 74}" {
+		t.Errorf("String() = %q, want paper tuple notation", got)
+	}
+}
+
+func writeTempBlast(t *testing.T, recs []Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blast.db")
+	if err := WriteFile(blastSchema(), path, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func paperIndexRecords(s *Schema) []Record {
+	tuples := [][4]int64{
+		{0, 94, 0, 74}, {94, 100, 74, 89}, {194, 99, 163, 109}, {293, 91, 272, 107},
+	}
+	recs := make([]Record, 0, len(tuples))
+	for _, tu := range tuples {
+		recs = append(recs, Record{Schema: s,
+			Values: []Value{IntVal(tu[0]), IntVal(tu[1]), IntVal(tu[2]), IntVal(tu[3])}})
+	}
+	return recs
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := blastSchema()
+	recs := paperIndexRecords(s)
+	path := writeTempBlast(t, recs)
+
+	// The header must be exactly StartPosition bytes.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(32 + 16*len(recs)); info.Size() != want {
+		t.Fatalf("file size %d, want %d", info.Size(), want)
+	}
+
+	got, err := ReadAll(s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", got, recs)
+	}
+}
+
+func TestBinarySplitsOnRecordBoundaries(t *testing.T) {
+	s := blastSchema()
+	recs := paperIndexRecords(s)
+	path := writeTempBlast(t, recs)
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		sps, err := Splits(s, path, n)
+		if err != nil {
+			t.Fatalf("Splits(%d): %v", n, err)
+		}
+		if len(sps) != n {
+			t.Fatalf("got %d splits, want %d", len(sps), n)
+		}
+		var all []Record
+		for _, sp := range sps {
+			if (sp.Offset-32)%16 != 0 || sp.Length%16 != 0 {
+				t.Fatalf("split %d not on record boundary: %+v", sp.Index, sp)
+			}
+			part, err := ReadSplit(s, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, part...)
+		}
+		if !reflect.DeepEqual(all, recs) {
+			t.Fatalf("n=%d: concatenated splits differ from file", n)
+		}
+	}
+}
+
+func TestBinarySplitErrors(t *testing.T) {
+	s := blastSchema()
+	dir := t.TempDir()
+	// Too-short file.
+	short := filepath.Join(dir, "short.db")
+	if err := os.WriteFile(short, make([]byte, 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Splits(s, short, 2); err == nil {
+		t.Error("short file accepted")
+	}
+	// Ragged body.
+	ragged := filepath.Join(dir, "ragged.db")
+	if err := os.WriteFile(ragged, make([]byte, 32+17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Splits(s, ragged, 2); err == nil {
+		t.Error("ragged file accepted")
+	}
+	// Missing file, bad split count.
+	if _, err := Splits(s, filepath.Join(dir, "missing"), 2); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := Splits(s, short, 0); err == nil {
+		t.Error("zero splits accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := edgeSchema()
+	recs := []Record{
+		{Schema: s, Values: []Value{StrVal("1"), StrVal("2")}},
+		{Schema: s, Values: []Value{StrVal("1"), StrVal("3")}},
+		{Schema: s, Values: []Value{StrVal("7"), StrVal("1")}},
+	}
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := WriteFile(s, path, recs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "1\t2\n1\t3\n7\t1\n"; string(raw) != want {
+		t.Fatalf("text layout = %q, want %q", raw, want)
+	}
+	got, err := ReadAll(s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("text round trip mismatch")
+	}
+}
+
+func TestTextSplitsRespectLines(t *testing.T) {
+	s := edgeSchema()
+	var sb strings.Builder
+	const n = 103
+	for i := 0; i < n; i++ {
+		sb.WriteString("11111\t222222222\n")
+	}
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 8} {
+		sps, err := Splits(s, path, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, sp := range sps {
+			recs, err := ReadSplit(s, sp)
+			if err != nil {
+				t.Fatalf("k=%d split %d: %v", k, sp.Index, err)
+			}
+			total += len(recs)
+		}
+		if total != n {
+			t.Fatalf("k=%d: %d records across splits, want %d", k, total, n)
+		}
+	}
+}
+
+func TestTextMissingTrailingNewlineTolerated(t *testing.T) {
+	s := edgeSchema()
+	recs, err := DecodeText(s, []byte("1\t2\n3\t4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Values[1].AsString() != "4" {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	s := edgeSchema()
+	if _, err := DecodeText(s, []byte("no-tab-here\n")); err == nil {
+		t.Error("missing field delimiter accepted")
+	}
+	numeric := &Schema{ID: "n", Fields: []Field{{Name: "v", Type: Integer, Delimiter: "\n"}}}
+	if _, err := DecodeText(numeric, []byte("12x\n")); err == nil {
+		t.Error("bad numeric text accepted")
+	}
+	if recs, err := DecodeText(s, nil); err != nil || len(recs) != 0 {
+		t.Errorf("empty buffer: %v, %v", recs, err)
+	}
+}
+
+func TestTextNumericFields(t *testing.T) {
+	s := &Schema{ID: "nums", Fields: []Field{
+		{Name: "a", Type: Integer, Delimiter: "\t"},
+		{Name: "b", Type: Long, Delimiter: "\n"},
+	}}
+	recs, err := DecodeText(s, []byte("-5\t900000000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := recs[0].IntField("a")
+	b, _ := recs[0].IntField("b")
+	if a != -5 || b != 900000000000 {
+		t.Fatalf("parsed %d, %d", a, b)
+	}
+}
+
+func TestEncodeBinaryErrors(t *testing.T) {
+	s := blastSchema()
+	if _, err := EncodeBinary(s, []Record{{Schema: s, Values: []Value{IntVal(1)}}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	bad := Record{Schema: s, Values: []Value{StrVal("x"), IntVal(0), IntVal(0), IntVal(0)}}
+	if _, err := EncodeBinary(s, []Record{bad}); err == nil {
+		t.Error("non-numeric value accepted in binary encode")
+	}
+}
+
+func TestPartitionPath(t *testing.T) {
+	got := PartitionPath("/out", 3)
+	if got != filepath.Join("/out", "part-00003") {
+		t.Fatalf("PartitionPath = %q", got)
+	}
+}
+
+func TestParseIntProperty(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := parseInt(IntVal(v).AsString())
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

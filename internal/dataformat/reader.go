@@ -1,0 +1,223 @@
+package dataformat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Split is one contiguous chunk of an input file, assigned to one mapper —
+// the getSplits analogue of Hadoop's InputFormat (§III-A).
+type Split struct {
+	Path   string
+	Offset int64
+	Length int64
+	// Index is the split's ordinal among all splits of the file.
+	Index int
+}
+
+// Splits partitions the file described by schema into n splits on record
+// boundaries. Binary formats split exactly; text formats split at the line
+// boundary at-or-after the nominal cut (standard MapReduce semantics).
+func Splits(schema *Schema, path string, n int) ([]Split, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataformat: split count %d must be positive", n)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataformat: %w", err)
+	}
+	if schema.Binary {
+		return binarySplits(schema, path, int64(len(data)), n)
+	}
+	return textSplits(path, data, n)
+}
+
+func binarySplits(schema *Schema, path string, fileLen int64, n int) ([]Split, error) {
+	rec, err := schema.RecordSize()
+	if err != nil {
+		return nil, err
+	}
+	body := fileLen - schema.StartPosition
+	if body < 0 {
+		return nil, fmt.Errorf("dataformat: file %s shorter (%d) than start position %d", path, fileLen, schema.StartPosition)
+	}
+	if body%int64(rec) != 0 {
+		return nil, fmt.Errorf("dataformat: file %s body %d bytes is not a multiple of record size %d", path, body, rec)
+	}
+	records := body / int64(rec)
+	splits := make([]Split, 0, n)
+	for i := 0; i < n; i++ {
+		lo := records * int64(i) / int64(n)
+		hi := records * int64(i+1) / int64(n)
+		splits = append(splits, Split{
+			Path:   path,
+			Offset: schema.StartPosition + lo*int64(rec),
+			Length: (hi - lo) * int64(rec),
+			Index:  i,
+		})
+	}
+	return splits, nil
+}
+
+func textSplits(path string, data []byte, n int) ([]Split, error) {
+	fileLen := int64(len(data))
+	cuts := make([]int64, 0, n+1)
+	cuts = append(cuts, 0)
+	for i := 1; i < n; i++ {
+		nominal := fileLen * int64(i) / int64(n)
+		if nominal < cuts[len(cuts)-1] {
+			nominal = cuts[len(cuts)-1]
+		}
+		// Advance to the byte after the next newline.
+		j := nominal
+		for j < fileLen && data[j] != '\n' {
+			j++
+		}
+		if j < fileLen {
+			j++
+		}
+		cuts = append(cuts, j)
+	}
+	cuts = append(cuts, fileLen)
+	splits := make([]Split, 0, n)
+	for i := 0; i < n; i++ {
+		splits = append(splits, Split{Path: path, Offset: cuts[i], Length: cuts[i+1] - cuts[i], Index: i})
+	}
+	return splits, nil
+}
+
+// ReadSplit extracts the records of one split — the getRecordReader
+// analogue.
+func ReadSplit(schema *Schema, sp Split) ([]Record, error) {
+	f, err := os.Open(sp.Path)
+	if err != nil {
+		return nil, fmt.Errorf("dataformat: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, sp.Length)
+	if _, err := f.ReadAt(buf, sp.Offset); err != nil && sp.Length > 0 {
+		return nil, fmt.Errorf("dataformat: reading split %d of %s: %w", sp.Index, sp.Path, err)
+	}
+	if schema.Binary {
+		return DecodeBinary(schema, buf)
+	}
+	return DecodeText(schema, buf)
+}
+
+// ReadAll reads the whole file as one split.
+func ReadAll(schema *Schema, path string) ([]Record, error) {
+	sps, err := Splits(schema, path, 1)
+	if err != nil {
+		return nil, err
+	}
+	return ReadSplit(schema, sps[0])
+}
+
+// DecodeBinary parses fixed-width binary records (no header; the caller has
+// already skipped StartPosition).
+func DecodeBinary(schema *Schema, buf []byte) ([]Record, error) {
+	rec, err := schema.RecordSize()
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%rec != 0 {
+		return nil, fmt.Errorf("dataformat: %d bytes is not a multiple of record size %d", len(buf), rec)
+	}
+	n := len(buf) / rec
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := Record{Schema: schema, Values: make([]Value, len(schema.Fields))}
+		p := buf[i*rec:]
+		for j, f := range schema.Fields {
+			switch f.Type {
+			case Integer:
+				r.Values[j] = IntVal(int64(int32(binary.LittleEndian.Uint32(p))))
+				p = p[4:]
+			case Long:
+				r.Values[j] = IntVal(int64(binary.LittleEndian.Uint64(p)))
+				p = p[8:]
+			default:
+				return nil, fmt.Errorf("dataformat: type %v in binary schema", f.Type)
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DecodeText parses delimiter-separated text records. Each field is
+// terminated by its configured delimiter; the record ends with the last
+// field's delimiter (typically "\n"). A trailing incomplete record is an
+// error; an empty buffer yields no records.
+func DecodeText(schema *Schema, buf []byte) ([]Record, error) {
+	var out []Record
+	pos := 0
+	for pos < len(buf) {
+		r := Record{Schema: schema, Values: make([]Value, len(schema.Fields))}
+		for j, f := range schema.Fields {
+			d := f.Delimiter
+			idx := bytes.Index(buf[pos:], []byte(d))
+			if idx < 0 {
+				// Tolerate a final record missing its terminal newline.
+				if j == len(schema.Fields)-1 && d == "\n" {
+					idx = len(buf) - pos
+				} else {
+					return nil, fmt.Errorf("dataformat: record %d field %q: missing delimiter %q", len(out), f.Name, d)
+				}
+			}
+			raw := string(buf[pos : pos+idx])
+			pos += idx + len(d)
+			if pos > len(buf) {
+				pos = len(buf)
+			}
+			switch f.Type {
+			case String:
+				r.Values[j] = StrVal(raw)
+			case Integer, Long:
+				v := Value{}
+				var perr error
+				v.Int, perr = parseInt(raw)
+				if perr != nil {
+					return nil, fmt.Errorf("dataformat: record %d field %q: %w", len(out), f.Name, perr)
+				}
+				r.Values[j] = v
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	var n int64
+	var neg bool
+	if s == "" {
+		return 0, fmt.Errorf("empty numeric field")
+	}
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+		if len(s) == 1 {
+			return 0, fmt.Errorf("invalid numeric field %q", s)
+		}
+	}
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid numeric field %q", s)
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}

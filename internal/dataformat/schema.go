@@ -1,0 +1,226 @@
+// Package dataformat implements PaPar's interface for data types (§III-A).
+//
+// Instead of requiring users to code a Hadoop-style InputFormat subclass,
+// PaPar describes input data declaratively: an input configuration names the
+// file kind (binary or text), an optional start offset, and an element
+// schema — an ordered list of typed fields with delimiters for text. This
+// package turns such a description into Readers that split files into
+// records and extract typed field values, and Writers that serialize records
+// back out, so that output files keep the input's format (a workflow
+// invariant the paper states in §III-B).
+package dataformat
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FieldType enumerates the value types the element schema supports.
+type FieldType int
+
+const (
+	// Integer is a 32-bit little-endian integer in binary files, a decimal
+	// string in text files.
+	Integer FieldType = iota
+	// Long is a 64-bit little-endian integer in binary files, a decimal
+	// string in text files.
+	Long
+	// String is a text-only field delimited by the following delimiter.
+	String
+)
+
+// String names the type as it appears in configuration files.
+func (t FieldType) String() string {
+	switch t {
+	case Integer:
+		return "integer"
+	case Long:
+		return "long"
+	case String:
+		return "String"
+	default:
+		return fmt.Sprintf("FieldType(%d)", int(t))
+	}
+}
+
+// ParseFieldType converts the configuration spelling to a FieldType.
+func ParseFieldType(s string) (FieldType, error) {
+	switch s {
+	case "integer", "int":
+		return Integer, nil
+	case "long", "int64":
+		return Long, nil
+	case "String", "string":
+		return String, nil
+	default:
+		return 0, fmt.Errorf("dataformat: unknown field type %q", s)
+	}
+}
+
+// BinarySize returns the on-disk size of the type in binary files, or an
+// error for text-only types.
+func (t FieldType) BinarySize() (int, error) {
+	switch t {
+	case Integer:
+		return 4, nil
+	case Long:
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("dataformat: type %v has no binary encoding", t)
+	}
+}
+
+// Field is one column of an element.
+type Field struct {
+	Name string
+	Type FieldType
+	// Delimiter terminates this field in text formats ("\t", "\n", ...).
+	// Ignored for binary formats.
+	Delimiter string
+}
+
+// Schema is an ordered element layout plus the file kind.
+type Schema struct {
+	// ID is the input id from the configuration file ("blast_db",
+	// "graph_edge").
+	ID string
+	// Name is the human-readable description.
+	Name string
+	// Binary is true for binary fixed-width records, false for text.
+	Binary bool
+	// StartPosition is the byte offset where records begin (binary only) —
+	// the BLAST index data starts at byte 32.
+	StartPosition int64
+	// Fields is the element layout in order.
+	Fields []Field
+}
+
+// Validate checks internal consistency.
+func (s *Schema) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("dataformat: schema has no id")
+	}
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("dataformat: schema %q has no fields", s.ID)
+	}
+	seen := make(map[string]bool, len(s.Fields))
+	for i, f := range s.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("dataformat: schema %q field %d has no name", s.ID, i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("dataformat: schema %q has duplicate field %q", s.ID, f.Name)
+		}
+		seen[f.Name] = true
+		if s.Binary {
+			if _, err := f.Type.BinarySize(); err != nil {
+				return fmt.Errorf("dataformat: schema %q field %q: %w", s.ID, f.Name, err)
+			}
+		} else if f.Delimiter == "" {
+			return fmt.Errorf("dataformat: schema %q text field %q has no delimiter", s.ID, f.Name)
+		}
+	}
+	if !s.Binary && s.StartPosition != 0 {
+		return fmt.Errorf("dataformat: schema %q: start_position applies to binary formats only", s.ID)
+	}
+	return nil
+}
+
+// RecordSize returns the fixed byte width of one binary record.
+func (s *Schema) RecordSize() (int, error) {
+	if !s.Binary {
+		return 0, fmt.Errorf("dataformat: schema %q is not binary", s.ID)
+	}
+	total := 0
+	for _, f := range s.Fields {
+		n, err := f.Type.BinarySize()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// FieldIndex returns the position of the named field, or -1.
+func (s *Schema) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Record is one parsed element: field values in schema order. Values are
+// held as int64 for numeric fields and string for String fields.
+type Record struct {
+	Schema *Schema
+	Values []Value
+}
+
+// Value is one field value.
+type Value struct {
+	Int int64
+	Str string
+	// IsStr distinguishes the two arms (a text "123" stays a string unless
+	// the schema types it numeric).
+	IsStr bool
+}
+
+// IntVal builds a numeric value.
+func IntVal(v int64) Value { return Value{Int: v} }
+
+// StrVal builds a string value.
+func StrVal(s string) Value { return Value{Str: s, IsStr: true} }
+
+// AsInt returns the value as int64, parsing strings if needed.
+func (v Value) AsInt() (int64, error) {
+	if !v.IsStr {
+		return v.Int, nil
+	}
+	n, err := strconv.ParseInt(v.Str, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("dataformat: value %q is not numeric", v.Str)
+	}
+	return n, nil
+}
+
+// AsString returns the value rendered as a string.
+func (v Value) AsString() string {
+	if v.IsStr {
+		return v.Str
+	}
+	return strconv.FormatInt(v.Int, 10)
+}
+
+// Field returns the value of the named field.
+func (r Record) Field(name string) (Value, error) {
+	i := r.Schema.FieldIndex(name)
+	if i < 0 {
+		return Value{}, fmt.Errorf("dataformat: schema %q has no field %q", r.Schema.ID, name)
+	}
+	return r.Values[i], nil
+}
+
+// IntField returns the named field as int64.
+func (r Record) IntField(name string) (int64, error) {
+	v, err := r.Field(name)
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt()
+}
+
+// String renders the record like the paper's tuple notation:
+// {0, 94, 0, 74}.
+func (r Record) String() string {
+	out := "{"
+	for i, v := range r.Values {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.AsString()
+	}
+	return out + "}"
+}

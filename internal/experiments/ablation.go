@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/sample"
+	"repro/internal/vtime"
+)
+
+// AblationResult collects the design-choice ablations DESIGN.md calls out,
+// in one paper-style table.
+type AblationResult struct {
+	// SampledImbalance / UniformImbalance compare the §III-D sampler with
+	// naive uniform splitters on the skewed sequence-length keys.
+	SampledImbalance float64
+	UniformImbalance float64
+	// CollectiveTime / P2PTime compare the MR-MPI collective shuffle with
+	// the raw-MPI Isend/Irecv/Wait shuffle on the same aggregate.
+	CollectiveTime vtime.Duration
+	P2PTime        vtime.Duration
+	// IBTime / EthernetTime run the same PaPar hybrid-cut partitioner on
+	// the two interconnect models.
+	IBTime       vtime.Duration
+	EthernetTime vtime.Duration
+	// HashImbalance / BalancedImbalance compare the hash low-cut with the
+	// Balanced (greedy LPT) extension on skewed group sizes.
+	HashImbalance     float64
+	BalancedImbalance float64
+}
+
+// Ablations runs every ablation at the configured scale.
+func Ablations(opts Options) (*AblationResult, error) {
+	opts = opts.withDefaults()
+	res := &AblationResult{}
+
+	// --- Sampling vs uniform splitters ---
+	db := blast.Generate(blast.NR(), opts.BlastScale/4, opts.Seed)
+	keys := make([]int64, db.NumSequences())
+	var min, max int64 = 1 << 62, 0
+	for i, e := range db.Entries {
+		keys[i] = int64(e.SeqSize)
+		if keys[i] < min {
+			min = keys[i]
+		}
+		if keys[i] > max {
+			max = keys[i]
+		}
+	}
+	const buckets = 32
+	r := sample.NewReservoir(1024, opts.Seed)
+	for _, k := range keys {
+		r.Offer(k)
+	}
+	sp, err := sample.Splitters(r.Sample(), buckets)
+	if err != nil {
+		return nil, err
+	}
+	res.SampledImbalance = sample.Imbalance(sample.Histogram(sp, keys))
+	res.UniformImbalance = sample.Imbalance(sample.Histogram(sample.UniformSplitters(min, max, buckets), keys))
+
+	// --- Collective vs point-to-point shuffle ---
+	shuffleTime := func(tr mrmpi.Transport) (vtime.Duration, error) {
+		cl := cluster.New(cluster.DefaultConfig(opts.Nodes / 2))
+		_, err := cl.Run(func(rk *cluster.Rank) error {
+			mr := mrmpi.New(mpi.NewComm(rk))
+			mr.SetTransport(tr)
+			if err := mr.Map(func(emit mrmpi.Emitter) error {
+				for k := 0; k < 2000; k++ {
+					emit([]byte(fmt.Sprintf("key-%d", k)), make([]byte, 32))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			return mr.Aggregate(mrmpi.HashPartitioner)
+		})
+		return cl.Makespan(), err
+	}
+	if res.CollectiveTime, err = shuffleTime(mrmpi.Collective); err != nil {
+		return nil, err
+	}
+	if res.P2PTime, err = shuffleTime(mrmpi.PointToPoint); err != nil {
+		return nil, err
+	}
+
+	// --- Interconnect sensitivity ---
+	g := graph.Generate(graph.Pokec(), opts.GraphScale/4, opts.Seed)
+	rows := graphRows(g)
+	plan, err := compileHybridPlan(opts.Nodes*2, 200)
+	if err != nil {
+		return nil, err
+	}
+	netTime := func(net vtime.NetworkModel) (vtime.Duration, error) {
+		cfg := cluster.DefaultConfig(opts.Nodes / 2)
+		cfg.Network = net
+		cl := cluster.New(cfg)
+		pr, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+		if err != nil {
+			return 0, err
+		}
+		return pr.Makespan, nil
+	}
+	if res.IBTime, err = netTime(vtime.InfiniBandQDR()); err != nil {
+		return nil, err
+	}
+	if res.EthernetTime, err = netTime(vtime.EthernetSocket()); err != nil {
+		return nil, err
+	}
+
+	// --- Hash vs balanced low-cut placement ---
+	balPlan, err := compileHybridPlan(opts.Nodes*2, 1<<30) // everything low-cut
+	if err != nil {
+		return nil, err
+	}
+	imbalanceFor := func(policy core.DistrPolicy) (float64, error) {
+		p := *balPlan
+		jobs := append([]core.Job(nil), balPlan.Jobs...)
+		dj := *balPlan.Jobs[2].(*core.DistributeJob)
+		dj.Policy = policy
+		jobs[2] = &dj
+		p.Jobs = jobs
+		cl := cluster.New(cluster.DefaultConfig(opts.Nodes / 2))
+		pr, err := core.Execute(cl, &p, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+		if err != nil {
+			return 0, err
+		}
+		total, max := 0, 0
+		for _, part := range pr.Partitions {
+			total += len(part)
+			if len(part) > max {
+				max = len(part)
+			}
+		}
+		if total == 0 {
+			return 1, nil
+		}
+		return float64(max) * float64(len(pr.Partitions)) / float64(total), nil
+	}
+	if res.HashImbalance, err = imbalanceFor(core.GraphVertexCut); err != nil {
+		return nil, err
+	}
+	if res.BalancedImbalance, err = imbalanceFor(core.Balanced); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the ablations.
+func (r *AblationResult) Render() string {
+	rows := [][]string{
+		{"reducer splitters", "sampled (§III-D)", fmt.Sprintf("imbalance %.2f", r.SampledImbalance),
+			"uniform", fmt.Sprintf("imbalance %.2f", r.UniformImbalance)},
+		{"shuffle transport", "collective (MR-MPI)", r.CollectiveTime.String(),
+			"Isend/Irecv (raw MPI)", r.P2PTime.String()},
+		{"interconnect", "InfiniBand RDMA", r.IBTime.String(),
+			"Ethernet sockets", r.EthernetTime.String()},
+		{"low-cut placement", "hash (PowerLyra)", fmt.Sprintf("imbalance %.2f", r.HashImbalance),
+			"balanced LPT (extension)", fmt.Sprintf("imbalance %.2f", r.BalancedImbalance)},
+	}
+	return "Ablations: design choices isolated on the same workloads\n" +
+		table([]string{"dimension", "variant A", "result A", "variant B", "result B"}, rows)
+}

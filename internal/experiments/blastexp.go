@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// Fig12Row is one bar pair of Figure 12: the normalized muBLASTP search
+// time of the block policy relative to cyclic (cyclic == 1.0) for one
+// (database, nodes, batch) combination.
+type Fig12Row struct {
+	Database string
+	Nodes    int
+	Batch    string
+	// BlockOverCyclic is the block policy's search makespan normalized to
+	// cyclic. > 1 means cyclic wins, the paper's headline.
+	BlockOverCyclic float64
+	CyclicTime      vtime.Duration
+	BlockTime       vtime.Duration
+}
+
+// Fig12Result reproduces Figure 12 (a)-(d).
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 runs the search-skew experiment: partition each database with both
+// policies via the reference partitioners (identical to PaPar's output, as
+// the correctness experiment verifies) and evaluate the modeled search
+// makespan for the three query batches on 8 and 16 nodes.
+func Fig12(opts Options) (*Fig12Result, error) {
+	opts = opts.withDefaults()
+	res := &Fig12Result{}
+	for _, prof := range []blast.Profile{blast.EnvNR(), blast.NR()} {
+		db := blast.Generate(prof, opts.BlastScale, opts.Seed)
+		batches := []blast.QueryBatch{
+			blast.MakeBatch("100", db, 100, 100, opts.Seed+1),
+			blast.MakeBatch("500", db, 100, 500, opts.Seed+2),
+			blast.MakeBatch("mixed", db, 100, 0, opts.Seed+3),
+		}
+		for _, nodes := range []int{opts.Nodes / 2, opts.Nodes} {
+			np := nodes * 2 // one partition per socket (§IV-B)
+			cyclic := blast.CyclicPartition(db.Entries, np)
+			block := blast.BlockPartition(db.Entries, np)
+			// One MPI process per partition, searched on the simulated
+			// cluster (the deployment §IV-B describes).
+			cfg := cluster.DefaultConfig(np)
+			cfg.RanksPerNode = 1
+			cl := cluster.New(cfg)
+			for _, b := range batches {
+				cr, err := blast.DistributedSearch(cl, cyclic, b)
+				if err != nil {
+					return nil, err
+				}
+				br, err := blast.DistributedSearch(cl, block, b)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Fig12Row{
+					Database: prof.Name, Nodes: nodes, Batch: b.Name,
+					BlockOverCyclic: float64(br.Makespan) / float64(cr.Makespan),
+					CyclicTime:      cr.Makespan, BlockTime: br.Makespan,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig12Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Database, fmt.Sprint(row.Nodes), row.Batch,
+			"1.00", fmt.Sprintf("%.2f", row.BlockOverCyclic),
+		})
+	}
+	return "Figure 12: normalized muBLASTP search time (cyclic = 1.00)\n" +
+		table([]string{"database", "nodes", "batch", "cyclic", "block"}, rows)
+}
+
+// Fig13Row is one database's Figure 13(a) comparison.
+type Fig13Row struct {
+	Database string
+	// BaselineTime is the muBLASTP multithreaded partitioner on one node
+	// (16 threads: two 8-core sockets).
+	BaselineTime vtime.Duration
+	// PaParTime16 is the PaPar-generated partitioner on the full cluster.
+	PaParTime16 vtime.Duration
+	// PaParTime1 is PaPar on a single node (the ASPaS comparison).
+	PaParTime1 vtime.Duration
+	// Speedup is BaselineTime / PaParTime16 — the paper reports 8.6x
+	// (env_nr) and 20.2x (nr).
+	Speedup float64
+	// Sequences actually partitioned at this scale.
+	Sequences int
+}
+
+// Fig13aResult reproduces Figure 13(a).
+type Fig13aResult struct {
+	Rows []Fig13Row
+}
+
+// Fig13a compares cyclic partitioning time: the PaPar-generated partitioner
+// on the full cluster versus muBLASTP's own single-node multithreaded
+// implementation.
+func Fig13a(opts Options) (*Fig13aResult, error) {
+	opts = opts.withDefaults()
+	res := &Fig13aResult{}
+	for _, prof := range []blast.Profile{blast.EnvNR(), blast.NR()} {
+		db := blast.Generate(prof, opts.BlastScale, opts.Seed)
+		rows := blastRows(db)
+		np := opts.Nodes * 2
+
+		plan, err := compileBlastPlan(np)
+		if err != nil {
+			return nil, err
+		}
+		run := func(nodes int) (vtime.Duration, error) {
+			cl := cluster.New(cluster.DefaultConfig(nodes))
+			r, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+			if err != nil {
+				return 0, err
+			}
+			return r.Makespan, nil
+		}
+		t16, err := run(opts.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		t1, err := run(1)
+		if err != nil {
+			return nil, err
+		}
+		base := blast.RefPartitionTime(db.NumSequences(), 16, vtime.SandyBridge())
+		res.Rows = append(res.Rows, Fig13Row{
+			Database:     prof.Name,
+			BaselineTime: base,
+			PaParTime16:  t16,
+			PaParTime1:   t1,
+			Speedup:      float64(base) / float64(t16),
+			Sequences:    db.NumSequences(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig13aResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Database, fmt.Sprint(row.Sequences),
+			row.BaselineTime.String(), row.PaParTime1.String(), row.PaParTime16.String(),
+			fmt.Sprintf("%.1fx", row.Speedup),
+		})
+	}
+	return "Figure 13(a): cyclic partitioning time, muBLASTP baseline vs PaPar\n" +
+		table([]string{"database", "sequences", "muBLASTP(1 node)", "PaPar(1 node)", "PaPar(16 nodes)", "speedup"}, rows)
+}
+
+// Fig13bResult reproduces Figure 13(b): PaPar strong scaling.
+type Fig13bResult struct {
+	// Databases in row order; Times[db][i] is the makespan at Nodes[i].
+	Databases []string
+	Nodes     []int
+	Times     map[string][]vtime.Duration
+	// Speedups relative to the database's own single-node run.
+	Speedups map[string][]float64
+}
+
+// Fig13b measures PaPar partitioning makespan at 1..Nodes nodes.
+func Fig13b(opts Options) (*Fig13bResult, error) {
+	opts = opts.withDefaults()
+	res := &Fig13bResult{
+		Times:    map[string][]vtime.Duration{},
+		Speedups: map[string][]float64{},
+	}
+	for n := 1; n <= opts.Nodes; n *= 2 {
+		res.Nodes = append(res.Nodes, n)
+	}
+	for _, prof := range []blast.Profile{blast.EnvNR(), blast.NR()} {
+		db := blast.Generate(prof, opts.BlastScale, opts.Seed)
+		rows := blastRows(db)
+		plan, err := compileBlastPlan(opts.Nodes * 2)
+		if err != nil {
+			return nil, err
+		}
+		res.Databases = append(res.Databases, prof.Name)
+		for _, n := range res.Nodes {
+			cl := cluster.New(cluster.DefaultConfig(n))
+			r, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+			if err != nil {
+				return nil, err
+			}
+			res.Times[prof.Name] = append(res.Times[prof.Name], r.Makespan)
+		}
+		base := float64(res.Times[prof.Name][0])
+		for _, t := range res.Times[prof.Name] {
+			res.Speedups[prof.Name] = append(res.Speedups[prof.Name], base/float64(t))
+		}
+	}
+	return res, nil
+}
+
+// Render prints the scaling curves as a table.
+func (r *Fig13bResult) Render() string {
+	header := []string{"database"}
+	for _, n := range r.Nodes {
+		header = append(header, fmt.Sprintf("%d node(s)", n))
+	}
+	rows := make([][]string, 0, len(r.Databases))
+	for _, db := range r.Databases {
+		row := []string{db}
+		for i := range r.Nodes {
+			row = append(row, fmt.Sprintf("%v (%.1fx)", r.Times[db][i], r.Speedups[db][i]))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 13(b): PaPar strong scaling (speedup vs 1 node)\n" + table(header, rows)
+}

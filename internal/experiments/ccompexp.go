@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ccomp"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/powerlyra"
+	"repro/internal/vtime"
+)
+
+// CCompRow is one graph's Connected-Components comparison across cut
+// methods (the second algorithm §II-A names as benefiting from PowerLyra;
+// the paper does not plot it, so this is an extension experiment with the
+// Fig. 14 structure).
+type CCompRow struct {
+	Graph      string
+	Nodes      int
+	Iterations int
+	Components int
+	// Normalized times (hybrid = 1).
+	Hybrid, Vertex, Edge float64
+	HybridTime           vtime.Duration
+}
+
+// CCompResult is the extension experiment's output.
+type CCompResult struct {
+	Rows []CCompRow
+}
+
+// ConnectedComponents runs min-label propagation over the three cut
+// methods on the full cluster.
+func ConnectedComponents(opts Options) (*CCompResult, error) {
+	opts = opts.withDefaults()
+	res := &CCompResult{}
+	for _, prof := range graph.Profiles() {
+		g := graph.Generate(prof, opts.GraphScale, opts.Seed)
+		np := opts.Nodes * 2
+		row := CCompRow{Graph: prof.Name, Nodes: opts.Nodes, Hybrid: 1}
+		var hybrid float64
+		for _, m := range []powerlyra.Method{powerlyra.HybridCut, powerlyra.VertexCut, powerlyra.EdgeCut} {
+			a, err := powerlyra.Partition(g, m, np, powerlyra.DefaultThreshold)
+			if err != nil {
+				return nil, err
+			}
+			cl := cluster.New(cluster.DefaultConfig(opts.Nodes))
+			r, err := ccomp.Distributed(cl, a, 0)
+			if err != nil {
+				return nil, err
+			}
+			switch m {
+			case powerlyra.HybridCut:
+				hybrid = float64(r.Makespan)
+				row.HybridTime = r.Makespan
+				row.Iterations = r.Iterations
+				row.Components = ccomp.NumComponents(r.Labels)
+			case powerlyra.VertexCut:
+				row.Vertex = float64(r.Makespan) / hybrid
+			case powerlyra.EdgeCut:
+				row.Edge = float64(r.Makespan) / hybrid
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the extension experiment as a table.
+func (r *CCompResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Graph, fmt.Sprint(row.Nodes), fmt.Sprint(row.Components), fmt.Sprint(row.Iterations),
+			"1.00", fmt.Sprintf("%.2f", row.Vertex), fmt.Sprintf("%.2f", row.Edge),
+		})
+	}
+	return "Extension: Connected Components across cut methods (hybrid-cut = 1.00)\n" +
+		table([]string{"graph", "nodes", "components", "iterations", "hybrid-cut", "vertex-cut", "edge-cut"}, rows)
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/powerlyra"
+)
+
+// CorrectnessResult is the §IV "Correctness" comparison: for the same
+// input, the PaPar-generated partitioner must produce the same partitions
+// as the application's own partitioning program.
+type CorrectnessResult struct {
+	// BlastCyclicEqual / BlastBlockEqual report the muBLASTP comparisons.
+	BlastCyclicEqual bool
+	BlastBlockEqual  bool
+	// HybridEqual reports the PowerLyra hybrid-cut comparison
+	// (per-partition edge multisets; the engines may order edges within a
+	// partition differently, which does not affect the consuming
+	// application).
+	HybridEqual bool
+	Details     []string
+}
+
+// Correctness runs both comparisons at the configured scale.
+func Correctness(opts Options) (*CorrectnessResult, error) {
+	opts = opts.withDefaults()
+	res := &CorrectnessResult{}
+
+	// --- muBLASTP: cyclic ---
+	db := blast.Generate(blast.EnvNR(), opts.BlastScale/4, opts.Seed)
+	np := opts.Nodes * 2
+	plan, err := compileBlastPlan(np)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.DefaultConfig(opts.Nodes))
+	out, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(blastRows(db), cl.Size())})
+	if err != nil {
+		return nil, err
+	}
+	got, err := partitionsToEntries(plan, out.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	ref := blast.CyclicPartition(db.Entries, np)
+	res.BlastCyclicEqual = true
+	for p := range ref {
+		if !ref[p].SameAsRows(got[p]) {
+			res.BlastCyclicEqual = false
+			res.Details = append(res.Details, fmt.Sprintf("blast cyclic: partition %d differs", p))
+		}
+	}
+
+	// --- muBLASTP: block (the default method) ---
+	blockPlan := *plan
+	blockPlan.Jobs = []core.Job{plan.Jobs[1]} // distribute only
+	bj := *plan.Jobs[1].(*core.DistributeJob)
+	bj.Policy = core.Block
+	blockPlan.Jobs[0] = &bj
+	out, err = core.Execute(cl, &blockPlan, core.Input{LocalRows: spreadRows(blastRows(db), cl.Size())})
+	if err != nil {
+		return nil, err
+	}
+	got, err = partitionsToEntries(plan, out.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	refBlock := blast.BlockPartition(db.Entries, np)
+	res.BlastBlockEqual = true
+	for p := range refBlock {
+		if !refBlock[p].SameAsRows(got[p]) {
+			res.BlastBlockEqual = false
+			res.Details = append(res.Details, fmt.Sprintf("blast block: partition %d differs", p))
+		}
+	}
+
+	// --- PowerLyra hybrid-cut ---
+	g := graph.Generate(graph.Google(), opts.GraphScale/4, opts.Seed)
+	hplan, err := compileHybridPlan(np, powerlyra.DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	hout, err := core.Execute(cl, hplan, core.Input{LocalRows: spreadRows(graphRows(g), cl.Size())})
+	if err != nil {
+		return nil, err
+	}
+	gotEdges, err := partitionsToEdges(hout.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	refAsg, err := powerlyra.Partition(g, powerlyra.HybridCut, np, powerlyra.DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	refEdges := refAsg.PartitionEdges()
+	res.HybridEqual = true
+	for p := 0; p < np; p++ {
+		if !sameEdgeMultiset(gotEdges[p], refEdges[p]) {
+			res.HybridEqual = false
+			res.Details = append(res.Details, fmt.Sprintf("hybrid: partition %d differs (%d vs %d edges)",
+				p, len(gotEdges[p]), len(refEdges[p])))
+		}
+	}
+	return res, nil
+}
+
+func sameEdgeMultiset(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[graph.Edge]int, len(a))
+	for _, e := range a {
+		count[e]++
+	}
+	for _, e := range b {
+		count[e]--
+		if count[e] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllEqual reports whether every comparison matched.
+func (r *CorrectnessResult) AllEqual() bool {
+	return r.BlastCyclicEqual && r.BlastBlockEqual && r.HybridEqual
+}
+
+// Render prints the outcome.
+func (r *CorrectnessResult) Render() string {
+	rows := [][]string{
+		{"muBLASTP cyclic", okStr(r.BlastCyclicEqual)},
+		{"muBLASTP block", okStr(r.BlastBlockEqual)},
+		{"PowerLyra hybrid-cut", okStr(r.HybridEqual)},
+	}
+	out := "Correctness (§IV): PaPar partitions vs application partitions\n" +
+		table([]string{"comparison", "identical"}, rows)
+	for _, d := range r.Details {
+		out += "  " + d + "\n"
+	}
+	return out
+}
+
+func okStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

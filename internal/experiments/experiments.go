@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated cluster. Each experiment returns a
+// typed result with a Render method that prints rows shaped like the
+// paper's, plus the headline shape checks ("who wins, by what factor").
+//
+// The paper's datasets are multi-gigabyte downloads, so every experiment
+// takes a Scale factor (1.0 = paper size); defaults are chosen so the whole
+// suite runs in seconds while keeping the compute-versus-communication
+// balance that produces the paper's shapes. See DESIGN.md for the
+// substitution table.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/blast"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// BlastScale scales the env_nr/nr databases (default 0.01).
+	BlastScale float64
+	// GraphScale scales the three SNAP graph twins (default 0.01).
+	GraphScale float64
+	// Nodes is the largest cluster size (default 16, the paper's).
+	Nodes int
+	// Seed makes dataset generation deterministic.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.BlastScale == 0 {
+		o.BlastScale = 0.02
+	}
+	if o.GraphScale == 0 {
+		o.GraphScale = 0.01
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// framework builds a PaPar framework with the paper's two input schemas
+// registered from the embedded Fig. 4/5 configuration files.
+func framework() (*core.Framework, error) {
+	f := core.NewFramework()
+	if _, err := f.RegisterInputConfig(repro.Config("blast_db.xml")); err != nil {
+		return nil, err
+	}
+	if _, err := f.RegisterInputConfig(repro.Config("graph_edge.xml")); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// compileBlastPlan compiles the Fig. 8 workflow for np partitions. The
+// file's num_reducers default (3, the paper's walk-through value) is
+// overridden with the partition count so reducers saturate the cluster;
+// the runtime clamps to the rank count on smaller clusters.
+func compileBlastPlan(np int) (*core.Plan, error) {
+	f, err := framework()
+	if err != nil {
+		return nil, err
+	}
+	return f.CompileWorkflowConfig(repro.Config("blast_partition.xml"), map[string]string{
+		"input_path":     "mem://blast",
+		"output_path":    "mem://out",
+		"num_partitions": fmt.Sprint(np),
+		"num_reducers":   fmt.Sprint(np),
+	})
+}
+
+// compileHybridPlan compiles the Fig. 10 workflow.
+func compileHybridPlan(np, threshold int) (*core.Plan, error) {
+	f, err := framework()
+	if err != nil {
+		return nil, err
+	}
+	return f.CompileWorkflowConfig(repro.Config("hybrid_cut.xml"), map[string]string{
+		"input_file":     "mem://graph",
+		"output_path":    "mem://out",
+		"num_partitions": fmt.Sprint(np),
+		"threshold":      fmt.Sprint(threshold),
+	})
+}
+
+// spreadRows splits rows into nranks contiguous chunks (what the input
+// splitter would hand each rank).
+func spreadRows(rows []core.Row, nranks int) [][]core.Row {
+	out := make([][]core.Row, nranks)
+	for i := 0; i < nranks; i++ {
+		lo := len(rows) * i / nranks
+		hi := len(rows) * (i + 1) / nranks
+		out[i] = rows[lo:hi]
+	}
+	return out
+}
+
+// blastRows converts a generated database to workflow rows.
+func blastRows(db *blast.Database) []core.Row {
+	return core.RecordsToRows(db.Records())
+}
+
+// graphRows converts a generated graph to workflow rows (Fig. 5 text
+// schema: string vertex ids).
+func graphRows(g *graph.Graph) []core.Row {
+	return core.RecordsToRows(graph.EdgesToRows(g.Edges))
+}
+
+// partitionsToEntries converts final PaPar partitions back to index
+// entries.
+func partitionsToEntries(plan *core.Plan, parts [][]core.Row) ([][]blast.IndexEntry, error) {
+	out := make([][]blast.IndexEntry, len(parts))
+	for i, rows := range parts {
+		recs, err := core.RowsToRecords(plan.InputSchema, rows)
+		if err != nil {
+			return nil, err
+		}
+		out[i], err = blast.FromRecords(recs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// partitionsToEdges converts final PaPar partitions back to edges.
+func partitionsToEdges(parts [][]core.Row) ([][]graph.Edge, error) {
+	out := make([][]graph.Edge, len(parts))
+	for i, rows := range parts {
+		edges := make([]graph.Edge, 0, len(rows))
+		for _, r := range rows {
+			a, err := r.Values[0].AsInt()
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.Values[1].AsInt()
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, graph.Edge{Src: int32(a), Dst: int32(b)})
+		}
+		out[i] = edges
+	}
+	return out, nil
+}
+
+// table renders rows of cells with aligned columns, the shared formatter of
+// every Render method.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	all := append([][]string{header}, rows...)
+	for _, r := range all {
+		for c, cell := range r {
+			if len(cell) > width[c] {
+				width[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for c, cell := range r {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for c, w := range width {
+		if c > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

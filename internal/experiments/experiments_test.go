@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testOpts shrinks datasets so the whole suite runs quickly while keeping
+// the paper's compute-versus-communication balance.
+func testOpts() Options {
+	return Options{BlastScale: 0.005, GraphScale: 0.005, Nodes: 8, Seed: 7}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.BlastScale <= 0 || o.GraphScale <= 0 || o.Nodes != 16 || o.Seed == 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Explicit values survive.
+	o = Options{Nodes: 4}.withDefaults()
+	if o.Nodes != 4 {
+		t.Fatalf("explicit nodes overridden: %+v", o)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 { // 2 dbs x 2 node counts x 3 batches
+		t.Fatalf("got %d rows, want 12", len(r.Rows))
+	}
+	ratios := map[string]float64{}
+	for _, row := range r.Rows {
+		// Headline: cyclic wins everywhere ("the cyclic policy is the clear
+		// winner", §IV-B).
+		if row.BlockOverCyclic <= 1.0 {
+			t.Errorf("%s/%d/%s: block (%.3f) not slower than cyclic",
+				row.Database, row.Nodes, row.Batch, row.BlockOverCyclic)
+		}
+		ratios[row.Database+"/"+row.Batch+"/"+itoa(row.Nodes)] = row.BlockOverCyclic
+	}
+	// "the cyclic policy can achieve more performance benefits for the
+	// larger batch": 500 beats 100 for every db and node count.
+	for _, db := range []string{"env_nr", "nr"} {
+		for _, n := range []string{"4", "8"} {
+			if ratios[db+"/500/"+n] <= ratios[db+"/100/"+n] {
+				t.Errorf("%s nodes=%s: batch 500 ratio %.3f not above batch 100 ratio %.3f",
+					db, n, ratios[db+"/500/"+n], ratios[db+"/100/"+n])
+			}
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 12") {
+		t.Error("Render missing title")
+	}
+}
+
+func itoa(n int) string {
+	if n == 4 {
+		return "4"
+	}
+	if n == 8 {
+		return "8"
+	}
+	return "?"
+}
+
+func TestFig13aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cluster sweep; skipped in -short mode")
+	}
+	opts := testOpts()
+	opts.BlastScale = 0.01
+	r, err := Fig13a(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	var envSpeedup, nrSpeedup float64
+	for _, row := range r.Rows {
+		// PaPar on the cluster beats the single-node baseline.
+		if row.Speedup <= 1.5 {
+			t.Errorf("%s: speedup %.2f too small", row.Database, row.Speedup)
+		}
+		// Scaling out helps PaPar itself.
+		if row.PaParTime16 >= row.PaParTime1 {
+			t.Errorf("%s: 16-node PaPar (%v) not faster than 1-node (%v)",
+				row.Database, row.PaParTime16, row.PaParTime1)
+		}
+		switch row.Database {
+		case "env_nr":
+			envSpeedup = row.Speedup
+		case "nr":
+			nrSpeedup = row.Speedup
+		}
+	}
+	// The bigger database shows the bigger speedup (8.6x vs 20.2x in the
+	// paper).
+	if nrSpeedup <= envSpeedup {
+		t.Errorf("nr speedup %.2f not above env_nr %.2f", nrSpeedup, envSpeedup)
+	}
+	if !strings.Contains(r.Render(), "muBLASTP") {
+		t.Error("Render missing baseline column")
+	}
+}
+
+func TestFig13bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cluster sweep; skipped in -short mode")
+	}
+	opts := testOpts()
+	opts.BlastScale = 0.01
+	r, err := Fig13b(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range r.Databases {
+		sp := r.Speedups[db]
+		if sp[0] != 1.0 {
+			t.Errorf("%s: first speedup %.2f, want 1.0", db, sp[0])
+		}
+		for i := 1; i < len(sp); i++ {
+			if sp[i] < sp[i-1]*0.95 {
+				t.Errorf("%s: speedup regressed at %d nodes: %v", db, r.Nodes[i], sp)
+			}
+		}
+		if final := sp[len(sp)-1]; final < 2 {
+			t.Errorf("%s: final speedup %.2f too low", db, final)
+		}
+	}
+	if !strings.Contains(r.Render(), "strong scaling") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats) != 3 {
+		t.Fatalf("got %d datasets", len(r.Stats))
+	}
+	names := []string{"Google", "Pokec", "LiveJournal"}
+	for i, s := range r.Stats {
+		if s.Name != names[i] {
+			t.Errorf("row %d = %s, want %s (paper order)", i, s.Name, names[i])
+		}
+		if s.Type != "Directed" || s.Vertices <= 0 || s.Edges <= 0 || s.Triangles <= 0 {
+			t.Errorf("stats row %+v incomplete", s)
+		}
+	}
+	// Relative sizes follow Table II: LiveJournal > Pokec > Google in
+	// both vertices and edges.
+	if !(r.Stats[2].Edges > r.Stats[1].Edges && r.Stats[1].Edges > r.Stats[0].Edges) {
+		t.Errorf("edge ordering wrong: %v", r.Stats)
+	}
+	if !strings.Contains(r.Render(), "Triangles") {
+		t.Error("Render missing column")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r, err := Fig14(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 { // 3 graphs x 2 node counts
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// "The hybrid-cut can deliver the best performance as we expected."
+		if row.Vertex <= 1.0 {
+			t.Errorf("%s/%d: vertex-cut %.2f not behind hybrid", row.Graph, row.Nodes, row.Vertex)
+		}
+		// "the vertex-cut, instead of the edge-cut, has the closer
+		// performance to the hybrid-cut."
+		if row.Edge <= row.Vertex {
+			t.Errorf("%s/%d: edge-cut %.2f not behind vertex-cut %.2f",
+				row.Graph, row.Nodes, row.Edge, row.Vertex)
+		}
+	}
+	if !strings.Contains(r.Render(), "hybrid-cut") {
+		t.Error("Render missing column")
+	}
+}
+
+func TestFig15aShape(t *testing.T) {
+	r, err := Fig15a(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	byName := map[string]Fig15Row{}
+	for _, row := range r.Rows {
+		byName[row.Graph] = row
+	}
+	// PowerLyra wins the small graph; PaPar wins the big one; the speedup
+	// grows with graph size (the §IV-C communication-vs-single-node story).
+	if byName["Google"].PaParSpeedup >= 1.0 {
+		t.Errorf("Google: PaPar %.2fx should lose to PowerLyra", byName["Google"].PaParSpeedup)
+	}
+	if byName["LiveJournal"].PaParSpeedup <= 1.0 {
+		t.Errorf("LiveJournal: PaPar %.2fx should beat PowerLyra", byName["LiveJournal"].PaParSpeedup)
+	}
+	if !(byName["Google"].PaParSpeedup < byName["LiveJournal"].PaParSpeedup) {
+		t.Errorf("speedup not growing with graph size: %+v", r.Rows)
+	}
+}
+
+func TestFig15bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cluster sweep; skipped in -short mode")
+	}
+	r, err := Fig15b(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(r.Nodes) - 1
+	for _, g := range r.Graphs {
+		// "PaPar can scale up to 16 nodes for all three datasets."
+		if r.PaPar[g][last] <= 1.0 {
+			t.Errorf("PaPar does not scale on %s: %v", g, r.PaPar[g])
+		}
+	}
+	// PowerLyra's scaling ceiling on Google sits below its ceiling on the
+	// larger graphs ("cannot scale on multiple nodes for the Google
+	// dataset").
+	maxOf := func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if maxOf(r.PowerLyra["Google"]) >= maxOf(r.PowerLyra["LiveJournal"]) {
+		t.Errorf("PowerLyra Google ceiling %.2f not below LiveJournal %.2f",
+			maxOf(r.PowerLyra["Google"]), maxOf(r.PowerLyra["LiveJournal"]))
+	}
+	// And on Google it falls back from its peak at the full cluster.
+	if r.PowerLyra["Google"][last] >= maxOf(r.PowerLyra["Google"]) {
+		t.Errorf("PowerLyra Google should retreat from its peak: %v", r.PowerLyra["Google"])
+	}
+	if !strings.Contains(r.Render(), "PowerLyra/Google") {
+		t.Error("Render missing row")
+	}
+}
+
+func TestCompressionShape(t *testing.T) {
+	r, err := Compression(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Saving <= 0 || row.Saving >= 0.6 {
+			t.Errorf("%s: saving %.1f%% out of plausible range", row.Graph, row.Saving*100)
+		}
+		if row.CompressedBytes >= row.RawBytes {
+			t.Errorf("%s: CSC (%d) not smaller than packed (%d)", row.Graph, row.CompressedBytes, row.RawBytes)
+		}
+		if row.TransferSaving <= 0 {
+			t.Errorf("%s: no wire time saved", row.Graph)
+		}
+	}
+}
+
+func TestCorrectnessAllEqual(t *testing.T) {
+	r, err := Correctness(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AllEqual() {
+		t.Fatalf("correctness failed:\n%s", r.Render())
+	}
+	if !strings.Contains(r.Render(), "yes") {
+		t.Error("Render missing verdicts")
+	}
+}
+
+func TestConnectedComponentsShape(t *testing.T) {
+	opts := testOpts()
+	opts.GraphScale = 0.002
+	r, err := ConnectedComponents(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Components <= 0 || row.Iterations <= 0 {
+			t.Fatalf("%s: incomplete row %+v", row.Graph, row)
+		}
+		if row.Vertex <= 1.0 || row.Edge <= row.Vertex {
+			t.Errorf("%s: cut ordering broken: 1.00 / %.2f / %.2f", row.Graph, row.Vertex, row.Edge)
+		}
+	}
+	if !strings.Contains(r.Render(), "Connected Components") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	r, err := Ablations(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SampledImbalance >= r.UniformImbalance {
+		t.Errorf("sampling (%.2f) not better than uniform (%.2f)", r.SampledImbalance, r.UniformImbalance)
+	}
+	if r.CollectiveTime <= 0 || r.P2PTime <= 0 {
+		t.Errorf("transport times missing: %+v", r)
+	}
+	if r.EthernetTime <= r.IBTime {
+		t.Errorf("ethernet (%v) not slower than IB (%v)", r.EthernetTime, r.IBTime)
+	}
+	if r.BalancedImbalance > r.HashImbalance {
+		t.Errorf("balanced (%.2f) worse than hash (%.2f)", r.BalancedImbalance, r.HashImbalance)
+	}
+	if !strings.Contains(r.Render(), "Ablations") {
+		t.Error("Render missing title")
+	}
+}

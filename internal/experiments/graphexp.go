@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+	"repro/internal/powerlyra"
+	"repro/internal/vtime"
+)
+
+// Table2Result reproduces Table II: statistics of the graph datasets.
+type Table2Result struct {
+	Scale float64
+	Stats []graph.Stats
+}
+
+// Table2 generates the three synthetic twins and computes their statistics.
+func Table2(opts Options) (*Table2Result, error) {
+	opts = opts.withDefaults()
+	res := &Table2Result{Scale: opts.GraphScale}
+	for _, p := range graph.Profiles() {
+		g := graph.Generate(p, opts.GraphScale, opts.Seed)
+		res.Stats = append(res.Stats, graph.ComputeStats(g))
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's column order.
+func (r *Table2Result) Render() string {
+	rows := make([][]string, 0, len(r.Stats))
+	for _, s := range r.Stats {
+		rows = append(rows, []string{
+			s.Name, fmt.Sprint(s.Vertices), fmt.Sprint(s.Edges), s.Type, fmt.Sprint(s.Triangles),
+		})
+	}
+	return fmt.Sprintf("Table II: graph dataset statistics (scale %g of the SNAP originals)\n", r.Scale) +
+		table([]string{"Graph", "Vertices", "Edges", "Type", "Triangles"}, rows)
+}
+
+// Fig14Row is one bar group of Figure 14: PageRank time per method on one
+// graph, normalized to hybrid-cut.
+type Fig14Row struct {
+	Graph string
+	Nodes int
+	// Normalized[method] is time / hybrid time.
+	Hybrid, Vertex, Edge float64
+	HybridTime           vtime.Duration
+}
+
+// Fig14Result reproduces Figure 14 (a) and (b).
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 partitions each graph with the three methods and runs distributed
+// PageRank on 8 and 16 nodes.
+func Fig14(opts Options) (*Fig14Result, error) {
+	opts = opts.withDefaults()
+	const iters = 5
+	res := &Fig14Result{}
+	for _, prof := range graph.Profiles() {
+		g := graph.Generate(prof, opts.GraphScale, opts.Seed)
+		for _, nodes := range []int{opts.Nodes / 2, opts.Nodes} {
+			np := nodes * 2
+			times := map[powerlyra.Method]vtime.Duration{}
+			for _, m := range []powerlyra.Method{powerlyra.HybridCut, powerlyra.VertexCut, powerlyra.EdgeCut} {
+				a, err := powerlyra.Partition(g, m, np, powerlyra.DefaultThreshold)
+				if err != nil {
+					return nil, err
+				}
+				cl := cluster.New(cluster.DefaultConfig(nodes))
+				pr, err := pagerank.Distributed(cl, a, iters)
+				if err != nil {
+					return nil, err
+				}
+				times[m] = pr.Makespan
+			}
+			h := float64(times[powerlyra.HybridCut])
+			res.Rows = append(res.Rows, Fig14Row{
+				Graph: prof.Name, Nodes: nodes,
+				Hybrid:     1.0,
+				Vertex:     float64(times[powerlyra.VertexCut]) / h,
+				Edge:       float64(times[powerlyra.EdgeCut]) / h,
+				HybridTime: times[powerlyra.HybridCut],
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig14Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Graph, fmt.Sprint(row.Nodes),
+			"1.00", fmt.Sprintf("%.2f", row.Vertex), fmt.Sprintf("%.2f", row.Edge),
+		})
+	}
+	return "Figure 14: normalized PageRank time (hybrid-cut = 1.00)\n" +
+		table([]string{"graph", "nodes", "hybrid-cut", "vertex-cut", "edge-cut"}, rows)
+}
+
+// Fig15Row is one graph's Figure 15(a) comparison.
+type Fig15Row struct {
+	Graph string
+	// PaParTime is the generated hybrid-cut partitioner on the full
+	// cluster (MR-MPI over InfiniBand).
+	PaParTime vtime.Duration
+	// PowerLyraTime is the native partitioner (sockets over Ethernet,
+	// NUMA-tuned, dynamic scoring).
+	PowerLyraTime vtime.Duration
+	// PaParSpeedup is PowerLyraTime / PaParTime (>1 means PaPar wins; the
+	// paper reports ~1.2x on LiveJournal, <1 on Google and Pokec).
+	PaParSpeedup float64
+	Edges        int
+}
+
+// Fig15aResult reproduces Figure 15(a).
+type Fig15aResult struct {
+	Rows []Fig15Row
+}
+
+// Fig15a compares hybrid-cut partitioning time on the full cluster.
+func Fig15a(opts Options) (*Fig15aResult, error) {
+	opts = opts.withDefaults()
+	res := &Fig15aResult{}
+	np := opts.Nodes * 2
+	plan, err := compileHybridPlan(np, powerlyra.DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	for _, prof := range graph.Profiles() {
+		g := graph.Generate(prof, opts.GraphScale, opts.Seed)
+		rows := graphRows(g)
+
+		cl := cluster.New(cluster.DefaultConfig(opts.Nodes))
+		pr, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+		if err != nil {
+			return nil, err
+		}
+		ncl := cluster.New(powerlyra.NativeClusterConfig(opts.Nodes))
+		nr, err := powerlyra.NativePartition(ncl, g, np, powerlyra.DefaultThreshold)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig15Row{
+			Graph:         prof.Name,
+			PaParTime:     pr.Makespan,
+			PowerLyraTime: nr.Makespan,
+			PaParSpeedup:  float64(nr.Makespan) / float64(pr.Makespan),
+			Edges:         g.NumEdges(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig15aResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Graph, fmt.Sprint(row.Edges),
+			row.PowerLyraTime.String(), row.PaParTime.String(),
+			fmt.Sprintf("%.2fx", row.PaParSpeedup),
+		})
+	}
+	return "Figure 15(a): hybrid-cut partitioning time on 16 nodes (PaPar speedup over PowerLyra)\n" +
+		table([]string{"graph", "edges", "PowerLyra", "PaPar", "PaPar speedup"}, rows)
+}
+
+// Fig15bResult reproduces Figure 15(b): strong scaling of both
+// partitioners.
+type Fig15bResult struct {
+	Graphs []string
+	Nodes  []int
+	// PaPar[g][i] and PowerLyra[g][i] are speedups vs the system's own
+	// 1-node time on graph g at Nodes[i].
+	PaPar     map[string][]float64
+	PowerLyra map[string][]float64
+}
+
+// Fig15b measures both systems at 1..Nodes nodes.
+func Fig15b(opts Options) (*Fig15bResult, error) {
+	opts = opts.withDefaults()
+	res := &Fig15bResult{PaPar: map[string][]float64{}, PowerLyra: map[string][]float64{}}
+	for n := 1; n <= opts.Nodes; n *= 2 {
+		res.Nodes = append(res.Nodes, n)
+	}
+	np := opts.Nodes * 2
+	plan, err := compileHybridPlan(np, powerlyra.DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	for _, prof := range graph.Profiles() {
+		g := graph.Generate(prof, opts.GraphScale, opts.Seed)
+		rows := graphRows(g)
+		res.Graphs = append(res.Graphs, prof.Name)
+		var pTimes, nTimes []float64
+		for _, n := range res.Nodes {
+			cl := cluster.New(cluster.DefaultConfig(n))
+			pr, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+			if err != nil {
+				return nil, err
+			}
+			pTimes = append(pTimes, float64(pr.Makespan))
+
+			ncl := cluster.New(powerlyra.NativeClusterConfig(n))
+			nr, err := powerlyra.NativePartition(ncl, g, np, powerlyra.DefaultThreshold)
+			if err != nil {
+				return nil, err
+			}
+			nTimes = append(nTimes, float64(nr.Makespan))
+		}
+		for i := range res.Nodes {
+			res.PaPar[prof.Name] = append(res.PaPar[prof.Name], pTimes[0]/pTimes[i])
+			res.PowerLyra[prof.Name] = append(res.PowerLyra[prof.Name], nTimes[0]/nTimes[i])
+		}
+	}
+	return res, nil
+}
+
+// Render prints both scaling families.
+func (r *Fig15bResult) Render() string {
+	header := []string{"system/graph"}
+	for _, n := range r.Nodes {
+		header = append(header, fmt.Sprintf("%dn", n))
+	}
+	var rows [][]string
+	for _, g := range r.Graphs {
+		row := []string{"PaPar/" + g}
+		for _, s := range r.PaPar[g] {
+			row = append(row, fmt.Sprintf("%.2fx", s))
+		}
+		rows = append(rows, row)
+	}
+	for _, g := range r.Graphs {
+		row := []string{"PowerLyra/" + g}
+		for _, s := range r.PowerLyra[g] {
+			row = append(row, fmt.Sprintf("%.2fx", s))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 15(b): strong scaling of hybrid-cut partitioning (speedup vs own 1-node time)\n" +
+		table(header, rows)
+}

@@ -1,0 +1,336 @@
+// Package graph is the graph substrate for the PowerLyra case study: the
+// edge-list data model (paper Fig. 5), synthetic power-law generators
+// standing in for the SNAP datasets of Table II, and the statistics routine
+// that regenerates that table.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/dataformat"
+)
+
+// Edge is one directed edge vertex_a -> vertex_b (out-vertex to in-vertex,
+// following the paper's hybrid-cut description).
+type Edge struct {
+	Src int32
+	Dst int32
+}
+
+// Graph is a directed graph in edge-list form.
+type Graph struct {
+	Name string
+	// NumVertices is the vertex-id space [0, NumVertices).
+	NumVertices int
+	Edges       []Edge
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// InDegrees returns the in-degree of every vertex.
+func (g *Graph) InDegrees() []int {
+	d := make([]int, g.NumVertices)
+	for _, e := range g.Edges {
+		d[e.Dst]++
+	}
+	return d
+}
+
+// OutDegrees returns the out-degree of every vertex.
+func (g *Graph) OutDegrees() []int {
+	d := make([]int, g.NumVertices)
+	for _, e := range g.Edges {
+		d[e.Src]++
+	}
+	return d
+}
+
+// Schema returns the Fig. 5 edge-list text schema.
+func Schema() *dataformat.Schema {
+	return &dataformat.Schema{
+		ID:   "graph_edge",
+		Name: "edge lists",
+		Fields: []dataformat.Field{
+			{Name: "vertex_a", Type: dataformat.String, Delimiter: "\t"},
+			{Name: "vertex_b", Type: dataformat.String, Delimiter: "\n"},
+		},
+	}
+}
+
+// Profile parameterizes a synthetic twin of one SNAP dataset.
+type Profile struct {
+	Name string
+	// Vertices and Edges at scale 1.0 (the Table II values).
+	Vertices int
+	Edges    int
+	// Alpha is the exponent of the in-degree power law P(deg = d) ~ d^-Alpha.
+	// Real social/web graphs sit around 2.1-2.6: most vertices low-degree,
+	// a few enormous, with the top hub holding a small single-digit share
+	// of all edges.
+	Alpha float64
+	// Clustering in [0,1] biases sources of edges into a local window,
+	// creating triangle structure ("vertices cluster together", §IV-C's
+	// remark about LiveJournal).
+	Clustering float64
+}
+
+// Google approximates the web-Google graph (Table II: 875713 v, 5105039 e).
+func Google() Profile {
+	return Profile{Name: "Google", Vertices: 875713, Edges: 5105039, Alpha: 2.4, Clustering: 0.4}
+}
+
+// Pokec approximates soc-Pokec (Table II: 1632803 v, 30622564 e).
+func Pokec() Profile {
+	return Profile{Name: "Pokec", Vertices: 1632803, Edges: 30622564, Alpha: 2.2, Clustering: 0.3}
+}
+
+// LiveJournal approximates soc-LiveJournal1 (Table II: 4847571 v,
+// 68993773 e).
+func LiveJournal() Profile {
+	return Profile{Name: "LiveJournal", Vertices: 4847571, Edges: 68993773, Alpha: 2.3, Clustering: 0.6}
+}
+
+// Profiles returns the three Table II datasets in paper order.
+func Profiles() []Profile {
+	return []Profile{Google(), Pokec(), LiveJournal()}
+}
+
+// Generate builds a synthetic power-law graph at the given scale.
+// Deterministic per (profile, scale, seed).
+func Generate(p Profile, scale float64, seed int64) *Graph {
+	nv := int(float64(p.Vertices) * scale)
+	ne := int(float64(p.Edges) * scale)
+	if nv < 8 {
+		nv = 8
+	}
+	if ne < 1 {
+		ne = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Destination sampler: rank-frequency power law with P(rank r) ~
+	// (r+1)^-beta where beta = 1/(Alpha-1), which yields the in-degree
+	// distribution P(deg = d) ~ d^-Alpha. Vertex ids double as popularity
+	// ranks (id 0 most popular). Inverse-CDF sampling over precomputed
+	// cumulative weights keeps draws O(log V) and fully deterministic.
+	alpha := p.Alpha
+	if alpha <= 1.5 {
+		alpha = 1.5
+	}
+	beta := 1 / (alpha - 1)
+	cum := make([]float64, nv)
+	total := 0.0
+	for r := 0; r < nv; r++ {
+		total += math.Pow(float64(r+1), -beta)
+		cum[r] = total
+	}
+	drawDst := func() int32 {
+		x := rng.Float64() * total
+		lo, hi := 0, nv-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+
+	g := &Graph{Name: p.Name, NumVertices: nv, Edges: make([]Edge, 0, ne)}
+	// Out-adjacency maintained during generation for triad closure
+	// (Holme-Kim style): after adding src->dst, with probability Clustering
+	// also add w->dst for an existing out-neighbor w of src, closing the
+	// triangle src->dst / src->w / w->dst. Closure edges keep the Zipf
+	// distribution of destinations intact while raising the out-degrees of
+	// well-connected neighborhoods — the "vertices cluster together"
+	// property §IV-C attributes to LiveJournal.
+	outAdj := make([][]int32, nv)
+	addEdge := func(src, dst int32) {
+		g.Edges = append(g.Edges, Edge{Src: src, Dst: dst})
+		outAdj[src] = append(outAdj[src], dst)
+	}
+	for len(g.Edges) < ne {
+		dst := drawDst()
+		src := int32(rng.Intn(nv))
+		if src == dst {
+			continue
+		}
+		addEdge(src, dst)
+		if len(g.Edges) < ne && rng.Float64() < p.Clustering && len(outAdj[src]) > 1 {
+			w := outAdj[src][rng.Intn(len(outAdj[src]))]
+			if w != dst && w != src {
+				addEdge(w, dst)
+			}
+		}
+	}
+	return g
+}
+
+// Stats are the Table II columns.
+type Stats struct {
+	Name      string
+	Vertices  int
+	Edges     int
+	Type      string
+	Triangles int64
+}
+
+// ComputeStats regenerates a Table II row for the graph. Triangles are
+// counted on the undirected projection with the node-iterator algorithm.
+func ComputeStats(g *Graph) Stats {
+	return Stats{
+		Name:      g.Name,
+		Vertices:  g.NumVertices,
+		Edges:     g.NumEdges(),
+		Type:      "Directed",
+		Triangles: CountTriangles(g),
+	}
+}
+
+// CountTriangles counts triangles in the undirected projection of g using
+// the forward (degree-ordered) algorithm.
+func CountTriangles(g *Graph) int64 {
+	// Build deduplicated undirected adjacency.
+	adj := make([][]int32, g.NumVertices)
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	deg := make([]int, g.NumVertices)
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		adj[v] = dedupSorted(adj[v])
+		deg[v] = len(adj[v])
+	}
+	// Orientation: keep edges from lower-rank to higher-rank endpoint,
+	// ranking by (degree, id) — bounds per-vertex forward lists.
+	rankLess := func(a, b int32) bool {
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	}
+	fwd := make([][]int32, g.NumVertices)
+	for v := range adj {
+		for _, u := range adj[v] {
+			if rankLess(int32(v), u) {
+				fwd[v] = append(fwd[v], u)
+			}
+		}
+	}
+	var count int64
+	for v := range fwd {
+		for _, u := range fwd[v] {
+			count += int64(intersectSortedCount(fwd[v], fwd[u]))
+		}
+	}
+	return count
+}
+
+func dedupSorted(xs []int32) []int32 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersectSortedCount(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// WriteEdgeList writes the graph in the SNAP EdgeList text format of Fig. 5.
+func WriteEdgeList(g *Graph, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(w, "%d\t%d\n", e.Src, e.Dst); err != nil {
+			f.Close()
+			return fmt.Errorf("graph: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadEdgeList reads an edge-list file. Vertex ids must be non-negative
+// integers; NumVertices becomes max id + 1.
+func ReadEdgeList(path string) (*Graph, error) {
+	recs, err := dataformat.ReadAll(Schema(), path)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Name: filepath.Base(path), Edges: make([]Edge, 0, len(recs))}
+	maxID := int64(-1)
+	for i, r := range recs {
+		a, err := r.Values[0].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", i+1, err)
+		}
+		b, err := r.Values[1].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", i+1, err)
+		}
+		if a < 0 || b < 0 || a > math.MaxInt32 || b > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: line %d: vertex id out of range", i+1)
+		}
+		if a > maxID {
+			maxID = a
+		}
+		if b > maxID {
+			maxID = b
+		}
+		g.Edges = append(g.Edges, Edge{Src: int32(a), Dst: int32(b)})
+	}
+	g.NumVertices = int(maxID + 1)
+	return g, nil
+}
+
+// EdgesToRows converts edges into PaPar workflow rows under the Fig. 5
+// schema (string vertex ids, as a text file would parse).
+func EdgesToRows(edges []Edge) []dataformat.Record {
+	s := Schema()
+	recs := make([]dataformat.Record, len(edges))
+	for i, e := range edges {
+		recs[i] = dataformat.Record{Schema: s, Values: []dataformat.Value{
+			dataformat.StrVal(fmt.Sprint(e.Src)),
+			dataformat.StrVal(fmt.Sprint(e.Dst)),
+		}}
+	}
+	return recs
+}

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func tiny(t *testing.T) *Graph {
+	t.Helper()
+	return Generate(Google(), 0.001, 1)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Google(), 0.001, 5)
+	b := Generate(Google(), 0.001, 5)
+	if a.NumEdges() != b.NumEdges() || a.NumVertices != b.NumVertices {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSizesScale(t *testing.T) {
+	p := Pokec()
+	g := Generate(p, 0.0001, 2)
+	wantV := int(float64(p.Vertices) * 0.0001)
+	wantE := int(float64(p.Edges) * 0.0001)
+	if g.NumVertices != wantV {
+		t.Fatalf("vertices = %d, want %d", g.NumVertices, wantV)
+	}
+	if g.NumEdges() != wantE {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantE)
+	}
+}
+
+func TestGenerateNoSelfLoops(t *testing.T) {
+	g := tiny(t)
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop %v", e)
+		}
+		if e.Src < 0 || int(e.Src) >= g.NumVertices || e.Dst < 0 || int(e.Dst) >= g.NumVertices {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+}
+
+func TestGeneratePowerLawSkew(t *testing.T) {
+	g := Generate(Google(), 0.005, 3)
+	deg := g.InDegrees()
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	top := 0
+	for _, d := range deg[:len(deg)/100] { // top 1% of vertices
+		top += d
+	}
+	// With degree exponent ~2.4 the top 1% of vertices should hold a
+	// disproportionate (>=15%) share of in-edges, and the single top hub
+	// should dwarf the mean in-degree.
+	if frac := float64(top) / float64(total); frac < 0.15 {
+		t.Fatalf("top 1%% of vertices hold only %.0f%% of in-edges; not power-law", frac*100)
+	}
+	mean := float64(total) / float64(g.NumVertices)
+	if float64(deg[0]) < 20*mean {
+		t.Fatalf("max in-degree %d vs mean %.1f; hub not pronounced", deg[0], mean)
+	}
+	// And the bulk of vertices sit below the mean in-degree (the power-law
+	// "many leaves, few hubs" shape).
+	low := 0
+	for _, d := range g.InDegrees() {
+		if float64(d) < mean {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(g.NumVertices); frac < 0.55 {
+		t.Fatalf("only %.0f%% of vertices are below mean in-degree", frac*100)
+	}
+}
+
+func TestDegreesConsistent(t *testing.T) {
+	g := tiny(t)
+	in, out := g.InDegrees(), g.OutDegrees()
+	sumIn, sumOut := 0, 0
+	for i := range in {
+		sumIn += in[i]
+		sumOut += out[i]
+	}
+	if sumIn != g.NumEdges() || sumOut != g.NumEdges() {
+		t.Fatalf("degree sums %d/%d != %d edges", sumIn, sumOut, g.NumEdges())
+	}
+}
+
+func TestTable2ProfilesMatchPaper(t *testing.T) {
+	// Table II values at scale 1.0.
+	cases := []struct {
+		p    Profile
+		v, e int
+	}{
+		{Google(), 875713, 5105039},
+		{Pokec(), 1632803, 30622564},
+		{LiveJournal(), 4847571, 68993773},
+	}
+	for _, c := range cases {
+		if c.p.Vertices != c.v || c.p.Edges != c.e {
+			t.Errorf("%s profile = %d/%d, want %d/%d (Table II)",
+				c.p.Name, c.p.Vertices, c.p.Edges, c.v, c.e)
+		}
+	}
+	if len(Profiles()) != 3 {
+		t.Error("Profiles() must list the three Table II datasets")
+	}
+}
+
+func TestCountTrianglesKnownGraphs(t *testing.T) {
+	// A triangle plus a pendant edge.
+	tri := &Graph{NumVertices: 4, Edges: []Edge{
+		{0, 1}, {1, 2}, {2, 0}, {2, 3},
+	}}
+	if got := CountTriangles(tri); got != 1 {
+		t.Fatalf("triangle count = %d, want 1", got)
+	}
+	// K4 has 4 triangles.
+	k4 := &Graph{NumVertices: 4}
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.Edges = append(k4.Edges, Edge{i, j})
+		}
+	}
+	if got := CountTriangles(k4); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// Duplicate and reciprocal edges must not double-count.
+	dup := &Graph{NumVertices: 3, Edges: []Edge{
+		{0, 1}, {1, 0}, {1, 2}, {2, 0}, {0, 2},
+	}}
+	if got := CountTriangles(dup); got != 1 {
+		t.Fatalf("dedup triangles = %d, want 1", got)
+	}
+	// No triangles in a path.
+	path := &Graph{NumVertices: 4, Edges: []Edge{{0, 1}, {1, 2}, {2, 3}}}
+	if got := CountTriangles(path); got != 0 {
+		t.Fatalf("path triangles = %d", got)
+	}
+}
+
+func TestClusteringIncreasesTriangles(t *testing.T) {
+	noClust := Generate(Profile{Name: "a", Vertices: 2000, Edges: 20000, Alpha: 1.7, Clustering: 0}, 1, 7)
+	clust := Generate(Profile{Name: "b", Vertices: 2000, Edges: 20000, Alpha: 1.7, Clustering: 0.7}, 1, 7)
+	if CountTriangles(clust) <= CountTriangles(noClust) {
+		t.Fatalf("clustering knob did not increase triangles: %d vs %d",
+			CountTriangles(clust), CountTriangles(noClust))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := tiny(t)
+	s := ComputeStats(g)
+	if s.Vertices != g.NumVertices || s.Edges != g.NumEdges() || s.Type != "Directed" {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := tiny(t)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := WriteEdgeList(g, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count %d vs %d", back.NumEdges(), g.NumEdges())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != back.Edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	if back.NumVertices > g.NumVertices {
+		t.Fatalf("vertex space grew: %d vs %d", back.NumVertices, g.NumVertices)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadEdgeList(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := writeFile(bad, "a\tb\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdgeList(bad); err == nil {
+		t.Error("non-numeric ids accepted")
+	}
+	neg := filepath.Join(dir, "neg.txt")
+	if err := writeFile(neg, "-1\t2\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdgeList(neg); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestEdgesToRows(t *testing.T) {
+	recs := EdgesToRows([]Edge{{1, 2}, {3, 4}})
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Values[0].AsString() != "1" || recs[1].Values[1].AsString() != "4" {
+		t.Fatalf("records = %v", recs)
+	}
+}

@@ -1,0 +1,521 @@
+// Package hadoop is the second PaPar backend: a Hadoop-style MapReduce
+// engine (§III-D: "We map our framework on top of Apache Hadoop (2.7.0),
+// MapReduce-MPI, and MPI").
+//
+// Architecturally it follows Hadoop's execution model rather than MR-MPI's:
+// jobs are scheduled over file splits; map tasks run in a worker pool and
+// spill their output sorted and partitioned to per-(task, reducer) files on
+// disk; reduce tasks merge their spills, group consecutive equal keys, and
+// write part-r-NNNNN files. Data between chained jobs lives on disk (the
+// HDFS stand-in is a plain directory), which is exactly how the paper's
+// workflow jobs hand off through /user and /tmp paths. The engine is
+// single-machine and wall-clock (the paper's performance evaluation uses
+// the MR-MPI mapping; the Hadoop mapping exists for portability), so no
+// virtual-time accounting happens here.
+package hadoop
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataformat"
+	"repro/internal/keyval"
+)
+
+// Emit adds one intermediate or output pair.
+type Emit func(key, value []byte)
+
+// MultiEmit adds one pair to a named output branch (map-only jobs with
+// multiple outputs, Hadoop's MultipleOutputs).
+type MultiEmit func(branch int, key, value []byte)
+
+// Mapper transforms one input pair. For record inputs the key is the
+// record's ordinal within its split (8-byte big-endian) and the value the
+// encoded record, matching Hadoop's (offset, line) convention.
+type Mapper func(key, value []byte, emit Emit) error
+
+// Reducer folds all values sharing one key, in key order.
+type Reducer func(key []byte, values [][]byte, emit Emit) error
+
+// Partitioner routes a key to a reduce task.
+type Partitioner func(key []byte, numReduce int) int
+
+// HashPartition is the default partitioner.
+func HashPartition(key []byte, numReduce int) int {
+	var h uint32 = 2166136261
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(numReduce))
+}
+
+// Input describes one job input.
+type Input struct {
+	// Schema parses record files; nil means the paths are the engine's own
+	// KV sequence files (the output of a previous job).
+	Schema *dataformat.Schema
+	Paths  []string
+}
+
+// Job is one MapReduce job description.
+type Job struct {
+	Name  string
+	Input Input
+	// NumMapTasks bounds the split count per record file (default 4).
+	NumMapTasks int
+	// NumReduceTasks is the reducer count; 0 makes the job map-only, with
+	// map outputs written in task order.
+	NumReduceTasks int
+	Map            Mapper
+	// MapBranches, when > 0, makes the job map-only with that many output
+	// branches; MultiMap is used instead of Map.
+	MapBranches int
+	MultiMap    func(key, value []byte, emit MultiEmit) error
+	// Partition defaults to HashPartition.
+	Partition Partitioner
+	// Compare orders keys within each reducer (default bytes.Compare).
+	Compare func(a, b []byte) int
+	// Combine, when set, runs on each map task's sorted spill before it is
+	// written — Hadoop's map-side combiner. It must be semantically safe to
+	// apply zero or more times (associative, same key domain as Reduce).
+	Combine Reducer
+	// Reduce defaults to the identity (emit every pair as is, key-ordered).
+	Reduce Reducer
+}
+
+// Result reports a finished job.
+type Result struct {
+	// Outputs holds the output file lists. Map-only jobs with branches
+	// produce one list per branch; otherwise index 0 is the job's output.
+	Outputs [][]string
+	// RecordsIn / RecordsOut / ShuffleBytes are Hadoop-style counters.
+	RecordsIn    int64
+	RecordsOut   int64
+	ShuffleBytes int64
+}
+
+// Engine runs jobs under a working directory.
+type Engine struct {
+	// WorkDir hosts intermediate and output files.
+	WorkDir string
+	// Parallelism bounds concurrent tasks (default GOMAXPROCS).
+	Parallelism int
+}
+
+// NewEngine creates an engine rooted at dir.
+func NewEngine(dir string) *Engine { return &Engine{WorkDir: dir} }
+
+func (e *Engine) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes one job to completion.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	if err := e.validate(job); err != nil {
+		return nil, err
+	}
+	jobDir := filepath.Join(e.WorkDir, sanitize(job.Name))
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		return nil, fmt.Errorf("hadoop: %w", err)
+	}
+	splits, err := e.inputSplits(job)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if job.MapBranches > 0 {
+		if err := e.runMultiMapPhase(job, jobDir, splits, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	spills, err := e.runMapPhase(job, jobDir, splits, res)
+	if err != nil {
+		return nil, err
+	}
+	if job.NumReduceTasks == 0 {
+		// Map-only: map outputs are the job outputs, in task order.
+		res.Outputs = [][]string{spillsFlat(spills)}
+		return res, nil
+	}
+	if err := e.runReducePhase(job, jobDir, spills, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) validate(job *Job) error {
+	if job.Name == "" {
+		return fmt.Errorf("hadoop: job has no name")
+	}
+	if len(job.Input.Paths) == 0 {
+		return fmt.Errorf("hadoop: job %q has no input", job.Name)
+	}
+	if job.MapBranches > 0 {
+		if job.MultiMap == nil {
+			return fmt.Errorf("hadoop: job %q declares branches but no MultiMap", job.Name)
+		}
+		return nil
+	}
+	if job.Map == nil {
+		return fmt.Errorf("hadoop: job %q has no mapper", job.Name)
+	}
+	if job.NumReduceTasks < 0 {
+		return fmt.Errorf("hadoop: job %q has negative reducer count", job.Name)
+	}
+	return nil
+}
+
+// split is one map task's input.
+type split struct {
+	schema *dataformat.Schema // nil for KV files
+	fs     dataformat.Split
+	kvPath string
+	index  int
+}
+
+func (e *Engine) inputSplits(job *Job) ([]split, error) {
+	var out []split
+	nm := job.NumMapTasks
+	if nm <= 0 {
+		nm = 4
+	}
+	for _, path := range job.Input.Paths {
+		if job.Input.Schema == nil {
+			out = append(out, split{kvPath: path, index: len(out)})
+			continue
+		}
+		fsplits, err := dataformat.Splits(job.Input.Schema, path, nm)
+		if err != nil {
+			return nil, err
+		}
+		for _, fs := range fsplits {
+			out = append(out, split{schema: job.Input.Schema, fs: fs, index: len(out)})
+		}
+	}
+	return out, nil
+}
+
+// readSplit yields the split's pairs.
+func readSplit(sp split) (*keyval.List, error) {
+	if sp.schema == nil {
+		buf, err := os.ReadFile(sp.kvPath)
+		if err != nil {
+			return nil, fmt.Errorf("hadoop: %w", err)
+		}
+		return keyval.Decode(buf)
+	}
+	recs, err := dataformat.ReadSplit(sp.schema, sp.fs)
+	if err != nil {
+		return nil, err
+	}
+	l := keyval.NewList(len(recs))
+	for i, r := range recs {
+		key := make([]byte, 8)
+		putUint64BE(key, uint64(i))
+		var val []byte
+		if sp.schema.Binary {
+			val, err = dataformat.EncodeBinary(sp.schema, recs[i:i+1])
+		} else {
+			val, err = dataformat.EncodeText(sp.schema, recs[i:i+1])
+		}
+		if err != nil {
+			return nil, err
+		}
+		l.Add(key, val)
+		_ = r
+	}
+	return l, nil
+}
+
+func (e *Engine) runMapPhase(job *Job, jobDir string, splits []split, res *Result) ([][]string, error) {
+	nr := job.NumReduceTasks
+	if nr == 0 {
+		nr = 1 // map-only writes one stream per task
+	}
+	part := job.Partition
+	if part == nil {
+		part = HashPartition
+	}
+	cmp := job.Compare
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	spills := make([][]string, len(splits)) // [task][reducer]path
+	var recordsIn, shuffle atomic.Int64
+	err := e.forEach(len(splits), func(t int) error {
+		in, err := readSplit(splits[t])
+		if err != nil {
+			return err
+		}
+		recordsIn.Add(int64(in.Len()))
+		buckets := make([]*keyval.List, nr)
+		for i := range buckets {
+			buckets[i] = keyval.NewList(0)
+		}
+		emit := func(k, v []byte) {
+			r := 0
+			if job.NumReduceTasks > 0 {
+				r = part(k, nr)
+				if r < 0 || r >= nr {
+					r = 0
+				}
+			}
+			buckets[r].Add(k, v)
+		}
+		for _, kv := range in.Pairs {
+			if err := job.Map(kv.Key, kv.Value, emit); err != nil {
+				return fmt.Errorf("hadoop: job %q map task %d: %w", job.Name, t, err)
+			}
+		}
+		spills[t] = make([]string, nr)
+		for r, b := range buckets {
+			if job.NumReduceTasks > 0 {
+				// Hadoop sorts map output before spilling.
+				b.SortFunc(func(x, y keyval.KV) bool { return cmp(x.Key, y.Key) < 0 })
+				if job.Combine != nil {
+					var err error
+					b, err = combineSorted(b, cmp, job.Combine)
+					if err != nil {
+						return fmt.Errorf("hadoop: job %q combine task %d: %w", job.Name, t, err)
+					}
+				}
+			}
+			path := filepath.Join(jobDir, fmt.Sprintf("m-%05d-r-%05d.kv", t, r))
+			buf := b.Encode()
+			shuffle.Add(int64(len(buf)))
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				return fmt.Errorf("hadoop: %w", err)
+			}
+			spills[t][r] = path
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.RecordsIn = recordsIn.Load()
+	res.ShuffleBytes = shuffle.Load()
+	return spills, nil
+}
+
+func (e *Engine) runMultiMapPhase(job *Job, jobDir string, splits []split, res *Result) error {
+	nb := job.MapBranches
+	outs := make([][][]string, len(splits)) // [task][branch]
+	var recordsIn, recordsOut atomic.Int64
+	err := e.forEach(len(splits), func(t int) error {
+		in, err := readSplit(splits[t])
+		if err != nil {
+			return err
+		}
+		recordsIn.Add(int64(in.Len()))
+		branches := make([]*keyval.List, nb)
+		for i := range branches {
+			branches[i] = keyval.NewList(0)
+		}
+		emit := func(b int, k, v []byte) {
+			if b >= 0 && b < nb {
+				branches[b].Add(k, v)
+			}
+		}
+		for _, kv := range in.Pairs {
+			if err := job.MultiMap(kv.Key, kv.Value, emit); err != nil {
+				return fmt.Errorf("hadoop: job %q multimap task %d: %w", job.Name, t, err)
+			}
+		}
+		outs[t] = make([][]string, nb)
+		for b, l := range branches {
+			recordsOut.Add(int64(l.Len()))
+			path := filepath.Join(jobDir, fmt.Sprintf("m-%05d-b-%05d.kv", t, b))
+			if err := os.WriteFile(path, l.Encode(), 0o644); err != nil {
+				return fmt.Errorf("hadoop: %w", err)
+			}
+			outs[t][b] = []string{path}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.RecordsIn = recordsIn.Load()
+	res.RecordsOut = recordsOut.Load()
+	res.Outputs = make([][]string, nb)
+	for b := 0; b < nb; b++ {
+		for t := range outs {
+			res.Outputs[b] = append(res.Outputs[b], outs[t][b]...)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runReducePhase(job *Job, jobDir string, spills [][]string, res *Result) error {
+	nr := job.NumReduceTasks
+	cmp := job.Compare
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	reduce := job.Reduce
+	if reduce == nil {
+		reduce = func(key []byte, values [][]byte, emit Emit) error {
+			for _, v := range values {
+				emit(key, v)
+			}
+			return nil
+		}
+	}
+	outputs := make([]string, nr)
+	var recordsOut atomic.Int64
+	err := e.forEach(nr, func(r int) error {
+		// Merge the r-th spill of every map task (already sorted): k-way
+		// merge preferring lower task index on ties, Hadoop's stable merge.
+		var runs []*keyval.List
+		for t := range spills {
+			buf, err := os.ReadFile(spills[t][r])
+			if err != nil {
+				return fmt.Errorf("hadoop: %w", err)
+			}
+			l, err := keyval.Decode(buf)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, l)
+		}
+		merged := mergeRuns(runs, cmp)
+		out := keyval.NewList(0)
+		emit := func(k, v []byte) { out.Add(k, v) }
+		// Group consecutive equal keys.
+		for i := 0; i < merged.Len(); {
+			j := i + 1
+			for j < merged.Len() && cmp(merged.Pairs[j].Key, merged.Pairs[i].Key) == 0 {
+				j++
+			}
+			values := make([][]byte, 0, j-i)
+			for k := i; k < j; k++ {
+				values = append(values, merged.Pairs[k].Value)
+			}
+			if err := reduce(merged.Pairs[i].Key, values, emit); err != nil {
+				return fmt.Errorf("hadoop: job %q reduce task %d: %w", job.Name, r, err)
+			}
+			i = j
+		}
+		recordsOut.Add(int64(out.Len()))
+		path := filepath.Join(jobDir, fmt.Sprintf("part-r-%05d.kv", r))
+		if err := os.WriteFile(path, out.Encode(), 0o644); err != nil {
+			return fmt.Errorf("hadoop: %w", err)
+		}
+		outputs[r] = path
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.RecordsOut = recordsOut.Load()
+	res.Outputs = [][]string{outputs}
+	return nil
+}
+
+// combineSorted runs the combiner over consecutive equal keys of a sorted
+// spill, producing a (typically smaller) sorted spill.
+func combineSorted(l *keyval.List, cmp func(a, b []byte) int, combine Reducer) (*keyval.List, error) {
+	out := keyval.NewList(0)
+	emit := func(k, v []byte) { out.Add(k, v) }
+	for i := 0; i < l.Len(); {
+		j := i + 1
+		for j < l.Len() && cmp(l.Pairs[j].Key, l.Pairs[i].Key) == 0 {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, l.Pairs[k].Value)
+		}
+		if err := combine(l.Pairs[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// mergeRuns k-way merges sorted runs, stable by run index.
+func mergeRuns(runs []*keyval.List, cmp func(a, b []byte) int) *keyval.List {
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	out := keyval.NewList(total)
+	heads := make([]int, len(runs))
+	for out.Len() < total {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= r.Len() {
+				continue
+			}
+			if best == -1 || cmp(r.Pairs[heads[i]].Key, runs[best].Pairs[heads[best]].Key) < 0 {
+				best = i
+			}
+		}
+		out.AddKV(runs[best].Pairs[heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// forEach runs fn(0..n) on the worker pool, collecting the first error.
+func (e *Engine) forEach(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, e.parallelism())
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func spillsFlat(spills [][]string) []string {
+	var out []string
+	for _, s := range spills {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func putUint64BE(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

@@ -1,0 +1,421 @@
+package hadoop
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataformat"
+	"repro/internal/keyval"
+)
+
+func edgeSchema() *dataformat.Schema {
+	return &dataformat.Schema{
+		ID: "graph_edge",
+		Fields: []dataformat.Field{
+			{Name: "vertex_a", Type: dataformat.String, Delimiter: "\t"},
+			{Name: "vertex_b", Type: dataformat.String, Delimiter: "\n"},
+		},
+	}
+}
+
+func writeTextFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := writeFile(path, []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeFile(path string, b []byte) error {
+	return osWriteFile(path, b)
+}
+
+func TestWordCountOverTextRecords(t *testing.T) {
+	dir := t.TempDir()
+	input := writeTextFile(t, dir, "edges.txt",
+		"a\tx\nb\tx\na\ty\nc\tx\na\tx\n")
+	e := NewEngine(filepath.Join(dir, "work"))
+	one := make([]byte, 8)
+	binary.LittleEndian.PutUint64(one, 1)
+	job := &Job{
+		Name:           "count-dst",
+		Input:          Input{Schema: edgeSchema(), Paths: []string{input}},
+		NumMapTasks:    3,
+		NumReduceTasks: 2,
+		Map: func(key, value []byte, emit Emit) error {
+			recs, err := dataformat.DecodeText(edgeSchema(), value)
+			if err != nil {
+				return err
+			}
+			emit([]byte(recs[0].Values[1].AsString()), one)
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			var sum uint64
+			for _, v := range values {
+				sum += binary.LittleEndian.Uint64(v)
+			}
+			out := make([]byte, 8)
+			binary.LittleEndian.PutUint64(out, sum)
+			emit(key, out)
+			return nil
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsIn != 5 {
+		t.Fatalf("RecordsIn = %d", res.RecordsIn)
+	}
+	counts := map[string]uint64{}
+	for _, path := range res.Outputs[0] {
+		l := readKVFile(t, path)
+		for _, kv := range l.Pairs {
+			counts[string(kv.Key)] = binary.LittleEndian.Uint64(kv.Value)
+		}
+	}
+	want := map[string]uint64{"x": 4, "y": 1}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Fatalf("count[%s] = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func readKVFile(t *testing.T, path string) *keyval.List {
+	t.Helper()
+	buf, err := osReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := keyval.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestMapOnlyPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	const n = 37
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d\t%d\n", i, i*2)
+	}
+	input := writeTextFile(t, dir, "in.txt", sb.String())
+	e := NewEngine(filepath.Join(dir, "work"))
+	job := &Job{
+		Name:        "identity",
+		Input:       Input{Schema: edgeSchema(), Paths: []string{input}},
+		NumMapTasks: 5,
+		Map: func(key, value []byte, emit Emit) error {
+			emit(key, value)
+			return nil
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, path := range res.Outputs[0] {
+		for _, kv := range readKVFile(t, path).Pairs {
+			lines = append(lines, string(kv.Value))
+		}
+	}
+	if len(lines) != n {
+		t.Fatalf("got %d records", len(lines))
+	}
+	for i, l := range lines {
+		if want := fmt.Sprintf("%d\t%d\n", i, i*2); l != want {
+			t.Fatalf("record %d = %q, want %q (order lost)", i, l, want)
+		}
+	}
+}
+
+func TestReducerKeysSorted(t *testing.T) {
+	dir := t.TempDir()
+	input := writeTextFile(t, dir, "in.txt", "d\t1\nb\t1\nc\t1\na\t1\n")
+	e := NewEngine(filepath.Join(dir, "work"))
+	job := &Job{
+		Name:           "sortkeys",
+		Input:          Input{Schema: edgeSchema(), Paths: []string{input}},
+		NumReduceTasks: 1,
+		Map: func(key, value []byte, emit Emit) error {
+			recs, err := dataformat.DecodeText(edgeSchema(), value)
+			if err != nil {
+				return err
+			}
+			emit([]byte(recs[0].Values[0].AsString()), nil)
+			return nil
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := readKVFile(t, res.Outputs[0][0])
+	var keys []string
+	for _, kv := range l.Pairs {
+		keys = append(keys, string(kv.Key))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatalf("reducer keys unsorted: %v", keys)
+		}
+	}
+}
+
+func TestMultiBranchJob(t *testing.T) {
+	dir := t.TempDir()
+	input := writeTextFile(t, dir, "in.txt", "1\t9\n2\t9\n3\t9\n4\t9\n")
+	e := NewEngine(filepath.Join(dir, "work"))
+	job := &Job{
+		Name:        "evenodd",
+		Input:       Input{Schema: edgeSchema(), Paths: []string{input}},
+		MapBranches: 2,
+		MultiMap: func(key, value []byte, emit MultiEmit) error {
+			recs, err := dataformat.DecodeText(edgeSchema(), value)
+			if err != nil {
+				return err
+			}
+			v, err := recs[0].Values[0].AsInt()
+			if err != nil {
+				return err
+			}
+			emit(int(v%2), key, value)
+			return nil
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("got %d branch outputs", len(res.Outputs))
+	}
+	count := func(files []string) int {
+		n := 0
+		for _, p := range files {
+			n += readKVFile(t, p).Len()
+		}
+		return n
+	}
+	if count(res.Outputs[0]) != 2 || count(res.Outputs[1]) != 2 {
+		t.Fatalf("branch sizes = %d / %d", count(res.Outputs[0]), count(res.Outputs[1]))
+	}
+	if res.RecordsOut != 4 {
+		t.Fatalf("RecordsOut = %d", res.RecordsOut)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e := NewEngine(t.TempDir())
+	cases := []*Job{
+		{},
+		{Name: "x"},
+		{Name: "x", Input: Input{Paths: []string{"p"}}},
+		{Name: "x", Input: Input{Paths: []string{"p"}}, NumReduceTasks: -1,
+			Map: func(k, v []byte, e Emit) error { return nil }},
+		{Name: "x", Input: Input{Paths: []string{"p"}}, MapBranches: 2},
+	}
+	for i, job := range cases {
+		if _, err := e.Run(job); err == nil {
+			t.Errorf("case %d: invalid job accepted", i)
+		}
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	input := writeTextFile(t, dir, "in.txt", "1\t2\n")
+	e := NewEngine(filepath.Join(dir, "work"))
+	_, err := e.Run(&Job{
+		Name:  "boom",
+		Input: Input{Schema: edgeSchema(), Paths: []string{input}},
+		Map:   func(k, v []byte, emit Emit) error { return fmt.Errorf("map exploded") },
+	})
+	if err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	input := writeTextFile(t, dir, "in.txt", "1\t2\n")
+	e := NewEngine(filepath.Join(dir, "work"))
+	_, err := e.Run(&Job{
+		Name:           "boom",
+		Input:          Input{Schema: edgeSchema(), Paths: []string{input}},
+		NumReduceTasks: 1,
+		Map: func(k, v []byte, emit Emit) error {
+			emit([]byte("k"), nil)
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			return fmt.Errorf("reduce exploded")
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "reduce exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingInputFile(t *testing.T) {
+	e := NewEngine(t.TempDir())
+	_, err := e.Run(&Job{
+		Name:  "missing",
+		Input: Input{Schema: edgeSchema(), Paths: []string{"/no/such/file"}},
+		Map:   func(k, v []byte, emit Emit) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestChainedJobsViaKVFiles(t *testing.T) {
+	dir := t.TempDir()
+	input := writeTextFile(t, dir, "in.txt", "a\t1\nb\t2\na\t3\n")
+	e := NewEngine(filepath.Join(dir, "work"))
+	j1, err := e.Run(&Job{
+		Name:           "first",
+		Input:          Input{Schema: edgeSchema(), Paths: []string{input}},
+		NumReduceTasks: 2,
+		Map: func(key, value []byte, emit Emit) error {
+			recs, err := dataformat.DecodeText(edgeSchema(), value)
+			if err != nil {
+				return err
+			}
+			emit([]byte(recs[0].Values[0].AsString()), []byte(recs[0].Values[1].AsString()))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job consumes the first's KV outputs directly.
+	j2, err := e.Run(&Job{
+		Name:           "second",
+		Input:          Input{Paths: j1.Outputs[0]},
+		NumReduceTasks: 1,
+		Map: func(key, value []byte, emit Emit) error {
+			emit([]byte("total"), value)
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			emit(key, []byte(fmt.Sprint(len(values))))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := readKVFile(t, j2.Outputs[0][0])
+	if l.Len() != 1 || string(l.Pairs[0].Value) != "3" {
+		t.Fatalf("chained result = %v", l.Pairs)
+	}
+}
+
+func TestHashPartitionRange(t *testing.T) {
+	for _, key := range [][]byte{nil, {0}, []byte("abc"), bytes.Repeat([]byte("x"), 100)} {
+		for _, n := range []int{1, 2, 7, 32} {
+			p := HashPartition(key, n)
+			if p < 0 || p >= n {
+				t.Fatalf("HashPartition(%q, %d) = %d", key, n, p)
+			}
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("sort/../job 1"); got != "sort____job_1" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+// thin wrappers so the test file reads without importing os directly twice.
+func osWriteFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+func osReadFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+
+func TestCombinerCutsShuffleAndPreservesResult(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "%d\t%d\n", i%3, i)
+	}
+	input := writeTextFile(t, dir, "in.txt", sb.String())
+	sum := func(key []byte, values [][]byte, emit Emit) error {
+		var total uint64
+		for _, v := range values {
+			total += binary.LittleEndian.Uint64(v)
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, total)
+		emit(key, out)
+		return nil
+	}
+	build := func(withCombiner bool, work string) *Job {
+		j := &Job{
+			Name:           "sum-" + work,
+			Input:          Input{Schema: edgeSchema(), Paths: []string{input}},
+			NumMapTasks:    4,
+			NumReduceTasks: 2,
+			Map: func(key, value []byte, emit Emit) error {
+				recs, err := dataformat.DecodeText(edgeSchema(), value)
+				if err != nil {
+					return err
+				}
+				v, err := recs[0].Values[1].AsInt()
+				if err != nil {
+					return err
+				}
+				buf := make([]byte, 8)
+				binary.LittleEndian.PutUint64(buf, uint64(v))
+				emit([]byte(recs[0].Values[0].AsString()), buf)
+				return nil
+			},
+			Reduce: sum,
+		}
+		if withCombiner {
+			j.Combine = sum
+		}
+		return j
+	}
+	run := func(withCombiner bool, work string) (map[string]uint64, int64) {
+		e := NewEngine(filepath.Join(dir, work))
+		res, err := e.Run(build(withCombiner, work))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]uint64{}
+		for _, path := range res.Outputs[0] {
+			for _, kv := range readKVFile(t, path).Pairs {
+				out[string(kv.Key)] = binary.LittleEndian.Uint64(kv.Value)
+			}
+		}
+		return out, res.ShuffleBytes
+	}
+	plain, plainBytes := run(false, "w1")
+	combined, combinedBytes := run(true, "w2")
+	if len(plain) != 3 {
+		t.Fatalf("sums = %v", plain)
+	}
+	for k, v := range plain {
+		if combined[k] != v {
+			t.Fatalf("combiner changed result for %q: %d vs %d", k, combined[k], v)
+		}
+	}
+	if combinedBytes >= plainBytes {
+		t.Fatalf("combiner did not cut shuffle: %d vs %d bytes", combinedBytes, plainBytes)
+	}
+}

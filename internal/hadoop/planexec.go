@@ -1,0 +1,522 @@
+package hadoop
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataformat"
+	"repro/internal/keyval"
+)
+
+// This file lowers a compiled PaPar plan onto the Hadoop-style engine — the
+// paper's "generate Hadoop jobs for the workflow" path. Every basic
+// operator becomes one job (Fig. 9's j1/j2 structure); the job client
+// performs the same preparatory work a Hadoop driver would (sampling for
+// the total-order partitioner, counting records for offset-aware
+// distribution policies).
+
+// PlanResult is the outcome of running a plan on the Hadoop backend.
+type PlanResult struct {
+	// Partitions mirror core.Result.Partitions: final rows per partition,
+	// input arity restored.
+	Partitions [][]core.Row
+	// JobCounters holds each executed job's counters, in job order.
+	JobCounters []*Result
+}
+
+// entry tagging matches the workflow's mixed row/group streams.
+func encRowEntry(r core.Row) []byte     { return append([]byte{0}, core.EncodeRow(r)...) }
+func encGroupEntry(g core.Group) []byte { return append([]byte{1}, core.EncodeGroup(g)...) }
+
+func decEntryRows(buf []byte) ([]core.Row, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("hadoop: empty entry")
+	}
+	switch buf[0] {
+	case 0:
+		r, err := core.DecodeRow(buf[1:])
+		if err != nil {
+			return nil, err
+		}
+		return []core.Row{r}, nil
+	case 1:
+		g, err := core.DecodeGroup(buf[1:])
+		if err != nil {
+			return nil, err
+		}
+		return g.Rows, nil
+	default:
+		return nil, fmt.Errorf("hadoop: unknown entry tag %d", buf[0])
+	}
+}
+
+func decEntry(buf []byte) (core.Row, *core.Group, error) {
+	if len(buf) == 0 {
+		return core.Row{}, nil, fmt.Errorf("hadoop: empty entry")
+	}
+	switch buf[0] {
+	case 0:
+		r, err := core.DecodeRow(buf[1:])
+		return r, nil, err
+	case 1:
+		g, err := core.DecodeGroup(buf[1:])
+		return core.Row{}, &g, err
+	default:
+		return core.Row{}, nil, fmt.Errorf("hadoop: unknown entry tag %d", buf[0])
+	}
+}
+
+// planState tracks the dataset between jobs: a list of KV files whose
+// values are tagged entries, globally ordered across files.
+type planState struct {
+	engine  *Engine
+	plan    *core.Plan
+	reduces int
+	// files is the current main-line dataset.
+	files []string
+	// side holds split branch outputs by name.
+	side map[string][]string
+	// schema tracks the evolving row schema.
+	schema *core.RowSchema
+	res    *PlanResult
+}
+
+// ExecutePlan runs a compiled plan on the Hadoop backend. inputPath is the
+// data file (in the plan's input format); workDir hosts all job
+// directories; numReduce is the per-job reducer count.
+func ExecutePlan(plan *core.Plan, inputPath, workDir string, numReduce int) (*PlanResult, error) {
+	if numReduce <= 0 {
+		numReduce = 4
+	}
+	st := &planState{
+		engine:  NewEngine(workDir),
+		plan:    plan,
+		reduces: numReduce,
+		side:    map[string][]string{},
+		schema:  core.NewRowSchema(plan.InputSchema),
+		res:     &PlanResult{},
+	}
+	// Job 0 (implicit): convert the record file into tagged-entry KV files
+	// so every subsequent job shares one input contract. Map-only keeps
+	// split order, so global record order is preserved.
+	ingest := &Job{
+		Name:  "ingest",
+		Input: Input{Schema: plan.InputSchema, Paths: []string{inputPath}},
+		Map: func(key, value []byte, emit Emit) error {
+			var recs []dataformat.Record
+			var err error
+			if plan.InputSchema.Binary {
+				recs, err = dataformat.DecodeBinary(plan.InputSchema, value)
+			} else {
+				recs, err = dataformat.DecodeText(plan.InputSchema, value)
+			}
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				emit(key, encRowEntry(core.Row{Values: r.Values}))
+			}
+			return nil
+		},
+	}
+	ir, err := st.engine.Run(ingest)
+	if err != nil {
+		return nil, err
+	}
+	st.res.JobCounters = append(st.res.JobCounters, ir)
+	st.files = ir.Outputs[0]
+
+	for _, job := range plan.Jobs {
+		switch j := job.(type) {
+		case *core.SortJob:
+			err = st.runSort(j)
+		case *core.GroupJob:
+			err = st.runGroup(j)
+		case *core.SplitJob:
+			err = st.runSplit(j)
+		case *core.DistributeJob:
+			err = st.runDistribute(j)
+		default:
+			err = fmt.Errorf("hadoop: job type %T is not supported by the Hadoop backend", job)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hadoop: job %s: %w", job.JobID(), err)
+		}
+	}
+	if st.res.Partitions == nil {
+		return nil, fmt.Errorf("hadoop: workflow %q has no distribute job; nothing to output", plan.WorkflowID)
+	}
+	return st.res, nil
+}
+
+// sampleSplitters scans the current dataset and derives numReduce-1 key
+// splitters — the client-side sampling pass of Hadoop's total-order
+// partitioner (and PaPar's §III-D sampling).
+func (st *planState) sampleSplitters(col int, desc bool) ([][]byte, error) {
+	const cap = 4096
+	rng := rand.New(rand.NewSource(1))
+	var sample [][]byte
+	seen := 0
+	for _, path := range st.files {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("hadoop: %w", err)
+		}
+		l, err := keyval.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		for _, kv := range l.Pairs {
+			row, _, err := decEntry(kv.Value)
+			if err != nil {
+				return nil, err
+			}
+			key := sortKeyBytes(row, col, desc)
+			seen++
+			if len(sample) < cap {
+				sample = append(sample, key)
+			} else if j := rng.Intn(seen); j < cap {
+				sample[j] = key
+			}
+		}
+	}
+	sort.Slice(sample, func(i, j int) bool { return bytes.Compare(sample[i], sample[j]) < 0 })
+	var out [][]byte
+	for b := 1; b < st.reduces; b++ {
+		if len(sample) == 0 {
+			out = append(out, []byte{})
+			continue
+		}
+		idx := b * len(sample) / st.reduces
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		out = append(out, sample[idx])
+	}
+	return out, nil
+}
+
+func sortKeyBytes(row core.Row, col int, desc bool) []byte {
+	key := core.SortableKeyBytes(row.Values[col])
+	if desc {
+		for i := range key {
+			key[i] ^= 0xFF
+		}
+	}
+	return key
+}
+
+func locateBytes(splitters [][]byte, key []byte) int {
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(splitters[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (st *planState) runSort(j *core.SortJob) error {
+	col := st.schema.Index(j.KeyCol)
+	if col < 0 {
+		return fmt.Errorf("sort key %q missing from schema %v", j.KeyCol, st.schema.Fields)
+	}
+	splitters, err := st.sampleSplitters(col, j.Descending)
+	if err != nil {
+		return err
+	}
+	job := &Job{
+		Name:           "sort-" + j.ID,
+		Input:          Input{Paths: st.files},
+		NumReduceTasks: st.reduces,
+		Map: func(key, value []byte, emit Emit) error {
+			row, _, err := decEntry(value)
+			if err != nil {
+				return err
+			}
+			emit(sortKeyBytes(row, col, j.Descending), value)
+			return nil
+		},
+		Partition: func(key []byte, numReduce int) int { return locateBytes(splitters, key) },
+		// identity reduce keeps key order; stability comes from the
+		// engine's stable merge.
+	}
+	r, err := st.engine.Run(job)
+	if err != nil {
+		return err
+	}
+	st.res.JobCounters = append(st.res.JobCounters, r)
+	st.files = r.Outputs[0]
+	return nil
+}
+
+func (st *planState) runGroup(j *core.GroupJob) error {
+	col := st.schema.Index(j.KeyCol)
+	if col < 0 {
+		return fmt.Errorf("group key %q missing from schema %v", j.KeyCol, st.schema.Fields)
+	}
+	valueIdx := make([]int, len(j.AddOns))
+	outSchema := st.schema
+	var err error
+	for i, a := range j.AddOns {
+		valueIdx[i] = -1
+		if a.ValueCol != "" {
+			valueIdx[i] = st.schema.Index(a.ValueCol)
+			if valueIdx[i] < 0 {
+				return fmt.Errorf("add-on value column %q missing", a.ValueCol)
+			}
+		}
+		outSchema, err = outSchema.WithAttr(a.AttrName, dataformat.Long)
+		if err != nil {
+			return err
+		}
+	}
+	addons := j.AddOns
+	pack := j.Pack
+	job := &Job{
+		Name:           "group-" + j.ID,
+		Input:          Input{Paths: st.files},
+		NumReduceTasks: st.reduces,
+		Map: func(key, value []byte, emit Emit) error {
+			row, _, err := decEntry(value)
+			if err != nil {
+				return err
+			}
+			emit([]byte(row.Values[col].AsString()), value)
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			members := make([]core.Row, 0, len(values))
+			for _, v := range values {
+				row, _, err := decEntry(v)
+				if err != nil {
+					return err
+				}
+				members = append(members, row)
+			}
+			attrs := make([]dataformat.Value, len(addons))
+			for i, a := range addons {
+				var err error
+				attrs[i], err = a.AddOn.Compute(members, valueIdx[i])
+				if err != nil {
+					return err
+				}
+			}
+			for mi := range members {
+				members[mi].Values = append(members[mi].Values, attrs...)
+			}
+			if pack {
+				g := core.Group{Key: members[0].Values[col], Rows: members}
+				emit(key, encGroupEntry(g))
+				return nil
+			}
+			for _, m := range members {
+				emit(key, encRowEntry(m))
+			}
+			return nil
+		},
+	}
+	r, err := st.engine.Run(job)
+	if err != nil {
+		return err
+	}
+	st.res.JobCounters = append(st.res.JobCounters, r)
+	st.files = r.Outputs[0]
+	st.schema = outSchema
+	return nil
+}
+
+func (st *planState) runSplit(j *core.SplitJob) error {
+	col := st.schema.Index(j.KeyCol)
+	if col < 0 {
+		return fmt.Errorf("split key %q missing from schema %v", j.KeyCol, st.schema.Fields)
+	}
+	branches := j.Branches
+	job := &Job{
+		Name:        "split-" + j.ID,
+		Input:       Input{Paths: st.files},
+		MapBranches: len(branches),
+		MultiMap: func(key, value []byte, emit MultiEmit) error {
+			row, group, err := decEntry(value)
+			if err != nil {
+				return err
+			}
+			probe := row
+			if group != nil {
+				if len(group.Rows) == 0 {
+					return nil
+				}
+				probe = group.Rows[0]
+			}
+			k, err := probe.Values[col].AsInt()
+			if err != nil {
+				return err
+			}
+			for bi, b := range branches {
+				if !b.Condition.Eval(k) {
+					continue
+				}
+				switch {
+				case b.Format == "unpack" && group != nil:
+					for _, r := range group.Rows {
+						emit(bi, key, encRowEntry(r))
+					}
+				default:
+					emit(bi, key, value)
+				}
+				return nil
+			}
+			return fmt.Errorf("split %s: key %d matches no condition", j.ID, k)
+		},
+	}
+	r, err := st.engine.Run(job)
+	if err != nil {
+		return err
+	}
+	st.res.JobCounters = append(st.res.JobCounters, r)
+	for bi, b := range branches {
+		st.side[b.Name] = r.Outputs[bi]
+	}
+	st.files = nil
+	return nil
+}
+
+func (st *planState) runDistribute(j *core.DistributeJob) error {
+	inputSets := [][]string{st.files}
+	if len(j.InputBranches) > 0 {
+		inputSets = inputSets[:0]
+		for _, name := range j.InputBranches {
+			files, ok := st.side[name]
+			if !ok {
+				return fmt.Errorf("distribute %s: no split branch %q", j.ID, name)
+			}
+			inputSets = append(inputSets, files)
+		}
+	}
+	np := j.NumPartitions
+
+	// Client-side pass: rewrite entry keys to the partition id. Cyclic and
+	// block need each entry's global index and the branch total — the same
+	// offset bookkeeping the MR-MPI backend derives with an exclusive scan.
+	routedDir := st.engine.WorkDir + "/route-" + sanitize(j.ID)
+	if err := os.MkdirAll(routedDir, 0o755); err != nil {
+		return fmt.Errorf("hadoop: %w", err)
+	}
+	var routed []string
+	for si, files := range inputSets {
+		entries, err := readAllKV(files)
+		if err != nil {
+			return err
+		}
+		total := int64(entries.Len())
+		out := keyval.NewList(entries.Len())
+		for i, kv := range entries.Pairs {
+			var part int
+			switch j.Policy {
+			case core.Cyclic:
+				part = int(int64(i) % int64(np))
+			case core.Block:
+				if total == 0 {
+					part = 0
+				} else {
+					part = int(((int64(i)+1)*int64(np)+total-1)/total) - 1
+				}
+			case core.GraphVertexCut:
+				row, group, err := decEntry(kv.Value)
+				if err != nil {
+					return err
+				}
+				if group != nil {
+					part = core.HashValue(group.Key, np)
+				} else {
+					part = core.HashValue(row.Values[0], np)
+				}
+			default:
+				return fmt.Errorf("unhandled policy %v", j.Policy)
+			}
+			key := make([]byte, 4)
+			key[0] = byte(part >> 24)
+			key[1] = byte(part >> 16)
+			key[2] = byte(part >> 8)
+			key[3] = byte(part)
+			out.Add(key, kv.Value)
+		}
+		path := fmt.Sprintf("%s/branch-%d.kv", routedDir, si)
+		if err := os.WriteFile(path, out.Encode(), 0o644); err != nil {
+			return fmt.Errorf("hadoop: %w", err)
+		}
+		routed = append(routed, path)
+	}
+
+	job := &Job{
+		Name:           "distribute-" + j.ID,
+		Input:          Input{Paths: routed},
+		NumReduceTasks: np,
+		Map: func(key, value []byte, emit Emit) error {
+			emit(key, value)
+			return nil
+		},
+		Partition: func(key []byte, numReduce int) int {
+			return int(uint32(key[0])<<24 | uint32(key[1])<<16 | uint32(key[2])<<8 | uint32(key[3]))
+		},
+	}
+	r, err := st.engine.Run(job)
+	if err != nil {
+		return err
+	}
+	st.res.JobCounters = append(st.res.JobCounters, r)
+
+	// Materialize partitions: unpack groups, drop appended attributes.
+	inArity := len(st.plan.InputSchema.Fields)
+	st.res.Partitions = make([][]core.Row, np)
+	for p, path := range r.Outputs[0] {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("hadoop: %w", err)
+		}
+		l, err := keyval.Decode(buf)
+		if err != nil {
+			return err
+		}
+		for _, kv := range l.Pairs {
+			rows, err := decEntryRows(kv.Value)
+			if err != nil {
+				return err
+			}
+			if j.RestoreFormat {
+				for i := range rows {
+					if len(rows[i].Values) > inArity {
+						rows[i].Values = rows[i].Values[:inArity]
+					}
+				}
+			}
+			st.res.Partitions[p] = append(st.res.Partitions[p], rows...)
+		}
+	}
+	return nil
+}
+
+func readAllKV(files []string) (*keyval.List, error) {
+	out := keyval.NewList(0)
+	for _, path := range files {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("hadoop: %w", err)
+		}
+		l, err := keyval.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		for _, kv := range l.Pairs {
+			out.AddKV(kv)
+		}
+	}
+	return out, nil
+}

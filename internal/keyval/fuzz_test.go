@@ -1,0 +1,25 @@
+package keyval
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	l := NewList(0)
+	l.Add([]byte("key"), []byte("value"))
+	l.Add(nil, nil)
+	f.Add(l.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{9, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Valid lists round-trip byte-exactly.
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatalf("re-encode differs from accepted input")
+		}
+	})
+}

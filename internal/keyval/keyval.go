@@ -1,0 +1,175 @@
+// Package keyval provides the key-value containers that the MapReduce layer
+// (internal/mrmpi) and the PaPar operators exchange.
+//
+// PaPar formalizes every workflow as a sequence of key-value operations
+// (paper §I, §III). A KV holds one key and one value, both opaque byte
+// strings; a List is an appendable page of KVs with a compact binary wire
+// encoding used for shuffles; a KMV groups all values sharing one key, the
+// result of MR-MPI's "convert" step.
+package keyval
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// KV is one key-value pair. Key and Value are treated as opaque bytes; the
+// schema layer (internal/dataformat) gives them structure.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Clone deep-copies the pair.
+func (kv KV) Clone() KV {
+	return KV{Key: append([]byte(nil), kv.Key...), Value: append([]byte(nil), kv.Value...)}
+}
+
+// Size returns the encoded size of the pair in bytes.
+func (kv KV) Size() int { return 8 + len(kv.Key) + len(kv.Value) }
+
+// String renders the pair for debugging.
+func (kv KV) String() string { return fmt.Sprintf("{%q: %q}", kv.Key, kv.Value) }
+
+// List is an ordered collection of KV pairs, the unit the shuffle moves
+// between ranks.
+type List struct {
+	Pairs []KV
+	bytes int
+}
+
+// NewList returns an empty list with capacity for n pairs.
+func NewList(n int) *List { return &List{Pairs: make([]KV, 0, n)} }
+
+// Add appends a pair. The byte slices are retained, not copied.
+func (l *List) Add(key, value []byte) {
+	l.Pairs = append(l.Pairs, KV{Key: key, Value: value})
+	l.bytes += 8 + len(key) + len(value)
+}
+
+// AddKV appends an existing pair.
+func (l *List) AddKV(kv KV) { l.Add(kv.Key, kv.Value) }
+
+// Len returns the number of pairs.
+func (l *List) Len() int { return len(l.Pairs) }
+
+// Bytes returns the total encoded payload size (what a shuffle would move).
+func (l *List) Bytes() int { return l.bytes }
+
+// Sort orders the pairs by key (bytewise), with the original order preserved
+// among equal keys (stable), matching the reducer-visible ordering the
+// paper's sort job produces.
+func (l *List) Sort() {
+	sort.SliceStable(l.Pairs, func(i, j int) bool {
+		return bytes.Compare(l.Pairs[i].Key, l.Pairs[j].Key) < 0
+	})
+}
+
+// SortFunc orders the pairs by the provided comparison (stable).
+func (l *List) SortFunc(less func(a, b KV) bool) {
+	sort.SliceStable(l.Pairs, func(i, j int) bool { return less(l.Pairs[i], l.Pairs[j]) })
+}
+
+// Encode frames the list into a single buffer:
+//
+//	uint32 count | repeat{ uint32 klen | uint32 vlen | key | value }
+func (l *List) Encode() []byte {
+	out := make([]byte, 0, 4+l.bytes)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Pairs)))
+	for _, kv := range l.Pairs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(kv.Key)))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(kv.Value)))
+		out = append(out, kv.Key...)
+		out = append(out, kv.Value...)
+	}
+	return out
+}
+
+// Decode parses a buffer produced by Encode. The returned list aliases buf.
+func Decode(buf []byte) (*List, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("keyval: short buffer (%d bytes)", len(buf))
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	// The count is untrusted wire data: cap the preallocation so a corrupt
+	// header cannot demand gigabytes.
+	prealloc := int(n)
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	l := NewList(prealloc)
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("keyval: truncated header at pair %d", i)
+		}
+		klen := binary.LittleEndian.Uint32(buf)
+		vlen := binary.LittleEndian.Uint32(buf[4:])
+		buf = buf[8:]
+		if uint64(len(buf)) < uint64(klen)+uint64(vlen) {
+			return nil, fmt.Errorf("keyval: truncated payload at pair %d", i)
+		}
+		key := buf[:klen:klen]
+		value := buf[klen : klen+vlen : klen+vlen]
+		buf = buf[klen+vlen:]
+		l.Add(key, value)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("keyval: %d trailing bytes after %d pairs", len(buf), n)
+	}
+	return l, nil
+}
+
+// KMV is a key with all the values that shared it — the convert (KV→KMV)
+// output that reducers consume.
+type KMV struct {
+	Key    []byte
+	Values [][]byte
+}
+
+// NumValues returns the multiplicity of the key.
+func (k KMV) NumValues() int { return len(k.Values) }
+
+// Bytes returns the payload size of the group.
+func (k KMV) Bytes() int {
+	n := len(k.Key)
+	for _, v := range k.Values {
+		n += len(v)
+	}
+	return n
+}
+
+// Convert groups a list's pairs by key, preserving first-appearance key
+// order and per-key value order (both matter for deterministic reducers).
+func Convert(l *List) []KMV {
+	idx := make(map[string]int, len(l.Pairs))
+	var out []KMV
+	for _, kv := range l.Pairs {
+		k := string(kv.Key)
+		if i, ok := idx[k]; ok {
+			out[i].Values = append(out[i].Values, kv.Value)
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, KMV{Key: kv.Key, Values: [][]byte{kv.Value}})
+	}
+	return out
+}
+
+// Flatten is the inverse of Convert: it expands groups back into a flat
+// list, preserving order.
+func Flatten(groups []KMV) *List {
+	n := 0
+	for _, g := range groups {
+		n += len(g.Values)
+	}
+	l := NewList(n)
+	for _, g := range groups {
+		for _, v := range g.Values {
+			l.Add(g.Key, v)
+		}
+	}
+	return l
+}

@@ -1,0 +1,225 @@
+package keyval
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVCloneIndependent(t *testing.T) {
+	orig := KV{Key: []byte("k"), Value: []byte("v")}
+	c := orig.Clone()
+	c.Key[0] = 'X'
+	c.Value[0] = 'Y'
+	if orig.Key[0] != 'k' || orig.Value[0] != 'v' {
+		t.Fatalf("Clone shares storage with original")
+	}
+}
+
+func TestKVSize(t *testing.T) {
+	kv := KV{Key: []byte("abc"), Value: []byte("defg")}
+	if got := kv.Size(); got != 8+3+4 {
+		t.Fatalf("Size = %d, want 15", got)
+	}
+}
+
+func TestListAddAndBytes(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("a"), []byte("bb"))
+	l.Add([]byte("cc"), []byte("d"))
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if want := 2*8 + 1 + 2 + 2 + 1; l.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", l.Bytes(), want)
+	}
+}
+
+func TestListSortStable(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("b"), []byte("1"))
+	l.Add([]byte("a"), []byte("2"))
+	l.Add([]byte("b"), []byte("3"))
+	l.Add([]byte("a"), []byte("4"))
+	l.Sort()
+	var got []string
+	for _, kv := range l.Pairs {
+		got = append(got, string(kv.Key)+string(kv.Value))
+	}
+	want := []string{"a2", "a4", "b1", "b3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sort order %v, want %v", got, want)
+	}
+}
+
+func TestListSortFunc(t *testing.T) {
+	l := NewList(0)
+	for _, s := range []string{"bbb", "a", "cc"} {
+		l.Add([]byte(s), nil)
+	}
+	l.SortFunc(func(a, b KV) bool { return len(a.Key) > len(b.Key) })
+	if string(l.Pairs[0].Key) != "bbb" || string(l.Pairs[2].Key) != "a" {
+		t.Fatalf("SortFunc order wrong: %v", l.Pairs)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("key1"), []byte("value1"))
+	l.Add(nil, nil) // empty key and value are legal
+	l.Add([]byte{0, 1, 2, 255}, bytes.Repeat([]byte("x"), 1000))
+	got, err := Decode(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("decoded %d pairs, want %d", got.Len(), l.Len())
+	}
+	for i := range l.Pairs {
+		if !bytes.Equal(got.Pairs[i].Key, l.Pairs[i].Key) ||
+			!bytes.Equal(got.Pairs[i].Value, l.Pairs[i].Value) {
+			t.Errorf("pair %d mismatch: %v vs %v", i, got.Pairs[i], l.Pairs[i])
+		}
+	}
+	if got.Bytes() != l.Bytes() {
+		t.Errorf("decoded Bytes = %d, want %d", got.Bytes(), l.Bytes())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             nil,
+		"short":             {1, 2, 3},
+		"truncated header":  {1, 0, 0, 0, 5, 0},
+		"truncated payload": {1, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 'a'},
+		"trailing garbage":  append(NewList(0).Encode(), 0xFF),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(pairs [][2][]byte) bool {
+		l := NewList(len(pairs))
+		for _, p := range pairs {
+			l.Add(p[0], p[1])
+		}
+		got, err := Decode(l.Encode())
+		if err != nil || got.Len() != l.Len() {
+			return false
+		}
+		for i := range l.Pairs {
+			if !bytes.Equal(got.Pairs[i].Key, l.Pairs[i].Key) ||
+				!bytes.Equal(got.Pairs[i].Value, l.Pairs[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertGroupsAndOrder(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("x"), []byte("1"))
+	l.Add([]byte("y"), []byte("2"))
+	l.Add([]byte("x"), []byte("3"))
+	groups := Convert(l)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if string(groups[0].Key) != "x" || groups[0].NumValues() != 2 {
+		t.Fatalf("group 0 = %q x%d", groups[0].Key, groups[0].NumValues())
+	}
+	if string(groups[0].Values[0]) != "1" || string(groups[0].Values[1]) != "3" {
+		t.Fatalf("per-key value order not preserved: %v", groups[0].Values)
+	}
+	if string(groups[1].Key) != "y" {
+		t.Fatalf("first-appearance key order not preserved")
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	if groups := Convert(NewList(0)); len(groups) != 0 {
+		t.Fatalf("Convert(empty) = %d groups", len(groups))
+	}
+}
+
+func TestKMVBytes(t *testing.T) {
+	g := KMV{Key: []byte("ab"), Values: [][]byte{[]byte("c"), []byte("de")}}
+	if got := g.Bytes(); got != 5 {
+		t.Fatalf("Bytes = %d, want 5", got)
+	}
+}
+
+func TestFlattenInverseOfConvert(t *testing.T) {
+	l := NewList(0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		l.Add([]byte(fmt.Sprintf("k%d", rng.Intn(20))), []byte(fmt.Sprintf("v%d", i)))
+	}
+	flat := Flatten(Convert(l))
+	if flat.Len() != l.Len() {
+		t.Fatalf("Flatten lost pairs: %d vs %d", flat.Len(), l.Len())
+	}
+	// Convert groups by key; Flatten keeps all pairs, and sorting both by
+	// (key,value) must produce identical multisets.
+	canon := func(l *List) []string {
+		out := make([]string, 0, l.Len())
+		for _, kv := range l.Pairs {
+			out = append(out, string(kv.Key)+"\x00"+string(kv.Value))
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(canon(flat), canon(l)) {
+		t.Fatalf("Flatten(Convert(l)) is not a permutation of l")
+	}
+}
+
+func TestConvertFlattenProperty(t *testing.T) {
+	f := func(keys []uint8, vals []uint8) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		l := NewList(n)
+		for i := 0; i < n; i++ {
+			l.Add([]byte{keys[i] % 8}, []byte{vals[i]})
+		}
+		flat := Flatten(Convert(l))
+		if flat.Len() != l.Len() {
+			return false
+		}
+		// Per-key subsequences must be preserved exactly.
+		perKey := func(l *List) map[string][]byte {
+			m := map[string][]byte{}
+			for _, kv := range l.Pairs {
+				m[string(kv.Key)] = append(m[string(kv.Key)], kv.Value...)
+			}
+			return m
+		}
+		a, b := perKey(l), perKey(flat)
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if !bytes.Equal(v, b[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package mpi provides an MPI-like message-passing interface on top of the
+// simulated cluster (package cluster).
+//
+// The paper maps PaPar onto MR-MPI and raw MPI (Isend/Irecv/Wait); Go has no
+// standard MPI binding, so this package is the custom distribution layer the
+// reproduction bands call for. It offers the subset the paper's backends
+// need: point-to-point (blocking and non-blocking), barriers, broadcast,
+// gather(v), allgather, alltoall(v), reduce, allreduce, and exclusive scan.
+//
+// Collectives are implemented with the standard logarithmic algorithms
+// (binomial-tree broadcast/reduce, recursive pattern barriers) so that the
+// simulated virtual time shows realistic O(log P) scaling behaviour.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// AnySource matches any sending rank in Recv.
+const AnySource = cluster.AnySource
+
+// Comm is a communicator: a rank's handle onto the group of all ranks. Tags
+// used by collectives live in a reserved high range; user point-to-point tags
+// must be below tagCollBase.
+type Comm struct {
+	rank *cluster.Rank
+}
+
+// tagCollBase is the first tag reserved for collective internals.
+const tagCollBase = 1 << 24
+
+// Tags for the collective algorithms. Each collective call site uses a
+// distinct tag so that back-to-back collectives cannot mismatch. SPMD
+// programs execute collectives in the same order on every rank, so a static
+// tag per collective type suffices (messages of successive calls of the same
+// type cannot overtake within a (src,tag) pair because mailbox order is
+// FIFO).
+const (
+	tagBarrier = tagCollBase + iota
+	tagBcast
+	tagGather
+	tagAllgather
+	tagAlltoall
+	tagReduce
+	tagScan
+	tagProbeCount
+)
+
+// NewComm wraps a cluster rank in a communicator.
+func NewComm(r *cluster.Rank) *Comm { return &Comm{rank: r} }
+
+// Rank returns this process's rank id.
+func (c *Comm) Rank() int { return c.rank.ID() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.rank.Size() }
+
+// Cluster exposes the underlying simulated rank (for clock charging).
+func (c *Comm) Cluster() *cluster.Rank { return c.rank }
+
+// Send sends payload to dst with a user tag (must be < 2^24).
+func (c *Comm) Send(dst, tag int, payload []byte) error {
+	if tag >= tagCollBase || tag < 0 {
+		return fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
+	}
+	return c.rank.Send(dst, tag, payload)
+}
+
+// Recv blocks for a message from src (or AnySource) with the given tag and
+// returns the payload and actual source.
+func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
+	if tag >= tagCollBase || tag < 0 {
+		return nil, 0, fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
+	}
+	return c.rank.Recv(src, tag)
+}
+
+// Request is a handle for a non-blocking operation, completed by Wait.
+type Request struct {
+	done    bool
+	isRecv  bool
+	comm    *Comm
+	src     int
+	tag     int
+	payload []byte
+	outSrc  int
+	err     error
+}
+
+// Isend starts a non-blocking send. The simulated transport is eager and
+// buffered, so the send completes immediately; the Request exists for
+// API parity with the paper's "MPI non-blocking interfaces (Isend, Irecv,
+// and Wait)".
+func (c *Comm) Isend(dst, tag int, payload []byte) *Request {
+	err := c.Send(dst, tag, payload)
+	return &Request{done: true, comm: c, err: err}
+}
+
+// Irecv starts a non-blocking receive; Wait blocks until it is matched.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{isRecv: true, comm: c, src: src, tag: tag}
+}
+
+// Wait completes the request. For receives it returns the payload and the
+// actual source rank.
+func (r *Request) Wait() ([]byte, int, error) {
+	if r.done {
+		return r.payload, r.outSrc, r.err
+	}
+	r.done = true
+	if r.isRecv {
+		r.payload, r.outSrc, r.err = r.comm.Recv(r.src, r.tag)
+	}
+	return r.payload, r.outSrc, r.err
+}
+
+// WaitAll completes all requests, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Barrier blocks until every rank has entered it. Dissemination algorithm:
+// log2(P) rounds of pairwise exchange.
+func (c *Comm) Barrier() error {
+	p, me := c.Size(), c.Rank()
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (me + dist) % p
+		src := (me - dist + p) % p
+		if err := c.rank.Send(dst, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, _, err := c.rank.Recv(src, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root to every rank; every rank returns the
+// broadcast payload. Binomial tree.
+func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
+	p, me := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	// Re-index so root is virtual rank 0. Every non-root receives exactly
+	// once, from the vrank obtained by clearing its highest set bit.
+	vrank := (me - root + p) % p
+	if vrank != 0 {
+		hb := 1
+		for hb*2 <= vrank {
+			hb *= 2
+		}
+		src := (vrank - hb + root) % p
+		payload, _, err := c.rank.Recv(src, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		buf = payload
+	}
+	// Forward down the binomial tree: vrank v sends to v+mask for every
+	// power-of-two mask > v that stays in range.
+	for mask := 1; mask < p; mask *= 2 {
+		if vrank < mask && vrank+mask < p {
+			dst := (vrank + mask + root) % p
+			if err := c.rank.Send(dst, tagBcast, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Gather collects each rank's payload at root. Root receives a slice indexed
+// by rank; non-roots receive nil.
+func (c *Comm) Gather(root int, payload []byte) ([][]byte, error) {
+	p, me := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if me != root {
+		return nil, c.rank.Send(root, tagGather, payload)
+	}
+	out := make([][]byte, p)
+	out[me] = payload
+	for i := 0; i < p; i++ {
+		if i == me {
+			continue
+		}
+		b, _, err := c.rank.Recv(i, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Allgather gathers every rank's payload on every rank.
+func (c *Comm) Allgather(payload []byte) ([][]byte, error) {
+	const root = 0
+	parts, err := c.Gather(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == root {
+		packed = packSlices(parts)
+	}
+	packed, err = c.Bcast(root, packed)
+	if err != nil {
+		return nil, err
+	}
+	return unpackSlices(packed)
+}
+
+// Alltoall exchanges sendBuf[i] -> rank i; returns recv indexed by source
+// rank. This is the shuffle primitive MapReduce's aggregate step uses.
+func (c *Comm) Alltoall(sendBuf [][]byte) ([][]byte, error) {
+	p, me := c.Size(), c.Rank()
+	if len(sendBuf) != p {
+		return nil, fmt.Errorf("mpi: alltoall needs %d buffers, got %d", p, len(sendBuf))
+	}
+	recv := make([][]byte, p)
+	recv[me] = sendBuf[me]
+	// Post every send first, then drain the receives — the non-blocking
+	// pattern real MPI all-to-alls use, which lets wire latencies overlap
+	// instead of serializing across the P-1 exchanges.
+	for k := 1; k < p; k++ {
+		dst := (me + k) % p
+		if err := c.rank.Send(dst, tagAlltoall, sendBuf[dst]); err != nil {
+			return nil, err
+		}
+	}
+	for k := 1; k < p; k++ {
+		src := (me - k + p) % p
+		b, _, err := c.rank.Recv(src, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		recv[src] = b
+	}
+	return recv, nil
+}
+
+// ReduceFunc combines two partial values into one.
+type ReduceFunc func(a, b []byte) []byte
+
+// Reduce folds every rank's payload at root with fn (associative,
+// commutative not required: combination is done in rank order along a
+// binomial tree with ordered operands).
+func (c *Comm) Reduce(root int, payload []byte, fn ReduceFunc) ([]byte, error) {
+	p := c.Size()
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	me := c.Rank()
+	vrank := (me - root + p) % p
+	acc := payload
+	for mask := 1; mask < p; mask *= 2 {
+		if vrank&mask != 0 {
+			dst := (vrank - mask + root) % p
+			if err := c.rank.Send(dst, tagReduce, acc); err != nil {
+				return nil, err
+			}
+			acc = nil
+			break
+		}
+		if vrank+mask < p {
+			src := (vrank + mask + root) % p
+			b, _, err := c.rank.Recv(src, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			acc = fn(acc, b)
+		}
+	}
+	if me == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Allreduce reduces and broadcasts the result to all ranks.
+func (c *Comm) Allreduce(payload []byte, fn ReduceFunc) ([]byte, error) {
+	const root = 0
+	res, err := c.Reduce(root, payload, fn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(root, res)
+}
+
+// ExscanInt64 computes the exclusive prefix sum of v across ranks: rank i
+// receives sum of v on ranks < i (0 on rank 0). The total is also returned on
+// every rank. Used for assigning global output offsets.
+func (c *Comm) ExscanInt64(v int64) (prefix, total int64, err error) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	parts, err := c.Allgather(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, b := range parts {
+		x := int64(binary.LittleEndian.Uint64(b))
+		if i < c.Rank() {
+			prefix += x
+		}
+		total += x
+	}
+	return prefix, total, nil
+}
+
+// packSlices frames a slice-of-slices into one buffer.
+func packSlices(parts [][]byte) []byte {
+	n := 4
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(parts)))
+	for _, p := range parts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unpackSlices(buf []byte) ([][]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: short packed buffer (%d bytes)", len(buf))
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	prealloc := n
+	if prealloc > 4096 { // untrusted count; append grows as needed
+		prealloc = 4096
+	}
+	out := make([][]byte, 0, prealloc)
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("mpi: truncated packed buffer at part %d", i)
+		}
+		l := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < l {
+			return nil, fmt.Errorf("mpi: truncated payload at part %d", i)
+		}
+		out = append(out, buf[:l:l])
+		buf = buf[l:]
+	}
+	return out, nil
+}

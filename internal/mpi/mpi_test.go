@@ -1,0 +1,374 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// runSPMD executes body on a fresh cluster with the given number of nodes
+// (2 ranks each) and fails the test on any rank error.
+func runSPMD(t *testing.T, nodes int, body func(c *Comm) error) {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		return body(NewComm(r))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	runSPMD(t, 1, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 42, []byte("hello"))
+		}
+		b, src, err := c.Recv(0, 42)
+		if err != nil {
+			return err
+		}
+		if src != 0 || string(b) != "hello" {
+			return fmt.Errorf("got %q from %d", b, src)
+		}
+		return nil
+	})
+}
+
+func TestUserTagRangeEnforced(t *testing.T) {
+	runSPMD(t, 1, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Send(1, tagCollBase, nil); err == nil {
+			return fmt.Errorf("send with reserved tag succeeded")
+		}
+		if err := c.Send(1, -1, nil); err == nil {
+			return fmt.Errorf("send with negative tag succeeded")
+		}
+		if _, _, err := c.Recv(1, tagCollBase+5); err == nil {
+			return fmt.Errorf("recv with reserved tag succeeded")
+		}
+		return nil
+	})
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	runSPMD(t, 1, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 1, []byte("async"))
+			_, _, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 1)
+		b, src, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if src != 0 || string(b) != "async" {
+			return fmt.Errorf("irecv got %q from %d", b, src)
+		}
+		// Wait must be idempotent.
+		b2, _, err := req.Wait()
+		if err != nil || string(b2) != "async" {
+			return fmt.Errorf("second Wait: %q, %v", b2, err)
+		}
+		return nil
+	})
+}
+
+func TestWaitAll(t *testing.T) {
+	runSPMD(t, 2, func(c *Comm) error {
+		n := c.Size()
+		if c.Rank() == 0 {
+			reqs := make([]*Request, 0, n-1)
+			for i := 1; i < n; i++ {
+				reqs = append(reqs, c.Irecv(i, 2))
+			}
+			if err := WaitAll(reqs...); err != nil {
+				return err
+			}
+			for i, r := range reqs {
+				b, _, _ := r.Wait()
+				if want := byte(i + 1); b[0] != want {
+					return fmt.Errorf("req %d payload %d, want %d", i, b[0], want)
+				}
+			}
+			return nil
+		}
+		return WaitAll(c.Isend(0, 2, []byte{byte(c.Rank())}))
+	})
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 8} {
+		runSPMD(t, nodes, func(c *Comm) error {
+			for i := 0; i < 3; i++ {
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 5, 8} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			runSPMD(t, nodes, func(c *Comm) error {
+				for root := 0; root < c.Size(); root++ {
+					var buf []byte
+					if c.Rank() == root {
+						buf = []byte(fmt.Sprintf("payload-from-%d", root))
+					}
+					got, err := c.Bcast(root, buf)
+					if err != nil {
+						return err
+					}
+					want := fmt.Sprintf("payload-from-%d", root)
+					if string(got) != want {
+						return fmt.Errorf("rank %d bcast root %d: got %q", c.Rank(), root, got)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBcastInvalidRoot(t *testing.T) {
+	runSPMD(t, 1, func(c *Comm) error {
+		if _, err := c.Bcast(99, nil); err == nil {
+			return fmt.Errorf("bcast with bad root succeeded")
+		}
+		return nil
+	})
+}
+
+func TestGather(t *testing.T) {
+	runSPMD(t, 3, func(c *Comm) error {
+		payload := []byte{byte(c.Rank() * 3)}
+		parts, err := c.Gather(2, payload)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if parts != nil {
+				return fmt.Errorf("non-root got parts")
+			}
+			return nil
+		}
+		if len(parts) != c.Size() {
+			return fmt.Errorf("root got %d parts, want %d", len(parts), c.Size())
+		}
+		for i, p := range parts {
+			if p[0] != byte(i*3) {
+				return fmt.Errorf("part %d = %d, want %d", i, p[0], i*3)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		runSPMD(t, nodes, func(c *Comm) error {
+			parts, err := c.Allgather([]byte(fmt.Sprintf("r%d", c.Rank())))
+			if err != nil {
+				return err
+			}
+			if len(parts) != c.Size() {
+				return fmt.Errorf("got %d parts", len(parts))
+			}
+			for i, p := range parts {
+				if want := fmt.Sprintf("r%d", i); string(p) != want {
+					return fmt.Errorf("part %d = %q, want %q", i, p, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 8} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			runSPMD(t, nodes, func(c *Comm) error {
+				p := c.Size()
+				send := make([][]byte, p)
+				for i := range send {
+					send[i] = []byte(fmt.Sprintf("%d->%d", c.Rank(), i))
+				}
+				recv, err := c.Alltoall(send)
+				if err != nil {
+					return err
+				}
+				for i, b := range recv {
+					if want := fmt.Sprintf("%d->%d", i, c.Rank()); string(b) != want {
+						return fmt.Errorf("recv[%d] = %q, want %q", i, b, want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAlltoallWrongBufferCount(t *testing.T) {
+	runSPMD(t, 1, func(c *Comm) error {
+		_, err := c.Alltoall(make([][]byte, 1)) // size is 2
+		if c.Rank() == 0 && err == nil {
+			return fmt.Errorf("alltoall accepted wrong buffer count")
+		}
+		// Other ranks also error; both fine. Consume nothing further.
+		if err == nil {
+			return fmt.Errorf("alltoall accepted wrong buffer count")
+		}
+		return nil
+	})
+}
+
+func sumReduce(a, b []byte) []byte {
+	var x, y int64
+	if a != nil {
+		x = int64(binary.LittleEndian.Uint64(a))
+	}
+	if b != nil {
+		y = int64(binary.LittleEndian.Uint64(b))
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(x+y))
+	return out
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 8} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			runSPMD(t, nodes, func(c *Comm) error {
+				buf := make([]byte, 8)
+				binary.LittleEndian.PutUint64(buf, uint64(c.Rank()+1))
+				res, err := c.Reduce(0, buf, sumReduce)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					p := int64(c.Size())
+					want := p * (p + 1) / 2
+					got := int64(binary.LittleEndian.Uint64(res))
+					if got != want {
+						return fmt.Errorf("reduce sum = %d, want %d", got, want)
+					}
+				} else if res != nil {
+					return fmt.Errorf("non-root got reduce result")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	runSPMD(t, 4, func(c *Comm) error {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(c.Rank()+1))
+		res, err := c.Allreduce(buf, sumReduce)
+		if err != nil {
+			return err
+		}
+		p := int64(c.Size())
+		want := p * (p + 1) / 2
+		if got := int64(binary.LittleEndian.Uint64(res)); got != want {
+			return fmt.Errorf("rank %d allreduce = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestExscan(t *testing.T) {
+	runSPMD(t, 4, func(c *Comm) error {
+		v := int64(c.Rank() + 1)
+		prefix, total, err := c.ExscanInt64(v)
+		if err != nil {
+			return err
+		}
+		var wantPrefix int64
+		for i := 0; i < c.Rank(); i++ {
+			wantPrefix += int64(i + 1)
+		}
+		p := int64(c.Size())
+		if prefix != wantPrefix || total != p*(p+1)/2 {
+			return fmt.Errorf("rank %d exscan = (%d,%d), want (%d,%d)",
+				c.Rank(), prefix, total, wantPrefix, p*(p+1)/2)
+		}
+		return nil
+	})
+}
+
+func TestPackUnpackSlices(t *testing.T) {
+	in := [][]byte{[]byte("a"), nil, []byte("longer payload"), {}}
+	out, err := unpackSlices(packSlices(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d parts, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Errorf("part %d = %q, want %q", i, out[i], in[i])
+		}
+	}
+}
+
+func TestUnpackSlicesCorrupt(t *testing.T) {
+	for _, buf := range [][]byte{
+		nil,
+		{1, 2},
+		{2, 0, 0, 0, 5, 0, 0, 0, 'a'},           // declared 5-byte part, 1 present
+		{1, 0, 0, 0, 1, 0},                      // truncated length header
+		append([]byte{1, 0, 0, 0}, []byte{}...), // missing part header entirely
+	} {
+		if _, err := unpackSlices(buf); err == nil {
+			t.Errorf("unpackSlices(%v) succeeded, want error", buf)
+		}
+	}
+}
+
+func TestBackToBackCollectivesMixedRoots(t *testing.T) {
+	// Regression guard for tag-matching bugs: interleave bcasts with
+	// different roots, reduces and barriers with no intervening sync.
+	runSPMD(t, 4, func(c *Comm) error {
+		for iter := 0; iter < 5; iter++ {
+			for root := 0; root < c.Size(); root += 3 {
+				var b []byte
+				if c.Rank() == root {
+					b = []byte{byte(iter), byte(root)}
+				}
+				got, err := c.Bcast(root, b)
+				if err != nil {
+					return err
+				}
+				if got[0] != byte(iter) || got[1] != byte(root) {
+					return fmt.Errorf("iter %d root %d: got %v", iter, root, got)
+				}
+			}
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, 1)
+			res, err := c.Allreduce(buf, sumReduce)
+			if err != nil {
+				return err
+			}
+			if got := int64(binary.LittleEndian.Uint64(res)); got != int64(c.Size()) {
+				return fmt.Errorf("allreduce count = %d, want %d", got, c.Size())
+			}
+		}
+		return nil
+	})
+}

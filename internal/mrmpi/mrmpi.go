@@ -1,0 +1,276 @@
+// Package mrmpi is a Go reimplementation of the MapReduce-on-MPI programming
+// model of Plimpton & Devine's MR-MPI library — the backend the paper maps
+// PaPar workflows onto (§III-D: "we map our framework on top of ...
+// MapReduce-MPI ... to balance the programmability and performance").
+//
+// A MapReduce object owns a distributed key-value set: each rank holds a
+// local keyval.List. The classic MR-MPI verbs are provided:
+//
+//	Map        — replace the local KVs with pairs produced by a map function
+//	Aggregate  — shuffle KVs so all pairs with one key land on one rank
+//	Convert    — locally group KVs into key-multivalue (KMV) sets
+//	Reduce     — run a reduce function over each local KMV
+//	SortLocal  — order the local KVs
+//	Gather     — concentrate all KVs onto the first n ranks
+//
+// All ranks must call each verb collectively (SPMD). Virtual time is charged
+// through the owning rank's clock: communication by the cluster transport,
+// computation by explicit cost-model charges, so experiment harnesses see
+// realistic, deterministic timings.
+package mrmpi
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/keyval"
+	"repro/internal/mpi"
+	"repro/internal/vtime"
+)
+
+// Transport selects how Aggregate moves data — the paper maps PaPar onto
+// both MR-MPI (whose aggregate is a collective) and raw MPI ("we currently
+// use MPI non-blocking interfaces (Isend, Irecv, and Wait) to implement the
+// data shuffle", §III-D).
+type Transport int
+
+const (
+	// Collective shuffles with one all-to-all exchange (the MR-MPI path).
+	Collective Transport = iota
+	// PointToPoint shuffles with Isend/Irecv/Wait pairs (the raw-MPI path).
+	PointToPoint
+)
+
+// MapReduce is one distributed KV set, bound to a communicator.
+type MapReduce struct {
+	comm *mpi.Comm
+	kv   *keyval.List
+	kmv  []keyval.KMV
+	// chargeCompute can be disabled for tests that want pure wall-clock
+	// behaviour.
+	chargeCompute bool
+	transport     Transport
+}
+
+// New creates an empty MapReduce set on the communicator.
+func New(comm *mpi.Comm) *MapReduce {
+	return &MapReduce{comm: comm, kv: keyval.NewList(0), chargeCompute: true}
+}
+
+// SetTransport selects the shuffle implementation. Both produce identical
+// results; they differ in message pattern (and therefore virtual time).
+func (mr *MapReduce) SetTransport(t Transport) { mr.transport = t }
+
+// Comm returns the communicator.
+func (mr *MapReduce) Comm() *mpi.Comm { return mr.comm }
+
+// KV exposes the local key-value list (read-only by convention).
+func (mr *MapReduce) KV() *keyval.List { return mr.kv }
+
+// KMV exposes the local key-multivalue groups after Convert.
+func (mr *MapReduce) KMV() []keyval.KMV { return mr.kmv }
+
+// SetCharging toggles virtual-time compute charging.
+func (mr *MapReduce) SetCharging(on bool) { mr.chargeCompute = on }
+
+func (mr *MapReduce) charge(d func() vtime.Duration) {
+	if mr.chargeCompute {
+		mr.comm.Cluster().Charge(d())
+	}
+}
+
+// Emitter adds one key-value pair to the task's output.
+type Emitter func(key, value []byte)
+
+// Map replaces the local KV set with the pairs fn emits. fn is called once
+// per rank and may emit any number of pairs.
+func (mr *MapReduce) Map(fn func(emit Emitter) error) error {
+	out := keyval.NewList(0)
+	err := fn(func(k, v []byte) { out.Add(k, v) })
+	if err != nil {
+		return fmt.Errorf("mrmpi: map: %w", err)
+	}
+	mr.charge(func() vtime.Duration {
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(out.Len(), out.Bytes()))
+	})
+	mr.kv = out
+	mr.kmv = nil
+	return nil
+}
+
+// AddKV appends pairs to the local set without a map pass (used when
+// operators hand data directly between jobs, the in-memory repartitioning
+// requirement from §II-B).
+func (mr *MapReduce) AddKV(pairs ...keyval.KV) {
+	for _, p := range pairs {
+		mr.kv.AddKV(p)
+	}
+}
+
+// Partitioner routes a KV pair to a destination rank.
+type Partitioner func(kv keyval.KV, nranks int) int
+
+// HashPartitioner routes by FNV hash of the key — MR-MPI's default
+// aggregate behaviour.
+func HashPartitioner(kv keyval.KV, nranks int) int {
+	h := fnv.New32a()
+	h.Write(kv.Key)
+	return int(h.Sum32() % uint32(nranks))
+}
+
+// Aggregate shuffles the local KV sets so that every pair is stored on the
+// rank the partitioner chose. It is the all-to-all personalized exchange at
+// the heart of every PaPar job.
+func (mr *MapReduce) Aggregate(part Partitioner) error {
+	p := mr.comm.Size()
+	outbound := make([]*keyval.List, p)
+	for i := range outbound {
+		outbound[i] = keyval.NewList(0)
+	}
+	for _, kv := range mr.kv.Pairs {
+		dst := part(kv, p)
+		if dst < 0 || dst >= p {
+			return fmt.Errorf("mrmpi: partitioner routed key %q to invalid rank %d", kv.Key, dst)
+		}
+		outbound[dst].AddKV(kv)
+	}
+	mr.charge(func() vtime.Duration {
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(mr.kv.Len(), mr.kv.Bytes()))
+	})
+	bufs := make([][]byte, p)
+	for i, l := range outbound {
+		bufs[i] = l.Encode()
+	}
+	var recv [][]byte
+	var err error
+	if mr.transport == PointToPoint {
+		recv, err = mr.exchangeP2P(bufs)
+	} else {
+		recv, err = mr.comm.Alltoall(bufs)
+	}
+	if err != nil {
+		return fmt.Errorf("mrmpi: aggregate: %w", err)
+	}
+	merged := keyval.NewList(0)
+	for _, b := range recv {
+		l, err := keyval.Decode(b)
+		if err != nil {
+			return fmt.Errorf("mrmpi: aggregate decode: %w", err)
+		}
+		for _, kv := range l.Pairs {
+			merged.AddKV(kv)
+		}
+	}
+	mr.kv = merged
+	mr.kmv = nil
+	return nil
+}
+
+// shuffleTag is the user tag the point-to-point shuffle uses.
+const shuffleTag = 7001
+
+// exchangeP2P performs the personalized exchange with non-blocking
+// point-to-point operations: post every Irecv, fire every Isend, then Wait
+// — the raw-MPI shuffle of §III-D.
+func (mr *MapReduce) exchangeP2P(bufs [][]byte) ([][]byte, error) {
+	p, me := mr.comm.Size(), mr.comm.Rank()
+	recvReqs := make([]*mpi.Request, p)
+	for src := 0; src < p; src++ {
+		if src == me {
+			continue
+		}
+		recvReqs[src] = mr.comm.Irecv(src, shuffleTag)
+	}
+	sendReqs := make([]*mpi.Request, 0, p-1)
+	for dst := 0; dst < p; dst++ {
+		if dst == me {
+			continue
+		}
+		sendReqs = append(sendReqs, mr.comm.Isend(dst, shuffleTag, bufs[dst]))
+	}
+	if err := mpi.WaitAll(sendReqs...); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, p)
+	out[me] = bufs[me]
+	for src := 0; src < p; src++ {
+		if src == me {
+			continue
+		}
+		b, _, err := recvReqs[src].Wait()
+		if err != nil {
+			return nil, err
+		}
+		out[src] = b
+	}
+	return out, nil
+}
+
+// Convert groups the local KVs by key into KMV sets (MR-MPI convert).
+func (mr *MapReduce) Convert() {
+	mr.charge(func() vtime.Duration {
+		return vtime.Duration(mr.comm.Cluster().Compute().GroupCost(mr.kv.Len(), mr.kv.Bytes()))
+	})
+	mr.kmv = keyval.Convert(mr.kv)
+	if mr.kmv == nil {
+		// An empty local set converts to zero groups — still "converted",
+		// so a following Reduce is legal (and a no-op) on this rank.
+		mr.kmv = []keyval.KMV{}
+	}
+}
+
+// Reduce runs fn over every local KMV group; the emitted pairs become the
+// new local KV set. Convert must have run since the last mutation.
+func (mr *MapReduce) Reduce(fn func(g keyval.KMV, emit Emitter) error) error {
+	if mr.kmv == nil {
+		return fmt.Errorf("mrmpi: reduce without convert")
+	}
+	out := keyval.NewList(0)
+	emit := func(k, v []byte) { out.Add(k, v) }
+	for _, g := range mr.kmv {
+		if err := fn(g, emit); err != nil {
+			return fmt.Errorf("mrmpi: reduce key %q: %w", g.Key, err)
+		}
+	}
+	mr.charge(func() vtime.Duration {
+		bytes := 0
+		for _, g := range mr.kmv {
+			bytes += g.Bytes()
+		}
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(len(mr.kmv), bytes+out.Bytes()))
+	})
+	mr.kv = out
+	mr.kmv = nil
+	return nil
+}
+
+// SortLocal orders the local pairs with the comparator (stable).
+func (mr *MapReduce) SortLocal(less func(a, b keyval.KV) bool) {
+	mr.charge(func() vtime.Duration {
+		rec := 0
+		if mr.kv.Len() > 0 {
+			rec = mr.kv.Bytes() / mr.kv.Len()
+		}
+		return vtime.Duration(mr.comm.Cluster().Compute().SortCost(mr.kv.Len(), rec))
+	})
+	mr.kv.SortFunc(less)
+}
+
+// Gather concentrates all pairs onto ranks [0, nDest). Every rank must
+// call it; ranks outside the destination set end up empty.
+func (mr *MapReduce) Gather(nDest int) error {
+	p := mr.comm.Size()
+	if nDest <= 0 || nDest > p {
+		return fmt.Errorf("mrmpi: gather to %d ranks (have %d)", nDest, p)
+	}
+	return mr.Aggregate(func(kv keyval.KV, nranks int) int {
+		return HashPartitioner(kv, nDest)
+	})
+}
+
+// Counts returns (local pairs, global pairs). Collective.
+func (mr *MapReduce) Counts() (local int, global int64, err error) {
+	local = mr.kv.Len()
+	_, total, err := mr.comm.ExscanInt64(int64(local))
+	return local, total, err
+}

@@ -1,0 +1,168 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/powerlyra"
+	"repro/internal/vtime"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.Generate(graph.Google(), 0.002, 11)
+}
+
+func TestSequentialBasics(t *testing.T) {
+	// Cycle of 3: symmetric, all ranks equal 1/3.
+	g := &graph.Graph{NumVertices: 3, Edges: []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}}
+	pr := Sequential(g, 50)
+	for v, x := range pr {
+		if math.Abs(x-1.0/3) > 1e-9 {
+			t.Fatalf("cycle rank[%d] = %v, want 1/3", v, x)
+		}
+	}
+	if Sequential(&graph.Graph{}, 5) != nil {
+		t.Fatal("empty graph should return nil")
+	}
+}
+
+func TestSequentialSinkAttractsRank(t *testing.T) {
+	// Star into vertex 0: it must end with the highest rank.
+	g := &graph.Graph{NumVertices: 4, Edges: []graph.Edge{
+		{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0}, {Src: 0, Dst: 1},
+	}}
+	pr := Sequential(g, 30)
+	for v := 1; v < 4; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf %d's %v", pr[0], v, pr[v])
+		}
+	}
+}
+
+func distributedMatchesSequential(t *testing.T, method powerlyra.Method) *Result {
+	t.Helper()
+	g := testGraph(t)
+	const iters = 10
+	want := Sequential(g, iters)
+
+	a, err := powerlyra.Partition(g, method, 8, powerlyra.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(cluster.DefaultConfig(4))
+	res, err := Distributed(cl, a, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != len(want) {
+		t.Fatalf("rank vector length %d, want %d", len(res.Ranks), len(want))
+	}
+	for v := range want {
+		if math.Abs(res.Ranks[v]-want[v]) > 1e-9 {
+			t.Fatalf("%v: rank[%d] = %.12f, sequential %.12f", method, v, res.Ranks[v], want[v])
+		}
+	}
+	return res
+}
+
+func TestDistributedMatchesSequentialHybrid(t *testing.T) {
+	res := distributedMatchesSequential(t, powerlyra.HybridCut)
+	if res.Makespan <= 0 || res.WireBytes <= 0 {
+		t.Fatalf("no time/traffic: %+v", res)
+	}
+	if math.Abs(float64(res.PerIteration)*10-float64(res.Makespan)) > 1 {
+		t.Fatalf("PerIteration inconsistent: %v * 10 vs %v", res.PerIteration, res.Makespan)
+	}
+}
+
+func TestDistributedMatchesSequentialVertexCut(t *testing.T) {
+	distributedMatchesSequential(t, powerlyra.VertexCut)
+}
+
+func TestDistributedMatchesSequentialEdgeCut(t *testing.T) {
+	distributedMatchesSequential(t, powerlyra.EdgeCut)
+}
+
+func TestDistributedValidation(t *testing.T) {
+	g := testGraph(t)
+	a, _ := powerlyra.Partition(g, powerlyra.HybridCut, 4, 0)
+	cl := cluster.New(cluster.DefaultConfig(2))
+	if _, err := Distributed(cl, a, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	empty, _ := powerlyra.Partition(&graph.Graph{}, powerlyra.HybridCut, 4, 0)
+	if _, err := Distributed(cl, empty, 3); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	g := testGraph(t)
+	a, _ := powerlyra.Partition(g, powerlyra.HybridCut, 8, 0)
+	run := func() (vtime.Duration, float64) {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		res, err := Distributed(cl, a, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, x := range res.Ranks {
+			sum += x
+		}
+		return res.Makespan, sum
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1 != m2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%v,%v) vs (%v,%v)", m1, s1, m2, s2)
+	}
+}
+
+// TestFig14Ordering is the Fig. 14 shape: hybrid fastest, vertex-cut close
+// behind, edge-cut clearly worst.
+func TestFig14Ordering(t *testing.T) {
+	g := graph.Generate(graph.Google(), 0.005, 4)
+	const iters = 5
+	times := map[powerlyra.Method]float64{}
+	for _, m := range []powerlyra.Method{powerlyra.EdgeCut, powerlyra.VertexCut, powerlyra.HybridCut} {
+		a, err := powerlyra.Partition(g, m, 16, powerlyra.DefaultThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.New(cluster.DefaultConfig(8))
+		res, err := Distributed(cl, a, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[m] = float64(res.Makespan)
+	}
+	h, v, e := times[powerlyra.HybridCut], times[powerlyra.VertexCut], times[powerlyra.EdgeCut]
+	if !(h < v && v < e) {
+		t.Fatalf("Fig 14 ordering broken: hybrid=%.3g vertex=%.3g edge=%.3g", h, v, e)
+	}
+	if v-h > e-v {
+		t.Fatalf("vertex-cut should sit closer to hybrid (§IV-C): %.3g / %.3g / %.3g", h, v, e)
+	}
+}
+
+func TestCommunicationTracksReplication(t *testing.T) {
+	// Same graph, same iterations: wire bytes must order by replication
+	// factor across methods.
+	g := graph.Generate(graph.Google(), 0.003, 9)
+	bytesFor := func(m powerlyra.Method) int64 {
+		a, _ := powerlyra.Partition(g, m, 16, powerlyra.DefaultThreshold)
+		cl := cluster.New(cluster.DefaultConfig(8))
+		res, err := Distributed(cl, a, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WireBytes
+	}
+	h, v, e := bytesFor(powerlyra.HybridCut), bytesFor(powerlyra.VertexCut), bytesFor(powerlyra.EdgeCut)
+	if !(h < v && v < e) {
+		t.Fatalf("wire bytes do not track replication: hybrid=%d vertex=%d edge=%d", h, v, e)
+	}
+}

@@ -1,0 +1,35 @@
+package permute_test
+
+import (
+	"fmt"
+
+	"repro/internal/permute"
+)
+
+// ExampleStrideMatrix reproduces the paper's Figure 6(a): the cyclic policy
+// for 4 entries over 2 partitions is the stride permutation L^4_2.
+func ExampleStrideMatrix() {
+	m, err := permute.StrideMatrix(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	out, err := permute.ApplySlice(m, []string{"x0", "x1", "x2", "x3"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m, out)
+	// Output: L^4_2 [x0 x2 x1 x3]
+}
+
+// ExampleMatrix_Dense prints the 0/1 matrix the paper draws.
+func ExampleMatrix_Dense() {
+	m, _ := permute.StrideMatrix(4, 2)
+	for _, row := range m.Dense() {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 0 0 0]
+	// [0 0 1 0]
+	// [0 1 0 0]
+	// [0 0 0 1]
+}

@@ -1,0 +1,156 @@
+// Package permute implements the stride-permutation-matrix formalism the
+// paper uses to decouple distribution policies from generated code (§III-B).
+//
+// A distribution policy is expressed as the permutation matrix L^{km}_m,
+// which performs a stride-by-m permutation on a vector of km elements:
+//
+//	x[i*k+j] -> x[j*m+i],  0 <= i < m, 0 <= j < k.
+//
+// The cyclic policy for n elements over p partitions is L^{n}_{p}; the block
+// policy is the identity L^{n}_{n}. At code-generation time the distribute
+// operator is bound to an abstract matrix; at runtime the policy and
+// numPartitions parameters instantiate the concrete matrix, and each mapper
+// applies the matrix–vector multiplication to its local elements.
+package permute
+
+import (
+	"fmt"
+)
+
+// Matrix is a permutation matrix in a sparse row-index representation:
+// dest[i] = src[Perm[i]]. Only bona fide permutations can be constructed.
+type Matrix struct {
+	perm []int // perm[newIndex] = oldIndex
+	m    int   // the stride parameter of L^{km}_m (0 for custom matrices)
+}
+
+// Size returns the dimension of the matrix.
+func (p *Matrix) Size() int { return len(p.perm) }
+
+// Stride returns the m in L^{km}_m, or 0 if the matrix was not built by
+// Stride/Identity.
+func (p *Matrix) Stride() int { return p.m }
+
+// String identifies the matrix in the paper's L notation.
+func (p *Matrix) String() string {
+	if p.m > 0 {
+		return fmt.Sprintf("L^%d_%d", len(p.perm), p.m)
+	}
+	return fmt.Sprintf("P(%d)", len(p.perm))
+}
+
+// StrideMatrix builds L^{n}_{m}: the stride-by-m permutation of n elements.
+// n need not be an exact multiple of m; the remainder elements keep the
+// column-major walk the matrix defines (this matches distributing n elements
+// cyclically over m partitions, the paper's L^4_3 example where 4 entries go
+// to 3 partitions).
+func StrideMatrix(n, m int) (*Matrix, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("permute: negative size %d", n)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("permute: stride %d must be positive", m)
+	}
+	if m > n && n > 0 {
+		m = n // stride beyond the vector degenerates to identity
+	}
+	perm := make([]int, n)
+	// Column-major read of a k x m row-major layout, allowing a ragged last
+	// column: output position t takes input index i*k... Enumerate outputs
+	// in (i, j) order, i in [0,m), j walking the i-th residue class.
+	t := 0
+	for i := 0; i < m; i++ {
+		for src := i; src < n; src += m {
+			perm[t] = src
+			t++
+		}
+	}
+	return &Matrix{perm: perm, m: m}, nil
+}
+
+// Identity builds L^{n}_{n}, the block policy's matrix (no permutation).
+func Identity(n int) (*Matrix, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("permute: negative size %d", n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	mm := n
+	if mm == 0 {
+		mm = 1
+	}
+	return &Matrix{perm: perm, m: mm}, nil
+}
+
+// FromPerm builds a matrix from an explicit permutation (dest[i] =
+// src[perm[i]]); it validates that perm is a permutation.
+func FromPerm(perm []int) (*Matrix, error) {
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) {
+			return nil, fmt.Errorf("permute: index %d out of range [0,%d)", v, len(perm))
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("permute: duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	return &Matrix{perm: append([]int(nil), perm...)}, nil
+}
+
+// Apply performs the matrix–vector multiplication y = Lx on a vector of
+// indices [0,n): it returns the permuted order as destination indices. The
+// result aliases no caller memory.
+func (p *Matrix) Apply() []int {
+	return append([]int(nil), p.perm...)
+}
+
+// ApplySlice permutes an arbitrary slice through the matrix:
+// out[i] = in[perm[i]]. Generic so operators can permute records of any
+// concrete type without boxing.
+func ApplySlice[T any](p *Matrix, in []T) ([]T, error) {
+	if len(in) != p.Size() {
+		return nil, fmt.Errorf("permute: vector length %d does not match matrix size %d", len(in), p.Size())
+	}
+	out := make([]T, len(in))
+	for i, src := range p.perm {
+		out[i] = in[src]
+	}
+	return out, nil
+}
+
+// Inverse returns the inverse permutation matrix.
+func (p *Matrix) Inverse() *Matrix {
+	inv := make([]int, len(p.perm))
+	for i, src := range p.perm {
+		inv[src] = i
+	}
+	return &Matrix{perm: inv}
+}
+
+// Compose returns the matrix equivalent to applying q first, then p.
+func Compose(p, q *Matrix) (*Matrix, error) {
+	if p.Size() != q.Size() {
+		return nil, fmt.Errorf("permute: size mismatch %d vs %d", p.Size(), q.Size())
+	}
+	perm := make([]int, p.Size())
+	for i := range perm {
+		perm[i] = q.perm[p.perm[i]]
+	}
+	return &Matrix{perm: perm}, nil
+}
+
+// Dense materializes the permutation as a dense 0/1 matrix (row-major),
+// useful for tests and for printing the matrices the paper draws in Fig. 6.
+func (p *Matrix) Dense() [][]uint8 {
+	n := p.Size()
+	out := make([][]uint8, n)
+	cells := make([]uint8, n*n)
+	for i := range out {
+		out[i], cells = cells[:n], cells[n:]
+		out[i][p.perm[i]] = 1
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package permute
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrideMatrixPaperFig6a(t *testing.T) {
+	// Figure 6(a): L^4_2 permutes [x0 x1 x2 x3] -> [x0 x2 x1 x3].
+	m, err := StrideMatrix(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplySlice(m, []string{"x0", "x1", "x2", "x3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x0", "x2", "x1", "x3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("L^4_2 = %v, want %v", got, want)
+	}
+	if m.String() != "L^4_2" {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestStrideMatrixPaperFig6bBlock(t *testing.T) {
+	// Figure 6(b): the block policy L^4_4 does not permute.
+	m, err := StrideMatrix(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplySlice(m, []int{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{10, 20, 30, 40}) {
+		t.Fatalf("L^4_4 permuted: %v", got)
+	}
+}
+
+func TestStrideMatrixPaperL43(t *testing.T) {
+	// §III-C: a mapper with 4 entries and 3 partitions generates L^4_3;
+	// entries 0 and 3 land in partition 0, entry 1 in partition 1, entry 2
+	// in partition 2 once the permuted vector is split contiguously.
+	m, err := StrideMatrix(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplySlice(m, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 3, 1, 2}) {
+		t.Fatalf("L^4_3 = %v, want [0 3 1 2]", got)
+	}
+}
+
+func TestStrideMatrixL33Identity(t *testing.T) {
+	// §III-C: L^3_3 "happens not to permute".
+	m, err := StrideMatrix(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Apply(), []int{0, 1, 2}) {
+		t.Fatalf("L^3_3 = %v", m.Apply())
+	}
+}
+
+func TestStrideMatrixErrors(t *testing.T) {
+	if _, err := StrideMatrix(-1, 2); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := StrideMatrix(4, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := StrideMatrix(4, -3); err == nil {
+		t.Error("negative stride accepted")
+	}
+}
+
+func TestStrideBeyondSizeDegeneratesToIdentity(t *testing.T) {
+	m, err := StrideMatrix(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Apply(), []int{0, 1, 2}) {
+		t.Fatalf("L^3_10 = %v, want identity", m.Apply())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m, err := Identity(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Apply(), []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("Identity(5) = %v", m.Apply())
+	}
+	if _, err := Identity(-2); err == nil {
+		t.Error("negative identity accepted")
+	}
+	z, err := Identity(0)
+	if err != nil || z.Size() != 0 {
+		t.Errorf("Identity(0): %v size %d", err, z.Size())
+	}
+}
+
+func TestFromPermValidation(t *testing.T) {
+	if _, err := FromPerm([]int{0, 2, 1}); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+	if _, err := FromPerm([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := FromPerm([]int{0, 3}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := FromPerm([]int{-1, 0}); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestApplySliceLengthMismatch(t *testing.T) {
+	m, _ := Identity(3)
+	if _, err := ApplySlice(m, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	m, err := StrideMatrix(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int, 12)
+	for i := range in {
+		in[i] = i * 7
+	}
+	mid, err := ApplySlice(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ApplySlice(m.Inverse(), mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, in) {
+		t.Fatalf("inverse did not undo permutation: %v", back)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	p, _ := StrideMatrix(6, 2)
+	q, _ := StrideMatrix(6, 3)
+	pq, err := Compose(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []string{"a", "b", "c", "d", "e", "f"}
+	qOut, _ := ApplySlice(q, in)
+	want, _ := ApplySlice(p, qOut)
+	got, _ := ApplySlice(pq, in)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Compose: got %v, want %v", got, want)
+	}
+
+	r, _ := Identity(4)
+	if _, err := Compose(p, r); err == nil {
+		t.Error("size mismatch accepted in Compose")
+	}
+}
+
+func TestDenseIsPermutationMatrix(t *testing.T) {
+	m, _ := StrideMatrix(5, 2)
+	d := m.Dense()
+	for i, row := range d {
+		ones := 0
+		for _, c := range row {
+			ones += int(c)
+		}
+		if ones != 1 {
+			t.Fatalf("row %d has %d ones", i, ones)
+		}
+	}
+	for j := 0; j < 5; j++ {
+		ones := 0
+		for i := 0; i < 5; i++ {
+			ones += int(d[i][j])
+		}
+		if ones != 1 {
+			t.Fatalf("column %d has %d ones", j, ones)
+		}
+	}
+}
+
+// Property: StrideMatrix always yields a valid permutation, and applying it
+// to [0..n) then bucketing contiguously reproduces cyclic assignment:
+// element e lands in bucket e mod m.
+func TestStrideCyclicProperty(t *testing.T) {
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		m := int(mRaw%8) + 1
+		mat, err := StrideMatrix(n, m)
+		if err != nil {
+			return false
+		}
+		order := mat.Apply()
+		seen := make([]bool, n)
+		for _, v := range order {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		if m > n {
+			m = n
+		}
+		// Contiguous split sizes: residue class i has ceil((n-i)/m) members.
+		pos := 0
+		for i := 0; i < m; i++ {
+			classLen := (n - i + m - 1) / m
+			for j := 0; j < classLen; j++ {
+				if order[pos]%m != i {
+					return false
+				}
+				pos++
+			}
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Inverse(Inverse(p)) == p.
+func TestDoubleInverseProperty(t *testing.T) {
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		m := int(mRaw%6) + 1
+		mat, err := StrideMatrix(n, m)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(mat.Inverse().Inverse().Apply(), mat.Apply())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package powerlyra reimplements the PowerLyra graph-partitioning engine —
+// the paper's second case study and the Fig. 14/15 baseline.
+//
+// Three partitioning methods are provided, matching the labels of Fig. 14:
+//
+//   - edge-cut:   every edge is placed independently (hash of the edge).
+//     Both endpoints replicate wherever their edges land — the worst choice
+//     for power-law graphs.
+//   - vertex-cut: a vertex with all its in-edges is placed by hashing the
+//     in-vertex (what §IV-C describes: it "favors the vertices having
+//     low-degrees").
+//   - hybrid-cut: PowerLyra's contribution (Fig. 2): in-vertices below the
+//     degree threshold keep all their in-edges together (low-cut); edges of
+//     high-degree in-vertices are spread by hashing the out-vertex
+//     (high-cut), replicating the few hubs instead of the many leaves.
+//
+// The hash function matches core.HashValue (FNV-32a over the decimal vertex
+// id) so that partitions produced here are bit-identical to the PaPar
+// generated partitioner — the §IV correctness comparison.
+package powerlyra
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Method names a partitioning method.
+type Method int
+
+const (
+	// EdgeCut places each edge independently.
+	EdgeCut Method = iota
+	// VertexCut co-locates each vertex with all its in-edges.
+	VertexCut
+	// HybridCut applies the threshold-based low-cut/high-cut split.
+	HybridCut
+)
+
+// String returns the paper's label.
+func (m Method) String() string {
+	switch m {
+	case EdgeCut:
+		return "edge-cut"
+	case VertexCut:
+		return "vertex-cut"
+	case HybridCut:
+		return "hybrid-cut"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// DefaultThreshold is the hybrid-cut degree threshold used throughout the
+// paper's evaluation (§IV-A: "The threshold parameter of hybrid-cut is set
+// to 200").
+const DefaultThreshold = 200
+
+// Assignment maps every edge of a graph to a partition.
+type Assignment struct {
+	Graph         *graph.Graph
+	NumPartitions int
+	Method        Method
+	// EdgePart[i] is the (primary) partition of Graph.Edges[i].
+	EdgePart []int32
+	// GhostPart[i] is the secondary copy's partition under the edge-cut
+	// method (GraphLab-style ghosting: a cut edge is stored at both
+	// endpoints' home partitions), or -1 when the edge has one copy.
+	// nil for vertex-cut and hybrid-cut, which never replicate edges.
+	GhostPart []int32
+}
+
+// HashVertex buckets a vertex id exactly the way the PaPar runtime does
+// (FNV-32a over the decimal string), so reference and generated partitions
+// can be compared byte-for-byte.
+func HashVertex(v int32, np int) int {
+	h := fnv.New32a()
+	h.Write([]byte(strconv.FormatInt(int64(v), 10)))
+	return int(h.Sum32() % uint32(np))
+}
+
+// Partition assigns every edge under the method. threshold applies to
+// HybridCut only.
+func Partition(g *graph.Graph, method Method, np, threshold int) (*Assignment, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("powerlyra: numPartitions must be positive, got %d", np)
+	}
+	a := &Assignment{Graph: g, NumPartitions: np, Method: method, EdgePart: make([]int32, g.NumEdges())}
+	switch method {
+	case EdgeCut:
+		// Classic edge-cut (GraphLab 1 / Pregel lineage): vertices are
+		// hashed to home partitions and own their adjacent edges; an edge
+		// whose endpoints live apart is stored at both homes, and the
+		// remote endpoint becomes a ghost that must be synchronized every
+		// iteration. On power-law graphs almost every edge is cut, which is
+		// why Fig. 14 shows edge-cut far behind.
+		a.GhostPart = make([]int32, g.NumEdges())
+		for i, e := range g.Edges {
+			home := int32(HashVertex(e.Dst, np))
+			srcHome := int32(HashVertex(e.Src, np))
+			a.EdgePart[i] = home
+			if srcHome != home {
+				a.GhostPart[i] = srcHome
+			} else {
+				a.GhostPart[i] = -1
+			}
+		}
+	case VertexCut:
+		for i, e := range g.Edges {
+			a.EdgePart[i] = int32(HashVertex(e.Dst, np))
+		}
+	case HybridCut:
+		if threshold <= 0 {
+			threshold = DefaultThreshold
+		}
+		indeg := g.InDegrees()
+		for i, e := range g.Edges {
+			if indeg[e.Dst] >= threshold {
+				a.EdgePart[i] = int32(HashVertex(e.Src, np)) // high-cut
+			} else {
+				a.EdgePart[i] = int32(HashVertex(e.Dst, np)) // low-cut
+			}
+		}
+	default:
+		return nil, fmt.Errorf("powerlyra: unknown method %v", method)
+	}
+	return a, nil
+}
+
+// EdgeCounts returns the number of edges per partition.
+func (a *Assignment) EdgeCounts() []int {
+	counts := make([]int, a.NumPartitions)
+	for _, p := range a.EdgePart {
+		counts[p]++
+	}
+	return counts
+}
+
+// ReplicationFactor is PowerGraph/PowerLyra's quality metric: the average
+// number of partitions in which a vertex appears (1.0 = no replication).
+// Vertices touching no edge are excluded.
+func (a *Assignment) ReplicationFactor() float64 {
+	present := make(map[int64]struct{})
+	active := make(map[int32]struct{})
+	mark := func(v int32, p int64) {
+		present[int64(v)<<20|p] = struct{}{}
+		active[v] = struct{}{}
+	}
+	for i, e := range a.Graph.Edges {
+		p := int64(a.EdgePart[i])
+		mark(e.Src, p)
+		mark(e.Dst, p)
+		if a.GhostPart != nil && a.GhostPart[i] >= 0 {
+			gp := int64(a.GhostPart[i])
+			mark(e.Src, gp)
+			mark(e.Dst, gp)
+		}
+	}
+	if len(active) == 0 {
+		return 1
+	}
+	return float64(len(present)) / float64(len(active))
+}
+
+// Imbalance is max/mean edges per partition.
+func (a *Assignment) Imbalance() float64 {
+	counts := a.EdgeCounts()
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) / (float64(total) / float64(len(counts)))
+}
+
+// MirrorsPerPartition returns, per partition, the number of distinct
+// vertices appearing in it — the working set PageRank must sync.
+func (a *Assignment) MirrorsPerPartition() []int {
+	sets := make([]map[int32]struct{}, a.NumPartitions)
+	for i := range sets {
+		sets[i] = make(map[int32]struct{})
+	}
+	add := func(p int32, e graph.Edge) {
+		sets[p][e.Src] = struct{}{}
+		sets[p][e.Dst] = struct{}{}
+	}
+	for i, e := range a.Graph.Edges {
+		add(a.EdgePart[i], e)
+		if a.GhostPart != nil && a.GhostPart[i] >= 0 {
+			add(a.GhostPart[i], e)
+		}
+	}
+	out := make([]int, a.NumPartitions)
+	for i, s := range sets {
+		out[i] = len(s)
+	}
+	return out
+}
+
+// StorageCounts returns stored edge copies per partition (primaries plus
+// edge-cut ghosts) — the storage-imbalance view.
+func (a *Assignment) StorageCounts() []int {
+	counts := make([]int, a.NumPartitions)
+	for i := range a.EdgePart {
+		counts[a.EdgePart[i]]++
+		if a.GhostPart != nil && a.GhostPart[i] >= 0 {
+			counts[a.GhostPart[i]]++
+		}
+	}
+	return counts
+}
+
+// PartitionEdges materializes the per-partition edge lists (primary copies
+// only), preserving the input edge order inside each partition — the order
+// the PaPar distribute reducers would write.
+func (a *Assignment) PartitionEdges() [][]graph.Edge {
+	out := make([][]graph.Edge, a.NumPartitions)
+	for i, e := range a.Graph.Edges {
+		p := a.EdgePart[i]
+		out[p] = append(out[p], e)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package sample implements the data-sampling mechanism PaPar uses to
+// balance reducers (§III-D "Data Sampling").
+//
+// For sort-like jobs, mappers must assign each record a temporary reduce-key
+// that reflects where its sort key falls in the global key distribution.
+// Following the TopCluster-style approach the paper cites [9], every rank
+// samples its local data, the samples are combined into an approximation of
+// the global distribution, and splitter keys are chosen so that each of the
+// R reducers receives a near-equal share.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Reservoir keeps a uniform random sample of a stream using Vitter's
+// algorithm R with a deterministic seed per rank (determinism keeps the
+// simulated cluster reproducible).
+type Reservoir struct {
+	cap  int
+	seen int
+	rng  *rand.Rand
+	keys []int64
+}
+
+// NewReservoir creates a reservoir holding at most capacity keys.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Offer feeds one key to the sampler.
+func (r *Reservoir) Offer(key int64) {
+	r.seen++
+	if len(r.keys) < r.cap {
+		r.keys = append(r.keys, key)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.cap {
+		r.keys[j] = key
+	}
+}
+
+// Seen returns how many keys were offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Sample returns the current sample (a copy).
+func (r *Reservoir) Sample() []int64 { return append([]int64(nil), r.keys...) }
+
+// Splitters derives numBuckets-1 splitter keys from a combined sample so
+// that bucketing keys by Locate spreads them near-evenly. The sample is
+// consumed (sorted in place).
+func Splitters(sample []int64, numBuckets int) ([]int64, error) {
+	if numBuckets <= 0 {
+		return nil, fmt.Errorf("sample: numBuckets must be positive, got %d", numBuckets)
+	}
+	if numBuckets == 1 {
+		return nil, nil
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	out := make([]int64, 0, numBuckets-1)
+	for b := 1; b < numBuckets; b++ {
+		if len(sample) == 0 {
+			// No data: all splitters zero; every key falls in one bucket.
+			out = append(out, 0)
+			continue
+		}
+		idx := b * len(sample) / numBuckets
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		out = append(out, sample[idx])
+	}
+	return out, nil
+}
+
+// Locate returns the bucket index for key given ascending splitters:
+// bucket b holds keys in [splitters[b-1], splitters[b]).
+func Locate(splitters []int64, key int64) int {
+	// binary search for the first splitter > key
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if splitters[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Imbalance computes the load-imbalance factor of a bucket histogram:
+// max/mean. 1.0 is perfect balance; empty input yields 1.0.
+func Imbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	total, maxC := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(maxC) / mean
+}
+
+// Histogram buckets keys by the splitters and returns per-bucket counts.
+func Histogram(splitters []int64, keys []int64) []int {
+	counts := make([]int, len(splitters)+1)
+	for _, k := range keys {
+		counts[Locate(splitters, k)]++
+	}
+	return counts
+}
+
+// UniformSplitters is the naive baseline (no sampling): splitters evenly
+// spaced over [min, max]. Used by the sampling ablation.
+func UniformSplitters(min, max int64, numBuckets int) []int64 {
+	if numBuckets <= 1 {
+		return nil
+	}
+	out := make([]int64, numBuckets-1)
+	span := max - min
+	for b := 1; b < numBuckets; b++ {
+		out[b-1] = min + span*int64(b)/int64(numBuckets)
+	}
+	return out
+}

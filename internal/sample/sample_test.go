@@ -1,0 +1,225 @@
+package sample
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestReservoirUnderCapacityKeepsAll(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := int64(0); i < 5; i++ {
+		r.Offer(i)
+	}
+	s := r.Sample()
+	if len(s) != 5 || r.Seen() != 5 {
+		t.Fatalf("sample %v, seen %d", s, r.Seen())
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, v := range s {
+		if v != int64(i) {
+			t.Fatalf("sample lost keys: %v", s)
+		}
+	}
+}
+
+func TestReservoirCapacityBound(t *testing.T) {
+	r := NewReservoir(16, 2)
+	for i := int64(0); i < 10000; i++ {
+		r.Offer(i)
+	}
+	if got := len(r.Sample()); got != 16 {
+		t.Fatalf("sample size %d, want 16", got)
+	}
+	if r.Seen() != 10000 {
+		t.Fatalf("seen %d", r.Seen())
+	}
+}
+
+func TestReservoirZeroCapacityClamped(t *testing.T) {
+	r := NewReservoir(0, 3)
+	r.Offer(42)
+	if len(r.Sample()) != 1 {
+		t.Fatalf("zero capacity should clamp to 1")
+	}
+}
+
+func TestReservoirIsRoughlyUniform(t *testing.T) {
+	// Offer 0..999 into a 100-slot reservoir many times; each key should be
+	// kept with probability ~0.1, so the mean of kept keys ~ 500.
+	var sum, n float64
+	for trial := int64(0); trial < 50; trial++ {
+		r := NewReservoir(100, trial)
+		for i := int64(0); i < 1000; i++ {
+			r.Offer(i)
+		}
+		for _, k := range r.Sample() {
+			sum += float64(k)
+			n++
+		}
+	}
+	mean := sum / n
+	if mean < 420 || mean > 580 {
+		t.Fatalf("reservoir sample mean %.1f, want ~500 (biased sampling)", mean)
+	}
+}
+
+func TestSplittersErrors(t *testing.T) {
+	if _, err := Splitters(nil, 0); err == nil {
+		t.Error("numBuckets=0 accepted")
+	}
+	if _, err := Splitters(nil, -3); err == nil {
+		t.Error("negative numBuckets accepted")
+	}
+}
+
+func TestSplittersSingleBucket(t *testing.T) {
+	s, err := Splitters([]int64{5, 1, 9}, 1)
+	if err != nil || s != nil {
+		t.Fatalf("one bucket should need no splitters: %v, %v", s, err)
+	}
+}
+
+func TestSplittersEmptySample(t *testing.T) {
+	s, err := Splitters(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("got %d splitters, want 3", len(s))
+	}
+}
+
+func TestSplittersBalanceSkewedData(t *testing.T) {
+	// Heavily skewed data: 90% of keys in [0,10), 10% in [1000, 2000).
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]int64, 100000)
+	for i := range keys {
+		if rng.Float64() < 0.9 {
+			keys[i] = int64(rng.Intn(10))
+		} else {
+			keys[i] = 1000 + int64(rng.Intn(1000))
+		}
+	}
+	// Sample 1% then split 8 ways.
+	r := NewReservoir(1000, 7)
+	for _, k := range keys {
+		r.Offer(k)
+	}
+	splitters, err := Splitters(r.Sample(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := Imbalance(Histogram(splitters, keys))
+
+	uniform := UniformSplitters(0, 2000, 8)
+	naive := Imbalance(Histogram(uniform, keys))
+
+	if sampled >= naive {
+		t.Fatalf("sampled splitters (imbalance %.2f) not better than uniform (%.2f)", sampled, naive)
+	}
+	if sampled > 2.5 {
+		t.Fatalf("sampled imbalance %.2f too high", sampled)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	splitters := []int64{10, 20, 30}
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{-5, 0}, {9, 0}, {10, 1}, {15, 1}, {20, 2}, {29, 2}, {30, 3}, {1000, 3},
+	}
+	for _, c := range cases {
+		if got := Locate(splitters, c.key); got != c.want {
+			t.Errorf("Locate(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestLocateNoSplitters(t *testing.T) {
+	if got := Locate(nil, 123); got != 0 {
+		t.Fatalf("Locate with no splitters = %d, want 0", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance(nil); got != 1 {
+		t.Errorf("Imbalance(nil) = %v", got)
+	}
+	if got := Imbalance([]int{0, 0}); got != 1 {
+		t.Errorf("Imbalance(zeros) = %v", got)
+	}
+	if got := Imbalance([]int{10, 10, 10}); got != 1 {
+		t.Errorf("Imbalance(balanced) = %v", got)
+	}
+	if got := Imbalance([]int{30, 0, 0}); got != 3 {
+		t.Errorf("Imbalance(skewed) = %v, want 3", got)
+	}
+}
+
+func TestHistogramCountsEverything(t *testing.T) {
+	keys := []int64{1, 5, 10, 15, 20, 25}
+	counts := Histogram([]int64{10, 20}, keys)
+	if len(counts) != 3 {
+		t.Fatalf("len = %d", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(keys) {
+		t.Fatalf("histogram lost keys: %d of %d", total, len(keys))
+	}
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestUniformSplitters(t *testing.T) {
+	s := UniformSplitters(0, 100, 4)
+	if len(s) != 3 || s[0] != 25 || s[1] != 50 || s[2] != 75 {
+		t.Fatalf("uniform splitters = %v", s)
+	}
+	if UniformSplitters(0, 100, 1) != nil {
+		t.Fatal("one bucket should have no splitters")
+	}
+}
+
+// Property: Locate output is always within [0, len(splitters)] and bucketing
+// preserves key order (monotone in key for sorted splitters).
+func TestLocateMonotoneProperty(t *testing.T) {
+	f := func(raw []int64, a, b int64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		if a > b {
+			a, b = b, a
+		}
+		la, lb := Locate(raw, a), Locate(raw, b)
+		return la >= 0 && lb <= len(raw) && la <= lb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every splitter list from Splitters is non-decreasing.
+func TestSplittersSortedProperty(t *testing.T) {
+	f := func(sample []int64, bRaw uint8) bool {
+		b := int(bRaw%16) + 1
+		s, err := Splitters(sample, b)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package vtime
+
+// NetworkModel describes one interconnect: the cost of moving a message of a
+// given size between two ranks. The simulated cluster charges the sender the
+// injection overhead and stamps the message with an arrival time; the
+// receiver synchronizes its clock with that stamp.
+//
+// The two instances used throughout the reproduction are EthernetSocket
+// (PowerLyra's socket-based shuffle over 10 GbE, per §IV-C of the paper) and
+// InfiniBandQDR (MVAPICH2 RDMA, what MR-MPI and therefore PaPar run on).
+type NetworkModel struct {
+	// Name identifies the model in reports.
+	Name string
+	// Latency is the one-way wire latency per message.
+	Latency Duration
+	// BytePerSecond is the sustained point-to-point bandwidth.
+	BytesPerSecond float64
+	// SendOverhead is the CPU time the sender burns per message (syscalls,
+	// copies). RDMA makes this near zero; sockets do not.
+	SendOverhead Duration
+	// RecvOverhead is the CPU time the receiver burns per message.
+	RecvOverhead Duration
+	// LocalFactor discounts the cost of messages that stay on the same
+	// physical node (shared memory transport). 0.05 means intra-node
+	// transfers cost 5% of the wire cost.
+	LocalFactor float64
+}
+
+// TransferTime returns the on-the-wire time for n bytes between distinct
+// nodes (latency + serialization).
+func (m NetworkModel) TransferTime(n int) Duration {
+	if n < 0 {
+		n = 0
+	}
+	return m.Latency + Duration(float64(n)/m.BytesPerSecond*float64(Second))
+}
+
+// LocalTransferTime returns the transfer time when source and destination
+// ranks share a physical node.
+func (m NetworkModel) LocalTransferTime(n int) Duration {
+	return Duration(float64(m.TransferTime(n)) * m.LocalFactor)
+}
+
+// EthernetSocket models socket communication over 10 Gbps Ethernet: high
+// per-message overhead (kernel TCP path), ~60us latency.
+func EthernetSocket() NetworkModel {
+	return NetworkModel{
+		Name:           "ethernet-10g-socket",
+		Latency:        60 * Microsecond,
+		BytesPerSecond: 10e9 / 8, // 10 Gbit/s
+		SendOverhead:   5 * Microsecond,
+		RecvOverhead:   5 * Microsecond,
+		LocalFactor:    0.08,
+	}
+}
+
+// InfiniBandQDR models MVAPICH2 over QDR InfiniBand with RDMA: ~2us latency,
+// 32 Gbit/s effective, tiny per-message CPU cost.
+func InfiniBandQDR() NetworkModel {
+	return NetworkModel{
+		Name:           "infiniband-qdr-rdma",
+		Latency:        2 * Microsecond,
+		BytesPerSecond: 32e9 / 8, // QDR 4x effective
+		SendOverhead:   600 * Nanosecond,
+		RecvOverhead:   600 * Nanosecond,
+		LocalFactor:    0.05,
+	}
+}
+
+// ComputeModel holds per-operation CPU cost constants for one machine
+// profile. Costs are expressed per element or per byte so that operators can
+// charge their clocks without measuring wall time (which would make the
+// simulation nondeterministic).
+type ComputeModel struct {
+	Name string
+	// CompareSwap is the cost of one comparison+swap in sorting.
+	CompareSwap Duration
+	// ScanByte is the cost of streaming one byte through a map function
+	// (parse, hash, copy).
+	ScanByte Duration
+	// ScanRecord is the fixed per-record cost of a map or reduce call.
+	ScanRecord Duration
+	// HashInsert is the cost of one hash-table insert (grouping).
+	HashInsert Duration
+	// MemCopyByte is the cost of copying one byte within memory.
+	MemCopyByte Duration
+}
+
+// SandyBridge is the default profile: one core of the paper's Xeon E5-2670.
+func SandyBridge() ComputeModel {
+	return ComputeModel{
+		Name:        "xeon-e5-2670",
+		CompareSwap: 6 * Nanosecond,
+		ScanByte:    0.35 * Nanosecond,
+		ScanRecord:  18 * Nanosecond,
+		HashInsert:  45 * Nanosecond,
+		MemCopyByte: 0.12 * Nanosecond,
+	}
+}
+
+// NUMATuned is SandyBridge with the NUMA-aware data-access optimizations the
+// paper credits PowerLyra with (§IV-C): faster record handling on one node.
+func NUMATuned() ComputeModel {
+	m := SandyBridge()
+	m.Name = "xeon-e5-2670-numa-tuned"
+	m.ScanRecord = 11 * Nanosecond
+	m.HashInsert = 28 * Nanosecond
+	m.ScanByte = 0.22 * Nanosecond
+	return m
+}
+
+// SortCost returns the model cost of comparison-sorting n records of the
+// given size: n log2 n compares plus the data movement.
+func (m ComputeModel) SortCost(n, recordBytes int) Duration {
+	if n <= 1 {
+		return 0
+	}
+	log2 := 0
+	for v := n; v > 1; v >>= 1 {
+		log2++
+	}
+	return Duration(float64(n)*float64(log2))*m.CompareSwap +
+		Duration(float64(n*recordBytes))*m.MemCopyByte
+}
+
+// ScanCost returns the model cost of streaming n records totalling b bytes.
+func (m ComputeModel) ScanCost(n, b int) Duration {
+	return Duration(float64(n))*m.ScanRecord + Duration(float64(b))*m.ScanByte
+}
+
+// GroupCost returns the model cost of hashing n records totalling b bytes
+// into a table.
+func (m ComputeModel) GroupCost(n, b int) Duration {
+	return Duration(float64(n))*m.HashInsert + Duration(float64(b))*m.ScanByte
+}
+
+// CopyCost returns the model cost of copying b bytes.
+func (m ComputeModel) CopyCost(b int) Duration {
+	return Duration(float64(b)) * m.MemCopyByte
+}

@@ -1,0 +1,116 @@
+// Package vtime provides deterministic virtual-time accounting for the
+// simulated cluster.
+//
+// Every rank in the simulated cluster owns a Clock. Computation advances the
+// clock through a ComputeModel; communication advances it through a
+// NetworkModel. Because clocks only interact through message timestamps
+// (receive time = max(local clock, message arrival)), a deterministic SPMD
+// program produces exactly the same virtual timeline on every run, regardless
+// of the host machine's scheduling. All durations are kept as float64
+// nanoseconds to avoid overflow on long simulated runs and to allow
+// sub-nanosecond cost constants.
+package vtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration float64
+
+// Common virtual durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports the duration in milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Std converts the virtual duration to a time.Duration, saturating at the
+// int64 range.
+func (d Duration) Std() time.Duration {
+	if float64(d) > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(float64(d))
+}
+
+// String formats the duration using the standard library notation.
+func (d Duration) String() string {
+	if float64(d) >= math.MaxInt64 {
+		return fmt.Sprintf("%.3gns", float64(d))
+	}
+	return d.Std().String()
+}
+
+// Clock is a per-rank virtual clock. It is safe for concurrent use; in
+// practice only the owning rank advances it, while observers (the harness)
+// read it after the run completes.
+type Clock struct {
+	mu  sync.Mutex
+	now Duration
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored: virtual time
+// never runs backwards.
+func (c *Clock) Advance(d Duration) Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock to at least t and returns the new time. This is
+// how a receive synchronizes with a message's arrival timestamp.
+func (c *Clock) AdvanceTo(t Duration) Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero. Only the harness calls this, between
+// experiments.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}
+
+// Max returns the maximum of the clocks' current times; the makespan of a
+// parallel phase.
+func Max(clocks ...*Clock) Duration {
+	var m Duration
+	for _, c := range clocks {
+		if t := c.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,207 @@
+package vtime
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock at %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * Microsecond)
+	c.Advance(3 * Microsecond)
+	if got, want := c.Now(), 8*Microsecond; got != want {
+		t.Fatalf("clock at %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	c := NewClock()
+	c.Advance(10)
+	c.Advance(-100)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("clock at %v after negative advance, want 10", got)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(100)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("AdvanceTo(100) -> %v", got)
+	}
+	// AdvanceTo never rewinds.
+	c.AdvanceTo(50)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("AdvanceTo(50) rewound clock to %v", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("clock at %v after Reset, want 0", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), Duration(workers*per); got != want {
+		t.Fatalf("concurrent advance lost updates: %v, want %v", got, want)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a, b, c := NewClock(), NewClock(), NewClock()
+	a.Advance(10)
+	b.Advance(30)
+	c.Advance(20)
+	if got := Max(a, b, c); got != 30 {
+		t.Fatalf("Max = %v, want 30", got)
+	}
+	if got := Max(); got != 0 {
+		t.Fatalf("Max() = %v, want 0", got)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Millisecond
+	if got := d.Seconds(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := d.Milliseconds(); math.Abs(got-1500) > 1e-9 {
+		t.Errorf("Milliseconds() = %v, want 1500", got)
+	}
+	if got := d.Std(); got != 1500*time.Millisecond {
+		t.Errorf("Std() = %v, want 1.5s", got)
+	}
+}
+
+func TestDurationStdSaturates(t *testing.T) {
+	huge := Duration(math.MaxFloat64)
+	if got := huge.Std(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("Std() of huge duration = %v, want max", got)
+	}
+	if got := Duration(-5).Std(); got != 0 {
+		t.Errorf("Std() of negative = %v, want 0", got)
+	}
+}
+
+func TestNetworkTransferTime(t *testing.T) {
+	m := InfiniBandQDR()
+	// Zero bytes still pays latency.
+	if got := m.TransferTime(0); got != m.Latency {
+		t.Errorf("TransferTime(0) = %v, want latency %v", got, m.Latency)
+	}
+	// Monotone in size.
+	if m.TransferTime(1<<20) <= m.TransferTime(1<<10) {
+		t.Errorf("transfer time not monotone in message size")
+	}
+	// Negative size clamps to zero payload.
+	if got := m.TransferTime(-1); got != m.Latency {
+		t.Errorf("TransferTime(-1) = %v, want latency", got)
+	}
+}
+
+func TestLocalTransferCheaper(t *testing.T) {
+	for _, m := range []NetworkModel{EthernetSocket(), InfiniBandQDR()} {
+		if m.LocalTransferTime(4096) >= m.TransferTime(4096) {
+			t.Errorf("%s: local transfer not cheaper than remote", m.Name)
+		}
+	}
+}
+
+func TestEthernetSlowerThanInfiniBand(t *testing.T) {
+	eth, ib := EthernetSocket(), InfiniBandQDR()
+	for _, n := range []int{0, 64, 4096, 1 << 20} {
+		if eth.TransferTime(n) <= ib.TransferTime(n) {
+			t.Errorf("ethernet not slower than IB for %d bytes", n)
+		}
+	}
+	if eth.SendOverhead <= ib.SendOverhead {
+		t.Errorf("ethernet per-message overhead should exceed IB")
+	}
+}
+
+func TestComputeModelCosts(t *testing.T) {
+	m := SandyBridge()
+	if got := m.SortCost(0, 16); got != 0 {
+		t.Errorf("SortCost(0) = %v, want 0", got)
+	}
+	if got := m.SortCost(1, 16); got != 0 {
+		t.Errorf("SortCost(1) = %v, want 0", got)
+	}
+	// n log n growth: sorting 4x the records costs more than 4x.
+	small := m.SortCost(1<<10, 16)
+	big := m.SortCost(1<<12, 16)
+	if float64(big) <= 4*float64(small) {
+		t.Errorf("SortCost not superlinear: 4x records -> %vx cost", float64(big)/float64(small))
+	}
+	if m.ScanCost(10, 100) <= 0 || m.GroupCost(10, 100) <= 0 || m.CopyCost(100) <= 0 {
+		t.Errorf("cost models returned non-positive costs")
+	}
+}
+
+func TestNUMATunedFasterPerRecord(t *testing.T) {
+	base, numa := SandyBridge(), NUMATuned()
+	if numa.ScanRecord >= base.ScanRecord || numa.HashInsert >= base.HashInsert {
+		t.Errorf("NUMA-tuned model should have cheaper per-record costs")
+	}
+}
+
+// Property: AdvanceTo is idempotent and monotone.
+func TestAdvanceToMonotoneProperty(t *testing.T) {
+	f := func(steps []uint32) bool {
+		c := NewClock()
+		var prev Duration
+		for _, s := range steps {
+			now := c.AdvanceTo(Duration(s))
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer time is monotone non-decreasing in message size.
+func TestTransferMonotoneProperty(t *testing.T) {
+	m := EthernetSocket()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.TransferTime(x) <= m.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

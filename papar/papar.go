@@ -1,0 +1,122 @@
+// Package papar is the public API of the PaPar reproduction: a thin facade
+// over the internal implementation packages so that downstream modules (and
+// the programs papar -emit-go generates) can use the framework without
+// reaching into internal/.
+//
+// The surface mirrors the paper's workflow: describe inputs (Fig. 4/5),
+// compile a workflow (Fig. 8/10), execute the generated partitioner on a
+// simulated cluster, write partitions. Extension points — user-defined
+// basic operators (Fig. 7), add-ons, and the §V dynamic rebalance — are
+// re-exported alongside.
+package papar
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataformat"
+	"repro/internal/mpi"
+	"repro/internal/vtime"
+)
+
+// Core workflow types.
+type (
+	// Framework accumulates input descriptions and compiles workflows.
+	Framework = core.Framework
+	// Plan is a compiled (generated) partitioner.
+	Plan = core.Plan
+	// Input feeds an execution: a file path or in-memory rows.
+	Input = core.Input
+	// Result carries the partitions and the virtual-time measurements.
+	Result = core.Result
+	// Row is one record flowing through a workflow.
+	Row = core.Row
+	// Dataset is a rank-local fragment (used by custom operators and
+	// Rebalance).
+	Dataset = core.Dataset
+	// Schema describes an input file's record layout.
+	Schema = dataformat.Schema
+	// Value is one field value.
+	Value = dataformat.Value
+)
+
+// DistrPolicy selects a distribution policy (Table I plus the Balanced
+// extension).
+type DistrPolicy = core.DistrPolicy
+
+// Policy constants.
+const (
+	Cyclic         = core.Cyclic
+	Block          = core.Block
+	GraphVertexCut = core.GraphVertexCut
+	Balanced       = core.Balanced
+)
+
+// Extension interfaces (the Fig. 7 mechanism).
+type (
+	// AddOn is a user-defined add-on operator (count/max/... family).
+	AddOn = core.AddOn
+	// CustomJob is a user-defined basic operator's runtime half.
+	CustomJob = core.CustomJob
+	// OperatorCompiler lowers a workflow declaration into a CustomJob.
+	OperatorCompiler = core.OperatorCompiler
+	// ExecContext is the per-rank state a CustomJob manipulates.
+	ExecContext = core.ExecContext
+)
+
+// Cluster simulation types.
+type (
+	// Cluster is the simulated machine.
+	Cluster = cluster.Cluster
+	// ClusterConfig selects node count, ranks per node and the models.
+	ClusterConfig = cluster.Config
+	// Duration is virtual time in nanoseconds.
+	Duration = vtime.Duration
+	// Comm is an MPI-like communicator (used by custom operators and
+	// Rebalance).
+	Comm = mpi.Comm
+	// RebalanceStats reports what a Rebalance call did.
+	RebalanceStats = core.RebalanceStats
+)
+
+// NewFramework returns an empty framework with the built-in operators
+// available.
+func NewFramework() *Framework { return core.NewFramework() }
+
+// NewCluster builds the paper's testbed shape at the given node count:
+// two ranks per node, QDR InfiniBand, Sandy Bridge cores.
+func NewCluster(nodes int) *Cluster { return cluster.New(cluster.DefaultConfig(nodes)) }
+
+// NewClusterWithConfig builds a cluster from an explicit configuration.
+func NewClusterWithConfig(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultClusterConfig exposes the paper-testbed configuration for
+// customization (network and compute models, ranks per node).
+func DefaultClusterConfig(nodes int) ClusterConfig { return cluster.DefaultConfig(nodes) }
+
+// Execute runs a compiled plan on a cluster.
+func Execute(cl *Cluster, plan *Plan, in Input) (*Result, error) {
+	return core.Execute(cl, plan, in)
+}
+
+// WritePartitions writes every partition of a result under base/part-NNNNN
+// in the plan's input format.
+func WritePartitions(plan *Plan, res *Result, base string) error {
+	return core.WritePartitions(plan, res, base)
+}
+
+// RegisterOperator installs a user-defined basic operator (Fig. 7).
+func RegisterOperator(name string, c OperatorCompiler) { core.RegisterOperator(name, c) }
+
+// RegisterAddOn installs a user-defined add-on operator.
+func RegisterAddOn(name string, ctor func() AddOn) { core.RegisterAddOn(name, ctor) }
+
+// Rebalance redistributes a live in-memory dataset across ranks (§V).
+func Rebalance(comm *Comm, d *Dataset, policy DistrPolicy) (*Dataset, *RebalanceStats, error) {
+	return core.Rebalance(comm, d, policy)
+}
+
+// IntVal builds a numeric field value for in-memory rows.
+func IntVal(v int64) Value { return dataformat.IntVal(v) }
+
+// StrVal builds a string field value.
+func StrVal(s string) Value { return dataformat.StrVal(s) }

@@ -1,0 +1,73 @@
+package papar_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/papar"
+)
+
+// TestPublicSurfaceEndToEnd drives the whole public API: register the
+// Fig. 4 input, compile the Fig. 8 workflow, execute on a simulated
+// cluster, and check the partition shape — everything a downstream module
+// can reach without touching internal/.
+func TestPublicSurfaceEndToEnd(t *testing.T) {
+	fw := papar.NewFramework()
+	if _, err := fw.RegisterInputConfig(repro.Config("blast_db.xml")); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fw.CompileWorkflowConfig(repro.Config("blast_partition.xml"), map[string]string{
+		"input_path": "mem://x", "output_path": "mem://y",
+		"num_partitions": "3", "num_reducers": "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := make([]papar.Row, 0, 12)
+	for i := 0; i < 12; i++ {
+		rows = append(rows, papar.Row{Values: []papar.Value{
+			papar.IntVal(int64(i * 100)), papar.IntVal(int64(50 + (i*37)%100)),
+			papar.IntVal(0), papar.IntVal(0),
+		}})
+	}
+	cl := papar.NewCluster(2)
+	locals := make([][]papar.Row, cl.Size())
+	for i := range locals {
+		locals[i] = rows[len(rows)*i/cl.Size() : len(rows)*(i+1)/cl.Size()]
+	}
+	res, err := papar.Execute(cl, plan, papar.Input{LocalRows: locals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 3 {
+		t.Fatalf("got %d partitions", len(res.Partitions))
+	}
+	total := 0
+	for _, p := range res.Partitions {
+		total += len(p)
+	}
+	if total != len(rows) {
+		t.Fatalf("lost rows: %d of %d", total, len(rows))
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no virtual time measured")
+	}
+}
+
+func TestPolicyConstantsRoundTrip(t *testing.T) {
+	for _, p := range []papar.DistrPolicy{papar.Cyclic, papar.Block, papar.GraphVertexCut, papar.Balanced} {
+		if p.String() == "" {
+			t.Fatalf("policy %d has no name", p)
+		}
+	}
+}
+
+func TestClusterConfigCustomization(t *testing.T) {
+	cfg := papar.DefaultClusterConfig(2)
+	cfg.RanksPerNode = 1
+	cl := papar.NewClusterWithConfig(cfg)
+	if cl.Size() != 2 {
+		t.Fatalf("size = %d, want 2", cl.Size())
+	}
+}
