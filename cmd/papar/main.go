@@ -13,6 +13,8 @@
 //
 //	-plan     print the compiled job plan and exit (no execution)
 //	-emit-go  print the generated Go source and exit
+//	-faults   seeded fault plan (crash/drop/dup/delay/straggle); the run
+//	          checkpoints at job boundaries and recovers from rank failures
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hadoop"
 )
 
@@ -59,6 +62,7 @@ func run() error {
 		planOnly   = flag.Bool("plan", false, "print the compiled plan and exit")
 		emitGo     = flag.Bool("emit-go", false, "print the generated Go program and exit")
 		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
+		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%"); runs resiliently (mrmpi backend)`)
 		runtimeArg = argList{}
 	)
 	flag.Var(&inputCfgs, "input", "input data description file (repeatable)")
@@ -95,8 +99,21 @@ func run() error {
 		if *traceN > 0 {
 			cl.EnableTrace()
 		}
-		res, err := core.Execute(cl, plan, core.Input{Path: *data})
-		if err != nil {
+		var res *core.Result
+		if *faultSpec != "" {
+			fp, err := faults.Parse(*faultSpec)
+			if err != nil {
+				return err
+			}
+			cl.SetFaultPlan(fp)
+			var rep *core.RecoveryReport
+			res, rep, err = core.ExecuteResilient(cl, plan, core.Input{Path: *data}, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("fault plan %s: failed ranks %v, %d survivors, %d recovery rounds, %d checkpoint bytes (%d writes)\n",
+				fp, rep.Failed, len(rep.Survivors), rep.Rounds, rep.CheckpointBytes, rep.CheckpointWrites)
+		} else if res, err = core.Execute(cl, plan, core.Input{Path: *data}); err != nil {
 			return err
 		}
 		if *traceN > 0 {
@@ -115,6 +132,9 @@ func run() error {
 		}
 		return nil
 	case "hadoop":
+		if *faultSpec != "" {
+			return fmt.Errorf("-faults is only supported by the mrmpi backend")
+		}
 		wd := *workDir
 		if wd == "" {
 			var err error

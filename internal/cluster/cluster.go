@@ -10,6 +10,12 @@
 // This is the substitution for the paper's MVAPICH2 + InfiniBand testbed: no
 // standard MPI exists for Go, so the distribution layer is custom (see
 // DESIGN.md).
+//
+// The cluster can run under a faults.Plan (SetFaultPlan): ranks crash at
+// scheduled virtual times, links drop/duplicate/delay messages, nodes
+// straggle. Failure semantics are ULFM-like — peers of a dead rank fail fast
+// with RankFailedError, resilient drivers revoke the communication epoch and
+// continue on the survivors — see DESIGN.md "Failure semantics".
 package cluster
 
 import (
@@ -18,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/vtime"
 )
 
@@ -56,6 +63,19 @@ func (c Config) Validate() error {
 	if c.Network.BytesPerSecond <= 0 {
 		return fmt.Errorf("cluster: network model %q has no bandwidth", c.Network.Name)
 	}
+	if c.Network.Latency < 0 {
+		return fmt.Errorf("cluster: network model %q has negative latency %v", c.Network.Name, c.Network.Latency)
+	}
+	if c.Network.SendOverhead < 0 || c.Network.RecvOverhead < 0 {
+		return fmt.Errorf("cluster: network model %q has negative per-message overhead", c.Network.Name)
+	}
+	if c.Compute == (vtime.ComputeModel{}) {
+		return fmt.Errorf("cluster: compute model is zero-valued; use a vtime profile such as SandyBridge()")
+	}
+	if c.Compute.CompareSwap < 0 || c.Compute.ScanByte < 0 || c.Compute.ScanRecord < 0 ||
+		c.Compute.HashInsert < 0 || c.Compute.MemCopyByte < 0 {
+		return fmt.Errorf("cluster: compute model %q has a negative cost constant", c.Compute.Name)
+	}
 	return nil
 }
 
@@ -71,6 +91,15 @@ type Cluster struct {
 	bytesOnWire atomic.Int64
 	msgsOnWire  atomic.Int64
 	trace       tracer
+
+	// plan is the active fault schedule (nil = perfect machine). Methods on
+	// a nil plan are no-ops, so the fault-free hot path pays one pointer
+	// read.
+	plan *faults.Plan
+	// fail is the shared failure-detector state (dead ranks, revoked
+	// epochs), guarded by failMu.
+	failMu sync.Mutex
+	fail   deadSet
 }
 
 // New builds a cluster. It panics on an invalid config (configuration is
@@ -91,6 +120,7 @@ func New(cfg Config) *Cluster {
 			mailbox: newMailbox(),
 		}
 	}
+	c.resetFailures()
 	return c
 }
 
@@ -103,18 +133,36 @@ func (c *Cluster) Size() int { return len(c.ranks) }
 // Rank returns rank i. It panics if i is out of range.
 func (c *Cluster) Rank(i int) *Rank { return c.ranks[i] }
 
+// SetFaultPlan installs (or, with nil, removes) a fault schedule. It takes
+// effect at the next Run; crash triggers re-arm on every Run, so one plan
+// replays identically across repeated runs.
+func (c *Cluster) SetFaultPlan(p *faults.Plan) { c.plan = p }
+
+// FaultPlan returns the active fault schedule (nil when fault-free).
+func (c *Cluster) FaultPlan() *faults.Plan { return c.plan }
+
 // ErrAborted is returned from a blocked Recv when another rank of the same
 // Run failed: the failing rank's error is the root cause; ErrAborted marks
 // the collateral unwinds.
 var ErrAborted = errors.New("cluster: run aborted because another rank failed")
 
 // Run executes body once per rank, concurrently, SPMD style, and blocks
-// until all ranks return. If any rank returns an error, the run is aborted:
+// until all ranks return.
+//
+// Failure semantics: a rank that dies to an injected crash (its operations
+// return RankFailedError with its own id) does NOT abort the run — the
+// survivors keep executing and detect the death through the failure
+// detector; a resilient body recovers and Run returns nil (query
+// FailedRanks for the casualty list). Any other body error aborts the run:
 // ranks blocked in Recv are woken with ErrAborted so the whole SPMD program
 // unwinds instead of deadlocking, and Run reports the first non-collateral
 // error (by rank order). The makespan — the maximum virtual clock across
 // ranks — is returned either way.
 func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
+	c.resetFailures()
+	for _, r := range c.ranks {
+		r.armFaults(c.plan)
+	}
 	errs := make([]error, len(c.ranks))
 	var wg sync.WaitGroup
 	for i, r := range c.ranks {
@@ -122,7 +170,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
 		go func(i int, r *Rank) {
 			defer wg.Done()
 			errs[i] = body(r)
-			if errs[i] != nil {
+			if errs[i] != nil && !r.crashed {
 				for _, peer := range c.ranks {
 					peer.mailbox.abort()
 				}
@@ -130,8 +178,16 @@ func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
 		}(i, r)
 	}
 	wg.Wait()
+
+	crashed := 0
 	var first error
 	for i, err := range errs {
+		if c.ranks[i].crashed {
+			// A scheduled death, not a program failure; survivors carry
+			// the run.
+			crashed++
+			continue
+		}
 		if err == nil {
 			continue
 		}
@@ -141,22 +197,27 @@ func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
 			}
 			continue
 		}
-		first = fmt.Errorf("rank %d: %w", i, err)
-		break
+		if first == nil || errors.Is(first, ErrAborted) {
+			first = fmt.Errorf("rank %d: %w", i, err)
+			if !IsRankFailure(err) {
+				break
+			}
+		}
 	}
-	if first != nil {
-		// Drain undelivered messages and rearm mailboxes so a failed run
-		// leaves the cluster reusable.
+	if first == nil && crashed == len(c.ranks) && crashed > 0 {
+		first = fmt.Errorf("cluster: all %d ranks crashed: %w", crashed, RankFailedError{Rank: 0})
+	}
+	if first != nil || crashed > 0 {
+		// Drain undelivered messages and rearm mailboxes: failed runs leave
+		// collateral in-flight traffic, and resilient runs leave orphans
+		// addressed to dead ranks or stale epochs. Either way the cluster
+		// must stay reusable.
 		for _, r := range c.ranks {
-			r.mailbox.mu.Lock()
-			r.mailbox.byKey = make(map[mailKey][]message)
-			r.mailbox.count = 0
-			r.mailbox.mu.Unlock()
+			r.mailbox.drain()
 			r.mailbox.clearAbort()
 		}
-		return c.Makespan(), first
 	}
-	return c.Makespan(), nil
+	return c.Makespan(), first
 }
 
 // Makespan returns the maximum virtual time across all rank clocks.
@@ -168,10 +229,10 @@ func (c *Cluster) Makespan() vtime.Duration {
 	return vtime.Max(clocks...)
 }
 
-// Reset rewinds every rank clock and traffic counter, preparing the cluster
-// for another experiment. Mailboxes must already be drained (a completed SPMD
-// program leaves them empty; Reset panics otherwise to surface protocol
-// bugs).
+// Reset rewinds every rank clock, traffic counter and failure-detector
+// state, preparing the cluster for another experiment. Mailboxes must
+// already be drained (a completed SPMD program leaves them empty; Reset
+// panics otherwise to surface protocol bugs).
 func (c *Cluster) Reset() {
 	for _, r := range c.ranks {
 		if n := r.mailbox.pending(); n != 0 {
@@ -180,7 +241,13 @@ func (c *Cluster) Reset() {
 		r.clock.Reset()
 		r.sentBytes = 0
 		r.sentMsgs = 0
+		r.epoch = 0
+		for i := range r.sendSeq {
+			r.sendSeq[i] = 0
+		}
+		r.mailbox.resetSeqs()
 	}
+	c.resetFailures()
 	c.bytesOnWire.Store(0)
 	c.msgsOnWire.Store(0)
 }

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/vtime"
+)
+
+// RankFailedError reports that a rank is dead (fault-injected crash) or
+// unreachable (retry budget exhausted on its link). Peers receive it from
+// Recv/RecvTimeout when the failure detector fires, and a crashing rank's
+// own operations return it with its own id as the run unwinds.
+type RankFailedError struct {
+	// Rank is the failed rank's id.
+	Rank int
+}
+
+func (e RankFailedError) Error() string {
+	return fmt.Sprintf("cluster: rank %d failed", e.Rank)
+}
+
+// RevokedError reports that the communication epoch the operation was posted
+// in has been revoked: some rank detected a failure and tore down all
+// in-flight communication of that epoch so every survivor unwinds to its
+// recovery path instead of deadlocking (the ULFM "revoke" semantic).
+type RevokedError struct {
+	// Epoch is the epoch the failed operation belonged to.
+	Epoch int64
+}
+
+func (e RevokedError) Error() string {
+	return fmt.Sprintf("cluster: communication epoch %d revoked after a rank failure", e.Epoch)
+}
+
+// IsRankFailure reports whether err means "a peer died / the epoch was torn
+// down" — the condition a resilient driver recovers from, as opposed to a
+// program bug that must propagate.
+func IsRankFailure(err error) bool {
+	var rf RankFailedError
+	var rv RevokedError
+	return errors.As(err, &rf) || errors.As(err, &rv)
+}
+
+// FailureDetectDelay is the virtual time a rank's simulated heartbeat
+// detector needs to declare a silent peer dead. Every Recv that fails over
+// to the detector (dead source, revoked epoch) charges this once, modeling
+// the heartbeat timeout a real MPI failure detector (e.g. ULFM over
+// MVAPICH2) would burn before raising MPI_ERR_PROC_FAILED.
+const FailureDetectDelay = 500 * vtime.Microsecond
+
+// deadSet is the cluster-wide registry of crashed ranks — the simulated
+// heartbeat failure detector's shared ground truth. markDead also wakes
+// every blocked mailbox wait so detection is prompt in wall-clock terms
+// (the virtual-time detection cost is charged by the observer).
+type deadSet struct {
+	dead map[int]bool
+	// revokedThrough is the highest epoch torn down so far; operations
+	// posted in epochs <= revokedThrough fail fast. -1 = nothing revoked.
+	revokedThrough int64
+}
+
+func (c *Cluster) resetFailures() {
+	c.failMu.Lock()
+	c.fail.dead = map[int]bool{}
+	c.fail.revokedThrough = -1
+	c.failMu.Unlock()
+}
+
+// markDead records a rank's death and wakes all blocked receivers.
+func (c *Cluster) markDead(rank int) {
+	c.failMu.Lock()
+	c.fail.dead[rank] = true
+	c.failMu.Unlock()
+	c.wakeAll()
+}
+
+func (c *Cluster) isDead(rank int) bool {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.fail.dead[rank]
+}
+
+// FailedRanks returns the ids of all crashed ranks, ascending.
+func (c *Cluster) FailedRanks() []int {
+	c.failMu.Lock()
+	out := make([]int, 0, len(c.fail.dead))
+	for r := range c.fail.dead {
+		out = append(out, r)
+	}
+	c.failMu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// Revoke tears down communication epoch `epoch` (and everything below it)
+// and returns the next epoch survivors should join. Idempotent and
+// monotonic: concurrent revokers of the same epoch get the same successor;
+// a revoker that lost a race against a later failure is forwarded to the
+// newest epoch.
+func (c *Cluster) Revoke(epoch int64) int64 {
+	c.failMu.Lock()
+	if epoch > c.fail.revokedThrough {
+		c.fail.revokedThrough = epoch
+	}
+	next := c.fail.revokedThrough + 1
+	c.failMu.Unlock()
+	c.wakeAll()
+	return next
+}
+
+func (c *Cluster) revokedThrough() int64 {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.fail.revokedThrough
+}
+
+// wakeAll broadcasts every mailbox condition so blocked receivers re-check
+// their failure conditions.
+func (c *Cluster) wakeAll() {
+	for _, r := range c.ranks {
+		r.mailbox.wake()
+	}
+}

@@ -1,0 +1,450 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+// runGuarded runs the body on the cluster with a wall-clock deadlock guard.
+func runGuarded(t *testing.T, c *Cluster, body func(r *Rank) error) (vtime.Duration, error) {
+	t.Helper()
+	type out struct {
+		d   vtime.Duration
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		d, err := c.Run(body)
+		ch <- out{d, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.d, o.err
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster run deadlocked")
+		return 0, nil
+	}
+}
+
+// TestCrashUnblocksBlockedReceiver: a peer blocked on a crashed rank must
+// get a typed RankFailedError via the failure detector, not deadlock, and
+// pay the detection delay in virtual time.
+func TestCrashUnblocksBlockedReceiver(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 1, Crashes: []faults.Crash{{Rank: 1}}}) // immediate
+	var sawDetect vtime.Duration
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 1 {
+			return r.Send(0, 3, []byte("x")) // fires the crash
+		}
+		_, _, err := r.Recv(1, 3)
+		sawDetect = r.Clock().Now()
+		return err
+	})
+	var rf RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 {
+		t.Fatalf("run error = %v, want RankFailedError{Rank: 1}", err)
+	}
+	if sawDetect < FailureDetectDelay {
+		t.Fatalf("detection charged %v, want at least %v", sawDetect, FailureDetectDelay)
+	}
+	if got := c.FailedRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FailedRanks = %v, want [1]", got)
+	}
+}
+
+// TestRecvTimeoutChargesDeadline: RecvTimeout replaces the default detection
+// delay with the caller's virtual-time deadline.
+func TestRecvTimeoutChargesDeadline(t *testing.T) {
+	const deadline = 2 * vtime.Millisecond
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 1, Crashes: []faults.Crash{{Rank: 1}}})
+	var after vtime.Duration
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 1 {
+			return r.Send(0, 3, []byte("x"))
+		}
+		_, _, err := r.RecvTimeout(1, 3, deadline)
+		after = r.Clock().Now()
+		return err
+	})
+	if !IsRankFailure(err) {
+		t.Fatalf("run error = %v, want a rank failure", err)
+	}
+	if after < deadline {
+		t.Fatalf("timeout charged %v, want at least %v", after, deadline)
+	}
+}
+
+// TestRetryAbsorbsDrops: under a lossy link every message still arrives
+// exactly once and in order; the retries cost virtual time and wire traffic
+// compared to a fault-free run of the same program.
+func TestRetryAbsorbsDrops(t *testing.T) {
+	const msgs = 50
+	body := func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := r.Send(1, 7, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			p, src, err := r.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if src != 0 || len(p) != 1 || p[0] != byte(i) {
+				t.Errorf("message %d: got payload %v from %d", i, p, src)
+			}
+		}
+		if _, _, ok := r.TryRecv(0, 7); ok {
+			t.Error("extra message delivered")
+		}
+		return nil
+	}
+
+	plain := New(DefaultConfig(1))
+	plainTime, err := runGuarded(t, plain, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lossy := New(DefaultConfig(1))
+	lossy.SetFaultPlan(&faults.Plan{Seed: 9, Link: faults.Link{DropProb: 0.3}})
+	lossyTime, err := runGuarded(t, lossy, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossyTime <= plainTime {
+		t.Fatalf("lossy run %v not slower than fault-free %v", lossyTime, plainTime)
+	}
+	if lossy.Stats().Messages <= plain.Stats().Messages {
+		t.Fatalf("no retransmissions on the wire: %d vs %d", lossy.Stats().Messages, plain.Stats().Messages)
+	}
+}
+
+// TestDuplicateSuppression: wire duplicates are discarded by the receiver's
+// per-link sequence numbers (exactly-once delivery on an at-least-once wire).
+func TestDuplicateSuppression(t *testing.T) {
+	const msgs = 20
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 4, Link: faults.Link{DupProb: 0.9}})
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := r.Send(1, 7, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var got []byte
+		for i := 0; i < msgs; i++ {
+			p, _, err := r.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			got = append(got, p...)
+		}
+		want := make([]byte, msgs)
+		for i := range want {
+			want[i] = byte(i)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("received %v, want %v", got, want)
+		}
+		if _, _, ok := r.TryRecv(0, 7); ok {
+			t.Error("duplicate leaked through")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Messages <= msgs {
+		t.Fatalf("duplicates not put on the wire: %d messages", c.Stats().Messages)
+	}
+}
+
+// TestStragglerScaling: a straggler node runs compute charges slower by its
+// factor; an untouched cluster is unaffected.
+func TestStragglerScaling(t *testing.T) {
+	work := func(r *Rank) error {
+		r.Charge(vtime.Millisecond)
+		return nil
+	}
+	plain := New(DefaultConfig(1))
+	plainTime, err := runGuarded(t, plain, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := New(DefaultConfig(1))
+	slow.SetFaultPlan(&faults.Plan{Seed: 1, Stragglers: []faults.Straggler{{Node: 0, ComputeFactor: 3}}})
+	slowTime, err := runGuarded(t, slow, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := vtime.Duration(float64(plainTime) * 3); slowTime != want {
+		t.Fatalf("straggler makespan %v, want %v (3x %v)", slowTime, want, plainTime)
+	}
+
+	// Network degradation: cross-node transfers to/from the straggler node
+	// take longer, so the arrival-stamped makespan grows.
+	transfer := func(r *Rank) error {
+		if r.ID() == 0 {
+			return r.Send(2, 5, make([]byte, 1<<16)) // cross-node: node 0 -> 1
+		}
+		if r.ID() == 2 {
+			_, _, err := r.Recv(0, 5)
+			return err
+		}
+		return nil
+	}
+	fastNet := New(DefaultConfig(2))
+	fastTime, err := runGuarded(t, fastNet, transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowNet := New(DefaultConfig(2))
+	slowNet.SetFaultPlan(&faults.Plan{Seed: 1, Stragglers: []faults.Straggler{{Node: 1, NetworkFactor: 4}}})
+	slowNetTime, err := runGuarded(t, slowNet, transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowNetTime <= fastTime {
+		t.Fatalf("network straggler makespan %v not above %v", slowNetTime, fastTime)
+	}
+}
+
+// TestCrashAfterSends: the send-count trigger fires once the rank completed
+// the configured number of sends.
+func TestCrashAfterSends(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 1, Crashes: []faults.Crash{{Rank: 0, AfterSends: 3}}})
+	received := 0
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < 10; i++ {
+				if err := r.Send(1, 7, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for {
+			_, _, err := r.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			received++
+		}
+	})
+	var rf RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 0 {
+		t.Fatalf("run error = %v, want RankFailedError{Rank: 0}", err)
+	}
+	if received != 3 {
+		t.Fatalf("receiver got %d messages before the crash, want 3", received)
+	}
+}
+
+// TestEpochPurgeDiscardsStaleTraffic: after an epoch bump, messages sent in
+// the old epoch can no longer match and PurgeStaleEpochs removes them, while
+// new-epoch traffic flows normally.
+func TestEpochPurgeDiscardsStaleTraffic(t *testing.T) {
+	c := New(DefaultConfig(1))
+	sent := make(chan struct{})
+	purged := make(chan struct{})
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 0 {
+			if err := r.Send(1, 5, []byte("stale")); err != nil {
+				return err
+			}
+			close(sent)
+			<-purged
+			r.SetEpoch(1)
+			return r.Send(1, 5, []byte("fresh"))
+		}
+		<-sent
+		r.SetEpoch(1)
+		r.PurgeStaleEpochs()
+		if p, _, ok := r.TryRecv(0, 5); ok {
+			t.Errorf("stale-epoch message leaked: %q", p)
+		}
+		close(purged)
+		p, _, err := r.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(p) != "fresh" {
+			t.Errorf("received %q, want the new-epoch message", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevokeUnblocksOldEpochReceives: revoking the epoch makes receives
+// blocked in that epoch fail with RevokedError instead of hanging.
+func TestRevokeUnblocksOldEpochReceives(t *testing.T) {
+	c := New(DefaultConfig(1))
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 0 {
+			c.Revoke(0) // failure detector revokes the current epoch
+			return nil
+		}
+		_, _, err := r.Recv(0, 5)
+		return err
+	})
+	var rv RevokedError
+	if !errors.As(err, &rv) {
+		t.Fatalf("run error = %v, want RevokedError", err)
+	}
+}
+
+// TestConfigValidateFaultDimensions covers the knobs a fault-injecting
+// config can get wrong: zero-valued compute model, negative latency and
+// negative per-message overheads.
+func TestConfigValidateFaultDimensions(t *testing.T) {
+	base := DefaultConfig(2)
+
+	neg := base
+	neg.Network.Latency = -vtime.Microsecond
+	if err := neg.Validate(); err == nil {
+		t.Error("negative latency validated")
+	}
+	negOv := base
+	negOv.Network.SendOverhead = -vtime.Microsecond
+	if err := negOv.Validate(); err == nil {
+		t.Error("negative send overhead validated")
+	}
+	zeroCompute := base
+	zeroCompute.Compute = vtime.ComputeModel{}
+	if err := zeroCompute.Validate(); err == nil {
+		t.Error("zero-valued compute model validated")
+	}
+	negCompute := base
+	negCompute.Compute.ScanByte = -1
+	if err := negCompute.Validate(); err == nil {
+		t.Error("negative compute constant validated")
+	}
+}
+
+// TestMailboxAbortRace hammers the abort/clearAbort path against concurrent
+// puts and a blocked getWait; run under -race this is the mailbox's memory
+// model proof. The consumer must see every message exactly once.
+func TestMailboxAbortRace(t *testing.T) {
+	m := newMailbox()
+	const msgs = 300
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= msgs; i++ {
+			m.put(message{src: 0, tag: 7, seq: int64(i), payload: []byte{byte(i)}})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			m.abort()
+			m.clearAbort()
+		}
+	}()
+	got := 0
+	go func() {
+		defer wg.Done()
+		for got < msgs {
+			if _, err := m.getWait(0, 7, nil); err != nil {
+				continue // aborted window: retry
+			}
+			got++
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mailbox abort race deadlocked")
+	}
+	if got != msgs {
+		t.Fatalf("consumed %d messages, want %d", got, msgs)
+	}
+	if m.pending() != 0 {
+		t.Fatalf("%d messages left pending", m.pending())
+	}
+}
+
+// TestMailboxAbortSemantics: a pending match beats the abort flag in tryGet,
+// and getWait on an empty aborted mailbox fails fast with ErrAborted.
+func TestMailboxAbortSemantics(t *testing.T) {
+	m := newMailbox()
+	m.put(message{src: 0, tag: 7, seq: 1, payload: []byte("x")})
+	m.abort()
+	if _, ok := m.tryGet(0, 7); !ok {
+		t.Fatal("tryGet must still drain pending messages after abort")
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.getWait(0, 7, nil)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("getWait error = %v, want ErrAborted", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("getWait did not observe the abort")
+	}
+	m.clearAbort()
+	m.put(message{src: 0, tag: 7, seq: 2, payload: []byte("y")})
+	if _, err := m.getWait(0, 7, nil); err != nil {
+		t.Fatalf("getWait after clearAbort failed: %v", err)
+	}
+}
+
+// TestMailboxWakeReevaluatesFailCheck: wake() must make a blocked getWait
+// re-run its failure check (the detector's notification path).
+func TestMailboxWakeReevaluatesFailCheck(t *testing.T) {
+	m := newMailbox()
+	var mu sync.Mutex
+	dead := false
+	failErr := RankFailedError{Rank: 3}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.getWait(3, 7, func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			if dead {
+				return failErr
+			}
+			return nil
+		})
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer block
+	mu.Lock()
+	dead = true
+	mu.Unlock()
+	m.wake()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, failErr) {
+			t.Fatalf("getWait error = %v, want %v", err, failErr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wake did not unblock getWait")
+	}
+}

@@ -6,10 +6,14 @@ import (
 	"repro/internal/vtime"
 )
 
-// message is one in-flight payload with its virtual arrival stamp.
+// message is one in-flight payload with its virtual arrival stamp. tag is
+// the wire tag (user tag plus epoch, see wireTag); seq is the per-link
+// sequence number the transport uses to deduplicate fault-injected
+// duplicates.
 type message struct {
 	src     int
 	tag     int
+	seq     int64
 	payload []byte
 	arrival vtime.Duration
 }
@@ -23,6 +27,11 @@ type mailbox struct {
 	byKey   map[mailKey][]message
 	count   int
 	aborted bool
+	// maxSeq tracks the highest sequence number accepted per source rank;
+	// a put with seq <= maxSeq[src] is a wire duplicate and is discarded
+	// (sends from one source are sequential, so sequence numbers of
+	// accepted messages are strictly increasing).
+	maxSeq map[int]int64
 }
 
 type mailKey struct {
@@ -31,13 +40,21 @@ type mailKey struct {
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{byKey: make(map[mailKey][]message)}
+	m := &mailbox{byKey: make(map[mailKey][]message), maxSeq: make(map[int]int64)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
+// put enqueues a delivery attempt. Duplicate attempts (same per-link
+// sequence number, injected by a fault plan) are dropped here, giving the
+// transport exactly-once delivery on top of an at-least-once wire.
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
+	if msg.seq <= m.maxSeq[msg.src] {
+		m.mu.Unlock()
+		return
+	}
+	m.maxSeq[msg.src] = msg.seq
 	k := mailKey{msg.src, msg.tag}
 	m.byKey[k] = append(m.byKey[k], msg)
 	m.count++
@@ -92,17 +109,35 @@ func (m *mailbox) match(src, tag int) (message, bool) {
 	return best, true
 }
 
-// get blocks for a matching message. ok=false reports that the run was
-// aborted (some rank failed) and no message will ever arrive.
-func (m *mailbox) get(src, tag int) (message, bool) {
+// getWait blocks for a matching message. A pending match always wins; only
+// when nothing matches are the failure conditions consulted: the run-level
+// abort flag (returned as ErrAborted by the caller via ok=false semantics of
+// get) and the caller-supplied failCheck, which the owning rank uses to
+// surface dead peers and revoked epochs. failCheck runs without the mailbox
+// lock held and is re-evaluated after every wake-up.
+func (m *mailbox) getWait(src, tag int, failCheck func() error) (message, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		if msg, ok := m.match(src, tag); ok {
-			return msg, true
+			return msg, nil
 		}
 		if m.aborted {
-			return message{}, false
+			return message{}, ErrAborted
+		}
+		if failCheck != nil {
+			m.mu.Unlock()
+			err := failCheck()
+			m.mu.Lock()
+			if err != nil {
+				// Re-check one last time: a message may have landed while
+				// the failure condition was being read, and deliverable
+				// data must beat failure detection for determinism.
+				if msg, ok := m.match(src, tag); ok {
+					return msg, nil
+				}
+				return message{}, err
+			}
 		}
 		m.cond.Wait()
 	}
@@ -120,6 +155,44 @@ func (m *mailbox) abort() {
 func (m *mailbox) clearAbort() {
 	m.mu.Lock()
 	m.aborted = false
+	m.mu.Unlock()
+}
+
+// wake re-runs every blocked getWait's checks (used when the cluster-wide
+// failure state changes).
+func (m *mailbox) wake() {
+	m.cond.Broadcast()
+}
+
+// drain discards all pending messages (failed or resilient runs leave
+// orphans behind: messages to dead ranks, stale-epoch shuffle traffic).
+func (m *mailbox) drain() {
+	m.mu.Lock()
+	m.byKey = make(map[mailKey][]message)
+	m.count = 0
+	m.mu.Unlock()
+}
+
+// resetSeqs forgets the per-source duplicate-suppression state; only the
+// harness calls it, between runs, when clocks and counters rewind too.
+func (m *mailbox) resetSeqs() {
+	m.mu.Lock()
+	m.maxSeq = make(map[int]int64)
+	m.mu.Unlock()
+}
+
+// purgeBelowEpoch removes every pending message whose wire tag belongs to
+// an epoch before `epoch`. Survivors call it (through their Rank) when
+// entering a new epoch so stale traffic from the failed attempt cannot leak
+// into re-executed stages.
+func (m *mailbox) purgeBelowEpoch(epoch int64) {
+	m.mu.Lock()
+	for k, q := range m.byKey {
+		if int64(k.tag)>>epochShift < epoch {
+			m.count -= len(q)
+			delete(m.byKey, k)
+		}
+	}
 	m.mu.Unlock()
 }
 

@@ -3,7 +3,21 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/vtime"
+)
+
+// epochShift positions the communication epoch in the upper bits of the wire
+// tag; user and collective tags must fit in the low 32 bits.
+const epochShift = 32
+
+// Send retry parameters: a delivery attempt lost to a fault-injected drop is
+// retransmitted after an exponentially growing virtual-time backoff, up to
+// MaxSendAttempts attempts. With the default base, attempt k costs
+// 50µs·2^k of sender time before the retransmit.
+const (
+	RetryBackoffBase = 50 * vtime.Microsecond
+	MaxSendAttempts  = 8
 )
 
 // Rank is one simulated MPI process: an ID, a home node, a virtual clock and
@@ -21,6 +35,19 @@ type Rank struct {
 	// mid-program (harnesses sum the per-rank snapshots).
 	sentBytes int64
 	sentMsgs  int64
+
+	// epoch is the communication epoch this rank currently sends and
+	// receives in; resilient drivers bump it on recovery so stale traffic
+	// from a failed attempt cannot be matched.
+	epoch int64
+	// sendSeq numbers this rank's sends per destination, for duplicate
+	// suppression at the receiver.
+	sendSeq []int64
+	// crash is this run's scheduled death, armed from the cluster's fault
+	// plan at Run start; crashed latches once it fires.
+	crash    faults.Crash
+	hasCrash bool
+	crashed  bool
 }
 
 // SentStats returns this rank's cumulative send counters. Call from the
@@ -45,17 +72,90 @@ func (r *Rank) Compute() vtime.ComputeModel { return r.cluster.cfg.Compute }
 // Network returns the interconnect model.
 func (r *Rank) Network() vtime.NetworkModel { return r.cluster.cfg.Network }
 
-// Charge advances this rank's clock by a compute cost.
-func (r *Rank) Charge(d vtime.Duration) { r.clock.Advance(d) }
+// Charge advances this rank's clock by a compute cost, scaled by any
+// straggler degradation the fault plan imposes on this rank's node.
+func (r *Rank) Charge(d vtime.Duration) {
+	if s := r.cluster.plan.ComputeScale(r.node); s != 1 {
+		d = vtime.Duration(float64(d) * s)
+	}
+	r.clock.Advance(d)
+}
+
+// Epoch returns the rank's current communication epoch.
+func (r *Rank) Epoch() int64 { return r.epoch }
+
+// SetEpoch moves the rank into a new communication epoch. Messages sent in
+// older epochs can no longer be received; call PurgeStaleEpochs to discard
+// any already queued.
+func (r *Rank) SetEpoch(e int64) { r.epoch = e }
+
+// PurgeStaleEpochs discards queued messages from epochs before the rank's
+// current one.
+func (r *Rank) PurgeStaleEpochs() { r.mailbox.purgeBelowEpoch(r.epoch) }
+
+// Alive reports whether the simulated heartbeat detector still considers a
+// peer healthy. Reading it is free; acting on a death is charged when a
+// blocked receive fails over (FailureDetectDelay).
+func (r *Rank) Alive(peer int) bool { return !r.cluster.isDead(peer) }
+
+// armFaults loads this rank's schedule from the plan; Run calls it so plans
+// can be swapped between runs.
+func (r *Rank) armFaults(p *faults.Plan) {
+	r.crash, r.hasCrash = p.CrashFor(r.id)
+	r.crashed = false
+	r.epoch = 0
+	if r.sendSeq == nil {
+		r.sendSeq = make([]int64, r.cluster.Size())
+	}
+}
+
+// checkCrash fires this rank's scheduled crash if a trigger condition holds.
+// It is consulted at every operation boundary (send, receive, compute
+// charge), which is exactly where a real process would die observably; the
+// returned error is the rank's own death notice.
+func (r *Rank) checkCrash() error {
+	if r.crashed {
+		return RankFailedError{Rank: r.id}
+	}
+	if !r.hasCrash {
+		return nil
+	}
+	fire := (r.crash.At > 0 && r.clock.Now() >= r.crash.At) ||
+		(r.crash.AfterSends > 0 && r.sentMsgs >= r.crash.AfterSends)
+	if r.crash.At == 0 && r.crash.AfterSends == 0 {
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	r.crashed = true
+	r.cluster.markDead(r.id)
+	return RankFailedError{Rank: r.id}
+}
+
+// wireTag folds the rank's epoch into a user/collective tag.
+func (r *Rank) wireTag(tag int) int {
+	return int(r.epoch<<epochShift) | tag
+}
 
 // Send delivers payload to rank dst under tag. The payload slice is handed
 // over; the caller must not modify it afterwards. Send never blocks (the
 // mailbox is unbounded, as MR-MPI's aggregate buffers effectively are), which
 // also means the simulated timeline charges bandwidth, not flow control.
+//
+// Under a fault plan, each delivery attempt may be dropped (retransmitted
+// after exponential virtual-time backoff, up to MaxSendAttempts), duplicated
+// (suppressed by the receiver's sequence numbers) or delayed. A destination
+// whose link swallows every attempt is reported as failed — at the transport
+// level an unreachable peer and a dead one are indistinguishable.
 func (r *Rank) Send(dst, tag int, payload []byte) error {
+	if err := r.checkCrash(); err != nil {
+		return err
+	}
 	if dst < 0 || dst >= r.cluster.Size() {
 		return fmt.Errorf("cluster: send to invalid rank %d (size %d)", dst, r.cluster.Size())
 	}
+	plan := r.cluster.plan
 	net := r.Network()
 	r.clock.Advance(net.SendOverhead)
 	to := r.cluster.ranks[dst]
@@ -65,33 +165,110 @@ func (r *Rank) Send(dst, tag int, payload []byte) error {
 	} else {
 		wire = net.TransferTime(len(payload))
 	}
-	arrival := r.clock.Now() + wire
-	r.cluster.bytesOnWire.Add(int64(len(payload)))
-	r.cluster.msgsOnWire.Add(1)
+	if s := plan.NetworkScale(r.node, to.node); s != 1 {
+		wire = vtime.Duration(float64(wire) * s)
+	}
+	seq := r.sendSeq[dst] + 1
+	r.sendSeq[dst] = seq
 	r.sentBytes += int64(len(payload))
 	r.sentMsgs++
 	r.cluster.trace.record(TraceEvent{
 		Time: r.clock.Now(), Rank: r.id, Kind: "send", Peer: dst, Tag: tag, Size: len(payload),
 	})
-	to.mailbox.put(message{src: r.id, tag: tag, payload: payload, arrival: arrival})
+
+	delivered := false
+	for attempt := 0; attempt < MaxSendAttempts; attempt++ {
+		// Every attempt occupies the wire, delivered or not.
+		r.cluster.bytesOnWire.Add(int64(len(payload)))
+		r.cluster.msgsOnWire.Add(1)
+		if plan.Dropped(r.id, dst, seq, attempt) {
+			// Retransmit timer: exponential backoff in virtual time.
+			r.clock.Advance(RetryBackoffBase * vtime.Duration(int64(1)<<attempt))
+			continue
+		}
+		arrival := r.clock.Now() + wire + plan.ExtraDelay(r.id, dst, seq, attempt)
+		msg := message{src: r.id, tag: r.wireTag(tag), seq: seq, payload: payload, arrival: arrival}
+		to.mailbox.put(msg)
+		if plan.Duplicated(r.id, dst, seq, attempt) {
+			r.cluster.bytesOnWire.Add(int64(len(payload)))
+			r.cluster.msgsOnWire.Add(1)
+			to.mailbox.put(msg) // same seq: receiver discards it
+		}
+		delivered = true
+		break
+	}
+	if !delivered {
+		return fmt.Errorf("cluster: rank %d unreachable after %d attempts: %w",
+			dst, MaxSendAttempts, RankFailedError{Rank: dst})
+	}
 	return nil
+}
+
+// failCheck builds the condition a blocked receive re-evaluates on every
+// wake-up: revoked epoch, or a dead source with nothing left to deliver.
+// A matching pending message always wins over these (getWait re-matches
+// before failing), so messages a rank sent before dying remain deliverable —
+// which keeps the virtual timeline deterministic.
+func (r *Rank) failCheck(src int) func() error {
+	return func() error {
+		if r.cluster.revokedThrough() >= r.epoch {
+			return RevokedError{Epoch: r.epoch}
+		}
+		if src != AnySource {
+			if r.cluster.isDead(src) {
+				return RankFailedError{Rank: src}
+			}
+			return nil
+		}
+		for _, peer := range r.cluster.ranks {
+			if peer.id != r.id && !r.cluster.isDead(peer.id) {
+				return nil
+			}
+		}
+		return RankFailedError{Rank: AnySource}
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives, then
 // synchronizes the rank clock with the message's arrival time and returns
 // the payload. src == AnySource matches any sender.
+//
+// If the source rank is dead (or the rank's communication epoch has been
+// revoked after a failure elsewhere), Recv fails fast with a typed
+// RankFailedError / RevokedError instead of deadlocking, charging the
+// simulated heartbeat detector's FailureDetectDelay.
 func (r *Rank) Recv(src, tag int) ([]byte, int, error) {
+	return r.recv(src, tag, FailureDetectDelay)
+}
+
+// RecvTimeout is Recv with an explicit virtual-time detection deadline: if
+// the receive fails over to the failure detector, the rank's clock is
+// charged `timeout` instead of the default FailureDetectDelay. The deadline
+// does not fire for live-but-slow peers — in virtual time a straggler's
+// message always arrives, just with a late stamp — so a timeout return
+// always carries a typed failure.
+func (r *Rank) RecvTimeout(src, tag int, timeout vtime.Duration) ([]byte, int, error) {
+	return r.recv(src, tag, timeout)
+}
+
+func (r *Rank) recv(src, tag int, detectCost vtime.Duration) ([]byte, int, error) {
+	if err := r.checkCrash(); err != nil {
+		return nil, 0, err
+	}
 	if src != AnySource && (src < 0 || src >= r.cluster.Size()) {
 		return nil, 0, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", src, r.cluster.Size())
 	}
-	m, ok := r.mailbox.get(src, tag)
-	if !ok {
-		return nil, 0, ErrAborted
+	m, err := r.mailbox.getWait(src, r.wireTag(tag), r.failCheck(src))
+	if err != nil {
+		if IsRankFailure(err) {
+			r.Charge(detectCost)
+		}
+		return nil, 0, err
 	}
 	r.clock.AdvanceTo(m.arrival)
 	r.clock.Advance(r.Network().RecvOverhead)
 	r.cluster.trace.record(TraceEvent{
-		Time: r.clock.Now(), Rank: r.id, Kind: "recv", Peer: m.src, Tag: m.tag, Size: len(m.payload),
+		Time: r.clock.Now(), Rank: r.id, Kind: "recv", Peer: m.src, Tag: tag, Size: len(m.payload),
 	})
 	return m.payload, m.src, nil
 }
@@ -102,7 +279,7 @@ func (r *Rank) Recv(src, tag int) ([]byte, int, error) {
 // enqueued it, even if its virtual arrival time is in this rank's future; the
 // clock still synchronizes with the arrival stamp.
 func (r *Rank) TryRecv(src, tag int) ([]byte, int, bool) {
-	m, ok := r.mailbox.tryGet(src, tag)
+	m, ok := r.mailbox.tryGet(src, r.wireTag(tag))
 	if !ok {
 		return nil, 0, false
 	}

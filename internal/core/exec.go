@@ -65,29 +65,9 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 	cl.Reset()
 	p := cl.Size()
 
-	// Pre-split file input outside the timed region (the paper excludes
-	// I/O from all measurements).
-	locals := make([][]Row, p)
-	switch {
-	case in.LocalRows != nil:
-		if len(in.LocalRows) != p {
-			return nil, fmt.Errorf("core: %d local row sets for %d ranks", len(in.LocalRows), p)
-		}
-		copy(locals, in.LocalRows)
-	case in.Path != "":
-		splits, err := dataformat.Splits(plan.InputSchema, in.Path, p)
-		if err != nil {
-			return nil, err
-		}
-		for i, sp := range splits {
-			recs, err := dataformat.ReadSplit(plan.InputSchema, sp)
-			if err != nil {
-				return nil, err
-			}
-			locals[i] = RecordsToRows(recs)
-		}
-	default:
-		return nil, fmt.Errorf("core: input has neither a path nor local rows")
+	locals, err := prepareLocals(plan, in, p)
+	if err != nil {
+		return nil, err
 	}
 
 	// Per-rank outputs, written by each rank's goroutine at its own index.
@@ -103,7 +83,7 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 		jobSentMsgs[i] = make([]int64, p)
 	}
 
-	_, err := cl.Run(func(r *cluster.Rank) error {
+	_, err = cl.Run(func(r *cluster.Rank) error {
 		st := &execState{
 			comm: mpi.NewComm(r),
 			plan: plan,
@@ -113,24 +93,7 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 		st.mr = mrmpi.New(st.comm)
 		for ji, job := range plan.Jobs {
 			r.Charge(JobLaunchOverhead)
-			var err error
-			switch j := job.(type) {
-			case *SortJob:
-				err = st.runSort(j)
-			case *GroupJob:
-				err = st.runGroup(j)
-			case *SplitJob:
-				err = st.runSplit(j)
-			case *DistributeJob:
-				err = st.runDistribute(j)
-			case CustomJob:
-				ctx := &ExecContext{Comm: st.comm, MR: st.mr, Plan: plan, Data: st.data, Side: st.side}
-				err = j.Run(ctx)
-				st.data = ctx.Data
-			default:
-				err = fmt.Errorf("core: unknown job type %T", job)
-			}
-			if err != nil {
+			if err := st.runJob(job); err != nil {
 				return fmt.Errorf("job %s: %w", job.JobID(), err)
 			}
 			// Jobs launch one by one (§III-D), so a barrier separates them.
@@ -184,6 +147,56 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// prepareLocals pre-splits the input outside the timed region (the paper
+// excludes I/O from all measurements): either adopting caller-placed rows or
+// reading and splitting the plan's input file across p ranks.
+func prepareLocals(plan *Plan, in Input, p int) ([][]Row, error) {
+	locals := make([][]Row, p)
+	switch {
+	case in.LocalRows != nil:
+		if len(in.LocalRows) != p {
+			return nil, fmt.Errorf("core: %d local row sets for %d ranks", len(in.LocalRows), p)
+		}
+		copy(locals, in.LocalRows)
+	case in.Path != "":
+		splits, err := dataformat.Splits(plan.InputSchema, in.Path, p)
+		if err != nil {
+			return nil, err
+		}
+		for i, sp := range splits {
+			recs, err := dataformat.ReadSplit(plan.InputSchema, sp)
+			if err != nil {
+				return nil, err
+			}
+			locals[i] = RecordsToRows(recs)
+		}
+	default:
+		return nil, fmt.Errorf("core: input has neither a path nor local rows")
+	}
+	return locals, nil
+}
+
+// runJob dispatches one workflow job on this rank's state.
+func (st *execState) runJob(job Job) error {
+	switch j := job.(type) {
+	case *SortJob:
+		return st.runSort(j)
+	case *GroupJob:
+		return st.runGroup(j)
+	case *SplitJob:
+		return st.runSplit(j)
+	case *DistributeJob:
+		return st.runDistribute(j)
+	case CustomJob:
+		ctx := &ExecContext{Comm: st.comm, MR: st.mr, Plan: st.plan, Data: st.data, Side: st.side}
+		err := j.Run(ctx)
+		st.data = ctx.Data
+		return err
+	default:
+		return fmt.Errorf("core: unknown job type %T", job)
+	}
 }
 
 // execState is one rank's view of a running plan.

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+// syntheticIndex builds an n-entry muBLASTP-style index (4 long columns)
+// with a scrambled sort key so the sort job does real work.
+func syntheticIndex(n int) []Row {
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, intRow(int64(i*10), int64(50+(i*37)%97), int64(i*7), int64(60+i%53)))
+	}
+	return rows
+}
+
+// executeResilientGuarded fails the test if the run wall-clock deadlocks.
+func executeResilientGuarded(t *testing.T, cl *cluster.Cluster, plan *Plan, in Input, res *Resilience) (*Result, *RecoveryReport, error) {
+	t.Helper()
+	type out struct {
+		r   *Result
+		rep *RecoveryReport
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		r, rep, err := ExecuteResilient(cl, plan, in, res)
+		ch <- out{r, rep, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.r, o.rep, o.err
+	case <-time.After(10 * time.Second):
+		t.Fatal("resilient execution deadlocked")
+		return nil, nil, nil
+	}
+}
+
+func partitionTuples(res *Result) [][][]int64 {
+	out := make([][][]int64, len(res.Partitions))
+	for i, p := range res.Partitions {
+		out[i] = rowTuples(p)
+	}
+	return out
+}
+
+// canonicalTuples sorts rows within each partition, for workflows whose
+// partition membership is deterministic but intra-partition order is not
+// canonical across rank counts (hash-grouped graph workflows).
+func canonicalTuples(res *Result) [][]string {
+	out := make([][]string, len(res.Partitions))
+	for i, p := range res.Partitions {
+		for _, r := range p {
+			out[i] = append(out[i], fmt.Sprint(rowTuples([]Row{r})))
+		}
+		sort.Strings(out[i])
+	}
+	return out
+}
+
+func TestExecuteResilientFaultFreeMatchesExecute(t *testing.T) {
+	plan := compileBlast(t, "4")
+	cl := cluster.New(cluster.DefaultConfig(4))
+	rows := syntheticIndex(96)
+
+	plain, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 || rep.Rounds != 0 {
+		t.Fatalf("fault-free resilient run reported failures: %+v", rep)
+	}
+	if !reflect.DeepEqual(partitionTuples(res), partitionTuples(plain)) {
+		t.Fatal("resilient partitions differ from Execute's")
+	}
+	// The checkpoints are not free: the resilient makespan must exceed the
+	// plain one (this is the ablation's zero-fault overhead row).
+	if res.Makespan <= plain.Makespan {
+		t.Fatalf("resilient makespan %v not above plain %v", res.Makespan, plain.Makespan)
+	}
+	if rep.CheckpointWrites == 0 || rep.CheckpointBytes == 0 {
+		t.Fatalf("no checkpoints written: %+v", rep)
+	}
+}
+
+func TestExecuteResilientCrashByteIdenticalPartitions(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rows := syntheticIndex(96)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	want, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash rank 3 at ~40% of the fault-free makespan: mid-workflow.
+	at := vtime.Duration(float64(want.Makespan) * 0.4)
+	cl.SetFaultPlan(&faults.Plan{Seed: 17, Crashes: []faults.Crash{{Rank: 3, At: at}}})
+	res, rep, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatalf("resilient execution failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{3}) {
+		t.Fatalf("Failed = %v, want [3]", rep.Failed)
+	}
+	if rep.Rounds < 1 {
+		t.Fatalf("no recovery round recorded: %+v", rep)
+	}
+	// Sort output is canonical (globally sorted) regardless of rank count,
+	// and the cyclic distribute assigns by global index: the recovered
+	// partitions must be byte-identical to the fault-free ones.
+	if !reflect.DeepEqual(partitionTuples(res), partitionTuples(want)) {
+		t.Fatal("recovered partitions differ from the fault-free reference")
+	}
+	if res.Makespan <= want.Makespan {
+		t.Fatalf("recovery makespan %v not above fault-free %v", res.Makespan, want.Makespan)
+	}
+	cl.SetFaultPlan(nil)
+}
+
+func TestExecuteResilientCrashDuringDistribute(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rows := syntheticIndex(96)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	want, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late crash: ~85% of the makespan lands in the distribute job.
+	at := vtime.Duration(float64(want.Makespan) * 0.85)
+	cl.SetFaultPlan(&faults.Plan{Seed: 5, Crashes: []faults.Crash{{Rank: 1, At: at}}})
+	res, rep, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatalf("resilient execution failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{1}) {
+		t.Fatalf("Failed = %v, want [1]", rep.Failed)
+	}
+	if !reflect.DeepEqual(partitionTuples(res), partitionTuples(want)) {
+		t.Fatal("recovered partitions differ from the fault-free reference")
+	}
+	cl.SetFaultPlan(nil)
+}
+
+func TestExecuteResilientDropsByteIdentical(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rows := syntheticIndex(96)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	want, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetFaultPlan(&faults.Plan{Seed: 23, Link: faults.Link{DropProb: 0.05}})
+	res, rep, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatalf("resilient execution failed under 5%% drops: %v", err)
+	}
+	if len(rep.Failed) != 0 || rep.Rounds != 0 {
+		t.Fatalf("drops must be absorbed by the transport: %+v", rep)
+	}
+	if !reflect.DeepEqual(partitionTuples(res), partitionTuples(want)) {
+		t.Fatal("partitions under drops differ from the fault-free reference")
+	}
+	cl.SetFaultPlan(nil)
+}
+
+func TestExecuteResilientHybridCrashCanonical(t *testing.T) {
+	plan := compileHybrid(t, "3", "4")
+	cl := cluster.New(cluster.DefaultConfig(3))
+	edges := hybridEdges()
+
+	want, err := Execute(cl, plan, Input{LocalRows: spread(edges, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := vtime.Duration(float64(want.Makespan) * 0.4)
+	cl.SetFaultPlan(&faults.Plan{Seed: 11, Crashes: []faults.Crash{{Rank: 4, At: at}}})
+	res, rep, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(edges, cl.Size())}, nil)
+	if err != nil {
+		t.Fatalf("resilient execution failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{4}) {
+		t.Fatalf("Failed = %v, want [4]", rep.Failed)
+	}
+	// Hybrid-cut partition membership is hash-determined (order-free), but
+	// intra-partition row order depends on the rank count, so compare
+	// canonically: sorted rows per partition.
+	if !reflect.DeepEqual(canonicalTuples(res), canonicalTuples(want)) {
+		t.Fatal("recovered hybrid partitions differ (canonical compare)")
+	}
+	cl.SetFaultPlan(nil)
+}
+
+// TestExecuteResilientDeterministicReplay: the same seed must reproduce the
+// same failure, the same recovery and the same makespan, bit for bit.
+func TestExecuteResilientDeterministicReplay(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rows := syntheticIndex(96)
+	run := func() (vtime.Duration, [][][]int64) {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		cl.SetFaultPlan(&faults.Plan{Seed: 17, Crashes: []faults.Crash{{Rank: 3, At: 2 * vtime.Millisecond}}})
+		res, _, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+		if err != nil {
+			t.Fatalf("resilient execution failed: %v", err)
+		}
+		return res.Makespan, partitionTuples(res)
+	}
+	m1, p1 := run()
+	m2, p2 := run()
+	if m1 != m2 {
+		t.Fatalf("replay makespans differ: %v vs %v", m1, m2)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("replay partitions differ")
+	}
+}
+
+func TestSnapshotPageRoundTrip(t *testing.T) {
+	schema := &RowSchema{Fields: []string{"a", "b"}, Types: nil}
+	schema.Types = append(schema.Types, 1, 1)
+	st := &execState{
+		data: &Dataset{Schema: schema, Rows: []Row{intRow(1, 2), intRow(3, 4)}},
+		side: map[string]*Dataset{
+			"high": {Schema: schema, Rows: []Row{intRow(9, 9)}},
+			"low":  {Schema: schema, Packed: true, Groups: []Group{{Key: intRow(7, 7).Values[0], Rows: []Row{intRow(7, 8)}}}},
+		},
+		partitions: map[int][]Row{2: {intRow(5, 6)}},
+	}
+	ps, err := decodePage(st.snapshotPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowTuples(ps.data.Rows), rowTuples(st.data.Rows)) {
+		t.Fatal("data rows did not round-trip")
+	}
+	if len(ps.side) != 2 || !ps.side["low"].Packed || len(ps.side["low"].Groups) != 1 {
+		t.Fatalf("side branches did not round-trip: %+v", ps.side)
+	}
+	if !reflect.DeepEqual(ps.side["high"].Schema.Fields, []string{"a", "b"}) {
+		t.Fatal("schema did not round-trip")
+	}
+	if !reflect.DeepEqual(rowTuples(ps.partitions[2]), rowTuples(st.partitions[2])) {
+		t.Fatal("partitions did not round-trip")
+	}
+}

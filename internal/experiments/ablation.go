@@ -6,6 +6,7 @@ import (
 	"repro/internal/blast"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
@@ -32,6 +33,13 @@ type AblationResult struct {
 	// Balanced (greedy LPT) extension on skewed group sizes.
 	HashImbalance     float64
 	BalancedImbalance float64
+	// PlainTime / ResilientTime compare plain execution against resilient
+	// execution with job-boundary checkpoints at zero faults (the pure
+	// fault-tolerance overhead); RecoveryTime is the makespan with one rank
+	// crashed mid-run, on the same workload.
+	PlainTime     vtime.Duration
+	ResilientTime vtime.Duration
+	RecoveryTime  vtime.Duration
 }
 
 // Ablations runs every ablation at the configured scale.
@@ -148,6 +156,39 @@ func Ablations(opts Options) (*AblationResult, error) {
 	if res.BalancedImbalance, err = imbalanceFor(core.Balanced); err != nil {
 		return nil, err
 	}
+
+	// --- Fault tolerance: checkpoint overhead and recovery cost ---
+	ftPlan, err := compileBlastPlan(opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	ftRows := blastRows(db)
+	ftRun := func(fp *faults.Plan) (vtime.Duration, error) {
+		cl := cluster.New(cluster.DefaultConfig(opts.Nodes / 2))
+		cl.SetFaultPlan(fp)
+		pr, _, err := core.ExecuteResilient(cl, ftPlan, core.Input{LocalRows: spreadRows(ftRows, cl.Size())}, nil)
+		if err != nil {
+			return 0, err
+		}
+		return pr.Makespan, nil
+	}
+	{
+		cl := cluster.New(cluster.DefaultConfig(opts.Nodes / 2))
+		pr, err := core.Execute(cl, ftPlan, core.Input{LocalRows: spreadRows(ftRows, cl.Size())})
+		if err != nil {
+			return nil, err
+		}
+		res.PlainTime = pr.Makespan
+	}
+	if res.ResilientTime, err = ftRun(nil); err != nil {
+		return nil, err
+	}
+	crash := &faults.Plan{Seed: opts.Seed, Crashes: []faults.Crash{
+		{Rank: 1, At: vtime.Duration(float64(res.PlainTime) * 0.4)},
+	}}
+	if res.RecoveryTime, err = ftRun(crash); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -162,6 +203,8 @@ func (r *AblationResult) Render() string {
 			"Ethernet sockets", r.EthernetTime.String()},
 		{"low-cut placement", "hash (PowerLyra)", fmt.Sprintf("imbalance %.2f", r.HashImbalance),
 			"balanced LPT (extension)", fmt.Sprintf("imbalance %.2f", r.BalancedImbalance)},
+		{"fault tolerance", "plain (no checkpoints)", r.PlainTime.String(),
+			"resilient (0 faults / 1 crash)", fmt.Sprintf("%s / %s", r.ResilientTime, r.RecoveryTime)},
 	}
 	return "Ablations: design choices isolated on the same workloads\n" +
 		table([]string{"dimension", "variant A", "result A", "variant B", "result B"}, rows)

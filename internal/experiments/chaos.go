@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/vtime"
+)
+
+// ChaosScenario is one seeded fault schedule run against one workflow, with
+// the recovered output compared against the fault-free reference.
+type ChaosScenario struct {
+	Workflow string
+	// Plan is the fault plan's printable spec (seed + events).
+	Plan string
+	// Reference / Makespan are the fault-free and faulted virtual times.
+	Reference vtime.Duration
+	Makespan  vtime.Duration
+	// CrashAt is the scheduled crash time (0 for crash-free plans).
+	CrashAt vtime.Duration
+	// Failed / Rounds / CheckpointBytes report what recovery did.
+	Failed          []int
+	Rounds          int
+	CheckpointBytes int64
+	// Identical reports the partition comparison against the reference
+	// (raw order for the sort workflow, canonical order for hybrid-cut).
+	Identical bool
+	// Deterministic reports whether a replay with the same seed reproduced
+	// the same makespan and output.
+	Deterministic bool
+}
+
+// ChaosResult is the fault-injection sweep over the paper's two headline
+// workflows (Fig. 8 muBLASTP, Fig. 10 hybrid-cut).
+type ChaosResult struct {
+	Scenarios []ChaosScenario
+	// CheckpointOverheadPct is the zero-fault cost of job-boundary
+	// checkpointing on the sort workflow, percent of the plain makespan.
+	CheckpointOverheadPct float64
+}
+
+// fingerprint hashes the partitions; canonical additionally sorts rows
+// within each partition, for workflows whose membership is deterministic
+// but intra-partition order is rank-count dependent.
+func fingerprint(parts [][]core.Row, canonical bool) uint64 {
+	h := fnv.New64a()
+	for _, part := range parts {
+		rows := make([]string, 0, len(part))
+		for _, r := range part {
+			rows = append(rows, string(core.EncodeRow(r)))
+		}
+		if canonical {
+			sort.Strings(rows)
+		}
+		for _, r := range rows {
+			h.Write([]byte(r))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{0xFF})
+	}
+	return h.Sum64()
+}
+
+// chaosWorkflow bundles what the harness needs to torture one workflow.
+type chaosWorkflow struct {
+	name      string
+	plan      *core.Plan
+	rows      []core.Row
+	nodes     int
+	canonical bool
+	crashRank int
+}
+
+// runChaos executes one fault plan twice (replay check) and compares the
+// recovered output with the fault-free fingerprint.
+func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uint64) (ChaosScenario, error) {
+	sc := ChaosScenario{Workflow: w.name, Plan: plan.String(), Reference: ref}
+	if c, ok := plan.CrashFor(w.crashRank); ok {
+		sc.CrashAt = c.At
+	}
+	run := func() (*core.Result, *core.RecoveryReport, error) {
+		cl := cluster.New(cluster.DefaultConfig(w.nodes))
+		cl.SetFaultPlan(plan)
+		return core.ExecuteResilient(cl, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl.Size())}, nil)
+	}
+	res, rep, err := run()
+	if err != nil {
+		return sc, fmt.Errorf("%s under %s: %w", w.name, plan, err)
+	}
+	sc.Makespan = res.Makespan
+	sc.Failed = rep.Failed
+	sc.Rounds = rep.Rounds
+	sc.CheckpointBytes = rep.CheckpointBytes
+	sc.Identical = fingerprint(res.Partitions, w.canonical) == refFP
+	res2, _, err := run()
+	if err != nil {
+		return sc, fmt.Errorf("%s replay under %s: %w", w.name, plan, err)
+	}
+	sc.Deterministic = res2.Makespan == res.Makespan &&
+		fingerprint(res2.Partitions, w.canonical) == fingerprint(res.Partitions, w.canonical)
+	return sc, nil
+}
+
+// Chaos runs the fault-injection sweep: for each workflow, a mid-run rank
+// crash and a 5% message-drop schedule, both seeded and replayed, requiring
+// the recovered partitions to match the fault-free reference.
+func Chaos(opts Options) (*ChaosResult, error) {
+	opts = opts.withDefaults()
+	nodes := opts.Nodes / 2
+	if nodes < 2 {
+		nodes = 2
+	}
+
+	db := blast.Generate(blast.EnvNR(), opts.BlastScale/2, opts.Seed)
+	bplan, err := compileBlastPlan(nodes * 2)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Generate(graph.Google(), opts.GraphScale/2, opts.Seed)
+	hplan, err := compileHybridPlan(nodes*2, 200)
+	if err != nil {
+		return nil, err
+	}
+	workflows := []chaosWorkflow{
+		// Sort output is canonical: the recovered muBLASTP partitions must
+		// match the reference byte for byte, raw order included.
+		{name: "blast(Fig.8)", plan: bplan, rows: blastRows(db), nodes: nodes, canonical: false, crashRank: 2},
+		// Hybrid-cut membership is hash-determined but intra-partition row
+		// order depends on the surviving rank count: compare canonically.
+		{name: "hybrid(Fig.10)", plan: hplan, rows: graphRows(g), nodes: nodes, canonical: true, crashRank: 2},
+	}
+
+	out := &ChaosResult{}
+	for _, w := range workflows {
+		// Fault-free reference (plain Execute: no checkpoint overhead).
+		cl := cluster.New(cluster.DefaultConfig(w.nodes))
+		ref, err := core.Execute(cl, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl.Size())})
+		if err != nil {
+			return nil, fmt.Errorf("%s reference: %w", w.name, err)
+		}
+		refFP := fingerprint(ref.Partitions, w.canonical)
+
+		if w.name == workflows[0].name {
+			// Zero-fault checkpoint overhead on the sort workflow.
+			cl2 := cluster.New(cluster.DefaultConfig(w.nodes))
+			ckpt, _, err := core.ExecuteResilient(cl2, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl2.Size())}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s zero-fault resilient: %w", w.name, err)
+			}
+			out.CheckpointOverheadPct = 100 * (float64(ckpt.Makespan)/float64(ref.Makespan) - 1)
+		}
+
+		// Scenario A: one rank crash mid-run (~40% of the reference
+		// makespan, which lands inside the shuffle-heavy phase).
+		crash := &faults.Plan{
+			Seed:    opts.Seed,
+			Crashes: []faults.Crash{{Rank: w.crashRank, At: vtime.Duration(float64(ref.Makespan) * 0.4)}},
+		}
+		sc, err := w.runChaos(crash, ref.Makespan, refFP)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+
+		// Scenario B: 5% message drops (plus 1% duplicates), no crashes.
+		drops := &faults.Plan{
+			Seed: opts.Seed + 1,
+			Link: faults.Link{DropProb: 0.05, DupProb: 0.01},
+		}
+		sc, err = w.runChaos(drops, ref.Makespan, refFP)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+	}
+	return out, nil
+}
+
+// Render prints the chaos sweep as a table.
+func (r *ChaosResult) Render() string {
+	rows := make([][]string, 0, len(r.Scenarios))
+	for _, sc := range r.Scenarios {
+		verdict := "MISMATCH"
+		if sc.Identical {
+			verdict = "identical"
+		}
+		replay := "DIVERGED"
+		if sc.Deterministic {
+			replay = "replayable"
+		}
+		overhead := 100 * (float64(sc.Makespan)/float64(sc.Reference) - 1)
+		rows = append(rows, []string{
+			sc.Workflow,
+			sc.Plan,
+			fmt.Sprintf("%v -> %v (+%.0f%%)", sc.Reference, sc.Makespan, overhead),
+			fmt.Sprintf("failed=%v rounds=%d", sc.Failed, sc.Rounds),
+			verdict,
+			replay,
+		})
+	}
+	return fmt.Sprintf("Fault injection (crash mid-run, 5%% drops) on the two headline workflows.\n"+
+		"Zero-fault checkpoint overhead (blast): %.1f%% of makespan.\n%s",
+		r.CheckpointOverheadPct,
+		table([]string{"workflow", "fault plan", "makespan", "recovery", "partitions", "replay"}, rows))
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosShape(t *testing.T) {
+	r, err := Chaos(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 4 {
+		t.Fatalf("want 4 scenarios (2 workflows x {crash, drops}), got %d", len(r.Scenarios))
+	}
+	for _, sc := range r.Scenarios {
+		if !sc.Identical {
+			t.Errorf("%s under %q: recovered partitions differ from the fault-free reference", sc.Workflow, sc.Plan)
+		}
+		if !sc.Deterministic {
+			t.Errorf("%s under %q: replay with the same seed diverged", sc.Workflow, sc.Plan)
+		}
+		if sc.Makespan <= 0 || sc.Reference <= 0 {
+			t.Errorf("%s: missing makespans: %+v", sc.Workflow, sc)
+		}
+		if sc.CheckpointBytes == 0 {
+			t.Errorf("%s: no checkpoints written", sc.Workflow)
+		}
+	}
+	// The crash scenarios (even indices) must report the dead rank and at
+	// least one recovery round, and recovery costs virtual time.
+	for _, i := range []int{0, 2} {
+		sc := r.Scenarios[i]
+		if len(sc.Failed) != 1 || sc.Rounds < 1 {
+			t.Errorf("%s: crash not recovered: failed=%v rounds=%d", sc.Workflow, sc.Failed, sc.Rounds)
+		}
+		if sc.Makespan <= sc.Reference {
+			t.Errorf("%s: recovery makespan %v not above reference %v", sc.Workflow, sc.Makespan, sc.Reference)
+		}
+		if sc.CrashAt <= 0 || sc.CrashAt >= sc.Makespan {
+			t.Errorf("%s: crash time %v outside run (makespan %v)", sc.Workflow, sc.CrashAt, sc.Makespan)
+		}
+	}
+	// The drop scenarios (odd indices) are absorbed by the transport.
+	for _, i := range []int{1, 3} {
+		sc := r.Scenarios[i]
+		if len(sc.Failed) != 0 || sc.Rounds != 0 {
+			t.Errorf("%s: drops must not kill ranks: failed=%v rounds=%d", sc.Workflow, sc.Failed, sc.Rounds)
+		}
+	}
+	if r.CheckpointOverheadPct <= 0 {
+		t.Errorf("zero-fault checkpoint overhead missing: %.2f%%", r.CheckpointOverheadPct)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Fault injection") || !strings.Contains(out, "identical") {
+		t.Errorf("Render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,342 @@
+// Package faults describes deterministic fault-injection plans for the
+// simulated cluster.
+//
+// A Plan schedules rank crashes (at a virtual time or after a number of
+// sends), message-level perturbations (drop, duplicate, extra delay) and
+// slow-node degradation (scaled compute/network models per node). Every
+// probabilistic decision is a pure function of the plan seed and the message
+// coordinates (src, dst, per-link sequence number, retry attempt), so a plan
+// replays *exactly*: no shared RNG state exists, and goroutine scheduling
+// cannot change which messages are dropped. That is what makes chaos runs
+// byte-comparable against fault-free reference runs.
+//
+// Plans are built programmatically or parsed from the compact spec syntax the
+// papar CLI exposes (see Parse).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Crash kills one rank. Whichever of the two triggers fires first wins:
+// At (virtual clock reaches the deadline) or AfterSends (the rank has
+// completed that many message sends). A zero trigger is unused; a Crash with
+// both triggers zero fires immediately at the rank's first fault checkpoint.
+type Crash struct {
+	// Rank is the cluster rank to kill.
+	Rank int
+	// At is the virtual time at (or after) which the rank dies. Zero means
+	// no time trigger.
+	At vtime.Duration
+	// AfterSends kills the rank once it has performed this many sends.
+	// Zero means no send-count trigger.
+	AfterSends int64
+}
+
+// Link perturbs point-to-point messages. Probabilities are evaluated
+// independently per delivery attempt with the plan's deterministic hash.
+type Link struct {
+	// DropProb is the probability that one delivery attempt is lost in the
+	// network. The transport retries with exponential backoff, so a dropped
+	// message costs virtual time rather than correctness (until the retry
+	// budget is exhausted).
+	DropProb float64
+	// DupProb is the probability a delivered message is duplicated on the
+	// wire. The receiving mailbox deduplicates by sequence number, so
+	// duplicates cost bandwidth only.
+	DupProb float64
+	// DelayProb is the probability a delivered message suffers Delay of
+	// extra wire time.
+	DelayProb float64
+	// Delay is the extra latency added when DelayProb fires.
+	Delay vtime.Duration
+}
+
+// Straggler degrades one node: every rank on the node runs its compute
+// charges and its message transfers slower by the given factors.
+type Straggler struct {
+	// Node is the physical node index.
+	Node int
+	// ComputeFactor scales compute charges (2 = twice as slow). Values
+	// below 1 are clamped to 1.
+	ComputeFactor float64
+	// NetworkFactor scales wire transfer times for messages the node's
+	// ranks send or receive. Values below 1 are clamped to 1.
+	NetworkFactor float64
+}
+
+// Plan is one deterministic fault schedule.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// Crashes lists scheduled rank deaths.
+	Crashes []Crash
+	// Link holds message-level fault probabilities.
+	Link Link
+	// Stragglers lists degraded nodes.
+	Stragglers []Straggler
+}
+
+// CrashFor returns the crash scheduled for the rank, if any. When several
+// crashes name one rank the earliest-firing spec is irrelevant — the first
+// listed wins (plans should name each rank at most once; Parse enforces it).
+func (p *Plan) CrashFor(rank int) (Crash, bool) {
+	if p == nil {
+		return Crash{}, false
+	}
+	for _, c := range p.Crashes {
+		if c.Rank == rank {
+			return c, true
+		}
+	}
+	return Crash{}, false
+}
+
+// splitmix64 is the 64-bit finalizer used to derive independent uniform
+// deviates from message coordinates. It is a bijection with good avalanche
+// behaviour, which is all the fault plan needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform derives a deterministic deviate in [0,1) from the plan seed, a
+// per-decision salt, and the message coordinates.
+func (p *Plan) uniform(salt uint64, src, dst int, seq int64, attempt int) float64 {
+	h := splitmix64(uint64(p.Seed) ^ salt)
+	h = splitmix64(h ^ uint64(src)<<32 ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ uint64(seq))
+	h = splitmix64(h ^ uint64(attempt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Decision salts — arbitrary distinct constants so drop/dup/delay deviates
+// are independent of one another.
+const (
+	saltDrop  = 0x647270 // "drp"
+	saltDup   = 0x647570 // "dup"
+	saltDelay = 0x646c79 // "dly"
+)
+
+// Dropped reports whether delivery attempt `attempt` of message `seq` on the
+// src->dst link is lost.
+func (p *Plan) Dropped(src, dst int, seq int64, attempt int) bool {
+	if p == nil || p.Link.DropProb <= 0 {
+		return false
+	}
+	return p.uniform(saltDrop, src, dst, seq, attempt) < p.Link.DropProb
+}
+
+// Duplicated reports whether the delivered message is duplicated on the wire.
+func (p *Plan) Duplicated(src, dst int, seq int64, attempt int) bool {
+	if p == nil || p.Link.DupProb <= 0 {
+		return false
+	}
+	return p.uniform(saltDup, src, dst, seq, attempt) < p.Link.DupProb
+}
+
+// ExtraDelay returns any extra wire latency injected on the delivery.
+func (p *Plan) ExtraDelay(src, dst int, seq int64, attempt int) vtime.Duration {
+	if p == nil || p.Link.DelayProb <= 0 {
+		return 0
+	}
+	if p.uniform(saltDelay, src, dst, seq, attempt) < p.Link.DelayProb {
+		return p.Link.Delay
+	}
+	return 0
+}
+
+// ComputeScale returns the compute slowdown factor for a node (>= 1).
+func (p *Plan) ComputeScale(node int) float64 {
+	if p == nil {
+		return 1
+	}
+	for _, s := range p.Stragglers {
+		if s.Node == node {
+			if s.ComputeFactor < 1 {
+				return 1
+			}
+			return s.ComputeFactor
+		}
+	}
+	return 1
+}
+
+// NetworkScale returns the wire slowdown factor for a transfer between two
+// nodes: the worse of the two endpoints' degradations (>= 1).
+func (p *Plan) NetworkScale(srcNode, dstNode int) float64 {
+	if p == nil {
+		return 1
+	}
+	f := 1.0
+	for _, s := range p.Stragglers {
+		if (s.Node == srcNode || s.Node == dstNode) && s.NetworkFactor > f {
+			f = s.NetworkFactor
+		}
+	}
+	return f
+}
+
+// String renders the plan in the Parse syntax.
+func (p *Plan) String() string {
+	if p == nil {
+		return "<no faults>"
+	}
+	var parts []string
+	crashes := append([]Crash(nil), p.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool { return crashes[i].Rank < crashes[j].Rank })
+	for _, c := range crashes {
+		switch {
+		case c.AfterSends > 0:
+			parts = append(parts, fmt.Sprintf("crash=%d@%dsends", c.Rank, c.AfterSends))
+		default:
+			parts = append(parts, fmt.Sprintf("crash=%d@%s", c.Rank, c.At.Std()))
+		}
+	}
+	if p.Link.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g%%", p.Link.DropProb*100))
+	}
+	if p.Link.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g%%", p.Link.DupProb*100))
+	}
+	if p.Link.DelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g%%/%s", p.Link.DelayProb*100, p.Link.Delay.Std()))
+	}
+	for _, s := range p.Stragglers {
+		parts = append(parts, fmt.Sprintf("straggle=%dx%g", s.Node, s.ComputeFactor))
+	}
+	return fmt.Sprintf("%d:%s", p.Seed, strings.Join(parts, ","))
+}
+
+// Parse reads the compact plan syntax the papar CLI uses:
+//
+//	PLAN    := SEED ":" EVENT ("," EVENT)*
+//	EVENT   := "crash=" RANK "@" (DURATION | COUNT "sends")
+//	         | "drop="  PERCENT
+//	         | "dup="   PERCENT
+//	         | "delay=" PERCENT "/" DURATION
+//	         | "straggle=" NODE "x" FACTOR
+//
+// DURATION uses Go notation ("2ms", "150us"); PERCENT is "5%" or a bare
+// fraction ("0.05"). Example:
+//
+//	42:crash=3@2ms,drop=5%,straggle=1x3
+func Parse(spec string) (*Plan, error) {
+	seedStr, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("faults: plan %q needs a \"seed:events\" form", spec)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("faults: bad seed %q: %v", seedStr, err)
+	}
+	p := &Plan{Seed: seed}
+	seen := map[int]bool{}
+	for _, ev := range strings.Split(rest, ",") {
+		ev = strings.TrimSpace(ev)
+		if ev == "" {
+			continue
+		}
+		kind, arg, ok := strings.Cut(ev, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: event %q needs a \"kind=arg\" form", ev)
+		}
+		switch kind {
+		case "crash":
+			rankStr, trigger, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: crash %q needs rank@trigger", arg)
+			}
+			rank, err := strconv.Atoi(rankStr)
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("faults: bad crash rank %q", rankStr)
+			}
+			if seen[rank] {
+				return nil, fmt.Errorf("faults: rank %d crashed twice in one plan", rank)
+			}
+			seen[rank] = true
+			c := Crash{Rank: rank}
+			if n, found := strings.CutSuffix(trigger, "sends"); found {
+				sends, err := strconv.ParseInt(n, 10, 64)
+				if err != nil || sends <= 0 {
+					return nil, fmt.Errorf("faults: bad crash send count %q", trigger)
+				}
+				c.AfterSends = sends
+			} else {
+				d, err := time.ParseDuration(trigger)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("faults: bad crash time %q", trigger)
+				}
+				c.At = vtime.Duration(d)
+			}
+			p.Crashes = append(p.Crashes, c)
+		case "drop":
+			if p.Link.DropProb, err = parsePercent(arg); err != nil {
+				return nil, err
+			}
+		case "dup":
+			if p.Link.DupProb, err = parsePercent(arg); err != nil {
+				return nil, err
+			}
+		case "delay":
+			probStr, durStr, ok := strings.Cut(arg, "/")
+			if !ok {
+				return nil, fmt.Errorf("faults: delay %q needs percent/duration", arg)
+			}
+			if p.Link.DelayProb, err = parsePercent(probStr); err != nil {
+				return nil, err
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: bad delay duration %q", durStr)
+			}
+			p.Link.Delay = vtime.Duration(d)
+		case "straggle":
+			nodeStr, factorStr, ok := strings.Cut(arg, "x")
+			if !ok {
+				return nil, fmt.Errorf("faults: straggle %q needs nodexfactor", arg)
+			}
+			node, err := strconv.Atoi(nodeStr)
+			if err != nil || node < 0 {
+				return nil, fmt.Errorf("faults: bad straggler node %q", nodeStr)
+			}
+			factor, err := strconv.ParseFloat(factorStr, 64)
+			if err != nil || factor < 1 {
+				return nil, fmt.Errorf("faults: bad straggler factor %q (must be >= 1)", factorStr)
+			}
+			p.Stragglers = append(p.Stragglers, Straggler{
+				Node: node, ComputeFactor: factor, NetworkFactor: factor,
+			})
+		default:
+			return nil, fmt.Errorf("faults: unknown event kind %q", kind)
+		}
+	}
+	return p, nil
+}
+
+func parsePercent(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := false
+	if v, found := strings.CutSuffix(s, "%"); found {
+		s, pct = v, true
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: bad probability %q", s)
+	}
+	if pct {
+		f /= 100
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("faults: probability %q outside [0,1]", s)
+	}
+	return f, nil
+}

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("42:crash=3@2ms,crash=1@100sends,drop=5%,dup=1%,delay=2%/200us,straggle=1x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Fatalf("seed = %d", p.Seed)
+	}
+	c, ok := p.CrashFor(3)
+	if !ok || c.At != 2*vtime.Millisecond || c.AfterSends != 0 {
+		t.Fatalf("crash for rank 3 = %+v, %v", c, ok)
+	}
+	c, ok = p.CrashFor(1)
+	if !ok || c.AfterSends != 100 {
+		t.Fatalf("crash for rank 1 = %+v, %v", c, ok)
+	}
+	if _, ok := p.CrashFor(0); ok {
+		t.Fatal("rank 0 should have no crash")
+	}
+	if p.Link.DropProb != 0.05 || p.Link.DupProb != 0.01 || p.Link.DelayProb != 0.02 {
+		t.Fatalf("link = %+v", p.Link)
+	}
+	if p.Link.Delay != 200*vtime.Microsecond {
+		t.Fatalf("delay = %v", p.Link.Delay)
+	}
+	if got := p.ComputeScale(1); got != 3 {
+		t.Fatalf("ComputeScale(1) = %v", got)
+	}
+	if got := p.ComputeScale(0); got != 1 {
+		t.Fatalf("ComputeScale(0) = %v", got)
+	}
+	if got := p.NetworkScale(0, 1); got != 3 {
+		t.Fatalf("NetworkScale(0,1) = %v", got)
+	}
+	// The rendered form parses back to an equivalent plan.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip %q != %q", p2.String(), p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"no-colon",
+		"x:drop=5%",
+		"1:crash=3",
+		"1:crash=-1@2ms",
+		"1:crash=2@2ms,crash=2@4ms",
+		"1:drop=150%",
+		"1:delay=5%",
+		"1:straggle=1x0.5",
+		"1:frob=1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestVerdictsDeterministic: the same coordinates always produce the same
+// verdict, and different attempts decide independently.
+func TestVerdictsDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, Link: Link{DropProb: 0.5}}
+	for src := 0; src < 4; src++ {
+		for seq := int64(0); seq < 64; seq++ {
+			a := p.Dropped(src, 1, seq, 0)
+			b := p.Dropped(src, 1, seq, 0)
+			if a != b {
+				t.Fatalf("verdict flapped for src=%d seq=%d", src, seq)
+			}
+		}
+	}
+	// A different seed must flip at least one verdict over a modest sample.
+	q := &Plan{Seed: 8, Link: Link{DropProb: 0.5}}
+	same := true
+	for seq := int64(0); seq < 64; seq++ {
+		if p.Dropped(0, 1, seq, 0) != q.Dropped(0, 1, seq, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical drop patterns")
+	}
+}
+
+// TestDropRate: the deterministic hash approximates the requested rate.
+func TestDropRate(t *testing.T) {
+	p := &Plan{Seed: 123, Link: Link{DropProb: 0.05}}
+	n, dropped := 20000, 0
+	for seq := 0; seq < n; seq++ {
+		if p.Dropped(2, 3, int64(seq), 0) {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / float64(n)
+	if math.Abs(rate-0.05) > 0.01 {
+		t.Fatalf("drop rate %.4f, want ~0.05", rate)
+	}
+}
+
+// TestNilPlanIsFaultFree: a nil plan injects nothing (the fault-free path
+// must not need nil checks at every call site).
+func TestNilPlanIsFaultFree(t *testing.T) {
+	var p *Plan
+	if p.Dropped(0, 1, 0, 0) || p.Duplicated(0, 1, 0, 0) {
+		t.Fatal("nil plan injected a message fault")
+	}
+	if p.ExtraDelay(0, 1, 0, 0) != 0 {
+		t.Fatal("nil plan injected delay")
+	}
+	if p.ComputeScale(0) != 1 || p.NetworkScale(0, 1) != 1 {
+		t.Fatal("nil plan scaled a node")
+	}
+	if _, ok := p.CrashFor(0); ok {
+		t.Fatal("nil plan crashed a rank")
+	}
+}

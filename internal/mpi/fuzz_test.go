@@ -1,0 +1,33 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpackSlices: unpackSlices takes untrusted wire bytes (a peer's
+// Alltoall payload); it must never panic or over-read, and accepting a
+// buffer must mean the canonical re-encoding reproduces the consumed bytes.
+func FuzzUnpackSlices(f *testing.F) {
+	f.Add(packSlices(nil))
+	f.Add(packSlices([][]byte{{}}))
+	f.Add(packSlices([][]byte{[]byte("a"), {}, []byte("bcd")}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // count too large
+	f.Add([]byte{1, 0, 0, 0, 10, 0, 0, 0, 'x'}) // truncated payload
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		parts, err := unpackSlices(buf)
+		if err != nil {
+			return
+		}
+		repacked := packSlices(parts)
+		// unpackSlices ignores trailing garbage after the declared parts, so
+		// compare against the consumed prefix only.
+		if len(repacked) > len(buf) || !bytes.Equal(repacked, buf[:len(repacked)]) {
+			t.Fatalf("repack mismatch: %x -> %x", buf, repacked)
+		}
+		for _, p := range parts {
+			_ = append(p[:len(p):len(p)], 0) // full-capacity slice: no aliasing past the frame
+		}
+	})
+}

@@ -17,16 +17,28 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/vtime"
 )
 
 // AnySource matches any sending rank in Recv.
 const AnySource = cluster.AnySource
 
-// Comm is a communicator: a rank's handle onto the group of all ranks. Tags
-// used by collectives live in a reserved high range; user point-to-point tags
-// must be below tagCollBase.
+// Comm is a communicator: a rank's handle onto a group of ranks. A fresh
+// communicator (NewComm) spans every cluster rank; Shrink derives a smaller
+// communicator excluding dead ranks, the survivors' handle for resilient
+// re-execution (the MPI_Comm_shrink semantic). Ranks inside a communicator
+// are group indices in [0, Size()); the group maps them to cluster ids.
+//
+// Tags used by collectives live in a reserved high range; user
+// point-to-point tags must be below tagCollBase.
 type Comm struct {
 	rank *cluster.Rank
+	// group maps group index -> cluster rank id, ascending.
+	group []int
+	// myIdx is this rank's group index.
+	myIdx int
+	// rev maps cluster rank id -> group index.
+	rev map[int]int
 }
 
 // tagCollBase is the first tag reserved for collective internals.
@@ -49,33 +61,120 @@ const (
 	tagProbeCount
 )
 
-// NewComm wraps a cluster rank in a communicator.
-func NewComm(r *cluster.Rank) *Comm { return &Comm{rank: r} }
+// NewComm wraps a cluster rank in a communicator spanning all ranks.
+func NewComm(r *cluster.Rank) *Comm {
+	group := make([]int, r.Size())
+	for i := range group {
+		group[i] = i
+	}
+	return newGroupComm(r, group)
+}
 
-// Rank returns this process's rank id.
-func (c *Comm) Rank() int { return c.rank.ID() }
+func newGroupComm(r *cluster.Rank, group []int) *Comm {
+	c := &Comm{rank: r, group: group, myIdx: -1, rev: make(map[int]int, len(group))}
+	for i, id := range group {
+		c.rev[id] = i
+		if id == r.ID() {
+			c.myIdx = i
+		}
+	}
+	return c
+}
 
-// Size returns the number of ranks.
-func (c *Comm) Size() int { return c.rank.Size() }
+// Shrink derives a communicator over this one's group minus the given dead
+// cluster ranks — the survivors' handle for resilient re-execution after a
+// failure. All survivors must call it with the same dead set (they learn it
+// from the shared failure detector, so they do). It returns an error if this
+// rank itself is in the dead set.
+func (c *Comm) Shrink(dead []int) (*Comm, error) {
+	isDead := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		isDead[d] = true
+	}
+	if isDead[c.rank.ID()] {
+		return nil, fmt.Errorf("mpi: rank %d cannot shrink a communicator it is dead in", c.rank.ID())
+	}
+	group := make([]int, 0, len(c.group))
+	for _, id := range c.group {
+		if !isDead[id] {
+			group = append(group, id)
+		}
+	}
+	return newGroupComm(c.rank, group), nil
+}
+
+// Group returns the cluster rank ids in this communicator, ascending. The
+// slice is shared; do not modify it.
+func (c *Comm) Group() []int { return c.group }
+
+// Rank returns this process's group index.
+func (c *Comm) Rank() int { return c.myIdx }
+
+// Size returns the number of ranks in the group.
+func (c *Comm) Size() int { return len(c.group) }
 
 // Cluster exposes the underlying simulated rank (for clock charging).
 func (c *Comm) Cluster() *cluster.Rank { return c.rank }
 
-// Send sends payload to dst with a user tag (must be < 2^24).
+// send/recv translate group indices to cluster ranks for the transport.
+func (c *Comm) send(dstIdx, tag int, payload []byte) error {
+	if dstIdx < 0 || dstIdx >= len(c.group) {
+		return fmt.Errorf("mpi: send to invalid group rank %d (size %d)", dstIdx, len(c.group))
+	}
+	return c.rank.Send(c.group[dstIdx], tag, payload)
+}
+
+func (c *Comm) recv(srcIdx, tag int, timeout vtime.Duration) ([]byte, int, error) {
+	src := cluster.AnySource
+	if srcIdx != AnySource {
+		if srcIdx < 0 || srcIdx >= len(c.group) {
+			return nil, 0, fmt.Errorf("mpi: recv from invalid group rank %d (size %d)", srcIdx, len(c.group))
+		}
+		src = c.group[srcIdx]
+	}
+	var payload []byte
+	var from int
+	var err error
+	if timeout > 0 {
+		payload, from, err = c.rank.RecvTimeout(src, tag, timeout)
+	} else {
+		payload, from, err = c.rank.Recv(src, tag)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, ok := c.rev[from]
+	if !ok {
+		return nil, 0, fmt.Errorf("mpi: received message from rank %d outside the group", from)
+	}
+	return payload, idx, nil
+}
+
+// Send sends payload to group rank dst with a user tag (must be < 2^24).
 func (c *Comm) Send(dst, tag int, payload []byte) error {
 	if tag >= tagCollBase || tag < 0 {
 		return fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
 	}
-	return c.rank.Send(dst, tag, payload)
+	return c.send(dst, tag, payload)
 }
 
-// Recv blocks for a message from src (or AnySource) with the given tag and
-// returns the payload and actual source.
+// Recv blocks for a message from group rank src (or AnySource) with the
+// given tag and returns the payload and actual source (as a group index).
 func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
 	if tag >= tagCollBase || tag < 0 {
 		return nil, 0, fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
 	}
-	return c.rank.Recv(src, tag)
+	return c.recv(src, tag, 0)
+}
+
+// RecvTimeout is Recv with an explicit virtual-time failure-detection
+// deadline (see cluster.Rank.RecvTimeout): if the peer is dead or the epoch
+// is revoked, it fails fast with a typed error after charging the deadline.
+func (c *Comm) RecvTimeout(src, tag int, timeout vtime.Duration) ([]byte, int, error) {
+	if tag >= tagCollBase || tag < 0 {
+		return nil, 0, fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
+	}
+	return c.recv(src, tag, timeout)
 }
 
 // Request is a handle for a non-blocking operation, completed by Wait.
@@ -135,10 +234,10 @@ func (c *Comm) Barrier() error {
 	for dist := 1; dist < p; dist *= 2 {
 		dst := (me + dist) % p
 		src := (me - dist + p) % p
-		if err := c.rank.Send(dst, tagBarrier, nil); err != nil {
+		if err := c.send(dst, tagBarrier, nil); err != nil {
 			return err
 		}
-		if _, _, err := c.rank.Recv(src, tagBarrier); err != nil {
+		if _, _, err := c.recv(src, tagBarrier, 0); err != nil {
 			return err
 		}
 	}
@@ -161,7 +260,7 @@ func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
 			hb *= 2
 		}
 		src := (vrank - hb + root) % p
-		payload, _, err := c.rank.Recv(src, tagBcast)
+		payload, _, err := c.recv(src, tagBcast, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +271,7 @@ func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
 	for mask := 1; mask < p; mask *= 2 {
 		if vrank < mask && vrank+mask < p {
 			dst := (vrank + mask + root) % p
-			if err := c.rank.Send(dst, tagBcast, buf); err != nil {
+			if err := c.send(dst, tagBcast, buf); err != nil {
 				return nil, err
 			}
 		}
@@ -188,7 +287,7 @@ func (c *Comm) Gather(root int, payload []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
 	}
 	if me != root {
-		return nil, c.rank.Send(root, tagGather, payload)
+		return nil, c.send(root, tagGather, payload)
 	}
 	out := make([][]byte, p)
 	out[me] = payload
@@ -196,7 +295,7 @@ func (c *Comm) Gather(root int, payload []byte) ([][]byte, error) {
 		if i == me {
 			continue
 		}
-		b, _, err := c.rank.Recv(i, tagGather)
+		b, _, err := c.recv(i, tagGather, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -237,13 +336,13 @@ func (c *Comm) Alltoall(sendBuf [][]byte) ([][]byte, error) {
 	// instead of serializing across the P-1 exchanges.
 	for k := 1; k < p; k++ {
 		dst := (me + k) % p
-		if err := c.rank.Send(dst, tagAlltoall, sendBuf[dst]); err != nil {
+		if err := c.send(dst, tagAlltoall, sendBuf[dst]); err != nil {
 			return nil, err
 		}
 	}
 	for k := 1; k < p; k++ {
 		src := (me - k + p) % p
-		b, _, err := c.rank.Recv(src, tagAlltoall)
+		b, _, err := c.recv(src, tagAlltoall, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +368,7 @@ func (c *Comm) Reduce(root int, payload []byte, fn ReduceFunc) ([]byte, error) {
 	for mask := 1; mask < p; mask *= 2 {
 		if vrank&mask != 0 {
 			dst := (vrank - mask + root) % p
-			if err := c.rank.Send(dst, tagReduce, acc); err != nil {
+			if err := c.send(dst, tagReduce, acc); err != nil {
 				return nil, err
 			}
 			acc = nil
@@ -277,7 +376,7 @@ func (c *Comm) Reduce(root int, payload []byte, fn ReduceFunc) ([]byte, error) {
 		}
 		if vrank+mask < p {
 			src := (vrank + mask + root) % p
-			b, _, err := c.rank.Recv(src, tagReduce)
+			b, _, err := c.recv(src, tagReduce, 0)
 			if err != nil {
 				return nil, err
 			}

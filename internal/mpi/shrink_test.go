@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestShrinkCollectives: a shrunk communicator runs the full collective set
+// among the survivors while the excluded ranks sit out.
+func TestShrinkCollectives(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig(3)) // 6 ranks
+	dead := []int{1, 4}
+	_, err := c.Run(func(r *cluster.Rank) error {
+		if r.ID() == 1 || r.ID() == 4 {
+			return nil // not crashed, just not participating
+		}
+		comm, err := NewComm(r).Shrink(dead)
+		if err != nil {
+			return err
+		}
+		if got := comm.Group(); !reflect.DeepEqual(got, []int{0, 2, 3, 5}) {
+			return fmt.Errorf("group = %v", got)
+		}
+		if comm.Size() != 4 {
+			return fmt.Errorf("size = %d", comm.Size())
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		all, err := comm.Allgather([]byte{byte(r.ID())})
+		if err != nil {
+			return err
+		}
+		want := [][]byte{{0}, {2}, {3}, {5}}
+		if !reflect.DeepEqual(all, want) {
+			return fmt.Errorf("allgather = %v, want %v", all, want)
+		}
+		sum, err := comm.Allreduce([]byte{byte(r.ID())}, func(a, b []byte) []byte {
+			return []byte{a[0] + b[0]}
+		})
+		if err != nil {
+			return err
+		}
+		if sum[0] != 0+2+3+5 {
+			return fmt.Errorf("allreduce = %d", sum[0])
+		}
+		// Alltoall among survivors, indexed by group position.
+		bufs := make([][]byte, comm.Size())
+		for i := range bufs {
+			bufs[i] = []byte{byte(comm.Rank()*10 + i)}
+		}
+		recv, err := comm.Alltoall(bufs)
+		if err != nil {
+			return err
+		}
+		for i, b := range recv {
+			if want := byte(i*10 + comm.Rank()); !bytes.Equal(b, []byte{want}) {
+				return fmt.Errorf("alltoall[%d] = %v, want %v", i, b, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkOfShrink: shrinking twice composes (multi-round recovery).
+func TestShrinkOfShrink(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig(2)) // 4 ranks
+	_, err := c.Run(func(r *cluster.Rank) error {
+		if r.ID() == 3 {
+			return nil
+		}
+		comm, err := NewComm(r).Shrink([]int{3})
+		if err != nil {
+			return err
+		}
+		if r.ID() == 1 {
+			return nil
+		}
+		comm, err = comm.Shrink([]int{1})
+		if err != nil {
+			return err
+		}
+		if got := comm.Group(); !reflect.DeepEqual(got, []int{0, 2}) {
+			return fmt.Errorf("group = %v", got)
+		}
+		return comm.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkDeadSelf: a rank in the dead set cannot shrink around itself.
+func TestShrinkDeadSelf(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig(1))
+	_, err := c.Run(func(r *cluster.Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		if _, err := NewComm(r).Shrink([]int{0}); err == nil {
+			return fmt.Errorf("Shrink accepted its own rank in the dead set")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package mrmpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/keyval"
+	"repro/internal/vtime"
+)
+
+// CheckpointStore is the simulated stable storage for job-boundary
+// checkpoints: a cluster-shared, crash-surviving map of (stage, rank) ->
+// serialized KV page. Real MR-MPI deployments would write these pages to a
+// parallel filesystem; here the store lives in host memory, and the
+// *virtual-time* cost of writing a page is charged to the saving rank
+// (serialize + store at CheckpointBytesPerSecond, plus a fixed setup
+// overhead), so checkpoint overhead shows up in makespans exactly like a
+// real burst-buffer write would.
+type CheckpointStore struct {
+	mu     sync.Mutex
+	pages  map[int]map[int][]byte
+	bytes  int64
+	writes int64
+}
+
+// NewCheckpointStore returns an empty store.
+func NewCheckpointStore() *CheckpointStore {
+	return &CheckpointStore{pages: map[int]map[int][]byte{}}
+}
+
+// Save stores one rank's page for a stage, replacing any previous attempt's
+// page (re-executed stages overwrite).
+func (s *CheckpointStore) Save(stage, rank int, page []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pages[stage]
+	if m == nil {
+		m = map[int][]byte{}
+		s.pages[stage] = m
+	}
+	if old, ok := m[rank]; ok {
+		s.bytes -= int64(len(old))
+	}
+	m[rank] = page
+	s.bytes += int64(len(page))
+	s.writes++
+}
+
+// Page returns one rank's page for a stage.
+func (s *CheckpointStore) Page(stage, rank int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[stage][rank]
+	return p, ok
+}
+
+// TotalBytes returns the bytes currently held (latest page per stage/rank).
+func (s *CheckpointStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// PruneDead deletes dead ranks' pages at stages deeper than the restore
+// point. Recovery rolls the timeline back to `above`; pages a dead rank
+// saved past that point belong to the abandoned timeline, and a later
+// recovery that re-reaches those stages must not re-adopt them (the data
+// already lives redistributed inside the survivors' re-executed pages).
+// Idempotent and safe to call from every survivor.
+func (s *CheckpointStore) PruneDead(dead []int, above int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for stage, m := range s.pages {
+		if stage <= above {
+			continue
+		}
+		for _, d := range dead {
+			if old, ok := m[d]; ok {
+				s.bytes -= int64(len(old))
+				delete(m, d)
+			}
+		}
+	}
+}
+
+// Writes returns how many page writes the store has absorbed.
+func (s *CheckpointStore) Writes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// Checkpoint write cost model: a fixed per-page setup cost plus streaming
+// the page to stable storage at a burst-buffer-like bandwidth.
+const (
+	CheckpointOverhead       = 150 * vtime.Microsecond
+	CheckpointBytesPerSecond = 2e9
+)
+
+// CheckpointCost is the virtual time one rank spends writing (or reading) a
+// page of n bytes.
+func CheckpointCost(n int) vtime.Duration {
+	return CheckpointOverhead + vtime.Duration(float64(n)/CheckpointBytesPerSecond*float64(vtime.Second))
+}
+
+// snapshotConverted flags a snapshot taken after Convert: the KMV groups are
+// not serialized (they are derivable), but Restore re-runs Convert so a
+// following Reduce stays legal.
+const (
+	snapshotFlat      = 0
+	snapshotConverted = 1
+)
+
+// Snapshot serializes the local KV page (and whether it was converted) for
+// checkpointing. The rank is charged the stable-storage write cost.
+func (mr *MapReduce) Snapshot() []byte {
+	buf := make([]byte, 1, 1+mr.kv.Bytes())
+	if mr.kmv != nil {
+		buf[0] = snapshotConverted
+	} else {
+		buf[0] = snapshotFlat
+	}
+	buf = append(buf, mr.kv.Encode()...)
+	mr.charge(func() vtime.Duration { return CheckpointCost(len(buf)) })
+	return buf
+}
+
+// Restore replaces the local KV set with a snapshot, re-running Convert if
+// the snapshot was taken post-Convert. The rank is charged the read cost.
+func (mr *MapReduce) Restore(page []byte) error {
+	if len(page) < 1 {
+		return fmt.Errorf("mrmpi: empty checkpoint page")
+	}
+	flag := page[0]
+	kv, err := keyval.Decode(page[1:])
+	if err != nil {
+		return fmt.Errorf("mrmpi: corrupt checkpoint page: %w", err)
+	}
+	mr.charge(func() vtime.Duration { return CheckpointCost(len(page)) })
+	mr.kv = kv
+	mr.kmv = nil
+	if flag == snapshotConverted {
+		mr.Convert()
+	}
+	return nil
+}
+
+// restoreAdopted rebuilds the local KV set from this rank's own page plus
+// the orphan pages of dead ranks it adopts, splicing fragments in original
+// rank order (prepends hold fragments of dead ranks just below this rank,
+// appends of dead ranks above the last survivor) so global rank-major entry
+// order is preserved across a recovery.
+func (mr *MapReduce) restoreAdopted(store *CheckpointStore, stage int, prepends []int, own int, appends []int) error {
+	merged := keyval.NewList(0)
+	converted := false
+	adopt := func(rank int, required bool) error {
+		page, ok := store.Page(stage, rank)
+		if !ok {
+			if required {
+				return fmt.Errorf("mrmpi: no checkpoint page for stage %d rank %d", stage, rank)
+			}
+			// A rank that died before its first checkpoint never saved its
+			// fragment; that data is lost (documented recovery limit).
+			return nil
+		}
+		if len(page) < 1 {
+			return fmt.Errorf("mrmpi: empty checkpoint page for stage %d rank %d", stage, rank)
+		}
+		if rank == own {
+			converted = page[0] == snapshotConverted
+		}
+		kv, err := keyval.Decode(page[1:])
+		if err != nil {
+			return fmt.Errorf("mrmpi: corrupt checkpoint page (stage %d rank %d): %w", stage, rank, err)
+		}
+		mr.charge(func() vtime.Duration { return CheckpointCost(len(page)) })
+		for _, p := range kv.Pairs {
+			merged.AddKV(p)
+		}
+		return nil
+	}
+	for _, d := range prepends {
+		if err := adopt(d, false); err != nil {
+			return err
+		}
+	}
+	if err := adopt(own, true); err != nil {
+		return err
+	}
+	for _, d := range appends {
+		if err := adopt(d, false); err != nil {
+			return err
+		}
+	}
+	mr.kv = merged
+	mr.kmv = nil
+	if converted {
+		mr.Convert()
+	}
+	return nil
+}
+
+// EnableCheckpointing turns on automatic per-verb checkpoints: after every
+// Map, Aggregate, Convert and Reduce the rank writes its KV page to the
+// store under an increasing verb index. Verbs are collective, so all ranks
+// agree on the index without communication.
+func (mr *MapReduce) EnableCheckpointing(store *CheckpointStore) {
+	mr.ckpt = store
+	mr.ckptVerb = 0
+}
+
+// Checkpoints returns the automatic checkpoint store, if enabled.
+func (mr *MapReduce) Checkpoints() *CheckpointStore { return mr.ckpt }
+
+// autoCheckpoint writes the post-verb page when automatic checkpointing is
+// on.
+func (mr *MapReduce) autoCheckpoint() {
+	if mr.ckpt == nil {
+		return
+	}
+	mr.ckptVerb++
+	mr.ckpt.Save(mr.ckptVerb, mr.comm.Cluster().ID(), mr.Snapshot())
+}
+
+// AdoptionLists computes which dead ranks each survivor adopts pages from,
+// preserving global rank-major order: dead rank d goes to the smallest
+// survivor above it (prepended before the survivor's own fragment); dead
+// ranks above every survivor go to the last survivor (appended). survivors
+// must be ascending cluster ids.
+func AdoptionLists(survivors, dead []int, me int) (prepends, appends []int) {
+	for _, d := range dead {
+		adopter := -1
+		for _, s := range survivors {
+			if s > d {
+				adopter = s
+				break
+			}
+		}
+		if adopter == me {
+			prepends = append(prepends, d)
+		}
+		if adopter == -1 && len(survivors) > 0 && survivors[len(survivors)-1] == me {
+			appends = append(appends, d)
+		}
+	}
+	return prepends, appends
+}

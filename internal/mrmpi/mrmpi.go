@@ -50,6 +50,10 @@ type MapReduce struct {
 	// behaviour.
 	chargeCompute bool
 	transport     Transport
+	// ckpt, when set by EnableCheckpointing, receives a KV snapshot after
+	// every completed verb; ckptVerb is the collective verb counter.
+	ckpt     *CheckpointStore
+	ckptVerb int
 }
 
 // New creates an empty MapReduce set on the communicator.
@@ -95,6 +99,7 @@ func (mr *MapReduce) Map(fn func(emit Emitter) error) error {
 	})
 	mr.kv = out
 	mr.kmv = nil
+	mr.autoCheckpoint()
 	return nil
 }
 
@@ -163,6 +168,7 @@ func (mr *MapReduce) Aggregate(part Partitioner) error {
 	}
 	mr.kv = merged
 	mr.kmv = nil
+	mr.autoCheckpoint()
 	return nil
 }
 
@@ -217,6 +223,7 @@ func (mr *MapReduce) Convert() {
 		// so a following Reduce is legal (and a no-op) on this rank.
 		mr.kmv = []keyval.KMV{}
 	}
+	mr.autoCheckpoint()
 }
 
 // Reduce runs fn over every local KMV group; the emitted pairs become the
@@ -241,6 +248,7 @@ func (mr *MapReduce) Reduce(fn func(g keyval.KMV, emit Emitter) error) error {
 	})
 	mr.kv = out
 	mr.kmv = nil
+	mr.autoCheckpoint()
 	return nil
 }
 

@@ -1,0 +1,252 @@
+package mrmpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/keyval"
+	"repro/internal/mpi"
+	"repro/internal/vtime"
+)
+
+// Stage is one checkpointed unit of a resilient MapReduce program: RunResilient
+// checkpoints the KV state after each stage and re-executes a stage from its
+// entry checkpoint when a rank fails during it.
+type Stage struct {
+	Name string
+	Run  func(mr *MapReduce) error
+}
+
+// ResilientOptions tunes RunResilient.
+type ResilientOptions struct {
+	// Store receives the stage checkpoints; a fresh store is used when nil.
+	Store *CheckpointStore
+	// MaxRounds bounds the recovery attempts per rank (default 3): each
+	// rank failure consumes one round, so MaxRounds is the number of
+	// crashes a run survives.
+	MaxRounds int
+	// Transport selects the Aggregate implementation for the program's
+	// MapReduce object.
+	Transport Transport
+	// Init loads each rank's initial data. It must be local (no
+	// communication): it runs before the first checkpoint, so work done
+	// here on a rank that dies is unrecoverable.
+	Init func(mr *MapReduce) error
+	// NoReshuffle skips the post-restore Aggregate(HashPartitioner).
+	// The reshuffle re-establishes key colocation after orphan adoption
+	// (required when the re-executed stage does Convert/Reduce without its
+	// own Aggregate); programs whose stages always open with a shuffle can
+	// skip the extra exchange.
+	NoReshuffle bool
+}
+
+// ResilientReport summarizes a resilient run.
+type ResilientReport struct {
+	// Makespan is the maximum virtual clock across ranks, recovery included.
+	Makespan vtime.Duration
+	// Failed lists the ranks that died, ascending.
+	Failed []int
+	// Survivors lists the ranks whose results are valid, ascending.
+	Survivors []int
+	// Rounds is the maximum number of recovery rounds any rank executed.
+	Rounds int
+	// CheckpointBytes is the stable-storage footprint after the run.
+	CheckpointBytes int64
+	// CheckpointWrites counts page writes, including re-executed stages.
+	CheckpointWrites int64
+}
+
+// ownDeath reports whether err is this rank's own crash notice (as opposed
+// to the observation of a peer's death or a revoked epoch).
+func ownDeath(r *cluster.Rank, err error) bool {
+	var rf cluster.RankFailedError
+	return errors.As(err, &rf) && rf.Rank == r.ID()
+}
+
+// allreduceMinInt64 agrees on the minimum of v across the communicator.
+func allreduceMinInt64(comm *mpi.Comm, v int64) (int64, error) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	out, err := comm.Allreduce(buf, func(a, b []byte) []byte {
+		if int64(binary.LittleEndian.Uint64(b)) < int64(binary.LittleEndian.Uint64(a)) {
+			return b
+		}
+		return a
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out)), nil
+}
+
+// RunResilient executes a staged MapReduce program under the cluster's fault
+// plan and recovers from rank failures: after every stage each rank
+// checkpoints its KV page to stable storage and commits it with a barrier;
+// when a failure is detected (a peer's death or a revoked epoch), the
+// survivors revoke the communication epoch, shrink the communicator around
+// the dead ranks (MPI_Comm_shrink style), agree on the last globally
+// committed checkpoint, adopt the orphan pages of the dead in rank order,
+// and re-execute from there on fewer ranks.
+//
+// It returns the per-rank result KV lists of the survivors (indexed by
+// cluster rank id; dead ranks are nil) and a report. The returned error is
+// non-nil only when the program failed beyond recovery (a non-failure error
+// from a stage, a corrupt checkpoint, or MaxRounds exhausted).
+func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (*ResilientReport, []*keyval.List, error) {
+	store := opts.Store
+	if store == nil {
+		store = NewCheckpointStore()
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+
+	results := make([]*keyval.List, cl.Size())
+	roundsByRank := make([]int, cl.Size())
+
+	makespan, err := cl.Run(func(r *cluster.Rank) error {
+		comm := mpi.NewComm(r)
+		mr := New(comm)
+		mr.SetTransport(opts.Transport)
+		if opts.Init != nil {
+			if err := opts.Init(mr); err != nil {
+				return err
+			}
+		}
+
+		si := 0        // next stage to run; checkpoint k holds state after k stages
+		committed := -1 // highest checkpoint this rank has barrier-committed
+		rounds := 0
+
+		// commit writes this rank's page for `stage` and commits it with a
+		// barrier: once any rank passes the barrier, every rank has written
+		// its page (a rank enters the barrier only after saving).
+		commit := func(stage int) error {
+			store.Save(stage, r.ID(), mr.Snapshot())
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			committed = stage
+			return nil
+		}
+
+		// recoverRun rebuilds the program state on the survivors. It loops
+		// because recovery itself can be interrupted by further failures;
+		// every iteration starts from a freshly revoked epoch.
+		recoverRun := func() error {
+			for {
+				rounds++
+				roundsByRank[r.ID()] = rounds
+				if rounds > maxRounds {
+					return fmt.Errorf("mrmpi: unrecoverable after %d recovery rounds", maxRounds)
+				}
+				r.SetEpoch(cl.Revoke(r.Epoch()))
+				r.PurgeStaleEpochs()
+				dead := cl.FailedRanks()
+				nc, err := mpi.NewComm(r).Shrink(dead)
+				if err != nil {
+					return err
+				}
+				comm = nc
+				next := New(comm)
+				next.SetTransport(opts.Transport)
+				next.chargeCompute = mr.chargeCompute
+
+				// Recovery barrier on the new epoch: when it completes, every
+				// survivor has entered recovery, so no stale-epoch traffic can
+				// arrive after the purge below.
+				if err := comm.Barrier(); err != nil {
+					if cluster.IsRankFailure(err) && !ownDeath(r, err) {
+						continue
+					}
+					return err
+				}
+				r.PurgeStaleEpochs()
+
+				// The restore point is the deepest checkpoint committed by
+				// every survivor. A survivor's own page always exists at that
+				// stage (committed implies saved); the initial page (stage 0)
+				// exists on every survivor even when no barrier ever
+				// completed, because ranks save it before communicating.
+				j, err := allreduceMinInt64(comm, int64(committed))
+				if err != nil {
+					if cluster.IsRankFailure(err) && !ownDeath(r, err) {
+						continue
+					}
+					return err
+				}
+				if j < 0 {
+					j = 0
+				}
+				store.PruneDead(dead, int(j))
+				pre, app := AdoptionLists(comm.Group(), dead, r.ID())
+				if err := next.restoreAdopted(store, int(j), pre, r.ID(), app); err != nil {
+					return err
+				}
+				if !opts.NoReshuffle {
+					if err := next.Aggregate(HashPartitioner); err != nil {
+						if cluster.IsRankFailure(err) && !ownDeath(r, err) {
+							continue
+						}
+						return err
+					}
+				}
+				mr = next
+				si = int(j)
+				committed = int(j)
+				return nil
+			}
+		}
+
+		err := commit(0)
+		for {
+			if err != nil {
+				if !cluster.IsRankFailure(err) || ownDeath(r, err) {
+					return err
+				}
+				if rerr := recoverRun(); rerr != nil {
+					return rerr
+				}
+				err = nil
+				continue
+			}
+			if si >= len(stages) {
+				break
+			}
+			err = stages[si].Run(mr)
+			if err == nil {
+				if err = commit(si + 1); err == nil {
+					si++
+				}
+			}
+		}
+		results[r.ID()] = mr.KV()
+		return nil
+	})
+
+	report := &ResilientReport{
+		Makespan:         makespan,
+		Failed:           cl.FailedRanks(),
+		CheckpointBytes:  store.TotalBytes(),
+		CheckpointWrites: store.Writes(),
+	}
+	failed := map[int]bool{}
+	for _, d := range report.Failed {
+		failed[d] = true
+	}
+	for i := 0; i < cl.Size(); i++ {
+		if !failed[i] {
+			report.Survivors = append(report.Survivors, i)
+		}
+		if roundsByRank[i] > report.Rounds {
+			report.Rounds = roundsByRank[i]
+		}
+	}
+	if err != nil {
+		return report, nil, err
+	}
+	return report, results, nil
+}

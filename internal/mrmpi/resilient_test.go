@@ -1,0 +1,333 @@
+package mrmpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/keyval"
+	"repro/internal/mpi"
+	"repro/internal/vtime"
+)
+
+// wordCountStages is the canonical staged program the resilience tests run:
+// shuffle by key, then count per key. Init seeds each rank with 50 pairs
+// over 7 keys.
+func wordCountInit(mr *MapReduce) error {
+	rank := mr.Comm().Rank()
+	return mr.Map(func(emit Emitter) error {
+		for i := 0; i < 50; i++ {
+			emit([]byte(fmt.Sprintf("w%d", (rank*50+i)%7)), []byte{1})
+		}
+		return nil
+	})
+}
+
+func wordCountStages() []Stage {
+	return []Stage{
+		{Name: "shuffle", Run: func(mr *MapReduce) error {
+			return mr.Aggregate(HashPartitioner)
+		}},
+		{Name: "count", Run: func(mr *MapReduce) error {
+			mr.Convert()
+			return mr.Reduce(func(g keyval.KMV, emit Emitter) error {
+				var sum uint32
+				for _, v := range g.Values {
+					sum += uint32(len(v))
+				}
+				b := make([]byte, 4)
+				binary.LittleEndian.PutUint32(b, sum)
+				emit(g.Key, b)
+				return nil
+			})
+		}},
+	}
+}
+
+// globalPairs merges every rank's result into one canonical sorted list so
+// runs with different rank counts or distributions compare equal.
+func globalPairs(results []*keyval.List) []string {
+	var out []string
+	for _, l := range results {
+		if l == nil {
+			continue
+		}
+		for _, kv := range l.Pairs {
+			out = append(out, fmt.Sprintf("%s=%x", kv.Key, kv.Value))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runResilientGuarded runs RunResilient under a wall-clock deadlock guard.
+func runResilientGuarded(t *testing.T, cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (*ResilientReport, []*keyval.List, error) {
+	t.Helper()
+	type res struct {
+		rep *ResilientReport
+		out []*keyval.List
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		rep, out, err := RunResilient(cl, opts, stages...)
+		ch <- res{rep, out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.rep, r.out, r.err
+	case <-time.After(10 * time.Second):
+		t.Fatal("resilient run deadlocked")
+		return nil, nil, nil
+	}
+}
+
+func wordCountReference(t *testing.T) ([]string, vtime.Duration) {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(4))
+	rep, out, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+	if err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	if len(rep.Failed) != 0 || rep.Rounds != 0 {
+		t.Fatalf("fault-free run reported failures: %+v", rep)
+	}
+	return globalPairs(out), rep.Makespan
+}
+
+func TestRunResilientFaultFree(t *testing.T) {
+	ref, _ := wordCountReference(t)
+	// 8 ranks x 50 pairs over 7 round-robin keys: 7 counted keys come out.
+	if len(ref) != 7 {
+		t.Fatalf("want 7 counted keys, got %d: %v", len(ref), ref)
+	}
+}
+
+func TestRunResilientSurvivesCrashMidShuffle(t *testing.T) {
+	ref, _ := wordCountReference(t)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	cl.SetFaultPlan(&faults.Plan{Seed: 42, Crashes: []faults.Crash{{Rank: 2, AfterSends: 6}}})
+	rep, out, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{2}) {
+		t.Fatalf("Failed = %v, want [2]", rep.Failed)
+	}
+	if rep.Rounds < 1 {
+		t.Fatalf("Rounds = %d, want >= 1 (a recovery happened)", rep.Rounds)
+	}
+	if out[2] != nil {
+		t.Fatal("dead rank 2 should have no result")
+	}
+	if got := globalPairs(out); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("recovered result differs from fault-free reference:\n got %v\nwant %v", got, ref)
+	}
+}
+
+func TestRunResilientSurvivesCrashAtVirtualTime(t *testing.T) {
+	ref, refMakespan := wordCountReference(t)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	// Crash rank 5 at ~40% of the fault-free makespan: mid-program.
+	at := vtime.Duration(float64(refMakespan) * 0.4)
+	cl.SetFaultPlan(&faults.Plan{Seed: 1, Crashes: []faults.Crash{{Rank: 5, At: at}}})
+	rep, out, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{5}) {
+		t.Fatalf("Failed = %v, want [5]", rep.Failed)
+	}
+	if got := globalPairs(out); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("recovered result differs from fault-free reference")
+	}
+}
+
+func TestRunResilientSurvivesMessageDrops(t *testing.T) {
+	ref, _ := wordCountReference(t)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	cl.SetFaultPlan(&faults.Plan{Seed: 9, Link: faults.Link{DropProb: 0.05, DupProb: 0.02}})
+	rep, out, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+	if err != nil {
+		t.Fatalf("resilient run failed under 5%% drops: %v", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("drops alone must not kill ranks, Failed = %v", rep.Failed)
+	}
+	if rep.Rounds != 0 {
+		t.Fatalf("drops are absorbed by the transport retry, not recovery; Rounds = %d", rep.Rounds)
+	}
+	if got := globalPairs(out); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("dropped-message result differs from fault-free reference")
+	}
+}
+
+// TestRunResilientDeterministic replays the same seeded crash twice on fresh
+// clusters: makespans and results must be bit-identical.
+func TestRunResilientDeterministic(t *testing.T) {
+	run := func() (vtime.Duration, []string) {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		cl.SetFaultPlan(&faults.Plan{Seed: 42, Crashes: []faults.Crash{{Rank: 2, AfterSends: 6}}})
+		rep, out, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+		if err != nil {
+			t.Fatalf("resilient run failed: %v", err)
+		}
+		return rep.Makespan, globalPairs(out)
+	}
+	m1, r1 := run()
+	m2, r2 := run()
+	if m1 != m2 {
+		t.Fatalf("makespans differ across replays: %v vs %v", m1, m2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("results differ across replays")
+	}
+}
+
+func TestRunResilientProgramErrorIsFatal(t *testing.T) {
+	boom := errors.New("logic bug")
+	cl := cluster.New(cluster.DefaultConfig(2))
+	_, _, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit},
+		Stage{Name: "bad", Run: func(mr *MapReduce) error {
+			if mr.Comm().Rank() == 1 {
+				return boom
+			}
+			return mr.Aggregate(HashPartitioner)
+		}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the program's own error", err)
+	}
+}
+
+func TestRunResilientAllRanksCrash(t *testing.T) {
+	cl := cluster.New(cluster.DefaultConfig(1))
+	cl.SetFaultPlan(&faults.Plan{Seed: 3, Crashes: []faults.Crash{
+		{Rank: 0, At: vtime.Microsecond}, {Rank: 1, At: vtime.Microsecond},
+	}})
+	_, _, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+	if err == nil {
+		t.Fatal("want an error when every rank crashes")
+	}
+}
+
+func TestCheckpointStore(t *testing.T) {
+	s := NewCheckpointStore()
+	s.Save(1, 0, []byte("aaaa"))
+	s.Save(1, 1, []byte("bb"))
+	s.Save(2, 0, []byte("cc"))
+	if got := s.TotalBytes(); got != 8 {
+		t.Fatalf("TotalBytes = %d, want 8", got)
+	}
+	s.Save(1, 0, []byte("a")) // overwrite shrinks accounting
+	if got := s.TotalBytes(); got != 5 {
+		t.Fatalf("TotalBytes after overwrite = %d, want 5", got)
+	}
+	if got := s.Writes(); got != 4 {
+		t.Fatalf("Writes = %d, want 4", got)
+	}
+	if _, ok := s.Page(1, 1); !ok {
+		t.Fatal("page (1,1) missing")
+	}
+	if _, ok := s.Page(3, 0); ok {
+		t.Fatal("page (3,0) should not exist")
+	}
+	// Prune rank 0's pages above stage 1: (2,0) goes, (1,0) stays.
+	s.PruneDead([]int{0}, 1)
+	if _, ok := s.Page(2, 0); ok {
+		t.Fatal("pruned page (2,0) still present")
+	}
+	if _, ok := s.Page(1, 0); !ok {
+		t.Fatal("page (1,0) at the restore point must survive pruning")
+	}
+}
+
+func TestAdoptionLists(t *testing.T) {
+	cases := []struct {
+		survivors, dead []int
+		me              int
+		pre, app        []int
+	}{
+		{[]int{0, 2, 3}, []int{1}, 2, []int{1}, nil},
+		{[]int{0, 2, 3}, []int{1}, 0, nil, nil},
+		{[]int{0, 1}, []int{2, 3}, 1, nil, []int{2, 3}},
+		{[]int{0, 1}, []int{2, 3}, 0, nil, nil},
+		{[]int{1, 3}, []int{0, 2}, 1, []int{0}, nil},
+		{[]int{1, 3}, []int{0, 2}, 3, []int{2}, nil},
+	}
+	for _, c := range cases {
+		pre, app := AdoptionLists(c.survivors, c.dead, c.me)
+		if !reflect.DeepEqual(pre, c.pre) || !reflect.DeepEqual(app, c.app) {
+			t.Errorf("AdoptionLists(%v,%v,%d) = %v,%v want %v,%v",
+				c.survivors, c.dead, c.me, pre, app, c.pre, c.app)
+		}
+	}
+}
+
+// TestSnapshotRestoreConverted checks a post-Convert snapshot restores into
+// a state where Reduce is still legal.
+func TestSnapshotRestoreConverted(t *testing.T) {
+	runMR(t, 1, func(mr *MapReduce) error {
+		if err := mr.Map(func(emit Emitter) error {
+			emit([]byte("k"), []byte("v1"))
+			emit([]byte("k"), []byte("v2"))
+			return nil
+		}); err != nil {
+			return err
+		}
+		mr.Convert()
+		snap := mr.Snapshot()
+		other := New(mr.Comm())
+		if err := other.Restore(snap); err != nil {
+			return err
+		}
+		if other.KMV() == nil {
+			return errors.New("restored state lost its converted-ness")
+		}
+		return other.Reduce(func(g keyval.KMV, emit Emitter) error {
+			if g.NumValues() != 2 {
+				return fmt.Errorf("group has %d values, want 2", g.NumValues())
+			}
+			return nil
+		})
+	})
+}
+
+// TestCheckpointOverheadCharged: enabling per-verb checkpoints must cost
+// virtual time (the zero-fault overhead the ablation reports).
+func TestCheckpointOverheadCharged(t *testing.T) {
+	makespan := func(ckpt bool) vtime.Duration {
+		cl := cluster.New(cluster.DefaultConfig(2))
+		m, err := cl.Run(func(r *cluster.Rank) error {
+			mr := New(mpi.NewComm(r))
+			if ckpt {
+				mr.EnableCheckpointing(NewCheckpointStore())
+			}
+			if err := wordCountInit(mr); err != nil {
+				return err
+			}
+			for _, s := range wordCountStages() {
+				if err := s.Run(mr); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain, withCkpt := makespan(false), makespan(true)
+	if withCkpt <= plain {
+		t.Fatalf("checkpointing makespan %v not above plain %v", withCkpt, plain)
+	}
+}
