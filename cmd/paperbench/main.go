@@ -58,8 +58,23 @@ func main() {
 		graphScale = flag.Float64("graph-scale", 0, "graph dataset scale (default 0.01)")
 		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")
 		seed       = flag.Int64("seed", 0, "dataset seed (default 42)")
+		bench      = flag.Bool("bench", false, "run the shuffle/sort/convert microbenchmarks instead of the experiments")
+		benchOut   = flag.String("bench-out", "BENCH_PR2.json", "where -bench writes its JSON results")
 	)
 	flag.Parse()
+	if *bench {
+		res, err := experiments.RunMicrobench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== microbench — shuffle/sort/convert kernels vs pre-refactor baseline ==\n%s\nwrote %s\n", res.Render(), *benchOut)
+		return
+	}
 	opts := experiments.Options{
 		BlastScale: *blastScale,
 		GraphScale: *graphScale,

@@ -334,8 +334,8 @@ func (st *execState) runSort(j *SortJob) error {
 	// reduce-key.
 	recv := st.mr.KV()
 	out := make([]Row, 0, recv.Len())
-	for _, kv := range recv.Pairs {
-		row, err := DecodeRow(kv.Value)
+	for i := 0; i < recv.Len(); i++ {
+		row, err := DecodeRow(recv.Value(i))
 		if err != nil {
 			return err
 		}
@@ -551,9 +551,10 @@ func (st *execState) runDistribute(j *DistributeJob) error {
 	// partition.
 	inArity := len(st.plan.InputSchema.Fields)
 	st.partitions = map[int][]Row{}
-	for _, kv := range st.mr.KV().Pairs {
-		part := int(binary.LittleEndian.Uint32(kv.Key))
-		rows, err := decodeEntry(kv.Value)
+	kvs := st.mr.KV()
+	for i := 0; i < kvs.Len(); i++ {
+		part := int(binary.LittleEndian.Uint32(kvs.Key(i)))
+		rows, err := decodeEntry(kvs.Value(i))
 		if err != nil {
 			return err
 		}

@@ -51,8 +51,8 @@ func (j *dedupJob) Run(ctx *ExecContext) error {
 		return err
 	}
 	var out []Row
-	for _, kv := range ctx.MR.KV().Pairs {
-		r, err := DecodeRow(kv.Value)
+	for i := 0; i < ctx.MR.KV().Len(); i++ {
+		r, err := DecodeRow(ctx.MR.KV().Value(i))
 		if err != nil {
 			return err
 		}

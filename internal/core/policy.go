@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 
 	"repro/internal/dataformat"
+	"repro/internal/hash32"
 )
 
 // DistrPolicy names a distribution policy for the Distribute operator
@@ -69,9 +69,12 @@ func (p DistrPolicy) String() string {
 // numbers they parse to hash identically, so text and binary inputs
 // partition the same way.
 func HashValue(v dataformat.Value, n int) int {
-	h := fnv.New32a()
-	fmt.Fprint(h, v.AsString())
-	return int(h.Sum32() % uint32(n))
+	// Inlined FNV-1a over the same bytes fmt.Fprint(h, v.AsString()) fed the
+	// stdlib hasher, minus the per-call hasher and string allocations.
+	if v.IsStr {
+		return hash32.Bucket(hash32.SumString(v.Str), n)
+	}
+	return hash32.Bucket(hash32.SumInt64Decimal(v.Int), n)
 }
 
 // SplitCondition is one arm of a Split policy: an operator and a threshold,

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/keyval"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+)
+
+// The shuffle/sort/convert microbenchmarks, runnable from the paperbench
+// binary (testing.Benchmark works outside `go test`). The bodies mirror the
+// bench_test.go files in internal/keyval and internal/mrmpi pair for pair,
+// so `paperbench -bench` and `go test -bench` measure the same kernels.
+//
+// Each result carries the pre-page-refactor numbers (recorded on this
+// container right before the keyval page rework) so the report shows the
+// wall-clock and allocation deltas the refactor bought.
+
+// MicrobenchResult is one benchmark with its recorded baseline.
+type MicrobenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op"`
+	BaselineBytesPerOp  int64   `json:"baseline_bytes_per_op"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
+
+	// Speedup is baseline ns / current ns; AllocRatio is baseline allocs /
+	// current allocs (both >1 mean the refactor won).
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// Microbench is the full suite result.
+type Microbench struct {
+	Results []MicrobenchResult `json:"results"`
+}
+
+// baselines are the pre-refactor numbers (map-of-strings Convert, per-pair
+// encode/decode, per-hasher allocation), measured with
+// `go test -bench ... -benchmem -benchtime 2s` at the seed commit.
+var baselines = map[string][3]float64{ // ns/op, B/op, allocs/op
+	"ListAppend":          {480579, 786432, 1},
+	"ListSort":            {47295741, 120, 3},
+	"ConvertGrouped":      {6761154, 4392272, 39229},
+	"ConvertRandom":       {6758885, 4378832, 39222},
+	"EncodeDecode":        {2535628, 3981344, 9},
+	"AggregateCollective": {24180197, 19590400, 191588},
+	"AggregateP2P":        {25071162, 19632868, 192100},
+	"ConvertReduce":       {14059483, 10753664, 200911},
+	"SortLocal":           {254777063, 34144944, 508555},
+}
+
+func microPairs(n, card int, seed int64) (keys, values [][]byte) {
+	rng := rand.New(rand.NewSource(seed))
+	keys = make([][]byte, n)
+	values = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		k := i
+		if card > 0 {
+			k = rng.Intn(card)
+		}
+		keys[i] = []byte(fmt.Sprintf("key-%08d", k))
+		values[i] = []byte(fmt.Sprintf("value-%06d", i))
+	}
+	return keys, values
+}
+
+func microList(keys, values [][]byte) *keyval.List {
+	l := keyval.NewList(len(keys))
+	for i := range keys {
+		l.Add(keys[i], values[i])
+	}
+	return l
+}
+
+func microShuffle(transport mrmpi.Transport, pairsPerRank int) error {
+	cl := cluster.New(cluster.DefaultConfig(8))
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		mr := mrmpi.New(mpi.NewComm(r))
+		mr.SetTransport(transport)
+		if err := mr.Map(func(emit mrmpi.Emitter) error {
+			for k := 0; k < pairsPerRank; k++ {
+				emit([]byte(fmt.Sprintf("key-%06d", k*7+r.ID())), []byte(fmt.Sprintf("value-%08d", k)))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		return mr.Aggregate(mrmpi.HashPartitioner)
+	})
+	return err
+}
+
+// RunMicrobench executes the suite. It takes no Options: sizes are fixed so
+// numbers stay comparable across runs and against the recorded baseline.
+func RunMicrobench() (*Microbench, error) {
+	var failure error
+	bench := func(name string, body func(b *testing.B)) MicrobenchResult {
+		r := testing.Benchmark(body)
+		res := MicrobenchResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if r.Bytes > 0 && r.NsPerOp() > 0 {
+			res.MBPerSec = float64(r.Bytes) * 1e3 / float64(r.NsPerOp())
+		}
+		if base, ok := baselines[name]; ok {
+			res.BaselineNsPerOp = base[0]
+			res.BaselineBytesPerOp = int64(base[1])
+			res.BaselineAllocsPerOp = int64(base[2])
+			if res.NsPerOp > 0 {
+				res.Speedup = base[0] / res.NsPerOp
+			}
+			if res.AllocsPerOp > 0 {
+				res.AllocRatio = base[2] / float64(res.AllocsPerOp)
+			}
+		}
+		return res
+	}
+
+	out := &Microbench{}
+
+	keysA, valsA := microPairs(1<<14, 0, 1)
+	out.Results = append(out.Results, bench("ListAppend", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if microList(keysA, valsA).Len() != len(keysA) {
+				b.Fatal("bad length")
+			}
+		}
+	}))
+
+	keysS, valsS := microPairs(1<<15, 1<<12, 2)
+	out.Results = append(out.Results, bench("ListSort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			l := microList(keysS, valsS)
+			b.StartTimer()
+			l.Sort()
+		}
+	}))
+
+	keysG, valsG := microPairs(1<<15, 1<<10, 3)
+	sorted := microList(keysG, valsG)
+	sorted.Sort()
+	out.Results = append(out.Results, bench("ConvertGrouped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(keyval.Convert(sorted)) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	}))
+
+	keysR, valsR := microPairs(1<<15, 1<<10, 4)
+	random := microList(keysR, valsR)
+	out.Results = append(out.Results, bench("ConvertRandom", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(keyval.Convert(random)) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	}))
+
+	keysE, valsE := microPairs(1<<14, 0, 5)
+	el := microList(keysE, valsE)
+	wire := el.Encode()
+	out.Results = append(out.Results, bench("EncodeDecode", func(b *testing.B) {
+		b.SetBytes(int64(len(wire)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := el.Encode()
+			dec, err := keyval.Decode(enc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dec.Len() != el.Len() {
+				b.Fatal("length mismatch")
+			}
+		}
+	}))
+
+	out.Results = append(out.Results, bench("AggregateCollective", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := microShuffle(mrmpi.Collective, 2000); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+	out.Results = append(out.Results, bench("AggregateP2P", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := microShuffle(mrmpi.PointToPoint, 2000); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	out.Results = append(out.Results, bench("ConvertReduce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl := cluster.New(cluster.DefaultConfig(4))
+			if _, err := cl.Run(func(r *cluster.Rank) error {
+				mr := mrmpi.New(mpi.NewComm(r))
+				if err := mr.Map(func(emit mrmpi.Emitter) error {
+					for k := 0; k < 4000; k++ {
+						emit([]byte(fmt.Sprintf("key-%04d", k%257)), []byte(fmt.Sprintf("v%07d", k)))
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				mr.Convert()
+				return mr.Reduce(func(g keyval.KMV, emit mrmpi.Emitter) error {
+					emit(g.Key, g.Values[0])
+					return nil
+				})
+			}); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	out.Results = append(out.Results, bench("SortLocal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl := cluster.New(cluster.DefaultConfig(8))
+			if _, err := cl.Run(func(r *cluster.Rank) error {
+				mr := mrmpi.New(mpi.NewComm(r))
+				if err := mr.Map(func(emit mrmpi.Emitter) error {
+					for k := 0; k < 8000; k++ {
+						emit([]byte(fmt.Sprintf("key-%06d", (k*2654435761)%8000)), []byte("v"))
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				mr.SortLocal(func(a, c keyval.KV) bool { return string(a.Key) < string(c.Key) })
+				return nil
+			}); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	if failure != nil {
+		return nil, failure
+	}
+	return out, nil
+}
+
+// WriteJSON stores the suite result (BENCH_PR2.json in the repo root by
+// convention).
+func (m *Microbench) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Render prints the suite as a table against the recorded baseline.
+func (m *Microbench) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "ns/op", "base ns/op", "speedup", "allocs/op", "base allocs", "ratio")
+	for _, r := range m.Results {
+		fmt.Fprintf(&b, "%-20s %14.0f %14.0f %7.2fx %12d %12d %7.1fx\n",
+			r.Name, r.NsPerOp, r.BaselineNsPerOp, r.Speedup, r.AllocsPerOp, r.BaselineAllocsPerOp, r.AllocRatio)
+		if r.MBPerSec > 0 {
+			fmt.Fprintf(&b, "%-20s %14.1f MB/s\n", "", r.MBPerSec)
+		}
+	}
+	return b.String()
+}

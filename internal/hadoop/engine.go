@@ -272,11 +272,13 @@ func (e *Engine) runMapPhase(job *Job, jobDir string, splits []split, res *Resul
 			}
 			buckets[r].Add(k, v)
 		}
-		for _, kv := range in.Pairs {
+		for i := 0; i < in.Len(); i++ {
+			kv := in.At(i)
 			if err := job.Map(kv.Key, kv.Value, emit); err != nil {
 				return fmt.Errorf("hadoop: job %q map task %d: %w", job.Name, t, err)
 			}
 		}
+		in.Release()
 		spills[t] = make([]string, nr)
 		for r, b := range buckets {
 			if job.NumReduceTasks > 0 {
@@ -296,6 +298,8 @@ func (e *Engine) runMapPhase(job *Job, jobDir string, splits []split, res *Resul
 			if err := os.WriteFile(path, buf, 0o644); err != nil {
 				return fmt.Errorf("hadoop: %w", err)
 			}
+			b.Release()
+			keyval.Recycle(buf)
 			spills[t][r] = path
 		}
 		return nil
@@ -327,18 +331,23 @@ func (e *Engine) runMultiMapPhase(job *Job, jobDir string, splits []split, res *
 				branches[b].Add(k, v)
 			}
 		}
-		for _, kv := range in.Pairs {
+		for i := 0; i < in.Len(); i++ {
+			kv := in.At(i)
 			if err := job.MultiMap(kv.Key, kv.Value, emit); err != nil {
 				return fmt.Errorf("hadoop: job %q multimap task %d: %w", job.Name, t, err)
 			}
 		}
+		in.Release()
 		outs[t] = make([][]string, nb)
 		for b, l := range branches {
 			recordsOut.Add(int64(l.Len()))
 			path := filepath.Join(jobDir, fmt.Sprintf("m-%05d-b-%05d.kv", t, b))
-			if err := os.WriteFile(path, l.Encode(), 0o644); err != nil {
+			buf := l.Encode()
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
 				return fmt.Errorf("hadoop: %w", err)
 			}
+			l.Release()
+			keyval.Recycle(buf)
 			outs[t][b] = []string{path}
 		}
 		return nil
@@ -377,7 +386,7 @@ func (e *Engine) runReducePhase(job *Job, jobDir string, spills [][]string, res 
 	err := e.forEach(nr, func(r int) error {
 		// Merge the r-th spill of every map task (already sorted): k-way
 		// merge preferring lower task index on ties, Hadoop's stable merge.
-		var runs []*keyval.List
+		runs := make([]*keyval.List, 0, len(spills))
 		for t := range spills {
 			buf, err := os.ReadFile(spills[t][r])
 			if err != nil {
@@ -390,28 +399,37 @@ func (e *Engine) runReducePhase(job *Job, jobDir string, spills [][]string, res 
 			runs = append(runs, l)
 		}
 		merged := mergeRuns(runs, cmp)
+		// merged owns copies of every pair; releasing each spill view also
+		// recycles the file buffer it aliases.
+		for _, l := range runs {
+			l.Release()
+		}
 		out := keyval.NewList(0)
 		emit := func(k, v []byte) { out.Add(k, v) }
 		// Group consecutive equal keys.
 		for i := 0; i < merged.Len(); {
 			j := i + 1
-			for j < merged.Len() && cmp(merged.Pairs[j].Key, merged.Pairs[i].Key) == 0 {
+			for j < merged.Len() && cmp(merged.Key(j), merged.Key(i)) == 0 {
 				j++
 			}
 			values := make([][]byte, 0, j-i)
 			for k := i; k < j; k++ {
-				values = append(values, merged.Pairs[k].Value)
+				values = append(values, merged.Value(k))
 			}
-			if err := reduce(merged.Pairs[i].Key, values, emit); err != nil {
+			if err := reduce(merged.Key(i), values, emit); err != nil {
 				return fmt.Errorf("hadoop: job %q reduce task %d: %w", job.Name, r, err)
 			}
 			i = j
 		}
+		merged.Release()
 		recordsOut.Add(int64(out.Len()))
 		path := filepath.Join(jobDir, fmt.Sprintf("part-r-%05d.kv", r))
-		if err := os.WriteFile(path, out.Encode(), 0o644); err != nil {
+		obuf := out.Encode()
+		if err := os.WriteFile(path, obuf, 0o644); err != nil {
 			return fmt.Errorf("hadoop: %w", err)
 		}
+		out.Release()
+		keyval.Recycle(obuf)
 		outputs[r] = path
 		return nil
 	})
@@ -430,14 +448,14 @@ func combineSorted(l *keyval.List, cmp func(a, b []byte) int, combine Reducer) (
 	emit := func(k, v []byte) { out.Add(k, v) }
 	for i := 0; i < l.Len(); {
 		j := i + 1
-		for j < l.Len() && cmp(l.Pairs[j].Key, l.Pairs[i].Key) == 0 {
+		for j < l.Len() && cmp(l.Key(j), l.Key(i)) == 0 {
 			j++
 		}
 		values := make([][]byte, 0, j-i)
 		for k := i; k < j; k++ {
-			values = append(values, l.Pairs[k].Value)
+			values = append(values, l.Value(k))
 		}
-		if err := combine(l.Pairs[i].Key, values, emit); err != nil {
+		if err := combine(l.Key(i), values, emit); err != nil {
 			return nil, err
 		}
 		i = j
@@ -447,11 +465,12 @@ func combineSorted(l *keyval.List, cmp func(a, b []byte) int, combine Reducer) (
 
 // mergeRuns k-way merges sorted runs, stable by run index.
 func mergeRuns(runs []*keyval.List, cmp func(a, b []byte) int) *keyval.List {
-	total := 0
+	total, bytes := 0, 0
 	for _, r := range runs {
 		total += r.Len()
+		bytes += r.Bytes()
 	}
-	out := keyval.NewList(total)
+	out := keyval.NewListSized(total, bytes)
 	heads := make([]int, len(runs))
 	for out.Len() < total {
 		best := -1
@@ -459,11 +478,11 @@ func mergeRuns(runs []*keyval.List, cmp func(a, b []byte) int) *keyval.List {
 			if heads[i] >= r.Len() {
 				continue
 			}
-			if best == -1 || cmp(r.Pairs[heads[i]].Key, runs[best].Pairs[heads[best]].Key) < 0 {
+			if best == -1 || cmp(r.Key(heads[i]), runs[best].Key(heads[best])) < 0 {
 				best = i
 			}
 		}
-		out.AddKV(runs[best].Pairs[heads[best]])
+		out.AddKV(runs[best].At(heads[best]))
 		heads[best]++
 	}
 	return out

@@ -77,8 +77,8 @@ func TestWordCountOverTextRecords(t *testing.T) {
 	counts := map[string]uint64{}
 	for _, path := range res.Outputs[0] {
 		l := readKVFile(t, path)
-		for _, kv := range l.Pairs {
-			counts[string(kv.Key)] = binary.LittleEndian.Uint64(kv.Value)
+		for i := 0; i < l.Len(); i++ {
+			counts[string(l.Key(i))] = binary.LittleEndian.Uint64(l.Value(i))
 		}
 	}
 	want := map[string]uint64{"x": 4, "y": 1}
@@ -129,8 +129,9 @@ func TestMapOnlyPreservesOrder(t *testing.T) {
 	}
 	var lines []string
 	for _, path := range res.Outputs[0] {
-		for _, kv := range readKVFile(t, path).Pairs {
-			lines = append(lines, string(kv.Value))
+		l := readKVFile(t, path)
+		for i := 0; i < l.Len(); i++ {
+			lines = append(lines, string(l.Value(i)))
 		}
 	}
 	if len(lines) != n {
@@ -166,8 +167,8 @@ func TestReducerKeysSorted(t *testing.T) {
 	}
 	l := readKVFile(t, res.Outputs[0][0])
 	var keys []string
-	for _, kv := range l.Pairs {
-		keys = append(keys, string(kv.Key))
+	for i := 0; i < l.Len(); i++ {
+		keys = append(keys, string(l.Key(i)))
 	}
 	for i := 1; i < len(keys); i++ {
 		if keys[i] < keys[i-1] {
@@ -321,8 +322,8 @@ func TestChainedJobsViaKVFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := readKVFile(t, j2.Outputs[0][0])
-	if l.Len() != 1 || string(l.Pairs[0].Value) != "3" {
-		t.Fatalf("chained result = %v", l.Pairs)
+	if l.Len() != 1 || string(l.Value(0)) != "3" {
+		t.Fatalf("chained result = %v", l.At(0))
 	}
 }
 
@@ -399,8 +400,9 @@ func TestCombinerCutsShuffleAndPreservesResult(t *testing.T) {
 		}
 		out := map[string]uint64{}
 		for _, path := range res.Outputs[0] {
-			for _, kv := range readKVFile(t, path).Pairs {
-				out[string(kv.Key)] = binary.LittleEndian.Uint64(kv.Value)
+			l := readKVFile(t, path)
+			for i := 0; i < l.Len(); i++ {
+				out[string(l.Key(i))] = binary.LittleEndian.Uint64(l.Value(i))
 			}
 		}
 		return out, res.ShuffleBytes

@@ -170,8 +170,8 @@ func (st *planState) sampleSplitters(col int, desc bool) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, kv := range l.Pairs {
-			row, _, err := decEntry(kv.Value)
+		for i := 0; i < l.Len(); i++ {
+			row, _, err := decEntry(l.Value(i))
 			if err != nil {
 				return nil, err
 			}
@@ -417,7 +417,8 @@ func (st *planState) runDistribute(j *core.DistributeJob) error {
 		}
 		total := int64(entries.Len())
 		out := keyval.NewList(entries.Len())
-		for i, kv := range entries.Pairs {
+		for i := 0; i < entries.Len(); i++ {
+			kv := entries.At(i)
 			var part int
 			switch j.Policy {
 			case core.Cyclic:
@@ -485,8 +486,8 @@ func (st *planState) runDistribute(j *core.DistributeJob) error {
 		if err != nil {
 			return err
 		}
-		for _, kv := range l.Pairs {
-			rows, err := decEntryRows(kv.Value)
+		for i := 0; i < l.Len(); i++ {
+			rows, err := decEntryRows(l.Value(i))
 			if err != nil {
 				return err
 			}
@@ -514,9 +515,8 @@ func readAllKV(files []string) (*keyval.List, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, kv := range l.Pairs {
-			out.AddKV(kv)
-		}
+		out.AppendList(l)
+		l.Release() // also recycles buf, which l aliases
 	}
 	return out, nil
 }

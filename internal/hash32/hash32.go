@@ -1,0 +1,52 @@
+// Package hash32 provides allocation-free FNV-1a hashing for the hot
+// partitioning kernels.
+//
+// The stdlib hash/fnv forces a heap allocation per hasher (fnv.New32a
+// returns an interface), which the profile shows on every shuffled pair:
+// mrmpi.HashPartitioner, core.HashValue and powerlyra.HashVertex all hashed
+// one key per allocation. The functions here produce bit-identical values to
+// hash/fnv — partitions are unchanged — with zero allocations.
+package hash32
+
+import "strconv"
+
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+)
+
+// Sum returns the FNV-1a 32-bit hash of b, identical to fnv.New32a().
+func Sum(b []byte) uint32 {
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
+}
+
+// SumString is Sum over a string without converting it to []byte.
+func SumString(s string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// SumInt64Decimal hashes the decimal rendering of v — the bytes
+// strconv.FormatInt(v, 10) would produce — without allocating the string.
+// It matches the PaPar runtime convention that numbers and the strings they
+// parse from hash identically.
+func SumInt64Decimal(v int64) uint32 {
+	var a [20]byte // len("-9223372036854775808")
+	b := strconv.AppendInt(a[:0], v, 10)
+	return Sum(b)
+}
+
+// Bucket maps a hash onto [0, n), matching the h % uint32(n) convention all
+// existing partitioners use.
+func Bucket(h uint32, n int) int {
+	return int(h % uint32(n))
+}

@@ -1,0 +1,70 @@
+package hash32
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestMatchesStdlib proves the inlined kernel is bit-identical to hash/fnv —
+// the property that keeps every partition byte-stable across the PR.
+func TestMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]byte{nil, {}, {0}, []byte("a"), []byte("key-123"), {0xff, 0x00, 0x80}}
+	for i := 0; i < 200; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		cases = append(cases, b)
+	}
+	for _, c := range cases {
+		h := fnv.New32a()
+		h.Write(c)
+		if got, want := Sum(c), h.Sum32(); got != want {
+			t.Fatalf("Sum(%q) = %#x, fnv = %#x", c, got, want)
+		}
+		if got, want := SumString(string(c)), Sum(c); got != want {
+			t.Fatalf("SumString(%q) = %#x, Sum = %#x", c, got, want)
+		}
+	}
+}
+
+func TestSumInt64Decimal(t *testing.T) {
+	vals := []int64{0, 1, -1, 42, -200, 1 << 40, -(1 << 40), 9223372036854775807, -9223372036854775808}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, rng.Int63()-rng.Int63())
+	}
+	for _, v := range vals {
+		want := Sum([]byte(strconv.FormatInt(v, 10)))
+		if got := SumInt64Decimal(v); got != want {
+			t.Fatalf("SumInt64Decimal(%d) = %#x, want %#x", v, got, want)
+		}
+	}
+}
+
+func TestBucket(t *testing.T) {
+	for n := 1; n <= 64; n *= 2 {
+		for i := 0; i < 100; i++ {
+			h := Sum([]byte(fmt.Sprint(i)))
+			b := Bucket(h, n)
+			if b < 0 || b >= n {
+				t.Fatalf("Bucket(%#x, %d) = %d out of range", h, n, b)
+			}
+			if b != int(h%uint32(n)) {
+				t.Fatalf("Bucket mismatch")
+			}
+		}
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	key := []byte("key-12345678")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Sum(key) == 0 {
+			b.Fatal("unexpected zero")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package keyval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchPairs generates n deterministic key/value pairs; card bounds the key
+// cardinality (card <= 0 means all-distinct keys).
+func benchPairs(n, card int, seed int64) (keys, values [][]byte) {
+	rng := rand.New(rand.NewSource(seed))
+	keys = make([][]byte, n)
+	values = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		k := i
+		if card > 0 {
+			k = rng.Intn(card)
+		}
+		keys[i] = []byte(fmt.Sprintf("key-%08d", k))
+		values[i] = []byte(fmt.Sprintf("value-%06d", i))
+	}
+	return keys, values
+}
+
+func buildList(keys, values [][]byte) *List {
+	l := NewList(len(keys))
+	for i := range keys {
+		l.Add(keys[i], values[i])
+	}
+	return l
+}
+
+// BenchmarkListAppend measures building a shuffle page pair by pair — the
+// inner loop of every Map/Reduce emit.
+func BenchmarkListAppend(b *testing.B) {
+	keys, values := benchPairs(1<<14, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := buildList(keys, values)
+		if l.Len() != len(keys) {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+// BenchmarkListSort measures the local stable key sort on a shuffled page.
+func BenchmarkListSort(b *testing.B) {
+	keys, values := benchPairs(1<<15, 1<<12, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := buildList(keys, values)
+		b.StartTimer()
+		l.Sort()
+	}
+}
+
+// BenchmarkConvertGrouped measures KV->KMV grouping when equal keys are
+// already adjacent and sorted (the post-sort fast path).
+func BenchmarkConvertGrouped(b *testing.B) {
+	keys, values := benchPairs(1<<15, 1<<10, 3)
+	l := buildList(keys, values)
+	l.Sort()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := Convert(l)
+		if len(groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkConvertRandom measures grouping with interleaved keys (the
+// general path).
+func BenchmarkConvertRandom(b *testing.B) {
+	keys, values := benchPairs(1<<15, 1<<10, 4)
+	l := buildList(keys, values)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := Convert(l)
+		if len(groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures the wire round-trip a shuffle performs for
+// every destination page.
+func BenchmarkEncodeDecode(b *testing.B) {
+	keys, values := benchPairs(1<<14, 0, 5)
+	l := buildList(keys, values)
+	buf := l.Encode()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := l.Encode()
+		dec, err := Decode(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.Len() != l.Len() {
+			b.Fatal("length mismatch")
+		}
+	}
+}

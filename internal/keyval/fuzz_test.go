@@ -2,6 +2,7 @@ package keyval
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -22,4 +23,78 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("re-encode differs from accepted input")
 		}
 	})
+}
+
+// FuzzPageOps drives the page through the operations a shuffle performs —
+// build, sort, encode, decode, append — from fuzzer-chosen pair boundaries,
+// and checks every invariant the zero-copy design relies on.
+func FuzzPageOps(f *testing.F) {
+	f.Add([]byte("abcdefgh"), []byte{2, 3}, false)
+	f.Add([]byte("keyvaluekeyvalue"), []byte{3, 5, 3, 5}, true)
+	f.Add([]byte{}, []byte{}, false)
+	f.Fuzz(func(t *testing.T, payload []byte, cuts []byte, doSort bool) {
+		// Interpret cuts pairwise as (klen, vlen) slices out of payload.
+		l := NewList(0)
+		var want [][2][]byte
+		pos := 0
+		for i := 0; i+1 < len(cuts); i += 2 {
+			k := int(cuts[i])
+			v := int(cuts[i+1])
+			if pos+k+v > len(payload) {
+				break
+			}
+			key := payload[pos : pos+k]
+			val := payload[pos+k : pos+k+v]
+			l.Add(key, val)
+			want = append(want, [2][]byte{key, val})
+			pos += k + v
+		}
+		if l.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", l.Len(), len(want))
+		}
+		if doSort {
+			l.Sort()
+			// Track the same stable reordering on the reference slice.
+			stableSortRef(want)
+		}
+		for i := range want {
+			if !bytes.Equal(l.Key(i), want[i][0]) || !bytes.Equal(l.Value(i), want[i][1]) {
+				t.Fatalf("pair %d: got (%q,%q) want (%q,%q)", i, l.Key(i), l.Value(i), want[i][0], want[i][1])
+			}
+		}
+		enc := l.Encode()
+		if n := binary.LittleEndian.Uint32(enc); int(n) != len(want) {
+			t.Fatalf("encoded count %d, want %d", n, len(want))
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode()) failed: %v", err)
+		}
+		if dec.Len() != len(want) || dec.Bytes() != l.Bytes() {
+			t.Fatalf("decode shape mismatch")
+		}
+		merged := NewList(0)
+		merged.AppendList(dec)
+		merged.AppendList(l)
+		if merged.Len() != 2*len(want) {
+			t.Fatalf("AppendList lost pairs")
+		}
+		for i := range want {
+			a, b := merged.At(i), merged.At(i+len(want))
+			if !bytes.Equal(a.Key, want[i][0]) || !bytes.Equal(b.Key, want[i][0]) ||
+				!bytes.Equal(a.Value, want[i][1]) || !bytes.Equal(b.Value, want[i][1]) {
+				t.Fatalf("merged pair %d diverged", i)
+			}
+		}
+	})
+}
+
+// stableSortRef mirrors List.Sort (stable, bytewise key order) on a plain
+// pair slice.
+func stableSortRef(p [][2][]byte) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && bytes.Compare(p[j-1][0], p[j][0]) > 0; j-- {
+			p[j-1], p[j] = p[j], p[j-1]
+		}
+	}
 }

@@ -3,16 +3,50 @@
 //
 // PaPar formalizes every workflow as a sequence of key-value operations
 // (paper §I, §III). A KV holds one key and one value, both opaque byte
-// strings; a List is an appendable page of KVs with a compact binary wire
-// encoding used for shuffles; a KMV groups all values sharing one key, the
+// strings; a List is a *page* of KVs whose in-memory layout is the wire
+// format itself — one contiguous backing buffer in the shuffle encoding plus
+// a compact offsets index — so Encode is a slice hand-off and Decode a
+// validated zero-copy view; a KMV groups all values sharing one key, the
 // result of MR-MPI's "convert" step.
+//
+// # Page layout
+//
+// A List's backing buffer holds exactly the bytes a shuffle would move:
+//
+//	uint32 count | repeat{ uint32 klen | uint32 vlen | key | value }
+//
+// The offsets index holds the buffer position of each pair's header, in
+// logical order. Appending writes the pair once, at the end of the buffer;
+// sorting permutes the 4-byte offsets (via the ASPaS parallel engine), never
+// the pair bytes. While offsets remain in buffer order ("unpermuted"),
+// Encode patches the count header and returns the backing buffer itself —
+// zero copies. After a reordering, Encode rebuilds the wire image once into
+// a pooled buffer, the same cost the old per-pair encoder paid always.
+//
+// # Zero-copy and pooling safety rules
+//
+//   - KV views returned by At/Key/Value and KMV groups returned by Convert
+//     alias the page. They are valid until the List is Released; Add never
+//     invalidates them (the buffer only grows).
+//   - The buffer returned by Encode aliases the page unless a sort permuted
+//     it. It is invalidated by a later Add on the same list, and by Release
+//     of a buffer obtained from Recycle's pool. Hand it to the transport or
+//     to disk, then either the *consumer* recycles it (shuffle receivers) or
+//     nobody does (checkpoint stores, which must own their pages — use
+//     AppendEncoded to copy).
+//   - Release returns the page's backing to the internal pools. Only call
+//     it when no views (KV, KMV, Encode result) are outstanding. Decoded
+//     views of wire buffers are Released by the shuffle receiver after
+//     merging; lists that escape (mr.KV(), checkpoint restores) are simply
+//     dropped for the GC.
 package keyval
 
 import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
+
+	"repro/internal/aspas"
 )
 
 // KV is one key-value pair. Key and Value are treated as opaque bytes; the
@@ -34,96 +68,282 @@ func (kv KV) Size() int { return 8 + len(kv.Key) + len(kv.Value) }
 func (kv KV) String() string { return fmt.Sprintf("{%q: %q}", kv.Key, kv.Value) }
 
 // List is an ordered collection of KV pairs, the unit the shuffle moves
-// between ranks.
+// between ranks. See the package comment for the page layout.
 type List struct {
-	Pairs []KV
-	bytes int
+	// buf is the wire image: 4-byte count header + packed pairs. The count
+	// bytes are patched by Encode/AppendEncoded; the pair bytes are
+	// append-only.
+	buf []byte
+	// off[i] is the buffer position of pair i's 8-byte header, in logical
+	// order.
+	off []uint32
+	// permuted records that a sort reordered off, so buf is no longer in
+	// logical order and Encode must rebuild.
+	permuted bool
+	// leased records that Encode handed out buf; Release must then leave
+	// the buffer to its new owner.
+	leased bool
 }
 
 // NewList returns an empty list with capacity for n pairs.
-func NewList(n int) *List { return &List{Pairs: make([]KV, 0, n)} }
+func NewList(n int) *List {
+	l := &List{}
+	if n > 0 {
+		l.off = make([]uint32, 0, n)
+		l.buf = make([]byte, 4, 4+24*n)
+	}
+	return l
+}
 
-// Add appends a pair. The byte slices are retained, not copied.
+// NewListSized returns an empty list with pooled backing sized for exactly
+// npairs pairs and payloadBytes encoded payload bytes (the sum of KV.Size
+// over the pairs to come). Use it when a counting pass knows the final size:
+// no append ever reallocates.
+func NewListSized(npairs, payloadBytes int) *List {
+	buf := getBuf(4 + payloadBytes)
+	return &List{buf: append(buf, 0, 0, 0, 0), off: getOff(npairs)}
+}
+
+func (l *List) ensure() {
+	if l.buf == nil {
+		l.buf = make([]byte, 4, 68)
+	}
+}
+
+// Add appends a pair, copying both byte slices into the page.
 func (l *List) Add(key, value []byte) {
-	l.Pairs = append(l.Pairs, KV{Key: key, Value: value})
-	l.bytes += 8 + len(key) + len(value)
+	l.ensure()
+	o := len(l.buf)
+	need := 8 + len(key) + len(value)
+	if cap(l.buf)-o < need {
+		grown := make([]byte, o, max(2*cap(l.buf), o+need))
+		copy(grown, l.buf)
+		l.buf = grown
+	}
+	l.buf = l.buf[:o+need]
+	rec := l.buf[o:]
+	binary.LittleEndian.PutUint32(rec, uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(value)))
+	copy(rec[8:], key)
+	copy(rec[8+len(key):], value)
+	l.off = append(l.off, uint32(o))
 }
 
 // AddKV appends an existing pair.
 func (l *List) AddKV(kv KV) { l.Add(kv.Key, kv.Value) }
 
+// AppendList appends every pair of m, preserving m's logical order. When m
+// is unpermuted this is a single wholesale copy of its payload region.
+func (l *List) AppendList(m *List) {
+	if m == nil || len(m.off) == 0 {
+		return
+	}
+	l.ensure()
+	if !m.permuted {
+		base := uint32(len(l.buf)) - 4
+		l.buf = append(l.buf, m.buf[4:]...)
+		for _, o := range m.off {
+			l.off = append(l.off, o+base)
+		}
+		return
+	}
+	for _, o := range m.off {
+		rec := m.record(o)
+		l.off = append(l.off, uint32(len(l.buf)))
+		l.buf = append(l.buf, rec...)
+	}
+}
+
 // Len returns the number of pairs.
-func (l *List) Len() int { return len(l.Pairs) }
+func (l *List) Len() int { return len(l.off) }
 
 // Bytes returns the total encoded payload size (what a shuffle would move).
-func (l *List) Bytes() int { return l.bytes }
+func (l *List) Bytes() int {
+	if len(l.buf) < 4 {
+		return 0
+	}
+	return len(l.buf) - 4
+}
+
+// pairAt decodes the KV view at header offset o.
+func (l *List) pairAt(o uint32) KV {
+	k := binary.LittleEndian.Uint32(l.buf[o:])
+	v := binary.LittleEndian.Uint32(l.buf[o+4:])
+	ks := o + 8
+	vs := ks + k
+	return KV{Key: l.buf[ks:vs:vs], Value: l.buf[vs : vs+v : vs+v]}
+}
+
+// record returns the full encoded record (header + key + value) at offset o.
+func (l *List) record(o uint32) []byte {
+	k := binary.LittleEndian.Uint32(l.buf[o:])
+	v := binary.LittleEndian.Uint32(l.buf[o+4:])
+	return l.buf[o : o+8+k+v]
+}
+
+// keyAt returns the key bytes of the pair whose header is at offset o.
+func (l *List) keyAt(o uint32) []byte {
+	k := binary.LittleEndian.Uint32(l.buf[o:])
+	return l.buf[o+8 : o+8+k : o+8+k]
+}
+
+// At returns a zero-copy view of pair i. The view is valid until Release.
+func (l *List) At(i int) KV { return l.pairAt(l.off[i]) }
+
+// Key returns a zero-copy view of pair i's key.
+func (l *List) Key(i int) []byte { return l.keyAt(l.off[i]) }
+
+// Value returns a zero-copy view of pair i's value.
+func (l *List) Value(i int) []byte {
+	o := l.off[i]
+	k := binary.LittleEndian.Uint32(l.buf[o:])
+	v := binary.LittleEndian.Uint32(l.buf[o+4:])
+	vs := o + 8 + k
+	return l.buf[vs : vs+v : vs+v]
+}
+
+// markPermuted rescans the offsets for monotonicity so an order-preserving
+// sort (already-sorted data) keeps the zero-copy Encode path.
+func (l *List) markPermuted() {
+	for i := 1; i < len(l.off); i++ {
+		if l.off[i] < l.off[i-1] {
+			l.permuted = true
+			return
+		}
+	}
+	l.permuted = false
+}
 
 // Sort orders the pairs by key (bytewise), with the original order preserved
 // among equal keys (stable), matching the reducer-visible ordering the
-// paper's sort job produces.
+// paper's sort job produces. Only the 4-byte offsets move — through the
+// ASPaS parallel engine — never the pair bytes.
 func (l *List) Sort() {
-	sort.SliceStable(l.Pairs, func(i, j int) bool {
-		return bytes.Compare(l.Pairs[i].Key, l.Pairs[j].Key) < 0
+	aspas.SortStable(l.off, func(a, b uint32) bool {
+		return bytes.Compare(l.keyAt(a), l.keyAt(b)) < 0
 	})
+	l.markPermuted()
 }
 
 // SortFunc orders the pairs by the provided comparison (stable).
 func (l *List) SortFunc(less func(a, b KV) bool) {
-	sort.SliceStable(l.Pairs, func(i, j int) bool { return less(l.Pairs[i], l.Pairs[j]) })
+	aspas.SortStable(l.off, func(a, b uint32) bool {
+		return less(l.pairAt(a), l.pairAt(b))
+	})
+	l.markPermuted()
 }
 
-// Encode frames the list into a single buffer:
+// EncodedSize returns len(Encode()) without encoding.
+func (l *List) EncodedSize() int { return 4 + l.Bytes() }
+
+// Encode frames the list into a single wire buffer:
 //
 //	uint32 count | repeat{ uint32 klen | uint32 vlen | key | value }
+//
+// For an unpermuted page this is a zero-copy hand-off of the backing buffer
+// (the count header is patched in place); the result is invalidated by a
+// later Add. A permuted page is rebuilt once into a pooled buffer.
 func (l *List) Encode() []byte {
-	out := make([]byte, 0, 4+l.bytes)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Pairs)))
-	for _, kv := range l.Pairs {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(kv.Key)))
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(kv.Value)))
-		out = append(out, kv.Key...)
-		out = append(out, kv.Value...)
+	if len(l.off) == 0 {
+		return make([]byte, 4)
+	}
+	if !l.permuted {
+		binary.LittleEndian.PutUint32(l.buf[:4], uint32(len(l.off)))
+		l.leased = true
+		return l.buf
+	}
+	out := getBuf(l.EncodedSize())
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(l.off)))
+	for _, o := range l.off {
+		out = append(out, l.record(o)...)
 	}
 	return out
 }
 
-// Decode parses a buffer produced by Encode. The returned list aliases buf.
+// AppendEncoded appends the wire image to dst and returns it. Unlike Encode
+// the pair bytes are always copied, so the result shares nothing with the
+// page — the form checkpoint stores require.
+func (l *List) AppendEncoded(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(l.off)))
+	if !l.permuted {
+		if len(l.buf) > 4 {
+			dst = append(dst, l.buf[4:]...)
+		}
+		return dst
+	}
+	for _, o := range l.off {
+		dst = append(dst, l.record(o)...)
+	}
+	return dst
+}
+
+// Release returns the page's backing to the internal pools. The list is
+// empty and reusable afterwards. Callers must guarantee no views obtained
+// from At/Key/Value/Convert/Encode are still live; see the package comment
+// for who may call it.
+func (l *List) Release() {
+	if l.buf != nil && !l.leased {
+		putBuf(l.buf)
+	}
+	if l.off != nil {
+		putOff(l.off)
+	}
+	l.buf, l.off, l.permuted, l.leased = nil, nil, false, false
+}
+
+// Decode parses a buffer produced by Encode. The returned list is a
+// validated zero-copy view: it aliases buf and allocates only the offsets
+// index (from the pool).
 func Decode(buf []byte) (*List, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("keyval: short buffer (%d bytes)", len(buf))
 	}
 	n := binary.LittleEndian.Uint32(buf)
-	buf = buf[4:]
 	// The count is untrusted wire data: cap the preallocation so a corrupt
 	// header cannot demand gigabytes.
 	prealloc := int(n)
 	if prealloc > 4096 {
 		prealloc = 4096
 	}
-	l := NewList(prealloc)
+	off := getOff(prealloc)
+	pos := uint64(4)
+	total := uint64(len(buf))
 	for i := uint32(0); i < n; i++ {
-		if len(buf) < 8 {
+		if total-pos < 8 {
+			putOff(off)
 			return nil, fmt.Errorf("keyval: truncated header at pair %d", i)
 		}
-		klen := binary.LittleEndian.Uint32(buf)
-		vlen := binary.LittleEndian.Uint32(buf[4:])
-		buf = buf[8:]
-		if uint64(len(buf)) < uint64(klen)+uint64(vlen) {
+		k := binary.LittleEndian.Uint32(buf[pos:])
+		v := binary.LittleEndian.Uint32(buf[pos+4:])
+		rec := 8 + uint64(k) + uint64(v)
+		if total-pos < rec {
+			putOff(off)
 			return nil, fmt.Errorf("keyval: truncated payload at pair %d", i)
 		}
-		key := buf[:klen:klen]
-		value := buf[klen : klen+vlen : klen+vlen]
-		buf = buf[klen+vlen:]
-		l.Add(key, value)
+		off = append(off, uint32(pos))
+		pos += rec
 	}
-	if len(buf) != 0 {
-		return nil, fmt.Errorf("keyval: %d trailing bytes after %d pairs", len(buf), n)
+	if pos != total {
+		putOff(off)
+		return nil, fmt.Errorf("keyval: %d trailing bytes after %d pairs", total-pos, n)
+	}
+	return &List{buf: buf, off: off}, nil
+}
+
+// DecodeCopy is Decode into an owned (pooled) backing buffer — for callers
+// that must not retain a view of foreign memory, like checkpoint restores.
+func DecodeCopy(buf []byte) (*List, error) {
+	cp := append(getBuf(len(buf)), buf...)
+	l, err := Decode(cp)
+	if err != nil {
+		putBuf(cp)
+		return nil, err
 	}
 	return l, nil
 }
 
 // KMV is a key with all the values that shared it — the convert (KV→KMV)
-// output that reducers consume.
+// output that reducers consume. Key and Values alias the source page.
 type KMV struct {
 	Key    []byte
 	Values [][]byte
@@ -143,29 +363,91 @@ func (k KMV) Bytes() int {
 
 // Convert groups a list's pairs by key, preserving first-appearance key
 // order and per-key value order (both matter for deterministic reducers).
+//
+// The grouper is allocation-lean: it detects already-grouped input (keys
+// non-decreasing, the post-sort common case) and emits runs directly;
+// otherwise it stable-sorts a pooled index array by key and reorders the
+// groups back to first-appearance order. All Values sub-slices share one
+// arena allocation; no per-key map or string conversion is involved.
 func Convert(l *List) []KMV {
-	idx := make(map[string]int, len(l.Pairs))
-	var out []KMV
-	for _, kv := range l.Pairs {
-		k := string(kv.Key)
-		if i, ok := idx[k]; ok {
-			out[i].Values = append(out[i].Values, kv.Value)
-			continue
-		}
-		idx[k] = len(out)
-		out = append(out, KMV{Key: kv.Key, Values: [][]byte{kv.Value}})
+	n := l.Len()
+	if n == 0 {
+		return nil
 	}
+	nondecr := true
+	for i := 1; i < n; i++ {
+		if bytes.Compare(l.Key(i-1), l.Key(i)) > 0 {
+			nondecr = false
+			break
+		}
+	}
+	arena := make([][]byte, n)
+	if nondecr {
+		runs := 1
+		for i := 1; i < n; i++ {
+			if !bytes.Equal(l.Key(i), l.Key(i-1)) {
+				runs++
+			}
+		}
+		out := make([]KMV, 0, runs)
+		start := 0
+		for i := 1; i <= n; i++ {
+			if i < n && bytes.Equal(l.Key(i), l.Key(start)) {
+				continue
+			}
+			for j := start; j < i; j++ {
+				arena[j] = l.Value(j)
+			}
+			out = append(out, KMV{Key: l.Key(start), Values: arena[start:i:i]})
+			start = i
+		}
+		return out
+	}
+	// General path: a counting scatter. Pass 1 assigns group ids in
+	// first-appearance order and counts multiplicities (the map lookup on
+	// string(key) does not allocate; only the one insert per distinct key
+	// does). Pass 2 carves the arena per group and scatters values in
+	// original order — both orderings the naive map grouper guaranteed.
+	ids := getIdx(n)
+	index := make(map[string]int32, 64)
+	var counts, first []int32
+	for i := 0; i < n; i++ {
+		k := l.Key(i)
+		id, ok := index[string(k)]
+		if !ok {
+			id = int32(len(counts))
+			index[string(k)] = id
+			counts = append(counts, 0)
+			first = append(first, int32(i))
+		}
+		counts[id]++
+		ids = append(ids, id)
+	}
+	out := make([]KMV, len(counts))
+	pos := int32(0)
+	for g := range out {
+		out[g] = KMV{Key: l.Key(int(first[g])), Values: arena[pos:pos : pos+counts[g]]}
+		pos += counts[g]
+	}
+	for i := 0; i < n; i++ {
+		g := ids[i]
+		out[g].Values = append(out[g].Values, l.Value(i))
+	}
+	putIdx(ids)
 	return out
 }
 
 // Flatten is the inverse of Convert: it expands groups back into a flat
 // list, preserving order.
 func Flatten(groups []KMV) *List {
-	n := 0
+	n, payload := 0, 0
 	for _, g := range groups {
 		n += len(g.Values)
+		for _, v := range g.Values {
+			payload += 8 + len(g.Key) + len(v)
+		}
 	}
-	l := NewList(n)
+	l := &List{buf: make([]byte, 4, 4+payload), off: make([]uint32, 0, n)}
 	for _, g := range groups {
 		for _, v := range g.Values {
 			l.Add(g.Key, v)

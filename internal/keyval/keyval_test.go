@@ -37,6 +37,18 @@ func TestListAddAndBytes(t *testing.T) {
 	if want := 2*8 + 1 + 2 + 2 + 1; l.Bytes() != want {
 		t.Fatalf("Bytes = %d, want %d", l.Bytes(), want)
 	}
+	if got := l.At(1); string(got.Key) != "cc" || string(got.Value) != "d" {
+		t.Fatalf("At(1) = %v", got)
+	}
+}
+
+func pairsOf(l *List) []string {
+	var got []string
+	for i := 0; i < l.Len(); i++ {
+		kv := l.At(i)
+		got = append(got, string(kv.Key)+string(kv.Value))
+	}
+	return got
 }
 
 func TestListSortStable(t *testing.T) {
@@ -46,12 +58,8 @@ func TestListSortStable(t *testing.T) {
 	l.Add([]byte("b"), []byte("3"))
 	l.Add([]byte("a"), []byte("4"))
 	l.Sort()
-	var got []string
-	for _, kv := range l.Pairs {
-		got = append(got, string(kv.Key)+string(kv.Value))
-	}
 	want := []string{"a2", "a4", "b1", "b3"}
-	if !reflect.DeepEqual(got, want) {
+	if got := pairsOf(l); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Sort order %v, want %v", got, want)
 	}
 }
@@ -62,8 +70,8 @@ func TestListSortFunc(t *testing.T) {
 		l.Add([]byte(s), nil)
 	}
 	l.SortFunc(func(a, b KV) bool { return len(a.Key) > len(b.Key) })
-	if string(l.Pairs[0].Key) != "bbb" || string(l.Pairs[2].Key) != "a" {
-		t.Fatalf("SortFunc order wrong: %v", l.Pairs)
+	if string(l.Key(0)) != "bbb" || string(l.Key(2)) != "a" {
+		t.Fatalf("SortFunc order wrong: %v", pairsOf(l))
 	}
 }
 
@@ -79,14 +87,105 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if got.Len() != l.Len() {
 		t.Fatalf("decoded %d pairs, want %d", got.Len(), l.Len())
 	}
-	for i := range l.Pairs {
-		if !bytes.Equal(got.Pairs[i].Key, l.Pairs[i].Key) ||
-			!bytes.Equal(got.Pairs[i].Value, l.Pairs[i].Value) {
-			t.Errorf("pair %d mismatch: %v vs %v", i, got.Pairs[i], l.Pairs[i])
+	for i := 0; i < l.Len(); i++ {
+		if !bytes.Equal(got.Key(i), l.Key(i)) || !bytes.Equal(got.Value(i), l.Value(i)) {
+			t.Errorf("pair %d mismatch: %v vs %v", i, got.At(i), l.At(i))
 		}
 	}
 	if got.Bytes() != l.Bytes() {
 		t.Errorf("decoded Bytes = %d, want %d", got.Bytes(), l.Bytes())
+	}
+}
+
+// TestEncodeAfterSortRebuilds checks that a permuted page still encodes into
+// logical order and that the encoded form is independent of the page.
+func TestEncodeAfterSortRebuilds(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("b"), []byte("1"))
+	l.Add([]byte("a"), []byte("2"))
+	l.Sort()
+	enc := l.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pairsOf(dec); !reflect.DeepEqual(got, []string{"a2", "b1"}) {
+		t.Fatalf("encoded order %v", got)
+	}
+	// The rebuilt buffer must not alias the page.
+	l.buf[5] ^= 0xFF
+	if dec2, err := Decode(enc); err != nil || !reflect.DeepEqual(pairsOf(dec2), []string{"a2", "b1"}) {
+		t.Fatalf("encoded buffer aliases a permuted page (err=%v)", err)
+	}
+}
+
+// TestAppendEncodedCopies checks the checkpoint path: the stored page must
+// share nothing with the live list, even on the unpermuted fast path.
+func TestAppendEncodedCopies(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("k"), []byte("v"))
+	stored := l.AppendEncoded(nil)
+	l.Add([]byte("k2"), []byte("v2")) // mutate after snapshot
+	dec, err := Decode(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 1 || string(dec.Key(0)) != "k" {
+		t.Fatalf("stored page corrupted by later Add: %v", pairsOf(dec))
+	}
+}
+
+func TestAppendList(t *testing.T) {
+	a := NewList(0)
+	a.Add([]byte("a"), []byte("1"))
+	b := NewList(0)
+	b.Add([]byte("c"), []byte("2"))
+	b.Add([]byte("b"), []byte("3"))
+	b.Sort() // permuted source must still append in logical order
+	a.AppendList(b)
+	want := []string{"a1", "b3", "c2"}
+	if got := pairsOf(a); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendList = %v, want %v", got, want)
+	}
+
+	c := NewList(0)
+	c.Add([]byte("x"), []byte("9"))
+	a2 := NewList(0)
+	a2.AppendList(c) // unpermuted wholesale copy
+	if got := pairsOf(a2); !reflect.DeepEqual(got, []string{"x9"}) {
+		t.Fatalf("AppendList unpermuted = %v", got)
+	}
+}
+
+func TestReleaseAndReuse(t *testing.T) {
+	l := NewListSized(2, 2*KV{Key: []byte("k"), Value: []byte("v")}.Size())
+	l.Add([]byte("k"), []byte("v"))
+	l.Release()
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Fatalf("Release left state: len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+	l.Add([]byte("again"), []byte("ok"))
+	if string(l.Key(0)) != "again" {
+		t.Fatalf("list unusable after Release")
+	}
+}
+
+// TestLeasedBufferNotRecycled checks the double-use hazard: once Encode
+// hands out the backing buffer, Release must not also push it to the pool.
+func TestLeasedBufferNotRecycled(t *testing.T) {
+	l := NewListSized(1, 64)
+	l.Add(bytes.Repeat([]byte("k"), 32), bytes.Repeat([]byte("v"), 32))
+	enc := l.Encode()
+	l.Release()
+	// If the leased buffer went back to the pool, this pooled allocation
+	// could reuse and overwrite enc's storage.
+	fresh := getBuf(len(enc))
+	fresh = fresh[:cap(fresh)]
+	for i := range fresh {
+		fresh[i] = 0xEE
+	}
+	if dec, err := Decode(enc); err != nil || dec.Len() != 1 || dec.Key(0)[0] != 'k' {
+		t.Fatalf("leased buffer was recycled by Release (err=%v)", err)
 	}
 }
 
@@ -105,6 +204,20 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestDecodeCopyOwnsStorage(t *testing.T) {
+	l := NewList(0)
+	l.Add([]byte("key"), []byte("val"))
+	wire := l.Encode()
+	dec, err := DecodeCopy(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[9] ^= 0xFF // corrupt the source buffer after the copy
+	if string(dec.Key(0)) != "key" {
+		t.Fatalf("DecodeCopy aliases its input")
+	}
+}
+
 func TestEncodeDecodeProperty(t *testing.T) {
 	f := func(pairs [][2][]byte) bool {
 		l := NewList(len(pairs))
@@ -115,9 +228,8 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		if err != nil || got.Len() != l.Len() {
 			return false
 		}
-		for i := range l.Pairs {
-			if !bytes.Equal(got.Pairs[i].Key, l.Pairs[i].Key) ||
-				!bytes.Equal(got.Pairs[i].Value, l.Pairs[i].Value) {
+		for i := 0; i < l.Len(); i++ {
+			if !bytes.Equal(got.Key(i), l.Key(i)) || !bytes.Equal(got.Value(i), l.Value(i)) {
 				return false
 			}
 		}
@@ -154,6 +266,62 @@ func TestConvertEmpty(t *testing.T) {
 	}
 }
 
+// convertReference is the naive map-based grouper the page grouper replaced;
+// it is the executable spec for Convert's ordering semantics.
+func convertReference(l *List) []KMV {
+	index := make(map[string]int)
+	var out []KMV
+	for i := 0; i < l.Len(); i++ {
+		kv := l.At(i)
+		j, ok := index[string(kv.Key)]
+		if !ok {
+			j = len(out)
+			index[string(kv.Key)] = j
+			out = append(out, KMV{Key: kv.Key})
+		}
+		out[j].Values = append(out[j].Values, kv.Value)
+	}
+	return out
+}
+
+// TestConvertMatchesReference checks, pair for pair, that the run-detecting
+// grouper is equivalent to the naive map-based reference on sorted, reversed
+// and shuffled inputs across key cardinalities.
+func TestConvertMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		card := 1 + rng.Intn(40)
+		l := NewList(n)
+		for i := 0; i < n; i++ {
+			l.Add([]byte(fmt.Sprintf("k%03d", rng.Intn(card))), []byte(fmt.Sprintf("v%d", i)))
+		}
+		switch trial % 3 {
+		case 1:
+			l.Sort() // exercise the non-decreasing fast path
+		case 2:
+			l.SortFunc(func(a, b KV) bool { return bytes.Compare(a.Key, b.Key) > 0 }) // decreasing: general path
+		}
+		got, want := Convert(l), convertReference(l)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(got), len(want))
+		}
+		for g := range want {
+			if !bytes.Equal(got[g].Key, want[g].Key) {
+				t.Fatalf("trial %d group %d: key %q, want %q", trial, g, got[g].Key, want[g].Key)
+			}
+			if len(got[g].Values) != len(want[g].Values) {
+				t.Fatalf("trial %d group %d: %d values, want %d", trial, g, len(got[g].Values), len(want[g].Values))
+			}
+			for v := range want[g].Values {
+				if !bytes.Equal(got[g].Values[v], want[g].Values[v]) {
+					t.Fatalf("trial %d group %d value %d: %q, want %q", trial, g, v, got[g].Values[v], want[g].Values[v])
+				}
+			}
+		}
+	}
+}
+
 func TestKMVBytes(t *testing.T) {
 	g := KMV{Key: []byte("ab"), Values: [][]byte{[]byte("c"), []byte("de")}}
 	if got := g.Bytes(); got != 5 {
@@ -175,8 +343,8 @@ func TestFlattenInverseOfConvert(t *testing.T) {
 	// (key,value) must produce identical multisets.
 	canon := func(l *List) []string {
 		out := make([]string, 0, l.Len())
-		for _, kv := range l.Pairs {
-			out = append(out, string(kv.Key)+"\x00"+string(kv.Value))
+		for i := 0; i < l.Len(); i++ {
+			out = append(out, string(l.Key(i))+"\x00"+string(l.Value(i)))
 		}
 		sort.Strings(out)
 		return out
@@ -203,8 +371,8 @@ func TestConvertFlattenProperty(t *testing.T) {
 		// Per-key subsequences must be preserved exactly.
 		perKey := func(l *List) map[string][]byte {
 			m := map[string][]byte{}
-			for _, kv := range l.Pairs {
-				m[string(kv.Key)] = append(m[string(kv.Key)], kv.Value...)
+			for i := 0; i < l.Len(); i++ {
+				m[string(l.Key(i))] = append(m[string(l.Key(i))], l.Value(i)...)
 			}
 			return m
 		}

@@ -1,0 +1,74 @@
+package keyval
+
+import "sync"
+
+// The shuffle allocates the same three shapes over and over: wire/page byte
+// buffers, offset indexes, and scatter scratch. Each gets a sync.Pool split
+// into power-of-two size classes so a small request never pins a huge
+// buffer and a large request never receives a uselessly small one. The
+// pools are process-global: in the simulated cluster every rank runs in one
+// process, so pages freed by one rank's receiver feed another rank's sender.
+const (
+	minClassBits = 6  // smallest pooled capacity: 64 elements
+	numClasses   = 24 // largest pooled capacity: 64 << 23 = 512Mi elements
+)
+
+type slicePool[T any] struct {
+	classes [numClasses]sync.Pool
+}
+
+// get returns a zero-length slice with capacity >= n.
+func (p *slicePool[T]) get(n int) []T {
+	c := 0
+	for c < numClasses && 1<<(c+minClassBits) < n {
+		c++
+	}
+	if c == numClasses {
+		return make([]T, 0, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		return (*(v.(*[]T)))[:0]
+	}
+	return make([]T, 0, 1<<(c+minClassBits))
+}
+
+// put recycles s's backing array. Slices below the smallest class are
+// dropped; otherwise s lands in the largest class it fully covers, so get
+// can always honor the class's capacity promise.
+func (p *slicePool[T]) put(s []T) {
+	c := cap(s)
+	if c < 1<<minClassBits {
+		return
+	}
+	cl := 0
+	for cl+1 < numClasses && 1<<(cl+1+minClassBits) <= c {
+		cl++
+	}
+	s = s[:0]
+	p.classes[cl].Put(&s)
+}
+
+var (
+	bufPool slicePool[byte]
+	offPool slicePool[uint32]
+	idxPool slicePool[int32]
+)
+
+func getBuf(n int) []byte   { return bufPool.get(n) }
+func putBuf(b []byte)       { bufPool.put(b) }
+func getOff(n int) []uint32 { return offPool.get(n) }
+func putOff(o []uint32)     { offPool.put(o) }
+func getIdx(n int) []int32  { return idxPool.get(n) }
+func putIdx(i []int32)      { idxPool.put(i) }
+
+// Recycle returns a wire buffer (obtained from Encode or read back from a
+// simulated disk) to the page pool. Call it exactly once per buffer, only
+// after every decoded view of it has been Released.
+func Recycle(buf []byte) { putBuf(buf) }
+
+// GetIndex returns a zero-length pooled []int32 with capacity >= n —
+// scratch for per-pair destination scatters in the shuffle.
+func GetIndex(n int) []int32 { return idxPool.get(n) }
+
+// PutIndex recycles scratch obtained from GetIndex.
+func PutIndex(s []int32) { idxPool.put(s) }

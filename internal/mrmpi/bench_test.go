@@ -1,0 +1,110 @@
+package mrmpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/keyval"
+	"repro/internal/mpi"
+)
+
+// runShuffle spins an 8-rank cluster, emits pairsPerRank pairs per rank and
+// aggregates them — the hot path of every PaPar job.
+func runShuffle(b *testing.B, transport Transport, pairsPerRank int) {
+	b.Helper()
+	cl := cluster.New(cluster.DefaultConfig(8))
+	var moved int64
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		mr := New(mpi.NewComm(r))
+		mr.SetTransport(transport)
+		if err := mr.Map(func(emit Emitter) error {
+			for k := 0; k < pairsPerRank; k++ {
+				emit([]byte(fmt.Sprintf("key-%06d", k*7+r.ID())), []byte(fmt.Sprintf("value-%08d", k)))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := mr.Aggregate(HashPartitioner); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			moved = int64(mr.KV().Bytes())
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = moved
+}
+
+// BenchmarkAggregateCollective measures the MR-MPI alltoall shuffle end to
+// end (encode, exchange, decode, merge).
+func BenchmarkAggregateCollective(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runShuffle(b, Collective, 2000)
+	}
+}
+
+// BenchmarkAggregateP2P measures the raw-MPI Isend/Irecv shuffle.
+func BenchmarkAggregateP2P(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runShuffle(b, PointToPoint, 2000)
+	}
+}
+
+// BenchmarkConvertReduce measures the grouping verb plus an identity reduce
+// over a skewed key set.
+func BenchmarkConvertReduce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		_, err := cl.Run(func(r *cluster.Rank) error {
+			mr := New(mpi.NewComm(r))
+			if err := mr.Map(func(emit Emitter) error {
+				for k := 0; k < 4000; k++ {
+					emit([]byte(fmt.Sprintf("key-%04d", k%257)), []byte(fmt.Sprintf("v%07d", k)))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			mr.Convert()
+			return mr.Reduce(func(g keyval.KMV, emit Emitter) error {
+				emit(g.Key, g.Values[0])
+				return nil
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSortLocal measures the SortLocal verb on an 8-rank cluster.
+func BenchmarkSortLocal(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(cluster.DefaultConfig(8))
+		_, err := cl.Run(func(r *cluster.Rank) error {
+			mr := New(mpi.NewComm(r))
+			if err := mr.Map(func(emit Emitter) error {
+				for k := 0; k < 8000; k++ {
+					emit([]byte(fmt.Sprintf("key-%06d", (k*2654435761)%8000)), []byte("v"))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			mr.SortLocal(func(a, c keyval.KV) bool { return string(a.Key) < string(c.Key) })
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

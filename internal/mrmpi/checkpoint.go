@@ -114,13 +114,16 @@ const (
 // Snapshot serializes the local KV page (and whether it was converted) for
 // checkpointing. The rank is charged the stable-storage write cost.
 func (mr *MapReduce) Snapshot() []byte {
-	buf := make([]byte, 1, 1+mr.kv.Bytes())
+	buf := make([]byte, 1, 5+mr.kv.Bytes())
 	if mr.kmv != nil {
 		buf[0] = snapshotConverted
 	} else {
 		buf[0] = snapshotFlat
 	}
-	buf = append(buf, mr.kv.Encode()...)
+	// AppendEncoded always copies the pair bytes: the stored page must own
+	// its storage, because the live page keeps mutating (and may be pooled)
+	// after the snapshot is taken.
+	buf = mr.kv.AppendEncoded(buf)
 	mr.charge(func() vtime.Duration { return CheckpointCost(len(buf)) })
 	return buf
 }
@@ -132,7 +135,9 @@ func (mr *MapReduce) Restore(page []byte) error {
 		return fmt.Errorf("mrmpi: empty checkpoint page")
 	}
 	flag := page[0]
-	kv, err := keyval.Decode(page[1:])
+	// DecodeCopy, not Decode: the restored list must not alias the store's
+	// page, or a later Add/Encode on it would corrupt the checkpoint.
+	kv, err := keyval.DecodeCopy(page[1:])
 	if err != nil {
 		return fmt.Errorf("mrmpi: corrupt checkpoint page: %w", err)
 	}
@@ -174,9 +179,10 @@ func (mr *MapReduce) restoreAdopted(store *CheckpointStore, stage int, prepends 
 			return fmt.Errorf("mrmpi: corrupt checkpoint page (stage %d rank %d): %w", stage, rank, err)
 		}
 		mr.charge(func() vtime.Duration { return CheckpointCost(len(page)) })
-		for _, p := range kv.Pairs {
-			merged.AddKV(p)
-		}
+		// AppendList copies the fragment's bytes into merged; kv is a view
+		// of the store's page, so it is dropped (never Released) to keep the
+		// page out of the buffer pool.
+		merged.AppendList(kv)
 		return nil
 	}
 	for _, d := range prepends {

@@ -21,8 +21,8 @@ package mrmpi
 
 import (
 	"fmt"
-	"hash/fnv"
 
+	"repro/internal/hash32"
 	"repro/internal/keyval"
 	"repro/internal/mpi"
 	"repro/internal/vtime"
@@ -115,12 +115,12 @@ func (mr *MapReduce) AddKV(pairs ...keyval.KV) {
 // Partitioner routes a KV pair to a destination rank.
 type Partitioner func(kv keyval.KV, nranks int) int
 
-// HashPartitioner routes by FNV hash of the key — MR-MPI's default
-// aggregate behaviour.
+// HashPartitioner routes by FNV-1a hash of the key — MR-MPI's default
+// aggregate behaviour. The hash is inlined (internal/hash32) so the hot
+// shuffle loop allocates nothing per pair; values are bit-identical to the
+// old hash/fnv implementation, keeping every partition byte-stable.
 func HashPartitioner(kv keyval.KV, nranks int) int {
-	h := fnv.New32a()
-	h.Write(kv.Key)
-	return int(h.Sum32() % uint32(nranks))
+	return hash32.Bucket(hash32.Sum(kv.Key), nranks)
 }
 
 // Aggregate shuffles the local KV sets so that every pair is stored on the
@@ -128,20 +128,38 @@ func HashPartitioner(kv keyval.KV, nranks int) int {
 // the heart of every PaPar job.
 func (mr *MapReduce) Aggregate(part Partitioner) error {
 	p := mr.comm.Size()
-	outbound := make([]*keyval.List, p)
-	for i := range outbound {
-		outbound[i] = keyval.NewList(0)
-	}
-	for _, kv := range mr.kv.Pairs {
+	n := mr.kv.Len()
+	// Counting pass: route every pair once, recording destinations in pooled
+	// scratch, so each outbound page can be allocated at its exact final
+	// size and the scatter pass never reallocates.
+	dsts := keyval.GetIndex(n)
+	counts := make([]int, p)
+	sizes := make([]int, p)
+	for i := 0; i < n; i++ {
+		kv := mr.kv.At(i)
 		dst := part(kv, p)
 		if dst < 0 || dst >= p {
+			keyval.PutIndex(dsts)
 			return fmt.Errorf("mrmpi: partitioner routed key %q to invalid rank %d", kv.Key, dst)
 		}
-		outbound[dst].AddKV(kv)
+		dsts = append(dsts, int32(dst))
+		counts[dst]++
+		sizes[dst] += kv.Size()
 	}
 	mr.charge(func() vtime.Duration {
 		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(mr.kv.Len(), mr.kv.Bytes()))
 	})
+	outbound := make([]*keyval.List, p)
+	for i := range outbound {
+		outbound[i] = keyval.NewListSized(counts[i], sizes[i])
+	}
+	for i := 0; i < n; i++ {
+		outbound[dsts[i]].AddKV(mr.kv.At(i))
+	}
+	keyval.PutIndex(dsts)
+	// Encode is a zero-copy lease of each outbound page; ownership of the
+	// wire buffers passes to the receiving rank, which recycles them after
+	// the merge below.
 	bufs := make([][]byte, p)
 	for i, l := range outbound {
 		bufs[i] = l.Encode()
@@ -156,15 +174,26 @@ func (mr *MapReduce) Aggregate(part Partitioner) error {
 	if err != nil {
 		return fmt.Errorf("mrmpi: aggregate: %w", err)
 	}
-	merged := keyval.NewList(0)
+	lists := make([]*keyval.List, 0, p)
+	totalPairs, totalBytes := 0, 0
 	for _, b := range recv {
 		l, err := keyval.Decode(b)
 		if err != nil {
 			return fmt.Errorf("mrmpi: aggregate decode: %w", err)
 		}
-		for _, kv := range l.Pairs {
-			merged.AddKV(kv)
-		}
+		lists = append(lists, l)
+		totalPairs += l.Len()
+		totalBytes += l.Bytes()
+	}
+	merged := keyval.NewListSized(totalPairs, totalBytes)
+	for _, l := range lists {
+		merged.AppendList(l)
+		// Releasing the decoded view also recycles the wire buffer it
+		// aliases — the single hand-back of each received page.
+		l.Release()
+	}
+	for _, l := range outbound {
+		l.Release()
 	}
 	mr.kv = merged
 	mr.kmv = nil

@@ -27,8 +27,8 @@ func runMR(t *testing.T, nodes int, body func(mr *MapReduce) error) [][]keyval.K
 			return err
 		}
 		snap := make([]keyval.KV, 0, mr.KV().Len())
-		for _, kv := range mr.KV().Pairs {
-			snap = append(snap, kv.Clone())
+		for i := 0; i < mr.KV().Len(); i++ {
+			snap = append(snap, mr.KV().At(i).Clone())
 		}
 		mu.Lock()
 		out[r.ID()] = snap
@@ -184,8 +184,8 @@ func TestWordCountEndToEnd(t *testing.T) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		for _, kv := range mr.KV().Pairs {
-			counts[string(kv.Key)] = int64(binary.LittleEndian.Uint64(kv.Value))
+		for i := 0; i < mr.KV().Len(); i++ {
+			counts[string(mr.KV().Key(i))] = int64(binary.LittleEndian.Uint64(mr.KV().Value(i)))
 		}
 		return nil
 	})
@@ -373,8 +373,8 @@ func TestPointToPointTransportMatchesCollective(t *testing.T) {
 			}
 			mu.Lock()
 			defer mu.Unlock()
-			for _, kv := range mr.KV().Pairs {
-				out[string(kv.Key)]++
+			for i := 0; i < mr.KV().Len(); i++ {
+				out[string(mr.KV().Key(i))]++
 			}
 			return nil
 		})

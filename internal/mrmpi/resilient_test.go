@@ -58,8 +58,8 @@ func globalPairs(results []*keyval.List) []string {
 		if l == nil {
 			continue
 		}
-		for _, kv := range l.Pairs {
-			out = append(out, fmt.Sprintf("%s=%x", kv.Key, kv.Value))
+		for i := 0; i < l.Len(); i++ {
+			out = append(out, fmt.Sprintf("%s=%x", l.Key(i), l.Value(i)))
 		}
 	}
 	sort.Strings(out)

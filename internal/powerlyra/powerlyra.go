@@ -21,10 +21,9 @@ package powerlyra
 
 import (
 	"fmt"
-	"hash/fnv"
-	"strconv"
 
 	"repro/internal/graph"
+	"repro/internal/hash32"
 )
 
 // Method names a partitioning method.
@@ -76,9 +75,7 @@ type Assignment struct {
 // (FNV-32a over the decimal string), so reference and generated partitions
 // can be compared byte-for-byte.
 func HashVertex(v int32, np int) int {
-	h := fnv.New32a()
-	h.Write([]byte(strconv.FormatInt(int64(v), 10)))
-	return int(h.Sum32() % uint32(np))
+	return hash32.Bucket(hash32.SumInt64Decimal(int64(v)), np)
 }
 
 // Partition assigns every edge under the method. threshold applies to
