@@ -13,8 +13,9 @@
 //
 //	-plan     print the compiled job plan and exit (no execution)
 //	-emit-go  print the generated Go source and exit
-//	-faults   seeded fault plan (crash/drop/dup/delay/straggle); the run
-//	          checkpoints at job boundaries and recovers from rank failures
+//	-faults   seeded fault plan (crash/drop/dup/delay/corrupt/straggle/
+//	          ckptloss); the run checkpoints at job boundaries (replicated
+//	          over buddy hosts) and recovers from rank failures
 package main
 
 import (
@@ -62,7 +63,7 @@ func run() error {
 		planOnly   = flag.Bool("plan", false, "print the compiled plan and exit")
 		emitGo     = flag.Bool("emit-go", false, "print the generated Go program and exit")
 		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
-		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%"); runs resiliently (mrmpi backend)`)
+		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%,corrupt=2%,ckptloss=3"); runs resiliently (mrmpi backend)`)
 		runtimeArg = argList{}
 	)
 	flag.Var(&inputCfgs, "input", "input data description file (repeatable)")
@@ -111,8 +112,16 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("fault plan %s: failed ranks %v, %d survivors, %d recovery rounds, %d checkpoint bytes (%d writes)\n",
-				fp, rep.Failed, len(rep.Survivors), rep.Rounds, rep.CheckpointBytes, rep.CheckpointWrites)
+			fmt.Printf("fault plan %s: failed ranks %v, %d survivors, %d recovery rounds, %d checkpoint bytes (%d writes, %d replica failovers)\n",
+				fp, rep.Failed, len(rep.Survivors), rep.Rounds, rep.CheckpointBytes, rep.CheckpointWrites, rep.CheckpointFailovers)
+			stats := cl.Stats()
+			if stats.CorruptInjected != stats.CorruptDetected {
+				return fmt.Errorf("silent corruption: %d injected, only %d detected", stats.CorruptInjected, stats.CorruptDetected)
+			}
+			if stats.Retransmits > 0 || stats.CorruptInjected > 0 {
+				fmt.Printf("transport integrity: %d corruptions injected, %d detected, %d retransmitted delivery attempts\n",
+					stats.CorruptInjected, stats.CorruptDetected, stats.Retransmits)
+			}
 		} else if res, err = core.Execute(cl, plan, core.Input{Path: *data}); err != nil {
 			return err
 		}

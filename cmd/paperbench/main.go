@@ -47,7 +47,7 @@ func catalog() []experiment {
 		{"compress", "CSC data compression", wrap(experiments.Compression)},
 		{"ccomp", "connected components across cut methods (extension)", wrap(experiments.ConnectedComponents)},
 		{"ablations", "design-choice ablations", wrap(experiments.Ablations)},
-		{"chaos", "fault injection: crash and drop recovery", wrap(experiments.Chaos)},
+		{"chaos", "fault injection: crash, drop, corruption and checkpoint-loss recovery", wrap(experiments.Chaos)},
 	}
 }
 
@@ -81,7 +81,7 @@ func main() {
 		Nodes:      *nodes,
 		Seed:       *seed,
 	}
-	ran := 0
+	ran, failed := 0, false
 	for _, e := range catalog() {
 		if *exp != "all" && !strings.EqualFold(*exp, e.name) {
 			continue
@@ -94,9 +94,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("== %s — %s (wall %.1fs) ==\n%s\n", e.name, e.desc, time.Since(start).Seconds(), res.Render())
+		// Experiments with a pass/fail verdict (chaos: partition mismatch,
+		// replay divergence, silent corruption) fail the whole invocation —
+		// after rendering, so the report shows what went wrong.
+		if f, ok := res.(interface{ Failed() bool }); ok && f.Failed() {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: correctness check FAILED (see report above)\n", e.name)
+			failed = true
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

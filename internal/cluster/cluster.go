@@ -90,7 +90,14 @@ type Cluster struct {
 
 	bytesOnWire atomic.Int64
 	msgsOnWire  atomic.Int64
-	trace       tracer
+	// retransmits counts delivery attempts beyond the first (drops and
+	// NACKed corruptions both force one); corruptInjected/corruptDetected
+	// count fault-injected payload damage and its detection by the envelope
+	// checksum — the pair must match or corruption slipped through.
+	retransmits     atomic.Int64
+	corruptInjected atomic.Int64
+	corruptDetected atomic.Int64
+	trace           tracer
 
 	// plan is the active fault schedule (nil = perfect machine). Methods on
 	// a nil plan are no-ops, so the fault-free hot path pays one pointer
@@ -100,6 +107,9 @@ type Cluster struct {
 	// epochs), guarded by failMu.
 	failMu sync.Mutex
 	fail   deadSet
+	// sched gates failure surfacing on global quiescence so replays of a
+	// fault plan stay deterministic (see quiesce.go).
+	sched scheduler
 }
 
 // New builds a cluster. It panics on an invalid config (configuration is
@@ -119,6 +129,9 @@ func New(cfg Config) *Cluster {
 			clock:   vtime.NewClock(),
 			mailbox: newMailbox(),
 		}
+	}
+	for _, r := range c.ranks {
+		r.mailbox.sched = &c.sched
 	}
 	c.resetFailures()
 	return c
@@ -163,12 +176,18 @@ func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
 	for _, r := range c.ranks {
 		r.armFaults(c.plan)
 	}
+	c.sched.begin(len(c.ranks), func() {
+		for _, r := range c.ranks {
+			r.mailbox.wakeLocked()
+		}
+	}, c.freezeFailures)
 	errs := make([]error, len(c.ranks))
 	var wg sync.WaitGroup
 	for i, r := range c.ranks {
 		wg.Add(1)
 		go func(i int, r *Rank) {
 			defer wg.Done()
+			defer c.sched.exit()
 			errs[i] = body(r)
 			if errs[i] != nil && !r.crashed {
 				for _, peer := range c.ranks {
@@ -250,6 +269,9 @@ func (c *Cluster) Reset() {
 	c.resetFailures()
 	c.bytesOnWire.Store(0)
 	c.msgsOnWire.Store(0)
+	c.retransmits.Store(0)
+	c.corruptInjected.Store(0)
+	c.corruptDetected.Store(0)
 }
 
 // Stats summarizes traffic since the last Reset.
@@ -257,13 +279,24 @@ type Stats struct {
 	BytesOnWire int64
 	Messages    int64
 	Makespan    vtime.Duration
+	// Retransmits counts delivery attempts beyond each message's first
+	// (forced by drops and by NACKed corruptions).
+	Retransmits int64
+	// CorruptInjected / CorruptDetected count fault-injected payload damage
+	// and its detection by the transport envelope checksum. Equal values
+	// mean no corruption was silently accepted.
+	CorruptInjected int64
+	CorruptDetected int64
 }
 
 // Stats returns cumulative traffic counters and the current makespan.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		BytesOnWire: c.bytesOnWire.Load(),
-		Messages:    c.msgsOnWire.Load(),
-		Makespan:    c.Makespan(),
+		BytesOnWire:     c.bytesOnWire.Load(),
+		Messages:        c.msgsOnWire.Load(),
+		Makespan:        c.Makespan(),
+		Retransmits:     c.retransmits.Load(),
+		CorruptInjected: c.corruptInjected.Load(),
+		CorruptDetected: c.corruptDetected.Load(),
 	}
 }

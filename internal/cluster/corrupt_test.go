@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+// corruptExchange runs a ping-heavy exchange under the plan and returns the
+// makespan, the traffic stats, and any run error. Every delivered payload is
+// checked against what the sender transmitted.
+func corruptExchange(t *testing.T, plan *faults.Plan, rounds int) (vtime.Duration, Stats, error) {
+	t.Helper()
+	c := New(DefaultConfig(2))
+	c.SetFaultPlan(plan)
+	makespan, err := runGuarded(t, c, func(r *Rank) error {
+		peer := r.ID() ^ 1
+		for i := 0; i < rounds; i++ {
+			want := []byte(fmt.Sprintf("payload %d from %d", i, r.ID()))
+			if err := r.Send(peer, 5, want); err != nil {
+				return err
+			}
+			got, _, err := r.Recv(peer, 5)
+			if err != nil {
+				return err
+			}
+			expect := []byte(fmt.Sprintf("payload %d from %d", i, peer))
+			if !bytes.Equal(got, expect) {
+				return fmt.Errorf("rank %d round %d: got %q, want %q", r.ID(), i, got, expect)
+			}
+		}
+		return nil
+	})
+	return makespan, c.Stats(), err
+}
+
+// TestCorruptionDetectedAndRetransmitted: under a corrupting link, every
+// injected corruption is caught by the envelope checksum, every payload is
+// delivered intact via retransmission, and the retries cost virtual time.
+func TestCorruptionDetectedAndRetransmitted(t *testing.T) {
+	clean, cleanStats, err := corruptExchange(t, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanStats.CorruptInjected != 0 || cleanStats.Retransmits != 0 {
+		t.Fatalf("fault-free run counted faults: %+v", cleanStats)
+	}
+
+	plan := &faults.Plan{Seed: 99, Link: faults.Link{CorruptProb: 0.15}}
+	faulted, stats, err := corruptExchange(t, plan, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CorruptInjected == 0 {
+		t.Fatal("15% corruption over 400 sends injected nothing")
+	}
+	if stats.CorruptDetected != stats.CorruptInjected {
+		t.Fatalf("silent corruption: injected %d, detected %d", stats.CorruptInjected, stats.CorruptDetected)
+	}
+	if stats.Retransmits < stats.CorruptDetected {
+		t.Fatalf("retransmits %d < detections %d", stats.Retransmits, stats.CorruptDetected)
+	}
+	if faulted <= clean {
+		t.Fatalf("corrupted run makespan %v not above fault-free %v", faulted, clean)
+	}
+
+	// Same plan, same coordinates: the replay must be bit-identical.
+	replay, replayStats, err := corruptExchange(t, plan, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay != faulted || replayStats != stats {
+		t.Fatalf("replay diverged: makespan %v vs %v, stats %+v vs %+v", replay, faulted, replayStats, stats)
+	}
+}
+
+// TestCorruptionExhaustsRetryBudget: a link that damages every attempt is as
+// dead as one that drops every attempt.
+func TestCorruptionExhaustsRetryBudget(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 3, Link: faults.Link{CorruptProb: 1}})
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		return r.Send(1, 1, []byte("doomed"))
+	})
+	var rf RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 {
+		t.Fatalf("run error = %v, want RankFailedError{Rank: 1}", err)
+	}
+	if s := c.Stats(); s.CorruptDetected != int64(MaxSendAttempts) {
+		t.Fatalf("detected %d corruptions, want %d (every attempt)", s.CorruptDetected, MaxSendAttempts)
+	}
+}
+
+// TestEnvelopeCatchesHostMemoryCorruption: payload bytes mutated after the
+// hand-off to Send (an ownership bug) surface as a typed IntegrityError at
+// the receiver, not as silently merged garbage.
+func TestEnvelopeCatchesHostMemoryCorruption(t *testing.T) {
+	c := New(DefaultConfig(1))
+	payload := []byte("precious bytes")
+	var recvErr error
+	_, runErr := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 0 {
+			if err := r.Send(1, 1, payload); err != nil {
+				return err
+			}
+			payload[0] ^= 0xFF // ownership violation: mutate after hand-off
+			return r.Send(1, 2, []byte("go"))
+		}
+		if _, _, err := r.Recv(0, 2); err != nil {
+			return err
+		}
+		_, _, recvErr = r.Recv(0, 1)
+		return recvErr
+	})
+	var ie IntegrityError
+	if !errors.As(recvErr, &ie) {
+		t.Fatalf("recv error = %v, want IntegrityError", recvErr)
+	}
+	if ie.Src != 0 || ie.Dst != 1 {
+		t.Fatalf("IntegrityError coordinates = %+v", ie)
+	}
+	if !errors.As(runErr, &ie) {
+		t.Fatalf("run error = %v, want the IntegrityError to propagate", runErr)
+	}
+	// The failed run must leave the cluster reusable.
+	for i := 0; i < c.Size(); i++ {
+		if n := c.Rank(i).mailbox.pending(); n != 0 {
+			t.Fatalf("rank %d still has %d pending messages", i, n)
+		}
+	}
+}
+
+// TestCorruptTraceEvents: detected corruptions appear on the trace timeline.
+func TestCorruptTraceEvents(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 42, Link: faults.Link{CorruptProb: 0.25}})
+	c.EnableTrace()
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		peer := r.ID() ^ 1
+		for i := 0; i < 20; i++ {
+			if err := r.Send(peer, 1, []byte("abcdefgh")); err != nil {
+				return err
+			}
+			if _, _, err := r.Recv(peer, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupts := 0
+	for _, e := range c.Trace() {
+		if e.Kind == "corrupt" {
+			corrupts++
+		}
+	}
+	if int64(corrupts) != c.Stats().CorruptDetected {
+		t.Fatalf("trace shows %d corrupt events, stats count %d", corrupts, c.Stats().CorruptDetected)
+	}
+	if corrupts == 0 {
+		t.Fatal("no corrupt events traced under a 25% corrupting link")
+	}
+}

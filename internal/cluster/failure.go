@@ -68,11 +68,14 @@ func (c *Cluster) resetFailures() {
 	c.failMu.Unlock()
 }
 
-// markDead records a rank's death and wakes all blocked receivers.
+// markDead records a rank's death and wakes all blocked receivers. The
+// death counts as quiescence progress: a crash with no accompanying traffic
+// must still open a new failure-surfacing generation.
 func (c *Cluster) markDead(rank int) {
 	c.failMu.Lock()
 	c.fail.dead[rank] = true
 	c.failMu.Unlock()
+	c.sched.note()
 	c.wakeAll()
 }
 
@@ -106,6 +109,7 @@ func (c *Cluster) Revoke(epoch int64) int64 {
 	}
 	next := c.fail.revokedThrough + 1
 	c.failMu.Unlock()
+	c.sched.note()
 	c.wakeAll()
 	return next
 }
@@ -114,6 +118,18 @@ func (c *Cluster) revokedThrough() int64 {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
 	return c.fail.revokedThrough
+}
+
+// freezeFailures copies the failure-detector state into an immutable
+// snapshot for one quiescence generation (see quiesce.go).
+func (c *Cluster) freezeFailures() *failView {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	v := &failView{dead: make([]bool, len(c.ranks)), revokedThrough: c.fail.revokedThrough}
+	for r := range c.fail.dead {
+		v.dead[r] = true
+	}
+	return v
 }
 
 // wakeAll broadcasts every mailbox condition so blocked receivers re-check

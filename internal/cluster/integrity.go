@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// The transport guards every payload with a CRC32C envelope checksum,
+// modeling the link-layer FCS plus NIC checksum offload of a real
+// interconnect: the sender stamps the checksum once per logical message, the
+// receiving NIC verifies each delivery attempt, and a corrupted attempt is
+// NACKed so the sender retransmits with the same exponential backoff a
+// dropped attempt pays. Like hardware FCS, the checksum rides outside the
+// payload byte count, so it adds no wire bytes and no virtual time — faulted
+// and fault-free timelines stay comparable, and fault-free runs are
+// bit-identical to the pre-checksum transport.
+//
+// The same envelope is re-verified when the receiving *rank* dequeues the
+// message (Recv/TryRecv). Wire corruption can never reach that check — it is
+// caught at the NIC — so a mismatch there means the payload bytes changed
+// while queued in host memory: an ownership bug, typically a shuffle buffer
+// recycled by the pool while still in flight. That surfaces as a typed
+// IntegrityError instead of silently merging garbage (see also the keyval
+// pool sanitizer, which localizes such bugs to the offending release).
+
+// castagnoli is the CRC32C table (the polynomial iSCSI and modern NICs use;
+// detects all single-bit errors and all burst errors shorter than 32 bits).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// envelopeSum is the transport checksum over a payload.
+func envelopeSum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// IntegrityError reports a payload whose bytes changed between enqueue and
+// delivery — host-side corruption the wire-level NACK protocol cannot have
+// caused. It is a program error (a buffer-ownership bug), not a recoverable
+// rank failure: resilient drivers propagate it.
+type IntegrityError struct {
+	// Src and Dst are the cluster ranks of the corrupted transfer.
+	Src, Dst int
+	// Seq is the per-link sequence number of the damaged message.
+	Seq int64
+}
+
+func (e IntegrityError) Error() string {
+	return fmt.Sprintf("cluster: payload of message %d (rank %d -> rank %d) corrupted in host memory (buffer-ownership bug?)",
+		e.Seq, e.Src, e.Dst)
+}

@@ -9,12 +9,14 @@ import (
 // message is one in-flight payload with its virtual arrival stamp. tag is
 // the wire tag (user tag plus epoch, see wireTag); seq is the per-link
 // sequence number the transport uses to deduplicate fault-injected
-// duplicates.
+// duplicates; sum is the sender-computed CRC32C envelope checksum the
+// receiver re-verifies at delivery (end-to-end integrity, see integrity.go).
 type message struct {
 	src     int
 	tag     int
 	seq     int64
 	payload []byte
+	sum     uint32
 	arrival vtime.Duration
 }
 
@@ -32,6 +34,17 @@ type mailbox struct {
 	// (sends from one source are sequential, so sequence numbers of
 	// accepted messages are strictly increasing).
 	maxSeq map[int]int64
+	// sched, when non-nil, gates failure surfacing on global quiescence
+	// (see quiesce.go). Standalone mailboxes (unit tests) leave it nil and
+	// keep the legacy check-on-every-wake behavior.
+	sched *scheduler
+	// parked is true while the owning rank sits in cond.Wait; handoff marks
+	// that a put already re-activated it with the scheduler (activity moves
+	// from sender to receiver atomically with the put, so a quiescence can
+	// never fire while a woken-but-not-yet-running receiver has deliverable
+	// mail). Both are guarded by mu.
+	parked  bool
+	handoff bool
 }
 
 type mailKey struct {
@@ -58,6 +71,15 @@ func (m *mailbox) put(msg message) {
 	k := mailKey{msg.src, msg.tag}
 	m.byKey[k] = append(m.byKey[k], msg)
 	m.count++
+	m.sched.note()
+	if m.parked && !m.handoff {
+		// Re-activate the parked owner before this sender can block: the
+		// receiver's activity must begin atomically with the put, or a
+		// quiescence could fire in the window where the owner is woken but
+		// not yet running.
+		m.handoff = true
+		m.sched.unblock()
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -111,21 +133,25 @@ func (m *mailbox) match(src, tag int) (message, bool) {
 
 // getWait blocks for a matching message. A pending match always wins; only
 // when nothing matches are the failure conditions consulted: the run-level
-// abort flag (returned as ErrAborted by the caller via ok=false semantics of
-// get) and the caller-supplied failCheck, which the owning rank uses to
-// surface dead peers and revoked epochs. failCheck runs without the mailbox
-// lock held and is re-evaluated after every wake-up.
+// abort flag and the caller-supplied failCheck, which the owning rank uses
+// to surface dead peers and revoked epochs. Under a scheduler, failCheck is
+// evaluated once per quiescence generation against that generation's frozen
+// failure snapshot (see quiesce.go), so replays of one fault plan surface
+// identical verdicts; without one it is re-evaluated after every wake-up.
+// failCheck runs without the mailbox lock held.
 func (m *mailbox) getWait(src, tag int, failCheck func() error) (message, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	seen := uint64(0)
 	for {
 		if msg, ok := m.match(src, tag); ok {
+			m.sched.note()
 			return msg, nil
 		}
 		if m.aborted {
 			return message{}, ErrAborted
 		}
-		if failCheck != nil {
+		if failCheck != nil && m.sched.shouldCheck(&seen) {
 			m.mu.Unlock()
 			err := failCheck()
 			m.mu.Lock()
@@ -134,12 +160,22 @@ func (m *mailbox) getWait(src, tag int, failCheck func() error) (message, error)
 				// the failure condition was being read, and deliverable
 				// data must beat failure detection for determinism.
 				if msg, ok := m.match(src, tag); ok {
+					m.sched.note()
 					return msg, nil
 				}
+				m.sched.note()
 				return message{}, err
 			}
 		}
+		m.parked = true
+		m.sched.block()
 		m.cond.Wait()
+		m.parked = false
+		if m.handoff {
+			m.handoff = false // a put already re-activated us
+		} else {
+			m.sched.unblock()
+		}
 	}
 }
 
@@ -162,6 +198,17 @@ func (m *mailbox) clearAbort() {
 // failure state changes).
 func (m *mailbox) wake() {
 	m.cond.Broadcast()
+}
+
+// wakeLocked broadcasts while holding the mailbox lock. The quiescence
+// wakeup path uses it: a rank that triggered the generation still holds its
+// mailbox lock until its cond.Wait releases it, so acquiring the lock here
+// guarantees every blocked rank is inside Wait and the broadcast cannot be
+// lost.
+func (m *mailbox) wakeLocked() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 // drain discards all pending messages (failed or resilient runs leave

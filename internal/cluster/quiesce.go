@@ -1,0 +1,153 @@
+package cluster
+
+import "sync"
+
+// The documented determinism rule — "a deliverable pending message always
+// beats failure detection" — cannot be kept by racing a receiver's failure
+// check against in-flight sender goroutines in real time: whether a live
+// peer's Send lands before or after another survivor's Revoke wake-up is
+// decided by the Go scheduler, and replays of the same fault plan diverge
+// by one FailureDetectDelay. The scheduler below makes the rule exact by
+// surfacing failure verdicts only at *global quiescence*: the instant when
+// every rank of the run is either finished or blocked in a mailbox wait
+// with nothing to match. At that instant nothing can move — every completed
+// Send's put is visible (a sender blocks only after its puts), the failure
+// state is frozen, and the set of ranks whose wait must fail is a pure
+// function of the virtual execution, not of goroutine interleaving. Each
+// quiescence freezes the failure state into a numbered snapshot; blocked
+// receivers evaluate their fail checks against exactly one snapshot per
+// generation, so concurrent recovery by already-released ranks cannot leak
+// into verdicts still being read. Fault-free runs never surface a verdict
+// (a transient all-blocked instant just re-checks and sleeps), so their
+// timelines are untouched.
+type scheduler struct {
+	mu sync.Mutex
+	// active counts ranks currently executing: not finished and not blocked
+	// inside getWait. The run is quiescent when it reaches zero.
+	active int
+	// progress counts accepted puts, deliveries and surfaced verdicts; a new
+	// generation fires only if it moved since the last one, so an all-blocked
+	// program with all-nil verdicts is a plain deadlock (it hangs, as
+	// before), not a livelock of empty generations.
+	progress    uint64
+	lastGenProg uint64
+	// gen numbers the quiescence instants; snap is generation gen's frozen
+	// failure state. Both only change at active == 0.
+	gen  uint64
+	snap *failView
+	// wakeup re-broadcasts every mailbox of the cluster, taking each mailbox
+	// lock so a rank between its last match check and its cond.Wait cannot
+	// miss the new generation. freeze copies the failure-detector state into
+	// the generation's snapshot.
+	wakeup func()
+	freeze func() *failView
+}
+
+// failView is one generation's frozen failure-detector state.
+type failView struct {
+	dead           []bool
+	revokedThrough int64
+}
+
+// begin arms the scheduler for a run of n ranks.
+func (s *scheduler) begin(n int, wakeup func(), freeze func() *failView) {
+	s.mu.Lock()
+	s.active = n
+	s.progress = 0
+	s.lastGenProg = 0
+	s.gen = 0
+	s.snap = nil
+	s.wakeup = wakeup
+	s.freeze = freeze
+	s.mu.Unlock()
+}
+
+// note records observable progress (an accepted put, a delivery, a surfaced
+// verdict). Nil-safe so a standalone mailbox needs no scheduler.
+func (s *scheduler) note() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.progress++
+	s.mu.Unlock()
+}
+
+// shouldCheck reports whether a blocked receiver should (re)run its failure
+// check: once per generation, against that generation's snapshot. With no
+// scheduler (standalone mailbox tests) it always says yes, preserving the
+// legacy check-on-every-wake behavior.
+func (s *scheduler) shouldCheck(seen *uint64) bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen > *seen {
+		*seen = s.gen
+		return true
+	}
+	return false
+}
+
+// snapshot returns the latest frozen failure state (nil before the first
+// quiescence — nothing is surfaceable yet).
+func (s *scheduler) snapshot() *failView {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// block marks one rank as blocked; the caller must hold its own mailbox
+// lock and cond.Wait immediately after, so the wakeup broadcast (which
+// takes that lock) cannot slip in between.
+func (s *scheduler) block() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.active--
+	s.fireLocked()
+	s.mu.Unlock()
+}
+
+// unblock marks one rank as executing again (woken from cond.Wait).
+func (s *scheduler) unblock() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+}
+
+// exit retires a finished (or crashed) rank for good; like block it can
+// complete a quiescence, which is how a scheduled crash becomes visible to
+// the survivors blocked on its messages.
+func (s *scheduler) exit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.active--
+	s.fireLocked()
+	s.mu.Unlock()
+}
+
+// fireLocked starts a new generation if the run just went quiescent with
+// fresh progress. The broadcast runs on its own goroutine because the
+// triggering rank still holds its mailbox lock until its cond.Wait (or has
+// exited); the wakeup acquires every mailbox lock, so it parks until each
+// blocked rank is actually inside Wait and can never be lost.
+func (s *scheduler) fireLocked() {
+	if s.active != 0 || s.progress == s.lastGenProg || s.wakeup == nil {
+		return
+	}
+	s.lastGenProg = s.progress
+	s.gen++
+	s.snap = s.freeze()
+	go s.wakeup()
+}

@@ -145,9 +145,12 @@ func (r *Rank) wireTag(tag int) int {
 //
 // Under a fault plan, each delivery attempt may be dropped (retransmitted
 // after exponential virtual-time backoff, up to MaxSendAttempts), duplicated
-// (suppressed by the receiver's sequence numbers) or delayed. A destination
-// whose link swallows every attempt is reported as failed — at the transport
-// level an unreachable peer and a dead one are indistinguishable.
+// (suppressed by the receiver's sequence numbers), delayed, or corrupted (a
+// seeded bit flip or truncation; the receiving NIC's CRC32C envelope check
+// rejects the damaged attempt and the sender retransmits exactly like a
+// drop). A destination whose link swallows every attempt is reported as
+// failed — at the transport level an unreachable peer and a dead one are
+// indistinguishable.
 func (r *Rank) Send(dst, tag int, payload []byte) error {
 	if err := r.checkCrash(); err != nil {
 		return err
@@ -176,8 +179,12 @@ func (r *Rank) Send(dst, tag int, payload []byte) error {
 		Time: r.clock.Now(), Rank: r.id, Kind: "send", Peer: dst, Tag: tag, Size: len(payload),
 	})
 
+	sum := envelopeSum(payload)
 	delivered := false
 	for attempt := 0; attempt < MaxSendAttempts; attempt++ {
+		if attempt > 0 {
+			r.cluster.retransmits.Add(1)
+		}
 		// Every attempt occupies the wire, delivered or not.
 		r.cluster.bytesOnWire.Add(int64(len(payload)))
 		r.cluster.msgsOnWire.Add(1)
@@ -186,8 +193,29 @@ func (r *Rank) Send(dst, tag int, payload []byte) error {
 			r.clock.Advance(RetryBackoffBase * vtime.Duration(int64(1)<<attempt))
 			continue
 		}
+		wirePayload := payload
+		if len(payload) > 0 && plan.Corrupted(r.id, dst, seq, attempt) {
+			// The attempt arrives damaged. Run the damaged bytes through the
+			// receiving NIC's actual envelope check — detection is verified,
+			// not assumed. CRC32C catches every single-bit flip, and a
+			// truncation changes the length, so no injected corruption can
+			// pass silently; the counter pair proves it per run.
+			wirePayload = plan.CorruptionFor(r.id, dst, seq, attempt).Apply(payload)
+			r.cluster.corruptInjected.Add(1)
+			if len(wirePayload) != len(payload) || envelopeSum(wirePayload) != sum {
+				// NACK: the sender backs off and retransmits, like a drop.
+				r.cluster.corruptDetected.Add(1)
+				r.cluster.trace.record(TraceEvent{
+					Time: r.clock.Now(), Rank: r.id, Kind: "corrupt", Peer: dst, Tag: tag, Size: len(payload),
+				})
+				r.clock.Advance(RetryBackoffBase * vtime.Duration(int64(1)<<attempt))
+				continue
+			}
+			// Unreachable for the injected damage classes; kept so a silent
+			// acceptance would show up in stats instead of vanishing.
+		}
 		arrival := r.clock.Now() + wire + plan.ExtraDelay(r.id, dst, seq, attempt)
-		msg := message{src: r.id, tag: r.wireTag(tag), seq: seq, payload: payload, arrival: arrival}
+		msg := message{src: r.id, tag: r.wireTag(tag), seq: seq, payload: wirePayload, sum: sum, arrival: arrival}
 		to.mailbox.put(msg)
 		if plan.Duplicated(r.id, dst, seq, attempt) {
 			r.cluster.bytesOnWire.Add(int64(len(payload)))
@@ -204,24 +232,32 @@ func (r *Rank) Send(dst, tag int, payload []byte) error {
 	return nil
 }
 
-// failCheck builds the condition a blocked receive re-evaluates on every
-// wake-up: revoked epoch, or a dead source with nothing left to deliver.
-// A matching pending message always wins over these (getWait re-matches
-// before failing), so messages a rank sent before dying remain deliverable —
-// which keeps the virtual timeline deterministic.
+// failCheck builds the condition a blocked receive evaluates once per
+// quiescence generation: revoked epoch, or a dead source with nothing left
+// to deliver. It reads the generation's frozen failure snapshot — never the
+// live detector state — so concurrent recovery by already-released ranks
+// cannot change a verdict mid-read. A matching pending message always wins
+// over these (getWait matches before checking, and the scheduler only opens
+// a generation at global quiescence, when every completed send is visible),
+// so messages a rank sent before dying remain deliverable — which keeps the
+// virtual timeline deterministic across replays of one fault plan.
 func (r *Rank) failCheck(src int) func() error {
 	return func() error {
-		if r.cluster.revokedThrough() >= r.epoch {
+		s := r.cluster.sched.snapshot()
+		if s == nil {
+			return nil
+		}
+		if s.revokedThrough >= r.epoch {
 			return RevokedError{Epoch: r.epoch}
 		}
 		if src != AnySource {
-			if r.cluster.isDead(src) {
+			if s.dead[src] {
 				return RankFailedError{Rank: src}
 			}
 			return nil
 		}
 		for _, peer := range r.cluster.ranks {
-			if peer.id != r.id && !r.cluster.isDead(peer.id) {
+			if peer.id != r.id && !s.dead[peer.id] {
 				return nil
 			}
 		}
@@ -265,6 +301,11 @@ func (r *Rank) recv(src, tag int, detectCost vtime.Duration) ([]byte, int, error
 		}
 		return nil, 0, err
 	}
+	if envelopeSum(m.payload) != m.sum {
+		// Wire corruption is rejected at the NIC, so a mismatch here means
+		// the bytes changed while queued in host memory — an ownership bug.
+		return nil, 0, IntegrityError{Src: m.src, Dst: r.id, Seq: m.seq}
+	}
 	r.clock.AdvanceTo(m.arrival)
 	r.clock.Advance(r.Network().RecvOverhead)
 	r.cluster.trace.record(TraceEvent{
@@ -282,6 +323,9 @@ func (r *Rank) TryRecv(src, tag int) ([]byte, int, bool) {
 	m, ok := r.mailbox.tryGet(src, r.wireTag(tag))
 	if !ok {
 		return nil, 0, false
+	}
+	if envelopeSum(m.payload) != m.sum {
+		panic(IntegrityError{Src: m.src, Dst: r.id, Seq: m.seq})
 	}
 	r.clock.AdvanceTo(m.arrival)
 	r.clock.Advance(r.Network().RecvOverhead)

@@ -14,7 +14,8 @@ type TraceEvent struct {
 	// Time is the acting rank's virtual clock when the event completed.
 	Time vtime.Duration
 	Rank int
-	// Kind is "send" or "recv".
+	// Kind is "send", "recv", or "corrupt" (a delivery attempt rejected by
+	// the receiver's envelope checksum and scheduled for retransmit).
 	Kind string
 	Peer int
 	Tag  int
@@ -24,8 +25,11 @@ type TraceEvent struct {
 // String renders one event compactly.
 func (e TraceEvent) String() string {
 	arrow := "->"
-	if e.Kind == "recv" {
+	switch e.Kind {
+	case "recv":
 		arrow = "<-"
+	case "corrupt":
+		arrow = "x>"
 	}
 	return fmt.Sprintf("%12v  r%d %s r%d  tag=%d  %dB", e.Time, e.Rank, arrow, e.Peer, e.Tag, e.Size)
 }

@@ -21,6 +21,9 @@ type Resilience struct {
 	// NoRebalance skips the post-restore Rebalance(Block) that evens the
 	// per-rank load after survivors adopt dead ranks' fragments.
 	NoRebalance bool
+	// Replicas is the checkpoint replication factor (default
+	// mrmpi.DefaultCheckpointReplicas; clamped to the cluster size).
+	Replicas int
 }
 
 // RecoveryReport summarizes the failures a resilient execution absorbed.
@@ -33,6 +36,9 @@ type RecoveryReport struct {
 	// CheckpointBytes / CheckpointWrites describe the stable-storage cost.
 	CheckpointBytes  int64
 	CheckpointWrites int64
+	// CheckpointFailovers counts restores served by a buddy replica because
+	// the primary copy was lost or damaged.
+	CheckpointFailovers int64
 }
 
 // ownDeath reports whether err is this rank's own crash notice.
@@ -60,6 +66,16 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 	store := res.Store
 	if store == nil {
 		store = mrmpi.NewCheckpointStore()
+	}
+	replicas := res.Replicas
+	if replicas <= 0 {
+		replicas = mrmpi.DefaultCheckpointReplicas
+	}
+	store.Configure(cl.Size(), replicas)
+	if plan := cl.FaultPlan(); plan != nil {
+		for _, h := range plan.CheckpointLossHosts() {
+			store.LoseHost(h)
+		}
 	}
 	maxRounds := res.MaxRounds
 	if maxRounds <= 0 {
@@ -207,9 +223,10 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 	})
 
 	report := &RecoveryReport{
-		Failed:           cl.FailedRanks(),
-		CheckpointBytes:  store.TotalBytes(),
-		CheckpointWrites: store.Writes(),
+		Failed:              cl.FailedRanks(),
+		CheckpointBytes:     store.TotalBytes(),
+		CheckpointWrites:    store.Writes(),
+		CheckpointFailovers: store.Failovers(),
 	}
 	failed := map[int]bool{}
 	for _, d := range report.Failed {

@@ -257,3 +257,48 @@ func TestSnapshotPageRoundTrip(t *testing.T) {
 		t.Fatal("partitions did not round-trip")
 	}
 }
+
+// TestExecuteResilientSilentFaultGauntlet throws the full silent-fault plan
+// at a workflow at once — a crash, the loss of the crashed rank's checkpoint
+// host, and a corrupting link — and demands byte-identical partitions, every
+// injected corruption detected, and the lost checkpoints served by buddy
+// replicas.
+func TestExecuteResilientSilentFaultGauntlet(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rows := syntheticIndex(96)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	want, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := vtime.Duration(float64(want.Makespan) * 0.4)
+	cl.SetFaultPlan(&faults.Plan{
+		Seed:     23,
+		Crashes:  []faults.Crash{{Rank: 3, At: at}},
+		CkptLoss: []int{3},
+		Link:     faults.Link{CorruptProb: 0.1},
+	})
+	res, rep, err := executeResilientGuarded(t, cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatalf("resilient execution failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{3}) {
+		t.Fatalf("Failed = %v, want [3]", rep.Failed)
+	}
+	if rep.CheckpointFailovers == 0 {
+		t.Fatal("no checkpoint failovers although the crashed rank's host was lost")
+	}
+	stats := cl.Stats()
+	if stats.CorruptInjected == 0 {
+		t.Fatal("the corrupting link injected nothing")
+	}
+	if stats.CorruptDetected != stats.CorruptInjected {
+		t.Fatalf("silent corruption: injected %d, detected %d", stats.CorruptInjected, stats.CorruptDetected)
+	}
+	if !reflect.DeepEqual(partitionTuples(res), partitionTuples(want)) {
+		t.Fatal("recovered partitions differ from the fault-free reference")
+	}
+	cl.SetFaultPlan(nil)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/keyval"
 	"repro/internal/vtime"
 )
 
@@ -28,6 +29,16 @@ type ChaosScenario struct {
 	Failed          []int
 	Rounds          int
 	CheckpointBytes int64
+	// CorruptInjected / CorruptDetected / Retransmits are the corruption
+	// ablation: payload damage injected by the plan, detections by the
+	// transport's envelope checksum, and total retransmitted delivery
+	// attempts (drops included). Injected == Detected or corruption slipped
+	// through silently.
+	CorruptInjected int64
+	CorruptDetected int64
+	Retransmits     int64
+	// CkptFailovers counts checkpoint restores served by a buddy replica.
+	CkptFailovers int64
 	// Identical reports the partition comparison against the reference
 	// (raw order for the sort workflow, canonical order for hybrid-cut).
 	Identical bool
@@ -43,6 +54,19 @@ type ChaosResult struct {
 	// CheckpointOverheadPct is the zero-fault cost of job-boundary
 	// checkpointing on the sort workflow, percent of the plain makespan.
 	CheckpointOverheadPct float64
+}
+
+// Failed reports whether any scenario violated a correctness requirement:
+// partitions diverging from the fault-free reference, a non-deterministic
+// replay, or corruption accepted without detection. paperbench exits
+// nonzero on it.
+func (r *ChaosResult) Failed() bool {
+	for _, sc := range r.Scenarios {
+		if !sc.Identical || !sc.Deterministic || sc.CorruptInjected != sc.CorruptDetected {
+			return true
+		}
+	}
+	return false
 }
 
 // fingerprint hashes the partitions; canonical additionally sorts rows
@@ -84,12 +108,13 @@ func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uin
 	if c, ok := plan.CrashFor(w.crashRank); ok {
 		sc.CrashAt = c.At
 	}
-	run := func() (*core.Result, *core.RecoveryReport, error) {
+	run := func() (*core.Result, *core.RecoveryReport, cluster.Stats, error) {
 		cl := cluster.New(cluster.DefaultConfig(w.nodes))
 		cl.SetFaultPlan(plan)
-		return core.ExecuteResilient(cl, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl.Size())}, nil)
+		res, rep, err := core.ExecuteResilient(cl, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl.Size())}, nil)
+		return res, rep, cl.Stats(), err
 	}
-	res, rep, err := run()
+	res, rep, stats, err := run()
 	if err != nil {
 		return sc, fmt.Errorf("%s under %s: %w", w.name, plan, err)
 	}
@@ -97,21 +122,34 @@ func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uin
 	sc.Failed = rep.Failed
 	sc.Rounds = rep.Rounds
 	sc.CheckpointBytes = rep.CheckpointBytes
+	sc.CorruptInjected = stats.CorruptInjected
+	sc.CorruptDetected = stats.CorruptDetected
+	sc.Retransmits = stats.Retransmits
+	sc.CkptFailovers = rep.CheckpointFailovers
 	sc.Identical = fingerprint(res.Partitions, w.canonical) == refFP
-	res2, _, err := run()
+	res2, _, stats2, err := run()
 	if err != nil {
 		return sc, fmt.Errorf("%s replay under %s: %w", w.name, plan, err)
 	}
 	sc.Deterministic = res2.Makespan == res.Makespan &&
+		stats2.CorruptInjected == stats.CorruptInjected &&
+		stats2.Retransmits == stats.Retransmits &&
 		fingerprint(res2.Partitions, w.canonical) == fingerprint(res.Partitions, w.canonical)
 	return sc, nil
 }
 
 // Chaos runs the fault-injection sweep: for each workflow, a mid-run rank
-// crash and a 5% message-drop schedule, both seeded and replayed, requiring
-// the recovered partitions to match the fault-free reference.
+// crash, a 5% message-drop schedule, a 5% payload-corruption schedule, and
+// a combined crash + checkpoint-host-loss + corruption gauntlet — all
+// seeded and replayed, requiring the recovered partitions to match the
+// fault-free reference and every injected corruption to be detected.
+//
+// The sweep runs with the keyval page-CRC trailer enabled (end-to-end
+// integrity, not just the transport envelope); reference and faulted runs
+// share the mode, so their makespans stay comparable.
 func Chaos(opts Options) (*ChaosResult, error) {
 	opts = opts.withDefaults()
+	defer keyval.SetPageCRC(keyval.SetPageCRC(true))
 	nodes := opts.Nodes / 2
 	if nodes < 2 {
 		nodes = 2
@@ -178,6 +216,33 @@ func Chaos(opts Options) (*ChaosResult, error) {
 			return nil, err
 		}
 		out.Scenarios = append(out.Scenarios, sc)
+
+		// Scenario C: 5% payload corruption, no crashes. Every damaged
+		// delivery must be caught by the envelope checksum and retransmitted.
+		corrupt := &faults.Plan{
+			Seed: opts.Seed + 2,
+			Link: faults.Link{CorruptProb: 0.05},
+		}
+		sc, err = w.runChaos(corrupt, ref.Makespan, refFP)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+
+		// Scenario D: the silent-fault gauntlet — a mid-run crash, the loss
+		// of the crashed rank's checkpoint host (restores must fail over to
+		// the buddy replica), and a corrupting link, all at once.
+		gauntlet := &faults.Plan{
+			Seed:     opts.Seed + 3,
+			Crashes:  []faults.Crash{{Rank: w.crashRank, At: vtime.Duration(float64(ref.Makespan) * 0.4)}},
+			CkptLoss: []int{w.crashRank},
+			Link:     faults.Link{CorruptProb: 0.05},
+		}
+		sc, err = w.runChaos(gauntlet, ref.Makespan, refFP)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
 	}
 	return out, nil
 }
@@ -195,17 +260,25 @@ func (r *ChaosResult) Render() string {
 			replay = "replayable"
 		}
 		overhead := 100 * (float64(sc.Makespan)/float64(sc.Reference) - 1)
+		integrity := fmt.Sprintf("inj=%d det=%d rtx=%d", sc.CorruptInjected, sc.CorruptDetected, sc.Retransmits)
+		if sc.CorruptInjected != sc.CorruptDetected {
+			integrity += " SILENT"
+		}
+		if sc.CkptFailovers > 0 {
+			integrity += fmt.Sprintf(" fo=%d", sc.CkptFailovers)
+		}
 		rows = append(rows, []string{
 			sc.Workflow,
 			sc.Plan,
 			fmt.Sprintf("%v -> %v (+%.0f%%)", sc.Reference, sc.Makespan, overhead),
 			fmt.Sprintf("failed=%v rounds=%d", sc.Failed, sc.Rounds),
+			integrity,
 			verdict,
 			replay,
 		})
 	}
-	return fmt.Sprintf("Fault injection (crash mid-run, 5%% drops) on the two headline workflows.\n"+
-		"Zero-fault checkpoint overhead (blast): %.1f%% of makespan.\n%s",
+	return fmt.Sprintf("Fault injection (crash mid-run, 5%% drops, 5%% corruption, crash+checkpoint-loss) on the two headline workflows.\n"+
+		"Zero-fault checkpoint overhead (blast): %.1f%% of makespan. Page CRC trailers enabled for the sweep.\n%s",
 		r.CheckpointOverheadPct,
-		table([]string{"workflow", "fault plan", "makespan", "recovery", "partitions", "replay"}, rows))
+		table([]string{"workflow", "fault plan", "makespan", "recovery", "integrity", "partitions", "replay"}, rows))
 }

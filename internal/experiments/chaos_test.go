@@ -5,13 +5,23 @@ import (
 	"testing"
 )
 
+// Per workflow the sweep runs {crash, drops, corrupt, gauntlet} in that
+// order; these offsets name the scenario within each workflow's block of 4.
+const (
+	scCrash = iota
+	scDrops
+	scCorrupt
+	scGauntlet
+	scPerWorkflow
+)
+
 func TestChaosShape(t *testing.T) {
 	r, err := Chaos(testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Scenarios) != 4 {
-		t.Fatalf("want 4 scenarios (2 workflows x {crash, drops}), got %d", len(r.Scenarios))
+	if len(r.Scenarios) != 2*scPerWorkflow {
+		t.Fatalf("want 8 scenarios (2 workflows x {crash, drops, corrupt, gauntlet}), got %d", len(r.Scenarios))
 	}
 	for _, sc := range r.Scenarios {
 		if !sc.Identical {
@@ -26,10 +36,17 @@ func TestChaosShape(t *testing.T) {
 		if sc.CheckpointBytes == 0 {
 			t.Errorf("%s: no checkpoints written", sc.Workflow)
 		}
+		if sc.CorruptInjected != sc.CorruptDetected {
+			t.Errorf("%s under %q: silent corruption: injected %d, detected %d",
+				sc.Workflow, sc.Plan, sc.CorruptInjected, sc.CorruptDetected)
+		}
 	}
-	// The crash scenarios (even indices) must report the dead rank and at
-	// least one recovery round, and recovery costs virtual time.
-	for _, i := range []int{0, 2} {
+	if r.Failed() {
+		t.Error("Failed() true although every scenario passed its own checks")
+	}
+	// The crash scenarios must report the dead rank and at least one
+	// recovery round, and recovery costs virtual time.
+	for _, i := range []int{scCrash, scPerWorkflow + scCrash} {
 		sc := r.Scenarios[i]
 		if len(sc.Failed) != 1 || sc.Rounds < 1 {
 			t.Errorf("%s: crash not recovered: failed=%v rounds=%d", sc.Workflow, sc.Failed, sc.Rounds)
@@ -41,18 +58,44 @@ func TestChaosShape(t *testing.T) {
 			t.Errorf("%s: crash time %v outside run (makespan %v)", sc.Workflow, sc.CrashAt, sc.Makespan)
 		}
 	}
-	// The drop scenarios (odd indices) are absorbed by the transport.
-	for _, i := range []int{1, 3} {
+	// The drop scenarios are absorbed by the transport.
+	for _, i := range []int{scDrops, scPerWorkflow + scDrops} {
 		sc := r.Scenarios[i]
 		if len(sc.Failed) != 0 || sc.Rounds != 0 {
 			t.Errorf("%s: drops must not kill ranks: failed=%v rounds=%d", sc.Workflow, sc.Failed, sc.Rounds)
+		}
+	}
+	// The corruption scenarios: damage injected, every instance detected,
+	// each detection forcing a retransmission; no rank dies.
+	for _, i := range []int{scCorrupt, scPerWorkflow + scCorrupt} {
+		sc := r.Scenarios[i]
+		if sc.CorruptInjected == 0 {
+			t.Errorf("%s under %q: corrupting link injected nothing", sc.Workflow, sc.Plan)
+		}
+		if sc.Retransmits < sc.CorruptDetected {
+			t.Errorf("%s: retransmits %d < detections %d", sc.Workflow, sc.Retransmits, sc.CorruptDetected)
+		}
+		if len(sc.Failed) != 0 {
+			t.Errorf("%s: corruption must not kill ranks: failed=%v", sc.Workflow, sc.Failed)
+		}
+	}
+	// The gauntlet scenarios: the crashed rank's checkpoint host is lost, so
+	// recovery must have failed over to buddy replicas.
+	for _, i := range []int{scGauntlet, scPerWorkflow + scGauntlet} {
+		sc := r.Scenarios[i]
+		if len(sc.Failed) != 1 || sc.Rounds < 1 {
+			t.Errorf("%s: gauntlet crash not recovered: failed=%v rounds=%d", sc.Workflow, sc.Failed, sc.Rounds)
+		}
+		if sc.CkptFailovers == 0 {
+			t.Errorf("%s under %q: no checkpoint failovers despite losing the crashed rank's host", sc.Workflow, sc.Plan)
 		}
 	}
 	if r.CheckpointOverheadPct <= 0 {
 		t.Errorf("zero-fault checkpoint overhead missing: %.2f%%", r.CheckpointOverheadPct)
 	}
 	out := r.Render()
-	if !strings.Contains(out, "Fault injection") || !strings.Contains(out, "identical") {
+	if !strings.Contains(out, "Fault injection") || !strings.Contains(out, "identical") ||
+		!strings.Contains(out, "inj=") {
 		t.Errorf("Render incomplete:\n%s", out)
 	}
 }

@@ -56,6 +56,39 @@ type Link struct {
 	DelayProb float64
 	// Delay is the extra latency added when DelayProb fires.
 	Delay vtime.Duration
+	// CorruptProb is the probability one delivery attempt arrives with a
+	// corrupted payload (a flipped bit, or a truncation for a fraction of
+	// corruptions). The transport's envelope checksum detects the damage at
+	// the receiving NIC, which NACKs; the sender retransmits with the same
+	// exponential backoff a drop pays. Empty payloads cannot be corrupted.
+	CorruptProb float64
+}
+
+// Corruption describes how one delivery attempt's payload is damaged, derived
+// deterministically from the message coordinates. Truncate=false flips the
+// bit Bit (counted from the payload's first byte, LSB first); Truncate=true
+// cuts the payload down to Keep bytes (Keep < original length).
+type Corruption struct {
+	Truncate bool
+	Bit      int
+	Keep     int
+}
+
+// Apply returns a damaged copy of payload (never the original slice, which
+// the sender still owns). Payloads of length zero are returned unchanged —
+// there is nothing to corrupt.
+func (c Corruption) Apply(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	if c.Truncate {
+		keep := c.Keep % len(payload)
+		return append([]byte(nil), payload[:keep]...)
+	}
+	cp := append([]byte(nil), payload...)
+	bit := c.Bit % (8 * len(cp))
+	cp[bit/8] ^= 1 << (bit % 8)
+	return cp
 }
 
 // Straggler degrades one node: every rank on the node runs its compute
@@ -81,6 +114,12 @@ type Plan struct {
 	Link Link
 	// Stragglers lists degraded nodes.
 	Stragglers []Straggler
+	// CkptLoss lists ranks whose local checkpoint-replica storage is
+	// destroyed: every replica the replicated CheckpointStore placed on
+	// these ranks is unavailable at restore time, forcing a failover to the
+	// surviving buddy copy. Composes with Crashes — crash a rank AND lose
+	// its storage to model a node whose burst buffer dies with it.
+	CkptLoss []int
 }
 
 // CrashFor returns the crash scheduled for the rank, if any. When several
@@ -118,12 +157,14 @@ func (p *Plan) uniform(salt uint64, src, dst int, seq int64, attempt int) float6
 	return float64(h>>11) / float64(1<<53)
 }
 
-// Decision salts — arbitrary distinct constants so drop/dup/delay deviates
-// are independent of one another.
+// Decision salts — arbitrary distinct constants so drop/dup/delay/corrupt
+// deviates are independent of one another.
 const (
-	saltDrop  = 0x647270 // "drp"
-	saltDup   = 0x647570 // "dup"
-	saltDelay = 0x646c79 // "dly"
+	saltDrop    = 0x647270 // "drp"
+	saltDup     = 0x647570 // "dup"
+	saltDelay   = 0x646c79 // "dly"
+	saltCorrupt = 0x637074 // "cpt"
+	saltCrptHow = 0x686f77 // "how"
 )
 
 // Dropped reports whether delivery attempt `attempt` of message `seq` on the
@@ -141,6 +182,53 @@ func (p *Plan) Duplicated(src, dst int, seq int64, attempt int) bool {
 		return false
 	}
 	return p.uniform(saltDup, src, dst, seq, attempt) < p.Link.DupProb
+}
+
+// Corrupted reports whether delivery attempt `attempt` of message `seq` on
+// the src->dst link arrives with a damaged payload.
+func (p *Plan) Corrupted(src, dst int, seq int64, attempt int) bool {
+	if p == nil || p.Link.CorruptProb <= 0 {
+		return false
+	}
+	return p.uniform(saltCorrupt, src, dst, seq, attempt) < p.Link.CorruptProb
+}
+
+// CorruptionFor derives the deterministic damage spec for a corrupted
+// attempt: one corruption in eight is a truncation, the rest flip a single
+// bit. Bit and Keep are raw deviates; Corruption.Apply reduces them modulo
+// the payload size so the same spec replays on any payload.
+func (p *Plan) CorruptionFor(src, dst int, seq int64, attempt int) Corruption {
+	h := splitmix64(uint64(p.Seed) ^ saltCrptHow)
+	h = splitmix64(h ^ uint64(src)<<32 ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ uint64(seq))
+	h = splitmix64(h ^ uint64(attempt))
+	c := Corruption{Truncate: h&7 == 0}
+	c.Bit = int((h >> 3) & 0x7fffffff)
+	c.Keep = int((h >> 34) & 0x3fffffff)
+	return c
+}
+
+// CheckpointHostLost reports whether rank's local checkpoint-replica storage
+// is destroyed by this plan.
+func (p *Plan) CheckpointHostLost(rank int) bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.CkptLoss {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckpointLossHosts returns the ranks whose replica storage the plan
+// destroys (nil when none).
+func (p *Plan) CheckpointLossHosts() []int {
+	if p == nil {
+		return nil
+	}
+	return p.CkptLoss
 }
 
 // ExtraDelay returns any extra wire latency injected on the delivery.
@@ -210,11 +298,21 @@ func (p *Plan) String() string {
 	if p.Link.DelayProb > 0 {
 		parts = append(parts, fmt.Sprintf("delay=%g%%/%s", p.Link.DelayProb*100, p.Link.Delay.Std()))
 	}
+	if p.Link.CorruptProb > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g%%", p.Link.CorruptProb*100))
+	}
 	for _, s := range p.Stragglers {
 		parts = append(parts, fmt.Sprintf("straggle=%dx%g", s.Node, s.ComputeFactor))
 	}
+	for _, r := range p.CkptLoss {
+		parts = append(parts, fmt.Sprintf("ckptloss=%d", r))
+	}
 	return fmt.Sprintf("%d:%s", p.Seed, strings.Join(parts, ","))
 }
+
+// ValidKinds lists the event kinds Parse accepts, for error messages and
+// usage strings.
+var ValidKinds = []string{"crash", "drop", "dup", "delay", "corrupt", "straggle", "ckptloss"}
 
 // Parse reads the compact plan syntax the papar CLI uses:
 //
@@ -223,12 +321,14 @@ func (p *Plan) String() string {
 //	         | "drop="  PERCENT
 //	         | "dup="   PERCENT
 //	         | "delay=" PERCENT "/" DURATION
+//	         | "corrupt=" PERCENT
 //	         | "straggle=" NODE "x" FACTOR
+//	         | "ckptloss=" RANK
 //
 // DURATION uses Go notation ("2ms", "150us"); PERCENT is "5%" or a bare
 // fraction ("0.05"). Example:
 //
-//	42:crash=3@2ms,drop=5%,straggle=1x3
+//	42:crash=3@2ms,drop=5%,corrupt=1%,ckptloss=3,straggle=1x3
 func Parse(spec string) (*Plan, error) {
 	seedStr, rest, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -299,6 +399,21 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faults: bad delay duration %q", durStr)
 			}
 			p.Link.Delay = vtime.Duration(d)
+		case "corrupt":
+			if p.Link.CorruptProb, err = parsePercent(arg); err != nil {
+				return nil, err
+			}
+		case "ckptloss":
+			rank, err := strconv.Atoi(arg)
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("faults: bad ckptloss rank %q", arg)
+			}
+			for _, r := range p.CkptLoss {
+				if r == rank {
+					return nil, fmt.Errorf("faults: rank %d's checkpoint storage lost twice in one plan", rank)
+				}
+			}
+			p.CkptLoss = append(p.CkptLoss, rank)
 		case "straggle":
 			nodeStr, factorStr, ok := strings.Cut(arg, "x")
 			if !ok {
@@ -316,7 +431,8 @@ func Parse(spec string) (*Plan, error) {
 				Node: node, ComputeFactor: factor, NetworkFactor: factor,
 			})
 		default:
-			return nil, fmt.Errorf("faults: unknown event kind %q", kind)
+			return nil, fmt.Errorf("faults: unknown event kind %q (valid kinds: %s)",
+				kind, strings.Join(ValidKinds, ", "))
 		}
 	}
 	return p, nil

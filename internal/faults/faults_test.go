@@ -1,7 +1,9 @@
 package faults
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/vtime"
@@ -62,10 +64,84 @@ func TestParseErrors(t *testing.T) {
 		"1:delay=5%",
 		"1:straggle=1x0.5",
 		"1:frob=1",
+		"1:corrupt=120%",
+		"1:ckptloss=-2",
+		"1:ckptloss=x",
+		"1:ckptloss=2,ckptloss=2",
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", spec)
 		}
+	}
+}
+
+// TestParseUnknownKindListsValid: a typo'd event kind must name every valid
+// kind in the error so the CLI user can self-correct.
+func TestParseUnknownKindListsValid(t *testing.T) {
+	_, err := Parse("1:corupt=5%")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, kind := range ValidKinds {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("error %q does not mention valid kind %q", err, kind)
+		}
+	}
+}
+
+func TestParseCorruptAndCkptLoss(t *testing.T) {
+	p, err := Parse("9:corrupt=2%,ckptloss=3,ckptloss=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Link.CorruptProb != 0.02 {
+		t.Fatalf("CorruptProb = %v", p.Link.CorruptProb)
+	}
+	if !p.CheckpointHostLost(3) || !p.CheckpointHostLost(1) || p.CheckpointHostLost(2) {
+		t.Fatalf("CkptLoss = %v", p.CkptLoss)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip %q != %q", p2.String(), p.String())
+	}
+}
+
+// TestCorruptionDamages: Apply always returns bytes different from the
+// original for non-empty payloads (either a flipped bit or a shorter slice),
+// and the same coordinates damage identically.
+func TestCorruptionDamages(t *testing.T) {
+	p := &Plan{Seed: 11, Link: Link{CorruptProb: 1}}
+	payload := []byte("the quick brown fox")
+	truncations := 0
+	for seq := int64(0); seq < 256; seq++ {
+		if !p.Corrupted(0, 1, seq, 0) {
+			t.Fatalf("CorruptProb=1 did not corrupt seq %d", seq)
+		}
+		c := p.CorruptionFor(0, 1, seq, 0)
+		got := c.Apply(payload)
+		if c.Truncate {
+			truncations++
+			if len(got) >= len(payload) {
+				t.Fatalf("truncation kept %d of %d bytes", len(got), len(payload))
+			}
+		} else {
+			if len(got) != len(payload) || bytes.Equal(got, payload) {
+				t.Fatalf("bit flip left payload intact (seq %d)", seq)
+			}
+		}
+		again := p.CorruptionFor(0, 1, seq, 0).Apply(payload)
+		if !bytes.Equal(got, again) {
+			t.Fatalf("corruption not deterministic for seq %d", seq)
+		}
+	}
+	if truncations == 0 || truncations == 256 {
+		t.Fatalf("want a mix of truncations and bit flips, got %d/256 truncations", truncations)
+	}
+	if empty := p.CorruptionFor(0, 1, 0, 0).Apply(nil); len(empty) != 0 {
+		t.Fatalf("corrupting an empty payload produced %d bytes", len(empty))
 	}
 }
 
@@ -126,5 +202,11 @@ func TestNilPlanIsFaultFree(t *testing.T) {
 	}
 	if _, ok := p.CrashFor(0); ok {
 		t.Fatal("nil plan crashed a rank")
+	}
+	if p.Corrupted(0, 1, 0, 0) {
+		t.Fatal("nil plan corrupted a payload")
+	}
+	if p.CheckpointHostLost(0) || p.CheckpointLossHosts() != nil {
+		t.Fatal("nil plan lost checkpoint storage")
 	}
 }

@@ -1,0 +1,159 @@
+package keyval
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// withPageCRC runs body with page sealing forced on, restoring the previous
+// mode afterwards.
+func withPageCRC(t *testing.T, body func(t *testing.T)) {
+	t.Helper()
+	prev := SetPageCRC(true)
+	defer SetPageCRC(prev)
+	body(t)
+}
+
+func sampleList() *List {
+	l := NewList(4)
+	l.Add([]byte("alpha"), []byte("1"))
+	l.Add([]byte("beta"), []byte("22"))
+	l.Add([]byte("gamma"), []byte("333"))
+	l.Add([]byte("alpha"), []byte("4444"))
+	return l
+}
+
+func TestPageCRCRoundTrip(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		l := sampleList()
+		enc := l.Encode()
+		if len(enc) != l.EncodedSize() {
+			t.Fatalf("len(Encode()) = %d, EncodedSize() = %d", len(enc), l.EncodedSize())
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 4 || !bytes.Equal(got.Key(2), []byte("gamma")) {
+			t.Fatalf("round trip lost data: %d pairs", got.Len())
+		}
+		if got.Bytes() != l.Bytes() {
+			t.Fatalf("decoded Bytes() = %d includes trailer, want %d", got.Bytes(), l.Bytes())
+		}
+	})
+}
+
+func TestPageCRCRoundTripPermuted(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		l := sampleList()
+		l.Sort()
+		enc := l.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Key(0), []byte("alpha")) || !bytes.Equal(got.Key(3), []byte("gamma")) {
+			t.Fatalf("sorted round trip wrong order: %v %v", got.Key(0), got.Key(3))
+		}
+	})
+}
+
+func TestPageCRCRoundTripEmpty(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		enc := NewList(0).Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 0 {
+			t.Fatalf("empty round trip: %d pairs", got.Len())
+		}
+	})
+}
+
+// TestPageCRCDetectsEveryBitFlip: CRC32C catches any single-bit flip
+// anywhere in the page, including inside the trailer itself.
+func TestPageCRCDetectsEveryBitFlip(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		enc := sampleList().Encode()
+		for bit := 0; bit < 8*len(enc); bit++ {
+			cp := append([]byte(nil), enc...)
+			cp[bit/8] ^= 1 << (bit % 8)
+			l, err := Decode(cp)
+			if err == nil {
+				t.Fatalf("bit flip %d decoded silently (%d pairs)", bit, l.Len())
+			}
+			var ie *IntegrityError
+			if !errors.As(err, &ie) {
+				t.Fatalf("bit flip %d: error %v is not an IntegrityError", bit, err)
+			}
+		}
+	})
+}
+
+func TestPageCRCDetectsTruncation(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		enc := sampleList().Encode()
+		for keep := 0; keep < len(enc); keep++ {
+			if _, err := Decode(enc[:keep]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded silently", keep)
+			}
+		}
+		// DecodeCopy must reject the same inputs without leaking pool buffers.
+		if _, err := DecodeCopy(enc[:len(enc)-3]); err == nil {
+			t.Fatal("DecodeCopy accepted a truncated page")
+		}
+	})
+}
+
+// TestPageCRCModeMismatch: sealed pages do not decode with the mode off
+// (trailing bytes), and unsealed pages do not decode with the mode on.
+func TestPageCRCModeMismatch(t *testing.T) {
+	l := sampleList()
+	prev := SetPageCRC(true)
+	sealed := append([]byte(nil), l.Encode()...)
+	SetPageCRC(false)
+	plain := append([]byte(nil), sampleList().Encode()...)
+	if _, err := Decode(sealed); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("sealed page with mode off: err = %v, want trailing-bytes rejection", err)
+	}
+	SetPageCRC(true)
+	if _, err := Decode(plain); err == nil {
+		t.Fatal("unsealed page decoded with mode on")
+	}
+	SetPageCRC(prev)
+}
+
+// TestPageCRCSnapshotOffset: AppendEncoded seals only its own page image,
+// even when the caller prepended bytes (checkpoint snapshots do).
+func TestPageCRCSnapshotOffset(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		l := sampleList()
+		page := l.AppendEncoded([]byte{0x7f})
+		got, err := Decode(page[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 4 {
+			t.Fatalf("snapshot round trip: %d pairs", got.Len())
+		}
+	})
+}
+
+// TestPageCRCZeroCopyWhenRoom: a sized list has spare capacity, so sealing
+// must not copy the page.
+func TestPageCRCZeroCopyWhenRoom(t *testing.T) {
+	withPageCRC(t, func(t *testing.T) {
+		l := NewListSized(1, 64)
+		l.Add([]byte("k"), []byte("v"))
+		enc := l.Encode()
+		if &enc[0] != &l.buf[0] {
+			t.Fatal("Encode copied a page that had room for the trailer")
+		}
+		if !l.leased {
+			t.Fatal("zero-copy sealed page did not lease the buffer")
+		}
+	})
+}

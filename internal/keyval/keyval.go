@@ -45,6 +45,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/aspas"
 )
@@ -233,8 +234,9 @@ func (l *List) SortFunc(less func(a, b KV) bool) {
 	l.markPermuted()
 }
 
-// EncodedSize returns len(Encode()) without encoding.
-func (l *List) EncodedSize() int { return 4 + l.Bytes() }
+// EncodedSize returns len(Encode()) without encoding, including the
+// integrity trailer when page CRC mode is on.
+func (l *List) EncodedSize() int { return 4 + l.Bytes() + trailerLen() }
 
 // Encode frames the list into a single wire buffer:
 //
@@ -244,18 +246,36 @@ func (l *List) EncodedSize() int { return 4 + l.Bytes() }
 // (the count header is patched in place); the result is invalidated by a
 // later Add. A permuted page is rebuilt once into a pooled buffer.
 func (l *List) Encode() []byte {
+	crc := pageCRCOn.Load()
 	if len(l.off) == 0 {
-		return make([]byte, 4)
+		out := make([]byte, 4, 4+trailerLen())
+		if crc {
+			out = sealPage(out)
+		}
+		return out
 	}
 	if !l.permuted {
 		binary.LittleEndian.PutUint32(l.buf[:4], uint32(len(l.off)))
-		l.leased = true
-		return l.buf
+		if !crc {
+			l.leased = true
+			return l.buf
+		}
+		if cap(l.buf)-len(l.buf) >= trailerSize {
+			// Room for the trailer in the backing buffer: still zero-copy.
+			l.leased = true
+			return sealPage(l.buf)
+		}
+		// No spare capacity: seal into a pooled copy and keep the page's own
+		// backing (the list is not leased).
+		return sealPage(append(getBuf(l.EncodedSize()), l.buf...))
 	}
 	out := getBuf(l.EncodedSize())
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(l.off)))
 	for _, o := range l.off {
 		out = append(out, l.record(o)...)
+	}
+	if crc {
+		out = sealPage(out)
 	}
 	return out
 }
@@ -264,15 +284,23 @@ func (l *List) Encode() []byte {
 // the pair bytes are always copied, so the result shares nothing with the
 // page — the form checkpoint stores require.
 func (l *List) AppendEncoded(dst []byte) []byte {
+	start := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(l.off)))
 	if !l.permuted {
 		if len(l.buf) > 4 {
 			dst = append(dst, l.buf[4:]...)
 		}
-		return dst
+	} else {
+		for _, o := range l.off {
+			dst = append(dst, l.record(o)...)
+		}
 	}
-	for _, o := range l.off {
-		dst = append(dst, l.record(o)...)
+	if pageCRCOn.Load() {
+		// The trailer covers this page's image only, not whatever the caller
+		// already had in dst (checkpoint snapshots prepend a flag byte).
+		sum := crc32.Checksum(dst[start:], castagnoli)
+		dst = binary.LittleEndian.AppendUint32(dst, pageMagic)
+		dst = binary.LittleEndian.AppendUint32(dst, sum)
 	}
 	return dst
 }
@@ -295,6 +323,17 @@ func (l *List) Release() {
 // validated zero-copy view: it aliases buf and allocates only the offsets
 // index (from the pool).
 func Decode(buf []byte) (*List, error) {
+	if pageCRCOn.Load() {
+		// Verify the trailer before trusting a single header, then walk the
+		// stripped body exactly as in trailer-less mode. The returned list's
+		// buf excludes the trailer (same backing array), so Bytes() and
+		// AppendList's wholesale-copy path see only pair bytes.
+		body, err := verifyPage(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = body
+	}
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("keyval: short buffer (%d bytes)", len(buf))
 	}

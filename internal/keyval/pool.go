@@ -54,8 +54,22 @@ var (
 	idxPool slicePool[int32]
 )
 
-func getBuf(n int) []byte   { return bufPool.get(n) }
-func putBuf(b []byte)       { bufPool.put(b) }
+// getBuf/putBuf route through the ownership sanitizer when it is enabled
+// (see sanitizer.go); only byte buffers carry ownership hazards.
+func getBuf(n int) []byte {
+	if poolSanitizerOn.Load() {
+		return sanGet(n)
+	}
+	return bufPool.get(n)
+}
+
+func putBuf(b []byte) {
+	if poolSanitizerOn.Load() {
+		sanPut(b)
+		return
+	}
+	bufPool.put(b)
+}
 func getOff(n int) []uint32 { return offPool.get(n) }
 func putOff(o []uint32)     { offPool.put(o) }
 func getIdx(n int) []int32  { return idxPool.get(n) }

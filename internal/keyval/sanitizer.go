@@ -1,0 +1,174 @@
+package keyval
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Pool-ownership sanitizer.
+//
+// The zero-copy page design trades safety for speed: Encode hands out a
+// list's backing buffer, Decode returns aliasing views, and Release/Recycle
+// feed the shared pools. Every rule in the package comment ("call Recycle
+// exactly once", "only Release when no views are outstanding") is enforced
+// by nothing at all in normal operation — a violation shows up far away, as
+// a page whose bytes changed while another rank was reading it.
+//
+// The sanitizer (PAPAR_POOL_SANITIZER=1, or SetPoolSanitizer) turns those
+// rules into immediate, attributable panics, ASAN-style:
+//
+//   - get: buffers are always freshly allocated (never from sync.Pool) and
+//     tracked as live.
+//   - put: the buffer is checked against the quarantine (a second put of the
+//     same backing array is a DOUBLE RELEASE), poison-filled, and moved to a
+//     bounded quarantine instead of the pool — so no later lease can alias
+//     it, and any write through a stale view lands in poison.
+//   - verify (PoolSanitizerCheck, also run on quarantine eviction and on
+//     disable): a quarantined buffer whose poison was overwritten is a USE
+//     AFTER RELEASE.
+//   - leaks: PoolSanitizerLive reports buffers leased from the pool and
+//     never returned. Dropping a list for the GC is legal in normal runs, so
+//     leak counting is a query, not a panic — tests assert it at points
+//     where everything should be balanced.
+//
+// Only byte buffers (pages/wire images) are sanitized; offset and index
+// slices never cross ownership boundaries. The sanitizer holds strong
+// references to quarantined buffers, so backing-array addresses cannot be
+// recycled by the GC and re-trip the double-release check. It costs
+// allocation rate and memory — it is a debugging mode, not a fast path.
+
+const (
+	poisonByte = 0xDB
+	// maxQuarantine bounds the strong references held; the oldest entry is
+	// poison-verified and then surrendered to the GC when the bound is hit.
+	maxQuarantine = 1024
+)
+
+var poolSanitizerOn atomic.Bool
+
+func init() {
+	if v := os.Getenv("PAPAR_POOL_SANITIZER"); v != "" && v != "0" && v != "false" {
+		poolSanitizerOn.Store(true)
+	}
+}
+
+// PoolSanitizerEnabled reports whether buffer ownership is being tracked.
+func PoolSanitizerEnabled() bool { return poolSanitizerOn.Load() }
+
+// SetPoolSanitizer switches the sanitizer on or off and returns the previous
+// setting. Enabling resets all tracking state; disabling verifies the
+// quarantine one last time and drops it.
+func SetPoolSanitizer(on bool) (prev bool) {
+	san.mu.Lock()
+	prev = poolSanitizerOn.Load()
+	if on {
+		san.live = map[*byte][]byte{}
+		san.quarIdx = map[*byte]int{}
+		san.quar = nil
+	} else if prev {
+		for _, q := range san.quar {
+			san.verifyPoison(q)
+		}
+		san.live, san.quarIdx, san.quar = nil, nil, nil
+	}
+	poolSanitizerOn.Store(on)
+	san.mu.Unlock()
+	return prev
+}
+
+var san sanitizer
+
+type sanitizer struct {
+	mu sync.Mutex
+	// live maps backing-array pointer -> the buffer, for every buffer leased
+	// by getBuf and not yet released.
+	live map[*byte][]byte
+	// quar holds released, poison-filled buffers (strong refs, FIFO);
+	// quarIdx indexes their backing pointers for the double-release check.
+	quar    [][]byte
+	quarIdx map[*byte]int
+}
+
+// key returns the identity of a buffer: its backing-array pointer. Two
+// slices of the same allocation starting at offset 0 share a key.
+func sanKey(b []byte) *byte { return unsafe.SliceData(b[:cap(b)]) }
+
+// sanGet allocates a fresh tracked buffer (sanitizer-on replacement for the
+// pooled get).
+func sanGet(n int) []byte {
+	b := make([]byte, 0, n)
+	if cap(b) == 0 {
+		return b
+	}
+	k := sanKey(b)
+	san.mu.Lock()
+	if san.live != nil {
+		san.live[k] = b[:cap(b)]
+	}
+	san.mu.Unlock()
+	return b
+}
+
+// sanPut checks and quarantines a released buffer (sanitizer-on replacement
+// for the pooled put).
+func sanPut(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	k := sanKey(b)
+	full := b[:cap(b)]
+	san.mu.Lock()
+	defer san.mu.Unlock()
+	if san.quarIdx == nil {
+		return
+	}
+	if _, dup := san.quarIdx[k]; dup {
+		panic(fmt.Sprintf("keyval: pool sanitizer: double release of %d-byte buffer (already in quarantine)", cap(b)))
+	}
+	delete(san.live, k)
+	for i := range full {
+		full[i] = poisonByte
+	}
+	san.quarIdx[k] = len(san.quar)
+	san.quar = append(san.quar, full)
+	if len(san.quar) > maxQuarantine {
+		old := san.quar[0]
+		san.verifyPoison(old)
+		delete(san.quarIdx, sanKey(old))
+		san.quar = san.quar[1:]
+		for kk, i := range san.quarIdx {
+			san.quarIdx[kk] = i - 1
+		}
+	}
+}
+
+// verifyPoison panics if a quarantined buffer was written after release.
+// Callers hold san.mu.
+func (s *sanitizer) verifyPoison(b []byte) {
+	for i, c := range b {
+		if c != poisonByte {
+			panic(fmt.Sprintf("keyval: pool sanitizer: use after release — byte %d of a released %d-byte buffer was overwritten (0x%02x)", i, len(b), c))
+		}
+	}
+}
+
+// PoolSanitizerCheck verifies every quarantined buffer still holds its
+// poison fill, panicking with a use-after-release diagnostic otherwise.
+func PoolSanitizerCheck() {
+	san.mu.Lock()
+	defer san.mu.Unlock()
+	for _, q := range san.quar {
+		san.verifyPoison(q)
+	}
+}
+
+// PoolSanitizerLive returns how many pool-leased buffers have not been
+// released — the leak count at a point where the caller expects balance.
+func PoolSanitizerLive() int {
+	san.mu.Lock()
+	defer san.mu.Unlock()
+	return len(san.live)
+}

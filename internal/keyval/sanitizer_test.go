@@ -1,0 +1,131 @@
+package keyval
+
+import (
+	"strings"
+	"testing"
+)
+
+// withSanitizer runs body with the ownership sanitizer forced on (fresh
+// state), restoring the previous mode afterwards.
+func withSanitizer(t *testing.T, body func(t *testing.T)) {
+	t.Helper()
+	prev := SetPoolSanitizer(true)
+	defer func() {
+		if r := recover(); r != nil {
+			// Drop poisoned state before re-panicking so later tests start
+			// clean even if body tripped a diagnostic it did not expect.
+			san.mu.Lock()
+			san.live, san.quarIdx, san.quar = map[*byte][]byte{}, map[*byte]int{}, nil
+			san.mu.Unlock()
+			SetPoolSanitizer(prev)
+			panic(r)
+		}
+		SetPoolSanitizer(prev)
+	}()
+	body(t)
+}
+
+// expectPanic runs f and returns the recovered panic message, failing the
+// test if f returns normally.
+func expectPanic(t *testing.T, what string, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+		t.Fatalf("%s did not panic", what)
+	}()
+	return msg
+}
+
+// TestSanitizerCleanCycleBalances: a correct lease/transport/decode/release
+// cycle trips nothing and ends with zero live buffers.
+func TestSanitizerCleanCycleBalances(t *testing.T) {
+	withSanitizer(t, func(t *testing.T) {
+		for i := 0; i < 8; i++ {
+			l := NewListSized(2, 64)
+			l.Add([]byte("key"), []byte("value"))
+			l.Add([]byte("key2"), []byte("value2"))
+			wire := l.Encode()
+			l.Release() // leased: leaves the buffer to the wire's consumer
+			view, err := Decode(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view.Release() // consumer done: recycles the wire buffer
+		}
+		PoolSanitizerCheck()
+		if n := PoolSanitizerLive(); n != 0 {
+			t.Fatalf("balanced cycle leaked %d buffers", n)
+		}
+	})
+}
+
+// TestSanitizerCatchesDoubleRelease: the satellite negative test — a
+// deliberate second Recycle of the same wire buffer must die with a
+// double-release diagnostic, not silently poison the pool.
+func TestSanitizerCatchesDoubleRelease(t *testing.T) {
+	withSanitizer(t, func(t *testing.T) {
+		l := NewListSized(1, 64)
+		l.Add([]byte("k"), []byte("v"))
+		wire := l.Encode()
+		Recycle(wire)
+		msg := expectPanic(t, "second Recycle", func() { Recycle(wire) })
+		if !strings.Contains(msg, "double release") {
+			t.Fatalf("diagnostic %q does not name the double release", msg)
+		}
+	})
+}
+
+// TestSanitizerCatchesUseAfterRelease: writing through a stale view of a
+// released buffer lands in poison and is reported at the next check.
+func TestSanitizerCatchesUseAfterRelease(t *testing.T) {
+	withSanitizer(t, func(t *testing.T) {
+		l := NewListSized(1, 64)
+		l.Add([]byte("k"), []byte("v"))
+		wire := l.Encode()
+		stale := wire[:8] // a view someone kept past the hand-back
+		Recycle(wire)
+		stale[3] = 0x42 // ownership bug: the buffer belongs to the pool now
+		msg := expectPanic(t, "PoolSanitizerCheck", PoolSanitizerCheck)
+		if !strings.Contains(msg, "use after release") {
+			t.Fatalf("diagnostic %q does not name the use after release", msg)
+		}
+		stale[3] = poisonByte // undo the deliberate damage so teardown's final verify passes
+
+	})
+}
+
+// TestSanitizerReportsLeak: a pool-leased buffer that is never returned
+// shows up in the live count.
+func TestSanitizerReportsLeak(t *testing.T) {
+	withSanitizer(t, func(t *testing.T) {
+		l := NewListSized(1, 64)
+		l.Add([]byte("k"), []byte("v"))
+		_ = l.Encode() // leased out, never recycled
+		if n := PoolSanitizerLive(); n == 0 {
+			t.Fatal("dropped lease not counted as live")
+		}
+	})
+}
+
+// TestSanitizerQuarantineEviction: overflowing the quarantine verifies and
+// evicts the oldest entries instead of growing without bound.
+func TestSanitizerQuarantineEviction(t *testing.T) {
+	withSanitizer(t, func(t *testing.T) {
+		for i := 0; i < maxQuarantine+32; i++ {
+			Recycle(getBuf(128))
+		}
+		san.mu.Lock()
+		n := len(san.quar)
+		san.mu.Unlock()
+		if n > maxQuarantine {
+			t.Fatalf("quarantine grew to %d entries (bound %d)", n, maxQuarantine)
+		}
+		PoolSanitizerCheck()
+	})
+}

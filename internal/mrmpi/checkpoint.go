@@ -2,6 +2,7 @@ package mrmpi
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"repro/internal/keyval"
@@ -16,49 +17,206 @@ import (
 // (serialize + store at CheckpointBytesPerSecond, plus a fixed setup
 // overhead), so checkpoint overhead shows up in makespans exactly like a
 // real burst-buffer write would.
+//
+// The store is replication-aware. Configure(n, k) spreads each page over k
+// of n per-host storages with buddy placement — rank r's primary copy lands
+// on host r, replicas on hosts (r+i) mod n — the way burst buffers pair
+// neighbor nodes so one node loss cannot destroy both copies of anything.
+// LoseHost models a host whose checkpoint storage is gone (the ckptloss
+// fault kind): reads fail over to the surviving buddy, validated by a
+// CRC32C recorded at save time so a damaged replica can never be restored
+// silently. Replica writes are asynchronous in the cost model (the primary
+// write is charged by Snapshot; buddies absorb theirs off the critical
+// path), so enabling replication does not move fault-free makespans.
+// TotalBytes likewise stays logical — latest page per (stage, rank), not
+// per replica — so reports are comparable across replication factors.
 type CheckpointStore struct {
-	mu     sync.Mutex
-	pages  map[int]map[int][]byte
-	bytes  int64
-	writes int64
+	mu sync.Mutex
+	// hosts[h] is host h's storage; unconfigured stores keep a single copy
+	// on virtual host 0.
+	hosts map[int]map[pageKey][]byte
+	// sums records the CRC32C of each logical page at save time; size its
+	// length (for logical byte accounting).
+	sums map[pageKey]uint32
+	size map[pageKey]int
+	lost map[int]bool
+	// n is the host count, k the replication factor (0 = unconfigured:
+	// single copy).
+	n, k      int
+	bytes     int64
+	writes    int64
+	failovers int64
 }
 
-// NewCheckpointStore returns an empty store.
+type pageKey struct{ stage, rank int }
+
+// ckptTable is the CRC32C polynomial used to validate restored pages.
+var ckptTable = crc32.MakeTable(crc32.Castagnoli)
+
+// NewCheckpointStore returns an empty, unreplicated store.
 func NewCheckpointStore() *CheckpointStore {
-	return &CheckpointStore{pages: map[int]map[int][]byte{}}
+	return &CheckpointStore{
+		hosts: map[int]map[pageKey][]byte{},
+		sums:  map[pageKey]uint32{},
+		size:  map[pageKey]int{},
+		lost:  map[int]bool{},
+	}
 }
 
-// Save stores one rank's page for a stage, replacing any previous attempt's
-// page (re-executed stages overwrite).
+// replicaHosts returns the hosts holding rank's page, primary first.
+func (s *CheckpointStore) replicaHosts(rank int) []int {
+	if s.n <= 0 {
+		return []int{0}
+	}
+	hs := make([]int, s.k)
+	for i := range hs {
+		hs[i] = ((rank+i)%s.n + s.n) % s.n
+	}
+	return hs
+}
+
+// Configure spreads the store over nHosts per-host storages with k copies
+// of every page (k is clamped to nHosts). Existing pages are re-homed under
+// the new placement. Idempotent for repeated identical calls.
+func (s *CheckpointStore) Configure(nHosts, k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nHosts < 1 {
+		nHosts = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > nHosts {
+		k = nHosts
+	}
+	if s.n == nHosts && s.k == k {
+		return
+	}
+	best := map[pageKey][]byte{}
+	for _, m := range s.hosts {
+		for key, p := range m {
+			if _, ok := best[key]; !ok && crc32.Checksum(p, ckptTable) == s.sums[key] {
+				best[key] = p
+			}
+		}
+	}
+	s.n, s.k = nHosts, k
+	s.hosts = map[int]map[pageKey][]byte{}
+	for key, p := range best {
+		s.place(key, p)
+	}
+}
+
+// place writes the page to every surviving replica host. Callers hold s.mu.
+// Non-primary replicas get their own copy of the bytes: each simulated host
+// owns independent storage, so damage to one copy must not reach another.
+func (s *CheckpointStore) place(key pageKey, page []byte) {
+	for i, h := range s.replicaHosts(key.rank) {
+		if s.lost[h] {
+			continue
+		}
+		m := s.hosts[h]
+		if m == nil {
+			m = map[pageKey][]byte{}
+			s.hosts[h] = m
+		}
+		if i == 0 {
+			m[key] = page
+		} else {
+			m[key] = append([]byte(nil), page...)
+		}
+	}
+}
+
+// LoseHost destroys host h's checkpoint storage for the rest of the run:
+// pages already there are gone and later writes to it vanish. Logical byte
+// accounting is untouched (the pages still exist on surviving buddies).
+func (s *CheckpointStore) LoseHost(h int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lost[h] = true
+	delete(s.hosts, h)
+}
+
+// Save stores one rank's page for a stage on every replica host, replacing
+// any previous attempt's page (re-executed stages overwrite).
 func (s *CheckpointStore) Save(stage, rank int, page []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := s.pages[stage]
-	if m == nil {
-		m = map[int][]byte{}
-		s.pages[stage] = m
+	key := pageKey{stage, rank}
+	if old, ok := s.size[key]; ok {
+		s.bytes -= int64(old)
 	}
-	if old, ok := m[rank]; ok {
-		s.bytes -= int64(len(old))
-	}
-	m[rank] = page
+	s.size[key] = len(page)
+	s.sums[key] = crc32.Checksum(page, ckptTable)
 	s.bytes += int64(len(page))
 	s.writes++
+	s.place(key, page)
 }
 
-// Page returns one rank's page for a stage.
+// Page returns one rank's page for a stage, read from the first replica
+// that survives its CRC check — primary first, then buddies (counting a
+// failover). A page whose every replica is lost or damaged is reported
+// missing, never returned corrupt.
 func (s *CheckpointStore) Page(stage, rank int) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.pages[stage][rank]
-	return p, ok
+	key := pageKey{stage, rank}
+	want, ok := s.sums[key]
+	if !ok {
+		return nil, false
+	}
+	for i, h := range s.replicaHosts(rank) {
+		if s.lost[h] {
+			continue
+		}
+		p, ok := s.hosts[h][key]
+		if !ok || crc32.Checksum(p, ckptTable) != want {
+			continue
+		}
+		if i > 0 {
+			s.failovers++
+		}
+		return p, true
+	}
+	return nil, false
 }
 
-// TotalBytes returns the bytes currently held (latest page per stage/rank).
+// Replicas returns how many intact, CRC-valid copies of a page survive.
+func (s *CheckpointStore) Replicas(stage, rank int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := pageKey{stage, rank}
+	want, ok := s.sums[key]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, h := range s.replicaHosts(rank) {
+		if s.lost[h] {
+			continue
+		}
+		if p, ok := s.hosts[h][key]; ok && crc32.Checksum(p, ckptTable) == want {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalBytes returns the logical bytes held (latest page per stage/rank,
+// counted once regardless of replication).
 func (s *CheckpointStore) TotalBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bytes
+}
+
+// Failovers returns how many reads were served by a non-primary replica.
+func (s *CheckpointStore) Failovers() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failovers
 }
 
 // PruneDead deletes dead ranks' pages at stages deeper than the restore
@@ -70,20 +228,23 @@ func (s *CheckpointStore) TotalBytes() int64 {
 func (s *CheckpointStore) PruneDead(dead []int, above int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for stage, m := range s.pages {
-		if stage <= above {
-			continue
-		}
-		for _, d := range dead {
-			if old, ok := m[d]; ok {
-				s.bytes -= int64(len(old))
-				delete(m, d)
+	for _, d := range dead {
+		for key := range s.size {
+			if key.rank != d || key.stage <= above {
+				continue
+			}
+			s.bytes -= int64(s.size[key])
+			delete(s.size, key)
+			delete(s.sums, key)
+			for _, m := range s.hosts {
+				delete(m, key)
 			}
 		}
 	}
 }
 
-// Writes returns how many page writes the store has absorbed.
+// Writes returns how many logical page writes the store has absorbed
+// (replica copies are not counted separately).
 func (s *CheckpointStore) Writes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

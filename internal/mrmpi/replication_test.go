@@ -1,0 +1,138 @@
+package mrmpi
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+func TestCheckpointReplicationPlacement(t *testing.T) {
+	s := NewCheckpointStore()
+	s.Configure(4, 2)
+	page := []byte("rank two's page")
+	s.Save(1, 2, page)
+	if n := s.Replicas(1, 2); n != 2 {
+		t.Fatalf("Replicas = %d, want 2 (primary + buddy)", n)
+	}
+	if s.TotalBytes() != int64(len(page)) {
+		t.Fatalf("TotalBytes = %d counts replicas, want logical %d", s.TotalBytes(), len(page))
+	}
+
+	s.LoseHost(2) // the primary host
+	if n := s.Replicas(1, 2); n != 1 {
+		t.Fatalf("Replicas after host loss = %d, want 1", n)
+	}
+	got, ok := s.Page(1, 2)
+	if !ok || !bytes.Equal(got, page) {
+		t.Fatalf("Page after primary loss = %q, %v", got, ok)
+	}
+	if s.Failovers() != 1 {
+		t.Fatalf("Failovers = %d, want 1", s.Failovers())
+	}
+
+	s.LoseHost(3) // the buddy too
+	if _, ok := s.Page(1, 2); ok {
+		t.Fatal("page readable with every replica lost")
+	}
+}
+
+func TestCheckpointCorruptPrimaryFailsOver(t *testing.T) {
+	s := NewCheckpointStore()
+	s.Configure(4, 2)
+	page := []byte("precious checkpoint bytes")
+	want := append([]byte(nil), page...)
+	s.Save(3, 1, page)
+
+	// Flip a bit in the primary copy only (page aliases it — Save keeps the
+	// caller's slice as the primary): the CRC recorded at save time must
+	// reject it and the read must come from the buddy.
+	s.hosts[1][pageKey{3, 1}][4] ^= 0x10
+	if n := s.Replicas(3, 1); n != 1 {
+		t.Fatalf("Replicas with damaged primary = %d, want 1", n)
+	}
+	got, ok := s.Page(3, 1)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Page with damaged primary = %q, %v, want the buddy's intact copy", got, ok)
+	}
+	if s.Failovers() != 1 {
+		t.Fatalf("Failovers = %d, want 1", s.Failovers())
+	}
+
+	// Damage the buddy as well: now the page must be reported missing, not
+	// returned corrupt.
+	s.hosts[2][pageKey{3, 1}][4] ^= 0x10
+	if _, ok := s.Page(3, 1); ok {
+		t.Fatal("corrupt page returned with no intact replica left")
+	}
+}
+
+func TestCheckpointConfigureRehomes(t *testing.T) {
+	s := NewCheckpointStore()
+	s.Save(0, 5, []byte("saved before Configure")) // legacy single copy
+	s.Configure(8, 2)
+	if n := s.Replicas(0, 5); n != 2 {
+		t.Fatalf("Replicas after re-home = %d, want 2", n)
+	}
+	got, ok := s.Page(0, 5)
+	if !ok || !bytes.Equal(got, []byte("saved before Configure")) {
+		t.Fatalf("Page after re-home = %q, %v", got, ok)
+	}
+}
+
+// TestRunResilientCrashWithCheckpointLoss is the scenario buddy replication
+// exists for: rank 2 crashes AND host 2's checkpoint storage is lost with
+// it, so every restore of rank 2's pages must fail over to host 3's
+// replicas — and the recovered result still matches the fault-free run.
+func TestRunResilientCrashWithCheckpointLoss(t *testing.T) {
+	ref, _ := wordCountReference(t)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	cl.SetFaultPlan(&faults.Plan{
+		Seed:     42,
+		Crashes:  []faults.Crash{{Rank: 2, AfterSends: 6}},
+		CkptLoss: []int{2},
+	})
+	rep, out, err := runResilientGuarded(t, cl, ResilientOptions{Init: wordCountInit}, wordCountStages()...)
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Failed, []int{2}) {
+		t.Fatalf("Failed = %v, want [2]", rep.Failed)
+	}
+	if rep.CheckpointFailovers == 0 {
+		t.Fatal("no failovers counted although the crashed rank's checkpoint host was lost")
+	}
+	if got := globalPairs(out); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("recovered result differs from fault-free reference:\n got %v\nwant %v", got, ref)
+	}
+}
+
+// TestRunResilientCheckpointLossUnreplicated shows the failure mode
+// replication prevents: with a single copy, losing the crashed rank's
+// checkpoint host silently drops its fragment (the documented
+// died-before-first-checkpoint limit), so the result no longer matches the
+// fault-free reference.
+func TestRunResilientCheckpointLossUnreplicated(t *testing.T) {
+	ref, _ := wordCountReference(t)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+	cl.SetFaultPlan(&faults.Plan{
+		Seed:     42,
+		Crashes:  []faults.Crash{{Rank: 2, AfterSends: 6}},
+		CkptLoss: []int{2},
+	})
+	rep, out, err := runResilientGuarded(t, cl,
+		ResilientOptions{Init: wordCountInit, Replicas: 1}, wordCountStages()...)
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if rep.CheckpointFailovers != 0 {
+		t.Fatalf("Failovers = %d with replication off", rep.CheckpointFailovers)
+	}
+	if got := globalPairs(out); reflect.DeepEqual(got, ref) {
+		t.Fatal("unreplicated run matched the reference despite losing rank 2's only checkpoint copy")
+	}
+}

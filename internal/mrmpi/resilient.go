@@ -40,7 +40,16 @@ type ResilientOptions struct {
 	// own Aggregate); programs whose stages always open with a shuffle can
 	// skip the extra exchange.
 	NoReshuffle bool
+	// Replicas is the checkpoint replication factor (default
+	// DefaultCheckpointReplicas; clamped to the cluster size). With 1 a
+	// checkpoint-storage loss on a crashed rank's host is unrecoverable.
+	Replicas int
 }
+
+// DefaultCheckpointReplicas is the buddy-replication factor resilient runs
+// configure when the caller does not choose one: every page on its own host
+// plus one buddy, so a single host loss never destroys a page.
+const DefaultCheckpointReplicas = 2
 
 // ResilientReport summarizes a resilient run.
 type ResilientReport struct {
@@ -56,6 +65,9 @@ type ResilientReport struct {
 	CheckpointBytes int64
 	// CheckpointWrites counts page writes, including re-executed stages.
 	CheckpointWrites int64
+	// CheckpointFailovers counts restores served by a buddy replica because
+	// the primary copy was lost or damaged.
+	CheckpointFailovers int64
 }
 
 // ownDeath reports whether err is this rank's own crash notice (as opposed
@@ -98,6 +110,16 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 	store := opts.Store
 	if store == nil {
 		store = NewCheckpointStore()
+	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = DefaultCheckpointReplicas
+	}
+	store.Configure(cl.Size(), replicas)
+	if plan := cl.FaultPlan(); plan != nil {
+		for _, h := range plan.CheckpointLossHosts() {
+			store.LoseHost(h)
+		}
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -228,10 +250,11 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 	})
 
 	report := &ResilientReport{
-		Makespan:         makespan,
-		Failed:           cl.FailedRanks(),
-		CheckpointBytes:  store.TotalBytes(),
-		CheckpointWrites: store.Writes(),
+		Makespan:            makespan,
+		Failed:              cl.FailedRanks(),
+		CheckpointBytes:     store.TotalBytes(),
+		CheckpointWrites:    store.Writes(),
+		CheckpointFailovers: store.Failovers(),
 	}
 	failed := map[int]bool{}
 	for _, d := range report.Failed {
