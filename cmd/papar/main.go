@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/hadoop"
+	"repro/internal/obsv"
 )
 
 // argList collects repeated -arg name=value flags.
@@ -64,6 +65,9 @@ func run() error {
 		emitGo     = flag.Bool("emit-go", false, "print the generated Go program and exit")
 		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
 		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%,corrupt=2%,ckptloss=3"); runs resiliently (mrmpi backend)`)
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write machine-readable run metrics (phase durations, per-rank load, imbalance) as JSON to this file")
+		timelineW  = flag.Int("timeline", 0, "print a per-rank text timeline of the run, N columns wide")
 		runtimeArg = argList{}
 	)
 	flag.Var(&inputCfgs, "input", "input data description file (repeatable)")
@@ -94,9 +98,11 @@ func run() error {
 	if *data == "" {
 		return fmt.Errorf("-data is required to execute the partitioner")
 	}
+	obs := newRecorder(*traceOut, *metricsOut, *timelineW)
 	switch *backend {
 	case "mrmpi":
 		cl := cluster.New(cluster.DefaultConfig(*nodes))
+		cl.SetObserver(obs)
 		if *traceN > 0 {
 			cl.EnableTrace()
 		}
@@ -139,7 +145,7 @@ func run() error {
 			}
 			fmt.Printf("wrote %d partition files under %s\n", len(res.Partitions), *out)
 		}
-		return nil
+		return emitObservability(obs, *traceOut, *metricsOut, *timelineW)
 	case "hadoop":
 		if *faultSpec != "" {
 			return fmt.Errorf("-faults is only supported by the mrmpi backend")
@@ -153,7 +159,7 @@ func run() error {
 			}
 			defer os.RemoveAll(wd)
 		}
-		res, err := hadoop.ExecutePlan(plan, *data, wd, *nodes*2)
+		res, err := hadoop.ExecutePlanObserved(plan, *data, wd, *nodes*2, obs)
 		if err != nil {
 			return err
 		}
@@ -170,10 +176,43 @@ func run() error {
 			}
 			fmt.Printf("wrote %d partition files under %s\n", len(res.Partitions), *out)
 		}
-		return nil
+		return emitObservability(obs, *traceOut, *metricsOut, *timelineW)
 	default:
 		return fmt.Errorf("unknown backend %q (mrmpi, hadoop)", *backend)
 	}
+}
+
+// newRecorder returns a span/metric recorder when any observability output
+// was requested, nil otherwise (a nil recorder disables all instrumentation).
+func newRecorder(traceOut, metricsOut string, timelineW int) *obsv.Recorder {
+	if traceOut == "" && metricsOut == "" && timelineW <= 0 {
+		return nil
+	}
+	return obsv.NewRecorder()
+}
+
+// emitObservability writes the requested trace/metrics artifacts and prints
+// the text timeline.
+func emitObservability(obs *obsv.Recorder, traceOut, metricsOut string, timelineW int) error {
+	if obs == nil {
+		return nil
+	}
+	if traceOut != "" {
+		if err := obs.WriteChromeTrace(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", traceOut)
+	}
+	if metricsOut != "" {
+		if err := obs.Metrics().WriteJSON(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote run metrics to %s\n", metricsOut)
+	}
+	if timelineW > 0 {
+		fmt.Print(obs.Timeline(timelineW))
+	}
+	return nil
 }
 
 // stringList is a repeatable string flag.

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -48,18 +50,22 @@ func catalog() []experiment {
 		{"ccomp", "connected components across cut methods (extension)", wrap(experiments.ConnectedComponents)},
 		{"ablations", "design-choice ablations", wrap(experiments.Ablations)},
 		{"chaos", "fault injection: crash, drop, corruption and checkpoint-loss recovery", wrap(experiments.Chaos)},
+		{"skew", "per-rank load imbalance by partitioning policy (block vs cyclic, hybrid vs hash)", wrap(experiments.Skew)},
 	}
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, skew)")
 		blastScale = flag.Float64("blast-scale", 0, "BLAST database scale (default 0.02)")
 		graphScale = flag.Float64("graph-scale", 0, "graph dataset scale (default 0.01)")
 		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")
 		seed       = flag.Int64("seed", 0, "dataset seed (default 42)")
 		bench      = flag.Bool("bench", false, "run the shuffle/sort/convert microbenchmarks instead of the experiments")
 		benchOut   = flag.String("bench-out", "BENCH_PR2.json", "where -bench writes its JSON results")
+		baseline   = flag.String("baseline", "", "with -bench: compare against this recorded JSON and exit nonzero on regression")
+		tolerance  = flag.Float64("tolerance", 0.25, "with -baseline: allowed slowdown fraction before a benchmark counts as regressed")
+		metricsDir = flag.String("metrics-dir", "", "write each experiment's result as <dir>/<name>.json")
 	)
 	flag.Parse()
 	if *bench {
@@ -73,6 +79,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("== microbench — shuffle/sort/convert kernels vs pre-refactor baseline ==\n%s\nwrote %s\n", res.Render(), *benchOut)
+		if *baseline != "" {
+			base, err := experiments.LoadMicrobench(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			if regressions := res.Compare(base, *tolerance); len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "paperbench: %d perf regression(s) vs %s:\n", len(regressions), *baseline)
+				for _, r := range regressions {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("perf gate: all benchmarks within %.0f%% of %s\n", 100**tolerance, *baseline)
+		}
 		return
 	}
 	opts := experiments.Options{
@@ -94,6 +115,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("== %s — %s (wall %.1fs) ==\n%s\n", e.name, e.desc, time.Since(start).Seconds(), res.Render())
+		if *metricsDir != "" {
+			if err := writeMetrics(*metricsDir, e.name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
 		// Experiments with a pass/fail verdict (chaos: partition mismatch,
 		// replay divergence, silent corruption) fail the whole invocation —
 		// after rendering, so the report shows what went wrong.
@@ -109,4 +136,23 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeMetrics stores one experiment's result struct as JSON under dir. The
+// files are machine-readable artifacts: the CI determinism job runs a sweep
+// twice with the same seed and byte-compares them.
+func writeMetrics(dir, name string, res renderer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

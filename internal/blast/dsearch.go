@@ -36,9 +36,11 @@ func DistributedSearch(cl *cluster.Cluster, parts []Partition, batch QueryBatch)
 	_, err := cl.Run(func(r *cluster.Rank) error {
 		comm := mpi.NewComm(r)
 		me := r.ID()
+		endSearch := r.Span("blast", "search")
 		t := PartitionSearchTime(parts[me], batch)
 		r.Charge(t)
 		times[me] = t
+		endSearch()
 		// Completion reduction: everyone reports to rank 0 (the paper's
 		// runs measure the whole job's wall time).
 		buf := make([]byte, 8)

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/faults"
+	"repro/internal/obsv"
 	"repro/internal/vtime"
 )
 
@@ -98,6 +99,11 @@ type Cluster struct {
 	corruptInjected atomic.Int64
 	corruptDetected atomic.Int64
 	trace           tracer
+	// obs, when set, receives phase spans (Rank.Span) and, at the end of
+	// every Run, the per-rank send/finish series and traffic counters.
+	// Spans read virtual clocks the run already computes, so observed and
+	// unobserved runs have bit-identical virtual timelines.
+	obs *obsv.Recorder
 
 	// plan is the active fault schedule (nil = perfect machine). Methods on
 	// a nil plan are no-ops, so the fault-free hot path pays one pointer
@@ -153,6 +159,34 @@ func (c *Cluster) SetFaultPlan(p *faults.Plan) { c.plan = p }
 
 // FaultPlan returns the active fault schedule (nil when fault-free).
 func (c *Cluster) FaultPlan() *faults.Plan { return c.plan }
+
+// SetObserver attaches (or, with nil, removes) an observability recorder.
+// The harness owns the recorder's lifetime: attach a fresh one per
+// measured run, or Reset it between runs.
+func (c *Cluster) SetObserver(rec *obsv.Recorder) { c.obs = rec }
+
+// Observer returns the attached recorder (nil when observability is off).
+func (c *Cluster) Observer() *obsv.Recorder { return c.obs }
+
+// foldObserver records the run's per-rank series and traffic counters into
+// the attached recorder. Called once at the end of every Run.
+func (c *Cluster) foldObserver() {
+	if c.obs == nil {
+		return
+	}
+	for _, r := range c.ranks {
+		c.obs.RankSet("finish_ns", r.id, int64(r.clock.Now()))
+		c.obs.RankSet("sent_bytes", r.id, r.sentBytes)
+		c.obs.RankSet("sent_msgs", r.id, r.sentMsgs)
+	}
+	s := c.Stats()
+	c.obs.SetCount("wire_bytes", s.BytesOnWire)
+	c.obs.SetCount("wire_messages", s.Messages)
+	c.obs.SetCount("retransmits", s.Retransmits)
+	c.obs.SetCount("corrupt_injected", s.CorruptInjected)
+	c.obs.SetCount("corrupt_detected", s.CorruptDetected)
+	c.obs.SetCount("makespan_ns", int64(s.Makespan))
+}
 
 // ErrAborted is returned from a blocked Recv when another rank of the same
 // Run failed: the failing rank's error is the root cause; ErrAborted marks
@@ -226,6 +260,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (vtime.Duration, error) {
 	if first == nil && crashed == len(c.ranks) && crashed > 0 {
 		first = fmt.Errorf("cluster: all %d ranks crashed: %w", crashed, RankFailedError{Rank: 0})
 	}
+	c.foldObserver()
 	if first != nil || crashed > 0 {
 		// Drain undelivered messages and rearm mailboxes: failed runs leave
 		// collateral in-flight traffic, and resilient runs leave orphans

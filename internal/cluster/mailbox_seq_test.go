@@ -53,7 +53,7 @@ func TestMailboxDuplicateDiscardConcurrentSenders(t *testing.T) {
 // leak stale-epoch payload into the new epoch's queue.
 func TestMailboxDuplicateDiscardSurvivesEpochPurge(t *testing.T) {
 	m := newMailbox()
-	oldTag := 5                        // epoch 0
+	oldTag := 5                             // epoch 0
 	newTag := int(int64(1)<<epochShift) | 5 // same user tag, epoch 1
 	m.put(message{src: 2, tag: oldTag, seq: 1, payload: []byte("stale")})
 	m.purgeBelowEpoch(1)

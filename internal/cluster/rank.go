@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/obsv"
 	"repro/internal/vtime"
 )
 
@@ -79,6 +80,26 @@ func (r *Rank) Charge(d vtime.Duration) {
 		d = vtime.Duration(float64(d) * s)
 	}
 	r.clock.Advance(d)
+}
+
+// nopSpanEnd is the shared closer for spans opened with no observer
+// attached, so the instrumented fast path allocates nothing.
+var nopSpanEnd = func() {}
+
+// Span opens a named phase span on this rank's virtual timeline and returns
+// the closer that records it. Spans cost two clock reads — no virtual time
+// — so instrumented and bare runs produce identical simulated timelines.
+// Typical use: defer r.Span("mrmpi", "aggregate")(). Nil-receiver safe, so
+// harnesses that drive an engine without a cluster stay uninstrumented.
+func (r *Rank) Span(cat, name string) func() {
+	if r == nil || r.cluster.obs == nil {
+		return nopSpanEnd
+	}
+	obs := r.cluster.obs
+	start := r.clock.Now()
+	return func() {
+		obs.Record(obsv.Span{Rank: r.id, Cat: cat, Name: name, Start: start, End: r.clock.Now()})
+	}
 }
 
 // Epoch returns the rank's current communication epoch.

@@ -92,6 +92,7 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 		}
 		st.mr = mrmpi.New(st.comm)
 		for ji, job := range plan.Jobs {
+			endJob := r.Span("job", job.JobID())
 			r.Charge(JobLaunchOverhead)
 			if err := st.runJob(job); err != nil {
 				return fmt.Errorf("job %s: %w", job.JobID(), err)
@@ -103,6 +104,7 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 			if err := st.comm.Barrier(); err != nil {
 				return fmt.Errorf("job %s: %w", job.JobID(), err)
 			}
+			endJob()
 			jobClocks[ji][r.ID()] = r.Clock().Now()
 			b, m := r.SentStats()
 			jobSentBytes[ji][r.ID()] = b
@@ -288,6 +290,7 @@ func (st *execState) runSort(j *SortJob) error {
 
 	// Phase 1 (§III-D): sample on every rank, approximate the global
 	// distribution, derive splitters.
+	endSample := st.comm.Cluster().Span("core", "sample")
 	res := sample.NewReservoir(sampleCap, int64(st.comm.Rank()))
 	for _, row := range st.data.Rows {
 		res.Offer(keyAsSortable(row.Values[col]))
@@ -310,6 +313,7 @@ func (st *execState) runSort(j *SortJob) error {
 	if err != nil {
 		return err
 	}
+	endSample()
 
 	// Phase 2: mappers shuffle rows with the bucket as the temporary
 	// reduce-key.
@@ -332,6 +336,7 @@ func (st *execState) runSort(j *SortJob) error {
 
 	// Phase 3: each reducer sorts its rows by the real key and removes the
 	// reduce-key.
+	defer st.comm.Cluster().Span("core", "sort")()
 	recv := st.mr.KV()
 	out := make([]Row, 0, recv.Len())
 	for i := 0; i < recv.Len(); i++ {
@@ -391,6 +396,7 @@ func (st *execState) runGroup(j *GroupJob) error {
 	st.mr.Convert()
 
 	// Build the output schema by appending attribute columns.
+	defer st.comm.Cluster().Span("core", "group")()
 	outSchema := st.data.Schema
 	var err error
 	for _, a := range j.AddOns {
@@ -549,6 +555,7 @@ func (st *execState) runDistribute(j *DistributeJob) error {
 
 	// Reducers: decode entries, unpack, drop attributes, store rows per
 	// partition.
+	defer st.comm.Cluster().Span("core", "write")()
 	inArity := len(st.plan.InputSchema.Fields)
 	st.partitions = map[int][]Row{}
 	kvs := st.mr.KV()

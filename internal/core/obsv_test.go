@@ -1,0 +1,76 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obsv"
+)
+
+// TestTracingIsVirtualTimeFree pins the observability layer's core property:
+// a run with a recorder attached produces bit-identical makespans, per-job
+// makespans, shuffle bytes and partitions to a run without one. Spans are
+// pure clock reads, so attaching an observer must not perturb virtual time.
+func TestTracingIsVirtualTimeFree(t *testing.T) {
+	plan := compileBlast(t, "4")
+	run := func(observed bool) *Result {
+		cfg := cluster.DefaultConfig(4)
+		cfg.RanksPerNode = 1
+		cl := cluster.New(cfg)
+		if observed {
+			cl.SetObserver(obsv.NewRecorder())
+		}
+		res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), 4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	traced := run(true)
+	if plain.Makespan != traced.Makespan {
+		t.Fatalf("makespan changed under tracing: %v vs %v", plain.Makespan, traced.Makespan)
+	}
+	if !reflect.DeepEqual(plain.JobMakespans, traced.JobMakespans) {
+		t.Fatalf("job makespans changed under tracing: %v vs %v", plain.JobMakespans, traced.JobMakespans)
+	}
+	if plain.ShuffleBytes != traced.ShuffleBytes || plain.ShuffleMessages != traced.ShuffleMessages {
+		t.Fatalf("shuffle volume changed under tracing: %d/%d vs %d/%d",
+			plain.ShuffleBytes, plain.ShuffleMessages, traced.ShuffleBytes, traced.ShuffleMessages)
+	}
+	if !reflect.DeepEqual(plain.Partitions, traced.Partitions) {
+		t.Fatal("partitions changed under tracing")
+	}
+}
+
+// TestObserverSeesRun: after an observed run the recorder holds the engine
+// spans and the cluster's folded counters, and its metrics agree with the
+// run's own numbers.
+func TestObserverSeesRun(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rec := obsv.NewRecorder()
+	cfg := cluster.DefaultConfig(4)
+	cfg.RanksPerNode = 1
+	cl := cluster.New(cfg)
+	cl.SetObserver(rec)
+	res, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("observed run recorded no spans")
+	}
+	m := rec.Metrics()
+	// Counters are int64, so the folded makespan truncates sub-nanosecond
+	// fractions of the float64 virtual clock.
+	if diff := m.MakespanNS - float64(res.Makespan); diff > 0 || diff <= -1 {
+		t.Fatalf("metrics makespan %v != run makespan %v", m.MakespanNS, float64(res.Makespan))
+	}
+	if got := m.Counters["wire_bytes"]; got != res.ShuffleBytes {
+		t.Fatalf("wire_bytes counter %d != shuffle bytes %d", got, res.ShuffleBytes)
+	}
+	if m.LoadImbalance < 1 {
+		t.Fatalf("load imbalance %v < 1", m.LoadImbalance)
+	}
+}

@@ -116,6 +116,7 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 		rounds := 0
 
 		commit := func(stage int) error {
+			defer r.Span("core", "ckpt")()
 			page := st.snapshotPage()
 			r.Charge(mrmpi.CheckpointCost(len(page)))
 			store.Save(stage, r.ID(), page)
@@ -127,6 +128,7 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 		}
 
 		recoverRun := func() error {
+			defer r.Span("core", "recover")()
 			for {
 				rounds++
 				roundsByRank[r.ID()] = rounds
@@ -203,14 +205,18 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 				break
 			}
 			job := plan.Jobs[ji]
+			endJob := r.Span("job", job.JobID())
 			r.Charge(JobLaunchOverhead)
 			if err = st.runJob(job); err != nil {
+				endJob()
 				if !cluster.IsRankFailure(err) {
 					err = fmt.Errorf("job %s: %w", job.JobID(), err)
 				}
 				continue
 			}
-			if err = commit(ji + 1); err == nil {
+			err = commit(ji + 1)
+			endJob()
+			if err == nil {
 				jobClocks[ji][r.ID()] = r.Clock().Now()
 				b, m := r.SentStats()
 				jobSentBytes[ji][r.ID()] = b
@@ -239,6 +245,13 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 		if roundsByRank[i] > report.Rounds {
 			report.Rounds = roundsByRank[i]
 		}
+	}
+	if obs := cl.Observer(); obs != nil {
+		obs.SetCount("checkpoint_bytes", report.CheckpointBytes)
+		obs.SetCount("checkpoint_writes", report.CheckpointWrites)
+		obs.SetCount("checkpoint_failovers", report.CheckpointFailovers)
+		obs.SetCount("recovery_rounds", int64(report.Rounds))
+		obs.SetCount("failed_ranks", int64(len(report.Failed)))
 	}
 	if err != nil {
 		return nil, report, err

@@ -279,6 +279,55 @@ func (m *Microbench) WriteJSON(path string) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// LoadMicrobench reads a suite result previously stored with WriteJSON.
+func LoadMicrobench(path string) (*Microbench, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Microbench{}
+	if err := json.Unmarshal(buf, m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Compare checks m (the current run) against base (a recorded run) and
+// returns one line per regression: a benchmark whose ns/op exceeds the
+// baseline by more than tolerance (0.25 = 25% slower), or whose allocs/op
+// grew beyond the same bound. Benchmarks present on only one side are
+// reported too — a silently dropped benchmark must not pass the gate.
+func (m *Microbench) Compare(base *Microbench, tolerance float64) []string {
+	byName := map[string]MicrobenchResult{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	seen := map[string]bool{}
+	for _, cur := range m.Results {
+		seen[cur.Name] = true
+		b, ok := byName[cur.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from baseline", cur.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
+				cur.Name, cur.NsPerOp, b.NsPerOp, 100*(cur.NsPerOp/b.NsPerOp-1), 100*tolerance))
+		}
+		if b.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.0f%%, tolerance %.0f%%)",
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, 100*(float64(cur.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tolerance))
+		}
+	}
+	for _, b := range base.Results {
+		if !seen[b.Name] {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline but not in this run", b.Name))
+		}
+	}
+	return regressions
+}
+
 // Render prints the suite as a table against the recorded baseline.
 func (m *Microbench) Render() string {
 	var b strings.Builder

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func suite(results ...MicrobenchResult) *Microbench { return &Microbench{Results: results} }
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := suite(MicrobenchResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := suite(MicrobenchResult{Name: "A", NsPerOp: 1200, AllocsPerOp: 110})
+	if regs := cur.Compare(base, 0.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := suite(MicrobenchResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := suite(MicrobenchResult{Name: "A", NsPerOp: 1300, AllocsPerOp: 100})
+	regs := cur.Compare(base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocGrowth(t *testing.T) {
+	base := suite(MicrobenchResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := suite(MicrobenchResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 200})
+	regs := cur.Compare(base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingBenchmarks(t *testing.T) {
+	base := suite(
+		MicrobenchResult{Name: "A", NsPerOp: 1000},
+		MicrobenchResult{Name: "B", NsPerOp: 1000},
+	)
+	cur := suite(
+		MicrobenchResult{Name: "A", NsPerOp: 1000},
+		MicrobenchResult{Name: "C", NsPerOp: 1000},
+	)
+	regs := cur.Compare(base, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (B dropped, C unknown), got %v", regs)
+	}
+}
+
+func TestLoadMicrobenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out := suite(MicrobenchResult{Name: "A", NsPerOp: 42, AllocsPerOp: 7})
+	if err := out.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	in, err := LoadMicrobench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Results) != 1 || in.Results[0] != out.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", in.Results)
+	}
+}

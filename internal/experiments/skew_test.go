@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSkewReproducesPaperOrdering: the load-balance report must show the
+// mechanism behind the paper's comparisons — block partitioning skews
+// muBLASTP compute more than cyclic, and hash-based vertex-cut skews
+// PageRank more than hybrid-cut, on every graph.
+func TestSkewReproducesPaperOrdering(t *testing.T) {
+	r, err := Skew(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]SkewRow{}
+	for _, row := range r.Rows {
+		byKey[row.Workflow+"/"+row.Dataset+"/"+row.Policy] = row
+		if row.LoadImbalance < 1 {
+			t.Errorf("%s/%s/%s: imbalance %.3f < 1", row.Workflow, row.Dataset, row.Policy, row.LoadImbalance)
+		}
+	}
+	cyc := byKey["muBLASTP search/env_nr/cyclic"]
+	blk := byKey["muBLASTP search/env_nr/block"]
+	if cyc.Workflow == "" || blk.Workflow == "" {
+		t.Fatalf("missing muBLASTP rows: %+v", r.Rows)
+	}
+	if blk.LoadImbalance <= cyc.LoadImbalance {
+		t.Errorf("block imbalance %.3f not worse than cyclic %.3f", blk.LoadImbalance, cyc.LoadImbalance)
+	}
+	if blk.StragglerGap <= cyc.StragglerGap {
+		t.Errorf("block straggler gap %v not worse than cyclic %v", blk.StragglerGap, cyc.StragglerGap)
+	}
+	for key, row := range byKey {
+		if row.Workflow != "PageRank" || row.Policy != "hybrid-cut" {
+			continue
+		}
+		hash := byKey[strings.Replace(key, "hybrid-cut", "hash (vertex-cut)", 1)]
+		if hash.Workflow == "" {
+			t.Fatalf("missing hash row for %s", key)
+		}
+		if hash.LoadImbalance < row.LoadImbalance {
+			t.Errorf("%s: hash imbalance %.3f below hybrid-cut %.3f", row.Dataset, hash.LoadImbalance, row.LoadImbalance)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "imbalance") || !strings.Contains(out, "hybrid-cut") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}

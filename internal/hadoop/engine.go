@@ -22,9 +22,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dataformat"
 	"repro/internal/keyval"
+	"repro/internal/obsv"
+	"repro/internal/vtime"
 )
 
 // Emit adds one intermediate or output pair.
@@ -106,6 +109,14 @@ type Engine struct {
 	WorkDir string
 	// Parallelism bounds concurrent tasks (default GOMAXPROCS).
 	Parallelism int
+	// Obs, when set, receives per-task spans. The engine is wall-clock
+	// (there is no virtual time on this backend), so spans are stamped with
+	// nanoseconds since the first observed Run — useful for seeing task
+	// skew in a Chrome trace, but not deterministic like the mrmpi
+	// backend's spans.
+	Obs *obsv.Recorder
+
+	t0 time.Time
 }
 
 // NewEngine creates an engine rooted at dir.
@@ -118,10 +129,28 @@ func (e *Engine) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// span opens a wall-clock task span (track = task index). No-op without an
+// attached recorder.
+func (e *Engine) span(task int, name string) func() {
+	if e.Obs == nil {
+		return func() {}
+	}
+	start := vtime.Duration(time.Since(e.t0))
+	return func() {
+		e.Obs.Record(obsv.Span{
+			Rank: task, Cat: "hadoop", Name: name,
+			Start: start, End: vtime.Duration(time.Since(e.t0)),
+		})
+	}
+}
+
 // Run executes one job to completion.
 func (e *Engine) Run(job *Job) (*Result, error) {
 	if err := e.validate(job); err != nil {
 		return nil, err
+	}
+	if e.Obs != nil && e.t0.IsZero() {
+		e.t0 = time.Now()
 	}
 	jobDir := filepath.Join(e.WorkDir, sanitize(job.Name))
 	if err := os.MkdirAll(jobDir, 0o755); err != nil {
@@ -253,6 +282,7 @@ func (e *Engine) runMapPhase(job *Job, jobDir string, splits []split, res *Resul
 	spills := make([][]string, len(splits)) // [task][reducer]path
 	var recordsIn, shuffle atomic.Int64
 	err := e.forEach(len(splits), func(t int) error {
+		defer e.span(t, "map:"+job.Name)()
 		in, err := readSplit(splits[t])
 		if err != nil {
 			return err
@@ -317,6 +347,7 @@ func (e *Engine) runMultiMapPhase(job *Job, jobDir string, splits []split, res *
 	outs := make([][][]string, len(splits)) // [task][branch]
 	var recordsIn, recordsOut atomic.Int64
 	err := e.forEach(len(splits), func(t int) error {
+		defer e.span(t, "multimap:"+job.Name)()
 		in, err := readSplit(splits[t])
 		if err != nil {
 			return err
@@ -384,6 +415,7 @@ func (e *Engine) runReducePhase(job *Job, jobDir string, spills [][]string, res 
 	outputs := make([]string, nr)
 	var recordsOut atomic.Int64
 	err := e.forEach(nr, func(r int) error {
+		defer e.span(r, "reduce:"+job.Name)()
 		// Merge the r-th spill of every map task (already sorted): k-way
 		// merge preferring lower task index on ties, Hadoop's stable merge.
 		runs := make([]*keyval.List, 0, len(spills))

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataformat"
 	"repro/internal/keyval"
+	"repro/internal/obsv"
 )
 
 // This file lowers a compiled PaPar plan onto the Hadoop-style engine — the
@@ -89,11 +90,20 @@ type planState struct {
 // data file (in the plan's input format); workDir hosts all job
 // directories; numReduce is the per-job reducer count.
 func ExecutePlan(plan *core.Plan, inputPath, workDir string, numReduce int) (*PlanResult, error) {
+	return ExecutePlanObserved(plan, inputPath, workDir, numReduce, nil)
+}
+
+// ExecutePlanObserved is ExecutePlan with a span/metric recorder attached to
+// the engine. The Hadoop backend has no virtual timeline, so its spans carry
+// wall-clock durations (task index as the rank); obs may be nil.
+func ExecutePlanObserved(plan *core.Plan, inputPath, workDir string, numReduce int, obs *obsv.Recorder) (*PlanResult, error) {
 	if numReduce <= 0 {
 		numReduce = 4
 	}
+	engine := NewEngine(workDir)
+	engine.Obs = obs
 	st := &planState{
-		engine:  NewEngine(workDir),
+		engine:  engine,
 		plan:    plan,
 		reduces: numReduce,
 		side:    map[string][]string{},

@@ -465,7 +465,7 @@ func Convert(l *List) []KMV {
 	out := make([]KMV, len(counts))
 	pos := int32(0)
 	for g := range out {
-		out[g] = KMV{Key: l.Key(int(first[g])), Values: arena[pos:pos : pos+counts[g]]}
+		out[g] = KMV{Key: l.Key(int(first[g])), Values: arena[pos : pos : pos+counts[g]]}
 		pos += counts[g]
 	}
 	for i := 0; i < n; i++ {

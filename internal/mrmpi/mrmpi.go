@@ -77,6 +77,15 @@ func (mr *MapReduce) KMV() []keyval.KMV { return mr.kmv }
 // SetCharging toggles virtual-time compute charging.
 func (mr *MapReduce) SetCharging(on bool) { mr.chargeCompute = on }
 
+// span opens a verb span on the owning rank's virtual timeline (no-op when
+// the MapReduce is not bound to a cluster, as in decode-only harnesses).
+func (mr *MapReduce) span(name string) func() {
+	if mr.comm == nil {
+		return func() {}
+	}
+	return mr.comm.Cluster().Span("mrmpi", name)
+}
+
 func (mr *MapReduce) charge(d func() vtime.Duration) {
 	if mr.chargeCompute {
 		mr.comm.Cluster().Charge(d())
@@ -89,6 +98,7 @@ type Emitter func(key, value []byte)
 // Map replaces the local KV set with the pairs fn emits. fn is called once
 // per rank and may emit any number of pairs.
 func (mr *MapReduce) Map(fn func(emit Emitter) error) error {
+	defer mr.span("map")()
 	out := keyval.NewList(0)
 	err := fn(func(k, v []byte) { out.Add(k, v) })
 	if err != nil {
@@ -127,6 +137,7 @@ func HashPartitioner(kv keyval.KV, nranks int) int {
 // rank the partitioner chose. It is the all-to-all personalized exchange at
 // the heart of every PaPar job.
 func (mr *MapReduce) Aggregate(part Partitioner) error {
+	defer mr.span("aggregate")()
 	p := mr.comm.Size()
 	n := mr.kv.Len()
 	// Counting pass: route every pair once, recording destinations in pooled
@@ -243,6 +254,7 @@ func (mr *MapReduce) exchangeP2P(bufs [][]byte) ([][]byte, error) {
 
 // Convert groups the local KVs by key into KMV sets (MR-MPI convert).
 func (mr *MapReduce) Convert() {
+	defer mr.span("convert")()
 	mr.charge(func() vtime.Duration {
 		return vtime.Duration(mr.comm.Cluster().Compute().GroupCost(mr.kv.Len(), mr.kv.Bytes()))
 	})
@@ -258,6 +270,7 @@ func (mr *MapReduce) Convert() {
 // Reduce runs fn over every local KMV group; the emitted pairs become the
 // new local KV set. Convert must have run since the last mutation.
 func (mr *MapReduce) Reduce(fn func(g keyval.KMV, emit Emitter) error) error {
+	defer mr.span("reduce")()
 	if mr.kmv == nil {
 		return fmt.Errorf("mrmpi: reduce without convert")
 	}
@@ -283,6 +296,7 @@ func (mr *MapReduce) Reduce(fn func(g keyval.KMV, emit Emitter) error) error {
 
 // SortLocal orders the local pairs with the comparator (stable).
 func (mr *MapReduce) SortLocal(less func(a, b keyval.KV) bool) {
+	defer mr.span("sort")()
 	mr.charge(func() vtime.Duration {
 		rec := 0
 		if mr.kv.Len() > 0 {

@@ -139,7 +139,7 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 			}
 		}
 
-		si := 0        // next stage to run; checkpoint k holds state after k stages
+		si := 0         // next stage to run; checkpoint k holds state after k stages
 		committed := -1 // highest checkpoint this rank has barrier-committed
 		rounds := 0
 
@@ -159,6 +159,7 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 		// because recovery itself can be interrupted by further failures;
 		// every iteration starts from a freshly revoked epoch.
 		recoverRun := func() error {
+			defer r.Span("mrmpi", "recover")()
 			for {
 				rounds++
 				roundsByRank[r.ID()] = rounds
@@ -238,11 +239,14 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 			if si >= len(stages) {
 				break
 			}
+			endStage := r.Span("stage", stages[si].Name)
 			err = stages[si].Run(mr)
 			if err == nil {
-				if err = commit(si + 1); err == nil {
-					si++
-				}
+				err = commit(si + 1)
+			}
+			endStage()
+			if err == nil {
+				si++
 			}
 		}
 		results[r.ID()] = mr.KV()
@@ -267,6 +271,13 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 		if roundsByRank[i] > report.Rounds {
 			report.Rounds = roundsByRank[i]
 		}
+	}
+	if obs := cl.Observer(); obs != nil {
+		obs.SetCount("checkpoint_bytes", report.CheckpointBytes)
+		obs.SetCount("checkpoint_writes", report.CheckpointWrites)
+		obs.SetCount("checkpoint_failovers", report.CheckpointFailovers)
+		obs.SetCount("recovery_rounds", int64(report.Rounds))
+		obs.SetCount("failed_ranks", int64(len(report.Failed)))
 	}
 	if err != nil {
 		return report, nil, err

@@ -1,0 +1,92 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// The Chrome trace-event exporter renders the recorded spans in the Trace
+// Event Format (the JSON chrome://tracing and Perfetto load): one process,
+// one thread ("track") per rank, every span a complete ("X") event with
+// microsecond timestamps on the virtual timeline.
+
+// chromeEvent is one trace-event object. Field order is fixed by the struct,
+// so the exported JSON is byte-stable for a deterministic run.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object Format variant of the trace format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the recorded spans as Chrome trace-event JSON. The
+// output is deterministic: metadata events ordered by rank, span events in
+// Spans() order, and timestamps derived only from virtual time.
+func (r *Recorder) ChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+	}
+	ids := make([]int, 0, len(ranks))
+	for id := range ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	file := chromeFile{DisplayTimeUnit: "ms"}
+	file.TraceEvents = append(file.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "papar (virtual time)"},
+	})
+	for _, id := range ids {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]string{"name": rankLabel(id)},
+		})
+	}
+	for _, s := range spans {
+		dur := float64(s.Duration()) / 1e3 // µs
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: float64(s.Start) / 1e3, Dur: &dur,
+			Pid: 0, Tid: s.Rank,
+		})
+	}
+	buf, err := json.MarshalIndent(&file, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// WriteChromeTrace writes the Chrome trace to path.
+func (r *Recorder) WriteChromeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.ChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func rankLabel(id int) string {
+	return "rank " + strconv.Itoa(id)
+}

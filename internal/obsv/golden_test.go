@@ -1,0 +1,88 @@
+package obsv_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/keyval"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/obsv"
+)
+
+// goldenRun executes a fixed 2-rank MapReduce (map, shuffle, convert,
+// reduce) with a recorder attached and returns the Chrome trace bytes. The
+// program is fully deterministic, so the trace must be byte-stable.
+func goldenRun(t *testing.T) []byte {
+	t.Helper()
+	rec := obsv.NewRecorder()
+	cl := cluster.New(cluster.DefaultConfig(1)) // one node, two ranks
+	cl.SetObserver(rec)
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		mr := mrmpi.New(mpi.NewComm(r))
+		if err := mr.Map(func(emit mrmpi.Emitter) error {
+			for k := 0; k < 8; k++ {
+				emit([]byte(fmt.Sprintf("key-%02d", k)), []byte(fmt.Sprintf("v%d-%d", r.ID(), k)))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := mr.Aggregate(mrmpi.HashPartitioner); err != nil {
+			return err
+		}
+		mr.Convert()
+		return mr.Reduce(func(g keyval.KMV, emit mrmpi.Emitter) error {
+			emit(g.Key, []byte(fmt.Sprint(len(g.Values))))
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeTraceGolden byte-compares the trace of a fixed 2-rank run with
+// the checked-in golden file. Regenerate with UPDATE_GOLDEN=1 after an
+// intentional exporter or cost-model change.
+func TestChromeTraceGolden(t *testing.T) {
+	got := goldenRun(t)
+	path := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverged from %s (%d vs %d bytes); if the change is intentional, regenerate with UPDATE_GOLDEN=1",
+			path, len(got), len(want))
+	}
+}
+
+// TestChromeTraceStableAcrossRuns guards the golden test's premise: two
+// executions of the same seeded program serialize identical traces.
+func TestChromeTraceStableAcrossRuns(t *testing.T) {
+	a := goldenRun(t)
+	b := goldenRun(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different traces")
+	}
+}

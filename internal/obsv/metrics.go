@@ -1,0 +1,290 @@
+package obsv
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+)
+
+// Metrics is the machine-readable summary of one recorded run — the
+// document `papar -metrics-out` and `paperbench -metrics-dir` write, and
+// the one the CI determinism job diffs. Every field derives from virtual
+// time or deterministic counters, so two runs of the same seeded program
+// must produce byte-identical documents.
+type Metrics struct {
+	// MakespanNS is the run's virtual makespan in nanoseconds (the
+	// "makespan_ns" counter when folded, else the latest span end).
+	MakespanNS float64 `json:"makespan_ns"`
+	// LoadImbalance is the load-imbalance factor: max over ranks of busy
+	// time divided by the mean (1.0 = perfectly balanced). Busy time is the
+	// union of a rank's span intervals, so nested spans are not double
+	// counted. Falls back to rank finish times when no spans were recorded.
+	LoadImbalance float64 `json:"load_imbalance"`
+	// StragglerGapNS is the straggler gap: the slowest rank's finish time
+	// minus the mean finish time, in nanoseconds.
+	StragglerGapNS float64 `json:"straggler_gap_ns"`
+	// ShuffleImbalance is max/mean over the per-rank "sent_bytes" series
+	// (0 when the series was not folded in).
+	ShuffleImbalance float64 `json:"shuffle_imbalance,omitempty"`
+	// Phases aggregates spans by (category, name), ordered by first start.
+	Phases []PhaseMetrics `json:"phases,omitempty"`
+	// Ranks holds one row per observed rank.
+	Ranks []RankMetrics `json:"ranks,omitempty"`
+	// Counters are the folded named counters (wire bytes, retransmits,
+	// integrity and checkpoint numbers, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// PhaseMetrics aggregates every span sharing one (category, name).
+type PhaseMetrics struct {
+	Cat  string `json:"cat"`
+	Name string `json:"name"`
+	// Count is the number of spans.
+	Count int `json:"count"`
+	// BusyNS sums span durations across ranks (parallel work adds up).
+	BusyNS float64 `json:"busy_ns"`
+	// WindowNS is the phase's wall extent on the virtual timeline:
+	// max end - min start across all ranks.
+	WindowNS float64 `json:"window_ns"`
+	// MaxRankBusyNS / MeanRankBusyNS describe the per-rank busy
+	// distribution inside this phase; Imbalance is their ratio.
+	MaxRankBusyNS  float64 `json:"max_rank_busy_ns"`
+	MeanRankBusyNS float64 `json:"mean_rank_busy_ns"`
+	Imbalance      float64 `json:"imbalance"`
+}
+
+// RankMetrics is one rank's row.
+type RankMetrics struct {
+	Rank int `json:"rank"`
+	// BusyNS is the union length of the rank's span intervals.
+	BusyNS float64 `json:"busy_ns"`
+	// FinishNS is the rank's clock at the end of the run (the folded
+	// "finish_ns" series when present, else the rank's latest span end).
+	FinishNS float64 `json:"finish_ns"`
+	// SentBytes / SentMsgs come from the folded per-rank series.
+	SentBytes int64 `json:"sent_bytes,omitempty"`
+	SentMsgs  int64 `json:"sent_msgs,omitempty"`
+}
+
+// unionLength returns the total length covered by the intervals.
+func unionLength(iv [][2]float64) float64 {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(i, j int) bool {
+		if iv[i][0] != iv[j][0] {
+			return iv[i][0] < iv[j][0]
+		}
+		return iv[i][1] < iv[j][1]
+	})
+	total := 0.0
+	curLo, curHi := iv[0][0], iv[0][1]
+	for _, x := range iv[1:] {
+		if x[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = x[0], x[1]
+			continue
+		}
+		if x[1] > curHi {
+			curHi = x[1]
+		}
+	}
+	return total + (curHi - curLo)
+}
+
+// maxOverMean returns max(vals)/mean(vals), or 0 when the mean is zero.
+func maxOverMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	max, sum := 0.0, 0.0
+	for _, v := range vals {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(vals)))
+}
+
+// Metrics computes the summary of everything recorded so far.
+func (r *Recorder) Metrics() *Metrics {
+	m := &Metrics{Counters: r.Counters()}
+	if len(m.Counters) == 0 {
+		m.Counters = nil
+	}
+	spans := r.Spans()
+
+	// Per-rank interval sets and span-derived finish times.
+	ranks := map[int][][2]float64{}
+	finish := map[int]float64{}
+	for _, s := range spans {
+		ranks[s.Rank] = append(ranks[s.Rank], [2]float64{float64(s.Start), float64(s.End)})
+		if f := float64(s.End); f > finish[s.Rank] {
+			finish[s.Rank] = f
+		}
+	}
+	// The folded series override span-derived values: they see the whole
+	// run, spans only the instrumented parts.
+	finishSeries := r.RankSeries("finish_ns")
+	for rank, v := range finishSeries {
+		if _, ok := ranks[rank]; !ok {
+			ranks[rank] = nil
+		}
+		finish[rank] = float64(v)
+	}
+	sentBytes := r.RankSeries("sent_bytes")
+	sentMsgs := r.RankSeries("sent_msgs")
+
+	ids := make([]int, 0, len(ranks))
+	for id := range ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	busy := make([]float64, 0, len(ids))
+	finishes := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		rm := RankMetrics{Rank: id, BusyNS: unionLength(ranks[id]), FinishNS: finish[id]}
+		if id < len(sentBytes) {
+			rm.SentBytes = sentBytes[id]
+		}
+		if id < len(sentMsgs) {
+			rm.SentMsgs = sentMsgs[id]
+		}
+		m.Ranks = append(m.Ranks, rm)
+		busy = append(busy, rm.BusyNS)
+		finishes = append(finishes, rm.FinishNS)
+		if rm.FinishNS > m.MakespanNS {
+			m.MakespanNS = rm.FinishNS
+		}
+	}
+	if v, ok := m.Counters["makespan_ns"]; ok {
+		m.MakespanNS = float64(v)
+	}
+
+	// Load imbalance from busy time; ranks without spans fall back to
+	// finish times (the only per-rank signal an uninstrumented run has).
+	allZero := true
+	for _, b := range busy {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		m.LoadImbalance = maxOverMean(finishes)
+	} else {
+		m.LoadImbalance = maxOverMean(busy)
+	}
+	if len(finishes) > 0 {
+		maxF, sumF := 0.0, 0.0
+		for _, f := range finishes {
+			sumF += f
+			if f > maxF {
+				maxF = f
+			}
+		}
+		m.StragglerGapNS = maxF - sumF/float64(len(finishes))
+	}
+	if len(sentBytes) > 0 {
+		fs := make([]float64, len(sentBytes))
+		for i, v := range sentBytes {
+			fs[i] = float64(v)
+		}
+		m.ShuffleImbalance = maxOverMean(fs)
+	}
+
+	// Phase aggregation by (cat, name), ordered by first start.
+	type phaseKey struct{ cat, name string }
+	type phaseAgg struct {
+		first, lo, hi float64
+		count         int
+		busy          float64
+		perRank       map[int]float64
+	}
+	aggs := map[phaseKey]*phaseAgg{}
+	var order []phaseKey
+	for _, s := range spans {
+		k := phaseKey{s.Cat, s.Name}
+		a, ok := aggs[k]
+		if !ok {
+			a = &phaseAgg{first: float64(s.Start), lo: float64(s.Start), hi: float64(s.End), perRank: map[int]float64{}}
+			aggs[k] = a
+			order = append(order, k)
+		}
+		if float64(s.Start) < a.lo {
+			a.lo = float64(s.Start)
+		}
+		if float64(s.End) > a.hi {
+			a.hi = float64(s.End)
+		}
+		a.count++
+		d := float64(s.Duration())
+		a.busy += d
+		a.perRank[s.Rank] += d
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := aggs[order[i]], aggs[order[j]]
+		if a.first != b.first {
+			return a.first < b.first
+		}
+		if order[i].cat != order[j].cat {
+			return order[i].cat < order[j].cat
+		}
+		return order[i].name < order[j].name
+	})
+	for _, k := range order {
+		a := aggs[k]
+		// Rank order, not map order: float summation is not associative, so
+		// iterating the map directly would make the mean (and the JSON
+		// document) vary in the last ulp between identical runs.
+		rankIDs := make([]int, 0, len(a.perRank))
+		for rank := range a.perRank {
+			rankIDs = append(rankIDs, rank)
+		}
+		sort.Ints(rankIDs)
+		per := make([]float64, 0, len(rankIDs))
+		maxB := 0.0
+		for _, rank := range rankIDs {
+			b := a.perRank[rank]
+			per = append(per, b)
+			if b > maxB {
+				maxB = b
+			}
+		}
+		pm := PhaseMetrics{
+			Cat: k.cat, Name: k.name, Count: a.count,
+			BusyNS: a.busy, WindowNS: a.hi - a.lo,
+			MaxRankBusyNS: maxB,
+		}
+		if len(per) > 0 {
+			pm.MeanRankBusyNS = a.busy / float64(len(per))
+			pm.Imbalance = maxOverMean(per)
+		}
+		m.Phases = append(m.Phases, pm)
+	}
+	return m
+}
+
+// JSON renders the metrics document deterministically (map keys sorted by
+// encoding/json, slices in computed order), with a trailing newline.
+func (m *Metrics) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteJSON writes the metrics document to path.
+func (m *Metrics) WriteJSON(path string) error {
+	buf, err := m.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

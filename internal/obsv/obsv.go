@@ -1,0 +1,174 @@
+// Package obsv is the observability layer for the simulated cluster: named
+// spans and counters on the virtual timeline, with exporters for Chrome
+// trace-event JSON (chrome://tracing / Perfetto), a machine-readable
+// metrics document, and a compact terminal timeline.
+//
+// Spans record virtual time the engines already compute (a span is two
+// reads of the owning rank's clock), so recording costs wall-clock time but
+// zero virtual time: fault-free makespans and partition bytes are
+// bit-identical with recording on or off. That property is what lets CI
+// diff two metrics documents as a determinism gate.
+//
+// A Recorder is attached to a cluster (cluster.SetObserver); engines open
+// spans through cluster.Rank.Span, and harnesses fold their counters in
+// after a run. All methods are nil-receiver safe so instrumented code never
+// branches on "is observability on".
+package obsv
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Span is one closed phase interval on a rank's virtual timeline.
+type Span struct {
+	// Rank identifies the track (a cluster rank, or a task index for the
+	// wall-clock Hadoop engine).
+	Rank int `json:"rank"`
+	// Cat groups spans by the subsystem that opened them ("mrmpi", "core",
+	// "job", "blast", "pagerank", "hadoop").
+	Cat string `json:"cat"`
+	// Name is the phase ("map", "aggregate", "convert", "sort", "reduce",
+	// "write", a job id, ...).
+	Name  string         `json:"name"`
+	Start vtime.Duration `json:"start_ns"`
+	End   vtime.Duration `json:"end_ns"`
+}
+
+// Duration returns the span's length (zero for malformed spans).
+func (s Span) Duration() vtime.Duration {
+	if s.End > s.Start {
+		return s.End - s.Start
+	}
+	return 0
+}
+
+// Recorder collects spans, named counters, and per-rank counter series. It
+// is safe for concurrent use by every rank goroutine of a run.
+type Recorder struct {
+	mu       sync.Mutex
+	spans    []Span
+	counters map[string]int64
+	perRank  map[string][]int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		counters: map[string]int64{},
+		perRank:  map[string][]int64{},
+	}
+}
+
+// Record appends one closed span. No-op on a nil recorder.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Count adds delta to a named counter. No-op on a nil recorder.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetCount stores a counter's absolute value (latest write wins).
+func (r *Recorder) SetCount(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = v
+	r.mu.Unlock()
+}
+
+// RankSet stores one rank's value in a named per-rank series (for example
+// "sent_bytes"), growing the series as needed.
+func (r *Recorder) RankSet(name string, rank int, v int64) {
+	if r == nil || rank < 0 {
+		return
+	}
+	r.mu.Lock()
+	s := r.perRank[name]
+	for len(s) <= rank {
+		s = append(s, 0)
+	}
+	s[rank] = v
+	r.perRank[name] = s
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in deterministic order:
+// by start time, then rank, then longest first (so enclosing spans precede
+// the phases they contain), then category and name.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.End != b.End {
+			return a.End > b.End
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Counters returns a copy of the named counters.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// RankSeries returns a copy of a named per-rank series (nil if absent).
+func (r *Recorder) RankSeries(name string) []int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int64(nil), r.perRank[name]...)
+}
+
+// Reset clears all recorded state, keeping the recorder attached.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = nil
+	r.counters = map[string]int64{}
+	r.perRank = map[string][]int64{}
+	r.mu.Unlock()
+}

@@ -1,0 +1,169 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func ms(x float64) vtime.Duration { return vtime.Duration(x * 1e6) }
+
+// TestNilRecorderSafe pins the contract instrumented code relies on: every
+// method is a no-op on a nil recorder.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Span{})
+	r.Count("x", 1)
+	r.SetCount("x", 1)
+	r.RankSet("x", 0, 1)
+	r.Reset()
+	if r.Spans() != nil || r.Counters() != nil || r.RankSeries("x") != nil {
+		t.Fatal("nil recorder returned non-nil data")
+	}
+}
+
+func TestSpanOrderDeterministic(t *testing.T) {
+	r := NewRecorder()
+	// Inserted out of order; enclosing span (same start, later end) must
+	// come first.
+	r.Record(Span{Rank: 1, Cat: "core", Name: "sort", Start: ms(1), End: ms(2)})
+	r.Record(Span{Rank: 0, Cat: "mrmpi", Name: "map", Start: ms(0), End: ms(1)})
+	r.Record(Span{Rank: 0, Cat: "job", Name: "j1", Start: ms(0), End: ms(3)})
+	got := r.Spans()
+	want := []string{"job/j1", "mrmpi/map", "core/sort"}
+	for i, s := range got {
+		if s.Cat+"/"+s.Name != want[i] {
+			t.Fatalf("span %d = %s/%s, want %s", i, s.Cat, s.Name, want[i])
+		}
+	}
+}
+
+// TestMetricsHandComputed pins the load-imbalance factor and straggler gap
+// against a hand-computed 4-rank example: busy times 10, 10, 10 and 30 ms.
+// max/mean = 30/15 = 2.0; finishes equal the busy times, so the straggler
+// gap is 30 - 15 = 15 ms.
+func TestMetricsHandComputed(t *testing.T) {
+	r := NewRecorder()
+	for rank, busy := range []float64{10, 10, 10, 30} {
+		r.Record(Span{Rank: rank, Cat: "w", Name: "compute", Start: 0, End: ms(busy)})
+	}
+	m := r.Metrics()
+	if m.LoadImbalance != 2.0 {
+		t.Fatalf("LoadImbalance = %v, want 2.0", m.LoadImbalance)
+	}
+	if m.StragglerGapNS != float64(ms(15)) {
+		t.Fatalf("StragglerGapNS = %v, want %v", m.StragglerGapNS, float64(ms(15)))
+	}
+	if m.MakespanNS != float64(ms(30)) {
+		t.Fatalf("MakespanNS = %v, want %v", m.MakespanNS, float64(ms(30)))
+	}
+	if len(m.Ranks) != 4 || m.Ranks[3].BusyNS != float64(ms(30)) {
+		t.Fatalf("rank rows wrong: %+v", m.Ranks)
+	}
+	if len(m.Phases) != 1 || m.Phases[0].Imbalance != 2.0 || m.Phases[0].Count != 4 {
+		t.Fatalf("phase rows wrong: %+v", m.Phases)
+	}
+}
+
+// TestMetricsNestedSpansNotDoubleCounted: a job span enclosing two phase
+// spans contributes its union, not the sum.
+func TestMetricsNestedSpansNotDoubleCounted(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Span{Rank: 0, Cat: "job", Name: "j1", Start: 0, End: ms(10)})
+	r.Record(Span{Rank: 0, Cat: "mrmpi", Name: "map", Start: 0, End: ms(4)})
+	r.Record(Span{Rank: 0, Cat: "mrmpi", Name: "aggregate", Start: ms(4), End: ms(10)})
+	m := r.Metrics()
+	if m.Ranks[0].BusyNS != float64(ms(10)) {
+		t.Fatalf("busy = %v, want %v (union, not sum)", m.Ranks[0].BusyNS, float64(ms(10)))
+	}
+}
+
+// TestMetricsFoldedSeriesOverride: folded finish_ns and makespan_ns replace
+// span-derived values; sent_bytes drives shuffle imbalance.
+func TestMetricsFoldedSeriesOverride(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Span{Rank: 0, Cat: "w", Name: "c", Start: 0, End: ms(1)})
+	r.Record(Span{Rank: 1, Cat: "w", Name: "c", Start: 0, End: ms(1)})
+	r.RankSet("finish_ns", 0, int64(ms(8)))
+	r.RankSet("finish_ns", 1, int64(ms(4)))
+	r.RankSet("sent_bytes", 0, 300)
+	r.RankSet("sent_bytes", 1, 100)
+	r.SetCount("makespan_ns", int64(ms(9)))
+	m := r.Metrics()
+	if m.MakespanNS != float64(ms(9)) {
+		t.Fatalf("MakespanNS = %v, want folded %v", m.MakespanNS, float64(ms(9)))
+	}
+	if m.StragglerGapNS != float64(ms(2)) { // max 8 - mean 6
+		t.Fatalf("StragglerGapNS = %v, want %v", m.StragglerGapNS, float64(ms(2)))
+	}
+	if m.ShuffleImbalance != 1.5 { // 300 / 200
+		t.Fatalf("ShuffleImbalance = %v, want 1.5", m.ShuffleImbalance)
+	}
+}
+
+// TestChromeTraceSchema validates the exporter output against the trace-event
+// format: metadata first, then only complete ("X") events with microsecond
+// timestamps and durations.
+func TestChromeTraceSchema(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Span{Rank: 0, Cat: "mrmpi", Name: "map", Start: ms(1), End: ms(3)})
+	r.Record(Span{Rank: 1, Cat: "mrmpi", Name: "map", Start: ms(1), End: ms(2)})
+	var buf bytes.Buffer
+	if err := r.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var xs int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", e.Name)
+			}
+		case "X":
+			xs++
+			if e.Dur == nil || *e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("bad complete event: %+v", e)
+			}
+			if e.Tid != 0 && e.Tid != 1 {
+				t.Fatalf("event on unknown track %d", e.Tid)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if xs != 2 {
+		t.Fatalf("got %d complete events, want 2", xs)
+	}
+}
+
+func TestTimelineRendersAllRanksAndPhases(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Span{Rank: 0, Cat: "mrmpi", Name: "map", Start: 0, End: ms(2)})
+	r.Record(Span{Rank: 1, Cat: "mrmpi", Name: "aggregate", Start: ms(2), End: ms(4)})
+	out := r.Timeline(40)
+	for _, want := range []string{"r0", "r1", "mrmpi:map", "mrmpi:aggregate", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

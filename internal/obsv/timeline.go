@@ -1,0 +1,92 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Timeline renders a compact terminal view of the recorded run: one gantt
+// row per rank (each phase drawn with a letter, proportional to virtual
+// time), a legend, and a per-phase summary table with imbalance factors.
+// width is the gantt width in characters (default 64 when <= 0).
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	m := r.Metrics()
+	spans := r.Spans()
+	if len(spans) == 0 && len(m.Ranks) == 0 {
+		return "obsv: nothing recorded\n"
+	}
+
+	// Assign one letter per (cat, name) in phase order.
+	letters := map[string]byte{}
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for _, p := range m.Phases {
+		k := p.Cat + ":" + p.Name
+		if _, ok := letters[k]; !ok && len(letters) < len(alphabet) {
+			letters[k] = alphabet[len(letters)]
+		}
+	}
+
+	total := m.MakespanNS
+	if total <= 0 {
+		total = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: makespan %v, load imbalance %.2f, straggler gap %v\n",
+		vtime.Duration(m.MakespanNS), m.LoadImbalance, vtime.Duration(m.StragglerGapNS))
+
+	if len(spans) > 0 {
+		rows := map[int][]byte{}
+		var order []int
+		for _, s := range spans {
+			row, ok := rows[s.Rank]
+			if !ok {
+				row = []byte(strings.Repeat(".", width))
+				rows[s.Rank] = row
+				order = append(order, s.Rank)
+			}
+			letter, ok := letters[s.Cat+":"+s.Name]
+			if !ok {
+				letter = '?'
+			}
+			lo := int(float64(s.Start) / total * float64(width))
+			hi := int(float64(s.End) / total * float64(width))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				// Shorter phases win ties so fine structure stays visible
+				// over enclosing job spans (drawn first: Spans() orders
+				// longest-first at equal starts).
+				row[i] = letter
+			}
+		}
+		// Spans() already visits ranks in deterministic order; sort keys
+		// anyway so partially instrumented runs render stably.
+		sort.Ints(order)
+		for _, rank := range order {
+			fmt.Fprintf(&b, "  r%-3d |%s|\n", rank, rows[rank])
+		}
+		legend := make([]string, 0, len(m.Phases))
+		for _, p := range m.Phases {
+			k := p.Cat + ":" + p.Name
+			legend = append(legend, fmt.Sprintf("%c=%s", letters[k], k))
+		}
+		fmt.Fprintf(&b, "  legend: %s\n", strings.Join(legend, " "))
+	}
+
+	if len(m.Phases) > 0 {
+		fmt.Fprintf(&b, "%-24s %6s %14s %14s %10s\n", "phase", "spans", "busy", "window", "imbalance")
+		for _, p := range m.Phases {
+			fmt.Fprintf(&b, "%-24s %6d %14v %14v %9.2fx\n",
+				p.Cat+":"+p.Name, p.Count,
+				vtime.Duration(p.BusyNS), vtime.Duration(p.WindowNS), p.Imbalance)
+		}
+	}
+	return b.String()
+}

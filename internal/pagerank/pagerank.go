@@ -150,12 +150,14 @@ func Distributed(cl *cluster.Cluster, a *powerlyra.Assignment, iters int) (*Resu
 
 		for it := 0; it < iters; it++ {
 			// Gather: per-edge contributions accumulated per destination.
+			endGather := r.Span("pagerank", "gather")
 			acc := map[int32]float64{}
 			for _, e := range local {
 				acc[e.Dst] += mirror[e.Src] / float64(outdeg[e.Src])
 			}
 			r.Charge(r.Compute().ScanCost(len(local), 0))
 			r.Charge(r.Compute().GroupCost(len(acc), 0))
+			endGather()
 
 			// Send partials to destination masters.
 			out := make([][]byte, p)
@@ -167,6 +169,7 @@ func Distributed(cl *cluster.Cluster, a *powerlyra.Assignment, iters int) (*Resu
 			if err != nil {
 				return err
 			}
+			endApply := r.Span("pagerank", "apply")
 			sum := map[int32]float64{}
 			for _, buf := range recv {
 				if err := foreachVF(buf, func(v int32, x float64) {
@@ -183,6 +186,7 @@ func Distributed(cl *cluster.Cluster, a *powerlyra.Assignment, iters int) (*Resu
 				pr[v] = base + Damping*sum[v]
 			}
 			r.Charge(r.Compute().ScanCost(len(myVerts), 0))
+			endApply()
 
 			// Scatter refreshed values to mirrors (one copy per mirror) and
 			// to ghosts (one copy per ghost edge, the edge-cut penalty).
@@ -201,6 +205,7 @@ func Distributed(cl *cluster.Cluster, a *powerlyra.Assignment, iters int) (*Resu
 			if err != nil {
 				return err
 			}
+			endScatter := r.Span("pagerank", "scatter")
 			entries := 0
 			for _, buf := range recvM {
 				if err := foreachVF(buf, func(v int32, x float64) {
@@ -211,6 +216,7 @@ func Distributed(cl *cluster.Cluster, a *powerlyra.Assignment, iters int) (*Resu
 				}
 			}
 			r.Charge(r.Compute().ScanCost(entries, 12*entries))
+			endScatter()
 		}
 
 		// Publish master values (each rank writes disjoint indices).
