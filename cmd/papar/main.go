@@ -11,11 +11,16 @@
 //
 // Flags:
 //
-//	-plan     print the compiled job plan and exit (no execution)
-//	-emit-go  print the generated Go source and exit
-//	-faults   seeded fault plan (crash/drop/dup/delay/corrupt/straggle/
-//	          ckptloss); the run checkpoints at job boundaries (replicated
-//	          over buddy hosts) and recovers from rank failures
+//	-plan        print the compiled job plan and exit (no execution)
+//	-emit-go     print the generated Go source and exit
+//	-faults      seeded fault plan (crash/drop/dup/delay/corrupt/straggle/
+//	             ckptloss/enospc/tornwrite/diskrot/slowdisk); the run
+//	             checkpoints at job boundaries (replicated over buddy hosts)
+//	             and recovers from rank failures
+//	-mem-budget  per-rank resident memory cap in bytes; cold keyval pages
+//	             spill to a CRC-framed disk tier and the run stays
+//	             byte-identical to the in-memory one
+//	-spill-dir   where the spill runs live (default: a temp dir)
 package main
 
 import (
@@ -64,7 +69,9 @@ func run() error {
 		planOnly   = flag.Bool("plan", false, "print the compiled plan and exit")
 		emitGo     = flag.Bool("emit-go", false, "print the generated Go program and exit")
 		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
-		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%,corrupt=2%,ckptloss=3"); runs resiliently (mrmpi backend)`)
+		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%,corrupt=2%,ckptloss=3,enospc=30%,tornwrite=20%,diskrot=2%,slowdisk=1x4"); runs resiliently (mrmpi backend)`)
+		memBudget  = flag.Int64("mem-budget", 0, "per-rank resident memory cap in bytes; 0 = unlimited, cold pages spill to disk otherwise (mrmpi backend)")
+		spillDir   = flag.String("spill-dir", "", "directory for spilled pages (default: temp dir, removed on exit); with -faults the spill tier is replicated across buddy paths")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write machine-readable run metrics (phase durations, per-rank load, imbalance) as JSON to this file")
 		timelineW  = flag.Int("timeline", 0, "print a per-rank text timeline of the run, N columns wide")
@@ -106,6 +113,13 @@ func run() error {
 		if *traceN > 0 {
 			cl.EnableTrace()
 		}
+		execOpts := core.ExecOptions{Spill: core.SpillOptions{
+			MemBudget: *memBudget,
+			Dir:       *spillDir,
+			// Under a fault plan the spill tier replicates each run across
+			// both paths, so ENOSPC and rot can fail over.
+			Replicate: *faultSpec != "",
+		}}
 		var res *core.Result
 		if *faultSpec != "" {
 			fp, err := faults.Parse(*faultSpec)
@@ -114,7 +128,7 @@ func run() error {
 			}
 			cl.SetFaultPlan(fp)
 			var rep *core.RecoveryReport
-			res, rep, err = core.ExecuteResilient(cl, plan, core.Input{Path: *data}, nil)
+			res, rep, err = core.ExecuteResilientOpts(cl, plan, core.Input{Path: *data}, nil, execOpts)
 			if err != nil {
 				return err
 			}
@@ -128,7 +142,7 @@ func run() error {
 				fmt.Printf("transport integrity: %d corruptions injected, %d detected, %d retransmitted delivery attempts\n",
 					stats.CorruptInjected, stats.CorruptDetected, stats.Retransmits)
 			}
-		} else if res, err = core.Execute(cl, plan, core.Input{Path: *data}); err != nil {
+		} else if res, err = core.ExecuteOpts(cl, plan, core.Input{Path: *data}, execOpts); err != nil {
 			return err
 		}
 		if *traceN > 0 {
@@ -136,6 +150,12 @@ func run() error {
 		}
 		fmt.Printf("workflow %s: %d partitions in %v virtual time (%d bytes shuffled, %d messages)\n",
 			plan.WorkflowID, len(res.Partitions), res.Makespan, res.ShuffleBytes, res.ShuffleMessages)
+		if *memBudget > 0 {
+			sp := cl.Stats().Spill
+			fmt.Printf("spill tier (budget %d B/rank): %d pages out (%d B), %d pages back (%d B), %d retries, %d failovers, %d rotted frames caught, %d stalls (%d B over)\n",
+				*memBudget, sp.SpillPages, sp.SpillBytes, sp.RestorePages, sp.RestoreBytes,
+				sp.Retries, sp.Failovers, sp.RotDetected, sp.Stalls, sp.StallBytes)
+		}
 		for i, m := range res.JobMakespans {
 			fmt.Printf("  after job %d (%s): %v\n", i+1, plan.Jobs[i].JobID(), m)
 		}

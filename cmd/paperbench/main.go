@@ -49,14 +49,15 @@ func catalog() []experiment {
 		{"compress", "CSC data compression", wrap(experiments.Compression)},
 		{"ccomp", "connected components across cut methods (extension)", wrap(experiments.ConnectedComponents)},
 		{"ablations", "design-choice ablations", wrap(experiments.Ablations)},
-		{"chaos", "fault injection: crash, drop, corruption and checkpoint-loss recovery", wrap(experiments.Chaos)},
+		{"chaos", "fault injection: crash, drop, corruption, checkpoint-loss and disk-fault recovery", wrap(experiments.Chaos)},
+		{"outofcore", "budget-constrained partitioning through the spill tier, byte-identical to in-memory", wrap(experiments.OutOfCore)},
 		{"skew", "per-rank load imbalance by partitioning policy (block vs cyclic, hybrid vs hash)", wrap(experiments.Skew)},
 	}
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, skew)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, outofcore, skew)")
 		blastScale = flag.Float64("blast-scale", 0, "BLAST database scale (default 0.02)")
 		graphScale = flag.Float64("graph-scale", 0, "graph dataset scale (default 0.01)")
 		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")

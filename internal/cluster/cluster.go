@@ -98,7 +98,10 @@ type Cluster struct {
 	retransmits     atomic.Int64
 	corruptInjected atomic.Int64
 	corruptDetected atomic.Int64
-	trace           tracer
+	// spill aggregates the out-of-core disk-tier counters every rank's
+	// spill store reports through RecordSpill.
+	spill spillCounters
+	trace tracer
 	// obs, when set, receives phase spans (Rank.Span) and, at the end of
 	// every Run, the per-rank send/finish series and traffic counters.
 	// Spans read virtual clocks the run already computes, so observed and
@@ -186,6 +189,15 @@ func (c *Cluster) foldObserver() {
 	c.obs.SetCount("corrupt_injected", s.CorruptInjected)
 	c.obs.SetCount("corrupt_detected", s.CorruptDetected)
 	c.obs.SetCount("makespan_ns", int64(s.Makespan))
+	c.obs.SetCount("spill_pages", s.Spill.SpillPages)
+	c.obs.SetCount("spill_bytes", s.Spill.SpillBytes)
+	c.obs.SetCount("restore_pages", s.Spill.RestorePages)
+	c.obs.SetCount("restore_bytes", s.Spill.RestoreBytes)
+	c.obs.SetCount("spill_retries", s.Spill.Retries)
+	c.obs.SetCount("spill_failovers", s.Spill.Failovers)
+	c.obs.SetCount("spill_rot_detected", s.Spill.RotDetected)
+	c.obs.SetCount("spill_stalls", s.Spill.Stalls)
+	c.obs.SetCount("spill_stall_bytes", s.Spill.StallBytes)
 }
 
 // ErrAborted is returned from a blocked Recv when another rank of the same
@@ -307,6 +319,7 @@ func (c *Cluster) Reset() {
 	c.retransmits.Store(0)
 	c.corruptInjected.Store(0)
 	c.corruptDetected.Store(0)
+	c.spill = spillCounters{}
 }
 
 // Stats summarizes traffic since the last Reset.
@@ -322,6 +335,47 @@ type Stats struct {
 	// mean no corruption was silently accepted.
 	CorruptInjected int64
 	CorruptDetected int64
+	// Spill aggregates the out-of-core disk tier across ranks.
+	Spill SpillStats
+}
+
+// SpillStats are the cluster-wide out-of-core counters: pages and bytes
+// moved between memory and the spill stores, the disk-fault recovery
+// actions (retries, path/replica failovers, detected rot), and the
+// backpressure stalls taken when a pinned working set exceeded the budget.
+type SpillStats struct {
+	SpillPages   int64
+	SpillBytes   int64
+	RestorePages int64
+	RestoreBytes int64
+	Retries      int64
+	Failovers    int64
+	RotDetected  int64
+	Stalls       int64
+	StallBytes   int64
+}
+
+// spillCounters is the atomic mirror of SpillStats, written from rank
+// goroutines mid-run.
+type spillCounters struct {
+	pages, bytes, restorePages, restoreBytes atomic.Int64
+	retries, failovers, rot                  atomic.Int64
+	stalls, stallBytes                       atomic.Int64
+}
+
+// RecordSpill folds one spill-store delta into the cluster totals. Safe to
+// call from any rank goroutine.
+func (r *Rank) RecordSpill(d SpillStats) {
+	s := &r.cluster.spill
+	s.pages.Add(d.SpillPages)
+	s.bytes.Add(d.SpillBytes)
+	s.restorePages.Add(d.RestorePages)
+	s.restoreBytes.Add(d.RestoreBytes)
+	s.retries.Add(d.Retries)
+	s.failovers.Add(d.Failovers)
+	s.rot.Add(d.RotDetected)
+	s.stalls.Add(d.Stalls)
+	s.stallBytes.Add(d.StallBytes)
 }
 
 // Stats returns cumulative traffic counters and the current makespan.
@@ -333,5 +387,16 @@ func (c *Cluster) Stats() Stats {
 		Retransmits:     c.retransmits.Load(),
 		CorruptInjected: c.corruptInjected.Load(),
 		CorruptDetected: c.corruptDetected.Load(),
+		Spill: SpillStats{
+			SpillPages:   c.spill.pages.Load(),
+			SpillBytes:   c.spill.bytes.Load(),
+			RestorePages: c.spill.restorePages.Load(),
+			RestoreBytes: c.spill.restoreBytes.Load(),
+			Retries:      c.spill.retries.Load(),
+			Failovers:    c.spill.failovers.Load(),
+			RotDetected:  c.spill.rot.Load(),
+			Stalls:       c.spill.stalls.Load(),
+			StallBytes:   c.spill.stallBytes.Load(),
+		},
 	}
 }

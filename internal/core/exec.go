@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/aspas"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
 	"repro/internal/sample"
+	"repro/internal/spill"
 	"repro/internal/vtime"
 )
 
@@ -49,6 +52,68 @@ type Result struct {
 // (§III-D data sampling).
 const sampleCap = 1024
 
+// SpillOptions configure the out-of-core disk tier of the data plane.
+type SpillOptions struct {
+	// MemBudget caps each rank's resident KV payload in bytes; cold pages
+	// spill to per-rank run files and stream back on demand. 0 keeps the
+	// whole data plane in memory.
+	MemBudget int64
+	// Dir is the spill root directory. Empty means a fresh temp directory,
+	// removed when the run finishes.
+	Dir string
+	// Replicate writes every run frame to the buddy path as well, so a
+	// rotted frame on one path can be served from the other.
+	Replicate bool
+}
+
+// ExecOptions tune plan execution beyond what the plan itself specifies.
+type ExecOptions struct {
+	Spill SpillOptions
+}
+
+// spillRoot resolves the spill root directory; the returned cleanup removes
+// it only if this call created it.
+func spillRoot(opts ExecOptions) (string, func(), error) {
+	if opts.Spill.MemBudget <= 0 {
+		return "", func() {}, nil
+	}
+	if opts.Spill.Dir != "" {
+		return opts.Spill.Dir, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "papar-spill-")
+	if err != nil {
+		return "", nil, fmt.Errorf("core: spill root: %w", err)
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// openRankSpill opens rank r's spill store under root, charging disk service
+// time to the rank's virtual clock and folding counters into the cluster
+// stats (and from there into the observer's metrics).
+func openRankSpill(cl *cluster.Cluster, r *cluster.Rank, root string, opts ExecOptions) (*spill.Store, error) {
+	return spill.Open(spill.Config{
+		Dir:       filepath.Join(root, fmt.Sprintf("rank-%03d", r.ID())),
+		Rank:      r.ID(),
+		Node:      r.Node(),
+		Plan:      cl.FaultPlan(),
+		Replicate: opts.Spill.Replicate,
+		Charge:    func(d vtime.Duration) { r.Clock().Advance(d) },
+		Sink: func(d spill.Stats) {
+			r.RecordSpill(cluster.SpillStats{
+				SpillPages:   d.SpillPages,
+				SpillBytes:   d.SpillBytes,
+				RestorePages: d.RestorePages,
+				RestoreBytes: d.RestoreBytes,
+				Retries:      d.Retries,
+				Failovers:    d.Failovers,
+				RotDetected:  d.RotDetected,
+				Stalls:       d.Stalls,
+				StallBytes:   d.StallBytes,
+			})
+		},
+	})
+}
+
 // JobLaunchOverhead is the fixed per-job framework cost every rank pays
 // when a generated partitioner starts the next MapReduce job: MR-MPI
 // object setup, KV page allocation, and the job-by-job launch sequencing
@@ -62,6 +127,12 @@ const JobLaunchOverhead = 500 * vtime.Microsecond
 // the assembled partitions. The cluster is Reset first, so its clocks
 // measure only this run.
 func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
+	return ExecuteOpts(cl, plan, in, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with execution options (e.g. a per-rank memory
+// budget backed by disk spilling).
+func ExecuteOpts(cl *cluster.Cluster, plan *Plan, in Input, opts ExecOptions) (*Result, error) {
 	cl.Reset()
 	p := cl.Size()
 
@@ -69,6 +140,11 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	root, cleanupRoot, err := spillRoot(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupRoot()
 
 	// Per-rank outputs, written by each rank's goroutine at its own index.
 	partsByRank := make([]map[int][]Row, p)
@@ -91,6 +167,14 @@ func Execute(cl *cluster.Cluster, plan *Plan, in Input) (*Result, error) {
 			side: map[string]*Dataset{},
 		}
 		st.mr = mrmpi.New(st.comm)
+		if opts.Spill.MemBudget > 0 {
+			sp, err := openRankSpill(cl, r, root, opts)
+			if err != nil {
+				return err
+			}
+			defer sp.Close()
+			st.mr.SetSpill(sp, opts.Spill.MemBudget)
+		}
 		for ji, job := range plan.Jobs {
 			endJob := r.Span("job", job.JobID())
 			r.Charge(JobLaunchOverhead)
@@ -168,11 +252,17 @@ func prepareLocals(plan *Plan, in Input, p int) ([][]Row, error) {
 			return nil, err
 		}
 		for i, sp := range splits {
-			recs, err := dataformat.ReadSplit(plan.InputSchema, sp)
+			// Stream the split record by record: ingest never holds the whole
+			// input (or even a whole split's raw bytes) in memory at once.
+			var rows []Row
+			err := dataformat.StreamSplit(plan.InputSchema, sp, func(rec dataformat.Record) error {
+				rows = append(rows, Row{Values: append([]dataformat.Value(nil), rec.Values...)})
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			locals[i] = RecordsToRows(recs)
+			locals[i] = rows
 		}
 	default:
 		return nil, fmt.Errorf("core: input has neither a path nor local rows")
@@ -335,16 +425,19 @@ func (st *execState) runSort(j *SortJob) error {
 	}
 
 	// Phase 3: each reducer sorts its rows by the real key and removes the
-	// reduce-key.
+	// reduce-key. Each streams spilled shuffle output a frame at a time;
+	// DecodeRow copies, so the rows own their values.
 	defer st.comm.Cluster().Span("core", "sort")()
-	recv := st.mr.KV()
-	out := make([]Row, 0, recv.Len())
-	for i := 0; i < recv.Len(); i++ {
-		row, err := DecodeRow(recv.Value(i))
+	out := make([]Row, 0, st.mr.Pairs())
+	if err := st.mr.Each(func(kv keyval.KV) error {
+		row, err := DecodeRow(kv.Value)
 		if err != nil {
 			return err
 		}
 		out = append(out, row)
+		return nil
+	}); err != nil {
+		return err
 	}
 	st.comm.Cluster().Charge(st.comm.Cluster().Compute().SortCost(len(out), rowBytes(out)))
 	if j.Descending {
@@ -554,14 +647,14 @@ func (st *execState) runDistribute(j *DistributeJob) error {
 	}
 
 	// Reducers: decode entries, unpack, drop attributes, store rows per
-	// partition.
+	// partition. Each streams spilled shuffle output a frame at a time;
+	// decodeEntry copies, so the rows own their values.
 	defer st.comm.Cluster().Span("core", "write")()
 	inArity := len(st.plan.InputSchema.Fields)
 	st.partitions = map[int][]Row{}
-	kvs := st.mr.KV()
-	for i := 0; i < kvs.Len(); i++ {
-		part := int(binary.LittleEndian.Uint32(kvs.Key(i)))
-		rows, err := decodeEntry(kvs.Value(i))
+	if err := st.mr.Each(func(kv keyval.KV) error {
+		part := int(binary.LittleEndian.Uint32(kv.Key))
+		rows, err := decodeEntry(kv.Value)
 		if err != nil {
 			return err
 		}
@@ -573,8 +666,11 @@ func (st *execState) runDistribute(j *DistributeJob) error {
 			}
 		}
 		st.partitions[part] = append(st.partitions[part], rows...)
+		return nil
+	}); err != nil {
+		return err
 	}
-	st.comm.Cluster().Charge(st.comm.Cluster().Compute().ScanCost(st.mr.KV().Len(), st.mr.KV().Bytes()))
+	st.comm.Cluster().Charge(st.comm.Cluster().Compute().ScanCost(st.mr.Pairs(), st.mr.PayloadBytes()))
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
+	"repro/internal/spill"
 	"repro/internal/vtime"
 )
 
@@ -60,6 +61,14 @@ func ownDeath(r *cluster.Rank, err error) bool {
 // fault-free run. The returned error is non-nil only for unrecoverable
 // failures (program bugs, all ranks dead, MaxRounds exhausted).
 func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience) (*Result, *RecoveryReport, error) {
+	return ExecuteResilientOpts(cl, plan, in, res, ExecOptions{})
+}
+
+// ExecuteResilientOpts is ExecuteResilient with execution options: a memory
+// budget applies to the recovery path too — the MapReduce objects rebuilt
+// after a failure inherit the same per-rank spill store, so re-execution
+// stays inside the budget.
+func ExecuteResilientOpts(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience, opts ExecOptions) (*Result, *RecoveryReport, error) {
 	if res == nil {
 		res = &Resilience{}
 	}
@@ -88,6 +97,11 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 	if err != nil {
 		return nil, nil, err
 	}
+	root, cleanupRoot, err := spillRoot(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanupRoot()
 
 	partsByRank := make([]map[int][]Row, p)
 	roundsByRank := make([]int, p)
@@ -110,6 +124,18 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 			side: map[string]*Dataset{},
 		}
 		st.mr = mrmpi.New(st.comm)
+		// One spill store serves the rank for the whole body, surviving
+		// recovery rounds (a fresh MapReduce re-attaches to it below).
+		var rankSpill *spill.Store
+		if opts.Spill.MemBudget > 0 {
+			sp, err := openRankSpill(cl, r, root, opts)
+			if err != nil {
+				return err
+			}
+			defer sp.Close()
+			rankSpill = sp
+			st.mr.SetSpill(rankSpill, opts.Spill.MemBudget)
+		}
 
 		ji := 0         // next job to run; checkpoint k holds state after k jobs
 		committed := -1 // deepest checkpoint this rank has barrier-committed
@@ -144,6 +170,9 @@ func ExecuteResilient(cl *cluster.Cluster, plan *Plan, in Input, res *Resilience
 				}
 				st.comm = nc
 				st.mr = mrmpi.New(nc)
+				if rankSpill != nil {
+					st.mr.SetSpill(rankSpill, opts.Spill.MemBudget)
+				}
 
 				// Recovery barrier on the fresh epoch; once it completes every
 				// survivor is in recovery and the second purge is final.

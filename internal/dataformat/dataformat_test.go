@@ -353,3 +353,74 @@ func TestParseIntProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStreamSplitTinyChunks forces every record to straddle a refill
+// boundary: streaming with a chunk smaller than one record must still yield
+// exactly the records that a whole-buffer decode produces, for both text and
+// binary schemas.
+func TestStreamSplitTinyChunks(t *testing.T) {
+	defer func(old int) { streamChunk = old }(streamChunk)
+	streamChunk = 7
+
+	dir := t.TempDir()
+
+	ts := edgeSchema()
+	var recs []Record
+	for i := 0; i < 57; i++ {
+		recs = append(recs, Record{Schema: ts, Values: []Value{
+			StrVal(strings.Repeat("a", i%11+1)), StrVal(strings.Repeat("b", i%5+1)),
+		}})
+	}
+	tpath := filepath.Join(dir, "edges.txt")
+	if err := WriteFile(ts, tpath, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(ts, tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("streamed text decode diverged from written records")
+	}
+
+	bs := blastSchema()
+	var brecs []Record
+	for i := 0; i < 33; i++ {
+		brecs = append(brecs, Record{Schema: bs, Values: []Value{
+			IntVal(int64(i)), IntVal(int64(i * 2)), IntVal(int64(i * 3)), IntVal(int64(i * 4)),
+		}})
+	}
+	bpath := filepath.Join(dir, "blast.bin")
+	if err := WriteFile(bs, bpath, brecs); err != nil {
+		t.Fatal(err)
+	}
+	bgot, err := ReadAll(bs, bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bgot, brecs) {
+		t.Fatalf("streamed binary decode diverged from written records")
+	}
+}
+
+// TestStreamSplitTruncatedRecord pins the error path: a split whose tail is
+// not a complete record fails with a decode error, not silence.
+func TestStreamSplitTruncatedRecord(t *testing.T) {
+	s := edgeSchema()
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("1\t2\nno-tab"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sps, err := Splits(s, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = StreamSplit(s, sps[0], func(Record) error { n++; return nil })
+	if err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d records before the error, want 1", n)
+	}
+}

@@ -21,6 +21,8 @@ type Split struct {
 // Splits partitions the file described by schema into n splits on record
 // boundaries. Binary formats split exactly; text formats split at the line
 // boundary at-or-after the nominal cut (standard MapReduce semantics).
+// Neither path reads the whole file: binary splitting needs only the file
+// size, text splitting scans a small window around each nominal cut.
 func Splits(schema *Schema, path string, n int) ([]Split, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dataformat: split count %d must be positive", n)
@@ -28,14 +30,14 @@ func Splits(schema *Schema, path string, n int) ([]Split, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(path)
+	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataformat: %w", err)
 	}
 	if schema.Binary {
-		return binarySplits(schema, path, int64(len(data)), n)
+		return binarySplits(schema, path, fi.Size(), n)
 	}
-	return textSplits(path, data, n)
+	return textSplitsFile(path, fi.Size(), n)
 }
 
 func binarySplits(schema *Schema, path string, fileLen int64, n int) ([]Split, error) {
@@ -65,8 +67,13 @@ func binarySplits(schema *Schema, path string, fileLen int64, n int) ([]Split, e
 	return splits, nil
 }
 
-func textSplits(path string, data []byte, n int) ([]Split, error) {
-	fileLen := int64(len(data))
+func textSplitsFile(path string, fileLen int64, n int) ([]Split, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataformat: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64<<10)
 	cuts := make([]int64, 0, n+1)
 	cuts = append(cuts, 0)
 	for i := 1; i < n; i++ {
@@ -75,12 +82,9 @@ func textSplits(path string, data []byte, n int) ([]Split, error) {
 			nominal = cuts[len(cuts)-1]
 		}
 		// Advance to the byte after the next newline.
-		j := nominal
-		for j < fileLen && data[j] != '\n' {
-			j++
-		}
-		if j < fileLen {
-			j++
+		j, err := nextLineStart(f, buf, nominal, fileLen)
+		if err != nil {
+			return nil, fmt.Errorf("dataformat: splitting %s: %w", path, err)
 		}
 		cuts = append(cuts, j)
 	}
@@ -92,22 +96,140 @@ func textSplits(path string, data []byte, n int) ([]Split, error) {
 	return splits, nil
 }
 
+// nextLineStart returns the offset of the byte after the first newline at or
+// after `from`, scanning forward one buffer at a time (fileLen when the tail
+// holds no newline).
+func nextLineStart(f *os.File, buf []byte, from, fileLen int64) (int64, error) {
+	for off := from; off < fileLen; {
+		m := int64(len(buf))
+		if off+m > fileLen {
+			m = fileLen - off
+		}
+		k, err := f.ReadAt(buf[:m], off)
+		if int64(k) < m && err != nil {
+			return 0, err
+		}
+		if idx := bytes.IndexByte(buf[:k], '\n'); idx >= 0 {
+			return off + int64(idx) + 1, nil
+		}
+		off += int64(k)
+	}
+	return fileLen, nil
+}
+
 // ReadSplit extracts the records of one split — the getRecordReader
 // analogue.
 func ReadSplit(schema *Schema, sp Split) ([]Record, error) {
+	var out []Record
+	if err := StreamSplit(schema, sp, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// streamChunk is the refill size for StreamSplit's carry buffer. A variable
+// so tests can shrink it to force record-spans-chunk paths.
+var streamChunk = 256 << 10
+
+// StreamSplit decodes one split record by record, holding only a bounded
+// buffer in memory — ingest never materializes the whole split. fn sees each
+// record in file order; a non-nil error from fn aborts the scan.
+func StreamSplit(schema *Schema, sp Split, fn func(Record) error) error {
+	if err := schema.Validate(); err != nil {
+		return err
+	}
 	f, err := os.Open(sp.Path)
 	if err != nil {
-		return nil, fmt.Errorf("dataformat: %w", err)
+		return fmt.Errorf("dataformat: %w", err)
 	}
 	defer f.Close()
-	buf := make([]byte, sp.Length)
-	if _, err := f.ReadAt(buf, sp.Offset); err != nil && sp.Length > 0 {
-		return nil, fmt.Errorf("dataformat: reading split %d of %s: %w", sp.Index, sp.Path, err)
-	}
+
+	chunk := int64(streamChunk)
 	if schema.Binary {
-		return DecodeBinary(schema, buf)
+		// Round the chunk down to whole records so every buffer decodes
+		// cleanly on its own.
+		rec, err := schema.RecordSize()
+		if err != nil {
+			return err
+		}
+		if sp.Length%int64(rec) != 0 {
+			return fmt.Errorf("dataformat: %d bytes is not a multiple of record size %d", sp.Length, rec)
+		}
+		if chunk < int64(rec) {
+			chunk = int64(rec)
+		}
+		chunk -= chunk % int64(rec)
+		buf := make([]byte, chunk)
+		for off := int64(0); off < sp.Length; {
+			m := chunk
+			if off+m > sp.Length {
+				m = sp.Length - off
+			}
+			if _, err := f.ReadAt(buf[:m], sp.Offset+off); err != nil {
+				return fmt.Errorf("dataformat: reading split %d of %s: %w", sp.Index, sp.Path, err)
+			}
+			recs, err := DecodeBinary(schema, buf[:m])
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				if err := fn(r); err != nil {
+					return err
+				}
+			}
+			off += m
+		}
+		return nil
 	}
-	return DecodeText(schema, buf)
+
+	// Text: keep a carry buffer of bytes that did not yet form a complete
+	// record, refill it a chunk at a time.
+	var buf []byte
+	read := int64(0) // bytes of the split consumed from the file
+	recIdx := 0
+	for {
+		atEOF := read >= sp.Length
+		if !atEOF {
+			m := chunk
+			if read+m > sp.Length {
+				m = sp.Length - read
+			}
+			start := len(buf)
+			buf = append(buf, make([]byte, m)...)
+			if _, err := f.ReadAt(buf[start:], sp.Offset+read); err != nil {
+				return fmt.Errorf("dataformat: reading split %d of %s: %w", sp.Index, sp.Path, err)
+			}
+			read += m
+			atEOF = read >= sp.Length
+		}
+		pos := 0
+		for pos < len(buf) {
+			rec, consumed, ok, err := decodeTextRecord(schema, buf[pos:], atEOF, recIdx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break // incomplete record: need more bytes
+			}
+			pos += consumed
+			recIdx++
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		buf = append(buf[:0], buf[pos:]...)
+		if atEOF {
+			if len(buf) > 0 {
+				// decodeTextRecord with atEOF=true either consumes the tail or
+				// errors, so a leftover here is a record that made no progress.
+				return fmt.Errorf("dataformat: record %d: truncated record at end of split", recIdx)
+			}
+			return nil
+		}
+	}
 }
 
 // ReadAll reads the whole file as one split.
@@ -159,39 +281,57 @@ func DecodeText(schema *Schema, buf []byte) ([]Record, error) {
 	var out []Record
 	pos := 0
 	for pos < len(buf) {
-		r := Record{Schema: schema, Values: make([]Value, len(schema.Fields))}
-		for j, f := range schema.Fields {
-			d := f.Delimiter
-			idx := bytes.Index(buf[pos:], []byte(d))
-			if idx < 0 {
-				// Tolerate a final record missing its terminal newline.
-				if j == len(schema.Fields)-1 && d == "\n" {
-					idx = len(buf) - pos
-				} else {
-					return nil, fmt.Errorf("dataformat: record %d field %q: missing delimiter %q", len(out), f.Name, d)
-				}
-			}
-			raw := string(buf[pos : pos+idx])
-			pos += idx + len(d)
-			if pos > len(buf) {
-				pos = len(buf)
-			}
-			switch f.Type {
-			case String:
-				r.Values[j] = StrVal(raw)
-			case Integer, Long:
-				v := Value{}
-				var perr error
-				v.Int, perr = parseInt(raw)
-				if perr != nil {
-					return nil, fmt.Errorf("dataformat: record %d field %q: %w", len(out), f.Name, perr)
-				}
-				r.Values[j] = v
-			}
+		rec, consumed, _, err := decodeTextRecord(schema, buf[pos:], true, len(out))
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, r)
+		pos += consumed
+		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// decodeTextRecord parses one record from the front of buf. With atEOF false
+// a missing delimiter means the record continues past buf — it returns
+// ok=false so the caller can refill; with atEOF true only the final field's
+// terminal newline may be absent, anything else is an error. recIdx is used
+// in error messages only.
+func decodeTextRecord(schema *Schema, buf []byte, atEOF bool, recIdx int) (Record, int, bool, error) {
+	r := Record{Schema: schema, Values: make([]Value, len(schema.Fields))}
+	pos := 0
+	for j, f := range schema.Fields {
+		d := f.Delimiter
+		idx := bytes.Index(buf[pos:], []byte(d))
+		if idx < 0 {
+			if !atEOF {
+				return Record{}, 0, false, nil
+			}
+			// Tolerate a final record missing its terminal newline.
+			if j == len(schema.Fields)-1 && d == "\n" {
+				idx = len(buf) - pos
+			} else {
+				return Record{}, 0, false, fmt.Errorf("dataformat: record %d field %q: missing delimiter %q", recIdx, f.Name, d)
+			}
+		}
+		raw := string(buf[pos : pos+idx])
+		pos += idx + len(d)
+		if pos > len(buf) {
+			pos = len(buf)
+		}
+		switch f.Type {
+		case String:
+			r.Values[j] = StrVal(raw)
+		case Integer, Long:
+			v := Value{}
+			var perr error
+			v.Int, perr = parseInt(raw)
+			if perr != nil {
+				return Record{}, 0, false, fmt.Errorf("dataformat: record %d field %q: %w", recIdx, f.Name, perr)
+			}
+			r.Values[j] = v
+		}
+	}
+	return r, pos, true, nil
 }
 
 func parseInt(s string) (int64, error) {

@@ -39,6 +39,14 @@ type ChaosScenario struct {
 	Retransmits     int64
 	// CkptFailovers counts checkpoint restores served by a buddy replica.
 	CkptFailovers int64
+	// SpillPages / SpillRetries / SpillFailovers / SpillRotDetected are the
+	// disk-fault ablation: pages that went through the out-of-core spill
+	// tier, write attempts retried after torn writes or ENOSPC, reads served
+	// by the buddy replica path, and rotted frames caught by the run CRC.
+	SpillPages       int64
+	SpillRetries     int64
+	SpillFailovers   int64
+	SpillRotDetected int64
 	// Identical reports the partition comparison against the reference
 	// (raw order for the sort workflow, canonical order for hybrid-cut).
 	Identical bool
@@ -102,8 +110,9 @@ type chaosWorkflow struct {
 }
 
 // runChaos executes one fault plan twice (replay check) and compares the
-// recovered output with the fault-free fingerprint.
-func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uint64) (ChaosScenario, error) {
+// recovered output with the fault-free fingerprint. opts carries execution
+// options — the disk-fault scenarios attach a spill budget through it.
+func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uint64, opts core.ExecOptions) (ChaosScenario, error) {
 	sc := ChaosScenario{Workflow: w.name, Plan: plan.String(), Reference: ref}
 	if c, ok := plan.CrashFor(w.crashRank); ok {
 		sc.CrashAt = c.At
@@ -111,7 +120,7 @@ func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uin
 	run := func() (*core.Result, *core.RecoveryReport, cluster.Stats, error) {
 		cl := cluster.New(cluster.DefaultConfig(w.nodes))
 		cl.SetFaultPlan(plan)
-		res, rep, err := core.ExecuteResilient(cl, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl.Size())}, nil)
+		res, rep, err := core.ExecuteResilientOpts(cl, w.plan, core.Input{LocalRows: spreadRows(w.rows, cl.Size())}, nil, opts)
 		return res, rep, cl.Stats(), err
 	}
 	res, rep, stats, err := run()
@@ -126,6 +135,10 @@ func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uin
 	sc.CorruptDetected = stats.CorruptDetected
 	sc.Retransmits = stats.Retransmits
 	sc.CkptFailovers = rep.CheckpointFailovers
+	sc.SpillPages = stats.Spill.SpillPages
+	sc.SpillRetries = stats.Spill.Retries
+	sc.SpillFailovers = stats.Spill.Failovers
+	sc.SpillRotDetected = stats.Spill.RotDetected
 	sc.Identical = fingerprint(res.Partitions, w.canonical) == refFP
 	res2, _, stats2, err := run()
 	if err != nil {
@@ -134,6 +147,7 @@ func (w chaosWorkflow) runChaos(plan *faults.Plan, ref vtime.Duration, refFP uin
 	sc.Deterministic = res2.Makespan == res.Makespan &&
 		stats2.CorruptInjected == stats.CorruptInjected &&
 		stats2.Retransmits == stats.Retransmits &&
+		stats2.Spill == stats.Spill &&
 		fingerprint(res2.Partitions, w.canonical) == fingerprint(res.Partitions, w.canonical)
 	return sc, nil
 }
@@ -200,7 +214,7 @@ func Chaos(opts Options) (*ChaosResult, error) {
 			Seed:    opts.Seed,
 			Crashes: []faults.Crash{{Rank: w.crashRank, At: vtime.Duration(float64(ref.Makespan) * 0.4)}},
 		}
-		sc, err := w.runChaos(crash, ref.Makespan, refFP)
+		sc, err := w.runChaos(crash, ref.Makespan, refFP, core.ExecOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +225,7 @@ func Chaos(opts Options) (*ChaosResult, error) {
 			Seed: opts.Seed + 1,
 			Link: faults.Link{DropProb: 0.05, DupProb: 0.01},
 		}
-		sc, err = w.runChaos(drops, ref.Makespan, refFP)
+		sc, err = w.runChaos(drops, ref.Makespan, refFP, core.ExecOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +237,7 @@ func Chaos(opts Options) (*ChaosResult, error) {
 			Seed: opts.Seed + 2,
 			Link: faults.Link{CorruptProb: 0.05},
 		}
-		sc, err = w.runChaos(corrupt, ref.Makespan, refFP)
+		sc, err = w.runChaos(corrupt, ref.Makespan, refFP, core.ExecOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +252,43 @@ func Chaos(opts Options) (*ChaosResult, error) {
 			CkptLoss: []int{w.crashRank},
 			Link:     faults.Link{CorruptProb: 0.05},
 		}
-		sc, err = w.runChaos(gauntlet, ref.Makespan, refFP)
+		sc, err = w.runChaos(gauntlet, ref.Makespan, refFP, core.ExecOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+
+		// Scenarios E and F torture the out-of-core tier: a memory budget
+		// small enough that the shuffle-heavy phases must spill, with a
+		// replicated disk path. The budget is derived from the workflow's own
+		// traffic so both workflows spill at comparable depth.
+		budget := ref.ShuffleBytes / int64(w.nodes*2*4)
+		if budget < 4<<10 {
+			budget = 4 << 10
+		}
+		spillOpts := core.ExecOptions{Spill: core.SpillOptions{MemBudget: budget, Replicate: true}}
+
+		// Scenario E: ENOSPC on 30% of new runs plus 20% torn writes,
+		// mid-shuffle. Writes must retry onto the buddy path and the output
+		// stay identical.
+		enospc := &faults.Plan{
+			Seed: opts.Seed + 4,
+			Disk: faults.Disk{ENOSPCProb: 0.3, TornProb: 0.2},
+		}
+		sc, err = w.runChaos(enospc, ref.Makespan, refFP, spillOpts)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+
+		// Scenario F: 2% of stored frame replicas rot before they are read
+		// back. The run CRC must catch every rotted frame and the read fail
+		// over to the intact replica.
+		rot := &faults.Plan{
+			Seed: opts.Seed + 5,
+			Disk: faults.Disk{RotProb: 0.02},
+		}
+		sc, err = w.runChaos(rot, ref.Makespan, refFP, spillOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -267,6 +317,10 @@ func (r *ChaosResult) Render() string {
 		if sc.CkptFailovers > 0 {
 			integrity += fmt.Sprintf(" fo=%d", sc.CkptFailovers)
 		}
+		if sc.SpillPages > 0 {
+			integrity += fmt.Sprintf(" spill=%d retry=%d spfo=%d rot=%d",
+				sc.SpillPages, sc.SpillRetries, sc.SpillFailovers, sc.SpillRotDetected)
+		}
 		rows = append(rows, []string{
 			sc.Workflow,
 			sc.Plan,
@@ -277,7 +331,7 @@ func (r *ChaosResult) Render() string {
 			replay,
 		})
 	}
-	return fmt.Sprintf("Fault injection (crash mid-run, 5%% drops, 5%% corruption, crash+checkpoint-loss) on the two headline workflows.\n"+
+	return fmt.Sprintf("Fault injection (crash mid-run, 5%% drops, 5%% corruption, crash+checkpoint-loss, disk ENOSPC+torn writes, disk rot) on the two headline workflows.\n"+
 		"Zero-fault checkpoint overhead (blast): %.1f%% of makespan. Page CRC trailers enabled for the sweep.\n%s",
 		r.CheckpointOverheadPct,
 		table([]string{"workflow", "fault plan", "makespan", "recovery", "integrity", "partitions", "replay"}, rows))

@@ -5,13 +5,16 @@ import (
 	"testing"
 )
 
-// Per workflow the sweep runs {crash, drops, corrupt, gauntlet} in that
-// order; these offsets name the scenario within each workflow's block of 4.
+// Per workflow the sweep runs {crash, drops, corrupt, gauntlet, enospc,
+// diskrot} in that order; these offsets name the scenario within each
+// workflow's block of 6.
 const (
 	scCrash = iota
 	scDrops
 	scCorrupt
 	scGauntlet
+	scENOSPC
+	scDiskRot
 	scPerWorkflow
 )
 
@@ -21,7 +24,7 @@ func TestChaosShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(r.Scenarios) != 2*scPerWorkflow {
-		t.Fatalf("want 8 scenarios (2 workflows x {crash, drops, corrupt, gauntlet}), got %d", len(r.Scenarios))
+		t.Fatalf("want 12 scenarios (2 workflows x {crash, drops, corrupt, gauntlet, enospc, diskrot}), got %d", len(r.Scenarios))
 	}
 	for _, sc := range r.Scenarios {
 		if !sc.Identical {
@@ -88,6 +91,31 @@ func TestChaosShape(t *testing.T) {
 		}
 		if sc.CkptFailovers == 0 {
 			t.Errorf("%s under %q: no checkpoint failovers despite losing the crashed rank's host", sc.Workflow, sc.Plan)
+		}
+	}
+	// The disk-fault scenarios: both must actually spill; the ENOSPC+torn
+	// scenario must have exercised retries or failovers, the rot scenario
+	// must have detected every rotted frame (a rot that went unnoticed would
+	// show up as a MISMATCH above); no rank dies on a disk fault.
+	for _, i := range []int{scENOSPC, scPerWorkflow + scENOSPC, scDiskRot, scPerWorkflow + scDiskRot} {
+		sc := r.Scenarios[i]
+		if sc.SpillPages == 0 {
+			t.Errorf("%s under %q: disk-fault scenario never spilled", sc.Workflow, sc.Plan)
+		}
+		if len(sc.Failed) != 0 {
+			t.Errorf("%s: disk faults must not kill ranks: failed=%v", sc.Workflow, sc.Failed)
+		}
+	}
+	for _, i := range []int{scENOSPC, scPerWorkflow + scENOSPC} {
+		sc := r.Scenarios[i]
+		if sc.SpillRetries == 0 && sc.SpillFailovers == 0 {
+			t.Errorf("%s under %q: ENOSPC+torn plan triggered no retries or failovers", sc.Workflow, sc.Plan)
+		}
+	}
+	for _, i := range []int{scDiskRot, scPerWorkflow + scDiskRot} {
+		sc := r.Scenarios[i]
+		if sc.SpillRotDetected == 0 {
+			t.Errorf("%s under %q: rot plan rotted nothing the CRC caught", sc.Workflow, sc.Plan)
 		}
 	}
 	if r.CheckpointOverheadPct <= 0 {

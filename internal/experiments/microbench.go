@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/keyval"
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
+	"repro/internal/spill"
 )
 
 // The shuffle/sort/convert microbenchmarks, runnable from the paperbench
@@ -256,6 +258,79 @@ func RunMicrobench() (*Microbench, error) {
 				}
 				mr.SortLocal(func(a, c keyval.KV) bool { return string(a.Key) < string(c.Key) })
 				return nil
+			}); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// SpillRoundtrip: one list through the disk tier and back — WriteRun
+	// framing + CRC on the way out, frame validation on the way in.
+	spillDir, err := os.MkdirTemp("", "papar-bench-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+	keysD, valsD := microPairs(1<<14, 0, 6)
+	dl := microList(keysD, valsD)
+	out.Results = append(out.Results, bench("SpillRoundtrip", func(b *testing.B) {
+		st, err := spill.Open(spill.Config{Dir: filepath.Join(spillDir, fmt.Sprintf("rt-%d", b.N))})
+		if err != nil {
+			failure = err
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.SetBytes(int64(dl.Bytes()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := st.WriteRun(dl)
+			if err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+			pairs := 0
+			if err := st.ReadRun(r, func(l *keyval.List) error {
+				pairs += l.Len()
+				return nil
+			}); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+			if pairs != dl.Len() {
+				b.Fatal("pair count mismatch after roundtrip")
+			}
+			st.Remove(r)
+		}
+	}))
+
+	// SpillSort: the budget-constrained external merge sort (spill runs,
+	// per-run sort, k-way merge, re-spill) on an 8-rank cluster.
+	out.Results = append(out.Results, bench("SpillSort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl := cluster.New(cluster.DefaultConfig(8))
+			if _, err := cl.Run(func(r *cluster.Rank) error {
+				st, err := spill.Open(spill.Config{
+					Dir: filepath.Join(spillDir, fmt.Sprintf("sort-%d-%d-%d", b.N, i, r.ID())),
+				})
+				if err != nil {
+					return err
+				}
+				defer st.Close()
+				mr := mrmpi.New(mpi.NewComm(r))
+				mr.SetSpill(st, 16<<10)
+				if err := mr.Map(func(emit mrmpi.Emitter) error {
+					for k := 0; k < 8000; k++ {
+						emit([]byte(fmt.Sprintf("key-%06d", (k*2654435761)%8000)), []byte("v"))
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				mr.SortLocal(func(a, c keyval.KV) bool { return string(a.Key) < string(c.Key) })
+				_, err = mr.Materialize()
+				return err
 			}); err != nil {
 				failure = err
 				b.Fatal(err)

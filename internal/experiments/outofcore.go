@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+// OutOfCoreResult is the out-of-core partitioning experiment: the muBLASTP
+// workflow over an nr-profile database, once unconstrained and once inside a
+// fixed per-rank memory budget that forces the data plane through the disk
+// tier — requiring byte-identical partitions and an identical virtual
+// timeline — then once more through a disk-fault gauntlet.
+type OutOfCoreResult struct {
+	Workflow string
+	Ranks    int
+	Rows     int
+	// MemBudget is the per-rank resident payload cap in bytes.
+	MemBudget int64
+	// InMemory* and Budgeted* compare the unconstrained run with the
+	// budget-constrained one.
+	InMemoryMakespan vtime.Duration
+	BudgetedMakespan vtime.Duration
+	InMemoryShuffle  int64
+	BudgetedShuffle  int64
+	// Spill is the budgeted run's disk activity (it must be non-trivial, or
+	// the budget never bound).
+	Spill cluster.SpillStats
+	// Identical / MakespanIdentical / ShuffleIdentical pin the out-of-core
+	// contract: spilling is invisible except to the disk counters.
+	Identical         bool
+	MakespanIdentical bool
+	ShuffleIdentical  bool
+	// Gauntlet* report the faulted run: a mid-run rank crash on top of
+	// ENOSPC, torn writes, disk rot and one slow disk, with the spill tier
+	// replicated.
+	GauntletPlan          string
+	GauntletMakespan      vtime.Duration
+	GauntletFailed        []int
+	GauntletRounds        int
+	GauntletSpill         cluster.SpillStats
+	GauntletIdentical     bool
+	GauntletDeterministic bool
+}
+
+// Failed reports whether the experiment violated a correctness requirement.
+// paperbench exits nonzero on it.
+func (r *OutOfCoreResult) Failed() bool {
+	return !r.Identical || !r.MakespanIdentical || !r.ShuffleIdentical ||
+		r.Spill.SpillPages == 0 || r.Spill.RestorePages == 0 ||
+		!r.GauntletIdentical || !r.GauntletDeterministic
+}
+
+// OutOfCore runs the experiment. The database uses the nr profile (the
+// paper's 53 GB headline input) at 1/20 of the BLAST scale, so the default
+// scales keep it in the same row-count band as the other experiments.
+func OutOfCore(opts Options) (*OutOfCoreResult, error) {
+	opts = opts.withDefaults()
+	nodes := opts.Nodes / 2
+	if nodes < 2 {
+		nodes = 2
+	}
+	db := blast.Generate(blast.NR(), opts.BlastScale/20, opts.Seed)
+	plan, err := compileBlastPlan(nodes * 2)
+	if err != nil {
+		return nil, err
+	}
+	rows := blastRows(db)
+
+	// Unconstrained reference.
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	ref, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+	if err != nil {
+		return nil, fmt.Errorf("outofcore reference: %w", err)
+	}
+	refFP := fingerprint(ref.Partitions, false)
+
+	out := &OutOfCoreResult{
+		Workflow:         "blast(nr)",
+		Ranks:            cl.Size(),
+		Rows:             len(rows),
+		InMemoryMakespan: ref.Makespan,
+		InMemoryShuffle:  ref.ShuffleBytes,
+	}
+
+	// The budget binds hard: a quarter of the per-rank shuffle volume, so
+	// every shuffle-heavy phase must cycle through the disk tier.
+	budget := ref.ShuffleBytes / int64(cl.Size()*4)
+	if budget < 8<<10 {
+		budget = 8 << 10
+	}
+	out.MemBudget = budget
+
+	cl2 := cluster.New(cluster.DefaultConfig(nodes))
+	ooc, err := core.ExecuteOpts(cl2, plan, core.Input{LocalRows: spreadRows(rows, cl2.Size())},
+		core.ExecOptions{Spill: core.SpillOptions{MemBudget: budget}})
+	if err != nil {
+		return nil, fmt.Errorf("outofcore budgeted: %w", err)
+	}
+	out.BudgetedMakespan = ooc.Makespan
+	out.BudgetedShuffle = ooc.ShuffleBytes
+	out.Spill = cl2.Stats().Spill
+	out.Identical = fingerprint(ooc.Partitions, false) == refFP
+	out.MakespanIdentical = ooc.Makespan == ref.Makespan
+	out.ShuffleIdentical = ooc.ShuffleBytes == ref.ShuffleBytes
+
+	// The gauntlet: one rank dies mid-run while the (replicated) disk tier
+	// suffers ENOSPC, torn writes, rot and one degraded node.
+	gauntlet := &faults.Plan{
+		Seed:      opts.Seed + 6,
+		Crashes:   []faults.Crash{{Rank: 2, At: vtime.Duration(float64(ref.Makespan) * 0.4)}},
+		Disk:      faults.Disk{ENOSPCProb: 0.3, TornProb: 0.2, RotProb: 0.02},
+		SlowDisks: []faults.SlowDisk{{Node: 1, Factor: 4}},
+	}
+	out.GauntletPlan = gauntlet.String()
+	run := func() (*core.Result, *core.RecoveryReport, cluster.SpillStats, error) {
+		c := cluster.New(cluster.DefaultConfig(nodes))
+		c.SetFaultPlan(gauntlet)
+		res, rep, err := core.ExecuteResilientOpts(c, plan, core.Input{LocalRows: spreadRows(rows, c.Size())}, nil,
+			core.ExecOptions{Spill: core.SpillOptions{MemBudget: budget, Replicate: true}})
+		return res, rep, c.Stats().Spill, err
+	}
+	res, rep, spill, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("outofcore gauntlet: %w", err)
+	}
+	out.GauntletMakespan = res.Makespan
+	out.GauntletFailed = rep.Failed
+	out.GauntletRounds = rep.Rounds
+	out.GauntletSpill = spill
+	out.GauntletIdentical = fingerprint(res.Partitions, false) == refFP
+	res2, _, spill2, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("outofcore gauntlet replay: %w", err)
+	}
+	out.GauntletDeterministic = res2.Makespan == res.Makespan && spill2 == spill &&
+		fingerprint(res2.Partitions, false) == fingerprint(res.Partitions, false)
+	return out, nil
+}
+
+// Render prints the experiment.
+func (r *OutOfCoreResult) Render() string {
+	verdict := func(b bool, ok, bad string) string {
+		if b {
+			return ok
+		}
+		return bad
+	}
+	rows := [][]string{
+		{"in-memory", fmt.Sprint(r.InMemoryMakespan), fmt.Sprint(r.InMemoryShuffle), "-", "-", "-"},
+		{"budgeted", fmt.Sprint(r.BudgetedMakespan), fmt.Sprint(r.BudgetedShuffle),
+			fmt.Sprintf("%d/%d", r.Spill.SpillPages, r.Spill.RestorePages),
+			fmt.Sprintf("%d", r.Spill.SpillBytes),
+			verdict(r.Identical && r.MakespanIdentical && r.ShuffleIdentical, "identical", "DIVERGED")},
+		{"gauntlet", fmt.Sprint(r.GauntletMakespan), "-",
+			fmt.Sprintf("%d/%d", r.GauntletSpill.SpillPages, r.GauntletSpill.RestorePages),
+			fmt.Sprintf("retry=%d fo=%d rot=%d", r.GauntletSpill.Retries, r.GauntletSpill.Failovers, r.GauntletSpill.RotDetected),
+			verdict(r.GauntletIdentical, "identical", "DIVERGED") + "/" +
+				verdict(r.GauntletDeterministic, "replayable", "NONDET")},
+	}
+	return fmt.Sprintf("Out-of-core partitioning: %s, %d rows on %d ranks, per-rank budget %d bytes.\n"+
+		"The budgeted run must be byte-identical to the in-memory run (partitions, makespan, shuffle bytes)\n"+
+		"while actually cycling pages through disk; the gauntlet adds a crash (%s), ENOSPC, torn writes,\n"+
+		"rot and a slow disk (failed=%v rounds=%d).\n%s",
+		r.Workflow, r.Rows, r.Ranks, r.MemBudget,
+		r.GauntletPlan, r.GauntletFailed, r.GauntletRounds,
+		table([]string{"run", "makespan", "shuffle B", "spill/restore pages", "disk", "verdict"}, rows))
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOutOfCoreShape(t *testing.T) {
+	r, err := OutOfCore(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spill.SpillPages == 0 || r.Spill.RestorePages == 0 {
+		t.Fatalf("budgeted run never touched disk: %+v", r.Spill)
+	}
+	if !r.Identical {
+		t.Error("budgeted partitions differ from the in-memory reference")
+	}
+	if !r.MakespanIdentical {
+		t.Errorf("makespan diverged: in-memory %v, budgeted %v", r.InMemoryMakespan, r.BudgetedMakespan)
+	}
+	if !r.ShuffleIdentical {
+		t.Errorf("shuffle bytes diverged: in-memory %d, budgeted %d", r.InMemoryShuffle, r.BudgetedShuffle)
+	}
+	if len(r.GauntletFailed) != 1 || r.GauntletRounds < 1 {
+		t.Errorf("gauntlet crash not recovered: failed=%v rounds=%d", r.GauntletFailed, r.GauntletRounds)
+	}
+	if !r.GauntletIdentical {
+		t.Error("gauntlet partitions differ from the fault-free reference")
+	}
+	if !r.GauntletDeterministic {
+		t.Error("gauntlet replay diverged")
+	}
+	if r.GauntletSpill.SpillPages == 0 {
+		t.Error("gauntlet never spilled despite the budget")
+	}
+	if r.GauntletSpill.Retries == 0 && r.GauntletSpill.Failovers == 0 && r.GauntletSpill.RotDetected == 0 {
+		t.Errorf("gauntlet disk faults left no trace: %+v", r.GauntletSpill)
+	}
+	if r.Failed() {
+		t.Error("Failed() true although every check passed")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Out-of-core") || !strings.Contains(out, "identical") {
+		t.Errorf("Render incomplete:\n%s", out)
+	}
+}

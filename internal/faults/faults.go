@@ -104,6 +104,38 @@ type Straggler struct {
 	NetworkFactor float64
 }
 
+// Disk holds spill-tier fault probabilities — the out-of-core disk path a
+// rank writes cold keyval pages to. Decisions are keyed on (rank, write
+// sequence / run, path, attempt) the same way link faults are keyed on
+// message coordinates, so disk chaos replays exactly.
+type Disk struct {
+	// ENOSPCProb is the probability a new spill run finds one storage path
+	// out of space. The decision is sticky per (rank, run, path): retrying
+	// the same full path cannot help, so the store fails over to the buddy
+	// path, and a run refused by both paths fails with a typed error.
+	ENOSPCProb float64
+	// TornProb is the probability one frame-write attempt is torn (only a
+	// prefix reaches the disk). The store detects the short write, truncates
+	// the torn tail, and retries with capped exponential backoff.
+	TornProb float64
+	// RotProb is the probability one stored frame replica has rotted by the
+	// time it is read back. Rot is persistent — re-reading the same replica
+	// yields the same damage — so recovery must come from the buddy replica,
+	// and a frame whose every replica rotted is a typed integrity failure.
+	RotProb float64
+}
+
+// SlowDisk degrades one node's spill tier: disk service time, normally fully
+// overlapped with compute (zero virtual time), surfaces on the timeline
+// scaled by Factor (1 = nominal un-overlapped disk, 4 = four times slower).
+type SlowDisk struct {
+	// Node is the physical node index.
+	Node int
+	// Factor scales the nominal disk service-time model. Values below 1 are
+	// clamped to 1.
+	Factor float64
+}
+
 // Plan is one deterministic fault schedule.
 type Plan struct {
 	// Seed drives every probabilistic decision.
@@ -120,6 +152,10 @@ type Plan struct {
 	// surviving buddy copy. Composes with Crashes — crash a rank AND lose
 	// its storage to model a node whose burst buffer dies with it.
 	CkptLoss []int
+	// Disk holds spill-tier fault probabilities.
+	Disk Disk
+	// SlowDisks lists nodes with degraded spill tiers.
+	SlowDisks []SlowDisk
 }
 
 // CrashFor returns the crash scheduled for the rank, if any. When several
@@ -165,6 +201,11 @@ const (
 	saltDelay   = 0x646c79 // "dly"
 	saltCorrupt = 0x637074 // "cpt"
 	saltCrptHow = 0x686f77 // "how"
+	saltEnospc  = 0x656e6f // "eno"
+	saltTorn    = 0x746f72 // "tor"
+	saltTornLen = 0x746c6e // "tln"
+	saltRot     = 0x726f74 // "rot"
+	saltRotBit  = 0x726274 // "rbt"
 )
 
 // Dropped reports whether delivery attempt `attempt` of message `seq` on the
@@ -206,6 +247,76 @@ func (p *Plan) CorruptionFor(src, dst int, seq int64, attempt int) Corruption {
 	c.Bit = int((h >> 3) & 0x7fffffff)
 	c.Keep = int((h >> 34) & 0x3fffffff)
 	return c
+}
+
+// SpillENOSPC reports whether the rank's spill run `run` finds storage path
+// `path` (0 primary, 1 buddy) out of space on write attempt `attempt`. The
+// decision is sticky within an attempt (a full disk stays full while the
+// store is looking at it, so it must fail over to the other path), but each
+// backed-off retry draws afresh — space is reclaimed by other tenants over
+// time, which is what the retry is waiting for.
+func (p *Plan) SpillENOSPC(rank int, run int64, path, attempt int) bool {
+	if p == nil || p.Disk.ENOSPCProb <= 0 {
+		return false
+	}
+	return p.uniform(saltEnospc, rank, path, run, attempt) < p.Disk.ENOSPCProb
+}
+
+// SpillTorn reports whether write attempt `attempt` of the rank's spill
+// frame `seq` on path `path` is torn, and returns the raw deviate the store
+// reduces modulo the frame size to pick how many bytes survive. Each attempt
+// draws independently, so the short-write check plus capped-backoff retry
+// recovers unless the disk is persistently torn.
+func (p *Plan) SpillTorn(rank int, seq int64, path, attempt int) (torn bool, keep int) {
+	if p == nil || p.Disk.TornProb <= 0 {
+		return false, 0
+	}
+	if p.uniform(saltTorn, rank, path, seq, attempt) >= p.Disk.TornProb {
+		return false, 0
+	}
+	h := splitmix64(uint64(p.Seed) ^ saltTornLen)
+	h = splitmix64(h ^ uint64(rank)<<32 ^ uint64(uint32(path)))
+	h = splitmix64(h ^ uint64(seq))
+	h = splitmix64(h ^ uint64(attempt))
+	return true, int(h & 0x3fffffff)
+}
+
+// SpillRot reports whether replica `replica` of frame `frame` of the rank's
+// spill run `run` has rotted on disk, and returns the raw bit deviate the
+// reader reduces modulo the payload size. There is no attempt coordinate:
+// rot is persistent, so re-reading the same replica replays the same damage
+// and recovery must come from the buddy replica.
+func (p *Plan) SpillRot(rank int, run int64, frame, replica int) (rotted bool, bit int) {
+	if p == nil || p.Disk.RotProb <= 0 {
+		return false, 0
+	}
+	seq := run<<20 | int64(frame&0xfffff)
+	if p.uniform(saltRot, rank, replica, seq, 0) >= p.Disk.RotProb {
+		return false, 0
+	}
+	h := splitmix64(uint64(p.Seed) ^ saltRotBit)
+	h = splitmix64(h ^ uint64(rank)<<32 ^ uint64(uint32(replica)))
+	h = splitmix64(h ^ uint64(seq))
+	return true, int(h & 0x7fffffff)
+}
+
+// DiskScale returns the spill-tier slowdown factor for a node, or 0 when the
+// node's disk is healthy. Zero is meaningful: a healthy spill tier is fully
+// overlapped with compute and costs no virtual time, so only slowdisk-
+// degraded nodes surface disk service time on the timeline.
+func (p *Plan) DiskScale(node int) float64 {
+	if p == nil {
+		return 0
+	}
+	for _, s := range p.SlowDisks {
+		if s.Node == node {
+			if s.Factor < 1 {
+				return 1
+			}
+			return s.Factor
+		}
+	}
+	return 0
 }
 
 // CheckpointHostLost reports whether rank's local checkpoint-replica storage
@@ -307,12 +418,25 @@ func (p *Plan) String() string {
 	for _, r := range p.CkptLoss {
 		parts = append(parts, fmt.Sprintf("ckptloss=%d", r))
 	}
+	if p.Disk.ENOSPCProb > 0 {
+		parts = append(parts, fmt.Sprintf("enospc=%g%%", p.Disk.ENOSPCProb*100))
+	}
+	if p.Disk.TornProb > 0 {
+		parts = append(parts, fmt.Sprintf("tornwrite=%g%%", p.Disk.TornProb*100))
+	}
+	if p.Disk.RotProb > 0 {
+		parts = append(parts, fmt.Sprintf("diskrot=%g%%", p.Disk.RotProb*100))
+	}
+	for _, s := range p.SlowDisks {
+		parts = append(parts, fmt.Sprintf("slowdisk=%dx%g", s.Node, s.Factor))
+	}
 	return fmt.Sprintf("%d:%s", p.Seed, strings.Join(parts, ","))
 }
 
 // ValidKinds lists the event kinds Parse accepts, for error messages and
 // usage strings.
-var ValidKinds = []string{"crash", "drop", "dup", "delay", "corrupt", "straggle", "ckptloss"}
+var ValidKinds = []string{"crash", "drop", "dup", "delay", "corrupt", "straggle", "ckptloss",
+	"enospc", "tornwrite", "diskrot", "slowdisk"}
 
 // Parse reads the compact plan syntax the papar CLI uses:
 //
@@ -324,6 +448,10 @@ var ValidKinds = []string{"crash", "drop", "dup", "delay", "corrupt", "straggle"
 //	         | "corrupt=" PERCENT
 //	         | "straggle=" NODE "x" FACTOR
 //	         | "ckptloss=" RANK
+//	         | "enospc=" PERCENT
+//	         | "tornwrite=" PERCENT
+//	         | "diskrot=" PERCENT
+//	         | "slowdisk=" NODE "x" FACTOR
 //
 // DURATION uses Go notation ("2ms", "150us"); PERCENT is "5%" or a bare
 // fraction ("0.05"). Example:
@@ -430,6 +558,32 @@ func Parse(spec string) (*Plan, error) {
 			p.Stragglers = append(p.Stragglers, Straggler{
 				Node: node, ComputeFactor: factor, NetworkFactor: factor,
 			})
+		case "enospc":
+			if p.Disk.ENOSPCProb, err = parsePercent(arg); err != nil {
+				return nil, err
+			}
+		case "tornwrite":
+			if p.Disk.TornProb, err = parsePercent(arg); err != nil {
+				return nil, err
+			}
+		case "diskrot":
+			if p.Disk.RotProb, err = parsePercent(arg); err != nil {
+				return nil, err
+			}
+		case "slowdisk":
+			nodeStr, factorStr, ok := strings.Cut(arg, "x")
+			if !ok {
+				return nil, fmt.Errorf("faults: slowdisk %q needs nodexfactor", arg)
+			}
+			node, err := strconv.Atoi(nodeStr)
+			if err != nil || node < 0 {
+				return nil, fmt.Errorf("faults: bad slowdisk node %q", nodeStr)
+			}
+			factor, err := strconv.ParseFloat(factorStr, 64)
+			if err != nil || factor < 1 {
+				return nil, fmt.Errorf("faults: bad slowdisk factor %q (must be >= 1)", factorStr)
+			}
+			p.SlowDisks = append(p.SlowDisks, SlowDisk{Node: node, Factor: factor})
 		default:
 			return nil, fmt.Errorf("faults: unknown event kind %q (valid kinds: %s)",
 				kind, strings.Join(ValidKinds, ", "))

@@ -210,3 +210,45 @@ func TestNilPlanIsFaultFree(t *testing.T) {
 		t.Fatal("nil plan lost checkpoint storage")
 	}
 }
+
+func TestParseDiskKindsRoundTrip(t *testing.T) {
+	p, err := Parse("11:enospc=30%,tornwrite=20%,diskrot=2%,slowdisk=1x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Disk.ENOSPCProb != 0.3 || p.Disk.TornProb != 0.2 || p.Disk.RotProb != 0.02 {
+		t.Fatalf("disk = %+v", p.Disk)
+	}
+	if len(p.SlowDisks) != 1 || p.SlowDisks[0].Node != 1 || p.SlowDisks[0].Factor != 4 {
+		t.Fatalf("slowdisks = %+v", p.SlowDisks)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip %q != %q", p2.String(), p.String())
+	}
+}
+
+// TestENOSPCRetryRerolls pins the retry semantics: the decision is sticky per
+// attempt but a later attempt draws afresh, so a store that backs off can
+// find space that was not there before.
+func TestENOSPCRetryRerolls(t *testing.T) {
+	p := &Plan{Seed: 3, Disk: Disk{ENOSPCProb: 0.5}}
+	sawChange := false
+	for run := int64(0); run < 64 && !sawChange; run++ {
+		if p.SpillENOSPC(0, run, 0, 0) != p.SpillENOSPC(0, run, 0, 1) {
+			sawChange = true
+		}
+	}
+	if !sawChange {
+		t.Fatal("64 runs at 50%: attempt coordinate never changed the ENOSPC verdict")
+	}
+	// Determinism: the same coordinates always yield the same verdict.
+	for attempt := 0; attempt < 4; attempt++ {
+		if p.SpillENOSPC(2, 7, 1, attempt) != p.SpillENOSPC(2, 7, 1, attempt) {
+			t.Fatal("same coordinates gave different verdicts")
+		}
+	}
+}

@@ -163,12 +163,16 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	res := &Result{}
 	if job.MapBranches > 0 {
 		if err := e.runMultiMapPhase(job, jobDir, splits, res); err != nil {
+			os.RemoveAll(jobDir)
 			return nil, err
 		}
 		return res, nil
 	}
 	spills, err := e.runMapPhase(job, jobDir, splits, res)
 	if err != nil {
+		// A failed job leaves no half-written spills behind for a retry (or a
+		// chained job globbing the directory) to trip over.
+		os.RemoveAll(jobDir)
 		return nil, err
 	}
 	if job.NumReduceTasks == 0 {
@@ -177,7 +181,15 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return res, nil
 	}
 	if err := e.runReducePhase(job, jobDir, spills, res); err != nil {
+		os.RemoveAll(jobDir)
 		return nil, err
+	}
+	// The reduce outputs are durable; the per-(task, reducer) map spills are
+	// not needed again.
+	for _, task := range spills {
+		for _, p := range task {
+			os.Remove(p)
+		}
 	}
 	return res, nil
 }
@@ -234,14 +246,26 @@ func (e *Engine) inputSplits(job *Job) ([]split, error) {
 	return out, nil
 }
 
+// loadKVFile loads one of the engine's own KV sequence files. keyval.Decode
+// validates the page structure — and, when page CRC mode is on
+// (PAPAR_PAGE_CRC), verifies the whole-page checksum — so a torn or rotted
+// spill surfaces as a typed error naming the file, never as garbage pairs.
+func loadKVFile(path string) (*keyval.List, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hadoop: %w", err)
+	}
+	l, err := keyval.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("hadoop: decoding %s: %w", path, err)
+	}
+	return l, nil
+}
+
 // readSplit yields the split's pairs.
 func readSplit(sp split) (*keyval.List, error) {
 	if sp.schema == nil {
-		buf, err := os.ReadFile(sp.kvPath)
-		if err != nil {
-			return nil, fmt.Errorf("hadoop: %w", err)
-		}
-		return keyval.Decode(buf)
+		return loadKVFile(sp.kvPath)
 	}
 	recs, err := dataformat.ReadSplit(sp.schema, sp.fs)
 	if err != nil {
@@ -420,12 +444,11 @@ func (e *Engine) runReducePhase(job *Job, jobDir string, spills [][]string, res 
 		// merge preferring lower task index on ties, Hadoop's stable merge.
 		runs := make([]*keyval.List, 0, len(spills))
 		for t := range spills {
-			buf, err := os.ReadFile(spills[t][r])
+			l, err := loadKVFile(spills[t][r])
 			if err != nil {
-				return fmt.Errorf("hadoop: %w", err)
-			}
-			l, err := keyval.Decode(buf)
-			if err != nil {
+				for _, prev := range runs {
+					prev.Release()
+				}
 				return err
 			}
 			runs = append(runs, l)

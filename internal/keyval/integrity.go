@@ -75,6 +75,21 @@ func sealPage(page []byte) []byte {
 	return binary.LittleEndian.AppendUint32(page, sum)
 }
 
+// FinishPage seals a page image assembled from AppendRecords calls: dst
+// must hold a 4-byte count placeholder at `start` followed by the appended
+// records. The count is patched in, and in CRC mode the integrity trailer is
+// appended covering dst[start:] — exactly what AppendEncoded would have
+// produced had the records come from one list.
+func FinishPage(dst []byte, start, count int) []byte {
+	binary.LittleEndian.PutUint32(dst[start:], uint32(count))
+	if pageCRCOn.Load() {
+		sum := crc32.Checksum(dst[start:], castagnoli)
+		dst = binary.LittleEndian.AppendUint32(dst, pageMagic)
+		dst = binary.LittleEndian.AppendUint32(dst, sum)
+	}
+	return dst
+}
+
 // IntegrityError reports a page that failed trailer verification: the bytes
 // differ from what the encoder sealed. It is a data-corruption diagnosis,
 // not a recoverable condition — callers surface it, they do not retry.

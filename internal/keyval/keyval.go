@@ -305,6 +305,24 @@ func (l *List) AppendEncoded(dst []byte) []byte {
 	return dst
 }
 
+// AppendRecords appends the list's raw encoded records (no count header, no
+// trailer) to dst, preserving logical order. It is the streaming counterpart
+// of AppendEncoded: callers assembling one page from several lists (e.g. a
+// checkpoint snapshot of spilled runs plus the hot list) append each list's
+// records and seal the result once with FinishPage.
+func (l *List) AppendRecords(dst []byte) []byte {
+	if !l.permuted {
+		if len(l.buf) > 4 {
+			dst = append(dst, l.buf[4:]...)
+		}
+		return dst
+	}
+	for _, o := range l.off {
+		dst = append(dst, l.record(o)...)
+	}
+	return dst
+}
+
 // Release returns the page's backing to the internal pools. The list is
 // empty and reusable afterwards. Callers must guarantee no views obtained
 // from At/Key/Value/Convert/Encode are still live; see the package comment

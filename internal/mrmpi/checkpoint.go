@@ -272,21 +272,51 @@ const (
 	snapshotConverted = 1
 )
 
-// Snapshot serializes the local KV page (and whether it was converted) for
-// checkpointing. The rank is charged the stable-storage write cost.
-func (mr *MapReduce) Snapshot() []byte {
-	buf := make([]byte, 1, 5+mr.kv.Bytes())
+// SnapshotPage serializes the local KV page (and whether it was converted)
+// for checkpointing — spilled runs included, streamed back a frame at a
+// time so the snapshot of an out-of-core state never materializes it. The
+// rank is charged the stable-storage write cost. The page layout is
+// identical either way: flag byte, then exactly what AppendEncoded
+// produces.
+func (mr *MapReduce) SnapshotPage() ([]byte, error) {
+	flag := byte(snapshotFlat)
 	if mr.kmv != nil {
-		buf[0] = snapshotConverted
-	} else {
-		buf[0] = snapshotFlat
+		flag = snapshotConverted
 	}
-	// AppendEncoded always copies the pair bytes: the stored page must own
-	// its storage, because the live page keeps mutating (and may be pooled)
-	// after the snapshot is taken.
-	buf = mr.kv.AppendEncoded(buf)
+	if !mr.spilled() {
+		buf := make([]byte, 1, 5+mr.kv.Bytes())
+		buf[0] = flag
+		// AppendEncoded always copies the pair bytes: the stored page must
+		// own its storage, because the live page keeps mutating (and may be
+		// pooled) after the snapshot is taken.
+		buf = mr.kv.AppendEncoded(buf)
+		mr.charge(func() vtime.Duration { return CheckpointCost(len(buf)) })
+		return buf, nil
+	}
+	// flag | uint32 count placeholder | records... | trailer (CRC mode).
+	buf := make([]byte, 5, 13+mr.PayloadBytes())
+	buf[0] = flag
+	total := 0
+	if err := mr.eachList(func(l *keyval.List) error {
+		buf = l.AppendRecords(buf)
+		total += l.Len()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	buf = keyval.FinishPage(buf, 1, total)
 	mr.charge(func() vtime.Duration { return CheckpointCost(len(buf)) })
-	return buf
+	return buf, nil
+}
+
+// Snapshot is SnapshotPage for callers that cannot observe a disk-tier
+// failure; it panics if reading a spilled run back fails.
+func (mr *MapReduce) Snapshot() []byte {
+	page, err := mr.SnapshotPage()
+	if err != nil {
+		panic(fmt.Sprintf("mrmpi: snapshot over failed spill state: %v", err))
+	}
+	return page
 }
 
 // Restore replaces the local KV set with a snapshot, re-running Convert if
@@ -303,10 +333,18 @@ func (mr *MapReduce) Restore(page []byte) error {
 		return fmt.Errorf("mrmpi: corrupt checkpoint page: %w", err)
 	}
 	mr.charge(func() vtime.Duration { return CheckpointCost(len(page)) })
+	mr.clearRuns(mr.runs)
+	mr.runs = nil
 	mr.kv = kv
 	mr.kmv = nil
 	if flag == snapshotConverted {
 		mr.Convert()
+		return nil
+	}
+	// A flat restore of an out-of-core state goes back under the budget
+	// (converted state stays pinned: its KMV groups live in memory anyway).
+	if err := mr.enforceBudget(); err != nil {
+		return fmt.Errorf("mrmpi: restore spill: %w", err)
 	}
 	return nil
 }
@@ -359,10 +397,16 @@ func (mr *MapReduce) restoreAdopted(store *CheckpointStore, stage int, prepends 
 			return err
 		}
 	}
+	mr.clearRuns(mr.runs)
+	mr.runs = nil
 	mr.kv = merged
 	mr.kmv = nil
 	if converted {
 		mr.Convert()
+		return nil
+	}
+	if err := mr.enforceBudget(); err != nil {
+		return fmt.Errorf("mrmpi: restore spill: %w", err)
 	}
 	return nil
 }
@@ -380,13 +424,20 @@ func (mr *MapReduce) EnableCheckpointing(store *CheckpointStore) {
 func (mr *MapReduce) Checkpoints() *CheckpointStore { return mr.ckpt }
 
 // autoCheckpoint writes the post-verb page when automatic checkpointing is
-// on.
+// on. The verb counter advances even when snapshotting fails (verbs are
+// collective, so all ranks must agree on the index regardless of local disk
+// health); the failure is stashed for the next error-returning verb.
 func (mr *MapReduce) autoCheckpoint() {
 	if mr.ckpt == nil {
 		return
 	}
 	mr.ckptVerb++
-	mr.ckpt.Save(mr.ckptVerb, mr.comm.Cluster().ID(), mr.Snapshot())
+	page, err := mr.SnapshotPage()
+	if err != nil {
+		mr.spillErr = fmt.Errorf("mrmpi: checkpoint snapshot: %w", err)
+		return
+	}
+	mr.ckpt.Save(mr.ckptVerb, mr.comm.Cluster().ID(), page)
 }
 
 // AdoptionLists computes which dead ranks each survivor adopts pages from,

@@ -25,6 +25,7 @@ import (
 	"repro/internal/hash32"
 	"repro/internal/keyval"
 	"repro/internal/mpi"
+	"repro/internal/spill"
 	"repro/internal/vtime"
 )
 
@@ -54,6 +55,14 @@ type MapReduce struct {
 	// every completed verb; ckptVerb is the collective verb counter.
 	ckpt     *CheckpointStore
 	ckptVerb int
+	// spill/budget, when set by SetSpill, bound the resident KV payload:
+	// cold pages move to disk runs and the logical state becomes
+	// concat(runs..., kv). spillErr carries a disk-tier failure out of a
+	// void verb to the next error-returning one.
+	spill    *spill.Store
+	budget   int64
+	runs     []*spill.Run
+	spillErr error
 }
 
 // New creates an empty MapReduce set on the communicator.
@@ -68,8 +77,17 @@ func (mr *MapReduce) SetTransport(t Transport) { mr.transport = t }
 // Comm returns the communicator.
 func (mr *MapReduce) Comm() *mpi.Comm { return mr.comm }
 
-// KV exposes the local key-value list (read-only by convention).
-func (mr *MapReduce) KV() *keyval.List { return mr.kv }
+// KV exposes the local key-value list (read-only by convention),
+// materializing any spilled runs back into memory regardless of the budget.
+// It panics if the disk tier already failed; callers running under a
+// disk-fault plan use Materialize or Each instead.
+func (mr *MapReduce) KV() *keyval.List {
+	l, err := mr.Materialize()
+	if err != nil {
+		panic(fmt.Sprintf("mrmpi: KV over failed spill state: %v", err))
+	}
+	return l
+}
 
 // KMV exposes the local key-multivalue groups after Convert.
 func (mr *MapReduce) KMV() []keyval.KMV { return mr.kmv }
@@ -96,17 +114,37 @@ func (mr *MapReduce) charge(d func() vtime.Duration) {
 type Emitter func(key, value []byte)
 
 // Map replaces the local KV set with the pairs fn emits. fn is called once
-// per rank and may emit any number of pairs.
+// per rank and may emit any number of pairs; under a memory budget the
+// output page spills to disk runs as it grows, so a map can emit far more
+// than fits in memory.
 func (mr *MapReduce) Map(fn func(emit Emitter) error) error {
 	defer mr.span("map")()
 	out := keyval.NewList(0)
-	err := fn(func(k, v []byte) { out.Add(k, v) })
+	var newRuns []*spill.Run
+	var spErr error
+	err := fn(func(k, v []byte) {
+		out.Add(k, v)
+		if spErr == nil && mr.overBudget(out) {
+			newRuns, out, spErr = mr.spillHot(newRuns, out)
+		}
+	})
+	if err == nil {
+		err = spErr
+	}
 	if err != nil {
+		mr.clearRuns(newRuns)
 		return fmt.Errorf("mrmpi: map: %w", err)
 	}
+	outPairs, outBytes := out.Len(), out.Bytes()
+	for _, r := range newRuns {
+		outPairs += r.Pairs()
+		outBytes += r.PayloadBytes()
+	}
 	mr.charge(func() vtime.Duration {
-		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(out.Len(), out.Bytes()))
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(outPairs, outBytes))
 	})
+	mr.clearRuns(mr.runs)
+	mr.runs = newRuns
 	mr.kv = out
 	mr.kmv = nil
 	mr.autoCheckpoint()
@@ -115,10 +153,18 @@ func (mr *MapReduce) Map(fn func(emit Emitter) error) error {
 
 // AddKV appends pairs to the local set without a map pass (used when
 // operators hand data directly between jobs, the in-memory repartitioning
-// requirement from §II-B).
+// requirement from §II-B). Appending to the hot page keeps the logical
+// order, so the budget check applies here too.
 func (mr *MapReduce) AddKV(pairs ...keyval.KV) {
 	for _, p := range pairs {
 		mr.kv.AddKV(p)
+		if mr.spillErr == nil && mr.overBudget(mr.kv) {
+			var err error
+			mr.runs, mr.kv, err = mr.spillHot(mr.runs, mr.kv)
+			if err != nil {
+				mr.spillErr = fmt.Errorf("mrmpi: addkv spill: %w", err)
+			}
+		}
 	}
 }
 
@@ -138,36 +184,68 @@ func HashPartitioner(kv keyval.KV, nranks int) int {
 // the heart of every PaPar job.
 func (mr *MapReduce) Aggregate(part Partitioner) error {
 	defer mr.span("aggregate")()
+	if err := mr.takeSpillErr(); err != nil {
+		return fmt.Errorf("mrmpi: aggregate: %w", err)
+	}
 	p := mr.comm.Size()
-	n := mr.kv.Len()
-	// Counting pass: route every pair once, recording destinations in pooled
-	// scratch, so each outbound page can be allocated at its exact final
-	// size and the scatter pass never reallocates.
-	dsts := keyval.GetIndex(n)
 	counts := make([]int, p)
 	sizes := make([]int, p)
-	for i := 0; i < n; i++ {
-		kv := mr.kv.At(i)
-		dst := part(kv, p)
-		if dst < 0 || dst >= p {
-			keyval.PutIndex(dsts)
-			return fmt.Errorf("mrmpi: partitioner routed key %q to invalid rank %d", kv.Key, dst)
+	var dsts []int32
+	if !mr.spilled() {
+		// Counting pass: route every pair once, recording destinations in
+		// pooled scratch, so each outbound page can be allocated at its exact
+		// final size and the scatter pass never reallocates.
+		n := mr.kv.Len()
+		dsts = keyval.GetIndex(n)
+		for i := 0; i < n; i++ {
+			kv := mr.kv.At(i)
+			dst := part(kv, p)
+			if dst < 0 || dst >= p {
+				keyval.PutIndex(dsts)
+				return fmt.Errorf("mrmpi: partitioner routed key %q to invalid rank %d", kv.Key, dst)
+			}
+			dsts = append(dsts, int32(dst))
+			counts[dst]++
+			sizes[dst] += kv.Size()
 		}
-		dsts = append(dsts, int32(dst))
-		counts[dst]++
-		sizes[dst] += kv.Size()
+	} else if err := mr.aggregateCounting(part, p, counts, sizes); err != nil {
+		return fmt.Errorf("mrmpi: aggregate: %w", err)
 	}
 	mr.charge(func() vtime.Duration {
-		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(mr.kv.Len(), mr.kv.Bytes()))
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(mr.Pairs(), mr.PayloadBytes()))
 	})
 	outbound := make([]*keyval.List, p)
 	for i := range outbound {
 		outbound[i] = keyval.NewListSized(counts[i], sizes[i])
 	}
-	for i := 0; i < n; i++ {
-		outbound[dsts[i]].AddKV(mr.kv.At(i))
+	if dsts != nil {
+		for i := 0; i < mr.kv.Len(); i++ {
+			outbound[dsts[i]].AddKV(mr.kv.At(i))
+		}
+		keyval.PutIndex(dsts)
+	} else {
+		// Scatter pass streams the spilled state again, recomputing the
+		// (pure) partitioner instead of holding a destination per pair.
+		if err := mr.Each(func(kv keyval.KV) error {
+			outbound[part(kv, p)].AddKV(kv)
+			return nil
+		}); err != nil {
+			for _, l := range outbound {
+				l.Release()
+			}
+			return fmt.Errorf("mrmpi: aggregate: %w", err)
+		}
+		// The outbound pages are pinned for the exchange; a budget overshoot
+		// here is backpressure (a recorded stall), never over-allocation
+		// failure.
+		total := int64(0)
+		for _, s := range sizes {
+			total += int64(s)
+		}
+		if mr.budget > 0 && total > mr.budget {
+			mr.spill.RecordStall(total - mr.budget)
+		}
 	}
-	keyval.PutIndex(dsts)
 	// Encode is a zero-copy lease of each outbound page; ownership of the
 	// wire buffers passes to the receiving rank, which recycles them after
 	// the merge below.
@@ -196,16 +274,38 @@ func (mr *MapReduce) Aggregate(part Partitioner) error {
 		totalPairs += l.Len()
 		totalBytes += l.Bytes()
 	}
-	merged := keyval.NewListSized(totalPairs, totalBytes)
-	for _, l := range lists {
+	var newRuns []*spill.Run
+	var merged *keyval.List
+	if mr.budget > 0 && mr.spill != nil {
+		merged = keyval.NewList(0)
+	} else {
+		merged = keyval.NewListSized(totalPairs, totalBytes)
+	}
+	for i, l := range lists {
 		merged.AppendList(l)
 		// Releasing the decoded view also recycles the wire buffer it
 		// aliases — the single hand-back of each received page.
 		l.Release()
+		if mr.overBudget(merged) {
+			var serr error
+			newRuns, merged, serr = mr.spillHot(newRuns, merged)
+			if serr != nil {
+				for _, rest := range lists[i+1:] {
+					rest.Release()
+				}
+				for _, ol := range outbound {
+					ol.Release()
+				}
+				mr.clearRuns(newRuns)
+				return fmt.Errorf("mrmpi: aggregate spill: %w", serr)
+			}
+		}
 	}
 	for _, l := range outbound {
 		l.Release()
 	}
+	mr.clearRuns(mr.runs)
+	mr.runs = newRuns
 	mr.kv = merged
 	mr.kmv = nil
 	mr.autoCheckpoint()
@@ -252,13 +352,26 @@ func (mr *MapReduce) exchangeP2P(bufs [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
-// Convert groups the local KVs by key into KMV sets (MR-MPI convert).
+// Convert groups the local KVs by key into KMV sets (MR-MPI convert). Over
+// a spilled state it streams the runs in two passes, building the same
+// first-appearance grouping; a disk-tier failure is stashed and surfaced by
+// the next error-returning verb (Convert stays void for MR-MPI fidelity).
 func (mr *MapReduce) Convert() {
 	defer mr.span("convert")()
 	mr.charge(func() vtime.Duration {
-		return vtime.Duration(mr.comm.Cluster().Compute().GroupCost(mr.kv.Len(), mr.kv.Bytes()))
+		return vtime.Duration(mr.comm.Cluster().Compute().GroupCost(mr.Pairs(), mr.PayloadBytes()))
 	})
-	mr.kmv = keyval.Convert(mr.kv)
+	if mr.spilled() {
+		kmv, err := mr.convertSpilled()
+		if err != nil {
+			mr.spillErr = fmt.Errorf("mrmpi: convert: %w", err)
+			mr.kmv = nil
+			return
+		}
+		mr.kmv = kmv
+	} else {
+		mr.kmv = keyval.Convert(mr.kv)
+	}
 	if mr.kmv == nil {
 		// An empty local set converts to zero groups — still "converted",
 		// so a following Reduce is legal (and a no-op) on this rank.
@@ -271,40 +384,70 @@ func (mr *MapReduce) Convert() {
 // new local KV set. Convert must have run since the last mutation.
 func (mr *MapReduce) Reduce(fn func(g keyval.KMV, emit Emitter) error) error {
 	defer mr.span("reduce")()
+	if err := mr.takeSpillErr(); err != nil {
+		return fmt.Errorf("mrmpi: reduce: %w", err)
+	}
 	if mr.kmv == nil {
 		return fmt.Errorf("mrmpi: reduce without convert")
 	}
 	out := keyval.NewList(0)
-	emit := func(k, v []byte) { out.Add(k, v) }
+	var newRuns []*spill.Run
+	var spErr error
+	emit := func(k, v []byte) {
+		out.Add(k, v)
+		if spErr == nil && mr.overBudget(out) {
+			newRuns, out, spErr = mr.spillHot(newRuns, out)
+		}
+	}
 	for _, g := range mr.kmv {
 		if err := fn(g, emit); err != nil {
+			mr.clearRuns(newRuns)
 			return fmt.Errorf("mrmpi: reduce key %q: %w", g.Key, err)
 		}
+	}
+	if spErr != nil {
+		mr.clearRuns(newRuns)
+		return fmt.Errorf("mrmpi: reduce spill: %w", spErr)
+	}
+	outBytes := out.Bytes()
+	for _, r := range newRuns {
+		outBytes += r.PayloadBytes()
 	}
 	mr.charge(func() vtime.Duration {
 		bytes := 0
 		for _, g := range mr.kmv {
 			bytes += g.Bytes()
 		}
-		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(len(mr.kmv), bytes+out.Bytes()))
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(len(mr.kmv), bytes+outBytes))
 	})
+	mr.clearRuns(mr.runs)
+	mr.runs = newRuns
 	mr.kv = out
 	mr.kmv = nil
 	mr.autoCheckpoint()
 	return nil
 }
 
-// SortLocal orders the local pairs with the comparator (stable).
+// SortLocal orders the local pairs with the comparator (stable). A spilled
+// state sorts by external merge: every run is sorted and re-spilled, then a
+// k-way merge that prefers the lowest segment on ties streams the result
+// back out under the budget — byte-identical to the in-memory stable sort.
 func (mr *MapReduce) SortLocal(less func(a, b keyval.KV) bool) {
 	defer mr.span("sort")()
 	mr.charge(func() vtime.Duration {
 		rec := 0
-		if mr.kv.Len() > 0 {
-			rec = mr.kv.Bytes() / mr.kv.Len()
+		if n := mr.Pairs(); n > 0 {
+			rec = mr.PayloadBytes() / n
 		}
-		return vtime.Duration(mr.comm.Cluster().Compute().SortCost(mr.kv.Len(), rec))
+		return vtime.Duration(mr.comm.Cluster().Compute().SortCost(mr.Pairs(), rec))
 	})
-	mr.kv.SortFunc(less)
+	if !mr.spilled() {
+		mr.kv.SortFunc(less)
+		return
+	}
+	if err := mr.sortSpilled(less); err != nil {
+		mr.spillErr = fmt.Errorf("mrmpi: sort: %w", err)
+	}
 }
 
 // Gather concentrates all pairs onto ranks [0, nDest). Every rank must
@@ -319,9 +462,10 @@ func (mr *MapReduce) Gather(nDest int) error {
 	})
 }
 
-// Counts returns (local pairs, global pairs). Collective.
+// Counts returns (local pairs, global pairs), spilled runs included.
+// Collective.
 func (mr *MapReduce) Counts() (local int, global int64, err error) {
-	local = mr.kv.Len()
+	local = mr.Pairs()
 	_, total, err := mr.comm.ExscanInt64(int64(local))
 	return local, total, err
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/keyval"
 	"repro/internal/mpi"
+	"repro/internal/spill"
 	"repro/internal/vtime"
 )
 
@@ -44,6 +45,10 @@ type ResilientOptions struct {
 	// DefaultCheckpointReplicas; clamped to the cluster size). With 1 a
 	// checkpoint-storage loss on a crashed rank's host is unrecoverable.
 	Replicas int
+	// Spill, when set, attaches an out-of-core store and memory budget to
+	// each rank's MapReduce — including the fresh objects recovery builds
+	// after a failure, which would otherwise run unbudgeted.
+	Spill func(r *cluster.Rank) (*spill.Store, int64)
 }
 
 // DefaultCheckpointReplicas is the buddy-replication factor resilient runs
@@ -133,6 +138,9 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 		comm := mpi.NewComm(r)
 		mr := New(comm)
 		mr.SetTransport(opts.Transport)
+		if opts.Spill != nil {
+			mr.SetSpill(opts.Spill(r))
+		}
 		if opts.Init != nil {
 			if err := opts.Init(mr); err != nil {
 				return err
@@ -147,7 +155,11 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 		// barrier: once any rank passes the barrier, every rank has written
 		// its page (a rank enters the barrier only after saving).
 		commit := func(stage int) error {
-			store.Save(stage, r.ID(), mr.Snapshot())
+			page, err := mr.SnapshotPage()
+			if err != nil {
+				return err
+			}
+			store.Save(stage, r.ID(), page)
 			if err := comm.Barrier(); err != nil {
 				return err
 			}
@@ -177,6 +189,9 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 				next := New(comm)
 				next.SetTransport(opts.Transport)
 				next.chargeCompute = mr.chargeCompute
+				if opts.Spill != nil {
+					next.SetSpill(opts.Spill(r))
+				}
 
 				// Recovery barrier on the new epoch: when it completes, every
 				// survivor has entered recovery, so no stale-epoch traffic can
@@ -249,7 +264,11 @@ func RunResilient(cl *cluster.Cluster, opts ResilientOptions, stages ...Stage) (
 				si++
 			}
 		}
-		results[r.ID()] = mr.KV()
+		final, err := mr.Materialize()
+		if err != nil {
+			return err
+		}
+		results[r.ID()] = final
 		return nil
 	})
 

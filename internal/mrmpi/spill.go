@@ -1,0 +1,368 @@
+package mrmpi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/keyval"
+	"repro/internal/spill"
+)
+
+// MinBudget floors the effective per-rank budget so pathological small
+// budgets cannot degenerate into per-pair runs.
+const MinBudget = 4 << 10
+
+// SetSpill attaches an out-of-core store and a per-rank resident-set budget
+// (bytes of KV payload) to the data plane. With a budget > 0 every verb
+// spills the hot page to a disk run when it outgrows the budget and streams
+// spilled runs back a frame at a time, so results — partitions, makespans,
+// shuffle bytes — stay bit-identical to the unconstrained in-memory run
+// (disk I/O is overlapped with compute and costs no virtual time on a
+// healthy tier; only injected disk faults and slowdisk degradation charge
+// the timeline). A budget of 0 disables spilling.
+func (mr *MapReduce) SetSpill(store *spill.Store, budget int64) {
+	mr.spill = store
+	if budget > 0 && budget < MinBudget {
+		budget = MinBudget
+	}
+	mr.budget = budget
+}
+
+// Spilled reports whether any of the local state currently lives on disk.
+func (mr *MapReduce) Spilled() bool { return mr.spilled() }
+
+func (mr *MapReduce) spilled() bool { return len(mr.runs) > 0 }
+
+// Pairs returns the local pair count, spilled runs included.
+func (mr *MapReduce) Pairs() int {
+	n := mr.kv.Len()
+	for _, r := range mr.runs {
+		n += r.Pairs()
+	}
+	return n
+}
+
+// PayloadBytes returns the local KV payload bytes, spilled runs included.
+func (mr *MapReduce) PayloadBytes() int {
+	b := mr.kv.Bytes()
+	for _, r := range mr.runs {
+		b += r.PayloadBytes()
+	}
+	return b
+}
+
+// takeSpillErr surfaces a disk-tier failure recorded by a void verb
+// (Convert, SortLocal, an automatic checkpoint) on the next error-returning
+// verb. The failing verb leaves the logical state unchanged.
+func (mr *MapReduce) takeSpillErr() error {
+	err := mr.spillErr
+	mr.spillErr = nil
+	return err
+}
+
+// overBudget reports whether the hot list must spill.
+func (mr *MapReduce) overBudget(l *keyval.List) bool {
+	return mr.budget > 0 && mr.spill != nil && int64(l.Bytes()) > mr.budget && l.Len() > 0
+}
+
+// spillHot writes l as one new run appended to runs and returns a fresh hot
+// list; the spilled list's buffers go back to the pool.
+func (mr *MapReduce) spillHot(runs []*spill.Run, l *keyval.List) ([]*spill.Run, *keyval.List, error) {
+	defer mr.span("spill")()
+	run, err := mr.spill.WriteRun(l)
+	if err != nil {
+		return runs, l, err
+	}
+	l.Release()
+	return append(runs, run), keyval.NewList(0), nil
+}
+
+// clearRuns removes runs from the store — called when the KV state they
+// spilled from is replaced by a verb.
+func (mr *MapReduce) clearRuns(runs []*spill.Run) {
+	for _, r := range runs {
+		mr.spill.Remove(r)
+	}
+}
+
+// eachList streams the logical KV state in order: spilled runs first, frame
+// by frame, then the hot list. Lists passed to fn are valid only during the
+// call (frame lists are released on return); fn must not retain or release
+// them.
+func (mr *MapReduce) eachList(fn func(l *keyval.List) error) error {
+	for _, r := range mr.runs {
+		if err := mr.spill.ReadRun(r, fn); err != nil {
+			return err
+		}
+	}
+	if mr.kv.Len() > 0 {
+		return fn(mr.kv)
+	}
+	return nil
+}
+
+// Each streams every local pair in logical order through fn — the
+// budget-safe replacement for indexing KV(): spilled runs decode one frame
+// at a time, so the resident set never exceeds the budget by more than a
+// frame. The KV views are valid only during fn.
+func (mr *MapReduce) Each(fn func(kv keyval.KV) error) error {
+	if err := mr.takeSpillErr(); err != nil {
+		return err
+	}
+	return mr.eachList(func(l *keyval.List) error {
+		for i := 0; i < l.Len(); i++ {
+			if err := fn(l.At(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Materialize returns the full local list, restoring every spilled run into
+// memory (ignoring the budget) and clearing the spilled state. Error-aware
+// callers use this instead of KV() when a disk-fault plan is active.
+func (mr *MapReduce) Materialize() (*keyval.List, error) {
+	if err := mr.takeSpillErr(); err != nil {
+		return nil, err
+	}
+	if !mr.spilled() {
+		return mr.kv, nil
+	}
+	defer mr.span("restore")()
+	merged := keyval.NewListSized(mr.Pairs(), mr.PayloadBytes())
+	if err := mr.eachList(func(l *keyval.List) error {
+		merged.AppendList(l)
+		return nil
+	}); err != nil {
+		merged.Release()
+		return nil, err
+	}
+	mr.clearRuns(mr.runs)
+	mr.runs = nil
+	old := mr.kv
+	mr.kv = merged
+	old.Release()
+	return merged, nil
+}
+
+// enforceBudget re-spills a freshly materialized flat state (a checkpoint
+// restore) down to the budget, carving budget-sized runs that preserve the
+// logical order.
+func (mr *MapReduce) enforceBudget() error {
+	if mr.budget <= 0 || mr.spill == nil || mr.spilled() || int64(mr.kv.Bytes()) <= mr.budget {
+		return nil
+	}
+	src := mr.kv
+	var runs []*spill.Run
+	hot := keyval.NewList(0)
+	for i := 0; i < src.Len(); i++ {
+		hot.AddKV(src.At(i))
+		if mr.overBudget(hot) {
+			var err error
+			runs, hot, err = mr.spillHot(runs, hot)
+			if err != nil {
+				mr.clearRuns(runs)
+				hot.Release()
+				return err
+			}
+		}
+	}
+	src.Release()
+	mr.runs = runs
+	mr.kv = hot
+	return nil
+}
+
+// convertSpilled is the out-of-core Convert: two streaming passes build the
+// same first-appearance grouping keyval.Convert produces, with keys and
+// values copied into owned storage (the input pages cycle through the frame
+// buffer). The KMV set itself is pinned — MR-MPI requires a KMV page to fit
+// in memory — so a budget overshoot here is backpressure, not failure.
+func (mr *MapReduce) convertSpilled() ([]keyval.KMV, error) {
+	index := map[string]int{}
+	var keys [][]byte
+	var counts []int
+	pairs, valBytes := 0, 0
+	if err := mr.Each(func(kv keyval.KV) error {
+		g, ok := index[string(kv.Key)]
+		if !ok {
+			g = len(keys)
+			index[string(kv.Key)] = g
+			keys = append(keys, append([]byte(nil), kv.Key...))
+			counts = append(counts, 0)
+		}
+		counts[g]++
+		pairs++
+		valBytes += len(kv.Value)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Carve one shared slice-header arena per group and one byte arena for
+	// all values; exact preallocation means the append below never
+	// reallocates, so the capped sub-slices stay valid.
+	heads := make([][]byte, pairs)
+	arena := make([]byte, 0, valBytes)
+	out := make([]keyval.KMV, len(keys))
+	pos := 0
+	for g := range out {
+		out[g] = keyval.KMV{Key: keys[g], Values: heads[pos : pos : pos+counts[g]]}
+		pos += counts[g]
+	}
+	if err := mr.Each(func(kv keyval.KV) error {
+		g := index[string(kv.Key)]
+		start := len(arena)
+		arena = append(arena, kv.Value...)
+		out[g].Values = append(out[g].Values, arena[start:len(arena):len(arena)])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if pinned := int64(mr.PayloadBytes()); pinned > mr.budget {
+		mr.spill.RecordStall(pinned - mr.budget)
+	}
+	return out, nil
+}
+
+// sortSpilled is the external merge sort behind SortLocal: each spilled run
+// is loaded, stable-sorted, and re-spilled; the hot list sorts in place;
+// then a k-way merge streams the sorted segments back out under the budget.
+// Segments are contiguous slices of the logical order, so a merge that
+// prefers the lowest-index segment on ties reproduces exactly the stable
+// sort of the whole — byte-identical to the in-memory path. On error the
+// original state is left untouched.
+func (mr *MapReduce) sortSpilled(less func(a, b keyval.KV) bool) error {
+	defer mr.span("merge")()
+	sorted := make([]*spill.Run, 0, len(mr.runs))
+	cleanup := func() { mr.clearRuns(sorted) }
+	for _, r := range mr.runs {
+		l := keyval.NewListSized(r.Pairs(), r.PayloadBytes())
+		if err := mr.spill.ReadRun(r, func(f *keyval.List) error {
+			l.AppendList(f)
+			return nil
+		}); err != nil {
+			l.Release()
+			cleanup()
+			return err
+		}
+		l.SortFunc(less)
+		sr, err := mr.spill.WriteRun(l)
+		l.Release()
+		if err != nil {
+			cleanup()
+			return err
+		}
+		sorted = append(sorted, sr)
+	}
+	mr.kv.SortFunc(less)
+
+	type cursor struct {
+		rd  *spill.Reader
+		l   *keyval.List
+		i   int
+		hot bool
+	}
+	var merr error
+	fill := func(c *cursor) {
+		for {
+			if c.l != nil && c.i < c.l.Len() {
+				return
+			}
+			if c.l != nil && !c.hot {
+				c.l.Release()
+			}
+			c.l = nil
+			if c.rd == nil {
+				return
+			}
+			nl, err := c.rd.Next()
+			if err == io.EOF {
+				c.rd.Close()
+				c.rd = nil
+				return
+			}
+			if err != nil {
+				merr = err
+				c.rd.Close()
+				c.rd = nil
+				return
+			}
+			c.l, c.i = nl, 0
+		}
+	}
+	cursors := make([]*cursor, 0, len(sorted)+1)
+	for _, sr := range sorted {
+		c := &cursor{rd: mr.spill.OpenRun(sr)}
+		fill(c)
+		cursors = append(cursors, c)
+	}
+	hot := &cursor{l: mr.kv, hot: true}
+	fill(hot)
+	cursors = append(cursors, hot)
+
+	out := keyval.NewList(0)
+	var outRuns []*spill.Run
+	for merr == nil {
+		best := -1
+		for idx, c := range cursors {
+			if c.l == nil {
+				continue
+			}
+			if best == -1 || less(c.l.At(c.i), cursors[best].l.At(cursors[best].i)) {
+				best = idx
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := cursors[best]
+		out.AddKV(c.l.At(c.i))
+		c.i++
+		fill(c)
+		if mr.overBudget(out) {
+			var err error
+			outRuns, out, err = mr.spillHot(outRuns, out)
+			if err != nil {
+				merr = err
+			}
+		}
+	}
+	if merr != nil {
+		for _, c := range cursors {
+			if c.rd != nil {
+				c.rd.Close()
+			}
+			if c.l != nil && !c.hot {
+				c.l.Release()
+			}
+		}
+		out.Release()
+		mr.clearRuns(outRuns)
+		cleanup()
+		return merr
+	}
+	mr.clearRuns(sorted)
+	mr.clearRuns(mr.runs)
+	old := mr.kv
+	mr.runs = outRuns
+	mr.kv = out
+	old.Release()
+	return nil
+}
+
+// aggregateCounting is the out-of-core counting pass of Aggregate: it
+// streams the logical state, recomputing the (pure, deterministic)
+// partitioner instead of materializing a destination index for pairs that no
+// longer fit in memory.
+func (mr *MapReduce) aggregateCounting(part Partitioner, p int, counts, sizes []int) error {
+	return mr.Each(func(kv keyval.KV) error {
+		dst := part(kv, p)
+		if dst < 0 || dst >= p {
+			return fmt.Errorf("partitioner routed key %q to invalid rank %d", kv.Key, dst)
+		}
+		counts[dst]++
+		sizes[dst] += kv.Size()
+		return nil
+	})
+}

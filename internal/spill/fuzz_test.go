@@ -1,0 +1,66 @@
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/keyval"
+)
+
+// validRunImage builds a well-formed two-frame run file in memory.
+func validRunImage() []byte {
+	var img []byte
+	for f := 0; f < 2; f++ {
+		l := keyval.NewList(4)
+		for i := 0; i < 4; i++ {
+			l.Add([]byte{byte('a' + f), byte(i)}, []byte("vvvv"))
+		}
+		page := l.Encode()
+		img = append(img, frameImage(page)...)
+	}
+	return img
+}
+
+// FuzzSpillDecode asserts error-not-garbage over arbitrary run-file bytes:
+// ScanRun either yields frames whose every pair is readable, or returns a
+// typed *IntegrityError — it never panics and never hands back pairs from a
+// frame that failed validation.
+func FuzzSpillDecode(f *testing.F) {
+	valid := validRunImage()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated trailer
+	f.Add(valid[:7])            // truncated header
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10 // bit flip mid-payload
+	f.Add(flipped)
+	short := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(short[4:], 1<<30) // huge claimed payload
+	f.Add(short)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames := 0
+		err := ScanRun(data, func(l *keyval.List) error {
+			// Touch every byte of every pair: a frame that passed validation
+			// must be fully walkable.
+			for i := 0; i < l.Len(); i++ {
+				kv := l.At(i)
+				_ = len(kv.Key) + len(kv.Value)
+			}
+			frames++
+			return nil
+		})
+		if err != nil {
+			var ie *IntegrityError
+			if !errors.As(err, &ie) {
+				t.Fatalf("non-typed scan error: %v", err)
+			}
+			return
+		}
+		// A clean scan of non-empty data must have consumed at least one frame.
+		if len(data) > 0 && frames == 0 {
+			t.Fatalf("clean scan of %d bytes yielded no frames", len(data))
+		}
+	})
+}
