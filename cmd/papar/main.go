@@ -21,6 +21,9 @@
 //	             spill to a CRC-framed disk tier and the run stays
 //	             byte-identical to the in-memory one
 //	-spill-dir   where the spill runs live (default: a temp dir)
+//	-compress    pack shuffle frames with the §III-D CSC codec before they
+//	             hit the wire (lossless, inside the CRC envelope); also
+//	             enabled by PAPAR_SHUFFLE_COMPRESS=1
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/hadoop"
+	"repro/internal/mrmpi"
 	"repro/internal/obsv"
 )
 
@@ -71,6 +75,7 @@ func run() error {
 		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
 		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%,corrupt=2%,ckptloss=3,enospc=30%,tornwrite=20%,diskrot=2%,slowdisk=1x4"); runs resiliently (mrmpi backend)`)
 		memBudget  = flag.Int64("mem-budget", 0, "per-rank resident memory cap in bytes; 0 = unlimited, cold pages spill to disk otherwise (mrmpi backend)")
+		compress   = flag.Bool("compress", false, "compress shuffle frames with the §III-D CSC codec inside the integrity envelope (mrmpi backend; also PAPAR_SHUFFLE_COMPRESS=1)")
 		spillDir   = flag.String("spill-dir", "", "directory for spilled pages (default: temp dir, removed on exit); with -faults the spill tier is replicated across buddy paths")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write machine-readable run metrics (phase durations, per-rank load, imbalance) as JSON to this file")
@@ -108,6 +113,9 @@ func run() error {
 	obs := newRecorder(*traceOut, *metricsOut, *timelineW)
 	switch *backend {
 	case "mrmpi":
+		if *compress {
+			mrmpi.SetShuffleCompress(true)
+		}
 		cl := cluster.New(cluster.DefaultConfig(*nodes))
 		cl.SetObserver(obs)
 		if *traceN > 0 {
@@ -169,6 +177,9 @@ func run() error {
 	case "hadoop":
 		if *faultSpec != "" {
 			return fmt.Errorf("-faults is only supported by the mrmpi backend")
+		}
+		if *compress {
+			return fmt.Errorf("-compress is only supported by the mrmpi backend")
 		}
 		wd := *workDir
 		if wd == "" {

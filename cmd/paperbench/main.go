@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +57,13 @@ func catalog() []experiment {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; returning an exit code (instead of os.Exit inline)
+// lets the deferred CPU-profile flush fire on every path, including
+// perf-gate failures.
+func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, outofcore, skew)")
 		blastScale = flag.Float64("blast-scale", 0, "BLAST database scale (default 0.02)")
@@ -63,39 +71,55 @@ func main() {
 		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")
 		seed       = flag.Int64("seed", 0, "dataset seed (default 42)")
 		bench      = flag.Bool("bench", false, "run the shuffle/sort/convert microbenchmarks instead of the experiments")
-		benchOut   = flag.String("bench-out", "BENCH_PR2.json", "where -bench writes its JSON results")
+		benchOut   = flag.String("bench-out", "BENCH_PR7.json", "where -bench writes its JSON results")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		baseline   = flag.String("baseline", "", "with -bench: compare against this recorded JSON and exit nonzero on regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "with -baseline: allowed slowdown fraction before a benchmark counts as regressed")
 		metricsDir = flag.String("metrics-dir", "", "write each experiment's result as <dir>/<name>.json")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	if *bench {
 		res, err := experiments.RunMicrobench()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := res.WriteJSON(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== microbench — shuffle/sort/convert kernels vs pre-refactor baseline ==\n%s\nwrote %s\n", res.Render(), *benchOut)
 		if *baseline != "" {
 			base, err := experiments.LoadMicrobench(*baseline)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "paperbench: baseline: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			if regressions := res.Compare(base, *tolerance); len(regressions) > 0 {
 				fmt.Fprintf(os.Stderr, "paperbench: %d perf regression(s) vs %s:\n", len(regressions), *baseline)
 				for _, r := range regressions {
 					fmt.Fprintf(os.Stderr, "  %s\n", r)
 				}
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("perf gate: all benchmarks within %.0f%% of %s\n", 100**tolerance, *baseline)
 		}
-		return
+		return 0
 	}
 	opts := experiments.Options{
 		BlastScale: *blastScale,
@@ -113,13 +137,13 @@ func main() {
 		res, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== %s — %s (wall %.1fs) ==\n%s\n", e.name, e.desc, time.Since(start).Seconds(), res.Render())
 		if *metricsDir != "" {
 			if err := writeMetrics(*metricsDir, e.name, res); err != nil {
 				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		// Experiments with a pass/fail verdict (chaos: partition mismatch,
@@ -132,11 +156,12 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		return 1
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeMetrics stores one experiment's result struct as JSON under dir. The

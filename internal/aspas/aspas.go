@@ -102,30 +102,15 @@ func sortParallelN[T any](data []T, less func(a, b T) bool, stable bool, workers
 	copy(data, out)
 }
 
-// Int64Key sorts records by an extracted int64 key using a two-pass
-// counting-free approach: extract keys once, sort index pairs, permute.
-// This mirrors how ASPaS sorts {key, pointer} tuples rather than whole
-// records, minimizing data movement for the wide muBLASTP index entries.
+// Int64Key sorts records stably by an extracted int64 key: extract keys
+// once, sort a permutation, gather records once. This mirrors how ASPaS
+// sorts {key, pointer} tuples rather than whole records, minimizing data
+// movement for the wide muBLASTP index entries. The permutation is computed
+// by the LSD radix kernel above RadixMinKeys and by a stable comparison sort
+// below it (see radix.go); both orders are identical, so callers observe one
+// behavior regardless of input size.
 func Int64Key[T any](data []T, key func(T) int64) {
-	type pair struct {
-		k int64
-		i int32
-	}
-	ps := make([]pair, len(data))
-	for i := range data {
-		ps[i] = pair{key(data[i]), int32(i)}
-	}
-	SortStable(ps, func(a, b pair) bool {
-		if a.k != b.k {
-			return a.k < b.k
-		}
-		return a.i < b.i // stability via original index
-	})
-	out := make([]T, len(data))
-	for i, p := range ps {
-		out[i] = data[p.i]
-	}
-	copy(data, out)
+	Int64KeyRadix(data, key)
 }
 
 // IsSorted reports whether data is ordered by less.

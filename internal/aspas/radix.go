@@ -1,0 +1,165 @@
+package aspas
+
+import (
+	"sort"
+
+	"repro/internal/permute"
+)
+
+// LSD counting radix sorts for fixed-width keys.
+//
+// ASPaS's SIMD sorting networks win on comparison throughput; the portable
+// analogue for the fixed-width keys PaPar actually shuffles (encoded
+// sequence lengths, vertex ids, bucket numbers) is to stop comparing
+// altogether: an LSD radix sort does O(w·n) array walks with no branch
+// mispredictions, and its counting passes are stable by construction, so it
+// is a drop-in replacement anywhere a *stable* comparison sort ran before —
+// the output permutation is byte-identical. Both kernels here sort a
+// permutation (indices), not the records: callers move their records once at
+// the end through permute.GatherInto, the same offset-permuting machinery
+// the distribution matrices use. Variable-width keys do not get a radix
+// path; callers fall back to the comparison sorts in this package.
+
+// RadixMinKeys is the input size below which the radix kernels fall back to
+// a comparison sort: under ~2^7 keys the 256-entry histogram per pass costs
+// more than the comparisons it saves. The fallback is stable too, so the
+// result is identical either way.
+const RadixMinKeys = 128
+
+// signBias maps int64 order onto uint64 order (flip the sign bit).
+const signBias = uint64(1) << 63
+
+// radixPermUint64 returns the stable ascending permutation of keys: the
+// i-th smallest key is keys[perm[i]], ties in original order. Eight LSD
+// counting passes over the 8-bit digits, each skipped entirely when its
+// digit is uniform across all keys (small-domain keys — vertex ids, bucket
+// numbers — pay only for the bytes that vary). keys is clobbered.
+func radixPermUint64(keys []uint64) []int32 {
+	n := len(keys)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	tmpKeys := make([]uint64, n)
+	tmpIdx := make([]int32, n)
+	var counts [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range keys {
+			counts[byte(k>>shift)]++
+		}
+		if counts[byte(keys[0]>>shift)] == n {
+			continue // uniform digit: the pass would be the identity
+		}
+		sum := 0
+		for d := 0; d < 256; d++ {
+			c := counts[d]
+			counts[d] = sum
+			sum += c
+		}
+		for i, k := range keys {
+			d := byte(k >> shift)
+			pos := counts[d]
+			counts[d]++
+			tmpKeys[pos] = k
+			tmpIdx[pos] = idx[i]
+		}
+		keys, tmpKeys = tmpKeys, keys
+		idx, tmpIdx = tmpIdx, idx
+	}
+	return idx
+}
+
+// SortPermInt64 returns the stable ascending permutation of keys (ties keep
+// original order), radix-sorted above RadixMinKeys and comparison-sorted
+// below — the results are identical. keys is not modified.
+func SortPermInt64(keys []int64) []int32 {
+	n := len(keys)
+	if n >= RadixMinKeys {
+		biased := make([]uint64, n)
+		for i, k := range keys {
+			biased[i] = uint64(k) ^ signBias
+		}
+		return radixPermUint64(biased)
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	return idx
+}
+
+// SortPermFixedBytes returns the stable ascending permutation of the
+// len(keys)/w fixed-width byte keys packed in keys (key i occupies
+// keys[i*w : (i+1)*w]), ordered by bytes.Compare — which for equal-width
+// keys is plain lexicographic order. One LSD counting pass per byte
+// position, most-significant last, uniform positions skipped. keys is not
+// modified. w == 0 (all keys empty) yields the identity.
+func SortPermFixedBytes(keys []byte, w int) []int32 {
+	var n int
+	if w > 0 {
+		n = len(keys) / w
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if w == 0 || n < 2 {
+		return idx
+	}
+	if n < RadixMinKeys {
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka := keys[int(idx[a])*w : int(idx[a])*w+w]
+			kb := keys[int(idx[b])*w : int(idx[b])*w+w]
+			return string(ka) < string(kb)
+		})
+		return idx
+	}
+	tmp := make([]int32, n)
+	var counts [256]int
+	for pos := w - 1; pos >= 0; pos-- {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			counts[keys[i*w+pos]]++
+		}
+		if counts[keys[pos]] == n {
+			continue // every key shares this byte (e.g. a common prefix)
+		}
+		sum := 0
+		for d := 0; d < 256; d++ {
+			c := counts[d]
+			counts[d] = sum
+			sum += c
+		}
+		for _, r := range idx {
+			d := keys[int(r)*w+pos]
+			tmp[counts[d]] = r
+			counts[d]++
+		}
+		idx, tmp = tmp, idx
+	}
+	return idx
+}
+
+// Int64KeyRadix sorts data stably by an extracted int64 key through the
+// radix permutation: extract keys once, radix-sort the permutation, gather
+// records once. Byte-identical to Int64Key; preferred on hot paths.
+func Int64KeyRadix[T any](data []T, key func(T) int64) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	keys := make([]int64, n)
+	for i := range data {
+		keys[i] = key(data[i])
+	}
+	perm := SortPermInt64(keys)
+	out := make([]T, n)
+	permute.GatherInto(out, data, perm)
+	copy(data, out)
+}

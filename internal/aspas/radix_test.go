@@ -1,0 +1,138 @@
+package aspas
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refPerm is the comparison-path reference: the permutation a stable sort
+// produces, which the radix path must reproduce exactly.
+func refPermInt64(keys []int64) []int32 {
+	perm := make([]int32, len(keys))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	return perm
+}
+
+func refPermFixed(keys []byte, w int) []int32 {
+	n := len(keys) / w
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ka := keys[int(perm[a])*w : int(perm[a])*w+w]
+		kb := keys[int(perm[b])*w : int(perm[b])*w+w]
+		return string(ka) < string(kb)
+	})
+	return perm
+}
+
+func permsEqual(t *testing.T, what string, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: perm length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: perm[%d] = %d, want %d (stability or order violated)", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSortPermInt64Property: across sizes straddling the radix threshold,
+// duplicate densities, and sign mixes, the radix permutation is identical to
+// the stable comparison sort's — which is what makes the rerouting of
+// Int64Key byte-invisible.
+func TestSortPermInt64Property(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	sizes := []int{0, 1, 2, RadixMinKeys - 1, RadixMinKeys, RadixMinKeys + 1, 1000, 5000}
+	for trial := 0; trial < 30; trial++ {
+		for _, n := range sizes {
+			keys := make([]int64, n)
+			for i := range keys {
+				switch r.Intn(4) {
+				case 0: // heavy duplicates
+					keys[i] = int64(r.Intn(5))
+				case 1: // negatives
+					keys[i] = -int64(r.Intn(1000))
+				case 2: // extremes
+					keys[i] = []int64{math.MinInt64, math.MaxInt64, 0, -1, 1}[r.Intn(5)]
+				default:
+					keys[i] = int64(r.Uint64())
+				}
+			}
+			permsEqual(t, "int64", refPermInt64(keys), SortPermInt64(keys))
+		}
+	}
+}
+
+// TestSortPermFixedBytesProperty: byte-key radix across key widths (1..20,
+// including the 12-byte microbench shape) matches the stable lexicographic
+// reference.
+func TestSortPermFixedBytesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		for _, w := range []int{1, 2, 3, 4, 8, 12, 16, 20} {
+			for _, n := range []int{0, 1, RadixMinKeys - 1, RadixMinKeys, 700} {
+				keys := make([]byte, n*w)
+				// Small alphabet in most positions forces long duplicate runs
+				// and uniform-digit passes.
+				for i := range keys {
+					if r.Intn(3) == 0 {
+						keys[i] = byte(r.Intn(256))
+					} else {
+						keys[i] = byte('a' + r.Intn(3))
+					}
+				}
+				permsEqual(t, "fixed", refPermFixed(keys, w), SortPermFixedBytes(keys, w))
+			}
+		}
+	}
+}
+
+func TestSortPermFixedBytesZeroWidth(t *testing.T) {
+	perm := SortPermFixedBytes(nil, 0)
+	if len(perm) != 0 {
+		t.Fatalf("zero-width perm has %d entries", len(perm))
+	}
+}
+
+// TestInt64KeyMatchesSortStable: the public entry point, on records (not
+// bare keys), against the comparison path it replaced — including the
+// descending-by-complement idiom core.runSort uses.
+func TestInt64KeyMatchesSortStable(t *testing.T) {
+	type rec struct {
+		k   int64
+		seq int
+	}
+	r := rand.New(rand.NewSource(31))
+	for _, n := range []int{5, RadixMinKeys, 3000} {
+		data := make([]rec, n)
+		for i := range data {
+			data[i] = rec{k: int64(r.Intn(40)) - 20, seq: i}
+		}
+		ref := append([]rec(nil), data...)
+		sort.SliceStable(ref, func(a, b int) bool { return ref[a].k < ref[b].k })
+		Int64Key(data, func(x rec) int64 { return x.k })
+		for i := range data {
+			if data[i] != ref[i] {
+				t.Fatalf("n=%d ascending: pos %d = %+v, want %+v", n, i, data[i], ref[i])
+			}
+		}
+
+		desc := append([]rec(nil), ref...)
+		sort.SliceStable(desc, func(a, b int) bool { return desc[a].k > desc[b].k })
+		down := append([]rec(nil), ref...)
+		Int64Key(down, func(x rec) int64 { return ^x.k })
+		for i := range down {
+			if down[i] != desc[i] {
+				t.Fatalf("n=%d descending: pos %d = %+v, want %+v", n, i, down[i], desc[i])
+			}
+		}
+	}
+}

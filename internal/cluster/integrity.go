@@ -30,6 +30,60 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // envelopeSum is the transport checksum over a payload.
 func envelopeSum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
 
+// pagesSum is the transport checksum over a vectored payload. CRC32 updates
+// chain, so the incremental sum over the page slices equals envelopeSum of
+// their concatenation — the envelope is defined over logical bytes and no
+// gather copy is needed to stamp or verify it.
+func pagesSum(pages [][]byte) uint32 {
+	sum := crc32.Checksum(nil, castagnoli)
+	for _, p := range pages {
+		sum = crc32.Update(sum, castagnoli, p)
+	}
+	return sum
+}
+
+// pagesLen is the logical byte length of a vectored payload.
+func pagesLen(pages [][]byte) int {
+	n := 0
+	for _, p := range pages {
+		n += len(p)
+	}
+	return n
+}
+
+// msgSum computes the envelope checksum over a message's logical bytes,
+// contiguous or vectored.
+func msgSum(m message) uint32 {
+	if m.pages != nil {
+		return pagesSum(m.pages)
+	}
+	return envelopeSum(m.payload)
+}
+
+// flattenPages gathers a vectored payload into one contiguous buffer. Only
+// the off-hot paths use it: corruption injection (damage is defined over the
+// logical wire image) and a contiguous receive meeting a vectored message.
+func flattenPages(pages [][]byte) []byte {
+	frame := make([]byte, 0, pagesLen(pages))
+	for _, p := range pages {
+		frame = append(frame, p...)
+	}
+	return frame
+}
+
+// splitFrame cuts a contiguous frame back into pages with the same lengths
+// as the original vector (the shape a receiver expects). Reached only if an
+// injected corruption ever passed the envelope check — kept so that path
+// would deliver well-formed pages instead of a shape mismatch.
+func splitFrame(frame []byte, orig [][]byte) [][]byte {
+	out := make([][]byte, len(orig))
+	for i, p := range orig {
+		out[i] = frame[:len(p):len(p)]
+		frame = frame[len(p):]
+	}
+	return out
+}
+
 // IntegrityError reports a payload whose bytes changed between enqueue and
 // delivery — host-side corruption the wire-level NACK protocol cannot have
 // caused. It is a program error (a buffer-ownership bug), not a recoverable

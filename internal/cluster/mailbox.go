@@ -11,11 +11,21 @@ import (
 // sequence number the transport uses to deduplicate fault-injected
 // duplicates; sum is the sender-computed CRC32C envelope checksum the
 // receiver re-verifies at delivery (end-to-end integrity, see integrity.go).
+//
+// A message carries either a single contiguous payload or a vectored one:
+// when pages is non-nil the logical message bytes are the in-order
+// concatenation of the page slices (batched shuffle delivery, see
+// Rank.SendPages). Everything downstream — byte accounting, the CRC
+// envelope, fault coordinates — is defined over the logical bytes, so a
+// vectored message is indistinguishable from a contiguous one on the
+// simulated wire; the split exists only so sender and receiver can keep the
+// pages as separate pooled buffers end to end without a gather copy.
 type message struct {
 	src     int
 	tag     int
 	seq     int64
 	payload []byte
+	pages   [][]byte
 	sum     uint32
 	arrival vtime.Duration
 }

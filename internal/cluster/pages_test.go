@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+// pagesProgram sends msgs multi-page frames from rank 0 to rank 1 (cross
+// node under DefaultConfig) and verifies content on the receiver. The page
+// split varies per message; the concatenation is what must survive.
+func pagesProgram(t *testing.T, msgs int, split func(i int, frame []byte) [][]byte) func(r *Rank) error {
+	frames := make([][]byte, msgs)
+	rng := rand.New(rand.NewSource(99))
+	for i := range frames {
+		frames[i] = make([]byte, 200+rng.Intn(2000))
+		rng.Read(frames[i])
+	}
+	return func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			for i, f := range frames {
+				if err := r.SendPages(2, 5, split(i, f)); err != nil {
+					return err
+				}
+			}
+		case 2:
+			for i, f := range frames {
+				pages, src, err := r.RecvPages(0, 5)
+				if err != nil {
+					return err
+				}
+				if src != 0 {
+					return fmt.Errorf("message %d from %d", i, src)
+				}
+				var got []byte
+				for _, p := range pages {
+					got = append(got, p...)
+				}
+				if !bytes.Equal(got, f) {
+					return fmt.Errorf("message %d: %d bytes diverged from the %d sent", i, len(got), len(f))
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func splitN(parts int) func(i int, frame []byte) [][]byte {
+	return func(i int, frame []byte) [][]byte {
+		n := len(frame) / parts
+		var pages [][]byte
+		for len(frame) > n {
+			pages = append(pages, frame[:n])
+			frame = frame[n:]
+		}
+		return append(pages, frame)
+	}
+}
+
+// TestSendPagesChargeIdenticalToSend: one vectored message costs exactly
+// what one contiguous send of the concatenation costs — same makespan, same
+// wire bytes, same message count — regardless of how many pages it is split
+// into. This is the invariant that keeps batched shuffles bit-identical on
+// the virtual timeline.
+func TestSendPagesChargeIdenticalToSend(t *testing.T) {
+	run := func(pages int) (vtime.Duration, Stats) {
+		c := New(DefaultConfig(2))
+		d, err := c.Run(pagesProgram(t, 10, splitN(pages)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, c.Stats()
+	}
+
+	// True contiguous reference with the scalar Send/Recv pair.
+	cRef := New(DefaultConfig(2))
+	frames := make([][]byte, 10)
+	rng := rand.New(rand.NewSource(99))
+	for i := range frames {
+		frames[i] = make([]byte, 200+rng.Intn(2000))
+		rng.Read(frames[i])
+	}
+	dRef, err := cRef.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			for _, f := range frames {
+				if err := r.Send(2, 5, f); err != nil {
+					return err
+				}
+			}
+		case 2:
+			for _, f := range frames {
+				got, _, err := r.Recv(0, 5)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, f) {
+					return fmt.Errorf("payload diverged")
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsRef := cRef.Stats()
+
+	for _, pages := range []int{1, 2, 7} {
+		d, s := run(pages)
+		if d != dRef {
+			t.Fatalf("%d pages: makespan %v, contiguous Send %v", pages, d, dRef)
+		}
+		if s.BytesOnWire != statsRef.BytesOnWire || s.Messages != statsRef.Messages {
+			t.Fatalf("%d pages: wire %d/%d msgs, contiguous %d/%d",
+				pages, s.BytesOnWire, s.Messages, statsRef.BytesOnWire, statsRef.Messages)
+		}
+	}
+}
+
+// TestSendPagesUnderLinkFaults: under every link fault kind, batched frames
+// still arrive intact and exactly once, and a replay of the same seed is
+// bit-exact (same makespan, same wire counters).
+func TestSendPagesUnderLinkFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		link faults.Link
+	}{
+		{"drop", faults.Link{DropProb: 0.3}},
+		{"dup", faults.Link{DupProb: 0.3}},
+		{"delay", faults.Link{DelayProb: 0.5, Delay: vtime.Millisecond}},
+		{"corrupt", faults.Link{CorruptProb: 0.3}},
+		{"everything", faults.Link{DropProb: 0.15, DupProb: 0.15, DelayProb: 0.2, Delay: 250 * vtime.Microsecond, CorruptProb: 0.15}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (vtime.Duration, Stats) {
+				c := New(DefaultConfig(2))
+				c.SetFaultPlan(&faults.Plan{Seed: 4242, Link: tc.link})
+				d, err := runGuarded(t, c, pagesProgram(t, 30, splitN(3)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d, c.Stats()
+			}
+			d1, s1 := run()
+			d2, s2 := run()
+			if d1 != d2 || s1 != s2 {
+				t.Fatalf("replay diverged: %v %+v vs %v %+v", d1, s1, d2, s2)
+			}
+			if tc.link.CorruptProb > 0 {
+				if s1.CorruptInjected == 0 || s1.CorruptDetected != s1.CorruptInjected {
+					t.Fatalf("corruption not exercised/detected: %+v", s1)
+				}
+			}
+			if tc.link.DropProb > 0 && s1.Retransmits == 0 {
+				t.Fatalf("drops caused no retransmits: %+v", s1)
+			}
+		})
+	}
+}
+
+// TestRecvPagesFromCrashedRank: a receiver blocked in RecvPages on a crashed
+// peer gets the typed failure, like Recv does.
+func TestRecvPagesFromCrashedRank(t *testing.T) {
+	c := New(DefaultConfig(1))
+	c.SetFaultPlan(&faults.Plan{Seed: 1, Crashes: []faults.Crash{{Rank: 1}}})
+	_, err := runGuarded(t, c, func(r *Rank) error {
+		if r.ID() == 1 {
+			return r.Send(0, 3, []byte("x")) // fires the crash
+		}
+		_, _, err := r.RecvPages(1, 3)
+		return err
+	})
+	if !IsRankFailure(err) {
+		t.Fatalf("RecvPages from crashed rank returned %v, want a rank failure", err)
+	}
+}

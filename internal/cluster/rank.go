@@ -173,11 +173,45 @@ func (r *Rank) wireTag(tag int) int {
 // failed — at the transport level an unreachable peer and a dead one are
 // indistinguishable.
 func (r *Rank) Send(dst, tag int, payload []byte) error {
+	return r.send(dst, tag, payload, nil)
+}
+
+// SendPages delivers a vectored payload — the in-order concatenation of the
+// page slices — to rank dst as ONE message: one mailbox delivery, one CRC32C
+// envelope over the logical bytes, one per-message overhead charge in the
+// virtual-time model. All byte accounting (wire time, sent/on-wire counters,
+// trace sizes) uses the logical length Σ len(pages[i]), so batching k pages
+// charges exactly what a single Send of the concatenated bytes would; a
+// one-page batch is charge-identical to Send. The page slices are handed
+// over and must not be modified afterwards; on the clean path they travel
+// uncopied and the receiver gets the very same slices back from RecvPages,
+// so pooled buffers keep their ownership protocol across the shuffle.
+//
+// Fault semantics match Send: the batch is one wire message with one
+// (src,dst,seq) coordinate, so a fault plan drops, duplicates, delays or
+// corrupts the whole frame. A corruption-injected attempt materializes the
+// frame to damage it — the only copy on any path — and the receiving NIC's
+// envelope check rejects it, NACKing the usual backoff retransmit.
+func (r *Rank) SendPages(dst, tag int, pages [][]byte) error {
+	return r.send(dst, tag, nil, pages)
+}
+
+// send is the shared transmit path behind Send and SendPages. Exactly one of
+// payload / pages is used: pages non-nil means a vectored message whose
+// logical bytes are the concatenation of the page slices. Every charge and
+// counter below is computed from the logical byte count n, which is what
+// keeps contiguous and vectored delivery bit-identical on the simulated
+// timeline.
+func (r *Rank) send(dst, tag int, payload []byte, pages [][]byte) error {
 	if err := r.checkCrash(); err != nil {
 		return err
 	}
 	if dst < 0 || dst >= r.cluster.Size() {
 		return fmt.Errorf("cluster: send to invalid rank %d (size %d)", dst, r.cluster.Size())
+	}
+	n := len(payload)
+	if pages != nil {
+		n = pagesLen(pages)
 	}
 	plan := r.cluster.plan
 	net := r.Network()
@@ -185,61 +219,77 @@ func (r *Rank) Send(dst, tag int, payload []byte) error {
 	to := r.cluster.ranks[dst]
 	var wire vtime.Duration
 	if to.node == r.node {
-		wire = net.LocalTransferTime(len(payload))
+		wire = net.LocalTransferTime(n)
 	} else {
-		wire = net.TransferTime(len(payload))
+		wire = net.TransferTime(n)
 	}
 	if s := plan.NetworkScale(r.node, to.node); s != 1 {
 		wire = vtime.Duration(float64(wire) * s)
 	}
 	seq := r.sendSeq[dst] + 1
 	r.sendSeq[dst] = seq
-	r.sentBytes += int64(len(payload))
+	r.sentBytes += int64(n)
 	r.sentMsgs++
 	r.cluster.trace.record(TraceEvent{
-		Time: r.clock.Now(), Rank: r.id, Kind: "send", Peer: dst, Tag: tag, Size: len(payload),
+		Time: r.clock.Now(), Rank: r.id, Kind: "send", Peer: dst, Tag: tag, Size: n,
 	})
 
-	sum := envelopeSum(payload)
+	var sum uint32
+	if pages != nil {
+		sum = pagesSum(pages)
+	} else {
+		sum = envelopeSum(payload)
+	}
 	delivered := false
 	for attempt := 0; attempt < MaxSendAttempts; attempt++ {
 		if attempt > 0 {
 			r.cluster.retransmits.Add(1)
 		}
 		// Every attempt occupies the wire, delivered or not.
-		r.cluster.bytesOnWire.Add(int64(len(payload)))
+		r.cluster.bytesOnWire.Add(int64(n))
 		r.cluster.msgsOnWire.Add(1)
 		if plan.Dropped(r.id, dst, seq, attempt) {
 			// Retransmit timer: exponential backoff in virtual time.
 			r.clock.Advance(RetryBackoffBase * vtime.Duration(int64(1)<<attempt))
 			continue
 		}
-		wirePayload := payload
-		if len(payload) > 0 && plan.Corrupted(r.id, dst, seq, attempt) {
+		wirePayload, wirePages := payload, pages
+		if n > 0 && plan.Corrupted(r.id, dst, seq, attempt) {
 			// The attempt arrives damaged. Run the damaged bytes through the
 			// receiving NIC's actual envelope check — detection is verified,
 			// not assumed. CRC32C catches every single-bit flip, and a
 			// truncation changes the length, so no injected corruption can
-			// pass silently; the counter pair proves it per run.
-			wirePayload = plan.CorruptionFor(r.id, dst, seq, attempt).Apply(payload)
+			// pass silently; the counter pair proves it per run. A vectored
+			// frame is flattened first — corruption is defined over the
+			// logical wire image, not over the sender's buffer layout.
+			frame := payload
+			if pages != nil {
+				frame = flattenPages(pages)
+			}
+			damaged := plan.CorruptionFor(r.id, dst, seq, attempt).Apply(frame)
 			r.cluster.corruptInjected.Add(1)
-			if len(wirePayload) != len(payload) || envelopeSum(wirePayload) != sum {
+			if len(damaged) != n || envelopeSum(damaged) != sum {
 				// NACK: the sender backs off and retransmits, like a drop.
 				r.cluster.corruptDetected.Add(1)
 				r.cluster.trace.record(TraceEvent{
-					Time: r.clock.Now(), Rank: r.id, Kind: "corrupt", Peer: dst, Tag: tag, Size: len(payload),
+					Time: r.clock.Now(), Rank: r.id, Kind: "corrupt", Peer: dst, Tag: tag, Size: n,
 				})
 				r.clock.Advance(RetryBackoffBase * vtime.Duration(int64(1)<<attempt))
 				continue
 			}
 			// Unreachable for the injected damage classes; kept so a silent
 			// acceptance would show up in stats instead of vanishing.
+			if pages != nil {
+				wirePages = splitFrame(damaged, pages)
+			} else {
+				wirePayload = damaged
+			}
 		}
 		arrival := r.clock.Now() + wire + plan.ExtraDelay(r.id, dst, seq, attempt)
-		msg := message{src: r.id, tag: r.wireTag(tag), seq: seq, payload: wirePayload, sum: sum, arrival: arrival}
+		msg := message{src: r.id, tag: r.wireTag(tag), seq: seq, payload: wirePayload, pages: wirePages, sum: sum, arrival: arrival}
 		to.mailbox.put(msg)
 		if plan.Duplicated(r.id, dst, seq, attempt) {
-			r.cluster.bytesOnWire.Add(int64(len(payload)))
+			r.cluster.bytesOnWire.Add(int64(n))
 			r.cluster.msgsOnWire.Add(1)
 			to.mailbox.put(msg) // same seq: receiver discards it
 		}
@@ -322,17 +372,24 @@ func (r *Rank) recv(src, tag int, detectCost vtime.Duration) ([]byte, int, error
 		}
 		return nil, 0, err
 	}
-	if envelopeSum(m.payload) != m.sum {
+	if msgSum(m) != m.sum {
 		// Wire corruption is rejected at the NIC, so a mismatch here means
 		// the bytes changed while queued in host memory — an ownership bug.
 		return nil, 0, IntegrityError{Src: m.src, Dst: r.id, Seq: m.seq}
 	}
 	r.clock.AdvanceTo(m.arrival)
 	r.clock.Advance(r.Network().RecvOverhead)
+	payload := m.payload
+	if m.pages != nil {
+		// A vectored message met a contiguous receive: gather it. Protocol
+		// discipline keeps this off the hot paths (pages travel on their own
+		// tags), but a plain Recv must still see the logical bytes.
+		payload = flattenPages(m.pages)
+	}
 	r.cluster.trace.record(TraceEvent{
-		Time: r.clock.Now(), Rank: r.id, Kind: "recv", Peer: m.src, Tag: tag, Size: len(m.payload),
+		Time: r.clock.Now(), Rank: r.id, Kind: "recv", Peer: m.src, Tag: tag, Size: len(payload),
 	})
-	return m.payload, m.src, nil
+	return payload, m.src, nil
 }
 
 // TryRecv is a non-blocking receive: it returns ok=false if no matching
@@ -345,12 +402,52 @@ func (r *Rank) TryRecv(src, tag int) ([]byte, int, bool) {
 	if !ok {
 		return nil, 0, false
 	}
-	if envelopeSum(m.payload) != m.sum {
+	if msgSum(m) != m.sum {
 		panic(IntegrityError{Src: m.src, Dst: r.id, Seq: m.seq})
 	}
 	r.clock.AdvanceTo(m.arrival)
 	r.clock.Advance(r.Network().RecvOverhead)
-	return m.payload, m.src, true
+	payload := m.payload
+	if m.pages != nil {
+		payload = flattenPages(m.pages)
+	}
+	return payload, m.src, true
+}
+
+// RecvPages is the vectored receive matching SendPages: it blocks for one
+// message, verifies the envelope over the logical bytes, synchronizes the
+// clock exactly like Recv, and returns the page vector without gathering it.
+// The returned slices are the sender's own page buffers (zero-copy in the
+// simulated transport); ownership transfers to the receiver, which recycles
+// each page through its normal decode/release protocol. A contiguous message
+// received here comes back as a one-page vector.
+func (r *Rank) RecvPages(src, tag int) ([][]byte, int, error) {
+	if err := r.checkCrash(); err != nil {
+		return nil, 0, err
+	}
+	if src != AnySource && (src < 0 || src >= r.cluster.Size()) {
+		return nil, 0, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", src, r.cluster.Size())
+	}
+	m, err := r.mailbox.getWait(src, r.wireTag(tag), r.failCheck(src))
+	if err != nil {
+		if IsRankFailure(err) {
+			r.Charge(FailureDetectDelay)
+		}
+		return nil, 0, err
+	}
+	if msgSum(m) != m.sum {
+		return nil, 0, IntegrityError{Src: m.src, Dst: r.id, Seq: m.seq}
+	}
+	r.clock.AdvanceTo(m.arrival)
+	r.clock.Advance(r.Network().RecvOverhead)
+	pages := m.pages
+	if pages == nil {
+		pages = [][]byte{m.payload}
+	}
+	r.cluster.trace.record(TraceEvent{
+		Time: r.clock.Now(), Rank: r.id, Kind: "recv", Peer: m.src, Tag: tag, Size: pagesLen(pages),
+	})
+	return pages, m.src, nil
 }
 
 // AnySource matches any sending rank in Recv.

@@ -440,11 +440,28 @@ func (st *execState) runSort(j *SortJob) error {
 		return err
 	}
 	st.comm.Cluster().Charge(st.comm.Cluster().Compute().SortCost(len(out), rowBytes(out)))
-	if j.Descending {
+	// All-numeric key columns take the radix path: compareValues over two
+	// non-string values is exactly int64 order, so sorting by the raw Int —
+	// complemented for descending, which reverses the order stably without
+	// the MinInt64 overflow negation has — is byte-identical to the stable
+	// comparison sort.
+	numeric := true
+	for i := range out {
+		if out[i].Values[col].IsStr {
+			numeric = false
+			break
+		}
+	}
+	switch {
+	case numeric && j.Descending:
+		aspas.Int64Key(out, func(r Row) int64 { return ^r.Values[col].Int })
+	case numeric:
+		aspas.Int64Key(out, func(r Row) int64 { return r.Values[col].Int })
+	case j.Descending:
 		aspas.SortStable(out, func(a, b Row) bool {
 			return compareValues(a.Values[col], b.Values[col]) > 0
 		})
-	} else {
+	default:
 		aspas.SortStable(out, func(a, b Row) bool {
 			return compareValues(a.Values[col], b.Values[col]) < 0
 		})

@@ -14,7 +14,8 @@ package csr
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+
+	"repro/internal/aspas"
 )
 
 // Triple is one packed record: (Major, Minor, Value) — for the PowerLyra
@@ -49,9 +50,9 @@ func (c *Compressed) Group(i int) (major int64, minors, values []int64) {
 // Compress builds the compressed form from triples. Input order inside a
 // major group is preserved; groups are emitted in ascending major order.
 func Compress(ts []Triple) *Compressed {
-	// Stable sort by major only, preserving per-major input order.
+	// Stable radix sort by major only, preserving per-major input order.
 	sorted := append([]Triple(nil), ts...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Major < sorted[j].Major })
+	aspas.Int64Key(sorted, func(t Triple) int64 { return t.Major })
 	c := &Compressed{Starts: []int64{0}}
 	for _, t := range sorted {
 		if n := len(c.Majors); n == 0 || c.Majors[n-1] != t.Major {

@@ -3,8 +3,12 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/csr"
 	"repro/internal/graph"
+	"repro/internal/mrmpi"
+	"repro/internal/powerlyra"
 	"repro/internal/vtime"
 )
 
@@ -23,9 +27,60 @@ type CompressionRow struct {
 	TransferSaving vtime.Duration
 }
 
+// LiveRow is one graph's measured (not modeled) result of running the
+// hybrid-cut workflow end-to-end with the shuffle codec on vs off: the same
+// CSC packing the offline rows model, but applied inline by the transport
+// (mrmpi.SetShuffleCompress) with every framing and profitability effect
+// included.
+type LiveRow struct {
+	Graph string
+	// OffShuffleBytes / OnShuffleBytes are total interconnect bytes of the
+	// codec-off and codec-on runs.
+	OffShuffleBytes int64
+	OnShuffleBytes  int64
+	// WireSaving is 1 - on/off — the measured end-to-end §III-D saving.
+	WireSaving float64
+	// OfflineSaving is the modeled CompressionRow saving on the grouped
+	// triples alone, for the agreement check.
+	OfflineSaving float64
+	// OffMakespan / OnMakespan are the simulated run times.
+	OffMakespan vtime.Duration
+	OnMakespan  vtime.Duration
+	// MakespanSaving is 1 - on/off.
+	MakespanSaving float64
+	// PartitionsEqual requires the codec-on partitions to be byte-identical
+	// to the codec-off ones (the codec is lossless).
+	PartitionsEqual bool
+	// Deterministic requires a codec-on replay to reproduce the makespan
+	// and shuffle bytes exactly.
+	Deterministic bool
+}
+
 // CompressionResult reproduces the §III-D data-compression measurement.
 type CompressionResult struct {
 	Rows []CompressionRow
+	// Live holds the end-to-end transport-codec measurements.
+	Live []LiveRow
+}
+
+// Failed reports whether a live run violated a §III-D requirement: lossless
+// partitions, deterministic replay, and measured savings that agree with the
+// offline model — on the wire (some saving, never more than the model's
+// upper bound, which ignores incompressible sort/sample traffic and tag
+// bytes) and on the makespan (the run must not get slower).
+func (r *CompressionResult) Failed() bool {
+	for _, lr := range r.Live {
+		if !lr.PartitionsEqual || !lr.Deterministic {
+			return true
+		}
+		if lr.WireSaving <= 0 || lr.WireSaving > lr.OfflineSaving {
+			return true
+		}
+		if lr.OnMakespan > lr.OffMakespan {
+			return true
+		}
+	}
+	return false
 }
 
 // Compression measures the CSC packing on the grouped (in-vertex, edge,
@@ -54,8 +109,56 @@ func Compression(opts Options) (*CompressionResult, error) {
 			Saving:          1 - float64(comp)/float64(raw),
 			TransferSaving:  net.TransferTime(raw) - net.TransferTime(comp),
 		})
+		lr, err := liveCodecRun(opts, prof, res.Rows[len(res.Rows)-1].Saving)
+		if err != nil {
+			return nil, err
+		}
+		res.Live = append(res.Live, lr)
 	}
 	return res, nil
+}
+
+// liveCodecRun executes the hybrid-cut workflow twice on fresh clusters —
+// codec off, then codec on (plus a codec-on replay for the determinism
+// check) — and reports the measured deltas.
+func liveCodecRun(opts Options, prof graph.Profile, offlineSaving float64) (LiveRow, error) {
+	g := graph.Generate(prof, opts.GraphScale, opts.Seed)
+	rows := graphRows(g)
+	plan, err := compileHybridPlan(opts.Nodes*2, powerlyra.DefaultThreshold)
+	if err != nil {
+		return LiveRow{}, err
+	}
+	run := func(codec bool) (*core.Result, error) {
+		prev := mrmpi.SetShuffleCompress(codec)
+		defer mrmpi.SetShuffleCompress(prev)
+		cl := cluster.New(cluster.DefaultConfig(opts.Nodes))
+		return core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+	}
+	off, err := run(false)
+	if err != nil {
+		return LiveRow{}, fmt.Errorf("compress live (codec off): %w", err)
+	}
+	on, err := run(true)
+	if err != nil {
+		return LiveRow{}, fmt.Errorf("compress live (codec on): %w", err)
+	}
+	on2, err := run(true)
+	if err != nil {
+		return LiveRow{}, fmt.Errorf("compress live (codec replay): %w", err)
+	}
+	return LiveRow{
+		Graph:           prof.Name,
+		OffShuffleBytes: off.ShuffleBytes,
+		OnShuffleBytes:  on.ShuffleBytes,
+		WireSaving:      1 - float64(on.ShuffleBytes)/float64(off.ShuffleBytes),
+		OfflineSaving:   offlineSaving,
+		OffMakespan:     off.Makespan,
+		OnMakespan:      on.Makespan,
+		MakespanSaving:  1 - float64(on.Makespan)/float64(off.Makespan),
+		PartitionsEqual: fingerprint(on.Partitions, false) == fingerprint(off.Partitions, false),
+		Deterministic: on2.Makespan == on.Makespan && on2.ShuffleBytes == on.ShuffleBytes &&
+			fingerprint(on2.Partitions, false) == fingerprint(on.Partitions, false),
+	}, nil
 }
 
 // Render prints the ablation as a table.
@@ -67,6 +170,28 @@ func (r *CompressionResult) Render() string {
 			fmt.Sprintf("%.1f%%", row.Saving*100), row.TransferSaving.String(),
 		})
 	}
-	return "Data compression (§III-D): packed vs CSC wire size of grouped edges\n" +
+	out := "Data compression (§III-D): packed vs CSC wire size of grouped edges\n" +
 		table([]string{"graph", "packed bytes", "CSC bytes", "saving", "wire time saved"}, rows)
+	if len(r.Live) == 0 {
+		return out
+	}
+	verdict := func(b bool, ok, bad string) string {
+		if b {
+			return ok
+		}
+		return bad
+	}
+	live := make([][]string, 0, len(r.Live))
+	for _, lr := range r.Live {
+		live = append(live, []string{
+			lr.Graph, fmt.Sprint(lr.OffShuffleBytes), fmt.Sprint(lr.OnShuffleBytes),
+			fmt.Sprintf("%.1f%%", lr.WireSaving*100),
+			fmt.Sprintf("%.1f%%", lr.OfflineSaving*100),
+			fmt.Sprintf("%.2f%%", lr.MakespanSaving*100),
+			verdict(lr.PartitionsEqual, "identical", "DIVERGED") + "/" +
+				verdict(lr.Deterministic, "replayable", "NONDET"),
+		})
+	}
+	return out + "\nEnd-to-end hybrid-cut with the inline transport codec (measured, not modeled):\n" +
+		table([]string{"graph", "codec-off B", "codec-on B", "wire saving", "offline model", "makespan saving", "verdict"}, live)
 }

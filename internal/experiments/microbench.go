@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/keyval"
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
+	"repro/internal/shufcodec"
 	"repro/internal/spill"
 )
 
@@ -63,6 +65,19 @@ var baselines = map[string][3]float64{ // ns/op, B/op, allocs/op
 	"SortLocal":           {254777063, 34144944, 508555},
 }
 
+// pr6Baselines are numbers measured on this container at the PR 6 commit
+// (the last revision before the batched shuffle transport and the radix sort
+// routing), so the shuffle-fast-path benchmarks report their speedup against
+// the code they replaced rather than against the seed.
+var pr6Baselines = map[string][3]float64{ // ns/op, B/op, allocs/op
+	// aggregate → byte-order sort → aggregate, 8 ranks × 30000 pairs, with
+	// the eager per-destination List scatter and the comparison sort.
+	"BatchShuffleRoundTrip": {339101403, 96539612, 20642},
+	// The ListSort kernel as recorded in BENCH_PR6.json: pdq over the offset
+	// table with a three-way byte comparator.
+	"RadixSortFixed": {15101005, 72, 3},
+}
+
 func microPairs(n, card int, seed int64) (keys, values [][]byte) {
 	rng := rand.New(rand.NewSource(seed))
 	keys = make([][]byte, n)
@@ -76,6 +91,42 @@ func microPairs(n, card int, seed int64) (keys, values [][]byte) {
 		values[i] = []byte(fmt.Sprintf("value-%06d", i))
 	}
 	return keys, values
+}
+
+// codecBenchPage builds one sealed shuffle page of grouped triples in the
+// distribute job's wire shape (runs of equal bucket keys, packed-group
+// values with constant columns) — the codec's target traffic.
+func codecBenchPage() []byte {
+	encStr := func(s string) []byte {
+		out := binary.LittleEndian.AppendUint32([]byte{0x01}, uint32(len(s)))
+		return append(out, s...)
+	}
+	encInt := func(v int64) []byte {
+		return binary.LittleEndian.AppendUint64([]byte{0x00}, uint64(v))
+	}
+	encRow := func(cols ...[]byte) []byte {
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(cols)))
+		for _, c := range cols {
+			out = append(out, c...)
+		}
+		return out
+	}
+	l := keyval.NewList(2000)
+	for i := 0; i < 2000; i++ {
+		key := binary.LittleEndian.AppendUint32(nil, uint32(i/40))
+		gk := encStr(fmt.Sprintf("in-vertex-%06d", i))
+		n := 2 + i%5
+		val := append([]byte{0x01}, gk...)
+		val = binary.LittleEndian.AppendUint32(val, uint32(n))
+		for j := 0; j < n; j++ {
+			row := encRow(encStr(fmt.Sprintf("out-%03d", j)), gk, encInt(int64(n)))
+			val = binary.LittleEndian.AppendUint32(val, uint32(len(row)))
+			val = append(val, row...)
+		}
+		l.Add(key, val)
+	}
+	defer l.Release()
+	return l.AppendEncoded(nil)
 }
 
 func microList(keys, values [][]byte) *keyval.List {
@@ -119,7 +170,11 @@ func RunMicrobench() (*Microbench, error) {
 		if r.Bytes > 0 && r.NsPerOp() > 0 {
 			res.MBPerSec = float64(r.Bytes) * 1e3 / float64(r.NsPerOp())
 		}
-		if base, ok := baselines[name]; ok {
+		base, ok := baselines[name]
+		if !ok {
+			base, ok = pr6Baselines[name]
+		}
+		if ok {
 			res.BaselineNsPerOp = base[0]
 			res.BaselineBytesPerOp = int64(base[1])
 			res.BaselineAllocsPerOp = int64(base[2])
@@ -262,6 +317,75 @@ func RunMicrobench() (*Microbench, error) {
 				failure = err
 				b.Fatal(err)
 			}
+		}
+	}))
+
+	// RadixSortFixed: the ListSort kernel again, but baselined against the
+	// PR 6 comparison sort instead of the seed — the fixed-width radix
+	// speedup the shuffle fast path claims, in one Speedup field.
+	out.Results = append(out.Results, bench("RadixSortFixed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			l := microList(keysS, valsS)
+			b.StartTimer()
+			l.Sort()
+		}
+	}))
+
+	// BatchShuffleRoundTrip: a full fast-path round trip — batched all-to-all
+	// out, byte-order (radix) local sort, batched all-to-all back — on
+	// preformatted pairs so the transport and sort dominate the measurement.
+	keysB := make([][]byte, 30000)
+	valB := []byte("value-01")
+	for k := range keysB {
+		keysB[k] = []byte(fmt.Sprintf("key-%06d", (k*2654435761)%len(keysB)))
+	}
+	out.Results = append(out.Results, bench("BatchShuffleRoundTrip", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl := cluster.New(cluster.DefaultConfig(8))
+			if _, err := cl.Run(func(r *cluster.Rank) error {
+				mr := mrmpi.New(mpi.NewComm(r))
+				if err := mr.Map(func(emit mrmpi.Emitter) error {
+					for k := range keysB {
+						emit(keysB[k], valB)
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				if err := mr.Aggregate(mrmpi.HashPartitioner); err != nil {
+					return err
+				}
+				mr.KV().Sort()
+				return mr.Aggregate(mrmpi.HashPartitioner)
+			}); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// CodecRoundTrip: the §III-D transport codec on a grouped shuffle page —
+	// pack, then rebuild, per op; MB/s is raw page bytes through the codec.
+	codecPage := codecBenchPage()
+	out.Results = append(out.Results, bench("CodecRoundTrip", func(b *testing.B) {
+		b.SetBytes(int64(len(codecPage)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			packed, ok := shufcodec.EncodePage(codecPage)
+			if !ok {
+				failure = fmt.Errorf("grouped bench page did not compress")
+				b.Fatal(failure)
+			}
+			l, err := shufcodec.DecodePage(packed)
+			if err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+			l.Release()
+			keyval.Recycle(packed)
 		}
 	}))
 

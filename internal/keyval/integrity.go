@@ -90,6 +90,18 @@ func FinishPage(dst []byte, start, count int) []byte {
 	return dst
 }
 
+// VerifySealedPage checks an arbitrary sealed page image's integrity
+// trailer (when page CRC mode is on) and returns the body with the trailer
+// stripped; in trailer-less mode the buffer passes through unchanged. It is
+// the verification half of FinishPage for consumers whose page body is not
+// the KV record format — e.g. the shuffle codec's compressed pages.
+func VerifySealedPage(buf []byte) ([]byte, error) {
+	if !pageCRCOn.Load() {
+		return buf, nil
+	}
+	return verifyPage(buf)
+}
+
 // IntegrityError reports a page that failed trailer verification: the bytes
 // differ from what the encoder sealed. It is a data-corruption diagnosis,
 // not a recoverable condition — callers surface it, they do not retry.

@@ -48,6 +48,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/aspas"
+	"repro/internal/permute"
 )
 
 // KV is one key-value pair. Key and Value are treated as opaque bytes; the
@@ -191,6 +192,12 @@ func (l *List) keyAt(o uint32) []byte {
 // At returns a zero-copy view of pair i. The view is valid until Release.
 func (l *List) At(i int) KV { return l.pairAt(l.off[i]) }
 
+// Record returns a zero-copy view of pair i's full encoded record (8-byte
+// header + key + value) — the exact bytes a wire page carries for the pair.
+// Scatter loops use it to move whole records into outbound pages with one
+// copy instead of re-encoding key and value separately.
+func (l *List) Record(i int) []byte { return l.record(l.off[i]) }
+
 // Key returns a zero-copy view of pair i's key.
 func (l *List) Key(i int) []byte { return l.keyAt(l.off[i]) }
 
@@ -217,13 +224,58 @@ func (l *List) markPermuted() {
 
 // Sort orders the pairs by key (bytewise), with the original order preserved
 // among equal keys (stable), matching the reducer-visible ordering the
-// paper's sort job produces. Only the 4-byte offsets move — through the
-// ASPaS parallel engine — never the pair bytes.
+// paper's sort job produces. Only the 4-byte offsets move — never the pair
+// bytes. When every key has the same width (encoded sequence lengths, vertex
+// ids, bucket numbers — PaPar's common case) the offsets are permuted by a
+// stable LSD radix sort over the key bytes; for equal-width keys that order
+// is exactly bytes.Compare order, so the output is byte-identical to the
+// comparison path, which variable-width keys still take through the ASPaS
+// parallel engine.
 func (l *List) Sort() {
+	if w, ok := l.fixedKeyWidth(); ok && len(l.off) >= aspas.RadixMinKeys && w > 0 {
+		l.sortFixedRadix(w)
+		l.markPermuted()
+		return
+	}
 	aspas.SortStable(l.off, func(a, b uint32) bool {
 		return bytes.Compare(l.keyAt(a), l.keyAt(b)) < 0
 	})
 	l.markPermuted()
+}
+
+// fixedKeyWidth reports whether every key in the list has the same byte
+// width, and that width. One uint32 load per pair — noise next to the sort
+// it enables.
+func (l *List) fixedKeyWidth() (int, bool) {
+	if len(l.off) == 0 {
+		return 0, false
+	}
+	w := binary.LittleEndian.Uint32(l.buf[l.off[0]:])
+	for _, o := range l.off[1:] {
+		if binary.LittleEndian.Uint32(l.buf[o:]) != w {
+			return 0, false
+		}
+	}
+	return int(w), true
+}
+
+// sortFixedRadix sorts the offsets by key through the aspas radix kernel:
+// keys are gathered once into pooled contiguous scratch (the radix passes
+// walk it sequentially instead of chasing page offsets), the kernel returns
+// a stable permutation, and the offsets move once through permute.GatherInto
+// — the same offset-permuting machinery the distribution matrices use.
+func (l *List) sortFixedRadix(w int) {
+	n := len(l.off)
+	kbuf := getBuf(n * w)[:n*w]
+	for i, o := range l.off {
+		copy(kbuf[i*w:(i+1)*w], l.keyAt(o))
+	}
+	perm := aspas.SortPermFixedBytes(kbuf, w)
+	sorted := getOff(n)[:n]
+	permute.GatherInto(sorted, l.off, perm)
+	putBuf(kbuf)
+	putOff(l.off)
+	l.off = sorted
 }
 
 // SortFunc orders the pairs by the provided comparison (stable).

@@ -1,0 +1,62 @@
+package keyval
+
+import "encoding/binary"
+
+// PageWriter assembles one wire page — the exact Encode format, 4-byte count
+// header plus packed records — directly in a pooled buffer. It is the
+// scatter target for shuffle senders: where the old send loop leased a
+// scratch List per destination and then Encode'd it (an offsets index and a
+// second buffer lease per destination per round), a writer builds the final
+// wire image in place with no offsets index at all. Finish patches the count
+// and, in page-CRC mode, seals the trailer, yielding a buffer that Decode
+// accepts and Recycle recycles — byte-identical to what List.Encode of the
+// same pairs would have produced.
+type PageWriter struct {
+	buf []byte
+	n   int
+}
+
+// Reset arms the writer for a page expected to hold npairs pairs and
+// payloadBytes encoded payload bytes (the sum of KV.Size over the pairs to
+// come; sizes are a hint — the page grows if exceeded). Any previous buffer
+// is abandoned to its consumer, so Reset after Finish starts a fresh page.
+func (w *PageWriter) Reset(npairs, payloadBytes int) {
+	w.buf = append(getBuf(4+payloadBytes+trailerLen()), 0, 0, 0, 0)
+	w.n = 0
+}
+
+// Active reports whether the writer currently holds an unfinished page.
+func (w *PageWriter) Active() bool { return w.buf != nil }
+
+// Add appends one pair.
+func (w *PageWriter) Add(key, value []byte) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(key)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(value)))
+	w.buf = append(w.buf, key...)
+	w.buf = append(w.buf, value...)
+	w.n++
+}
+
+// AddRecord appends one already-encoded record (header + key + value), the
+// form List.Record returns — one copy, no re-encoding.
+func (w *PageWriter) AddRecord(rec []byte) {
+	w.buf = append(w.buf, rec...)
+	w.n++
+}
+
+// Pairs returns the number of pairs added since the last Reset.
+func (w *PageWriter) Pairs() int { return w.n }
+
+// Size returns the current encoded size of the page under construction
+// (count header included, integrity trailer not — it is added by Finish).
+func (w *PageWriter) Size() int { return len(w.buf) }
+
+// Finish patches the count header, seals the integrity trailer when page
+// CRC mode is on, and hands the wire buffer over; the writer is empty until
+// the next Reset. Ownership of the buffer moves to the caller's consumer
+// (transport receiver or disk), exactly like a buffer leased by Encode.
+func (w *PageWriter) Finish() []byte {
+	page := FinishPage(w.buf, 0, w.n)
+	w.buf, w.n = nil, 0
+	return page
+}

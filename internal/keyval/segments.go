@@ -1,0 +1,133 @@
+package keyval
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Segmented page images.
+//
+// The batched shuffle (mrmpi.Aggregate over cluster.SendPages) moves each
+// destination's data as ONE message whose logical bytes are a wire page
+// image — but physically split, at record boundaries, across separate pooled
+// buffers, so a sender streaming a spilled state never materializes one
+// giant contiguous page and a receiver recycles each piece independently.
+// The split is pure framing: concatenating the pages of a frame yields
+// byte-for-byte what Encode would have produced, which is what keeps batched
+// and unbatched runs bit-identical on the simulated timeline.
+//
+// A multi-page frame obeys a fixed discipline, validated on receive:
+//
+//	page 0:      exactly the 4-byte count header
+//	pages 1..k:  whole-record segments (headerless runs of packed records)
+//	final page:  exactly the 8-byte integrity trailer — present iff page
+//	             CRC mode is on, covering all preceding pages
+//
+// A single-page frame is just a complete Encode image and takes the normal
+// Decode path.
+
+// PageOverhead returns one wire frame's framing bytes outside the packed
+// records: the 4-byte count header plus the integrity trailer in CRC mode —
+// the same figure whether the frame is a single Encode image or a segmented
+// split of one.
+func PageOverhead() int { return 4 + trailerLen() }
+
+// GetPage returns a zero-length pooled byte buffer with capacity >= n — the
+// allocation primitive for transport frames assembled outside a List
+// (record segments, codec output). Return it with Recycle, exactly once.
+func GetPage(n int) []byte { return getBuf(n) }
+
+// AppendRecord appends kv's wire record (8-byte header + key + value) to
+// dst and returns it — the streaming form of Add for headerless record
+// segments.
+func AppendRecord(dst []byte, kv KV) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(kv.Key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(kv.Value)))
+	dst = append(dst, kv.Key...)
+	return append(dst, kv.Value...)
+}
+
+// CountHeaderPage builds the 4-byte count-header page of a segmented frame.
+func CountHeaderPage(count int) []byte {
+	return binary.LittleEndian.AppendUint32(getBuf(4), uint32(count))
+}
+
+// SegmentsTrailer returns the 8-byte integrity-trailer page covering the
+// given frame pages (header page included), or nil when page CRC mode is
+// off. The checksum chains across the pages, so it equals the trailer a
+// contiguous Encode of the same bytes would have sealed.
+func SegmentsTrailer(pages [][]byte) []byte {
+	if !pageCRCOn.Load() {
+		return nil
+	}
+	sum := crc32.Checksum(nil, castagnoli)
+	for _, p := range pages {
+		sum = crc32.Update(sum, castagnoli, p)
+	}
+	out := binary.LittleEndian.AppendUint32(getBuf(trailerSize), pageMagic)
+	return binary.LittleEndian.AppendUint32(out, sum)
+}
+
+// VerifySegmentedPage validates a multi-page frame against the discipline
+// above — trailer checksum first (in CRC mode), then the header shape — and
+// returns the pair count and the record segments. Ownership of every page
+// stays with the caller; the returned segments alias pages[1:]. It does not
+// validate record structure inside the segments (AppendSegment does, as
+// each is merged).
+func VerifySegmentedPage(pages [][]byte) (count int, segs [][]byte, err error) {
+	if len(pages) < 2 {
+		return 0, nil, fmt.Errorf("keyval: segmented frame needs >= 2 pages, got %d", len(pages))
+	}
+	if pageCRCOn.Load() {
+		last := pages[len(pages)-1]
+		if len(last) != trailerSize {
+			return 0, nil, &IntegrityError{Len: len(last), Reason: "segmented frame missing trailer page"}
+		}
+		if binary.LittleEndian.Uint32(last) != pageMagic {
+			return 0, nil, &IntegrityError{Len: len(last), Reason: "bad trailer magic"}
+		}
+		sum := crc32.Checksum(nil, castagnoli)
+		for _, p := range pages[:len(pages)-1] {
+			sum = crc32.Update(sum, castagnoli, p)
+		}
+		if binary.LittleEndian.Uint32(last[4:]) != sum {
+			return 0, nil, &IntegrityError{Len: len(last), Reason: "checksum mismatch"}
+		}
+		pages = pages[:len(pages)-1]
+	}
+	if len(pages[0]) != 4 {
+		return 0, nil, fmt.Errorf("keyval: segmented frame header page is %d bytes, want 4", len(pages[0]))
+	}
+	return int(binary.LittleEndian.Uint32(pages[0])), pages[1:], nil
+}
+
+// AppendSegment validates a headerless record segment and appends its pairs
+// to l (wholesale, preserving order), returning how many pairs it held. The
+// segment bytes are copied; the caller still owns (and recycles) seg.
+func (l *List) AppendSegment(seg []byte) (int, error) {
+	l.ensure()
+	base := uint32(len(l.buf))
+	startOff := len(l.off)
+	pos := uint64(0)
+	total := uint64(len(seg))
+	n := 0
+	for pos < total {
+		if total-pos < 8 {
+			l.off = l.off[:startOff]
+			return 0, fmt.Errorf("keyval: truncated record header at segment byte %d", pos)
+		}
+		k := binary.LittleEndian.Uint32(seg[pos:])
+		v := binary.LittleEndian.Uint32(seg[pos+4:])
+		rec := 8 + uint64(k) + uint64(v)
+		if total-pos < rec {
+			l.off = l.off[:startOff]
+			return 0, fmt.Errorf("keyval: truncated record payload at segment byte %d", pos)
+		}
+		l.off = append(l.off, base+uint32(pos))
+		pos += rec
+		n++
+	}
+	l.buf = append(l.buf, seg...)
+	return n, nil
+}

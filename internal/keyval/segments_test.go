@@ -1,0 +1,239 @@
+package keyval
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomList builds a list of n pairs; fixed-width keys when w > 0, mixed
+// widths when w == 0.
+func randomList(r *rand.Rand, n, w int) *List {
+	l := NewList(n)
+	for i := 0; i < n; i++ {
+		kw := w
+		if kw == 0 {
+			kw = 1 + r.Intn(16)
+		}
+		k := make([]byte, kw)
+		for j := range k {
+			k[j] = byte('a' + r.Intn(4)) // heavy duplicates
+		}
+		v := make([]byte, r.Intn(24))
+		r.Read(v)
+		l.Add(k, v)
+	}
+	return l
+}
+
+func requireSameList(t *testing.T, what string, want, got *List) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: %d pairs, want %d", what, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		w, g := want.At(i), got.At(i)
+		if !bytes.Equal(w.Key, g.Key) || !bytes.Equal(w.Value, g.Value) {
+			t.Fatalf("%s: pair %d = (%q,%q), want (%q,%q)", what, i, g.Key, g.Value, w.Key, w.Value)
+		}
+	}
+}
+
+// TestPageWriterMatchesEncode: a writer fed the same pairs produces the
+// byte-identical wire image List.Encode would, in both CRC modes — the
+// invariant that lets Aggregate's scatter drop its per-destination scratch
+// lists.
+func TestPageWriterMatchesEncode(t *testing.T) {
+	for _, crc := range []bool{false, true} {
+		t.Run(fmt.Sprintf("crc=%v", crc), func(t *testing.T) {
+			prev := SetPageCRC(crc)
+			defer SetPageCRC(prev)
+			r := rand.New(rand.NewSource(9))
+			for _, n := range []int{0, 1, 50} {
+				l := randomList(r, n, 0)
+				var w PageWriter
+				w.Reset(l.Len(), l.Bytes())
+				for i := 0; i < l.Len(); i++ {
+					w.AddRecord(l.Record(i))
+				}
+				page := w.Finish()
+				want := l.AppendEncoded(nil)
+				if !bytes.Equal(page, want) {
+					t.Fatalf("n=%d: writer page (%d bytes) != Encode image (%d bytes)", n, len(page), len(want))
+				}
+				got, err := Decode(append([]byte(nil), page...))
+				if err != nil {
+					t.Fatalf("n=%d: writer page does not decode: %v", n, err)
+				}
+				requireSameList(t, "decode", l, got)
+				Recycle(page)
+				l.Release()
+			}
+		})
+	}
+}
+
+// TestSegmentedFrameIsSplitEncodeImage: a carved frame (header page, record
+// segments, trailer page in CRC mode) concatenates to exactly the contiguous
+// Encode image, and VerifySegmentedPage + AppendSegment rebuild the original
+// pairs.
+func TestSegmentedFrameIsSplitEncodeImage(t *testing.T) {
+	for _, crc := range []bool{false, true} {
+		t.Run(fmt.Sprintf("crc=%v", crc), func(t *testing.T) {
+			prev := SetPageCRC(crc)
+			defer SetPageCRC(prev)
+			r := rand.New(rand.NewSource(13))
+			l := randomList(r, 200, 0)
+
+			// Carve at arbitrary record boundaries.
+			var frame [][]byte
+			frame = append(frame, CountHeaderPage(l.Len()))
+			seg := GetPage(256)
+			for i := 0; i < l.Len(); i++ {
+				seg = AppendRecord(seg, l.At(i))
+				if r.Intn(5) == 0 {
+					frame = append(frame, seg)
+					seg = GetPage(256)
+				}
+			}
+			if len(seg) > 0 {
+				frame = append(frame, seg)
+			} else {
+				Recycle(seg)
+			}
+			if tr := SegmentsTrailer(frame); tr != nil {
+				frame = append(frame, tr)
+			}
+
+			var concat []byte
+			for _, p := range frame {
+				concat = append(concat, p...)
+			}
+			want := l.AppendEncoded(nil)
+			if !bytes.Equal(concat, want) {
+				t.Fatalf("frame concatenation (%d bytes) != Encode image (%d bytes)", len(concat), len(want))
+			}
+
+			count, segs, err := VerifySegmentedPage(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != l.Len() {
+				t.Fatalf("header count %d, want %d", count, l.Len())
+			}
+			rebuilt := NewList(0)
+			got := 0
+			for _, s := range segs {
+				n, err := rebuilt.AppendSegment(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got += n
+			}
+			if got != count {
+				t.Fatalf("segments held %d pairs, header says %d", got, count)
+			}
+			requireSameList(t, "rebuilt", l, rebuilt)
+			rebuilt.Release()
+			for _, p := range frame {
+				Recycle(p)
+			}
+			l.Release()
+		})
+	}
+}
+
+func TestVerifySegmentedPageRejections(t *testing.T) {
+	if _, _, err := VerifySegmentedPage([][]byte{{1, 2, 3, 4}}); err == nil {
+		t.Fatal("single-page frame accepted")
+	}
+	if _, _, err := VerifySegmentedPage([][]byte{{1, 2, 3}, {}}); err == nil {
+		t.Fatal("3-byte header page accepted")
+	}
+
+	prev := SetPageCRC(true)
+	defer SetPageCRC(prev)
+	l := randomList(rand.New(rand.NewSource(1)), 20, 4)
+	frame := [][]byte{CountHeaderPage(l.Len())}
+	seg := GetPage(64)
+	for i := 0; i < l.Len(); i++ {
+		seg = AppendRecord(seg, l.At(i))
+	}
+	frame = append(frame, seg, SegmentsTrailer([][]byte{frame[0], seg}))
+	if _, _, err := VerifySegmentedPage(frame); err != nil {
+		t.Fatalf("valid CRC frame rejected: %v", err)
+	}
+	// Any damaged byte must surface as a typed integrity error.
+	frame[1][3] ^= 0x10
+	_, _, err := VerifySegmentedPage(frame)
+	if err == nil {
+		t.Fatal("damaged segment accepted")
+	}
+	var ie *IntegrityError
+	if !asIntegrity(err, &ie) {
+		t.Fatalf("damage surfaced as %T (%v), want *IntegrityError", err, err)
+	}
+	frame[1][3] ^= 0x10
+	// A missing trailer page in CRC mode is rejected too.
+	if _, _, err := VerifySegmentedPage(frame[:2]); err == nil {
+		t.Fatal("trailerless frame accepted in CRC mode")
+	}
+	l.Release()
+}
+
+func asIntegrity(err error, out **IntegrityError) bool {
+	ie, ok := err.(*IntegrityError)
+	if ok {
+		*out = ie
+	}
+	return ok
+}
+
+func TestAppendSegmentRejectsTornRecords(t *testing.T) {
+	l := NewList(0)
+	if _, err := l.AppendSegment([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	seg := AppendRecord(nil, KV{Key: []byte("k"), Value: []byte("v")})
+	if _, err := l.AppendSegment(seg[:len(seg)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("failed appends left %d pairs", l.Len())
+	}
+	if n, err := l.AppendSegment(seg); err != nil || n != 1 {
+		t.Fatalf("valid segment: n=%d err=%v", n, err)
+	}
+}
+
+// TestSortRadixMatchesComparison: List.Sort's fixed-width radix fast path is
+// byte-identical to the stable comparison path across key widths, duplicate
+// densities and both sides of the threshold.
+func TestSortRadixMatchesComparison(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, w := range []int{0, 1, 4, 8, 12, 16} { // 0 = variable-width fallback
+		for _, n := range []int{3, 127, 128, 129, 2000} {
+			l := randomList(r, n, w)
+			type pair struct {
+				k, v []byte
+				seq  int
+			}
+			ref := make([]pair, l.Len())
+			for i := 0; i < l.Len(); i++ {
+				kv := l.At(i)
+				ref[i] = pair{k: append([]byte(nil), kv.Key...), v: append([]byte(nil), kv.Value...), seq: i}
+			}
+			sort.SliceStable(ref, func(a, b int) bool { return bytes.Compare(ref[a].k, ref[b].k) < 0 })
+			l.Sort()
+			for i := 0; i < l.Len(); i++ {
+				kv := l.At(i)
+				if !bytes.Equal(kv.Key, ref[i].k) || !bytes.Equal(kv.Value, ref[i].v) {
+					t.Fatalf("w=%d n=%d: pos %d = (%q,%q), want (%q,%q)", w, n, i, kv.Key, kv.Value, ref[i].k, ref[i].v)
+				}
+			}
+			l.Release()
+		}
+	}
+}

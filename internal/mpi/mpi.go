@@ -351,6 +351,85 @@ func (c *Comm) Alltoall(sendBuf [][]byte) ([][]byte, error) {
 	return recv, nil
 }
 
+// sendPages/recvPages translate group indices to cluster ranks for the
+// vectored transport (any tag; the exported wrappers enforce user-tag rules).
+func (c *Comm) sendPages(dstIdx, tag int, pages [][]byte) error {
+	if dstIdx < 0 || dstIdx >= len(c.group) {
+		return fmt.Errorf("mpi: send to invalid group rank %d (size %d)", dstIdx, len(c.group))
+	}
+	return c.rank.SendPages(c.group[dstIdx], tag, pages)
+}
+
+func (c *Comm) recvPages(srcIdx, tag int) ([][]byte, int, error) {
+	src := cluster.AnySource
+	if srcIdx != AnySource {
+		if srcIdx < 0 || srcIdx >= len(c.group) {
+			return nil, 0, fmt.Errorf("mpi: recv from invalid group rank %d (size %d)", srcIdx, len(c.group))
+		}
+		src = c.group[srcIdx]
+	}
+	pages, from, err := c.rank.RecvPages(src, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, ok := c.rev[from]
+	if !ok {
+		return nil, 0, fmt.Errorf("mpi: received message from rank %d outside the group", from)
+	}
+	return pages, idx, nil
+}
+
+// SendPages sends a vectored payload — delivered as one message whose
+// logical bytes are the concatenation of the page slices — to group rank dst
+// (see cluster.Rank.SendPages). Tag rules match Send.
+func (c *Comm) SendPages(dst, tag int, pages [][]byte) error {
+	if tag >= tagCollBase || tag < 0 {
+		return fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
+	}
+	return c.sendPages(dst, tag, pages)
+}
+
+// RecvPages receives one vectored message from group rank src (or AnySource)
+// and returns its page vector and the actual source as a group index. A
+// contiguous message comes back as a one-page vector.
+func (c *Comm) RecvPages(src, tag int) ([][]byte, int, error) {
+	if tag >= tagCollBase || tag < 0 {
+		return nil, 0, fmt.Errorf("mpi: user tag %d out of range [0, %d)", tag, tagCollBase)
+	}
+	return c.recvPages(src, tag)
+}
+
+// AlltoallPages is the vectored all-to-all behind the batched shuffle:
+// sendBuf[i] is the page set bound for rank i, delivered as ONE framed
+// message per (src,dst) pair regardless of page count. Send and receive
+// orders mirror Alltoall exactly — (me+k)%p sends then (me-k+p)%p receives —
+// so a run whose page sets are all singletons is charge-identical to
+// Alltoall of the same bytes on the simulated timeline. The local page set
+// passes through untouched.
+func (c *Comm) AlltoallPages(sendBuf [][][]byte) ([][][]byte, error) {
+	p, me := c.Size(), c.Rank()
+	if len(sendBuf) != p {
+		return nil, fmt.Errorf("mpi: alltoall needs %d buffers, got %d", p, len(sendBuf))
+	}
+	recv := make([][][]byte, p)
+	recv[me] = sendBuf[me]
+	for k := 1; k < p; k++ {
+		dst := (me + k) % p
+		if err := c.sendPages(dst, tagAlltoall, sendBuf[dst]); err != nil {
+			return nil, err
+		}
+	}
+	for k := 1; k < p; k++ {
+		src := (me - k + p) % p
+		pages, _, err := c.recvPages(src, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		recv[src] = pages
+	}
+	return recv, nil
+}
+
 // ReduceFunc combines two partial values into one.
 type ReduceFunc func(a, b []byte) []byte
 

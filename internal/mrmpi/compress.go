@@ -1,0 +1,44 @@
+package mrmpi
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Shuffle wire compression (§III-D).
+//
+// When enabled (PAPAR_SHUFFLE_COMPRESS=1, or SetShuffleCompress, or the
+// papar CLI's -compress flag), Aggregate runs every non-self single-page
+// shuffle frame through the shufcodec transport codec before it enters the
+// CRC32C envelope. Each transported frame then carries a 1-byte mode tag
+// page up front (frameTagRaw / frameTagCSC) so the receiver knows whether to
+// inflate; self-delivery and frames the codec declines (not profitable, or
+// multi-page carved frames from a spilled sender) travel raw behind the tag.
+//
+// The mode is off by default: the tag byte and the compressed images change
+// wire bytes, so fault-free virtual-time results are bit-identical to the
+// uncompressed system only when the codec is off. With it on, results are
+// still value-identical — the codec is lossless over the (key, value)
+// sequence — and deterministic, only cheaper on the simulated wire.
+var shuffleCompressOn atomic.Bool
+
+func init() {
+	if v := os.Getenv("PAPAR_SHUFFLE_COMPRESS"); v != "" && v != "0" && v != "false" {
+		shuffleCompressOn.Store(true)
+	}
+}
+
+// ShuffleCompressEnabled reports whether shuffle frames are compressed.
+func ShuffleCompressEnabled() bool { return shuffleCompressOn.Load() }
+
+// SetShuffleCompress switches the shuffle codec on or off and returns the
+// previous setting. Flip it only between verbs: sender and receiver sides of
+// one Aggregate must agree on the mode.
+func SetShuffleCompress(on bool) (prev bool) { return shuffleCompressOn.Swap(on) }
+
+// Frame mode tags. These pages are shared statics — the merge path never
+// recycles a tag page, whichever buffer it arrives in.
+var (
+	frameTagRaw = []byte{0x00}
+	frameTagCSC = []byte{0x01}
+)

@@ -20,11 +20,13 @@
 package mrmpi
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/hash32"
 	"repro/internal/keyval"
 	"repro/internal/mpi"
+	"repro/internal/shufcodec"
 	"repro/internal/spill"
 	"repro/internal/vtime"
 )
@@ -214,95 +216,280 @@ func (mr *MapReduce) Aggregate(part Partitioner) error {
 	mr.charge(func() vtime.Duration {
 		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(mr.Pairs(), mr.PayloadBytes()))
 	})
-	outbound := make([]*keyval.List, p)
-	for i := range outbound {
-		outbound[i] = keyval.NewListSized(counts[i], sizes[i])
-	}
+	// Scatter pass: assemble ONE framed message per destination. The
+	// in-memory path writes each destination's wire page directly (no
+	// per-destination scratch list or offsets index); the spilled path
+	// carves oversized destinations into page-sized segments of the same
+	// wire image, so neither sender nor receiver ever materializes a frame
+	// as one contiguous allocation larger than a shuffle page.
+	var frames [][][]byte
 	if dsts != nil {
+		writers := make([]keyval.PageWriter, p)
+		for i := range writers {
+			writers[i].Reset(counts[i], sizes[i])
+		}
 		for i := 0; i < mr.kv.Len(); i++ {
-			outbound[dsts[i]].AddKV(mr.kv.At(i))
+			writers[dsts[i]].AddRecord(mr.kv.Record(i))
 		}
 		keyval.PutIndex(dsts)
+		frames = make([][][]byte, p)
+		for i := range writers {
+			frames[i] = [][]byte{writers[i].Finish()}
+		}
 	} else {
-		// Scatter pass streams the spilled state again, recomputing the
-		// (pure) partitioner instead of holding a destination per pair.
-		if err := mr.Each(func(kv keyval.KV) error {
-			outbound[part(kv, p)].AddKV(kv)
-			return nil
-		}); err != nil {
-			for _, l := range outbound {
-				l.Release()
-			}
+		var err error
+		frames, err = mr.scatterSpilled(part, p, counts, sizes)
+		if err != nil {
 			return fmt.Errorf("mrmpi: aggregate: %w", err)
 		}
-		// The outbound pages are pinned for the exchange; a budget overshoot
-		// here is backpressure (a recorded stall), never over-allocation
-		// failure.
-		total := int64(0)
-		for _, s := range sizes {
-			total += int64(s)
+	}
+	me := mr.comm.Rank()
+	compress := ShuffleCompressEnabled()
+	if compress {
+		for d := range frames {
+			if d == me {
+				continue
+			}
+			if len(frames[d]) == 1 {
+				if packed, ok := shufcodec.EncodePage(frames[d][0]); ok {
+					keyval.Recycle(frames[d][0])
+					frames[d] = [][]byte{frameTagCSC, packed}
+					continue
+				}
+			}
+			// Not profitable, or a carved multi-page frame: send raw
+			// behind the mode tag.
+			frames[d] = append([][]byte{frameTagRaw}, frames[d]...)
 		}
-		if mr.budget > 0 && total > mr.budget {
-			mr.spill.RecordStall(total - mr.budget)
-		}
 	}
-	// Encode is a zero-copy lease of each outbound page; ownership of the
-	// wire buffers passes to the receiving rank, which recycles them after
-	// the merge below.
-	bufs := make([][]byte, p)
-	for i, l := range outbound {
-		bufs[i] = l.Encode()
-	}
-	var recv [][]byte
-	var err error
-	if mr.transport == PointToPoint {
-		recv, err = mr.exchangeP2P(bufs)
-	} else {
-		recv, err = mr.comm.Alltoall(bufs)
-	}
+	recv, err := mr.exchangePages(frames)
 	if err != nil {
 		return fmt.Errorf("mrmpi: aggregate: %w", err)
 	}
-	lists := make([]*keyval.List, 0, p)
-	totalPairs, totalBytes := 0, 0
-	for _, b := range recv {
-		l, err := keyval.Decode(b)
-		if err != nil {
-			return fmt.Errorf("mrmpi: aggregate decode: %w", err)
+	return mr.mergeFrames(recv, compress)
+}
+
+// shufflePageBytes bounds one carved page of a spilled sender's outbound
+// frame — the disk tier's frame size, so shuffle paging and spill paging
+// pin comparable amounts of memory.
+const shufflePageBytes = spill.DefaultFrameBytes
+
+// scatterSpilled is the out-of-core scatter pass: it streams the spilled
+// state (recomputing the pure partitioner instead of holding a destination
+// per pair) into per-destination frames. Destinations whose full page fits
+// in one shuffle page get a single complete wire image; larger destinations
+// are carved into a segmented frame (count-header page, record segments,
+// chained integrity trailer in CRC mode) whose concatenation is
+// byte-identical to the single-page image — so wire bytes, and therefore
+// the simulated timeline, match the unconstrained in-memory run exactly.
+func (mr *MapReduce) scatterSpilled(part Partitioner, p int, counts, sizes []int) ([][][]byte, error) {
+	writers := make([]keyval.PageWriter, p)
+	segs := make([][][]byte, p)
+	cur := make([][]byte, p)
+	small := make([]bool, p)
+	for d := 0; d < p; d++ {
+		if 4+sizes[d] <= shufflePageBytes {
+			small[d] = true
+			writers[d].Reset(counts[d], sizes[d])
+		} else {
+			cur[d] = keyval.GetPage(shufflePageBytes)
 		}
-		lists = append(lists, l)
-		totalPairs += l.Len()
-		totalBytes += l.Bytes()
 	}
-	var newRuns []*spill.Run
+	if err := mr.Each(func(kv keyval.KV) error {
+		d := part(kv, p)
+		if small[d] {
+			writers[d].Add(kv.Key, kv.Value)
+			return nil
+		}
+		cur[d] = keyval.AppendRecord(cur[d], kv)
+		if len(cur[d]) >= shufflePageBytes {
+			segs[d] = append(segs[d], cur[d])
+			cur[d] = keyval.GetPage(shufflePageBytes)
+		}
+		return nil
+	}); err != nil {
+		for d := 0; d < p; d++ {
+			if small[d] {
+				keyval.Recycle(writers[d].Finish())
+				continue
+			}
+			for _, s := range segs[d] {
+				keyval.Recycle(s)
+			}
+			keyval.Recycle(cur[d])
+		}
+		return nil, err
+	}
+	frames := make([][][]byte, p)
+	for d := 0; d < p; d++ {
+		if small[d] {
+			frames[d] = [][]byte{writers[d].Finish()}
+			continue
+		}
+		if len(cur[d]) > 0 {
+			segs[d] = append(segs[d], cur[d])
+		} else {
+			keyval.Recycle(cur[d])
+		}
+		frame := append([][]byte{keyval.CountHeaderPage(counts[d])}, segs[d]...)
+		if tr := keyval.SegmentsTrailer(frame); tr != nil {
+			frame = append(frame, tr)
+		}
+		frames[d] = frame
+	}
+	// The outbound frames are pinned for the exchange; a budget overshoot
+	// here is backpressure (a recorded stall), never over-allocation
+	// failure.
+	total := int64(0)
+	for _, s := range sizes {
+		total += int64(s)
+	}
+	if mr.budget > 0 && total > mr.budget {
+		mr.spill.RecordStall(total - mr.budget)
+	}
+	return frames, nil
+}
+
+// frameShape reads a received frame's pair count and payload bytes from its
+// framing alone (every frame leads with its count header), so the merge
+// target can be allocated at its exact final size without a decode prepass.
+// For compressed frames the pair count is exact and the byte figure is the
+// compressed size — a lower bound that append growth absorbs. Malformed
+// frames report zero; the merge proper rejects them.
+func frameShape(pages [][]byte, tagged bool) (pairs, payload int) {
+	if tagged {
+		if len(pages) < 2 || len(pages[0]) != 1 {
+			return 0, 0
+		}
+		if pages[0][0] == frameTagCSC[0] {
+			if len(pages[1]) < 4 {
+				return 0, 0
+			}
+			return int(binary.LittleEndian.Uint32(pages[1])), len(pages[1])
+		}
+		pages = pages[1:]
+	}
+	if len(pages) == 0 || len(pages[0]) < 4 {
+		return 0, 0
+	}
+	total := 0
+	for _, pg := range pages {
+		total += len(pg)
+	}
+	return int(binary.LittleEndian.Uint32(pages[0])), total - keyval.PageOverhead()
+}
+
+// recycleFrame returns a received frame's pages to the pool, skipping the
+// 1-byte mode tag page (a shared static, never pooled) on tagged frames.
+func recycleFrame(pages [][]byte, tagged bool) {
+	if tagged && len(pages) > 0 && len(pages[0]) == 1 {
+		pages = pages[1:]
+	}
+	for _, pg := range pages {
+		keyval.Recycle(pg)
+	}
+}
+
+// mergeFrames folds the received frames into the new local KV state in
+// ascending source order — the same merge order as the unbatched shuffle.
+// Single-page frames take the normal Decode path; segmented frames are
+// validated and appended segment by segment (with a budget check after each,
+// so the resident set grows by at most one shuffle page between spills);
+// compressed frames inflate through the codec first.
+func (mr *MapReduce) mergeFrames(recv [][][]byte, compress bool) error {
+	p, me := mr.comm.Size(), mr.comm.Rank()
 	var merged *keyval.List
 	if mr.budget > 0 && mr.spill != nil {
 		merged = keyval.NewList(0)
 	} else {
+		totalPairs, totalBytes := 0, 0
+		for src, pages := range recv {
+			pr, by := frameShape(pages, compress && src != me)
+			totalPairs += pr
+			totalBytes += by
+		}
 		merged = keyval.NewListSized(totalPairs, totalBytes)
 	}
-	for i, l := range lists {
-		merged.AppendList(l)
-		// Releasing the decoded view also recycles the wire buffer it
-		// aliases — the single hand-back of each received page.
-		l.Release()
+	var newRuns []*spill.Run
+	// abort unwinds mid-merge: pages of frames [from, p) go back to the
+	// pool (the current frame passes from=src while its pages are still
+	// unrecycled), and the partial merge state is torn down.
+	abort := func(from int, err error) error {
+		for s := from; s < p; s++ {
+			recycleFrame(recv[s], compress && s != me)
+		}
+		merged.Release()
+		mr.clearRuns(newRuns)
+		return err
+	}
+	checkBudget := func(abortFrom int) error {
 		if mr.overBudget(merged) {
 			var serr error
 			newRuns, merged, serr = mr.spillHot(newRuns, merged)
 			if serr != nil {
-				for _, rest := range lists[i+1:] {
-					rest.Release()
-				}
-				for _, ol := range outbound {
-					ol.Release()
-				}
-				mr.clearRuns(newRuns)
-				return fmt.Errorf("mrmpi: aggregate spill: %w", serr)
+				return abort(abortFrom, fmt.Errorf("mrmpi: aggregate spill: %w", serr))
 			}
 		}
+		return nil
 	}
-	for _, l := range outbound {
-		l.Release()
+	for src := 0; src < p; src++ {
+		pages := recv[src]
+		if compress && src != me {
+			if len(pages) < 2 || len(pages[0]) != 1 {
+				return abort(src, fmt.Errorf("mrmpi: aggregate: malformed tagged frame from rank %d", src))
+			}
+			tag := pages[0][0]
+			pages = pages[1:]
+			if tag == frameTagCSC[0] {
+				if len(pages) != 1 {
+					return abort(src, fmt.Errorf("mrmpi: aggregate: compressed frame from rank %d has %d pages", src, len(pages)))
+				}
+				l, derr := shufcodec.DecodePage(pages[0])
+				if derr != nil {
+					return abort(src, fmt.Errorf("mrmpi: aggregate inflate: %w", derr))
+				}
+				keyval.Recycle(pages[0])
+				merged.AppendList(l)
+				l.Release()
+				if err := checkBudget(src + 1); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if len(pages) == 1 {
+			l, derr := keyval.Decode(pages[0])
+			if derr != nil {
+				return abort(src, fmt.Errorf("mrmpi: aggregate decode: %w", derr))
+			}
+			merged.AppendList(l)
+			// Releasing the decoded view also recycles the wire buffer it
+			// aliases — the single hand-back of each received page.
+			l.Release()
+			if err := checkBudget(src + 1); err != nil {
+				return err
+			}
+			continue
+		}
+		count, frameSegs, derr := keyval.VerifySegmentedPage(pages)
+		if derr != nil {
+			return abort(src, fmt.Errorf("mrmpi: aggregate decode: %w", derr))
+		}
+		got := 0
+		for _, seg := range frameSegs {
+			n, aerr := merged.AppendSegment(seg)
+			if aerr != nil {
+				return abort(src, fmt.Errorf("mrmpi: aggregate decode: %w", aerr))
+			}
+			got += n
+			if err := checkBudget(src); err != nil {
+				return err
+			}
+		}
+		if got != count {
+			return abort(src, fmt.Errorf("mrmpi: aggregate decode: segmented frame from rank %d holds %d pairs, header says %d", src, got, count))
+		}
+		recycleFrame(recv[src], compress && src != me)
 	}
 	mr.clearRuns(mr.runs)
 	mr.runs = newRuns
@@ -315,39 +502,41 @@ func (mr *MapReduce) Aggregate(part Partitioner) error {
 // shuffleTag is the user tag the point-to-point shuffle uses.
 const shuffleTag = 7001
 
-// exchangeP2P performs the personalized exchange with non-blocking
-// point-to-point operations: post every Irecv, fire every Isend, then Wait
-// — the raw-MPI shuffle of §III-D.
-func (mr *MapReduce) exchangeP2P(bufs [][]byte) ([][]byte, error) {
-	p, me := mr.comm.Size(), mr.comm.Rank()
-	recvReqs := make([]*mpi.Request, p)
-	for src := 0; src < p; src++ {
-		if src == me {
-			continue
-		}
-		recvReqs[src] = mr.comm.Irecv(src, shuffleTag)
+// exchangePages moves one framed message per (src, dst) pair through the
+// selected transport.
+func (mr *MapReduce) exchangePages(frames [][][]byte) ([][][]byte, error) {
+	if mr.transport == PointToPoint {
+		return mr.exchangeP2PPages(frames)
 	}
-	sendReqs := make([]*mpi.Request, 0, p-1)
+	return mr.comm.AlltoallPages(frames)
+}
+
+// exchangeP2PPages performs the personalized exchange with point-to-point
+// operations — the raw-MPI shuffle of §III-D. Sends fire in ascending
+// destination order and receives complete in ascending source order,
+// matching the eager-Isend + ordered-Wait schedule of the unbatched
+// implementation, so the virtual timeline is unchanged.
+func (mr *MapReduce) exchangeP2PPages(frames [][][]byte) ([][][]byte, error) {
+	p, me := mr.comm.Size(), mr.comm.Rank()
+	out := make([][][]byte, p)
+	out[me] = frames[me]
 	for dst := 0; dst < p; dst++ {
 		if dst == me {
 			continue
 		}
-		sendReqs = append(sendReqs, mr.comm.Isend(dst, shuffleTag, bufs[dst]))
+		if err := mr.comm.SendPages(dst, shuffleTag, frames[dst]); err != nil {
+			return nil, err
+		}
 	}
-	if err := mpi.WaitAll(sendReqs...); err != nil {
-		return nil, err
-	}
-	out := make([][]byte, p)
-	out[me] = bufs[me]
 	for src := 0; src < p; src++ {
 		if src == me {
 			continue
 		}
-		b, _, err := recvReqs[src].Wait()
+		pages, _, err := mr.comm.RecvPages(src, shuffleTag)
 		if err != nil {
 			return nil, err
 		}
-		out[src] = b
+		out[src] = pages
 	}
 	return out, nil
 }

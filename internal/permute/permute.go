@@ -115,10 +115,21 @@ func ApplySlice[T any](p *Matrix, in []T) ([]T, error) {
 		return nil, fmt.Errorf("permute: vector length %d does not match matrix size %d", len(in), p.Size())
 	}
 	out := make([]T, len(in))
-	for i, src := range p.perm {
-		out[i] = in[src]
-	}
+	GatherInto(out, in, p.perm)
 	return out, nil
+}
+
+// GatherInto is the gather kernel every permutation application in this
+// package reduces to: dst[i] = src[perm[i]] for i in [0, len(perm)). It is
+// exported so record-level sorts (the aspas radix passes, keyval's offset
+// sorts) can route their reorder steps through the same machinery a
+// distribution matrix uses, instead of growing private copies. perm indices
+// are not validated — callers own permutations built by construction; dst
+// must have at least len(perm) elements.
+func GatherInto[T any, I ~int | ~int32](dst, src []T, perm []I) {
+	for i, s := range perm {
+		dst[i] = src[s]
+	}
 }
 
 // Inverse returns the inverse permutation matrix.

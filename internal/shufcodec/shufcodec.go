@@ -1,0 +1,416 @@
+// Package shufcodec is the opt-in transport codec behind PaPar's §III-D
+// communication optimization: "similar to compressed sparse column (CSC)
+// format", the redundancy in grouped-triple shuffle payloads is packed out
+// of the wire bytes before the page enters the transport's CRC32C envelope,
+// and reconstructed byte-exactly on the receiving rank.
+//
+// The redundancy the paper exploits is visible in the hybrid-cut workflow's
+// distribute shuffle: low-degree edges travel as packed groups — every
+// member row of a group repeats the group's vertex (the paper's column
+// index) and any group-constant addon such as the in-degree — and every
+// record in a destination page repeats the same 4-byte bucket key. The codec
+// removes exactly that:
+//
+//   - Keys are run-length encoded: one (runLen, key) header per run of
+//     consecutive equal keys.
+//   - A value that parses as a packed-group entry (the core engine's tag-1
+//     EncodeGroup format) with >= 2 same-arity rows is re-encoded CSC-style:
+//     columns whose encoded bytes are identical across all member rows are
+//     stored once, variable columns per row; per-row length prefixes are
+//     dropped (they are recomputed on decode, the encoders being
+//     deterministic). Anything else is stored as a literal.
+//
+// Profitability is checked per page: EncodePage declines (ok=false) unless
+// the compressed image is strictly smaller, so pathological inputs never
+// grow on the wire. The codec is lossless at the KV level — DecodePage
+// yields the identical (key, value) sequence, so partitions and replays are
+// bit-identical with the codec on or off; only wire bytes (and therefore
+// simulated transfer time) shrink.
+//
+// Compressed page layout (sealed with the keyval integrity trailer when
+// page CRC mode is on; the count header sits where every page's count sits,
+// so FinishPage/VerifySealedPage apply unchanged):
+//
+//	uint32 count
+//	repeat{ uint32 runLen | uint32 klen | key | runLen x cval }
+//
+//	cval := 0x00 | uint32 vlen | value bytes            (literal)
+//	      | 0x01 | gkey-val | uint32 nrows | uint8 arity
+//	             | uint64 constMask | const col vals | per-row var col vals
+//
+// where "val" spans are the core engine's self-delimiting encodeValue
+// bytes (tag 0: 8-byte LE int; tag 1: uint32 len + string bytes), copied
+// verbatim so reconstruction is byte-exact.
+package shufcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/keyval"
+)
+
+const (
+	cvalLiteral = 0x00
+	cvalGroup   = 0x01
+
+	// entryGroupTag is the core engine's packed-group entry marker (the
+	// byte runDistribute prefixes to EncodeGroup output). The codec parses
+	// that format structurally; values that do not match stay literals.
+	entryGroupTag = 0x01
+
+	// maxArity bounds the constant-column bitmap.
+	maxArity = 64
+)
+
+// valLen returns the length of one self-delimiting encodeValue span at the
+// start of b, or -1 if b does not start with a well-formed span.
+func valLen(b []byte) int {
+	if len(b) < 1 {
+		return -1
+	}
+	switch b[0] {
+	case 0x00: // int64, 8 bytes LE
+		if len(b) < 9 {
+			return -1
+		}
+		return 9
+	case 0x01: // string, uint32 len + bytes
+		if len(b) < 5 {
+			return -1
+		}
+		n := 5 + int(binary.LittleEndian.Uint32(b[1:]))
+		if n < 5 || len(b) < n {
+			return -1
+		}
+		return n
+	default:
+		return -1
+	}
+}
+
+// group is a structurally parsed packed-group entry: the group key's
+// encoded bytes and every row's column spans (row-major).
+type group struct {
+	gkey  []byte
+	arity int
+	nrows int
+	cols  [][]byte // cols[r*arity+c]
+}
+
+// parseGroupEntry parses v as a tag-1 packed-group entry with >= 2 rows of
+// equal arity (<= maxArity). ok=false on any structural mismatch, including
+// trailing bytes — the codec only transforms values it can rebuild exactly.
+func parseGroupEntry(v []byte) (g group, ok bool) {
+	if len(v) < 1 || v[0] != entryGroupTag {
+		return g, false
+	}
+	p := 1
+	kl := valLen(v[p:])
+	if kl < 0 {
+		return g, false
+	}
+	g.gkey = v[p : p+kl]
+	p += kl
+	if len(v)-p < 4 {
+		return g, false
+	}
+	n := int(binary.LittleEndian.Uint32(v[p:]))
+	p += 4
+	if n < 2 || n > len(v) { // each row costs >= 1 byte; cheap hostile-count guard
+		return g, false
+	}
+	for r := 0; r < n; r++ {
+		if len(v)-p < 4 {
+			return g, false
+		}
+		rowLen := int(binary.LittleEndian.Uint32(v[p:]))
+		p += 4
+		if rowLen < 4 || len(v)-p < rowLen {
+			return g, false
+		}
+		row := v[p : p+rowLen]
+		arity := int(binary.LittleEndian.Uint32(row))
+		if r == 0 {
+			if arity < 1 || arity > maxArity {
+				return g, false
+			}
+			g.arity = arity
+			g.cols = make([][]byte, 0, n*arity)
+		} else if arity != g.arity {
+			return g, false
+		}
+		q := 4
+		for c := 0; c < g.arity; c++ {
+			cl := valLen(row[q:])
+			if cl < 0 {
+				return g, false
+			}
+			g.cols = append(g.cols, row[q:q+cl])
+			q += cl
+		}
+		if q != rowLen {
+			return g, false
+		}
+		p += rowLen
+	}
+	if p != len(v) {
+		return g, false
+	}
+	g.nrows = n
+	return g, true
+}
+
+// constMask returns the bitmap of columns whose encoded bytes are identical
+// across every row, plus the CSC payload size those choices produce.
+func (g *group) constMask() (mask uint64, cscSize int) {
+	cscSize = 1 + len(g.gkey) + 4 + 1 + 8
+	for c := 0; c < g.arity; c++ {
+		ref := g.cols[c]
+		isConst := true
+		for r := 1; r < g.nrows; r++ {
+			if !bytes.Equal(g.cols[r*g.arity+c], ref) {
+				isConst = false
+				break
+			}
+		}
+		if isConst {
+			mask |= 1 << uint(c)
+			cscSize += len(ref)
+		} else {
+			for r := 0; r < g.nrows; r++ {
+				cscSize += len(g.cols[r*g.arity+c])
+			}
+		}
+	}
+	return mask, cscSize
+}
+
+// appendCval appends one compressed value: CSC form when the value is a
+// packed group and CSC is strictly smaller, literal otherwise.
+func appendCval(dst []byte, v []byte) []byte {
+	if g, ok := parseGroupEntry(v); ok {
+		mask, cscSize := g.constMask()
+		if cscSize < 5+len(v) {
+			dst = append(dst, cvalGroup)
+			dst = append(dst, g.gkey...)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(g.nrows))
+			dst = append(dst, byte(g.arity))
+			dst = binary.LittleEndian.AppendUint64(dst, mask)
+			for c := 0; c < g.arity; c++ {
+				if mask&(1<<uint(c)) != 0 {
+					dst = append(dst, g.cols[c]...)
+				}
+			}
+			for r := 0; r < g.nrows; r++ {
+				for c := 0; c < g.arity; c++ {
+					if mask&(1<<uint(c)) == 0 {
+						dst = append(dst, g.cols[r*g.arity+c]...)
+					}
+				}
+			}
+			return dst
+		}
+	}
+	dst = append(dst, cvalLiteral)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+// EncodePage compresses one wire page image (the keyval Encode format,
+// integrity trailer included when page CRC mode is on). It returns the
+// compressed page — a pooled buffer, sealed in CRC mode, ready for the
+// transport; recycle it with keyval.Recycle — and ok=true only when the
+// result is strictly smaller than the input. ok=false means "send the
+// original"; the input page is never consumed or modified.
+func EncodePage(page []byte) ([]byte, bool) {
+	body, err := keyval.VerifySealedPage(page)
+	if err != nil || len(body) < 4 {
+		return nil, false
+	}
+	count := binary.LittleEndian.Uint32(body)
+	if count == 0 {
+		return nil, false
+	}
+	out := append(keyval.GetPage(len(page)), 0, 0, 0, 0)
+	pos := 4
+	var runKey []byte
+	haveRun := false
+	// Run assembly: cvals accumulate in scratch until the key changes, then
+	// the run header and body flush to out together.
+	scratch := keyval.GetPage(1 << 12)
+	runLen := 0
+	flush := func() {
+		if !haveRun {
+			return
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(runLen))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(runKey)))
+		out = append(out, runKey...)
+		out = append(out, scratch...)
+		scratch = scratch[:0]
+		runLen = 0
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(body)-pos < 8 {
+			keyval.Recycle(out)
+			keyval.Recycle(scratch)
+			return nil, false
+		}
+		k := int(binary.LittleEndian.Uint32(body[pos:]))
+		v := int(binary.LittleEndian.Uint32(body[pos+4:]))
+		if len(body)-pos < 8+k+v {
+			keyval.Recycle(out)
+			keyval.Recycle(scratch)
+			return nil, false
+		}
+		key := body[pos+8 : pos+8+k]
+		val := body[pos+8+k : pos+8+k+v]
+		pos += 8 + k + v
+		if !haveRun || !bytes.Equal(key, runKey) {
+			flush()
+			runKey, haveRun = key, true
+		}
+		scratch = appendCval(scratch, val)
+		runLen++
+	}
+	flush()
+	keyval.Recycle(scratch)
+	if pos != len(body) {
+		keyval.Recycle(out)
+		return nil, false
+	}
+	out = keyval.FinishPage(out, 0, int(count))
+	if len(out) >= len(page) {
+		keyval.Recycle(out)
+		return nil, false
+	}
+	return out, true
+}
+
+// DecodePage inflates a compressed page back into an owned keyval.List
+// holding the identical (key, value) sequence the sender compressed. The
+// input buffer is not consumed; the caller recycles it. Structural damage
+// surfaces as an error (the transport envelope and, in CRC mode, the page
+// trailer make that unreachable for wire corruption — see DESIGN.md).
+func DecodePage(buf []byte) (*keyval.List, error) {
+	body, err := keyval.VerifySealedPage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("shufcodec: %w", err)
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("shufcodec: short page (%d bytes)", len(body))
+	}
+	count := int(binary.LittleEndian.Uint32(body))
+	prealloc := count
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	l := keyval.NewList(prealloc)
+	pos := 4
+	var vbuf []byte              // reconstructed group value scratch
+	rowCols := make([][]byte, 0) // per-row column spans scratch
+	var constCols [maxArity][]byte
+	remaining := count
+	for remaining > 0 {
+		if len(body)-pos < 8 {
+			return nil, fmt.Errorf("shufcodec: truncated run header")
+		}
+		runLen := int(binary.LittleEndian.Uint32(body[pos:]))
+		klen := int(binary.LittleEndian.Uint32(body[pos+4:]))
+		pos += 8
+		if runLen <= 0 || runLen > remaining {
+			return nil, fmt.Errorf("shufcodec: bad run length %d (%d pairs remaining)", runLen, remaining)
+		}
+		if klen < 0 || len(body)-pos < klen {
+			return nil, fmt.Errorf("shufcodec: truncated run key")
+		}
+		key := body[pos : pos+klen]
+		pos += klen
+		for j := 0; j < runLen; j++ {
+			if len(body)-pos < 1 {
+				return nil, fmt.Errorf("shufcodec: truncated value tag")
+			}
+			tag := body[pos]
+			pos++
+			switch tag {
+			case cvalLiteral:
+				if len(body)-pos < 4 {
+					return nil, fmt.Errorf("shufcodec: truncated literal header")
+				}
+				vlen := int(binary.LittleEndian.Uint32(body[pos:]))
+				pos += 4
+				if vlen < 0 || len(body)-pos < vlen {
+					return nil, fmt.Errorf("shufcodec: truncated literal value")
+				}
+				l.Add(key, body[pos:pos+vlen])
+				pos += vlen
+			case cvalGroup:
+				kl := valLen(body[pos:])
+				if kl < 0 {
+					return nil, fmt.Errorf("shufcodec: bad group key span")
+				}
+				gkey := body[pos : pos+kl]
+				pos += kl
+				if len(body)-pos < 4+1+8 {
+					return nil, fmt.Errorf("shufcodec: truncated group header")
+				}
+				nrows := int(binary.LittleEndian.Uint32(body[pos:]))
+				arity := int(body[pos+4])
+				mask := binary.LittleEndian.Uint64(body[pos+5:])
+				pos += 13
+				if nrows < 1 || nrows > len(body) || arity < 1 || arity > maxArity {
+					return nil, fmt.Errorf("shufcodec: bad group shape (%d rows, arity %d)", nrows, arity)
+				}
+				for c := 0; c < arity; c++ {
+					constCols[c] = nil
+					if mask&(1<<uint(c)) != 0 {
+						cl := valLen(body[pos:])
+						if cl < 0 {
+							return nil, fmt.Errorf("shufcodec: bad constant column span")
+						}
+						constCols[c] = body[pos : pos+cl]
+						pos += cl
+					}
+				}
+				// Rebuild the exact tag-1 entry: per-row length prefixes are
+				// recomputed from the reassembled column spans.
+				vbuf = vbuf[:0]
+				vbuf = append(vbuf, entryGroupTag)
+				vbuf = append(vbuf, gkey...)
+				vbuf = binary.LittleEndian.AppendUint32(vbuf, uint32(nrows))
+				for r := 0; r < nrows; r++ {
+					rowCols = rowCols[:0]
+					rowLen := 4
+					for c := 0; c < arity; c++ {
+						span := constCols[c]
+						if span == nil {
+							cl := valLen(body[pos:])
+							if cl < 0 {
+								return nil, fmt.Errorf("shufcodec: bad row column span")
+							}
+							span = body[pos : pos+cl]
+							pos += cl
+						}
+						rowCols = append(rowCols, span)
+						rowLen += len(span)
+					}
+					vbuf = binary.LittleEndian.AppendUint32(vbuf, uint32(rowLen))
+					vbuf = binary.LittleEndian.AppendUint32(vbuf, uint32(arity))
+					for _, span := range rowCols {
+						vbuf = append(vbuf, span...)
+					}
+				}
+				l.Add(key, vbuf)
+			default:
+				return nil, fmt.Errorf("shufcodec: unknown value tag 0x%02x", tag)
+			}
+		}
+		remaining -= runLen
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("shufcodec: %d trailing bytes", len(body)-pos)
+	}
+	return l, nil
+}

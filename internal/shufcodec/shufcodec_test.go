@@ -1,0 +1,229 @@
+package shufcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/keyval"
+)
+
+// Test-side mirrors of the core engine's deterministic value/row/group
+// encoders, so codec tests exercise exactly the wire shapes the hybrid-cut
+// distribute job ships.
+func encInt(v int64) []byte {
+	out := []byte{0x00}
+	return binary.LittleEndian.AppendUint64(out, uint64(v))
+}
+
+func encStr(s string) []byte {
+	out := []byte{0x01}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+	return append(out, s...)
+}
+
+func encRow(cols ...[]byte) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(cols)))
+	for _, c := range cols {
+		out = append(out, c...)
+	}
+	return out
+}
+
+func encGroupEntry(gkey []byte, rows ...[]byte) []byte {
+	out := []byte{entryGroupTag}
+	out = append(out, gkey...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(rows)))
+	for _, r := range rows {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(r)))
+		out = append(out, r...)
+	}
+	return out
+}
+
+func encRowEntry(cols ...[]byte) []byte {
+	return append([]byte{0x00}, encRow(cols...)...)
+}
+
+// groupPage builds a grouped-triple shuffle page like the distribute job's:
+// runs of equal 4-byte bucket keys, values alternating packed groups (with a
+// constant vertex column and constant indegree) and literal rows.
+func groupPage(r *rand.Rand, pairs int) *keyval.List {
+	l := keyval.NewList(pairs)
+	bucket := uint32(0)
+	for i := 0; i < pairs; i++ {
+		if r.Intn(4) == 0 {
+			bucket++
+		}
+		key := binary.LittleEndian.AppendUint32(nil, bucket)
+		if r.Intn(3) == 0 {
+			l.Add(key, encRowEntry(encStr("12345"), encStr("678"), encInt(7)))
+			continue
+		}
+		n := 2 + r.Intn(6)
+		gk := encStr("group-vertex-9999")
+		indeg := encInt(int64(n))
+		rows := make([][]byte, n)
+		for j := range rows {
+			rows[j] = encRow(encStr("outv"), gk, indeg)
+		}
+		l.Add(key, encGroupEntry(gk, rows...))
+	}
+	return l
+}
+
+func listsEqual(t *testing.T, want, got *keyval.List) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		w, g := want.At(i), got.At(i)
+		if !bytes.Equal(w.Key, g.Key) || !bytes.Equal(w.Value, g.Value) {
+			t.Fatalf("pair %d diverged: (%q,%q) vs (%q,%q)", i, w.Key, w.Value, g.Key, g.Value)
+		}
+	}
+}
+
+func TestRoundTripGroupedPage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	l := groupPage(r, 500)
+	page := l.AppendEncoded(nil)
+	packed, ok := EncodePage(page)
+	if !ok {
+		t.Fatal("grouped page did not compress")
+	}
+	if len(packed) >= len(page) {
+		t.Fatalf("compressed %d bytes >= raw %d", len(packed), len(page))
+	}
+	got, err := DecodePage(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listsEqual(t, l, got)
+	got.Release()
+	keyval.Recycle(packed)
+	l.Release()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		pairs := 1 + r.Intn(300)
+		l := groupPage(r, pairs)
+		// Salt with arbitrary pairs: random keys/values that must survive as
+		// literals, including empty and group-tag-prefixed garbage.
+		for i := 0; i < r.Intn(20); i++ {
+			k := make([]byte, r.Intn(12))
+			v := make([]byte, r.Intn(40))
+			r.Read(k)
+			r.Read(v)
+			l.Add(k, v)
+		}
+		page := l.AppendEncoded(nil)
+		packed, ok := EncodePage(page)
+		if !ok {
+			l.Release()
+			continue // not profitable this trial — valid outcome
+		}
+		got, err := DecodePage(packed)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		listsEqual(t, l, got)
+		got.Release()
+		keyval.Recycle(packed)
+		l.Release()
+	}
+}
+
+func TestDeclinesUnprofitablePage(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	l := keyval.NewList(64)
+	for i := 0; i < 64; i++ {
+		k := make([]byte, 16)
+		v := make([]byte, 32)
+		r.Read(k)
+		r.Read(v)
+		l.Add(k, v) // unique random keys, incompressible values
+	}
+	page := l.AppendEncoded(nil)
+	if packed, ok := EncodePage(page); ok {
+		t.Fatalf("random page claimed to compress to %d of %d bytes", len(packed), len(page))
+	}
+	l.Release()
+}
+
+func TestDeclinesEmptyAndMalformed(t *testing.T) {
+	empty := keyval.NewList(0)
+	page := empty.AppendEncoded(nil)
+	if _, ok := EncodePage(page); ok {
+		t.Fatal("empty page compressed")
+	}
+	empty.Release()
+	if _, ok := EncodePage(nil); ok {
+		t.Fatal("nil page compressed")
+	}
+	if _, ok := EncodePage([]byte{1, 2}); ok {
+		t.Fatal("short page compressed")
+	}
+}
+
+func TestRoundTripWithPageCRC(t *testing.T) {
+	prev := keyval.SetPageCRC(true)
+	defer keyval.SetPageCRC(prev)
+	r := rand.New(rand.NewSource(11))
+	l := groupPage(r, 300)
+	page := l.AppendEncoded(nil)
+	packed, ok := EncodePage(page)
+	if !ok {
+		t.Fatal("grouped page did not compress in CRC mode")
+	}
+	got, err := DecodePage(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listsEqual(t, l, got)
+	got.Release()
+
+	// Damage must be caught by the compressed page's own trailer.
+	packed[len(packed)/2] ^= 0x40
+	if _, err := DecodePage(packed); err == nil {
+		t.Fatal("corrupted compressed page decoded")
+	}
+	keyval.Recycle(packed)
+	l.Release()
+}
+
+func TestDecodeRejectsStructuralDamage(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	l := groupPage(r, 100)
+	page := l.AppendEncoded(nil)
+	packed, ok := EncodePage(page)
+	if !ok {
+		t.Fatal("page did not compress")
+	}
+	l.Release()
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), packed...)
+		switch trial % 3 {
+		case 0:
+			mut[4+r.Intn(len(mut)-4)] ^= 1 << uint(r.Intn(8))
+		case 1:
+			mut = mut[:4+r.Intn(len(mut)-4)]
+		case 2:
+			mut = append(mut, byte(r.Intn(256)))
+		}
+		got, err := DecodePage(mut)
+		if err == nil {
+			// A benign flip (e.g. inside a literal's bytes) can still decode
+			// — it must at least preserve the pair count.
+			if got.Len() != 100 {
+				t.Fatalf("trial %d: damaged page decoded to %d pairs", trial, got.Len())
+			}
+			got.Release()
+		}
+	}
+	keyval.Recycle(packed)
+}
