@@ -12,6 +12,12 @@
 // Flags:
 //
 //	-plan        print the compiled job plan and exit (no execution)
+//	-optimize    run the plan optimizer before executing: fuse adjacent
+//	             shuffle-free jobs, elide compatible shuffles, and bind any
+//	             "auto" distribution policy / split threshold from sampled
+//	             input statistics (byte-identical output, lower makespan)
+//	-explain     print the optimizer's rewrite report (rules fired, cost
+//	             model scores, predicted makespans); implies -optimize
 //	-emit-go     print the generated Go source and exit
 //	-faults      seeded fault plan (crash/drop/dup/delay/corrupt/straggle/
 //	             ckptloss/enospc/tornwrite/diskrot/slowdisk); the run
@@ -38,6 +44,8 @@ import (
 	"repro/internal/hadoop"
 	"repro/internal/mrmpi"
 	"repro/internal/obsv"
+	"repro/internal/planopt"
+	"repro/internal/vtime"
 )
 
 // argList collects repeated -arg name=value flags.
@@ -71,6 +79,8 @@ func run() error {
 		backend    = flag.String("backend", "mrmpi", `execution backend: "mrmpi" (simulated cluster) or "hadoop" (disk-based engine)`)
 		workDir    = flag.String("workdir", "", "working directory for the hadoop backend (default: temp dir)")
 		planOnly   = flag.Bool("plan", false, "print the compiled plan and exit")
+		optimize   = flag.Bool("optimize", false, "rewrite the plan with the cost-based optimizer before executing (fusion, shuffle elision, auto policy binding)")
+		explain    = flag.Bool("explain", false, "print the optimizer's rewrite report (implies -optimize)")
 		emitGo     = flag.Bool("emit-go", false, "print the generated Go program and exit")
 		traceN     = flag.Int("trace", 0, "print the first N transport events of the run (mrmpi backend)")
 		faultSpec  = flag.String("faults", "", `fault plan "seed:event,..." (e.g. "7:crash=3@2ms,drop=5%,corrupt=2%,ckptloss=3,enospc=30%,tornwrite=20%,diskrot=2%,slowdisk=1x4"); runs resiliently (mrmpi backend)`)
@@ -99,6 +109,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var rewrite *planopt.Rewrite
+	if *optimize || *explain {
+		opts := planopt.Options{Ranks: *nodes * 2}
+		if *data != "" {
+			// Sample the actual input so auto policies bind against the data
+			// the run will see; without -data only structural rules fire.
+			opts.Stats, err = planopt.CollectStatsFromFile(plan, *data, 1)
+			if err != nil {
+				return err
+			}
+		}
+		rewrite, err = planopt.Optimize(plan, opts)
+		if err != nil {
+			return err
+		}
+		if *explain {
+			fmt.Print(rewrite.Explain())
+		}
+		plan = rewrite.After
+	}
 	if *planOnly {
 		fmt.Print(plan.Describe())
 		return nil
@@ -108,6 +138,9 @@ func run() error {
 		return nil
 	}
 	if *data == "" {
+		if *explain {
+			return nil
+		}
 		return fmt.Errorf("-data is required to execute the partitioner")
 	}
 	obs := newRecorder(*traceOut, *metricsOut, *timelineW)
@@ -158,6 +191,7 @@ func run() error {
 		}
 		fmt.Printf("workflow %s: %d partitions in %v virtual time (%d bytes shuffled, %d messages)\n",
 			plan.WorkflowID, len(res.Partitions), res.Makespan, res.ShuffleBytes, res.ShuffleMessages)
+		reportOptimizer(obs, rewrite, res.Makespan)
 		if *memBudget > 0 {
 			sp := cl.Stats().Spill
 			fmt.Printf("spill tier (budget %d B/rank): %d pages out (%d B), %d pages back (%d B), %d retries, %d failovers, %d rotted frames caught, %d stalls (%d B over)\n",
@@ -210,6 +244,32 @@ func run() error {
 		return emitObservability(obs, *traceOut, *metricsOut, *timelineW)
 	default:
 		return fmt.Errorf("unknown backend %q (mrmpi, hadoop)", *backend)
+	}
+}
+
+// reportOptimizer prints the optimizer's prediction against the measured
+// makespan and folds both into the metrics, making prediction error a
+// first-class observable of every optimized run.
+func reportOptimizer(obs *obsv.Recorder, rw *planopt.Rewrite, actual vtime.Duration) {
+	if rw == nil {
+		return
+	}
+	if rw.Predicted.AfterNS > 0 && actual > 0 {
+		errPct := 100 * (float64(rw.Predicted.AfterNS)/float64(actual) - 1)
+		fmt.Printf("optimizer: %d rules fired; predicted makespan %v vs measured %v (%+.1f%%)\n",
+			len(rw.Fired), vtime.Duration(rw.Predicted.AfterNS), actual, errPct)
+	} else {
+		fmt.Printf("optimizer: %d rules fired\n", len(rw.Fired))
+	}
+	if obs == nil {
+		return
+	}
+	obs.SetCount("planopt_rules_fired", int64(len(rw.Fired)))
+	if rw.Predicted.AfterNS > 0 {
+		obs.SetCount("planopt_predicted_makespan_ns", rw.Predicted.AfterNS)
+	}
+	if actual > 0 {
+		obs.SetCount("planopt_actual_makespan_ns", int64(actual))
 	}
 }
 

@@ -53,6 +53,7 @@ func catalog() []experiment {
 		{"chaos", "fault injection: crash, drop, corruption, checkpoint-loss and disk-fault recovery", wrap(experiments.Chaos)},
 		{"outofcore", "budget-constrained partitioning through the spill tier, byte-identical to in-memory", wrap(experiments.OutOfCore)},
 		{"skew", "per-rank load imbalance by partitioning policy (block vs cyclic, hybrid vs hash)", wrap(experiments.Skew)},
+		{"optimizer", "plan optimizer: fusion/elision identity, auto policy selection, fused-plan recovery", wrap(experiments.RunOptimizer)},
 	}
 }
 
@@ -65,13 +66,13 @@ func main() {
 // perf-gate failures.
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, outofcore, skew)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, outofcore, skew, optimizer)")
 		blastScale = flag.Float64("blast-scale", 0, "BLAST database scale (default 0.02)")
 		graphScale = flag.Float64("graph-scale", 0, "graph dataset scale (default 0.01)")
 		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")
 		seed       = flag.Int64("seed", 0, "dataset seed (default 42)")
 		bench      = flag.Bool("bench", false, "run the shuffle/sort/convert microbenchmarks instead of the experiments")
-		benchOut   = flag.String("bench-out", "BENCH_PR7.json", "where -bench writes its JSON results")
+		benchOut   = flag.String("bench-out", "BENCH_PR8.json", "where -bench writes its JSON results")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		baseline   = flag.String("baseline", "", "with -bench: compare against this recorded JSON and exit nonzero on regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "with -baseline: allowed slowdown fraction before a benchmark counts as regressed")

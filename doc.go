@@ -24,6 +24,8 @@ import "embed"
 //	configs/blast_partition.xml       muBLASTP workflow, Fig. 8
 //	configs/blast_partition_block.xml muBLASTP default (block) workflow
 //	configs/hybrid_cut.xml            PowerLyra workflow, Fig. 10
+//	configs/blast_partition_auto.xml  muBLASTP workflow, policy chosen by planopt
+//	configs/hybrid_cut_auto.xml       PowerLyra workflow, threshold+policy by planopt
 //
 //go:embed configs/*.xml
 var ConfigFS embed.FS

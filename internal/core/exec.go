@@ -281,6 +281,17 @@ func (st *execState) runJob(job Job) error {
 		return st.runSplit(j)
 	case *DistributeJob:
 		return st.runDistribute(j)
+	case *FusedJob:
+		// Inner jobs run back to back under the enclosing job's single
+		// launch overhead and barrier; collectives inside them (shuffles,
+		// scans) still synchronize the ranks, so the fusion only removes
+		// framework cost, never an ordering edge.
+		for _, inner := range j.Inner {
+			if err := st.runJob(inner); err != nil {
+				return fmt.Errorf("fused %s: %w", inner.JobID(), err)
+			}
+		}
+		return nil
 	case CustomJob:
 		ctx := &ExecContext{Comm: st.comm, MR: st.mr, Plan: st.plan, Data: st.data, Side: st.side}
 		err := j.Run(ctx)
@@ -303,6 +314,12 @@ type execState struct {
 	// partitions receives the final distribute output: partition -> rows.
 	partitions map[int][]Row
 }
+
+// SortableKeyInt64 exposes the order-preserving int64 mapping the sampler
+// uses for splitter bucketing (numeric values directly; strings by 8-byte
+// big-endian prefix). The plan optimizer samples input columns through it so
+// its statistics live in the same key space as the runtime's.
+func SortableKeyInt64(v dataformat.Value) int64 { return keyAsSortable(v) }
 
 // SortableKeyBytes renders a column value as 8 order-preserving big-endian
 // bytes: bytes.Compare on the outputs agrees with compareValues on the
@@ -500,7 +517,11 @@ func (st *execState) runGroup(j *GroupJob) error {
 	}); err != nil {
 		return err
 	}
-	if err := st.mr.Aggregate(mrmpi.HashPartitioner); err != nil {
+	if j.PlacementCompatible {
+		if _, err := st.mr.AggregateCompatible(mrmpi.HashPartitioner); err != nil {
+			return err
+		}
+	} else if err := st.mr.Aggregate(mrmpi.HashPartitioner); err != nil {
 		return err
 	}
 	st.mr.Convert()
@@ -563,6 +584,11 @@ func (st *execState) runSplit(j *SplitJob) error {
 	col := st.data.Schema.Index(j.KeyCol)
 	if col < 0 {
 		return fmt.Errorf("core: split key %q missing from runtime schema", j.KeyCol)
+	}
+	for _, b := range j.Branches {
+		if b.Condition.Auto {
+			return fmt.Errorf("core: split %s: branch %s threshold is auto; run the plan optimizer (papar -optimize) to bind it", j.ID, b.Name)
+		}
 	}
 	branchData := make([]*Dataset, len(j.Branches))
 	for i := range branchData {
@@ -633,6 +659,9 @@ func (st *execState) runSplit(j *SplitJob) error {
 // permutation matrix / hash placement, shuffle entries to their partitions,
 // and restore the input format (§III-C).
 func (st *execState) runDistribute(j *DistributeJob) error {
+	if j.Policy == Auto {
+		return fmt.Errorf("core: distribute %s: policy auto requires the plan optimizer (papar -optimize) to bind a concrete policy", j.ID)
+	}
 	inputs := []*Dataset{st.data}
 	if len(j.InputBranches) > 0 {
 		inputs = inputs[:0]
@@ -643,6 +672,9 @@ func (st *execState) runDistribute(j *DistributeJob) error {
 			}
 			inputs = append(inputs, d)
 		}
+	}
+	if j.ElideShuffle {
+		return st.distributeLocal(j, inputs)
 	}
 	np := j.NumPartitions
 
@@ -694,6 +726,22 @@ func (st *execState) runDistribute(j *DistributeJob) error {
 // assignPartitions routes each entry of d to a partition under the policy
 // and emits (partition, encoded entry).
 func (st *execState) assignPartitions(d *Dataset, policy DistrPolicy, np int, emit mrmpi.Emitter) error {
+	return st.eachAssignment(d, policy, np, func(i, part int) error {
+		if d.Packed {
+			emit(encodeUint32(uint32(part)), encodeEntryGroup(d.Groups[i]))
+		} else {
+			emit(encodeUint32(uint32(part)), encodeEntryRow(d.Rows[i]))
+		}
+		return nil
+	})
+}
+
+// eachAssignment computes every local entry's partition under the policy and
+// calls visit(i, part) in entry order. It performs the collective offset
+// bookkeeping (exclusive scan; an allgather for Balanced) and charges the
+// routing scan, so the shuffled and the elided distribute paths see
+// identical assignments, collective schedules and routing costs.
+func (st *execState) eachAssignment(d *Dataset, policy DistrPolicy, np int, visit func(i, part int) error) error {
 	n := d.Len()
 	// Global offset and total for offset-aware policies: the distributed
 	// equivalent of applying the global stride-permutation matrix L^N_np.
@@ -735,12 +783,48 @@ func (st *execState) assignPartitions(d *Dataset, policy DistrPolicy, np int, em
 		default:
 			return fmt.Errorf("core: unhandled policy %v", policy)
 		}
-		if d.Packed {
-			emit(encodeUint32(uint32(part)), encodeEntryGroup(d.Groups[i]))
-		} else {
-			emit(encodeUint32(uint32(part)), encodeEntryRow(d.Rows[i]))
+		if err := visit(i, part); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// distributeLocal is the elided-shuffle distribute: for index-based policies
+// the assignment is a pure function of the global entry index, so each rank
+// records its own entries' partitions without re-scattering them. Byte
+// identity with the shuffled path follows from the assembly order: the
+// literal shuffle concatenates each partition's entries in ascending
+// source-rank order (emit order within a source), which is exactly the order
+// the host walks partsByRank when it assembles fragments. The elided run
+// keeps the exclusive-scan collective and the routing-scan charges, so only
+// the exchange itself (and its wire time) disappears.
+func (st *execState) distributeLocal(j *DistributeJob, inputs []*Dataset) error {
+	defer st.comm.Cluster().Span("core", "write")()
+	inArity := len(st.plan.InputSchema.Fields)
+	st.partitions = map[int][]Row{}
+	outRows := 0
+	for _, d := range inputs {
+		err := st.eachAssignment(d, j.Policy, j.NumPartitions, func(i, part int) error {
+			member := d.Rows[i : i+1]
+			if d.Packed {
+				member = d.Groups[i].Rows
+			}
+			for _, row := range member {
+				if j.RestoreFormat && len(row.Values) > inArity {
+					// Reslicing the copy leaves the dataset's row intact.
+					row.Values = row.Values[:inArity]
+				}
+				st.partitions[part] = append(st.partitions[part], row)
+				outRows++
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	st.comm.Cluster().Charge(st.comm.Cluster().Compute().ScanCost(outRows, 0))
 	return nil
 }
 

@@ -84,6 +84,13 @@ type GroupJob struct {
 	// Pack selects the packed output format.
 	Pack        bool
 	NumReducers int
+	// PlacementCompatible, set by the plan optimizer, predicts that every
+	// row already lives on the rank the group-key hash routes it to (e.g.
+	// a preceding group on the same key left it there). The executor then
+	// verifies the prediction with a cheap collective count and skips the
+	// exchange only when it holds everywhere — a wrong hint costs one
+	// counting scan and falls back to the full shuffle.
+	PlacementCompatible bool
 }
 
 // JobID implements Job.
@@ -99,7 +106,11 @@ func (j *GroupJob) Describe() string {
 	if j.Pack {
 		format = "pack"
 	}
-	return fmt.Sprintf("group[%s] key=%s addons=[%s] format=%s", j.ID, j.KeyCol, strings.Join(names, ","), format)
+	s := fmt.Sprintf("group[%s] key=%s addons=[%s] format=%s", j.ID, j.KeyCol, strings.Join(names, ","), format)
+	if j.PlacementCompatible {
+		s += " placement=compatible"
+	}
+	return s
 }
 
 // SplitBranch is one output of a Split job.
@@ -143,6 +154,12 @@ type DistributeJob struct {
 	// output matches the input file format (§III-C: "all data will be
 	// unpacked to make sure the output has the same format of input").
 	RestoreFormat bool
+	// ElideShuffle, set by the plan optimizer (internal/planopt), skips the
+	// all-to-all exchange: every rank records its local entries' partitions
+	// directly and the host assembles fragments in rank order — legal only
+	// for index-based policies (cyclic, block), where the assignment is a
+	// pure function of the global entry index.
+	ElideShuffle bool
 }
 
 // JobID implements Job.
@@ -154,7 +171,35 @@ func (j *DistributeJob) Describe() string {
 	if len(j.InputBranches) > 0 {
 		in = strings.Join(j.InputBranches, "+")
 	}
-	return fmt.Sprintf("distribute[%s] policy=%s partitions=%d input=%s", j.ID, j.Policy, j.NumPartitions, in)
+	s := fmt.Sprintf("distribute[%s] policy=%s partitions=%d input=%s", j.ID, j.Policy, j.NumPartitions, in)
+	if j.ElideShuffle {
+		s += " elide=shuffle"
+	}
+	return s
+}
+
+// FusedJob is an optimizer product (internal/planopt), never compiled from a
+// workflow file: a run of adjacent jobs executed as one launched program —
+// one JobLaunchOverhead charge and one separating barrier for the whole run
+// instead of one per job. Inner jobs run in declaration order; collectives
+// inside them still synchronize, and the optimizer guarantees at most one
+// all-to-all shuffle per fused job so checkpoint granularity (and therefore
+// recovery cost) is unchanged.
+type FusedJob struct {
+	ID    string
+	Inner []Job
+}
+
+// JobID implements Job.
+func (j *FusedJob) JobID() string { return j.ID }
+
+// Describe implements Job.
+func (j *FusedJob) Describe() string {
+	parts := make([]string, 0, len(j.Inner))
+	for _, in := range j.Inner {
+		parts = append(parts, in.Describe())
+	}
+	return fmt.Sprintf("fused[%s] {%s}", j.ID, strings.Join(parts, "; "))
 }
 
 // Compile lowers a parsed workflow into a Plan. schemas maps input ids
@@ -400,9 +445,9 @@ func compileDistribute(op *config.OperatorDecl, res *config.Resolver, branches m
 				j.InputBranches = append(j.InputBranches, name)
 			}
 		}
-		// Deterministic order: as declared by the split job — retained by
-		// sorting names descending so "high_degree" precedes "low_degree"
-		// (alphabetical happens to invert them).
+		// Deterministic order: ascending lexicographic, which keeps the
+		// hybrid-cut convention of high_degree before low_degree because
+		// "high_degree" < "low_degree" happens to sort that way.
 		sortBranchNames(j.InputBranches)
 	}
 	return j, nil
@@ -437,10 +482,11 @@ func isIdent(c byte) bool {
 		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
 }
 
+// sortBranchNames orders names ascending lexicographically (insertion
+// sort). The hybrid-cut workflow lists high_degree before low_degree, and
+// ascending order preserves that because "high_degree" < "low_degree"; the
+// direction is pinned by TestSortBranchNamesAscending.
 func sortBranchNames(names []string) {
-	// The hybrid-cut workflow lists high_degree before low_degree; keep
-	// that convention stable for any branch set by simple lexicographic
-	// sort (high < low).
 	for i := 1; i < len(names); i++ {
 		for k := i; k > 0 && names[k] < names[k-1]; k-- {
 			names[k], names[k-1] = names[k-1], names[k]

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestSortBranchNamesAscending pins the branch-name ordering
+// compileDistribute relies on: ascending lexicographic. The hybrid-cut
+// convention of high_degree before low_degree holds because "high_degree" <
+// "low_degree", not because the sort is descending — a long-standing comment
+// claimed the opposite.
+func TestSortBranchNamesAscending(t *testing.T) {
+	cases := [][]string{
+		{"low_degree", "high_degree"},
+		{"b", "a", "c"},
+		{"zz", "z", ""},
+		{"high_degree", "low_degree", "mid_degree"},
+	}
+	for _, in := range cases {
+		got := append([]string(nil), in...)
+		sortBranchNames(got)
+		want := append([]string(nil), in...)
+		sort.Strings(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sortBranchNames(%v) = %v, want ascending %v", in, got, want)
+			}
+		}
+	}
+}
+
+// TestAutoPolicyExecuteGuard pins that executing a plan whose Distribute
+// policy is still auto fails loudly instead of silently defaulting.
+func TestAutoPolicyExecuteGuard(t *testing.T) {
+	plan := compileBlast(t, "4")
+	for _, j := range plan.Jobs {
+		if d, ok := j.(*DistributeJob); ok {
+			d.Policy = Auto
+		}
+	}
+	cl := cluster.New(cluster.DefaultConfig(2))
+	_, err := Execute(cl, plan, Input{LocalRows: spread(fig9Index(), cl.Size())})
+	if err == nil || !strings.Contains(err.Error(), "auto") {
+		t.Fatalf("want auto-policy execution error, got %v", err)
+	}
+}
+
+// TestAutoThresholdExecuteGuard pins the same for an unbound auto split
+// threshold.
+func TestAutoThresholdExecuteGuard(t *testing.T) {
+	plan := compileHybrid(t, "4", "200")
+	for _, j := range plan.Jobs {
+		if s, ok := j.(*SplitJob); ok {
+			for bi := range s.Branches {
+				s.Branches[bi].Condition.Auto = true
+			}
+		}
+	}
+	cl := cluster.New(cluster.DefaultConfig(2))
+	_, err := Execute(cl, plan, Input{LocalRows: spread(hybridEdges(), cl.Size())})
+	if err == nil || !strings.Contains(err.Error(), "auto") {
+		t.Fatalf("want auto-threshold execution error, got %v", err)
+	}
+}
+
+// TestFusedJobDescribe pins the fused rendering EmitGo and Describe share.
+func TestFusedJobDescribe(t *testing.T) {
+	f := &FusedJob{ID: "a+b", Inner: []Job{
+		&SortJob{ID: "a", KeyCol: "k", NumReducers: 2},
+		&DistributeJob{ID: "b", Policy: Cyclic, NumPartitions: 4, ElideShuffle: true},
+	}}
+	got := f.Describe()
+	want := "fused[a+b] {sort[a] key=k asc reducers=2; distribute[b] policy=cyclic partitions=4 input=current elide=shuffle}"
+	if got != want {
+		t.Fatalf("Describe() = %q, want %q", got, want)
+	}
+	if f.JobID() != "a+b" {
+		t.Fatalf("JobID() = %q", f.JobID())
+	}
+}
+
+// TestFusedJobExecutesLikeSequence pins that wrapping jobs in a FusedJob
+// changes only the virtual-time ledger (one launch overhead instead of N),
+// never the partitions.
+func TestFusedJobExecutesLikeSequence(t *testing.T) {
+	literal := compileBlast(t, "4")
+	fused := compileBlast(t, "4")
+	fused.Jobs = []Job{&FusedJob{ID: "all", Inner: fused.Jobs}}
+
+	run := func(p *Plan) *Result {
+		cl := cluster.New(cluster.DefaultConfig(3))
+		res, err := Execute(cl, p, Input{LocalRows: spread(fig9Index(), cl.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lit, fus := run(literal), run(fused)
+	if len(lit.Partitions) != len(fus.Partitions) {
+		t.Fatalf("partition counts differ")
+	}
+	for p := range lit.Partitions {
+		if len(lit.Partitions[p]) != len(fus.Partitions[p]) {
+			t.Fatalf("partition %d sizes differ: %d vs %d", p, len(lit.Partitions[p]), len(fus.Partitions[p]))
+		}
+		for i := range lit.Partitions[p] {
+			if lit.Partitions[p][i].String() != fus.Partitions[p][i].String() {
+				t.Fatalf("partition %d row %d differs", p, i)
+			}
+		}
+	}
+	if fus.Makespan >= lit.Makespan {
+		t.Fatalf("fused plan should save launch overhead: fused %v vs literal %v", fus.Makespan, lit.Makespan)
+	}
+}
+
+// TestElidedDistributeIdentity pins the shuffle-elision invariant at the
+// executor level for both index-based policies, independent of the
+// optimizer: flipping ElideShuffle must not change any partition.
+func TestElidedDistributeIdentity(t *testing.T) {
+	for _, policy := range []DistrPolicy{Cyclic, Block} {
+		literal := compileBlast(t, "5")
+		elided := compileBlast(t, "5")
+		for _, j := range elided.Jobs {
+			if d, ok := j.(*DistributeJob); ok {
+				d.Policy = policy
+				d.ElideShuffle = true
+			}
+		}
+		for _, j := range literal.Jobs {
+			if d, ok := j.(*DistributeJob); ok {
+				d.Policy = policy
+			}
+		}
+		run := func(p *Plan) *Result {
+			cl := cluster.New(cluster.DefaultConfig(3))
+			res, err := Execute(cl, p, Input{LocalRows: spread(fig9Index(), cl.Size())})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		lit, eli := run(literal), run(elided)
+		for p := range lit.Partitions {
+			if len(lit.Partitions[p]) != len(eli.Partitions[p]) {
+				t.Fatalf("%v: partition %d sizes differ: %d vs %d", policy, p, len(lit.Partitions[p]), len(eli.Partitions[p]))
+			}
+			for i := range lit.Partitions[p] {
+				if lit.Partitions[p][i].String() != eli.Partitions[p][i].String() {
+					t.Fatalf("%v: partition %d row %d differs: %v vs %v", policy, p, i,
+						lit.Partitions[p][i], eli.Partitions[p][i])
+				}
+			}
+		}
+		if eli.ShuffleBytes >= lit.ShuffleBytes {
+			t.Fatalf("%v: elision should cut wire bytes: %d vs %d", policy, eli.ShuffleBytes, lit.ShuffleBytes)
+		}
+	}
+}

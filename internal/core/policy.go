@@ -30,6 +30,11 @@ const (
 	// It trades one extra size exchange for near-perfect row balance when
 	// group sizes are skewed. Flat rows degrade to cyclic.
 	Balanced
+	// Auto defers the choice to the plan optimizer (internal/planopt),
+	// which binds a concrete policy from reservoir-sampled input
+	// statistics. Executing a plan that still carries Auto is an error:
+	// the optimizer must rewrite the plan first.
+	Auto
 )
 
 // ParseDistrPolicy converts configuration spellings.
@@ -43,6 +48,8 @@ func ParseDistrPolicy(s string) (DistrPolicy, error) {
 		return GraphVertexCut, nil
 	case "balanced", "weighted", "lpt":
 		return Balanced, nil
+	case "auto":
+		return Auto, nil
 	default:
 		return 0, fmt.Errorf("core: unknown distribution policy %q", s)
 	}
@@ -59,6 +66,8 @@ func (p DistrPolicy) String() string {
 		return "graphVertexCut"
 	case Balanced:
 		return "balanced"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("DistrPolicy(%d)", int(p))
 	}
@@ -82,6 +91,10 @@ func HashValue(v dataformat.Value, n int) int {
 type SplitCondition struct {
 	Op        string // one of ">=", ">", "<=", "<", "==", "!="
 	Threshold int64
+	// Auto marks an unbound threshold ({>=,auto}): the plan optimizer
+	// derives the value from the sampled group-size distribution and
+	// clears the flag. Executing a plan with Auto still set is an error.
+	Auto bool
 }
 
 // Eval applies the condition to a key value.
@@ -106,6 +119,9 @@ func (c SplitCondition) Eval(key int64) bool {
 
 // String renders the condition in the configuration syntax.
 func (c SplitCondition) String() string {
+	if c.Auto {
+		return fmt.Sprintf("{%s,auto}", c.Op)
+	}
 	return fmt.Sprintf("{%s,%d}", c.Op, c.Threshold)
 }
 
@@ -142,8 +158,13 @@ func ParseSplitPolicy(s string) ([]SplitCondition, error) {
 		default:
 			return nil, fmt.Errorf("core: split policy: unknown comparison %q", op)
 		}
+		rawThr := strings.TrimSpace(parts[1])
+		if rawThr == "auto" {
+			out = append(out, SplitCondition{Op: op, Auto: true})
+			continue
+		}
 		var thr int64
-		if _, err := fmt.Sscanf(strings.TrimSpace(parts[1]), "%d", &thr); err != nil {
+		if _, err := fmt.Sscanf(rawThr, "%d", &thr); err != nil {
 			return nil, fmt.Errorf("core: split policy: bad threshold %q", parts[1])
 		}
 		out = append(out, SplitCondition{Op: op, Threshold: thr})

@@ -10,10 +10,13 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/blast"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/keyval"
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
+	"repro/internal/planopt"
 	"repro/internal/shufcodec"
 	"repro/internal/spill"
 )
@@ -456,6 +459,83 @@ func RunMicrobench() (*Microbench, error) {
 				_, err = mr.Materialize()
 				return err
 			}); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// OptimizedVsLiteral: the Fig. 8 muBLASTP workflow end to end, literal
+	// vs optimizer-rewritten (fused jobs, elided shuffle). The baseline is
+	// not a recorded number but the literal plan measured in-process on the
+	// same data, so Speedup is exactly the real-time win the rewrite buys.
+	optPlan, err := compileNamedPlan("blast_partition.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": "8", "num_reducers": "8",
+	})
+	if err != nil {
+		return nil, err
+	}
+	optRw, err := planopt.Optimize(optPlan, planopt.Options{Ranks: 8})
+	if err != nil {
+		return nil, err
+	}
+	optRows := blastRows(blast.Generate(blast.EnvNR(), 0.001, 9))
+	runPlan := func(p *core.Plan) error {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		_, err := core.Execute(cl, p, core.Input{LocalRows: spreadRows(optRows, cl.Size())})
+		return err
+	}
+	litRun := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := runPlan(optPlan); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	})
+	optRes := bench("OptimizedVsLiteral", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := runPlan(optRw.After); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	})
+	optRes.BaselineNsPerOp = float64(litRun.NsPerOp())
+	optRes.BaselineBytesPerOp = litRun.AllocedBytesPerOp()
+	optRes.BaselineAllocsPerOp = litRun.AllocsPerOp()
+	if optRes.NsPerOp > 0 {
+		optRes.Speedup = optRes.BaselineNsPerOp / optRes.NsPerOp
+	}
+	if optRes.AllocsPerOp > 0 {
+		optRes.AllocRatio = float64(optRes.BaselineAllocsPerOp) / float64(optRes.AllocsPerOp)
+	}
+	out.Results = append(out.Results, optRes)
+
+	// PolicySelectOverhead: what `auto` costs before the run — reservoir
+	// stats over the input plus the full optimizer pass (policy binding,
+	// elision, fusion, makespan prediction). No recorded baseline; the
+	// number exists so the decision cost stays visible next to the wins.
+	autoPlan, err := compileNamedPlan("blast_partition_auto.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": "8", "num_reducers": "8",
+	})
+	if err != nil {
+		return nil, err
+	}
+	autoSets := spreadRows(optRows, 8)
+	out.Results = append(out.Results, bench("PolicySelectOverhead", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stats, err := planopt.CollectStats(autoPlan, autoSets, 9)
+			if err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+			if _, err := planopt.Optimize(autoPlan, planopt.Options{Ranks: 8, Stats: stats}); err != nil {
 				failure = err
 				b.Fatal(err)
 			}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/planopt"
+	"repro/internal/vtime"
+)
+
+// OptimizerCase is one workflow executed literally and optimized on the same
+// input.
+type OptimizerCase struct {
+	Workflow   string   `json:"workflow"`
+	JobsBefore int      `json:"jobs_before"`
+	JobsAfter  int      `json:"jobs_after"`
+	Rules      []string `json:"rules"`
+
+	LiteralMakespan   vtime.Duration `json:"literal_makespan"`
+	OptimizedMakespan vtime.Duration `json:"optimized_makespan"`
+	LiteralShuffle    int64          `json:"literal_shuffle_bytes"`
+	OptimizedShuffle  int64          `json:"optimized_shuffle_bytes"`
+
+	// Identical is the hard invariant: optimized partitions byte-identical
+	// to the literal run's.
+	Identical bool `json:"identical"`
+	// WantReduction marks the workflows where the ISSUE demands a measured
+	// makespan win (fusion fires), not just parity.
+	WantReduction bool `json:"want_reduction"`
+}
+
+// Reduction is the makespan saving in percent (positive = optimizer won).
+func (c OptimizerCase) Reduction() float64 {
+	if c.LiteralMakespan == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(c.OptimizedMakespan)/float64(c.LiteralMakespan))
+}
+
+// OptimizerResult is the cost-based plan optimizer experiment: identity and
+// makespan across every shipped workflow, automatic policy selection on the
+// two auto configs, and a fault-injected run over a fused plan.
+type OptimizerResult struct {
+	Nodes int             `json:"nodes"`
+	Cases []OptimizerCase `json:"cases"`
+
+	// Auto-selection verdicts (the ROADMAP gate): the optimizer must pick
+	// cyclic for the muBLASTP skew profile and graphVertexCut for the
+	// PowerLyra graph profile, with a sane bound threshold.
+	BlastAutoPolicy string `json:"blast_auto_policy"`
+	GraphAutoPolicy string `json:"graph_auto_policy"`
+	AutoThreshold   int64  `json:"auto_threshold"`
+
+	// Predicted vs measured makespan for the optimized muBLASTP plan — the
+	// cost model's calibration check.
+	PredictedMakespan vtime.Duration `json:"predicted_makespan"`
+	MeasuredMakespan  vtime.Duration `json:"measured_makespan"`
+
+	// The gauntlet: a rank crash mid-run through the fused muBLASTP plan.
+	// Recovery must reproduce the literal partitions and replay
+	// deterministically.
+	GauntletPlan          string         `json:"gauntlet_plan"`
+	GauntletMakespan      vtime.Duration `json:"gauntlet_makespan"`
+	GauntletFailed        []int          `json:"gauntlet_failed"`
+	GauntletRounds        int            `json:"gauntlet_rounds"`
+	GauntletIdentical     bool           `json:"gauntlet_identical"`
+	GauntletDeterministic bool           `json:"gauntlet_deterministic"`
+}
+
+// Failed reports whether any headline claim did not hold.
+func (r *OptimizerResult) Failed() bool {
+	for _, c := range r.Cases {
+		if !c.Identical {
+			return true
+		}
+		if c.OptimizedMakespan > c.LiteralMakespan {
+			return true
+		}
+		if c.WantReduction && c.OptimizedMakespan >= c.LiteralMakespan {
+			return true
+		}
+	}
+	return r.BlastAutoPolicy != core.Cyclic.String() ||
+		r.GraphAutoPolicy != core.GraphVertexCut.String() ||
+		!r.GauntletIdentical || !r.GauntletDeterministic
+}
+
+// firstDistribute finds the plan's Distribute job, descending into fusions.
+func firstDistribute(jobs []core.Job) *core.DistributeJob {
+	for _, j := range jobs {
+		switch t := j.(type) {
+		case *core.DistributeJob:
+			return t
+		case *core.FusedJob:
+			if d := firstDistribute(t.Inner); d != nil {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// firstThreshold finds the bound split threshold, descending into fusions.
+func firstThreshold(jobs []core.Job) int64 {
+	for _, j := range jobs {
+		switch t := j.(type) {
+		case *core.SplitJob:
+			for _, b := range t.Branches {
+				if !b.Condition.Auto {
+					return b.Condition.Threshold
+				}
+			}
+		case *core.FusedJob:
+			if thr := firstThreshold(t.Inner); thr != 0 {
+				return thr
+			}
+		}
+	}
+	return 0
+}
+
+// compileNamedPlan compiles a shipped workflow config with args.
+func compileNamedPlan(file string, args map[string]string) (*core.Plan, error) {
+	f, err := framework()
+	if err != nil {
+		return nil, err
+	}
+	return f.CompileWorkflowConfig(repro.Config(file), args)
+}
+
+// RunOptimizer runs the plan-optimizer experiment.
+func RunOptimizer(opts Options) (*OptimizerResult, error) {
+	opts = opts.withDefaults()
+	nodes := opts.Nodes / 2
+	if nodes < 2 {
+		nodes = 2
+	}
+	np := opts.Nodes
+	out := &OptimizerResult{Nodes: nodes}
+
+	blastData := blastRows(blast.Generate(blast.EnvNR(), opts.BlastScale/2, opts.Seed))
+	graphData := graphRows(graph.Generate(graph.Google(), opts.GraphScale/2, opts.Seed))
+
+	execute := func(plan *core.Plan, rows []core.Row) (*core.Result, error) {
+		cl := cluster.New(cluster.DefaultConfig(nodes))
+		return core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+	}
+
+	// literalFor maps each workflow to the concrete plan the optimized run
+	// must be byte-identical to. For the two auto configs that reference is
+	// the shipped concrete config with the policy/threshold the optimizer
+	// bound — auto must be a pure shorthand, never a different computation.
+	type wfCase struct {
+		file          string
+		args          map[string]string
+		rows          []core.Row
+		stats         bool
+		wantReduction bool
+		literalFor    func(after *core.Plan) (*core.Plan, error)
+	}
+	blastArgs := map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np), "num_reducers": fmt.Sprint(np),
+	}
+	hybridArgs := func(threshold string) map[string]string {
+		m := map[string]string{
+			"input_file": "mem://graph", "output_path": "mem://out",
+			"num_partitions": fmt.Sprint(np),
+		}
+		if threshold != "" {
+			m["threshold"] = threshold
+		}
+		return m
+	}
+	cases := []wfCase{
+		{file: "blast_partition.xml", args: blastArgs, rows: blastData, wantReduction: true},
+		{file: "blast_partition_block.xml", args: map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": fmt.Sprint(np)}, rows: blastData},
+		{file: "hybrid_cut.xml", args: hybridArgs("200"), rows: graphData, wantReduction: true},
+		{file: "blast_partition_auto.xml", args: blastArgs, rows: blastData, stats: true,
+			literalFor: func(after *core.Plan) (*core.Plan, error) {
+				return compileNamedPlan("blast_partition.xml", blastArgs)
+			}},
+		{file: "hybrid_cut_auto.xml", args: hybridArgs(""), rows: graphData, stats: true,
+			literalFor: func(after *core.Plan) (*core.Plan, error) {
+				thr := firstThreshold(after.Jobs)
+				return compileNamedPlan("hybrid_cut.xml", hybridArgs(fmt.Sprint(thr)))
+			}},
+	}
+
+	var fusedBlast *core.Plan
+	var literalBlastParts [][]core.Row
+	for _, wc := range cases {
+		plan, err := compileNamedPlan(wc.file, wc.args)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", wc.file, err)
+		}
+		pOpts := planopt.Options{Ranks: nodes * 2}
+		if wc.stats {
+			if pOpts.Stats, err = planopt.CollectStats(plan, spreadRows(wc.rows, nodes*2), opts.Seed); err != nil {
+				return nil, fmt.Errorf("stats %s: %w", wc.file, err)
+			}
+		}
+		rw, err := planopt.Optimize(plan, pOpts)
+		if err != nil {
+			return nil, fmt.Errorf("optimize %s: %w", wc.file, err)
+		}
+
+		literal := plan
+		if wc.literalFor != nil {
+			if literal, err = wc.literalFor(rw.After); err != nil {
+				return nil, fmt.Errorf("literal reference for %s: %w", wc.file, err)
+			}
+		}
+		lit, err := execute(literal, wc.rows)
+		if err != nil {
+			return nil, fmt.Errorf("literal %s: %w", wc.file, err)
+		}
+		opt, err := execute(rw.After, wc.rows)
+		if err != nil {
+			return nil, fmt.Errorf("optimized %s: %w", wc.file, err)
+		}
+
+		c := OptimizerCase{
+			Workflow:          plan.WorkflowID,
+			JobsBefore:        len(rw.Before.Jobs),
+			JobsAfter:         len(rw.After.Jobs),
+			LiteralMakespan:   lit.Makespan,
+			OptimizedMakespan: opt.Makespan,
+			LiteralShuffle:    lit.ShuffleBytes,
+			OptimizedShuffle:  opt.ShuffleBytes,
+			Identical:         fingerprint(lit.Partitions, false) == fingerprint(opt.Partitions, false),
+			WantReduction:     wc.wantReduction,
+		}
+		for _, a := range rw.Fired {
+			c.Rules = append(c.Rules, a.Rule)
+		}
+		out.Cases = append(out.Cases, c)
+
+		switch wc.file {
+		case "blast_partition.xml":
+			fusedBlast = rw.After
+			literalBlastParts = lit.Partitions
+		case "blast_partition_auto.xml":
+			if d := firstDistribute(rw.After.Jobs); d != nil {
+				out.BlastAutoPolicy = d.Policy.String()
+			}
+			out.PredictedMakespan = vtime.Duration(rw.Predicted.AfterNS)
+			out.MeasuredMakespan = opt.Makespan
+		case "hybrid_cut_auto.xml":
+			if d := firstDistribute(rw.After.Jobs); d != nil {
+				out.GraphAutoPolicy = d.Policy.String()
+			}
+			out.AutoThreshold = firstThreshold(rw.After.Jobs)
+		}
+	}
+
+	// The gauntlet: crash a rank mid-run through the fused muBLASTP plan.
+	// Recovery granularity is per fused job, so this proves checkpointed
+	// restart still lands on the literal bytes after fusion.
+	refMakespan := out.Cases[0].OptimizedMakespan
+	gauntlet := &faults.Plan{
+		Seed:    opts.Seed + 8,
+		Crashes: []faults.Crash{{Rank: 2, At: vtime.Duration(float64(refMakespan) * 0.4)}},
+	}
+	out.GauntletPlan = gauntlet.String()
+	run := func() (*core.Result, *core.RecoveryReport, error) {
+		cl := cluster.New(cluster.DefaultConfig(nodes))
+		cl.SetFaultPlan(gauntlet)
+		return core.ExecuteResilient(cl, fusedBlast, core.Input{LocalRows: spreadRows(blastData, cl.Size())}, nil)
+	}
+	res, rep, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("optimizer gauntlet: %w", err)
+	}
+	out.GauntletMakespan = res.Makespan
+	out.GauntletFailed = rep.Failed
+	out.GauntletRounds = rep.Rounds
+	out.GauntletIdentical = fingerprint(res.Partitions, false) == fingerprint(literalBlastParts, false)
+	res2, _, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("optimizer gauntlet replay: %w", err)
+	}
+	out.GauntletDeterministic = res2.Makespan == res.Makespan &&
+		fingerprint(res2.Partitions, false) == fingerprint(res.Partitions, false)
+	return out, nil
+}
+
+// Render prints the experiment.
+func (r *OptimizerResult) Render() string {
+	rows := make([][]string, 0, len(r.Cases))
+	for _, c := range r.Cases {
+		verdict := "IDENTICAL"
+		if !c.Identical {
+			verdict = "DIVERGED"
+		}
+		rules := "none"
+		if len(c.Rules) > 0 {
+			rules = fmt.Sprint(len(c.Rules))
+		}
+		rows = append(rows, []string{
+			c.Workflow,
+			fmt.Sprintf("%d->%d", c.JobsBefore, c.JobsAfter),
+			rules,
+			c.LiteralMakespan.String(),
+			c.OptimizedMakespan.String(),
+			fmt.Sprintf("%+.1f%%", -c.Reduction()),
+			fmt.Sprintf("%d->%d", c.LiteralShuffle, c.OptimizedShuffle),
+			verdict,
+		})
+	}
+	s := "Plan optimizer: literal vs optimized execution (byte-identity required)\n" +
+		table([]string{"workflow", "jobs", "rules", "literal", "optimized", "makespan", "shuffle bytes", "partitions"}, rows)
+	s += fmt.Sprintf("\nauto policy selection: muBLASTP -> %s (want cyclic), PowerLyra -> %s (want graphVertexCut), threshold %d\n",
+		r.BlastAutoPolicy, r.GraphAutoPolicy, r.AutoThreshold)
+	if r.MeasuredMakespan > 0 {
+		s += fmt.Sprintf("cost model calibration: predicted %v vs measured %v (%+.1f%% error)\n",
+			r.PredictedMakespan, r.MeasuredMakespan,
+			100*(float64(r.PredictedMakespan)/float64(r.MeasuredMakespan)-1))
+	}
+	det := "deterministic replay"
+	if !r.GauntletDeterministic {
+		det = "NON-DETERMINISTIC replay"
+	}
+	id := "literal bytes reproduced"
+	if !r.GauntletIdentical {
+		id = "OUTPUT DIVERGED"
+	}
+	s += fmt.Sprintf("fused-plan gauntlet [%s]: makespan %v, failed ranks %v, %d recovery rounds, %s, %s\n",
+		r.GauntletPlan, r.GauntletMakespan, r.GauntletFailed, r.GauntletRounds, id, det)
+	if r.Failed() {
+		s += "RESULT: FAILED — at least one optimizer claim did not hold\n"
+	} else {
+		s += "RESULT: ok — all optimizer claims hold\n"
+	}
+	return s
+}

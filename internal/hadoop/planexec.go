@@ -141,19 +141,7 @@ func ExecutePlanObserved(plan *core.Plan, inputPath, workDir string, numReduce i
 	st.files = ir.Outputs[0]
 
 	for _, job := range plan.Jobs {
-		switch j := job.(type) {
-		case *core.SortJob:
-			err = st.runSort(j)
-		case *core.GroupJob:
-			err = st.runGroup(j)
-		case *core.SplitJob:
-			err = st.runSplit(j)
-		case *core.DistributeJob:
-			err = st.runDistribute(j)
-		default:
-			err = fmt.Errorf("hadoop: job type %T is not supported by the Hadoop backend", job)
-		}
-		if err != nil {
+		if err := st.runJob(job); err != nil {
 			return nil, fmt.Errorf("hadoop: job %s: %w", job.JobID(), err)
 		}
 	}
@@ -161,6 +149,32 @@ func ExecutePlanObserved(plan *core.Plan, inputPath, workDir string, numReduce i
 		return nil, fmt.Errorf("hadoop: workflow %q has no distribute job; nothing to output", plan.WorkflowID)
 	}
 	return st.res, nil
+}
+
+// runJob dispatches one plan job. Fused jobs (from the plan optimizer) run
+// their inner jobs in sequence: the Hadoop backend still launches one engine
+// job per inner operator — it has no launch-overhead ledger to save — but
+// accepting them keeps optimized plans portable across backends.
+func (st *planState) runJob(job core.Job) error {
+	switch j := job.(type) {
+	case *core.SortJob:
+		return st.runSort(j)
+	case *core.GroupJob:
+		return st.runGroup(j)
+	case *core.SplitJob:
+		return st.runSplit(j)
+	case *core.DistributeJob:
+		return st.runDistribute(j)
+	case *core.FusedJob:
+		for _, inner := range j.Inner {
+			if err := st.runJob(inner); err != nil {
+				return fmt.Errorf("fused %s: %w", j.ID, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("hadoop: job type %T is not supported by the Hadoop backend", job)
+	}
 }
 
 // sampleSplitters scans the current dataset and derives numReduce-1 key
@@ -410,11 +424,16 @@ func (st *planState) runDistribute(j *core.DistributeJob) error {
 			inputSets = append(inputSets, files)
 		}
 	}
+	if j.Policy == core.Auto {
+		return fmt.Errorf("distribute %s: policy auto requires the plan optimizer to bind a concrete policy", j.ID)
+	}
 	np := j.NumPartitions
 
 	// Client-side pass: rewrite entry keys to the partition id. Cyclic and
 	// block need each entry's global index and the branch total — the same
 	// offset bookkeeping the MR-MPI backend derives with an exclusive scan.
+	// ElideShuffle needs no handling here: this routing pass already runs
+	// client-side, so the flag's wire savings are MR-MPI-specific.
 	routedDir := st.engine.WorkDir + "/route-" + sanitize(j.ID)
 	if err := os.MkdirAll(routedDir, 0o755); err != nil {
 		return fmt.Errorf("hadoop: %w", err)

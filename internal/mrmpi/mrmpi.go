@@ -269,6 +269,51 @@ func (mr *MapReduce) Aggregate(part Partitioner) error {
 	return mr.mergeFrames(recv, compress)
 }
 
+// AggregateCompatible is Aggregate with a placement pre-check, for shuffles
+// the plan optimizer predicts are no-ops (every pair already lives on the
+// rank the partitioner routes it to, e.g. data grouped by the same key in a
+// previous job). Each rank counts its misplaced pairs and the counts are
+// combined collectively; the exchange is skipped only when no rank holds a
+// misplaced pair, so the check is exact — a wrong optimizer hint costs one
+// counting scan and falls back to the full Aggregate, with results identical
+// either way. It reports whether the shuffle was skipped.
+func (mr *MapReduce) AggregateCompatible(part Partitioner) (bool, error) {
+	end := mr.span("aggregate")
+	if err := mr.takeSpillErr(); err != nil {
+		end()
+		return false, fmt.Errorf("mrmpi: aggregate: %w", err)
+	}
+	p, me := mr.comm.Size(), mr.comm.Rank()
+	var misplaced int64
+	if err := mr.Each(func(kv keyval.KV) error {
+		if dst := part(kv, p); dst != me {
+			misplaced++
+		}
+		return nil
+	}); err != nil {
+		end()
+		return false, fmt.Errorf("mrmpi: aggregate: %w", err)
+	}
+	mr.charge(func() vtime.Duration {
+		return vtime.Duration(mr.comm.Cluster().Compute().ScanCost(mr.Pairs(), mr.PayloadBytes()))
+	})
+	_, total, err := mr.comm.ExscanInt64(misplaced)
+	if err != nil {
+		end()
+		return false, fmt.Errorf("mrmpi: aggregate: %w", err)
+	}
+	if total > 0 {
+		end()
+		return false, mr.Aggregate(part)
+	}
+	// Placement holds everywhere: the local set already is the aggregated
+	// set. Checkpoint it like any completed verb so resilient runs keep
+	// their verb sequence aligned across ranks.
+	mr.autoCheckpoint()
+	end()
+	return true, nil
+}
+
 // shufflePageBytes bounds one carved page of a spilled sender's outbound
 // frame — the disk tier's frame size, so shuffle paging and spill paging
 // pin comparable amounts of memory.

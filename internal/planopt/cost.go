@@ -1,0 +1,254 @@
+package planopt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// The cost models are calibrated against the same vtime parameters the
+// simulated cluster charges with, so a predicted makespan and a measured one
+// live on the same scale and the papar CLI can report prediction error as a
+// metric.
+func costModels() (vtime.ComputeModel, vtime.NetworkModel) {
+	return vtime.SandyBridge(), vtime.InfiniBandQDR()
+}
+
+// mirrorStateBytes is the modeled per-replica synchronization payload when
+// scoring vertex-cut communication: one vertex record on the wire. The 2µs
+// message latency dominates the term either way.
+const mirrorStateBytes = 64
+
+// PolicyScore is one candidate's modeled cost.
+type PolicyScore struct {
+	Policy core.DistrPolicy
+	Cost   vtime.Duration
+}
+
+// PolicyChoice is the outcome of automatic policy selection: the winner and
+// every candidate's score, for the Explain report.
+type PolicyChoice struct {
+	Policy core.DistrPolicy
+	Scores []PolicyScore
+	// Threshold is the high/low cut the graph model scored with (-1 when
+	// the workflow has no Group job and no vertex-cut candidate ran).
+	Threshold int64
+}
+
+// Detail renders the choice with all candidate scores.
+func (c PolicyChoice) Detail() string {
+	parts := make([]string, len(c.Scores))
+	for i, sc := range c.Scores {
+		parts[i] = fmt.Sprintf("%s=%v", sc.Policy, sc.Cost)
+	}
+	d := fmt.Sprintf("%s wins the cost model: %s", c.Policy, strings.Join(parts, " "))
+	if c.Threshold >= 0 {
+		d += fmt.Sprintf(" (high/low cut %d)", c.Threshold)
+	}
+	return d
+}
+
+// ChoosePolicy scores the candidate distribution policies against the
+// sampled input and returns the cheapest (ties keep the earlier candidate,
+// so cyclic is the default when the model cannot separate them).
+//
+// Workflows without a Group job (muBLASTP-style) choose between cyclic and
+// block on per-partition work balance, using the sort-key sample as the
+// per-row weight — for blast_partition the sort key is seq_size, exactly
+// the work driver §IV-A partitions for. Workflows with a Group job
+// (PowerLyra-style) additionally score graphVertexCut, trading its hash
+// placement's mild row imbalance against the replica synchronization
+// traffic index-based placement of high-degree edges would create.
+func ChoosePolicy(s *InputStats, numPartitions int, threshold int64) PolicyChoice {
+	if numPartitions <= 0 {
+		numPartitions = 1
+	}
+	var choice PolicyChoice
+	if len(s.GroupKeySample) > 0 {
+		choice = chooseGraphPolicy(s, numPartitions, threshold)
+	} else {
+		choice = chooseFlatPolicy(s, numPartitions)
+		choice.Threshold = -1
+	}
+	return choice
+}
+
+// chooseFlatPolicy scores cyclic vs block for ungrouped workflows. The
+// input reaching the Distribute job is sorted by the weight column, so block
+// assignment concentrates the heaviest rows in one contiguous chunk while a
+// cyclic stride over the sorted order balances them almost perfectly — the
+// model reproduces exactly that by simulating both assignments over the
+// sorted sample.
+func chooseFlatPolicy(s *InputStats, np int) PolicyChoice {
+	cm, _ := costModels()
+	weights := append([]int64(nil), s.SortKeySample...)
+	sort.Slice(weights, func(i, j int) bool { return weights[i] < weights[j] })
+	scale := 1.0
+	if len(weights) > 0 {
+		scale = float64(s.Rows) / float64(len(weights))
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	score := func(assign func(i int) int) vtime.Duration {
+		loads := make([]float64, np)
+		for i, w := range weights {
+			if w < 0 {
+				w = 0
+			}
+			loads[assign(i)] += float64(w)
+		}
+		maxLoad := 0.0
+		for _, l := range loads {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		rowsPerPart := int(s.Rows) / np
+		return cm.ScanCost(rowsPerPart, int(maxLoad*scale))
+	}
+	n := len(weights)
+	scores := []PolicyScore{
+		{Policy: core.Cyclic, Cost: score(func(i int) int { return i % np })},
+		{Policy: core.Block, Cost: score(func(i int) int {
+			if n == 0 {
+				return 0
+			}
+			return i * np / n
+		})},
+	}
+	return PolicyChoice{Policy: pickMin(scores), Scores: scores}
+}
+
+// chooseGraphPolicy scores cyclic, block, and graphVertexCut for grouped
+// workflows over the estimated group-size (vertex-degree) distribution.
+// Each policy is charged for scanning its heaviest partition plus one
+// message per vertex replica:
+//
+//   - graphVertexCut places low-degree groups whole by key hash (replica
+//     factor 1) and mirrors each high-degree vertex on every partition, but
+//     hashes its edges by source so sources stay consolidated.
+//   - cyclic/block place high-degree edges by index, which scatters each
+//     edge's source to an unrelated partition — ~one extra replica per high
+//     edge. On a power-law input that term dwarfs the hash imbalance
+//     vertex-cut pays, which is why PowerLyra's hybrid cut exists.
+func chooseGraphPolicy(s *InputStats, np int, threshold int64) PolicyChoice {
+	cm, nm := costModels()
+	keys, degs := s.groupKeyDegrees()
+	if threshold < 2 {
+		threshold = 2
+	}
+	score := func(place func(seq int, key, deg int64) (part int, spread bool, replicas float64)) vtime.Duration {
+		loads := make([]float64, np)
+		replicas := 0.0
+		for i, d := range degs {
+			part, spread, rep := place(i, keys[i], d)
+			if spread {
+				for p := range loads {
+					loads[p] += float64(d) / float64(np)
+				}
+			} else {
+				loads[part] += float64(d)
+			}
+			replicas += rep
+		}
+		maxLoad := 0.0
+		for _, l := range loads {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		compute := cm.ScanCost(int(maxLoad), int(maxLoad*s.AvgRowBytes))
+		comm := vtime.Duration(replicas) * nm.TransferTime(mirrorStateBytes)
+		return compute + comm
+	}
+	lostSources := float64(np-1) / float64(np)
+	scores := []PolicyScore{
+		{Policy: core.Cyclic, Cost: score(func(seq int, key, d int64) (int, bool, float64) {
+			if d >= threshold {
+				return 0, true, float64(np) + float64(d)*lostSources
+			}
+			return seq % np, false, 1
+		})},
+		{Policy: core.Block, Cost: score(func(seq int, key, d int64) (int, bool, float64) {
+			if d >= threshold {
+				return 0, true, float64(np) + float64(d)*lostSources
+			}
+			return seq * np / len(degs), false, 1
+		})},
+		{Policy: core.GraphVertexCut, Cost: score(func(seq int, key, d int64) (int, bool, float64) {
+			if d >= threshold {
+				return 0, true, float64(np)
+			}
+			return int(key % int64(np)), false, 1
+		})},
+	}
+	return PolicyChoice{Policy: pickMin(scores), Scores: scores, Threshold: threshold}
+}
+
+func pickMin(scores []PolicyScore) core.DistrPolicy {
+	best := scores[0]
+	for _, sc := range scores[1:] {
+		if sc.Cost < best.Cost {
+			best = sc
+		}
+	}
+	return best.Policy
+}
+
+// predictPlan estimates the plan's makespan on the sampled input: per
+// top-level job one JobLaunchOverhead plus the modeled per-rank work of its
+// dominant phases, with fused jobs paying the overhead once and elided or
+// placement-compatible exchanges dropping their wire term. The estimate is
+// deliberately coarse — its job is ranking plans and exposing prediction
+// error, not replacing measurement.
+func predictPlan(p *core.Plan, s *InputStats, ranks int) vtime.Duration {
+	cm, nm := costModels()
+	rowsR := int(s.Rows) / ranks
+	if rowsR < 1 {
+		rowsR = 1
+	}
+	bytesR := int(float64(rowsR) * s.AvgRowBytes)
+	shuffle := cm.ScanCost(rowsR, bytesR) +
+		nm.TransferTime(bytesR) + vtime.Duration(ranks-1)*nm.TransferTime(0) +
+		cm.CopyCost(bytesR)
+
+	var jobCost func(j core.Job) vtime.Duration
+	jobCost = func(j core.Job) vtime.Duration {
+		switch t := j.(type) {
+		case *core.SortJob:
+			return cm.ScanCost(rowsR, bytesR) + shuffle + cm.SortCost(rowsR, int(s.AvgRowBytes))
+		case *core.GroupJob:
+			route := shuffle
+			if t.PlacementCompatible {
+				route = cm.ScanCost(rowsR, 0)
+			}
+			return route + cm.GroupCost(rowsR, bytesR)
+		case *core.SplitJob:
+			return cm.ScanCost(rowsR, 0)
+		case *core.DistributeJob:
+			route := shuffle
+			if t.ElideShuffle {
+				route = cm.CopyCost(bytesR)
+			}
+			return cm.ScanCost(rowsR, 0) + route + cm.CopyCost(bytesR)
+		case *core.FusedJob:
+			var sum vtime.Duration
+			for _, in := range t.Inner {
+				sum += jobCost(in)
+			}
+			return sum
+		default:
+			return cm.ScanCost(rowsR, bytesR)
+		}
+	}
+
+	var total vtime.Duration
+	for _, j := range p.Jobs {
+		total += core.JobLaunchOverhead + jobCost(j)
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+package planopt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/blast"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// compileConfig compiles one shipped workflow config with both input
+// schemas registered, the way every CLI does.
+func compileConfig(t *testing.T, file string, args map[string]string) *core.Plan {
+	t.Helper()
+	f := core.NewFramework()
+	if _, err := f.RegisterInputConfig(repro.Config("blast_db.xml")); err != nil {
+		t.Fatalf("register blast_db: %v", err)
+	}
+	if _, err := f.RegisterInputConfig(repro.Config("graph_edge.xml")); err != nil {
+		t.Fatalf("register graph_edge: %v", err)
+	}
+	p, err := f.CompileWorkflowConfig(repro.Config(file), args)
+	if err != nil {
+		t.Fatalf("compile %s: %v", file, err)
+	}
+	return p
+}
+
+// testBlastStats samples a small deterministic env_nr twin.
+func testBlastStats(t *testing.T, p *core.Plan) *InputStats {
+	t.Helper()
+	db := blast.Generate(blast.EnvNR(), 0.0005, 7)
+	s, err := CollectStats(p, [][]core.Row{core.RecordsToRows(db.Records())}, 1)
+	if err != nil {
+		t.Fatalf("collect blast stats: %v", err)
+	}
+	return s
+}
+
+// testGraphStats samples a small deterministic web-Google twin.
+func testGraphStats(t *testing.T, p *core.Plan) *InputStats {
+	t.Helper()
+	g := graph.Generate(graph.Google(), 0.002, 7)
+	s, err := CollectStats(p, [][]core.Row{core.RecordsToRows(graph.EdgesToRows(g.Edges))}, 1)
+	if err != nil {
+		t.Fatalf("collect graph stats: %v", err)
+	}
+	return s
+}
+
+// TestGoldenDescribeAndExplain pins Plan.Describe for every shipped
+// workflow config and the optimizer's Explain rendering on top of it, so
+// any change to plan shapes or rule behavior shows up as a reviewable
+// golden diff. Regenerate with: go test ./internal/planopt -run Golden -update
+func TestGoldenDescribeAndExplain(t *testing.T) {
+	cases := []struct {
+		file  string
+		args  map[string]string
+		stats func(*testing.T, *core.Plan) *InputStats
+	}{
+		{"blast_partition.xml", map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": "4", "num_reducers": "4"}, nil},
+		{"blast_partition_block.xml", map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": "4"}, nil},
+		{"hybrid_cut.xml", map[string]string{
+			"input_file": "mem://graph", "output_path": "mem://out",
+			"num_partitions": "4", "threshold": "200"}, nil},
+		{"blast_partition_auto.xml", map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": "4", "num_reducers": "4"}, testBlastStats},
+		{"hybrid_cut_auto.xml", map[string]string{
+			"input_file": "mem://graph", "output_path": "mem://out",
+			"num_partitions": "4"}, testGraphStats},
+	}
+	for _, tc := range cases {
+		name := tc.file[:len(tc.file)-len(".xml")]
+		t.Run(name, func(t *testing.T) {
+			plan := compileConfig(t, tc.file, tc.args)
+			opts := Options{Ranks: 4}
+			if tc.stats != nil {
+				opts.Stats = tc.stats(t, plan)
+			}
+			rw, err := Optimize(plan, opts)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			got := "=== describe ===\n" + plan.Describe() +
+				"=== optimized ===\n" + rw.After.Describe() +
+				"=== explain ===\n" + rw.Explain()
+
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package planopt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// spreadRows splits rows into nranks contiguous chunks, mirroring the input
+// splitter.
+func spreadRows(rows []core.Row, nranks int) [][]core.Row {
+	out := make([][]core.Row, nranks)
+	for i := 0; i < nranks; i++ {
+		lo := len(rows) * i / nranks
+		hi := len(rows) * (i + 1) / nranks
+		out[i] = rows[lo:hi]
+	}
+	return out
+}
+
+// samePartitions compares two partition sets byte-for-byte, row order
+// included — the optimizer's identity invariant, not just set equality.
+func samePartitions(t *testing.T, label string, a, b [][]core.Row) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: partition counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			t.Fatalf("%s: partition %d row counts differ: %d vs %d", label, p, len(a[p]), len(b[p]))
+		}
+		for i := range a[p] {
+			if !bytes.Equal(core.EncodeRow(a[p][i]), core.EncodeRow(b[p][i])) {
+				t.Fatalf("%s: partition %d row %d differs: %v vs %v", label, p, i, a[p][i], b[p][i])
+			}
+		}
+	}
+}
+
+func runPlan(t *testing.T, plan *core.Plan, rows []core.Row, nodes int) *core.Result {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	res, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+	if err != nil {
+		t.Fatalf("execute %s: %v", plan.WorkflowID, err)
+	}
+	return res
+}
+
+// TestOptimizedIdentity executes every shipped workflow literally and
+// optimized on the same input and requires byte-identical partitions — the
+// optimizer's hard invariant — plus a makespan that never regresses.
+func TestOptimizedIdentity(t *testing.T) {
+	const nodes = 4
+	blastData := core.RecordsToRows(blast.Generate(blast.EnvNR(), 0.0003, 5).Records())
+	graphData := core.RecordsToRows(graph.EdgesToRows(graph.Generate(graph.Google(), 0.001, 5).Edges))
+
+	cases := []struct {
+		file string
+		args map[string]string
+		rows []core.Row
+	}{
+		{"blast_partition.xml", map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": "8", "num_reducers": "4"}, blastData},
+		{"blast_partition_block.xml", map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": "8"}, blastData},
+		{"hybrid_cut.xml", map[string]string{
+			"input_file": "mem://graph", "output_path": "mem://out",
+			"num_partitions": "8", "threshold": "40"}, graphData},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			plan := compileConfig(t, tc.file, tc.args)
+			rw, err := Optimize(plan, Options{Ranks: nodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lit := runPlan(t, plan, tc.rows, nodes)
+			opt := runPlan(t, rw.After, tc.rows, nodes)
+			samePartitions(t, tc.file, lit.Partitions, opt.Partitions)
+			if opt.Makespan > lit.Makespan {
+				t.Errorf("optimized makespan %v exceeds literal %v", opt.Makespan, lit.Makespan)
+			}
+		})
+	}
+}
+
+// doubleGroupConfig groups twice on the same key, the shape that exercises
+// the placement-compat rule's runtime verify-then-skip.
+const doubleGroupConfig = `<workflow id="double_group" name="group twice on the in-vertex">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="g1" operator="Group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/g1"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+    </operator>
+    <operator id="g2" operator="Group">
+      <param name="inputPath" type="String" value="/tmp/g1"/>
+      <param name="outputPath" type="String" value="/tmp/g2"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/g2"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="DistrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>`
+
+// TestPlacementCompatIdentity pins that the verified aggregate skip leaves
+// results byte-identical to the literal re-shuffle.
+func TestPlacementCompatIdentity(t *testing.T) {
+	f := core.NewFramework()
+	if _, err := f.RegisterInputConfig(repro.Config("graph_edge.xml")); err != nil {
+		t.Fatalf("register graph_edge: %v", err)
+	}
+	plan, err := f.CompileWorkflowConfig([]byte(doubleGroupConfig), map[string]string{
+		"input_file": "mem://graph", "output_path": "mem://out", "num_partitions": "8",
+	})
+	if err != nil {
+		t.Fatalf("compile double_group: %v", err)
+	}
+	rw, err := Optimize(plan, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compat := false
+	for _, a := range rw.Fired {
+		if a.Rule == "placement-compat" {
+			compat = true
+		}
+	}
+	if !compat {
+		t.Fatalf("placement-compat should fire on double_group:\n%s", rw.Explain())
+	}
+	rows := core.RecordsToRows(graph.EdgesToRows(graph.Generate(graph.Google(), 0.001, 5).Edges))
+	lit := runPlan(t, plan, rows, 4)
+	opt := runPlan(t, rw.After, rows, 4)
+	samePartitions(t, "double_group", lit.Partitions, opt.Partitions)
+}

@@ -1,0 +1,191 @@
+package planopt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// findDistributes collects every DistributeJob in the plan, descending into
+// fused jobs.
+func findDistributes(p *core.Plan) []*core.DistributeJob {
+	var out []*core.DistributeJob
+	var walk func(j core.Job)
+	walk = func(j core.Job) {
+		switch t := j.(type) {
+		case *core.DistributeJob:
+			out = append(out, t)
+		case *core.FusedJob:
+			for _, in := range t.Inner {
+				walk(in)
+			}
+		}
+	}
+	for _, j := range p.Jobs {
+		walk(j)
+	}
+	return out
+}
+
+func blastArgs() map[string]string {
+	return map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": "4", "num_reducers": "4",
+	}
+}
+
+func hybridArgs() map[string]string {
+	return map[string]string{
+		"input_file": "mem://graph", "output_path": "mem://out",
+		"num_partitions": "4", "threshold": "200",
+	}
+}
+
+// TestFuseAndElideShapes pins the rewrite shape of every shipped workflow:
+// the muBLASTP pipeline collapses to one fused job with its shuffle elided,
+// the block workflow keeps its single job but drops the shuffle, and the
+// hybrid-cut workflow fuses group+split while its content-addressed
+// distribute keeps its exchange.
+func TestFuseAndElideShapes(t *testing.T) {
+	t.Run("blast_partition", func(t *testing.T) {
+		rw, err := Optimize(compileConfig(t, "blast_partition.xml", blastArgs()), Options{Ranks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rw.After.Jobs) != 1 {
+			t.Fatalf("want 1 fused job, got %d: %s", len(rw.After.Jobs), rw.After.Describe())
+		}
+		fj, ok := rw.After.Jobs[0].(*core.FusedJob)
+		if !ok || len(fj.Inner) != 2 {
+			t.Fatalf("want fused[sort+distr], got %s", rw.After.Jobs[0].Describe())
+		}
+		ds := findDistributes(rw.After)
+		if len(ds) != 1 || !ds[0].ElideShuffle {
+			t.Fatalf("cyclic distribute should have its shuffle elided: %s", rw.After.Describe())
+		}
+	})
+	t.Run("blast_partition_block", func(t *testing.T) {
+		args := blastArgs()
+		delete(args, "num_reducers")
+		rw, err := Optimize(compileConfig(t, "blast_partition_block.xml", args), Options{Ranks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rw.After.Jobs) != 1 {
+			t.Fatalf("single-job plan must stay single: %s", rw.After.Describe())
+		}
+		if _, ok := rw.After.Jobs[0].(*core.FusedJob); ok {
+			t.Fatalf("nothing to fuse with: %s", rw.After.Describe())
+		}
+		ds := findDistributes(rw.After)
+		if len(ds) != 1 || !ds[0].ElideShuffle {
+			t.Fatalf("block distribute should have its shuffle elided: %s", rw.After.Describe())
+		}
+	})
+	t.Run("hybrid_cut", func(t *testing.T) {
+		rw, err := Optimize(compileConfig(t, "hybrid_cut.xml", hybridArgs()), Options{Ranks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rw.After.Jobs) != 2 {
+			t.Fatalf("want fused[group+split] + distr, got %s", rw.After.Describe())
+		}
+		fj, ok := rw.After.Jobs[0].(*core.FusedJob)
+		if !ok || len(fj.Inner) != 2 {
+			t.Fatalf("want fused[group+split] first, got %s", rw.After.Jobs[0].Describe())
+		}
+		ds := findDistributes(rw.After)
+		if len(ds) != 1 || ds[0].ElideShuffle {
+			t.Fatalf("graphVertexCut is content-addressed; its shuffle must survive: %s", rw.After.Describe())
+		}
+		for _, a := range rw.Fired {
+			if a.Rule == "elide-shuffle" {
+				t.Fatalf("elide-shuffle must refuse graphVertexCut, fired: %+v", a)
+			}
+		}
+	})
+}
+
+// TestOptimizeDoesNotMutateInput pins that the optimizer works on a deep
+// copy: the caller's plan must describe identically before and after.
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	plan := compileConfig(t, "hybrid_cut.xml", hybridArgs())
+	before := plan.Describe()
+	if _, err := Optimize(plan, Options{Ranks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Describe(); got != before {
+		t.Fatalf("input plan mutated:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+}
+
+// TestAutoWithoutStatsErrors pins that unbound auto policies and thresholds
+// are a hard error when no statistics are available, not a silent default.
+func TestAutoWithoutStatsErrors(t *testing.T) {
+	args := blastArgs()
+	plan := compileConfig(t, "blast_partition_auto.xml", args)
+	if _, err := Optimize(plan, Options{Ranks: 4}); err == nil || !strings.Contains(err.Error(), "auto") {
+		t.Fatalf("want auto-policy error without stats, got %v", err)
+	}
+	hargs := hybridArgs()
+	delete(hargs, "threshold")
+	hplan := compileConfig(t, "hybrid_cut_auto.xml", hargs)
+	if _, err := Optimize(hplan, Options{Ranks: 4}); err == nil || !strings.Contains(err.Error(), "auto") {
+		t.Fatalf("want auto-threshold error without stats, got %v", err)
+	}
+}
+
+// TestPlacementCompatRule pins when the back-to-back-group rule fires: same
+// key and an unpacked predecessor fire it; a packed predecessor or a
+// different key refuse.
+func TestPlacementCompatRule(t *testing.T) {
+	mk := func(key1 string, pack1 bool, key2 string) *core.Plan {
+		return &core.Plan{
+			WorkflowID: "pc",
+			Jobs: []core.Job{
+				&core.GroupJob{ID: "g1", KeyCol: key1, Pack: pack1},
+				&core.GroupJob{ID: "g2", KeyCol: key2},
+			},
+		}
+	}
+	fired := func(p *core.Plan) bool {
+		rw, err := Optimize(p, Options{Ranks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range rw.After.Jobs {
+			if g, ok := j.(*core.GroupJob); ok && g.ID == "g2" {
+				return g.PlacementCompatible
+			}
+		}
+		t.Fatal("g2 missing from optimized plan")
+		return false
+	}
+	if !fired(mk("k", false, "k")) {
+		t.Error("same unpacked key must fire placement-compat")
+	}
+	if fired(mk("k", true, "k")) {
+		t.Error("packed predecessor must refuse placement-compat")
+	}
+	if fired(mk("k", false, "j")) {
+		t.Error("different keys must refuse placement-compat")
+	}
+}
+
+// TestExplainWithoutRules pins the Explain rendering when nothing fires.
+func TestExplainWithoutRules(t *testing.T) {
+	plan := &core.Plan{WorkflowID: "noop", Jobs: []core.Job{
+		&core.DistributeJob{ID: "d", Policy: core.Balanced, NumPartitions: 2},
+	}}
+	rw, err := Optimize(plan, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Fired) != 0 {
+		t.Fatalf("balanced is content-addressed; nothing should fire: %+v", rw.Fired)
+	}
+	if !strings.Contains(rw.Explain(), "rules: none fired") {
+		t.Fatalf("explain should state no rules fired:\n%s", rw.Explain())
+	}
+}

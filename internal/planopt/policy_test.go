@@ -1,0 +1,139 @@
+package planopt
+
+import (
+	"testing"
+
+	"repro/internal/blast"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestAutoPolicyGate is the ROADMAP gate for automatic policy selection:
+// with no hints beyond sampled input statistics, the optimizer must pick
+// cyclic for the muBLASTP skew profile (the paper's §IV-A result: sorted
+// sizes + round-robin beat contiguous block) and the hybrid vertex cut for
+// PowerLyra's power-law graph profiles (§IV-C).
+func TestAutoPolicyGate(t *testing.T) {
+	t.Run("muBLASTP->cyclic", func(t *testing.T) {
+		plan := compileConfig(t, "blast_partition_auto.xml", map[string]string{
+			"input_path": "mem://blast", "output_path": "mem://out",
+			"num_partitions": "16", "num_reducers": "16",
+		})
+		db := blast.Generate(blast.EnvNR(), 0.001, 11)
+		stats, err := CollectStats(plan, [][]core.Row{core.RecordsToRows(db.Records())}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := Optimize(plan, Options{Ranks: 16, Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := findDistributes(rw.After)
+		if len(ds) != 1 {
+			t.Fatalf("want one distribute, got %s", rw.After.Describe())
+		}
+		if ds[0].Policy != core.Cyclic {
+			t.Fatalf("optimizer picked %v for the muBLASTP profile, want cyclic\n%s", ds[0].Policy, rw.Explain())
+		}
+	})
+	for _, prof := range graph.Profiles() {
+		t.Run("PowerLyra/"+prof.Name+"->graphVertexCut", func(t *testing.T) {
+			plan := compileConfig(t, "hybrid_cut_auto.xml", map[string]string{
+				"input_file": "mem://graph", "output_path": "mem://out",
+				"num_partitions": "16",
+			})
+			g := graph.Generate(prof, 0.001, 11)
+			stats, err := CollectStats(plan, [][]core.Row{core.RecordsToRows(graph.EdgesToRows(g.Edges))}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rw, err := Optimize(plan, Options{Ranks: 16, Stats: stats})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := findDistributes(rw.After)
+			if len(ds) != 1 {
+				t.Fatalf("want one distribute, got %s", rw.After.Describe())
+			}
+			if ds[0].Policy != core.GraphVertexCut {
+				t.Fatalf("optimizer picked %v for the %s profile, want graphVertexCut\n%s",
+					ds[0].Policy, prof.Name, rw.Explain())
+			}
+		})
+	}
+}
+
+// TestAutoThresholdBindsSplit pins that auto split thresholds come out
+// bound, equal across branches, and in a sane range for a power-law input.
+func TestAutoThresholdBindsSplit(t *testing.T) {
+	plan := compileConfig(t, "hybrid_cut_auto.xml", map[string]string{
+		"input_file": "mem://graph", "output_path": "mem://out",
+		"num_partitions": "8",
+	})
+	stats := testGraphStats(t, plan)
+	rw, err := Optimize(plan, Options{Ranks: 8, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var split *core.SplitJob
+	for _, d := range rw.After.Jobs {
+		if fj, ok := d.(*core.FusedJob); ok {
+			for _, in := range fj.Inner {
+				if s, ok := in.(*core.SplitJob); ok {
+					split = s
+				}
+			}
+		}
+		if s, ok := d.(*core.SplitJob); ok {
+			split = s
+		}
+	}
+	if split == nil {
+		t.Fatalf("no split job in %s", rw.After.Describe())
+	}
+	thr := int64(-1)
+	for _, br := range split.Branches {
+		if br.Condition.Auto {
+			t.Fatalf("branch %s still auto after optimize", br.Name)
+		}
+		if thr < 0 {
+			thr = br.Condition.Threshold
+		} else if br.Condition.Threshold != thr {
+			t.Fatalf("branches bound to different thresholds: %d vs %d", thr, br.Condition.Threshold)
+		}
+	}
+	if thr < 2 {
+		t.Fatalf("threshold %d below clamp", thr)
+	}
+	if thr >= stats.Rows {
+		t.Fatalf("threshold %d not below the row count %d; no vertex could ever be high-degree", thr, stats.Rows)
+	}
+}
+
+// TestCollectStatsDeterministic pins that stats collection is a pure
+// function of (input, seed) — the optimizer must not introduce run-to-run
+// plan drift.
+func TestCollectStatsDeterministic(t *testing.T) {
+	plan := compileConfig(t, "blast_partition_auto.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": "4", "num_reducers": "4",
+	})
+	db := blast.Generate(blast.EnvNR(), 0.0005, 3)
+	rows := core.RecordsToRows(db.Records())
+	a, err := CollectStats(plan, [][]core.Row{rows}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectStats(plan, [][]core.Row{rows}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != b.Rows || a.AvgRowBytes != b.AvgRowBytes || len(a.SortKeySample) != len(b.SortKeySample) {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", a, b)
+	}
+	for i := range a.SortKeySample {
+		if a.SortKeySample[i] != b.SortKeySample[i] {
+			t.Fatalf("sample differs at %d", i)
+		}
+	}
+}
