@@ -45,6 +45,7 @@ import (
 	"repro/internal/mrmpi"
 	"repro/internal/obsv"
 	"repro/internal/planopt"
+	"repro/internal/sigflush"
 	"repro/internal/vtime"
 )
 
@@ -144,6 +145,14 @@ func run() error {
 		return fmt.Errorf("-data is required to execute the partitioner")
 	}
 	obs := newRecorder(*traceOut, *metricsOut, *timelineW)
+	if obs != nil {
+		// An interrupted run still flushes the partial trace/metrics: what
+		// the recorder has seen up to the signal is written, not discarded.
+		sigflush.Register(func() {
+			fmt.Fprintln(os.Stderr, "papar: interrupted, flushing observability artifacts")
+			emitObservability(obs, *traceOut, *metricsOut, 0)
+		})
+	}
 	switch *backend {
 	case "mrmpi":
 		if *compress {

@@ -1,0 +1,131 @@
+// Command papard is the PaPar partitioning daemon: a long-running service
+// that keeps the simulated cluster, parsed workflow configs, and generated
+// datasets resident, and accepts partitioning jobs over HTTP/JSON instead
+// of paying the full startup cost per run (compare the one-shot papar CLI).
+//
+// API (see DESIGN.md "Service tier" for the full contract):
+//
+//	POST /v1/jobs          submit a job spec; 202 on accept, 429 +
+//	                       Retry-After when admission sheds load
+//	GET  /v1/jobs/{id}     job status (?wait=10s blocks until terminal)
+//	GET  /v1/stats         queue depth, counters, latency percentiles
+//	GET  /v1/healthz       liveness (503 while draining)
+//
+// Robustness:
+//
+//   - Every accepted job is framed into a CRC32C write-ahead journal before
+//     the 202 goes out; kill -9 the daemon, restart it on the same
+//     -data-dir, and it re-runs every owed job to byte-identical partitions.
+//   - Admission control prices the backlog with the plan optimizer's cost
+//     model and sheds jobs that cannot finish inside -budget.
+//   - Failed attempts retry with exponential backoff and deterministic
+//     jitter (capped at -retry-max); per-job deadlines cancel cooperatively.
+//   - SIGINT/SIGTERM drains gracefully: running jobs finish, queued jobs
+//     stay journaled for the next start, the journal is flushed and closed.
+//
+// Usage:
+//
+//	papard -listen 127.0.0.1:8087 -data-dir /var/lib/papard \
+//	       -nodes 4 -workers 2 -budget 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "papard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8087", "HTTP listen address (host:port; :0 picks a free port)")
+		nodes       = flag.Int("nodes", 4, "simulated nodes per resident cluster (2 ranks each)")
+		workers     = flag.Int("workers", 2, "worker pool size: resident clusters executing jobs concurrently")
+		queueLimit  = flag.Int("queue-limit", 4096, "hard cap on queued jobs; submissions beyond it are shed with 429")
+		budget      = flag.Duration("budget", 30*time.Second, "deadline budget admission control defends; also the default per-job deadline")
+		retryMax    = flag.Int("retry-max", 3, "execution attempts per job before it fails permanently")
+		retryBase   = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff; attempt k waits base<<k plus deterministic jitter")
+		dataDir     = flag.String("data-dir", "papard-data", "journal + persisted partitions live here; empty runs volatile (no crash recovery)")
+		journalSync = flag.Bool("journal-sync", false, "fsync every journal append (survives power loss, not just kill -9)")
+		metricsOut  = flag.String("metrics-out", "", "write service counters as metrics JSON on shutdown")
+	)
+	flag.Parse()
+
+	var obs *obsv.Recorder
+	if *metricsOut != "" {
+		obs = obsv.NewRecorder()
+	}
+	srv, err := service.New(service.Config{
+		Nodes:       *nodes,
+		Workers:     *workers,
+		QueueLimit:  *queueLimit,
+		Budget:      *budget,
+		RetryMax:    *retryMax,
+		RetryBase:   *retryBase,
+		DataDir:     *dataDir,
+		JournalSync: *journalSync,
+		Obs:         obs,
+	})
+	if err != nil {
+		return err
+	}
+	if snap := srv.Snapshot(); snap.Recovered > 0 {
+		fmt.Printf("papard: journal replay owes %d job(s); re-running\n", snap.Recovered)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	// The listening line is the readiness signal scripts/papard_smoke and
+	// operators wait for; keep its shape stable.
+	fmt.Printf("papard: listening on %s (nodes=%d workers=%d budget=%v data-dir=%s)\n",
+		ln.Addr(), *nodes, *workers, *budget, *dataDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("papard: %v: draining (running jobs finish, queued jobs stay journaled)\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "papard: http shutdown:", err)
+	}
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	snap := srv.Snapshot()
+	fmt.Printf("papard: drained: %d completed, %d failed, %d still queued (journaled), %d rejected, %d retries\n",
+		snap.Completed, snap.Failed, snap.QueueDepth, snap.Rejected, snap.Retries)
+	if *metricsOut != "" {
+		if err := obs.Metrics().WriteJSON(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("papard: wrote metrics to %s\n", *metricsOut)
+	}
+	return nil
+}

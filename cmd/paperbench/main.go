@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sigflush"
 )
 
 // renderer is any experiment result.
@@ -54,7 +55,18 @@ func catalog() []experiment {
 		{"outofcore", "budget-constrained partitioning through the spill tier, byte-identical to in-memory", wrap(experiments.OutOfCore)},
 		{"skew", "per-rank load imbalance by partitioning policy (block vs cyclic, hybrid vs hash)", wrap(experiments.Skew)},
 		{"optimizer", "plan optimizer: fusion/elision identity, auto policy selection, fused-plan recovery", wrap(experiments.RunOptimizer)},
+		{"service", "papard service tier under load: throughput, overload shedding, retries, fair share, crash recovery", wrap(experiments.Service)},
 	}
+}
+
+// experimentNames lists the catalog names in order, for -exp help and the
+// unknown-experiment error.
+func experimentNames() []string {
+	var names []string
+	for _, e := range catalog() {
+		names = append(names, e.name)
+	}
+	return names
 }
 
 func main() {
@@ -66,19 +78,38 @@ func main() {
 // perf-gate failures.
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, correctness, fig12, fig13a, fig13b, fig14, fig15a, fig15b, compress, ccomp, ablations, chaos, outofcore, skew, optimizer)")
+		exp        = flag.String("exp", "all", `experiment to run ("help" lists them, "all" runs everything)`)
 		blastScale = flag.Float64("blast-scale", 0, "BLAST database scale (default 0.02)")
 		graphScale = flag.Float64("graph-scale", 0, "graph dataset scale (default 0.01)")
 		nodes      = flag.Int("nodes", 0, "largest simulated cluster (default 16)")
 		seed       = flag.Int64("seed", 0, "dataset seed (default 42)")
 		bench      = flag.Bool("bench", false, "run the shuffle/sort/convert microbenchmarks instead of the experiments")
-		benchOut   = flag.String("bench-out", "BENCH_PR8.json", "where -bench writes its JSON results")
+		benchOut   = flag.String("bench-out", "BENCH_PR9.json", "where -bench writes its JSON results")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		baseline   = flag.String("baseline", "", "with -bench: compare against this recorded JSON and exit nonzero on regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "with -baseline: allowed slowdown fraction before a benchmark counts as regressed")
 		metricsDir = flag.String("metrics-dir", "", "write each experiment's result as <dir>/<name>.json")
 	)
 	flag.Parse()
+	switch strings.ToLower(*exp) {
+	case "help", "list":
+		fmt.Println("experiments:")
+		for _, e := range catalog() {
+			fmt.Printf("  %-12s %s\n", e.name, e.desc)
+		}
+		return 0
+	case "all":
+	default:
+		known := false
+		for _, n := range experimentNames() {
+			known = known || strings.EqualFold(*exp, n)
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (valid experiments: all, %s)\n",
+				*exp, strings.Join(experimentNames(), ", "))
+			return 1
+		}
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -89,10 +120,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
 			return 1
 		}
-		defer func() {
+		flush := func() {
 			pprof.StopCPUProfile()
 			f.Close()
-		}()
+		}
+		// A SIGINT/SIGTERM mid-sweep still leaves a loadable profile.
+		sigflush.Register(flush)
+		defer flush()
 	}
 	if *bench {
 		res, err := experiments.RunMicrobench()
@@ -128,12 +162,11 @@ func run() int {
 		Nodes:      *nodes,
 		Seed:       *seed,
 	}
-	ran, failed := 0, false
+	failed := false
 	for _, e := range catalog() {
 		if *exp != "all" && !strings.EqualFold(*exp, e.name) {
 			continue
 		}
-		ran++
 		start := time.Now()
 		res, err := e.run(opts)
 		if err != nil {
@@ -154,10 +187,6 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: correctness check FAILED (see report above)\n", e.name)
 			failed = true
 		}
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
-		return 1
 	}
 	if failed {
 		return 1

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -69,6 +70,26 @@ type SpillOptions struct {
 // ExecOptions tune plan execution beyond what the plan itself specifies.
 type ExecOptions struct {
 	Spill SpillOptions
+	// Cancel, when non-nil, requests cooperative cancellation: every rank
+	// polls it at job boundaries (and between recovery rounds on the
+	// resilient path) and unwinds with ErrCanceled once it is closed. A job
+	// already in flight runs to its boundary first, so cancellation never
+	// tears a shuffle mid-exchange — worst-case latency is one job.
+	Cancel <-chan struct{}
+}
+
+// ErrCanceled reports that an execution unwound because its
+// ExecOptions.Cancel channel was closed (deadline exceeded, shutdown).
+var ErrCanceled = errors.New("core: execution canceled")
+
+// canceled polls a cancellation channel without blocking.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // spillRoot resolves the spill root directory; the returned cleanup removes
@@ -176,6 +197,9 @@ func ExecuteOpts(cl *cluster.Cluster, plan *Plan, in Input, opts ExecOptions) (*
 			st.mr.SetSpill(sp, opts.Spill.MemBudget)
 		}
 		for ji, job := range plan.Jobs {
+			if canceled(opts.Cancel) {
+				return ErrCanceled
+			}
 			endJob := r.Span("job", job.JobID())
 			r.Charge(JobLaunchOverhead)
 			if err := st.runJob(job); err != nil {

@@ -156,6 +156,9 @@ func ExecuteResilientOpts(cl *cluster.Cluster, plan *Plan, in Input, res *Resili
 		recoverRun := func() error {
 			defer r.Span("core", "recover")()
 			for {
+				if canceled(opts.Cancel) {
+					return ErrCanceled
+				}
 				rounds++
 				roundsByRank[r.ID()] = rounds
 				if rounds > maxRounds {
@@ -232,6 +235,9 @@ func ExecuteResilientOpts(cl *cluster.Cluster, plan *Plan, in Input, res *Resili
 			}
 			if ji >= len(plan.Jobs) {
 				break
+			}
+			if canceled(opts.Cancel) {
+				return ErrCanceled
 			}
 			job := plan.Jobs[ji]
 			endJob := r.Span("job", job.JobID())

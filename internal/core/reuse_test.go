@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataformat"
+	"repro/internal/faults"
+)
+
+// encodePartitions flattens a result's partitions to one byte image, with
+// partition separators, so byte identity between runs is one bytes.Equal.
+func encodePartitions(parts [][]Row) []byte {
+	var buf bytes.Buffer
+	for _, part := range parts {
+		for _, r := range part {
+			buf.Write(EncodeRow(r))
+			buf.WriteByte(0)
+		}
+		buf.WriteByte(0xFF)
+	}
+	return buf.Bytes()
+}
+
+// reuseIndex is a larger synthetic muBLASTP index so the reuse runs exercise
+// real shuffles on every rank.
+func reuseIndex(n int) []Row {
+	rows := make([]Row, 0, n)
+	off := int64(0)
+	for i := 0; i < n; i++ {
+		size := int64(40 + (i*37)%200)
+		rows = append(rows, intRow(off, size, off/2, size/2))
+		off += size
+	}
+	return rows
+}
+
+func reuseEdges(n int) []Row {
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("v%03d", i%97)
+		dst := fmt.Sprintf("v%03d", (i*13)%31) // skewed in-degree
+		rows = append(rows, Row{Values: []dataformat.Value{
+			dataformat.StrVal(src), dataformat.StrVal(dst),
+		}})
+	}
+	return rows
+}
+
+// TestClusterReuseByteIdentical runs two different workflows back-to-back on
+// ONE cluster and requires partitions, makespans and traffic stats to be
+// byte-identical to two fresh-cluster runs — the contract the papard worker
+// pool leans on (a resident cluster per worker, Reset between jobs).
+func TestClusterReuseByteIdentical(t *testing.T) {
+	blastPlan := compileBlast(t, "8")
+	hybridPlan := compileHybrid(t, "8", "4")
+	blastRows := reuseIndex(400)
+	edgeRows := reuseEdges(600)
+
+	type run struct {
+		plan *Plan
+		rows []Row
+	}
+	seq := []run{{blastPlan, blastRows}, {hybridPlan, edgeRows}, {blastPlan, blastRows}}
+
+	// Reference: each workflow on its own fresh cluster.
+	fresh := make([]*Result, len(seq))
+	for i, rn := range seq {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		res, err := Execute(cl, rn.plan, Input{LocalRows: spread(rn.rows, cl.Size())})
+		if err != nil {
+			t.Fatalf("fresh run %d: %v", i, err)
+		}
+		fresh[i] = res
+	}
+
+	// Reused: the whole sequence on one resident cluster.
+	cl := cluster.New(cluster.DefaultConfig(4))
+	for i, rn := range seq {
+		res, err := Execute(cl, rn.plan, Input{LocalRows: spread(rn.rows, cl.Size())})
+		if err != nil {
+			t.Fatalf("reused run %d: %v", i, err)
+		}
+		if !bytes.Equal(encodePartitions(res.Partitions), encodePartitions(fresh[i].Partitions)) {
+			t.Errorf("run %d: reused-cluster partitions differ from fresh-cluster partitions", i)
+		}
+		if res.Makespan != fresh[i].Makespan {
+			t.Errorf("run %d: makespan %v on reused cluster, %v fresh", i, res.Makespan, fresh[i].Makespan)
+		}
+		if res.ShuffleBytes != fresh[i].ShuffleBytes || res.ShuffleMessages != fresh[i].ShuffleMessages {
+			t.Errorf("run %d: traffic (%d B, %d msgs) reused vs (%d B, %d msgs) fresh",
+				i, res.ShuffleBytes, res.ShuffleMessages, fresh[i].ShuffleBytes, fresh[i].ShuffleMessages)
+		}
+		// Per-run stats must cover exactly this run: Reset wiped the
+		// previous job's counters.
+		stats := cl.Stats()
+		if stats.BytesOnWire != res.ShuffleBytes || stats.Messages != res.ShuffleMessages {
+			t.Errorf("run %d: cluster stats (%d B, %d msgs) leak across runs (want %d B, %d msgs)",
+				i, stats.BytesOnWire, stats.Messages, res.ShuffleBytes, res.ShuffleMessages)
+		}
+	}
+}
+
+// TestClusterReuseUnderCrashPlan interleaves a fault-injected resilient run
+// with fault-free runs on one cluster: the crash must not leak failure state
+// into the next job, and every run must match its fresh-cluster twin.
+func TestClusterReuseUnderCrashPlan(t *testing.T) {
+	plan := compileBlast(t, "8")
+	rows := reuseIndex(400)
+	crash := &faults.Plan{Seed: 7, Crashes: []faults.Crash{{Rank: 1, AfterSends: 4}}}
+
+	freshRef := func(fp *faults.Plan) *Result {
+		t.Helper()
+		cl := cluster.New(cluster.DefaultConfig(4))
+		if fp == nil {
+			res, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		cl.SetFaultPlan(fp)
+		res, rep, err := ExecuteResilient(cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failed) == 0 {
+			t.Fatal("crash plan injected no failure; the reuse test needs a real recovery")
+		}
+		return res
+	}
+	plainRef := freshRef(nil)
+	faultedRef := freshRef(crash)
+
+	cl := cluster.New(cluster.DefaultConfig(4))
+
+	// Run 1: fault-free on the resident cluster.
+	res, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodePartitions(res.Partitions), encodePartitions(plainRef.Partitions)) {
+		t.Error("run 1 (fault-free) diverged from fresh-cluster reference")
+	}
+
+	// Run 2: crash + recovery on the same cluster.
+	cl.SetFaultPlan(crash)
+	res2, rep, err := ExecuteResilient(cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("crash did not fire on the reused cluster")
+	}
+	if !bytes.Equal(encodePartitions(res2.Partitions), encodePartitions(faultedRef.Partitions)) {
+		t.Error("run 2 (crash) diverged from fresh-cluster faulted reference")
+	}
+	if res2.Makespan != faultedRef.Makespan {
+		t.Errorf("run 2 makespan %v, fresh faulted reference %v", res2.Makespan, faultedRef.Makespan)
+	}
+
+	// Run 3: fault plan removed; the dead rank must be resurrected and the
+	// fault-free timeline restored exactly.
+	cl.SetFaultPlan(nil)
+	res3, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodePartitions(res3.Partitions), encodePartitions(plainRef.Partitions)) {
+		t.Error("run 3 (fault-free after crash) diverged: failure state leaked across Reset")
+	}
+	if res3.Makespan != plainRef.Makespan {
+		t.Errorf("run 3 makespan %v, fault-free reference %v", res3.Makespan, plainRef.Makespan)
+	}
+	if got := cl.FailedRanks(); len(got) != 0 {
+		t.Errorf("failed ranks %v survived into run 3", got)
+	}
+
+	// Run 4: the same crash plan replayed on the reused cluster must land on
+	// the identical recovered timeline (fault epochs reset cleanly).
+	cl.SetFaultPlan(crash)
+	res4, _, err := ExecuteResilient(cl, plan, Input{LocalRows: spread(rows, cl.Size())}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Makespan != faultedRef.Makespan ||
+		!bytes.Equal(encodePartitions(res4.Partitions), encodePartitions(faultedRef.Partitions)) {
+		t.Error("run 4 (crash replay) diverged from the first faulted run")
+	}
+}
+
+// TestExecuteCanceled verifies the cooperative-cancellation contract: a
+// closed Cancel channel unwinds the execution with ErrCanceled and leaves
+// the cluster reusable.
+func TestExecuteCanceled(t *testing.T) {
+	plan := compileBlast(t, "4")
+	rows := reuseIndex(200)
+	cl := cluster.New(cluster.DefaultConfig(2))
+
+	ch := make(chan struct{})
+	close(ch)
+	_, err := ExecuteOpts(cl, plan, Input{LocalRows: spread(rows, cl.Size())}, ExecOptions{Cancel: ch})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+
+	// The canceled run must not poison the cluster for the next job.
+	res, err := Execute(cl, plan, Input{LocalRows: spread(rows, cl.Size())})
+	if err != nil {
+		t.Fatalf("run after cancel: %v", err)
+	}
+	clFresh := cluster.New(cluster.DefaultConfig(2))
+	ref, err := Execute(clFresh, plan, Input{LocalRows: spread(rows, clFresh.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodePartitions(res.Partitions), encodePartitions(ref.Partitions)) {
+		t.Error("post-cancel run diverged from fresh-cluster reference")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/blast"
 	"repro/internal/cluster"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
 	"repro/internal/planopt"
+	"repro/internal/service"
 	"repro/internal/shufcodec"
 	"repro/internal/spill"
 )
@@ -538,6 +540,75 @@ func RunMicrobench() (*Microbench, error) {
 			if _, err := planopt.Optimize(autoPlan, planopt.Options{Ranks: 8, Stats: stats}); err != nil {
 				failure = err
 				b.Fatal(err)
+			}
+		}
+	}))
+
+	// JournalAppend: one CRC-framed WAL record through the service journal —
+	// the write that sits on papard's admission path, so its cost bounds the
+	// daemon's accept rate.
+	jdir, err := os.MkdirTemp("", "papar-bench-journal-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(jdir)
+	jrec := service.Record{
+		Type: "accepted", ID: "j-00001234", Key: "bench-key", Tenant: "bench",
+		Spec: &service.JobSpec{
+			Workflow: "blast_partition",
+			Dataset:  service.DatasetSpec{Kind: "blast", Profile: "env_nr", Scale: 0.001, Seed: 9},
+			Args:     map[string]string{"num_partitions": "8"},
+		},
+	}
+	out.Results = append(out.Results, bench("JournalAppend", func(b *testing.B) {
+		jr, _, err := service.OpenJournal(filepath.Join(jdir, fmt.Sprintf("j-%d.pjl", b.N)), false)
+		if err != nil {
+			failure = err
+			b.Fatal(err)
+		}
+		defer jr.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := jr.Append(jrec); err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// ServiceThroughput: a 32-job burst through a warm papard service —
+	// admission, fair-share dispatch onto resident clusters, completion —
+	// submit to drain. The runtime cache is warmed by a probe job first so
+	// the measurement is the service path, not dataset generation.
+	svc, err := service.New(service.Config{Nodes: 2, Workers: 4, Budget: 5 * time.Minute, QueueLimit: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	svc.Start()
+	defer svc.Drain()
+	svcSpec := service.JobSpec{
+		Workflow: "blast_partition",
+		Dataset:  service.DatasetSpec{Kind: "blast", Profile: "env_nr", Scale: 0.001, Seed: 9},
+		Args:     map[string]string{"num_partitions": "8"},
+	}
+	if _, aerr := svc.Submit(svcSpec); aerr != nil {
+		return nil, fmt.Errorf("service bench probe: %s", aerr.Reason)
+	}
+	if !svc.WaitIdle(5 * time.Minute) {
+		return nil, fmt.Errorf("service bench probe did not finish")
+	}
+	out.Results = append(out.Results, bench("ServiceThroughput", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 32; k++ {
+				if _, aerr := svc.Submit(svcSpec); aerr != nil {
+					failure = fmt.Errorf("service bench submit: %s", aerr.Reason)
+					b.Fatal(failure)
+				}
+			}
+			if !svc.WaitIdle(5 * time.Minute) {
+				failure = fmt.Errorf("service bench burst did not drain")
+				b.Fatal(failure)
 			}
 		}
 	}))

@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// serviceJobs is the load-test size: how many jobs the throughput scenario
+// pushes through the daemon (thousands, per the service tier's design
+// target; they fan out over a handful of cached runtimes, so the wall cost
+// is execution, not dataset generation).
+const serviceJobs = 2000
+
+// ServiceResult is the papard service-tier load test: throughput under a
+// realistic mix, overload shedding, retry/deadline behaviour, fair-share
+// accounting, and the crash-recovery invariant. JSON carries only
+// deterministic invariants (counts, checksums, verdicts) so CI can run the
+// experiment twice and byte-compare; wall-clock figures are render-only.
+type ServiceResult struct {
+	// Jobs / Completed are the throughput scenario: every submitted job must
+	// complete (the budget is generous; admission sheds nothing here).
+	Jobs      int   `json:"jobs"`
+	Completed int64 `json:"completed"`
+	// FleetChecksum folds every job's partition fingerprint, in submission
+	// order, into one value: the whole sweep's output in one number.
+	FleetChecksum string `json:"fleet_checksum"`
+	// P99WithinBudget is the acceptance criterion: p99 accepted-job latency
+	// inside the deadline budget.
+	P99WithinBudget bool `json:"p99_within_budget"`
+
+	// ShedOverLimit jobs were rejected 429 once the queue hit its cap;
+	// BudgetShedRetryAfter reports that a cost-model rejection carried a
+	// positive Retry-After hint.
+	ShedOverLimit        int64 `json:"shed_over_limit"`
+	BudgetShedRetryAfter bool  `json:"budget_shed_retry_after"`
+
+	// RetriedAttempts is the attempt count of a job whose first two attempts
+	// were doomed (want 3); RetryChecksumMatch compares its partitions with
+	// an untroubled run (exactly-once effect).
+	RetriedAttempts    int  `json:"retried_attempts"`
+	RetryChecksumMatch bool `json:"retry_checksum_match"`
+	// DeadlineEnforced: a job that keeps failing runs out of wall clock and
+	// fails with a deadline error instead of retrying forever.
+	DeadlineEnforced bool `json:"deadline_enforced"`
+
+	// TenantUsageNS is the fair-share ledger after a two-tenant run: per
+	// tenant, the summed virtual makespan of its completed jobs.
+	TenantUsageNS map[string]int64 `json:"tenant_usage_ns"`
+
+	// CrashJobs were accepted by a server that was then crashed mid-flight;
+	// CrashChecksumsMatch compares every recovered job's checksum against an
+	// uninterrupted reference server, and CrashPersistIdentical
+	// byte-compares the persisted partition files themselves.
+	CrashJobs             int  `json:"crash_jobs"`
+	CrashRecovered        bool `json:"crash_recovered"`
+	CrashChecksumsMatch   bool `json:"crash_checksums_match"`
+	CrashPersistIdentical bool `json:"crash_persist_identical"`
+
+	// Wall-clock figures: meaningful in the report, poison for determinism
+	// diffs, so they stay out of the JSON.
+	P50MS          float64 `json:"-"`
+	P99MS          float64 `json:"-"`
+	WallSeconds    float64 `json:"-"`
+	JobsPerSecond  float64 `json:"-"`
+	Retries        int64   `json:"-"`
+	RecoveredCount int64   `json:"-"`
+	JournalAppends int64   `json:"-"`
+	BudgetMS       float64 `json:"-"`
+}
+
+// Failed gates paperbench's exit code on the robustness invariants.
+func (r *ServiceResult) Failed() bool {
+	return r.Completed != int64(r.Jobs) ||
+		!r.P99WithinBudget ||
+		r.ShedOverLimit == 0 || !r.BudgetShedRetryAfter ||
+		r.RetriedAttempts != 3 || !r.RetryChecksumMatch ||
+		!r.DeadlineEnforced ||
+		!r.CrashRecovered || !r.CrashChecksumsMatch || !r.CrashPersistIdentical
+}
+
+// serviceSpecs is the throughput mix: two tenants, both workflows, two
+// seeds — eight distinct runtimes the daemon keeps resident.
+func serviceSpecs(seed int64) []service.JobSpec {
+	var specs []service.JobSpec
+	for _, tenant := range []string{"alpha", "beta"} {
+		for _, s := range []int64{seed, seed + 1} {
+			specs = append(specs,
+				service.JobSpec{
+					Workflow: "blast_partition",
+					Dataset:  service.DatasetSpec{Kind: "blast", Profile: "env_nr", Scale: 0.001, Seed: s},
+					Args:     map[string]string{"num_partitions": "8"},
+					Tenant:   tenant,
+				},
+				service.JobSpec{
+					Workflow: "hybrid_cut",
+					Dataset:  service.DatasetSpec{Kind: "graph", Profile: "google", Scale: 0.001, Seed: s},
+					Args:     map[string]string{"num_partitions": "8", "threshold": "50"},
+					Tenant:   tenant,
+				})
+		}
+	}
+	return specs
+}
+
+// Service is the papard service-tier experiment (paperbench -exp service).
+func Service(o Options) (*ServiceResult, error) {
+	o = o.withDefaults()
+	r := &ServiceResult{Jobs: serviceJobs}
+
+	if err := serviceThroughput(o, r); err != nil {
+		return nil, err
+	}
+	if err := serviceOverload(o, r); err != nil {
+		return nil, err
+	}
+	if err := serviceRetryDeadline(o, r); err != nil {
+		return nil, err
+	}
+	if err := serviceFairShare(o, r); err != nil {
+		return nil, err
+	}
+	if err := serviceCrashRecovery(o, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// serviceThroughput drives thousands of jobs through a warm daemon and
+// checks the latency acceptance criterion.
+func serviceThroughput(o Options, r *ServiceResult) error {
+	// The budget leaves an order of magnitude of headroom over the measured
+	// p99 (~20s of queue wait when all jobs arrive at once): the criterion
+	// guards against latency collapse, not machine-speed variance.
+	budget := 5 * time.Minute
+	s, err := service.New(service.Config{Nodes: 2, Workers: 4, Budget: budget, QueueLimit: serviceJobs + 1})
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer s.Drain()
+
+	specs := serviceSpecs(o.Seed)
+	start := time.Now()
+	jobs := make([]*service.Job, 0, serviceJobs)
+	for i := 0; i < serviceJobs; i++ {
+		j, aerr := s.Submit(specs[i%len(specs)])
+		if aerr != nil {
+			return fmt.Errorf("service: throughput submit %d: %s", i, aerr.Reason)
+		}
+		jobs = append(jobs, j)
+	}
+	if !s.WaitIdle(10 * time.Minute) {
+		return fmt.Errorf("service: throughput load did not drain")
+	}
+	r.WallSeconds = time.Since(start).Seconds()
+	if r.WallSeconds > 0 {
+		r.JobsPerSecond = float64(serviceJobs) / r.WallSeconds
+	}
+	h := fnv.New64a()
+	for _, j := range jobs {
+		<-j.Done()
+		if j.State != service.StateDone {
+			return fmt.Errorf("service: throughput job %s: %s %s", j.ID, j.State, j.Error)
+		}
+		binary.Write(h, binary.LittleEndian, j.Checksum)
+	}
+	r.FleetChecksum = fmt.Sprintf("%016x", h.Sum64())
+	snap := s.Snapshot()
+	r.Completed = snap.Completed
+	r.P50MS, r.P99MS = snap.P50MS, snap.P99MS
+	r.BudgetMS = float64(budget) / float64(time.Millisecond)
+	r.P99WithinBudget = snap.P99MS < r.BudgetMS
+	return nil
+}
+
+// serviceOverload checks both shedding paths: the queue cap and the
+// cost-model budget.
+func serviceOverload(o Options, r *ServiceResult) error {
+	// Queue cap: a stopped server (no workers) fills its 8-slot queue; the
+	// overflow must shed deterministically.
+	s, err := service.New(service.Config{Nodes: 2, Workers: 1, QueueLimit: 8, Budget: time.Hour})
+	if err != nil {
+		return err
+	}
+	spec := serviceSpecs(o.Seed)[0]
+	for i := 0; i < 20; i++ {
+		sp := spec
+		sp.Tenant = fmt.Sprintf("t%d", i) // spread tenants; the cap is global
+		if _, aerr := s.Submit(sp); aerr != nil {
+			if aerr.Status != 429 {
+				return fmt.Errorf("service: overload submit: status %d: %s", aerr.Status, aerr.Reason)
+			}
+			r.ShedOverLimit++
+		}
+	}
+	s.Drain()
+
+	// Budget: a 1ns deadline budget cannot fit any predicted run; the
+	// rejection must carry a Retry-After hint.
+	tight, err := service.New(service.Config{Nodes: 2, Workers: 1, Budget: time.Nanosecond})
+	if err != nil {
+		return err
+	}
+	defer tight.Drain()
+	_, aerr := tight.Submit(spec)
+	r.BudgetShedRetryAfter = aerr != nil && aerr.Status == 429 && aerr.RetryAfter > 0
+	return nil
+}
+
+// serviceRetryDeadline exercises the backoff loop and the deadline cutoff.
+func serviceRetryDeadline(o Options, r *ServiceResult) error {
+	s, err := service.New(service.Config{Nodes: 2, Workers: 1, RetryMax: 3, RetryBase: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer s.Drain()
+	specs := serviceSpecs(o.Seed)
+
+	clean, aerr := s.Submit(specs[0])
+	if aerr != nil {
+		return fmt.Errorf("service: retry reference: %s", aerr.Reason)
+	}
+	flaky := specs[0]
+	flaky.FailAttempts = 2
+	j, aerr := s.Submit(flaky)
+	if aerr != nil {
+		return fmt.Errorf("service: retry submit: %s", aerr.Reason)
+	}
+	<-clean.Done()
+	<-j.Done()
+	r.RetriedAttempts = j.Attempts
+	r.RetryChecksumMatch = j.State == service.StateDone && j.Checksum == clean.Checksum
+	r.Retries = s.Snapshot().Retries
+
+	// Deadline: on a fresh server (calibration still 1.0, so admission is
+	// deterministic) a job that fails every attempt must be cut off by its
+	// wall-clock deadline, not run its enormous retry allowance dry.
+	ds, err := service.New(service.Config{Nodes: 2, Workers: 1, RetryMax: 1 << 20, RetryBase: 10 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	ds.Start()
+	defer ds.Drain()
+	doomed := specs[0]
+	doomed.FailAttempts = 1 << 20
+	doomed.DeadlineMS = 80
+	dj, aerr := ds.Submit(doomed)
+	if aerr != nil {
+		return fmt.Errorf("service: deadline submit: %s", aerr.Reason)
+	}
+	<-dj.Done()
+	r.DeadlineEnforced = dj.State == service.StateFailed && strings.Contains(dj.Error, "deadline")
+	return nil
+}
+
+// serviceFairShare runs a flooding tenant against a light one and records
+// the virtual-time ledger (deterministic: sums of virtual makespans).
+func serviceFairShare(o Options, r *ServiceResult) error {
+	s, err := service.New(service.Config{Nodes: 2, Workers: 1, QueueLimit: 64, Budget: time.Hour})
+	if err != nil {
+		return err
+	}
+	specs := serviceSpecs(o.Seed)
+	// Queue everything before starting the worker so dispatch order is pure
+	// fair share, not submission timing.
+	for i := 0; i < 12; i++ {
+		sp := specs[i%4]
+		sp.Tenant = "flood"
+		if _, aerr := s.Submit(sp); aerr != nil {
+			return fmt.Errorf("service: fairshare flood: %s", aerr.Reason)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		sp := specs[i]
+		sp.Tenant = "light"
+		if _, aerr := s.Submit(sp); aerr != nil {
+			return fmt.Errorf("service: fairshare light: %s", aerr.Reason)
+		}
+	}
+	s.Start()
+	defer s.Drain()
+	if !s.WaitIdle(5 * time.Minute) {
+		return fmt.Errorf("service: fairshare load did not drain")
+	}
+	r.TenantUsageNS = s.Snapshot().TenantUsage
+	return nil
+}
+
+// serviceCrashRecovery is the headline invariant run in-process: a daemon
+// crashed mid-flight (workers abandoned, no terminal journal records) is
+// rebuilt from its journal and re-runs every owed job to the same bytes an
+// uninterrupted daemon produced.
+func serviceCrashRecovery(o Options, r *ServiceResult) error {
+	specs := serviceSpecs(o.Seed)[:4]
+	for i := range specs {
+		specs[i].Persist = i == 0
+	}
+	r.CrashJobs = len(specs)
+
+	refDir, err := os.MkdirTemp("", "papard-ref")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(refDir)
+	dir, err := os.MkdirTemp("", "papard-crash")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Reference: uninterrupted run of the same specs.
+	ref, err := service.New(service.Config{Nodes: 2, Workers: 1, DataDir: refDir})
+	if err != nil {
+		return err
+	}
+	ref.Start()
+	var refJobs []*service.Job
+	for _, sp := range specs {
+		j, aerr := ref.Submit(sp)
+		if aerr != nil {
+			return fmt.Errorf("service: crash reference: %s", aerr.Reason)
+		}
+		refJobs = append(refJobs, j)
+	}
+	if !ref.WaitIdle(5 * time.Minute) {
+		return fmt.Errorf("service: crash reference did not drain")
+	}
+	ref.Drain()
+
+	// Victim: accept everything, crash after the first job lands.
+	s1, err := service.New(service.Config{Nodes: 2, Workers: 1, DataDir: dir})
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, sp := range specs {
+		j, aerr := s1.Submit(sp)
+		if aerr != nil {
+			return fmt.Errorf("service: crash victim: %s", aerr.Reason)
+		}
+		ids = append(ids, j.ID)
+	}
+	s1.Start()
+	first := s1.Job(ids[0])
+	select {
+	case <-first.Done():
+	case <-time.After(5 * time.Minute):
+		return fmt.Errorf("service: crash victim's first job stuck")
+	}
+	s1.Crash()
+
+	// Recovery: a fresh server on the same data dir owes the rest.
+	s2, err := service.New(service.Config{Nodes: 2, Workers: 1, DataDir: dir})
+	if err != nil {
+		return fmt.Errorf("service: recovery open: %w", err)
+	}
+	s2.Start()
+	defer s2.Drain()
+	if !s2.WaitIdle(5 * time.Minute) {
+		return fmt.Errorf("service: recovered queue did not drain")
+	}
+	snap := s2.Snapshot()
+	r.RecoveredCount = snap.Recovered
+	r.JournalAppends = snap.JournalOps
+	r.CrashRecovered = snap.Recovered > 0
+
+	r.CrashChecksumsMatch = true
+	for i, refJob := range refJobs {
+		j := s2.Job(ids[i])
+		if j == nil {
+			r.CrashChecksumsMatch = false
+			break
+		}
+		<-j.Done()
+		if j.State != service.StateDone || j.Checksum != refJob.Checksum {
+			r.CrashChecksumsMatch = false
+		}
+	}
+	refBytes, err := readPartitionTree(filepath.Join(refDir, "jobs", refJobs[0].ID))
+	if err != nil {
+		return err
+	}
+	gotBytes, err := readPartitionTree(filepath.Join(dir, "jobs", ids[0]))
+	if err != nil {
+		return err
+	}
+	r.CrashPersistIdentical = bytes.Equal(refBytes, gotBytes)
+	return nil
+}
+
+// readPartitionTree concatenates a persisted job's partition files in name
+// order (names included, so a missing file cannot alias an empty one).
+func readPartitionTree(dir string) ([]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	var buf bytes.Buffer
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString(e.Name())
+		buf.WriteByte(0)
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// Render prints the service report.
+func (r *ServiceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "papard service tier — %d-job load test\n", r.Jobs)
+	fmt.Fprintf(&b, "  throughput: %d/%d jobs completed in %.1fs (%.0f jobs/s), fleet checksum %s\n",
+		r.Completed, r.Jobs, r.WallSeconds, r.JobsPerSecond, r.FleetChecksum)
+	fmt.Fprintf(&b, "  latency: p50 %.1f ms, p99 %.1f ms vs %.0f ms deadline budget — within budget: %v\n",
+		r.P50MS, r.P99MS, r.BudgetMS, r.P99WithinBudget)
+	fmt.Fprintf(&b, "  overload: %d jobs shed 429 at the queue cap; budget rejection carries Retry-After: %v\n",
+		r.ShedOverLimit, r.BudgetShedRetryAfter)
+	fmt.Fprintf(&b, "  retries: doomed-twice job finished on attempt %d (%d backoffs), bytes match clean run: %v\n",
+		r.RetriedAttempts, r.Retries, r.RetryChecksumMatch)
+	fmt.Fprintf(&b, "  deadline: permanently failing job cut off by wall clock: %v\n", r.DeadlineEnforced)
+	tenants := make([]string, 0, len(r.TenantUsageNS))
+	for t := range r.TenantUsageNS {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(&b, "  fair share:")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, " %s=%d ns", t, r.TenantUsageNS[t])
+	}
+	fmt.Fprintf(&b, " of virtual time consumed\n")
+	fmt.Fprintf(&b, "  crash recovery: %d jobs journaled, %d recovered after kill (%d journal appends); checksums match reference: %v, persisted bytes identical: %v\n",
+		r.CrashJobs, r.RecoveredCount, r.JournalAppends, r.CrashChecksumsMatch, r.CrashPersistIdentical)
+	if r.Failed() {
+		b.WriteString("  RESULT: FAILED — at least one robustness invariant violated\n")
+	} else {
+		b.WriteString("  RESULT: ok — all robustness invariants hold\n")
+	}
+	return b.String()
+}

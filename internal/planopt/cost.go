@@ -252,3 +252,16 @@ func predictPlan(p *core.Plan, s *InputStats, ranks int) vtime.Duration {
 	}
 	return total
 }
+
+// PredictMakespan is the exported cost-model entry point: the estimated
+// virtual makespan of running plan over an input with the sampled stats on
+// the given rank count. The partitioning service uses it for admission
+// control — predicting how long the queue in front of a job will take —
+// so its contract matches predictPlan's: coarse, monotone in input size,
+// cheap to evaluate.
+func PredictMakespan(p *core.Plan, s *InputStats, ranks int) vtime.Duration {
+	if s == nil || ranks <= 0 {
+		return 0
+	}
+	return predictPlan(p, s, ranks)
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler builds the daemon's HTTP API:
+//
+//	POST /v1/jobs          submit a JobSpec; 202 + job on accept, 429 +
+//	                       Retry-After when admission sheds load, 400 on a
+//	                       malformed spec, 503 while draining.
+//	GET  /v1/jobs/{id}     job status; ?wait=<dur> blocks until terminal or
+//	                       the wait elapses (200 either way, inspect state).
+//	GET  /v1/stats         service Snapshot.
+//	GET  /v1/healthz       200 "ok" (503 once draining).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+// httpError is the JSON error body.
+type httpError struct {
+	Error      string `json:"error"`
+	RetryAfter int64  `json:"retry_after_seconds,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	j, aerr := s.Submit(spec)
+	if aerr != nil {
+		if aerr.RetryAfter > 0 {
+			secs := int64((aerr.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeJSON(w, aerr.Status, httpError{Error: aerr.Reason, RetryAfter: secs})
+			return
+		}
+		writeJSON(w, aerr.Status, httpError{Error: aerr.Reason})
+		return
+	}
+	s.mu.Lock()
+	snapshot := *j
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "unknown job"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad wait %q: %v", waitStr, err)})
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	snapshot := *j
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// fairQueue is the pending-job pool with per-tenant fair-share dispatch.
+//
+// Every tenant owns a FIFO; dispatch picks the FIFO head of the tenant with
+// the least accumulated virtual rank-time (ties broken by tenant name, so
+// dispatch order is a pure function of the submission history). A tenant
+// that floods the queue therefore only delays itself: its usage counter
+// races ahead and a light tenant's next job jumps the backlog. Usage is
+// charged provisionally at dispatch (the cost model's prediction) and
+// corrected to the measured virtual makespan at completion, so fairness
+// tracks what jobs actually cost, not what the model guessed.
+//
+// The queue also maintains the predicted-backlog sums admission control
+// reads: backlogNS (queued) and runningNS (dispatched, not yet finished).
+// All methods assume the server's mutex is held.
+type fairQueue struct {
+	pending map[string][]*Job
+	usage   map[string]int64
+	depth   int
+
+	backlogNS float64
+	runningNS float64
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{pending: map[string][]*Job{}, usage: map[string]int64{}}
+}
+
+// push enqueues an admitted job.
+func (q *fairQueue) push(j *Job) {
+	t := j.Spec.Tenant
+	q.pending[t] = append(q.pending[t], j)
+	q.depth++
+	q.backlogNS += float64(j.predicted)
+}
+
+// pop dispatches the next job under fair share, or nil when empty.
+func (q *fairQueue) pop() *Job {
+	best := ""
+	for t, jobs := range q.pending {
+		if len(jobs) == 0 {
+			continue
+		}
+		if best == "" || q.usage[t] < q.usage[best] || (q.usage[t] == q.usage[best] && t < best) {
+			best = t
+		}
+	}
+	if best == "" {
+		return nil
+	}
+	jobs := q.pending[best]
+	j := jobs[0]
+	q.pending[best] = jobs[1:]
+	if len(q.pending[best]) == 0 {
+		delete(q.pending, best)
+	}
+	q.depth--
+	q.backlogNS -= float64(j.predicted)
+	q.runningNS += float64(j.predicted)
+	q.usage[best] += int64(j.predicted)
+	return j
+}
+
+// drop removes a job that failed without dispatch (deadline expired while
+// queued). Returns false if the job was not pending.
+func (q *fairQueue) drop(j *Job) bool {
+	t := j.Spec.Tenant
+	jobs := q.pending[t]
+	for i, p := range jobs {
+		if p == j {
+			q.pending[t] = append(jobs[:i:i], jobs[i+1:]...)
+			if len(q.pending[t]) == 0 {
+				delete(q.pending, t)
+			}
+			q.depth--
+			q.backlogNS -= float64(j.predicted)
+			return true
+		}
+	}
+	return false
+}
+
+// finish settles a dispatched job: the provisional usage charge is replaced
+// by the measured virtual makespan and the running backlog shrinks.
+func (q *fairQueue) finish(j *Job, actual vtime.Duration) {
+	q.runningNS -= float64(j.predicted)
+	if actual > 0 {
+		q.usage[j.Spec.Tenant] += int64(actual) - int64(j.predicted)
+	}
+}
+
+// predictedWait estimates the wall-clock wait in front of a newly admitted
+// job: the whole predicted backlog (queued + running) spread over the
+// workers, scaled by the measured wall-per-virtual calibration.
+func (q *fairQueue) predictedWait(workers int, calib float64) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	ns := (q.backlogNS + q.runningNS) * calib / float64(workers)
+	return time.Duration(ns)
+}

@@ -1,0 +1,436 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSpec is a small, fast blast job; seed/scale keep it deterministic.
+func testSpec() JobSpec {
+	return JobSpec{
+		Workflow: "blast_partition",
+		Dataset:  DatasetSpec{Kind: "blast", Profile: "env_nr", Scale: 0.001, Seed: 11},
+		Args:     map[string]string{"num_partitions": "8"},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Drain() })
+	return s
+}
+
+func submitOK(t *testing.T, s *Server, spec JobSpec) *Job {
+	t.Helper()
+	j, aerr := s.Submit(spec)
+	if aerr != nil {
+		t.Fatalf("submit: %v (status %d)", aerr.Reason, aerr.Status)
+	}
+	return j
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s stuck", j.ID)
+	}
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1})
+	j := submitOK(t, s, testSpec())
+	waitDone(t, j)
+	if j.State != StateDone {
+		t.Fatalf("state %s (err %q)", j.State, j.Error)
+	}
+	if j.Checksum == 0 {
+		t.Error("done job has no partition checksum")
+	}
+	if j.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", j.Attempts)
+	}
+	snap := s.Snapshot()
+	if snap.Completed != 1 || snap.Accepted != 1 {
+		t.Errorf("counters %+v", snap.Counters)
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1})
+	bad := testSpec()
+	bad.Workflow = "nope"
+	if _, aerr := s.Submit(bad); aerr == nil || aerr.Status != 400 {
+		t.Fatalf("want 400, got %+v", aerr)
+	} else if !strings.Contains(aerr.Reason, "valid workflows") {
+		t.Errorf("error %q does not list valid workflows", aerr.Reason)
+	}
+	mismatched := testSpec()
+	mismatched.Workflow = "hybrid_cut"
+	if _, aerr := s.Submit(mismatched); aerr == nil || aerr.Status != 400 {
+		t.Fatalf("kind/workflow mismatch not rejected: %+v", aerr)
+	}
+}
+
+func TestIdempotencyKeyDedupes(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1})
+	spec := testSpec()
+	spec.IdempotencyKey = "once"
+	j1 := submitOK(t, s, spec)
+	j2 := submitOK(t, s, spec)
+	if j1 != j2 {
+		t.Fatalf("idempotent resubmit created a second job (%s vs %s)", j1.ID, j2.ID)
+	}
+	waitDone(t, j1)
+	if snap := s.Snapshot(); snap.Deduped != 1 || snap.Accepted != 1 {
+		t.Errorf("counters %+v", snap.Counters)
+	}
+}
+
+func TestRetryRecoversAfterInjectedFailures(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1, RetryMax: 3, RetryBase: time.Millisecond})
+	spec := testSpec()
+	spec.FailAttempts = 2
+	j := submitOK(t, s, spec)
+	waitDone(t, j)
+	if j.State != StateDone {
+		t.Fatalf("state %s (err %q)", j.State, j.Error)
+	}
+	if j.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two injected failures + success)", j.Attempts)
+	}
+	if snap := s.Snapshot(); snap.Retries != 2 {
+		t.Errorf("retries = %d, want 2", snap.Retries)
+	}
+
+	// The retried job's partitions must match an untroubled run of the same
+	// spec: retries are exactly-once in effect.
+	ref := submitOK(t, s, testSpec())
+	waitDone(t, ref)
+	if ref.Checksum != j.Checksum {
+		t.Errorf("retried checksum %x != clean checksum %x", j.Checksum, ref.Checksum)
+	}
+}
+
+func TestRetriesExhaust(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1, RetryMax: 2, RetryBase: time.Millisecond})
+	spec := testSpec()
+	spec.FailAttempts = 5
+	j := submitOK(t, s, spec)
+	waitDone(t, j)
+	if j.State != StateFailed || !strings.Contains(j.Error, "failed after 2 attempts") {
+		t.Fatalf("state %s err %q", j.State, j.Error)
+	}
+}
+
+func TestDeadlineFailsFast(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1, RetryBase: 50 * time.Millisecond, RetryMax: 10})
+	spec := testSpec()
+	spec.DeadlineMS = 30
+	spec.FailAttempts = 100 // keep failing; the deadline must cut the retry loop
+	j := submitOK(t, s, spec)
+	waitDone(t, j)
+	if j.State != StateFailed || !strings.Contains(j.Error, "deadline") {
+		t.Fatalf("state %s err %q", j.State, j.Error)
+	}
+}
+
+func TestAdmissionShedsOverBudget(t *testing.T) {
+	// A budget of 1ns is instantly exceeded by any predicted run.
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1, Budget: time.Nanosecond})
+	_, aerr := s.Submit(testSpec())
+	if aerr == nil || aerr.Status != 429 {
+		t.Fatalf("want 429, got %+v", aerr)
+	}
+	if aerr.RetryAfter <= 0 {
+		t.Error("429 carries no Retry-After")
+	}
+	if snap := s.Snapshot(); snap.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", snap.Rejected)
+	}
+}
+
+func TestQueueLimitSheds(t *testing.T) {
+	s, err := New(Config{Nodes: 2, Workers: 1, QueueLimit: 2, Budget: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: jobs pile up in the queue.
+	for i := 0; i < 2; i++ {
+		submitOK(t, s, testSpec())
+	}
+	if _, aerr := s.Submit(testSpec()); aerr == nil || aerr.Status != 429 {
+		t.Fatalf("queue over limit not shed: %+v", aerr)
+	}
+}
+
+func TestFairSharePicksLightTenant(t *testing.T) {
+	q := newFairQueue()
+	mk := func(tenant string) *Job {
+		return &Job{Spec: JobSpec{Tenant: tenant}, predicted: 1, ID: tenant}
+	}
+	// Tenant a floods; tenant b submits one job later.
+	for i := 0; i < 3; i++ {
+		q.push(mk("a"))
+	}
+	q.push(mk("b"))
+	got := []string{q.pop().Spec.Tenant, q.pop().Spec.Tenant, q.pop().Spec.Tenant, q.pop().Spec.Tenant}
+	want := []string{"a", "b", "a", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJournalReplayTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.pjl")
+	j, recs, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	for _, id := range []string{"j-0", "j-1", "j-2"} {
+		if err := j.Append(Record{Type: "accepted", ID: id, Spec: &JobSpec{Workflow: "blast_partition"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a crash mid-append leaves a half frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, data...), 0x50, 0x4A, 0x4C, 0x31, 0xFF) // magic + garbage
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].ID != "j-2" {
+		t.Fatalf("replay got %d records, want the 3 intact ones", len(recs))
+	}
+	// The torn bytes are gone and appends resume on a frame boundary.
+	if err := j2.Append(Record{Type: "done", ID: "j-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[3].Type != "done" {
+		t.Fatalf("after truncate+append, replay got %d records", len(recs))
+	}
+}
+
+func TestJournalRejectsCorruptedPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.pjl")
+	j, _, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: "accepted", ID: "j-0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: "done", ID: "j-0"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip a byte inside the second record's payload: its CRC must reject
+	// it, and replay must stop at the first record rather than decode junk.
+	data, _ := os.ReadFile(path)
+	n := binary.LittleEndian.Uint32(data[4:])
+	second := int(journalHeaderLen + n + journalCRCLen)
+	data[second+journalHeaderLen+2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	_, recs, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "j-0" {
+		t.Fatalf("replay of rotted journal got %d records, want 1", len(recs))
+	}
+}
+
+// TestCrashRecoveryByteIdentical is the headline invariant: a server killed
+// mid-flight (no drain, no terminal records) is rebuilt from its journal and
+// re-runs the owed jobs to the exact partition bytes an uninterrupted server
+// produces.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	specs := []JobSpec{}
+	for i := 0; i < 4; i++ {
+		sp := testSpec()
+		sp.Dataset.Seed = int64(20 + i)
+		sp.Persist = i == 0
+		specs = append(specs, sp)
+	}
+
+	// Reference: an untroubled server runs everything.
+	refDir := t.TempDir()
+	ref := newTestServer(t, Config{Nodes: 2, Workers: 1, DataDir: refDir})
+	var refJobs []*Job
+	for _, sp := range specs {
+		refJobs = append(refJobs, submitOK(t, ref, sp))
+	}
+	for _, j := range refJobs {
+		waitDone(t, j)
+		if j.State != StateDone {
+			t.Fatalf("reference job %s: %s %q", j.ID, j.State, j.Error)
+		}
+	}
+
+	// Crashing server: accept everything, kill it before the queue drains.
+	dir := t.TempDir()
+	s1, err := New(Config{Nodes: 2, Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for _, sp := range specs {
+		j, aerr := s1.Submit(sp)
+		if aerr != nil {
+			t.Fatalf("submit: %v", aerr)
+		}
+		jobs = append(jobs, j)
+	}
+	s1.Start()
+	// Let it get partway through, then pull the plug.
+	waitDone(t, jobs[0])
+	s1.Crash()
+
+	// Restart on the same data dir: the journal owes the unfinished jobs.
+	s2, err := New(Config{Nodes: 2, Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Drain()
+	if !s2.WaitIdle(30 * time.Second) {
+		t.Fatal("recovered server did not drain its replayed queue")
+	}
+	snap := s2.Snapshot()
+	if snap.Recovered == 0 {
+		t.Fatal("no jobs were recovered; the crash test raced to completion")
+	}
+
+	for i, refJob := range refJobs {
+		j2 := s2.Job(jobs[i].ID)
+		if j2 == nil {
+			t.Fatalf("job %s lost across the crash", jobs[i].ID)
+		}
+		waitDone(t, j2)
+		if j2.State != StateDone {
+			t.Fatalf("recovered job %s: %s %q", j2.ID, j2.State, j2.Error)
+		}
+		if j2.Checksum != refJob.Checksum {
+			t.Errorf("job %d: recovered checksum %x != reference %x", i, j2.Checksum, refJob.Checksum)
+		}
+	}
+
+	// The persisted partition files themselves must be byte-identical.
+	refBytes := readPartitionDir(t, filepath.Join(refDir, "jobs", refJobs[0].ID))
+	gotBytes := readPartitionDir(t, filepath.Join(dir, "jobs", jobs[0].ID))
+	if !bytes.Equal(refBytes, gotBytes) {
+		t.Error("persisted partitions differ between crashed+recovered and reference runs")
+	}
+}
+
+// readPartitionDir concatenates a persisted job's partition files in name
+// order.
+func readPartitionDir(t *testing.T, dir string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(e.Name())
+		buf.WriteByte(0)
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// TestDrainResumesQueuedJobs: SIGTERM-style drain leaves queued jobs in the
+// journal; the next start picks them up.
+func TestDrainResumesQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Nodes: 2, Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: both jobs stay queued across the drain.
+	a := testSpec()
+	a.IdempotencyKey = "resume-a"
+	if _, aerr := s1.Submit(a); aerr != nil {
+		t.Fatal(aerr)
+	}
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, Config{Nodes: 2, Workers: 1, DataDir: dir})
+	if !s2.WaitIdle(30 * time.Second) {
+		t.Fatal("resumed queue did not drain")
+	}
+	// Idempotency keys survive the restart: resubmitting dedupes against
+	// the recovered (now finished) job.
+	j, aerr := s2.Submit(a)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	waitDone(t, j)
+	if !j.Recovered {
+		t.Error("resubmit under the same key did not dedupe onto the recovered job")
+	}
+	if j.State != StateDone {
+		t.Fatalf("recovered job %s: %s %q", j.ID, j.State, j.Error)
+	}
+}
+
+func TestFaultedJobMatchesCleanChecksum(t *testing.T) {
+	s := newTestServer(t, Config{Nodes: 2, Workers: 1})
+	clean := submitOK(t, s, testSpec())
+	waitDone(t, clean)
+
+	faulted := testSpec()
+	faulted.Faults = "7:crash=1@4sends"
+	j := submitOK(t, s, faulted)
+	waitDone(t, j)
+	if j.State != StateDone {
+		t.Fatalf("faulted job: %s %q", j.State, j.Error)
+	}
+	if j.Checksum != clean.Checksum {
+		t.Errorf("fault-injected run checksum %x != clean %x", j.Checksum, clean.Checksum)
+	}
+}

@@ -1,0 +1,57 @@
+// Package sigflush makes Ctrl-C safe for long runs: a SIGINT or SIGTERM
+// runs registered flush functions (newest first) before the process dies,
+// so partial observability artifacts — a Chrome trace of the run so far, a
+// metrics JSON, a CPU profile — land on disk instead of vanishing with the
+// process. Exits with the conventional 128+signal status so callers (CI,
+// shells) still see the interruption.
+package sigflush
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+var (
+	mu       sync.Mutex
+	flushers []func()
+	armed    bool
+)
+
+// Register adds fn to the shutdown flush list and arms the signal watcher on
+// first use. Flushers run newest-first, mirroring defer, so a flusher
+// registered after another may depend on it still being live. fn must be
+// safe to call while the interrupted work is mid-flight (the recorders and
+// profile writers here all are: they snapshot under their own locks).
+func Register(fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	flushers = append(flushers, fn)
+	if armed {
+		return
+	}
+	armed = true
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		runFlushers()
+		code := 128 + 15 // SIGTERM
+		if sig == os.Interrupt {
+			code = 128 + 2
+		}
+		os.Exit(code)
+	}()
+}
+
+// runFlushers executes every registered flusher newest-first, once each.
+func runFlushers() {
+	mu.Lock()
+	fns := flushers
+	flushers = nil
+	mu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}

@@ -1,0 +1,17 @@
+package sigflush
+
+import "testing"
+
+func TestRunFlushersNewestFirstOnce(t *testing.T) {
+	var order []int
+	Register(func() { order = append(order, 1) })
+	Register(func() { order = append(order, 2) })
+	runFlushers()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("flush order %v, want [2 1]", order)
+	}
+	runFlushers() // the list drains: a second signal must not re-run them
+	if len(order) != 2 {
+		t.Fatalf("flushers ran twice: %v", order)
+	}
+}

@@ -1,0 +1,303 @@
+// Command papard_smoke is the CI crash-restart smoke test for the papard
+// daemon, driven over the real HTTP API against a real process:
+//
+//  1. start papard on a fresh data dir and submit a batch of jobs
+//  2. kill -9 the daemon after the first job completes (no drain, no
+//     terminal journal records for the rest)
+//  3. restart papard on the same data dir and wait for the journal replay
+//     to finish every owed job
+//  4. run the same batch on an uninterrupted reference daemon and require
+//     every checksum — and the persisted partition bytes — to be identical
+//  5. SIGTERM the daemons and require a clean drain exit
+//
+// Run from the repository root: go run ./scripts/papard_smoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+type jobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Checksum uint64 `json:"checksum"`
+	Error    string `json:"error"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "papard smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("papard smoke: PASS")
+}
+
+// daemon is one papard process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startDaemon launches bin on dataDir and waits for its listening line.
+func startDaemon(bin, dataDir string) (*daemon, error) {
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-data-dir", dataDir,
+		"-nodes", "2", "-workers", "2", "-budget", "5m")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println("  [papard]", line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				if addr, _, found := strings.Cut(rest, " ("); found {
+					select {
+					case addrCh <- addr:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &daemon{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("daemon did not announce its listen address")
+	}
+}
+
+// submit posts one job spec and returns its ID.
+func (d *daemon) submit(spec map[string]any) (string, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, out)
+	}
+	var js jobStatus
+	if err := json.Unmarshal(out, &js); err != nil {
+		return "", err
+	}
+	return js.ID, nil
+}
+
+// await polls a job until it is terminal (tolerating daemon restarts).
+func (d *daemon) await(id string, timeout time.Duration) (*jobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(d.base + "/v1/jobs/" + id + "?wait=5s")
+		if err == nil {
+			var js jobStatus
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				if err := json.Unmarshal(body, &js); err != nil {
+					return nil, err
+				}
+				if js.State == "done" || js.State == "failed" {
+					return &js, nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s not terminal after %v", id, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// sigterm drains the daemon and requires a clean exit.
+func (d *daemon) sigterm() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("daemon did not drain within 60s of SIGTERM")
+	}
+}
+
+// specs is the smoke batch; the first job persists its partitions so the
+// bytes themselves can be compared, not just checksums.
+func specs() []map[string]any {
+	var out []map[string]any
+	for i := 0; i < 5; i++ {
+		out = append(out, map[string]any{
+			"workflow": "blast_partition",
+			"dataset":  map[string]any{"kind": "blast", "profile": "env_nr", "scale": 0.001, "seed": 100 + i},
+			"args":     map[string]string{"num_partitions": "8"},
+			"persist":  i == 0,
+		})
+	}
+	return out
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "papard-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "papard")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/papard")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building papard: %w", err)
+	}
+
+	crashDir := filepath.Join(work, "crash-data")
+	refDir := filepath.Join(work, "ref-data")
+
+	// Phase 1: victim daemon — submit the batch, let the first job land,
+	// then kill -9 mid-flight.
+	fmt.Println("phase 1: start daemon, submit batch, kill -9 mid-flight")
+	d1, err := startDaemon(bin, crashDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, sp := range specs() {
+		id, err := d1.submit(sp)
+		if err != nil {
+			d1.cmd.Process.Kill()
+			return err
+		}
+		ids = append(ids, id)
+	}
+	first, err := d1.await(ids[0], 2*time.Minute)
+	if err != nil {
+		d1.cmd.Process.Kill()
+		return err
+	}
+	if first.State != "done" {
+		d1.cmd.Process.Kill()
+		return fmt.Errorf("first job failed before the crash: %s", first.Error)
+	}
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no handlers
+		return err
+	}
+	d1.cmd.Wait()
+
+	// Phase 2: restart on the same data dir; the journal owes the rest.
+	fmt.Println("phase 2: restart on the same data dir, replay the journal")
+	d2, err := startDaemon(bin, crashDir)
+	if err != nil {
+		return err
+	}
+	crashed := map[string]uint64{}
+	for _, id := range ids {
+		js, err := d2.await(id, 5*time.Minute)
+		if err != nil {
+			d2.cmd.Process.Kill()
+			return err
+		}
+		if js.State != "done" {
+			d2.cmd.Process.Kill()
+			return fmt.Errorf("recovered job %s failed: %s", id, js.Error)
+		}
+		crashed[id] = js.Checksum
+	}
+
+	// Phase 3: uninterrupted reference run of the same batch.
+	fmt.Println("phase 3: uninterrupted reference run")
+	d3, err := startDaemon(bin, refDir)
+	if err != nil {
+		d2.cmd.Process.Kill()
+		return err
+	}
+	for i, sp := range specs() {
+		id, err := d3.submit(sp)
+		if err == nil {
+			var js *jobStatus
+			js, err = d3.await(id, 5*time.Minute)
+			if err == nil && js.State != "done" {
+				err = fmt.Errorf("reference job %s failed: %s", id, js.Error)
+			}
+			if err == nil && js.Checksum != crashed[ids[i]] {
+				err = fmt.Errorf("job %d: crashed+recovered checksum %x != reference %x — the crash-recovery invariant is broken", i, crashed[ids[i]], js.Checksum)
+			}
+		}
+		if err != nil {
+			d2.cmd.Process.Kill()
+			d3.cmd.Process.Kill()
+			return err
+		}
+	}
+
+	// Phase 4: the persisted partition files must be byte-identical.
+	fmt.Println("phase 4: byte-compare persisted partitions")
+	got, err := snapshotDir(filepath.Join(crashDir, "jobs", ids[0]))
+	if err == nil {
+		var want []byte
+		want, err = snapshotDir(filepath.Join(refDir, "jobs", ids[0]))
+		if err == nil && !bytes.Equal(got, want) {
+			err = fmt.Errorf("persisted partitions differ between recovered and reference daemons")
+		}
+	}
+	if err != nil {
+		d2.cmd.Process.Kill()
+		d3.cmd.Process.Kill()
+		return err
+	}
+
+	// Phase 5: both daemons drain cleanly on SIGTERM.
+	fmt.Println("phase 5: SIGTERM drain")
+	if err := d2.sigterm(); err != nil {
+		d3.cmd.Process.Kill()
+		return err
+	}
+	return d3.sigterm()
+}
+
+// snapshotDir concatenates a directory's files (name-tagged, name order).
+func snapshotDir(dir string) ([]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	var buf bytes.Buffer
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString(e.Name())
+		buf.WriteByte(0)
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
