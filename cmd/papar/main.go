@@ -30,6 +30,12 @@
 //	-compress    pack shuffle frames with the §III-D CSC codec before they
 //	             hit the wire (lossless, inside the CRC envelope); also
 //	             enabled by PAPAR_SHUFFLE_COMPRESS=1
+//	-delta-batches  ingest incrementally: the head of the input seeds a
+//	             resident engine, the tail arrives as N append-only delta
+//	             batches, and only moved rows travel; the final partitions
+//	             are byte-identical to the from-scratch run (mrmpi backend)
+//	-delta-frac  with -delta-batches: fraction of the input rows appended
+//	             per batch (default 0.05)
 package main
 
 import (
@@ -40,8 +46,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataformat"
 	"repro/internal/faults"
 	"repro/internal/hadoop"
+	"repro/internal/incremental"
 	"repro/internal/mrmpi"
 	"repro/internal/obsv"
 	"repro/internal/planopt"
@@ -91,6 +99,8 @@ func run() error {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write machine-readable run metrics (phase durations, per-rank load, imbalance) as JSON to this file")
 		timelineW  = flag.Int("timeline", 0, "print a per-rank text timeline of the run, N columns wide")
+		deltaN     = flag.Int("delta-batches", 0, "ingest incrementally: seed with the head of the input, append the tail in N delta batches through the resident engine; partitions stay byte-identical to the from-scratch run (mrmpi backend)")
+		deltaFrac  = flag.Float64("delta-frac", 0.05, "with -delta-batches: fraction of the input rows appended per batch, in (0, 1)")
 		runtimeArg = argList{}
 	)
 	flag.Var(&inputCfgs, "input", "input data description file (repeatable)")
@@ -170,6 +180,12 @@ func run() error {
 			// both paths, so ENOSPC and rot can fail over.
 			Replicate: *faultSpec != "",
 		}}
+		if *deltaN > 0 {
+			if err := runDeltaIngest(cl, plan, *data, *out, execOpts, *faultSpec, *deltaN, *deltaFrac); err != nil {
+				return err
+			}
+			return emitObservability(obs, *traceOut, *metricsOut, *timelineW)
+		}
 		var res *core.Result
 		if *faultSpec != "" {
 			fp, err := faults.Parse(*faultSpec)
@@ -221,6 +237,9 @@ func run() error {
 		if *faultSpec != "" {
 			return fmt.Errorf("-faults is only supported by the mrmpi backend")
 		}
+		if *deltaN > 0 {
+			return fmt.Errorf("-delta-batches is only supported by the mrmpi backend")
+		}
 		if *compress {
 			return fmt.Errorf("-compress is only supported by the mrmpi backend")
 		}
@@ -254,6 +273,92 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown backend %q (mrmpi, hadoop)", *backend)
 	}
+}
+
+// runDeltaIngest is the -delta-batches path: the head of the input seeds a
+// resident incremental engine, the tail arrives as append-only delta batches
+// in file order, and only the rows whose partition assignment changes travel
+// over the shuffle. Because the final resident multiset equals the whole file
+// in arrival order, the written partitions are byte-identical to a
+// from-scratch run — the CI incremental-identity job diffs the two trees.
+// With -faults the engine's runs take the resilient path under the plan.
+func runDeltaIngest(cl *cluster.Cluster, plan *core.Plan, data, out string, execOpts core.ExecOptions, faultSpec string, batches int, frac float64) error {
+	if frac <= 0 || frac >= 1 {
+		return fmt.Errorf("-delta-frac %g out of range (0, 1)", frac)
+	}
+	rows, err := readAllRows(plan, data)
+	if err != nil {
+		return err
+	}
+	appendN := int(frac * float64(len(rows)))
+	if appendN < 1 {
+		appendN = 1
+	}
+	tail := appendN * batches
+	if tail >= len(rows) {
+		return fmt.Errorf("-delta-batches %d x -delta-frac %g swallows the whole input (%d rows)", batches, frac, len(rows))
+	}
+	if faultSpec != "" {
+		fp, err := faults.Parse(faultSpec)
+		if err != nil {
+			return err
+		}
+		cl.SetFaultPlan(fp)
+		defer cl.SetFaultPlan(nil)
+	}
+	base := len(rows) - tail
+	eng, err := incremental.New(incremental.Config{Plan: plan, Cluster: cl, Exec: execOpts}, rows[:base])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("incremental ingest (%s model): seeded %d rows into %d partitions in %v; %d batches of %d rows to go\n",
+		eng.ModelName(), eng.Len(), eng.NumPartitions(), eng.Baseline().Makespan, batches, appendN)
+	var deltaTime vtime.Duration
+	moved := 0
+	for k := 0; k < batches; k++ {
+		lo := base + k*appendN
+		rep, err := eng.ApplyDelta(incremental.Batch{Appends: rows[lo : lo+appendN]}, incremental.ApplyOptions{})
+		if err != nil {
+			return fmt.Errorf("delta batch %d: %w", k, err)
+		}
+		deltaTime += rep.Makespan
+		moved += rep.MovedRows
+		line := fmt.Sprintf("  batch %d: +%d rows, %d moved, %v", k, appendN, rep.MovedRows, rep.Makespan)
+		if rep.Recovery != nil && len(rep.Recovery.Failed) > 0 {
+			line += fmt.Sprintf(" (recovered from rank failures %v)", rep.Recovery.Failed)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("incremental ingest: %d rows resident, %d moved across %d batches in %v virtual time (seed cost %v)\n",
+		eng.Len(), moved, batches, deltaTime, eng.Baseline().Makespan)
+	if out != "" {
+		cres := &core.Result{Partitions: eng.Partitions()}
+		if err := core.WritePartitions(plan, cres, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d partition files under %s\n", eng.NumPartitions(), out)
+	}
+	return nil
+}
+
+// readAllRows streams the whole input file into memory in record order (the
+// same global order the from-scratch executor sees).
+func readAllRows(plan *core.Plan, path string) ([]core.Row, error) {
+	splits, err := dataformat.Splits(plan.InputSchema, path, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rows []core.Row
+	for _, sp := range splits {
+		err := dataformat.StreamSplit(plan.InputSchema, sp, func(rec dataformat.Record) error {
+			rows = append(rows, core.Row{Values: append([]dataformat.Value(nil), rec.Values...)})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // reportOptimizer prints the optimizer's prediction against the measured

@@ -23,51 +23,9 @@ import (
 	"repro/internal/sigflush"
 )
 
-// renderer is any experiment result.
-type renderer interface{ Render() string }
-
-// experiment binds a name to its runner.
-type experiment struct {
-	name string
-	desc string
-	run  func(experiments.Options) (renderer, error)
-}
-
-// wrap adapts a typed experiment runner to the renderer interface.
-func wrap[T renderer](f func(experiments.Options) (T, error)) func(experiments.Options) (renderer, error) {
-	return func(o experiments.Options) (renderer, error) { return f(o) }
-}
-
-func catalog() []experiment {
-	return []experiment{
-		{"table2", "graph dataset statistics", wrap(experiments.Table2)},
-		{"correctness", "PaPar vs application partitions", wrap(experiments.Correctness)},
-		{"fig12", "muBLASTP search, cyclic vs block", wrap(experiments.Fig12)},
-		{"fig13a", "partitioning time, PaPar vs muBLASTP", wrap(experiments.Fig13a)},
-		{"fig13b", "PaPar strong scaling", wrap(experiments.Fig13b)},
-		{"fig14", "PageRank across cut methods", wrap(experiments.Fig14)},
-		{"fig15a", "hybrid-cut time, PaPar vs PowerLyra", wrap(experiments.Fig15a)},
-		{"fig15b", "hybrid-cut strong scaling", wrap(experiments.Fig15b)},
-		{"compress", "CSC data compression", wrap(experiments.Compression)},
-		{"ccomp", "connected components across cut methods (extension)", wrap(experiments.ConnectedComponents)},
-		{"ablations", "design-choice ablations", wrap(experiments.Ablations)},
-		{"chaos", "fault injection: crash, drop, corruption, checkpoint-loss and disk-fault recovery", wrap(experiments.Chaos)},
-		{"outofcore", "budget-constrained partitioning through the spill tier, byte-identical to in-memory", wrap(experiments.OutOfCore)},
-		{"skew", "per-rank load imbalance by partitioning policy (block vs cyclic, hybrid vs hash)", wrap(experiments.Skew)},
-		{"optimizer", "plan optimizer: fusion/elision identity, auto policy selection, fused-plan recovery", wrap(experiments.RunOptimizer)},
-		{"service", "papard service tier under load: throughput, overload shedding, retries, fair share, crash recovery", wrap(experiments.Service)},
-	}
-}
-
-// experimentNames lists the catalog names in order, for -exp help and the
-// unknown-experiment error.
-func experimentNames() []string {
-	var names []string
-	for _, e := range catalog() {
-		names = append(names, e.name)
-	}
-	return names
-}
+// The experiment catalog lives in experiments.Registry() — one slice feeds
+// this command's -exp dispatch, the -exp help listing, and the README
+// experiment table (with a drift test keeping them in sync).
 
 func main() {
 	os.Exit(run())
@@ -93,20 +51,17 @@ func run() int {
 	flag.Parse()
 	switch strings.ToLower(*exp) {
 	case "help", "list":
-		fmt.Println("experiments:")
-		for _, e := range catalog() {
-			fmt.Printf("  %-12s %s\n", e.name, e.desc)
-		}
+		fmt.Print(experiments.HelpText())
 		return 0
 	case "all":
 	default:
 		known := false
-		for _, n := range experimentNames() {
+		for _, n := range experiments.Names() {
 			known = known || strings.EqualFold(*exp, n)
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (valid experiments: all, %s)\n",
-				*exp, strings.Join(experimentNames(), ", "))
+				*exp, strings.Join(experiments.Names(), ", "))
 			return 1
 		}
 	}
@@ -163,20 +118,20 @@ func run() int {
 		Seed:       *seed,
 	}
 	failed := false
-	for _, e := range catalog() {
-		if *exp != "all" && !strings.EqualFold(*exp, e.name) {
+	for _, e := range experiments.Registry() {
+		if *exp != "all" && !strings.EqualFold(*exp, e.Name) {
 			continue
 		}
 		start := time.Now()
-		res, err := e.run(opts)
+		res, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.Name, err)
 			return 1
 		}
-		fmt.Printf("== %s — %s (wall %.1fs) ==\n%s\n", e.name, e.desc, time.Since(start).Seconds(), res.Render())
+		fmt.Printf("== %s — %s (wall %.1fs) ==\n%s\n", e.Name, e.Desc, time.Since(start).Seconds(), res.Render())
 		if *metricsDir != "" {
-			if err := writeMetrics(*metricsDir, e.name, res); err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
+			if err := writeMetrics(*metricsDir, e.Name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.Name, err)
 				return 1
 			}
 		}
@@ -184,7 +139,7 @@ func run() int {
 		// replay divergence, silent corruption) fail the whole invocation —
 		// after rendering, so the report shows what went wrong.
 		if f, ok := res.(interface{ Failed() bool }); ok && f.Failed() {
-			fmt.Fprintf(os.Stderr, "paperbench: %s: correctness check FAILED (see report above)\n", e.name)
+			fmt.Fprintf(os.Stderr, "paperbench: %s: correctness check FAILED (see report above)\n", e.Name)
 			failed = true
 		}
 	}
@@ -197,7 +152,7 @@ func run() int {
 // writeMetrics stores one experiment's result struct as JSON under dir. The
 // files are machine-readable artifacts: the CI determinism job runs a sweep
 // twice with the same seed and byte-compares them.
-func writeMetrics(dir, name string, res renderer) error {
+func writeMetrics(dir, name string, res experiments.Renderer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

@@ -305,6 +305,12 @@ func (st *execState) runJob(job Job) error {
 		return st.runSplit(j)
 	case *DistributeJob:
 		return st.runDistribute(j)
+	case *DeltaJob:
+		return st.runMoves(j.ID, j.NumPartitions, j.ScanRows)
+	case *RepartitionJob:
+		return st.runMoves(j.ID, j.NumPartitions, j.ScanRows)
+	case *CoalesceJob:
+		return st.runCoalesce(j)
 	case *FusedJob:
 		// Inner jobs run back to back under the enclosing job's single
 		// launch overhead and barrier; collectives inside them (shuffles,

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/blast"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/incremental"
+	"repro/internal/planopt"
+	"repro/internal/vtime"
+)
+
+// IncrementalCase is one (workflow, delta-size) amortization measurement:
+// a resident partition set absorbs a stream of append/delete batches and
+// the per-batch cost is compared with repartitioning the final state from
+// scratch.
+type IncrementalCase struct {
+	Workflow string
+	Model    string
+	// DeltaFrac is the batch size as a fraction of the resident rows.
+	DeltaFrac float64
+	Batches   int
+	// Resident is the post-stream resident row count.
+	Resident int
+	// MovedRows is the total rows shipped across all batches; everything
+	// else was patched in place.
+	MovedRows int
+	// AvgDeltaMakespan is the mean virtual time of one delta batch;
+	// ScratchMakespan is a from-scratch run over the same final rows.
+	AvgDeltaMakespan vtime.Duration
+	ScratchMakespan  vtime.Duration
+	// Speedup is Scratch/AvgDelta (>1 means the delta path wins).
+	Speedup float64
+	// PredictedDelta is the planopt admission estimate for one batch.
+	PredictedDelta vtime.Duration
+	// Identical pins the headline claim: the patched partitions equal the
+	// from-scratch run byte-for-byte.
+	Identical bool
+}
+
+// IncrementalResult is the `-exp incremental` report.
+type IncrementalResult struct {
+	Nodes int
+	Cases []IncrementalCase
+	// Fault* report a delta batch with a rank crash injected mid-shuffle:
+	// recovery must shrink the communicator and the patch must still be
+	// byte-identical to the clean oracle.
+	FaultWorkflow   string
+	FaultFailedRank int
+	FaultIdentical  bool
+	// CancelUntouched: a canceled delta leaves the resident partitions
+	// byte-identical to their pre-batch state.
+	CancelUntouched bool
+	// Repartition/Coalesce identity at a changed partition count; coalesce
+	// must move zero rows over the wire.
+	RepartitionIdentical bool
+	CoalesceIdentical    bool
+	CoalesceMovedRows    int
+}
+
+// Failed reports whether any correctness or amortization requirement was
+// violated. paperbench exits nonzero on it.
+func (r *IncrementalResult) Failed() bool {
+	for _, c := range r.Cases {
+		if !c.Identical {
+			return true
+		}
+		if c.DeltaFrac <= 0.01 && c.AvgDeltaMakespan >= c.ScratchMakespan {
+			return true
+		}
+	}
+	return !r.FaultIdentical || !r.CancelUntouched ||
+		!r.RepartitionIdentical || !r.CoalesceIdentical || r.CoalesceMovedRows != 0
+}
+
+// Render prints the amortization table and the auxiliary checks.
+func (r *IncrementalResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incremental repartitioning, %d nodes (delta batches vs from-scratch)\n", r.Nodes)
+	fmt.Fprintf(&b, "%-22s %-12s %6s %9s %9s %12s %12s %8s %5s\n",
+		"workflow", "model", "delta", "resident", "moved", "avg-delta", "scratch", "speedup", "ident")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "%-22s %-12s %5.1f%% %9d %9d %12v %12v %7.2fx %5v\n",
+			c.Workflow, c.Model, c.DeltaFrac*100, c.Resident, c.MovedRows,
+			c.AvgDeltaMakespan, c.ScratchMakespan, c.Speedup, c.Identical)
+	}
+	fmt.Fprintf(&b, "fault-injected delta (%s, rank %d crashed): identical=%v\n",
+		r.FaultWorkflow, r.FaultFailedRank, r.FaultIdentical)
+	fmt.Fprintf(&b, "canceled delta untouched=%v  repartition identical=%v  coalesce identical=%v moved=%d\n",
+		r.CancelUntouched, r.RepartitionIdentical, r.CoalesceIdentical, r.CoalesceMovedRows)
+	if r.Failed() {
+		b.WriteString("FAILED: identity or amortization requirement violated\n")
+	}
+	return b.String()
+}
+
+// incrWorkflow bundles one workflow's plan and its base/append row streams.
+type incrWorkflow struct {
+	name string
+	plan *core.Plan
+	base []core.Row
+	pool []core.Row
+}
+
+// RunIncremental measures delta amortization for the three paper policies
+// across 0.1%–10% batch sizes, plus the fault, cancel, repartition and
+// coalesce checks.
+func RunIncremental(opts Options) (*IncrementalResult, error) {
+	opts = opts.withDefaults()
+	nodes := opts.Nodes / 2
+	if nodes < 2 {
+		nodes = 2
+	}
+	np := opts.Nodes
+
+	blastArgs := map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np), "num_reducers": fmt.Sprint(np),
+	}
+	workflows, err := incrWorkflows(opts, np, blastArgs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &IncrementalResult{Nodes: nodes}
+	fracs := []float64{0.001, 0.01, 0.1}
+	for wi, wf := range workflows {
+		for fi, frac := range fracs {
+			c, err := runIncrementalCase(wf, nodes, frac, opts.Seed+int64(wi*10+fi))
+			if err != nil {
+				return nil, fmt.Errorf("incremental %s @%.1f%%: %w", wf.name, frac*100, err)
+			}
+			res.Cases = append(res.Cases, *c)
+		}
+	}
+
+	if err := runIncrementalAux(res, workflows, nodes, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// incrWorkflows builds the three workflow cases with disjoint base and
+// append streams drawn from the same generated distributions.
+func incrWorkflows(opts Options, np int, blastArgs map[string]string) ([]incrWorkflow, error) {
+	blastBase := blastRows(blast.Generate(blast.EnvNR(), opts.BlastScale/8, opts.Seed))
+	blastPool := blastRows(blast.Generate(blast.EnvNR(), opts.BlastScale/8, opts.Seed+1))
+	graphBase := graphRows(graph.Generate(graph.Google(), opts.GraphScale/4, opts.Seed))
+	graphPool := graphRows(graph.Generate(graph.Google(), opts.GraphScale/4, opts.Seed+1))
+
+	cyclic, err := compileNamedPlan("blast_partition.xml", blastArgs)
+	if err != nil {
+		return nil, err
+	}
+	block, err := compileNamedPlan("blast_partition_block.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np),
+	})
+	if err != nil {
+		return nil, err
+	}
+	hybrid, err := compileNamedPlan("hybrid_cut.xml", map[string]string{
+		"input_file": "mem://graph", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np), "threshold": "100",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []incrWorkflow{
+		{"blast_partition", cyclic, blastBase, blastPool},
+		{"blast_partition_block", block, blastBase, blastPool},
+		{"hybrid_cut", hybrid, graphBase, graphPool},
+	}, nil
+}
+
+// runIncrementalCase streams batches of one size into a fresh engine and
+// compares amortized delta cost and final bytes against from-scratch.
+func runIncrementalCase(wf incrWorkflow, nodes int, frac float64, seed int64) (*IncrementalCase, error) {
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	eng, err := incremental.New(incremental.Config{Plan: wf.plan, Cluster: cl}, wf.base)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const batches = 3
+	appendN := int(frac * float64(len(wf.base)))
+	if appendN < 1 {
+		appendN = 1
+	}
+	var deltaSum vtime.Duration
+	moved, poolAt := 0, 0
+	for b := 0; b < batches; b++ {
+		ids := eng.IDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		batch := incremental.Batch{Deletes: ids[:appendN/2]}
+		for i := 0; i < appendN && poolAt < len(wf.pool); i++ {
+			batch.Appends = append(batch.Appends, wf.pool[poolAt])
+			poolAt++
+		}
+		rep, err := eng.ApplyDelta(batch, incremental.ApplyOptions{})
+		if err != nil {
+			return nil, err
+		}
+		deltaSum += rep.Makespan
+		moved += rep.MovedRows
+	}
+
+	// From-scratch oracle over the exact surviving sequence.
+	final := eng.Rows()
+	ocl := cluster.New(cluster.DefaultConfig(nodes))
+	scratch, err := core.Execute(ocl, wf.plan, core.Input{LocalRows: spreadRows(final, ocl.Size())})
+	if err != nil {
+		return nil, err
+	}
+	avg := deltaSum / batches
+	stats := &planopt.InputStats{Rows: int64(eng.Len()), AvgRowBytes: avgRowBytes(final)}
+	return &IncrementalCase{
+		Workflow:         wf.name,
+		Model:            eng.ModelName(),
+		DeltaFrac:        frac,
+		Batches:          batches,
+		Resident:         eng.Len(),
+		MovedRows:        moved,
+		AvgDeltaMakespan: avg,
+		ScratchMakespan:  scratch.Makespan,
+		Speedup:          float64(scratch.Makespan) / float64(avg),
+		PredictedDelta:   planopt.PredictDeltaMakespan(stats, ocl.Size(), moved/batches),
+		Identical:        fingerprint(eng.Partitions(), false) == fingerprint(scratch.Partitions, false),
+	}, nil
+}
+
+// runIncrementalAux runs the fault, cancel, repartition and coalesce checks
+// on smaller engines.
+func runIncrementalAux(res *IncrementalResult, workflows []incrWorkflow, nodes int, opts Options) error {
+	cyclic, block := workflows[0], workflows[1]
+	small := cyclic.base[:len(cyclic.base)/4]
+
+	// Fault-injected delta: crash a rank mid-shuffle, recovery shrinks the
+	// communicator, patched bytes must still match a clean oracle.
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	eng, err := incremental.New(incremental.Config{Plan: cyclic.plan, Cluster: cl}, small)
+	if err != nil {
+		return err
+	}
+	crashRank := cl.Size() - 1
+	cl.SetFaultPlan(&faults.Plan{Seed: opts.Seed, Crashes: []faults.Crash{{Rank: crashRank, At: 50 * vtime.Microsecond}}})
+	ids := eng.IDs()
+	batch := incremental.Batch{Deletes: ids[:5], Appends: cyclic.pool[:len(small)/10]}
+	rep, err := eng.ApplyDelta(batch, incremental.ApplyOptions{})
+	if err != nil {
+		return fmt.Errorf("faulted delta: %w", err)
+	}
+	cl.SetFaultPlan(nil)
+	ocl := cluster.New(cluster.DefaultConfig(nodes))
+	oracle, err := core.Execute(ocl, cyclic.plan, core.Input{LocalRows: spreadRows(eng.Rows(), ocl.Size())})
+	if err != nil {
+		return err
+	}
+	res.FaultWorkflow = cyclic.name
+	res.FaultFailedRank = crashRank
+	res.FaultIdentical = rep.Recovery != nil && len(rep.Recovery.Failed) > 0 &&
+		fingerprint(eng.Partitions(), false) == fingerprint(oracle.Partitions, false)
+
+	// Canceled delta leaves the resident partitions untouched.
+	before := eng.Checksum()
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err = eng.ApplyDelta(incremental.Batch{Appends: cyclic.pool[:3]}, incremental.ApplyOptions{Cancel: cancel})
+	res.CancelUntouched = errors.Is(err, core.ErrCanceled) && eng.Checksum() == before
+
+	// Repartition and coalesce identity on the block workflow.
+	bcl := cluster.New(cluster.DefaultConfig(nodes))
+	beng, err := incremental.New(incremental.Config{Plan: block.plan, Cluster: bcl}, small)
+	if err != nil {
+		return err
+	}
+	np := beng.NumPartitions()
+	if _, err := beng.Repartition(np+3, incremental.ApplyOptions{}); err != nil {
+		return fmt.Errorf("repartition: %w", err)
+	}
+	res.RepartitionIdentical, err = blockOracleMatch(beng, nodes, np+3)
+	if err != nil {
+		return err
+	}
+	crep, err := beng.Repartition(np, incremental.ApplyOptions{})
+	if err != nil {
+		return fmt.Errorf("restore np: %w", err)
+	}
+	_ = crep
+	corep, err := beng.Coalesce(np/4, incremental.ApplyOptions{})
+	if err != nil {
+		return fmt.Errorf("coalesce: %w", err)
+	}
+	res.CoalesceMovedRows = corep.MovedRows
+	res.CoalesceIdentical, err = blockOracleMatch(beng, nodes, np/4)
+	return err
+}
+
+// blockOracleMatch checks the engine's partitions against a from-scratch
+// block-policy run at the engine's current partition count.
+func blockOracleMatch(eng *incremental.Engine, nodes, np int) (bool, error) {
+	plan, err := compileNamedPlan("blast_partition_block.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np),
+	})
+	if err != nil {
+		return false, err
+	}
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	oracle, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(eng.Rows(), cl.Size())})
+	if err != nil {
+		return false, err
+	}
+	return fingerprint(eng.Partitions(), false) == fingerprint(oracle.Partitions, false), nil
+}
+
+// avgRowBytes estimates the mean encoded row size from a prefix.
+func avgRowBytes(rows []core.Row) float64 {
+	n := len(rows)
+	if n == 0 {
+		return 0
+	}
+	if n > 512 {
+		n = 512
+	}
+	total := 0
+	for _, r := range rows[:n] {
+		total += len(core.EncodeRow(r))
+	}
+	return float64(total) / float64(n)
+}

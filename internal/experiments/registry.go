@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Renderer is any experiment result: a typed struct that can print itself
+// in the paper's shape. Results also marshal to JSON for the CI determinism
+// diffs.
+type Renderer interface{ Render() string }
+
+// Entry is one registered experiment. The registry is the single source of
+// truth for the catalog: `paperbench -exp help`, the unknown-experiment
+// error, and the README experiment table are all generated from it (a test
+// fails when the README drifts).
+type Entry struct {
+	Name string
+	Desc string
+	Run  func(Options) (Renderer, error)
+}
+
+// wrapEntry adapts a typed experiment runner to the Renderer interface.
+func wrapEntry[T Renderer](f func(Options) (T, error)) func(Options) (Renderer, error) {
+	return func(o Options) (Renderer, error) { return f(o) }
+}
+
+// Registry lists every experiment in presentation order.
+func Registry() []Entry {
+	return []Entry{
+		{"table2", "graph dataset statistics", wrapEntry(Table2)},
+		{"correctness", "PaPar vs application partitions", wrapEntry(Correctness)},
+		{"fig12", "muBLASTP search, cyclic vs block", wrapEntry(Fig12)},
+		{"fig13a", "partitioning time, PaPar vs muBLASTP", wrapEntry(Fig13a)},
+		{"fig13b", "PaPar strong scaling", wrapEntry(Fig13b)},
+		{"fig14", "PageRank across cut methods", wrapEntry(Fig14)},
+		{"fig15a", "hybrid-cut time, PaPar vs PowerLyra", wrapEntry(Fig15a)},
+		{"fig15b", "hybrid-cut strong scaling", wrapEntry(Fig15b)},
+		{"compress", "CSC data compression", wrapEntry(Compression)},
+		{"ccomp", "connected components across cut methods (extension)", wrapEntry(ConnectedComponents)},
+		{"ablations", "design-choice ablations", wrapEntry(Ablations)},
+		{"chaos", "fault injection: crash, drop, corruption, checkpoint-loss and disk-fault recovery", wrapEntry(Chaos)},
+		{"outofcore", "budget-constrained partitioning through the spill tier, byte-identical to in-memory", wrapEntry(OutOfCore)},
+		{"skew", "per-rank load imbalance by partitioning policy (block vs cyclic, hybrid vs hash)", wrapEntry(Skew)},
+		{"optimizer", "plan optimizer: fusion/elision identity, auto policy selection, fused-plan recovery", wrapEntry(RunOptimizer)},
+		{"service", "papard service tier under load: throughput, overload shedding, retries, fair share, crash recovery", wrapEntry(Service)},
+		{"incremental", "incremental repartitioning: amortized delta cost vs from-scratch, byte-identity per policy", wrapEntry(RunIncremental)},
+	}
+}
+
+// Names lists the registry names in order.
+func Names() []string {
+	entries := Registry()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// HelpText renders the `-exp help` listing.
+func HelpText() string {
+	var b strings.Builder
+	b.WriteString("experiments:\n")
+	for _, e := range Registry() {
+		fmt.Fprintf(&b, "  %-12s %s\n", e.Name, e.Desc)
+	}
+	return b.String()
+}
+
+// TableMarkdown renders the README experiment table. README.md embeds it
+// between `<!-- experiments:begin -->` and `<!-- experiments:end -->`
+// markers; TestREADMEExperimentTable fails when the embedded copy drifts
+// from this generated one.
+func TableMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| Experiment | What it reproduces |\n")
+	b.WriteString("|---|---|\n")
+	for _, e := range Registry() {
+		fmt.Fprintf(&b, "| `paperbench -exp %s` | %s |\n", e.Name, e.Desc)
+	}
+	return b.String()
+}

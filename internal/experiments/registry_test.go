@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryWellFormed pins the registry invariants the generated
+// artifacts rely on: unique non-empty names, descriptions, runners.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.Name == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment name %q", e.Name)
+		}
+		if e.Name != strings.ToLower(e.Name) {
+			t.Fatalf("experiment name %q is not lowercase", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	if !seen["incremental"] {
+		t.Fatal("registry is missing the incremental experiment")
+	}
+}
+
+// TestHelpTextListsEveryExperiment keeps `-exp help` in lockstep with the
+// registry.
+func TestHelpTextListsEveryExperiment(t *testing.T) {
+	help := HelpText()
+	for _, e := range Registry() {
+		if !strings.Contains(help, e.Name) || !strings.Contains(help, e.Desc) {
+			t.Fatalf("help text is missing %q", e.Name)
+		}
+	}
+}
+
+// TestREADMEExperimentTable fails when the README's embedded experiment
+// table drifts from the registry-generated one. The fix is mechanical:
+// replace the block between the experiments markers with the output of
+// experiments.TableMarkdown().
+func TestREADMEExperimentTable(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- experiments:begin -->", "<!-- experiments:end -->"
+	text := string(readme)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	embedded := strings.TrimSpace(text[i+len(begin) : j])
+	want := strings.TrimSpace(TableMarkdown())
+	if embedded != want {
+		t.Fatalf("README experiment table drifted from the registry.\n--- README ---\n%s\n--- registry ---\n%s", embedded, want)
+	}
+}

@@ -1,0 +1,366 @@
+package incremental
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataformat"
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+func compilePlan(t *testing.T, workflow string, args map[string]string) *core.Plan {
+	t.Helper()
+	f := core.NewFramework()
+	if _, err := f.RegisterInputConfig(repro.Config("blast_db.xml")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RegisterInputConfig(repro.Config("graph_edge.xml")); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := f.CompileWorkflowConfig(repro.Config(workflow), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func blastPlan(t *testing.T, np int) *core.Plan {
+	return compilePlan(t, "blast_partition.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np), "num_reducers": fmt.Sprint(np),
+	})
+}
+
+func blockPlan(t *testing.T, np int) *core.Plan {
+	return compilePlan(t, "blast_partition_block.xml", map[string]string{
+		"input_path": "mem://blast", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np),
+	})
+}
+
+func hybridPlan(t *testing.T, np, threshold int) *core.Plan {
+	return compilePlan(t, "hybrid_cut.xml", map[string]string{
+		"input_file": "mem://graph", "output_path": "mem://out",
+		"num_partitions": fmt.Sprint(np), "threshold": fmt.Sprint(threshold),
+	})
+}
+
+// blastRow builds a 4-int-column row matching blast_db.xml.
+func blastRow(rng *rand.Rand) core.Row {
+	return core.Row{Values: []dataformat.Value{
+		dataformat.IntVal(rng.Int63n(1 << 30)),
+		dataformat.IntVal(rng.Int63n(5000)),
+		dataformat.IntVal(rng.Int63n(1 << 30)),
+		dataformat.IntVal(rng.Int63n(200)),
+	}}
+}
+
+func blastRowsN(rng *rand.Rand, n int) []core.Row {
+	out := make([]core.Row, n)
+	for i := range out {
+		out[i] = blastRow(rng)
+	}
+	return out
+}
+
+// edgeRow builds a (src, dst) string edge. Skewing dst toward a few hub
+// vertices exercises both hybrid-cut branches.
+func edgeRow(rng *rand.Rand) core.Row {
+	src := fmt.Sprintf("v%d", rng.Int63n(500))
+	var dst string
+	if rng.Intn(100) < 40 {
+		dst = fmt.Sprintf("hub%d", rng.Int63n(3))
+	} else {
+		dst = fmt.Sprintf("v%d", rng.Int63n(200))
+	}
+	return core.Row{Values: []dataformat.Value{dataformat.StrVal(src), dataformat.StrVal(dst)}}
+}
+
+func edgeRowsN(rng *rand.Rand, n int) []core.Row {
+	out := make([]core.Row, n)
+	for i := range out {
+		out[i] = edgeRow(rng)
+	}
+	return out
+}
+
+// oracle runs the plan from scratch on a fresh cluster of the same size and
+// returns the partitions.
+func oracle(t *testing.T, plan *core.Plan, rows []core.Row, nodes int) [][]core.Row {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	res, err := core.Execute(cl, plan, core.Input{LocalRows: spreadRows(rows, cl.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Partitions
+}
+
+func tuples(parts [][]core.Row) [][]string {
+	out := make([][]string, len(parts))
+	for q, part := range parts {
+		out[q] = make([]string, len(part))
+		for i, r := range part {
+			out[q][i] = r.String()
+		}
+	}
+	return out
+}
+
+func requireIdentical(t *testing.T, e *Engine, plan *core.Plan, nodes int, label string) {
+	t.Helper()
+	want := oracle(t, plan, e.Rows(), nodes)
+	if !reflect.DeepEqual(tuples(e.Partitions()), tuples(want)) {
+		t.Fatalf("%s: patched partitions differ from the from-scratch oracle", label)
+	}
+}
+
+// mutate applies a deterministic mixed batch: delete delFrac of resident
+// rows, append appendN fresh ones.
+func mutate(t *testing.T, e *Engine, rng *rand.Rand, delN, appendN int, fresh func(*rand.Rand) core.Row) *Report {
+	t.Helper()
+	ids := e.IDs()
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if delN > len(ids) {
+		delN = len(ids)
+	}
+	b := Batch{Deletes: ids[:delN]}
+	for i := 0; i < appendN; i++ {
+		b.Appends = append(b.Appends, fresh(rng))
+	}
+	rep, err := e.ApplyDelta(b, ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestDeltaIdentityCyclic(t *testing.T) {
+	const nodes, np = 3, 7
+	plan := blastPlan(t, np)
+	rng := rand.New(rand.NewSource(11))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(nodes))}, blastRowsN(rng, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends only, deletes only, then mixed.
+	if _, err := e.ApplyDelta(Batch{Appends: blastRowsN(rng, 25)}, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, e, plan, nodes, "appends")
+	ids := e.IDs()
+	if _, err := e.ApplyDelta(Batch{Deletes: []int64{ids[0], ids[100], ids[len(ids)-1]}}, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, e, plan, nodes, "deletes")
+	mutate(t, e, rng, 15, 20, blastRow)
+	requireIdentical(t, e, plan, nodes, "mixed")
+}
+
+func TestDeltaIdentityBlock(t *testing.T) {
+	const nodes, np = 3, 5
+	plan := blockPlan(t, np)
+	rng := rand.New(rand.NewSource(13))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(nodes))}, blastRowsN(rng, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ModelName() != "direct-block" {
+		t.Fatalf("model = %s", e.ModelName())
+	}
+	// Appends to a block layout only shift the tail boundaries: far fewer
+	// rows move than the resident count.
+	rep, err := e.ApplyDelta(Batch{Appends: blastRowsN(rng, 3)}, ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, e, plan, nodes, "appends")
+	if rep.MovedRows >= e.Len()/2 {
+		t.Fatalf("block append moved %d of %d rows; boundary shifts should be local", rep.MovedRows, e.Len())
+	}
+	mutate(t, e, rng, 10, 12, blastRow)
+	requireIdentical(t, e, plan, nodes, "mixed")
+}
+
+func TestDeltaIdentityHybrid(t *testing.T) {
+	const nodes, np, threshold = 3, 6, 40
+	plan := hybridPlan(t, np, threshold)
+	rng := rand.New(rand.NewSource(17))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(nodes))}, edgeRowsN(rng, 350))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ModelName() != "hybrid-cut" {
+		t.Fatalf("model = %s", e.ModelName())
+	}
+	// Appends can push a destination vertex across the indegree threshold,
+	// re-routing its whole group; deletes can pull one back.
+	for round := 0; round < 3; round++ {
+		mutate(t, e, rng, 12, 18, edgeRow)
+		requireIdentical(t, e, plan, nodes, fmt.Sprintf("round %d", round))
+	}
+}
+
+func TestRepartitionIdentity(t *testing.T) {
+	const nodes = 3
+	plan := blastPlan(t, 6)
+	rng := rand.New(rand.NewSource(19))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(nodes))}, blastRowsN(rng, 240))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Repartition(10, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPartitions() != 10 {
+		t.Fatalf("np = %d", e.NumPartitions())
+	}
+	requireIdentical(t, e, blastPlan(t, 10), nodes, "repartition")
+	// Deltas keep working at the new count.
+	mutate(t, e, rng, 8, 10, blastRow)
+	requireIdentical(t, e, blastPlan(t, 10), nodes, "post-repartition delta")
+}
+
+func TestCoalesceIdentity(t *testing.T) {
+	const nodes = 3
+	plan := blockPlan(t, 12)
+	rng := rand.New(rand.NewSource(23))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(nodes))}, blastRowsN(rng, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Coalesce(4, ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MovedRows != 0 || rep.RelabeledRows != e.Len() {
+		t.Fatalf("coalesce moved=%d relabeled=%d", rep.MovedRows, rep.RelabeledRows)
+	}
+	requireIdentical(t, e, blockPlan(t, 4), nodes, "coalesce")
+	if _, err := e.Coalesce(3, ApplyOptions{}); err == nil {
+		t.Fatal("coalesce to a non-divisor count must fail")
+	}
+}
+
+func TestCoalesceRejectsHashPlacement(t *testing.T) {
+	plan := hybridPlan(t, 8, 40)
+	rng := rand.New(rand.NewSource(29))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(2))}, edgeRowsN(rng, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Coalesce(4, ApplyOptions{}); err == nil {
+		t.Fatal("coalesce on hybrid-cut must fail")
+	}
+}
+
+func TestDeltaIdentityUnderFaults(t *testing.T) {
+	const nodes, np = 3, 7
+	plan := blastPlan(t, np)
+	rng := rand.New(rand.NewSource(31))
+	cl := cluster.New(cluster.DefaultConfig(nodes))
+	e, err := New(Config{Plan: plan, Cluster: cl}, blastRowsN(rng, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash a rank almost immediately in virtual time: the delta run's
+	// shuffle is mid-flight, recovery shrinks the communicator, and the
+	// patched result must still match the clean oracle.
+	cl.SetFaultPlan(&faults.Plan{Seed: 7, Crashes: []faults.Crash{{Rank: 2, At: 50 * vtime.Microsecond}}})
+	rep := mutate(t, e, rng, 10, 30, blastRow)
+	if rep.Recovery == nil || len(rep.Recovery.Failed) == 0 {
+		t.Fatalf("expected a recovery round, got %+v", rep.Recovery)
+	}
+	cl.SetFaultPlan(nil)
+	requireIdentical(t, e, plan, nodes, "faulted delta")
+}
+
+func TestCancelLeavesPartitionsUntouched(t *testing.T) {
+	plan := blastPlan(t, 5)
+	rng := rand.New(rand.NewSource(37))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(2))}, blastRowsN(rng, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Checksum()
+	ids, n := e.IDs(), e.Len()
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err = e.ApplyDelta(Batch{Appends: blastRowsN(rng, 10), Deletes: ids[:5]}, ApplyOptions{Cancel: cancel})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if e.Checksum() != before {
+		t.Fatal("canceled delta mutated the resident partitions")
+	}
+	if e.Len() != n {
+		t.Fatalf("canceled delta changed resident count %d -> %d", n, e.Len())
+	}
+	// The engine stays usable: the same batch applies cleanly afterwards.
+	if _, err := e.ApplyDelta(Batch{Deletes: ids[:5]}, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, e, plan, 2, "post-cancel delta")
+}
+
+func TestDeltaBadBatches(t *testing.T) {
+	plan := blastPlan(t, 4)
+	rng := rand.New(rand.NewSource(41))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(2))}, blastRowsN(rng, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ApplyDelta(Batch{Deletes: []int64{999999}}, ApplyOptions{}); err == nil {
+		t.Fatal("unknown delete id must fail")
+	}
+	id := e.IDs()[0]
+	if _, err := e.ApplyDelta(Batch{Deletes: []int64{id, id}}, ApplyOptions{}); err == nil {
+		t.Fatal("duplicate delete must fail")
+	}
+	// An empty batch is a no-op that still round-trips the executor.
+	if _, err := e.ApplyDelta(Batch{}, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, e, plan, 2, "empty batch")
+}
+
+func TestBuildModelRejectsAutoThreshold(t *testing.T) {
+	plan := compilePlan(t, "hybrid_cut_auto.xml", map[string]string{
+		"input_file": "mem://graph", "output_path": "mem://out",
+		"num_partitions": "4",
+	})
+	_, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(2))}, nil)
+	if err == nil {
+		t.Fatal("auto threshold must be rejected until the optimizer binds it")
+	}
+}
+
+func TestMovedRowsStayBelowScratchForSmallDeltas(t *testing.T) {
+	// The incremental win for block/hybrid comes from shipping only the
+	// affected rows; a 1% append batch must move far less than the resident
+	// set.
+	const nodes = 3
+	plan := blockPlan(t, 8)
+	rng := rand.New(rand.NewSource(43))
+	e, err := New(Config{Plan: plan, Cluster: cluster.New(cluster.DefaultConfig(nodes))}, blastRowsN(rng, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.ApplyDelta(Batch{Appends: blastRowsN(rng, 10)}, ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MovedRows > e.Len()/4 {
+		t.Fatalf("1%% append moved %d of %d rows", rep.MovedRows, e.Len())
+	}
+	if rep.Makespan >= e.Baseline().Makespan {
+		t.Fatalf("delta makespan %v not below from-scratch %v", rep.Makespan, e.Baseline().Makespan)
+	}
+}

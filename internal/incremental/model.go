@@ -1,0 +1,290 @@
+package incremental
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mrmpi"
+)
+
+// model is the host-side replica of what the executor computes: given the
+// global input sequence E (every resident row, in arrival order), it returns
+// the canonical content of every partition as ordered entry indexes. The
+// engine never trusts the model blindly — New verifies it byte-for-byte
+// against a real executor run at seed time, and every delta run re-verifies
+// each shipped row as the patch walk consumes it.
+type model interface {
+	// sequences returns, per partition, the ordered indexes (into entries)
+	// forming that partition's canonical content at np partitions.
+	sequences(entries []entry, np int) ([][]int, error)
+	// indexBased reports whether assignment is a pure function of the
+	// global entry index (cyclic/block) — the precondition for Coalesce's
+	// no-shuffle relabel.
+	indexBased() bool
+	// name identifies the recognized plan shape for reports and errors.
+	name() string
+}
+
+// buildModel recognizes the three workflow shapes the incremental engine
+// supports and derives a canonical model from the plan's bound parameters
+// (optimizer-fused plans are flattened first, so auto policies and
+// thresholds must already be bound):
+//
+//	[Sort, Distribute(cyclic|block)]                     — blast_partition
+//	[Distribute(cyclic|block)]                           — blast_partition_block
+//	[Group(pack,count), Split, Distribute(vertex-cut)]   — hybrid_cut
+func buildModel(plan *core.Plan, ranks int) (model, error) {
+	if plan == nil || plan.InputSchema == nil {
+		return nil, fmt.Errorf("incremental: plan with input schema required")
+	}
+	jobs := flattenJobs(plan.Jobs)
+	schema := core.NewRowSchema(plan.InputSchema)
+	switch len(jobs) {
+	case 1:
+		d, ok := jobs[0].(*core.DistributeJob)
+		if !ok || len(d.InputBranches) > 0 {
+			break
+		}
+		if d.Policy != core.Cyclic && d.Policy != core.Block {
+			return nil, fmt.Errorf("incremental: distribute policy %v is not index-based (bind a concrete cyclic/block policy, e.g. via the plan optimizer)", d.Policy)
+		}
+		return &directModel{policy: d.Policy}, nil
+	case 2:
+		s, okS := jobs[0].(*core.SortJob)
+		d, okD := jobs[1].(*core.DistributeJob)
+		if !okS || !okD || len(d.InputBranches) > 0 {
+			break
+		}
+		if d.Policy != core.Cyclic && d.Policy != core.Block {
+			return nil, fmt.Errorf("incremental: post-sort distribute policy %v is not index-based", d.Policy)
+		}
+		col := schema.Index(s.KeyCol)
+		if col < 0 {
+			return nil, fmt.Errorf("incremental: sort key %q missing from input schema", s.KeyCol)
+		}
+		return &sortModel{col: col, desc: s.Descending, policy: d.Policy}, nil
+	case 3:
+		g, okG := jobs[0].(*core.GroupJob)
+		sp, okS := jobs[1].(*core.SplitJob)
+		d, okD := jobs[2].(*core.DistributeJob)
+		if !okG || !okS || !okD {
+			break
+		}
+		return buildHybridModel(schema, g, sp, d, ranks)
+	}
+	return nil, fmt.Errorf("incremental: unrecognized plan shape (%d jobs); supported: sort+distribute, distribute, group+split+distribute", len(jobs))
+}
+
+// flattenJobs expands optimizer-fused jobs into the underlying sequence.
+func flattenJobs(jobs []core.Job) []core.Job {
+	out := make([]core.Job, 0, len(jobs))
+	for _, j := range jobs {
+		if f, ok := j.(*core.FusedJob); ok {
+			out = append(out, flattenJobs(f.Inner)...)
+		} else {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// assignByIndex applies the executor's index-based placement arithmetic to
+// a global visit order: cyclic is g mod np, block follows the lo = N*p/np
+// boundary convention (global index g belongs to partition
+// ceil((g+1)*np/N)-1), matching eachAssignment exactly.
+func assignByIndex(order []int, np int, policy core.DistrPolicy) ([][]int, error) {
+	seqs := make([][]int, np)
+	total := int64(len(order))
+	for g, idx := range order {
+		var part int
+		switch policy {
+		case core.Cyclic:
+			part = g % np
+		case core.Block:
+			part = int(((int64(g)+1)*int64(np)+total-1)/total) - 1
+		default:
+			return nil, fmt.Errorf("incremental: policy %v is not index-based", policy)
+		}
+		seqs[part] = append(seqs[part], idx)
+	}
+	return seqs, nil
+}
+
+// directModel is a bare Distribute(cyclic|block): partition content is E
+// itself, placed by global arrival index.
+type directModel struct {
+	policy core.DistrPolicy
+}
+
+func (m *directModel) sequences(entries []entry, np int) ([][]int, error) {
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	return assignByIndex(order, np, m.policy)
+}
+
+func (m *directModel) indexBased() bool { return true }
+func (m *directModel) name() string     { return "direct-" + m.policy.String() }
+
+// sortModel is Sort followed by an index-based Distribute. The executor's
+// global order is a stable sort of E by the key column (splitter buckets
+// never separate equal keys, the per-reducer sort is stable, and arrival
+// order inside a reducer is source-rank-major = E order), so the canonical
+// order is exactly sort.SliceStable over E.
+type sortModel struct {
+	col    int
+	desc   bool
+	policy core.DistrPolicy
+}
+
+func (m *sortModel) sequences(entries []entry, np int) ([][]int, error) {
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		c := core.CompareValues(entries[order[a]].row.Values[m.col], entries[order[b]].row.Values[m.col])
+		if m.desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	return assignByIndex(order, np, m.policy)
+}
+
+func (m *sortModel) indexBased() bool { return true }
+func (m *sortModel) name() string     { return "sort-" + m.policy.String() }
+
+// hybridBranch is one distribute input of the hybrid-cut shape, in emit
+// order.
+type hybridBranch struct {
+	name string
+	cond core.SplitCondition
+	// packed routes whole groups by the group key's hash (the low-degree
+	// "orig" branch); unpacked routes each member row by its first column's
+	// hash (the high-degree "unpack" branch).
+	packed bool
+}
+
+// hybridModel mirrors the hybrid-cut pipeline: group rows by the dst-vertex
+// column on the group shuffle's rank (mrmpi.KeyRank over the key string),
+// derive the indegree as the group size, route each group to the first
+// split branch whose bound condition matches, then hash-place per branch.
+// Partition assembly is source-rank-major with per-rank emission in branch
+// order, groups in first-appearance order, members in arrival order — the
+// same invariant chain the byte-identity of the elided distribute rests on.
+type hybridModel struct {
+	groupCol int
+	srcCol   int
+	branches []hybridBranch
+	ranks    int
+}
+
+// buildHybridModel validates the group+split+distribute shape and binds the
+// model's parameters from the plan.
+func buildHybridModel(schema *core.RowSchema, g *core.GroupJob, sp *core.SplitJob, d *core.DistributeJob, ranks int) (model, error) {
+	if d.Policy != core.GraphVertexCut {
+		return nil, fmt.Errorf("incremental: group+split plans require a graphVertexCut distribute, got %v", d.Policy)
+	}
+	if !g.Pack {
+		return nil, fmt.Errorf("incremental: group %s must pack its output", g.ID)
+	}
+	if len(g.AddOns) != 1 || g.AddOns[0].AddOn.Name() != "count" {
+		return nil, fmt.Errorf("incremental: group %s must have exactly one count add-on", g.ID)
+	}
+	if sp.KeyCol != g.AddOns[0].AttrName {
+		return nil, fmt.Errorf("incremental: split key %q is not the count attribute %q", sp.KeyCol, g.AddOns[0].AttrName)
+	}
+	groupCol := schema.Index(g.KeyCol)
+	if groupCol < 0 {
+		return nil, fmt.Errorf("incremental: group key %q missing from input schema", g.KeyCol)
+	}
+	if len(d.InputBranches) == 0 {
+		return nil, fmt.Errorf("incremental: vertex-cut distribute %s must read split branches", d.ID)
+	}
+	byName := map[string]core.SplitBranch{}
+	for _, b := range sp.Branches {
+		byName[b.Name] = b
+	}
+	branches := make([]hybridBranch, 0, len(d.InputBranches))
+	for _, name := range d.InputBranches {
+		b, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("incremental: distribute input %q is not a split branch", name)
+		}
+		if b.Condition.Auto {
+			return nil, fmt.Errorf("incremental: branch %s threshold is auto; bind it with the plan optimizer first", name)
+		}
+		branches = append(branches, hybridBranch{name: name, cond: b.Condition, packed: b.Format != "unpack"})
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("incremental: cluster size %d", ranks)
+	}
+	return &hybridModel{groupCol: groupCol, srcCol: 0, branches: branches, ranks: ranks}, nil
+}
+
+func (m *hybridModel) sequences(entries []entry, np int) ([][]int, error) {
+	type hgroup struct {
+		members []int
+	}
+	// Route every entry to its group-shuffle rank; the contiguous input
+	// spread makes each rank's arrival stream an E-order filter, so
+	// first-appearance group order and in-group member order both follow E.
+	rankGroups := make([][]*hgroup, m.ranks)
+	index := make([]map[string]*hgroup, m.ranks)
+	for i := range entries {
+		key := entries[i].row.Values[m.groupCol].AsString()
+		r := mrmpi.KeyRank([]byte(key), m.ranks)
+		if index[r] == nil {
+			index[r] = map[string]*hgroup{}
+		}
+		g := index[r][key]
+		if g == nil {
+			g = &hgroup{}
+			index[r][key] = g
+			rankGroups[r] = append(rankGroups[r], g)
+		}
+		g.members = append(g.members, i)
+	}
+	seqs := make([][]int, np)
+	for r := 0; r < m.ranks; r++ {
+		// Classify each group by its indegree (= global group size: the
+		// whole key lives on one rank) against the branch conditions in
+		// declaration order, like runSplit's first-match routing.
+		perBranch := make([][]*hgroup, len(m.branches))
+		for _, g := range rankGroups[r] {
+			deg := int64(len(g.members))
+			bi := -1
+			for i, b := range m.branches {
+				if b.cond.Eval(deg) {
+					bi = i
+					break
+				}
+			}
+			if bi < 0 {
+				return nil, fmt.Errorf("incremental: indegree %d matches no split branch", deg)
+			}
+			perBranch[bi] = append(perBranch[bi], g)
+		}
+		for bi, b := range m.branches {
+			for _, g := range perBranch[bi] {
+				if b.packed {
+					first := entries[g.members[0]].row
+					part := core.HashValue(first.Values[m.groupCol], np)
+					seqs[part] = append(seqs[part], g.members...)
+				} else {
+					for _, mi := range g.members {
+						part := core.HashValue(entries[mi].row.Values[m.srcCol], np)
+						seqs[part] = append(seqs[part], mi)
+					}
+				}
+			}
+		}
+	}
+	return seqs, nil
+}
+
+func (m *hybridModel) indexBased() bool { return false }
+func (m *hybridModel) name() string     { return "hybrid-cut" }

@@ -181,6 +181,13 @@ func HashPartitioner(kv keyval.KV, nranks int) int {
 	return hash32.Bucket(hash32.Sum(kv.Key), nranks)
 }
 
+// KeyRank reports the rank HashPartitioner routes a raw key to. The
+// incremental engine's canonical model mirrors the Group shuffle's placement
+// through it, so model and executor can never disagree on key routing.
+func KeyRank(key []byte, nranks int) int {
+	return HashPartitioner(keyval.KV{Key: key}, nranks)
+}
+
 // Aggregate shuffles the local KV sets so that every pair is stored on the
 // rank the partitioner chose. It is the all-to-all personalized exchange at
 // the heart of every PaPar job.

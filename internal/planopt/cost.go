@@ -265,3 +265,38 @@ func PredictMakespan(p *core.Plan, s *InputStats, ranks int) vtime.Duration {
 	}
 	return predictPlan(p, s, ranks)
 }
+
+// PredictDeltaMakespan estimates the virtual makespan of one incremental
+// delta batch against a resident partition set: the single patch job's
+// launch, every rank's share of the host-side move-set derivation (one scan
+// over the resident rows), and the all-to-all shipping only the moved rows.
+// The service's admission control uses it the same way it uses
+// PredictMakespan for from-scratch jobs: coarse, monotone in both the
+// resident size and the moved count, cheap to evaluate. s describes the
+// resident input (rows, row width); moved is the estimated moved-row count.
+func PredictDeltaMakespan(s *InputStats, ranks, moved int) vtime.Duration {
+	if s == nil || ranks <= 0 {
+		return 0
+	}
+	cm, nm := costModels()
+	rowsR := int(s.Rows) / ranks
+	if rowsR < 1 {
+		rowsR = 1
+	}
+	if moved < 0 {
+		moved = 0
+	}
+	if moved > int(s.Rows) {
+		moved = int(s.Rows)
+	}
+	movedR := moved / ranks
+	if movedR < 1 && moved > 0 {
+		movedR = 1
+	}
+	movedBytesR := int(float64(movedR) * s.AvgRowBytes)
+	derive := cm.ScanCost(rowsR, 0)
+	shuffle := cm.ScanCost(movedR, movedBytesR) +
+		nm.TransferTime(movedBytesR) + vtime.Duration(ranks-1)*nm.TransferTime(0) +
+		cm.CopyCost(movedBytesR)
+	return core.JobLaunchOverhead + derive + shuffle
+}

@@ -1,0 +1,25 @@
+package planopt
+
+import "testing"
+
+func TestPredictDeltaMakespan(t *testing.T) {
+	s := &InputStats{Rows: 100000, AvgRowBytes: 40}
+	if got := PredictDeltaMakespan(nil, 8, 100); got != 0 {
+		t.Fatalf("nil stats: %v", got)
+	}
+	if got := PredictDeltaMakespan(s, 0, 100); got != 0 {
+		t.Fatalf("zero ranks: %v", got)
+	}
+	small := PredictDeltaMakespan(s, 8, 100)
+	big := PredictDeltaMakespan(s, 8, 50000)
+	if small <= 0 || big <= small {
+		t.Fatalf("not monotone in moved rows: small=%v big=%v", small, big)
+	}
+	// A negative or oversized moved count clamps instead of exploding.
+	if got := PredictDeltaMakespan(s, 8, -5); got <= 0 || got > small {
+		t.Fatalf("clamped floor: %v vs %v", got, small)
+	}
+	if got := PredictDeltaMakespan(s, 8, 1<<30); got != PredictDeltaMakespan(s, 8, int(s.Rows)) {
+		t.Fatal("moved count not clamped to resident rows")
+	}
+}

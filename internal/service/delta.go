@@ -1,0 +1,302 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/incremental"
+	"repro/internal/planopt"
+	"repro/internal/vtime"
+)
+
+// The incremental job kinds ("delta", "repartition", "coalesce") run against
+// resident incremental engines instead of from-scratch executions. One engine
+// lives per (workflow, args, dataset) key — the same key the runtime cache
+// uses — and owns its own resident cluster, seeded lazily on first use by a
+// from-scratch run. Batches are synthesized deterministically from the spec's
+// delta seed and the engine's resident state, and every committed batch is
+// journaled as an "applied" record before the job advances; recovery replays
+// those records in journal order to rebuild byte-identical engines and
+// resumes interrupted jobs after their last journaled batch.
+
+// deltaEngine is one resident engine slot. mu serializes every engine
+// operation (incremental.Engine is not concurrency-safe); poisoned marks a
+// slot whose journal fell behind its engine (an applied-record append failed
+// after the batch committed) — the live state can no longer be trusted to
+// match what recovery would rebuild, so further use is refused until restart.
+type deltaEngine struct {
+	mu       chan struct{} // 1-buffered semaphore (lock must not outlive crash)
+	cl       *cluster.Cluster
+	eng      *incremental.Engine
+	poisoned error
+}
+
+func (de *deltaEngine) lock()   { de.mu <- struct{}{} }
+func (de *deltaEngine) unlock() { <-de.mu }
+
+// ensure lazily seeds the engine (de locked). The seed run is a from-scratch
+// execution of the runtime's plan over its rows on the slot's cluster.
+func (de *deltaEngine) ensure(rt *runtime) error {
+	if de.poisoned != nil {
+		return de.poisoned
+	}
+	if de.eng != nil {
+		return nil
+	}
+	eng, err := incremental.New(incremental.Config{Plan: rt.plan, Cluster: de.cl}, rt.rows)
+	if err != nil {
+		return fmt.Errorf("service: seeding incremental engine: %w", err)
+	}
+	de.eng = eng
+	return nil
+}
+
+// engineSlot returns (creating if needed) the engine slot for a runtime key.
+func (s *Server) engineSlot(key string) *deltaEngine {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	de := s.engines[key]
+	if de == nil {
+		de = &deltaEngine{
+			mu: make(chan struct{}, 1),
+			cl: cluster.New(cluster.DefaultConfig(s.cfg.Nodes)),
+		}
+		s.engines[key] = de
+	}
+	return de
+}
+
+// engineKey is the engine slot key for a spec: identical to the runtime cache
+// key, so every job over the same (workflow, args, dataset) shares one
+// resident partition set.
+func engineKey(spec *JobSpec) (string, error) {
+	_, sig, err := spec.canonicalArgs()
+	if err != nil {
+		return "", err
+	}
+	return sig + "@" + spec.Dataset.key(), nil
+}
+
+// synthesizeBatch derives delta batch k: a pure function of (spec seed, k,
+// resident ids, dataset pool), so a journal replay applying batches in the
+// original order re-derives identical batches. Victims are drawn from the
+// resident ids, appends are sampled rows from the dataset pool.
+func synthesizeBatch(eng *incremental.Engine, pool []core.Row, d *DeltaSpec, k int) incremental.Batch {
+	rng := rand.New(rand.NewSource(d.Seed + int64(k)*1000003))
+	ids := eng.IDs()
+	resident := len(ids)
+	delN := int(d.DeleteFrac * float64(resident))
+	if delN == 0 && d.DeleteFrac > 0 && resident > 0 {
+		delN = 1
+	}
+	appendN := int(d.AppendFrac * float64(resident))
+	if appendN == 0 && d.AppendFrac > 0 {
+		appendN = 1
+	}
+	rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+	var b incremental.Batch
+	b.Deletes = append(b.Deletes, ids[:delN]...)
+	for i := 0; i < appendN && len(pool) > 0; i++ {
+		b.Appends = append(b.Appends, pool[rng.Intn(len(pool))])
+	}
+	return b
+}
+
+// predictJob prices a spec for admission: from-scratch jobs through the plan
+// cost model, incremental kinds through the delta cost model with a moved-row
+// estimate (deltas touch ~4x the churned fraction once boundary shifts and
+// threshold crossings are counted; resizes move everything).
+func (s *Server) predictJob(rt *runtime, spec *JobSpec) vtime.Duration {
+	ranks := 2 * s.cfg.Nodes
+	switch spec.Kind {
+	case "delta":
+		frac := 4 * (spec.Delta.AppendFrac + spec.Delta.DeleteFrac)
+		if frac > 1 {
+			frac = 1
+		}
+		moved := int(float64(len(rt.rows)) * frac)
+		per := planopt.PredictDeltaMakespan(rt.stats, ranks, moved)
+		return vtime.Duration(spec.Delta.Batches) * per
+	case "repartition", "coalesce":
+		return planopt.PredictDeltaMakespan(rt.stats, ranks, len(rt.rows))
+	default:
+		return s.rts.predict(rt, ranks)
+	}
+}
+
+// executeIncremental runs one attempt of a delta/repartition/coalesce job on
+// the spec's resident engine. Every committed engine mutation is journaled as
+// an "applied" record before the job advances past it (while the engine lock
+// is still held, so journal order is exactly engine mutation order); a job
+// resumes after j.applied — mutations already committed and journaled are
+// never re-applied, within a process (retries) or across one (recovery).
+func (s *Server) executeIncremental(j *Job, attempt int, cancel <-chan struct{}) (attemptResult, error) {
+	key, err := engineKey(&j.Spec)
+	if err != nil {
+		return attemptResult{}, err
+	}
+	de := s.engineSlot(key)
+	select {
+	case de.mu <- struct{}{}:
+	case <-cancel:
+		return attemptResult{}, core.ErrCanceled
+	}
+	defer de.unlock()
+	if err := de.ensure(j.rt); err != nil {
+		return attemptResult{}, err
+	}
+	if j.Spec.Faults != "" {
+		fp, err := faults.Parse(j.Spec.Faults)
+		if err != nil {
+			return attemptResult{}, fmt.Errorf("service: fault plan: %w", err)
+		}
+		reseeded := *fp
+		reseeded.Seed = fp.Seed + int64(attempt)*1000003
+		de.cl.SetFaultPlan(&reseeded)
+		defer de.cl.SetFaultPlan(nil)
+	} else {
+		de.cl.SetFaultPlan(nil)
+	}
+
+	// journal appends one applied record and advances the resume point; a
+	// failure after the engine committed means the live engine is ahead of
+	// the journal and recovery would rebuild a state this engine no longer
+	// matches — poison the slot, restart recovers cleanly from the
+	// acknowledged prefix.
+	journal := func(batch int) error {
+		if err := s.journalApplied(j, batch, de.eng.Checksum()); err != nil {
+			de.poisoned = fmt.Errorf("service: engine %s: %v", key, err)
+			return de.poisoned
+		}
+		return nil
+	}
+
+	start := time.Now()
+	var makespan vtime.Duration
+	moved := 0
+	opts := incremental.ApplyOptions{Cancel: cancel}
+	switch j.Spec.Kind {
+	case "delta":
+		for k := j.applied; k < j.Spec.Delta.Batches; k++ {
+			b := synthesizeBatch(de.eng, j.rt.rows, j.Spec.Delta, k)
+			rep, err := de.eng.ApplyDelta(b, opts)
+			if err != nil {
+				return attemptResult{}, err
+			}
+			makespan += rep.Makespan
+			moved += rep.MovedRows
+			if err := journal(k); err != nil {
+				return attemptResult{}, err
+			}
+		}
+	case "repartition", "coalesce":
+		// A resize is one mutation; j.applied > 0 means a previous attempt
+		// (or recovery replay) already committed it.
+		if j.applied == 0 {
+			var rep *incremental.Report
+			if j.Spec.Kind == "repartition" {
+				rep, err = de.eng.Repartition(j.Spec.NewPartitions, opts)
+			} else {
+				rep, err = de.eng.Coalesce(j.Spec.NewPartitions, opts)
+			}
+			if err != nil {
+				return attemptResult{}, err
+			}
+			makespan, moved = rep.Makespan, rep.MovedRows
+			if err := journal(0); err != nil {
+				return attemptResult{}, err
+			}
+		}
+	}
+	out := attemptResult{
+		checksum:   de.eng.Checksum(),
+		makespan:   makespan,
+		wall:       time.Since(start),
+		partitions: de.eng.NumPartitions(),
+		moved:      moved,
+	}
+	if j.Spec.Persist && s.cfg.DataDir != "" {
+		res := &core.Result{Partitions: de.eng.Partitions()}
+		if err := s.persist(j, res); err != nil {
+			return attemptResult{}, err
+		}
+	}
+	return out, nil
+}
+
+// journalApplied records one committed delta batch and advances the job's
+// resume point. The record is appended while the engine lock is held, so
+// journal order is exactly engine application order — the property recovery
+// replay depends on.
+func (s *Server) journalApplied(j *Job, batch int, checksum uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil && !s.crashed {
+		if err := s.journal.Append(Record{Type: "applied", ID: j.ID, Batch: batch, Checksum: checksum}); err != nil {
+			return err
+		}
+	}
+	j.applied = batch + 1
+	return nil
+}
+
+// replayIncremental re-applies one journaled "applied" record to the
+// resident engines during recovery. Batches re-derive from the same pure
+// synthesis; resizes re-run with the spec's target. Every replayed step's
+// engine checksum must match the journaled one — a mismatch means the journal
+// and the deterministic re-derivation disagree, which recovery treats as
+// fatal rather than serving partitions of unknown provenance.
+func (s *Server) replayIncremental(rec Record, j *Job) error {
+	if err := s.resolveJob(j); err != nil {
+		return fmt.Errorf("service: recovery: job %s: %w", j.ID, err)
+	}
+	key, err := engineKey(&j.Spec)
+	if err != nil {
+		return fmt.Errorf("service: recovery: job %s: %w", j.ID, err)
+	}
+	de := s.engineSlot(key)
+	de.lock()
+	defer de.unlock()
+	if err := de.ensure(j.rt); err != nil {
+		return fmt.Errorf("service: recovery: job %s: %w", j.ID, err)
+	}
+	switch j.Spec.Kind {
+	case "delta":
+		b := synthesizeBatch(de.eng, j.rt.rows, j.Spec.Delta, rec.Batch)
+		if _, err := de.eng.ApplyDelta(b, incremental.ApplyOptions{}); err != nil {
+			return fmt.Errorf("service: recovery: job %s batch %d: %w", j.ID, rec.Batch, err)
+		}
+	case "repartition":
+		if _, err := de.eng.Repartition(j.Spec.NewPartitions, incremental.ApplyOptions{}); err != nil {
+			return fmt.Errorf("service: recovery: job %s repartition: %w", j.ID, err)
+		}
+	case "coalesce":
+		if _, err := de.eng.Coalesce(j.Spec.NewPartitions, incremental.ApplyOptions{}); err != nil {
+			return fmt.Errorf("service: recovery: job %s coalesce: %w", j.ID, err)
+		}
+	default:
+		return fmt.Errorf("service: recovery: applied record for non-incremental job %s (kind %q)", j.ID, j.Spec.Kind)
+	}
+	j.applied = rec.Batch + 1
+	if sum := de.eng.Checksum(); sum != rec.Checksum {
+		return fmt.Errorf("service: recovery: job %s replay diverged (engine %016x, journal %016x)", j.ID, sum, rec.Checksum)
+	}
+	return nil
+}
+
+// resolveJob binds a recovered job to its runtime (idempotent).
+func (s *Server) resolveJob(j *Job) error {
+	if j.rt != nil {
+		return nil
+	}
+	rt, err := s.rts.resolve(&j.Spec)
+	if err != nil {
+		return err
+	}
+	j.rt = rt
+	return nil
+}

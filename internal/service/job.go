@@ -40,11 +40,24 @@ func (d DatasetSpec) key() string {
 // every run, so retries and crash-recovery re-runs are exactly-once in
 // effect — the bytes cannot differ, only the work can repeat.
 type JobSpec struct {
+	// Kind selects the job's verb. "" and "partition" run the workflow from
+	// scratch; "delta" applies DeltaSpec batches against the dataset's
+	// resident incremental engine; "repartition" and "coalesce" resize the
+	// resident engine to NewPartitions.
+	Kind string `json:"kind,omitempty"`
 	// Workflow names an embedded workflow config: blast_partition,
 	// blast_partition_block, or hybrid_cut.
 	Workflow string `json:"workflow"`
 	// Dataset is the input to partition.
 	Dataset DatasetSpec `json:"dataset"`
+	// Delta parameterizes kind "delta". The batches themselves are
+	// synthesized deterministically from (Delta.Seed, batch index, resident
+	// state), so journal replay re-derives identical batches.
+	Delta *DeltaSpec `json:"delta,omitempty"`
+	// NewPartitions is the target partition count for kind "repartition" or
+	// "coalesce" (coalesce additionally requires it to divide the current
+	// count).
+	NewPartitions int `json:"new_partitions,omitempty"`
 	// Args override workflow arguments (num_partitions, num_reducers,
 	// threshold).
 	Args map[string]string `json:"args,omitempty"`
@@ -70,6 +83,24 @@ type JobSpec struct {
 	// (jobs/<id>/part-NNNNN) so clients — and the crash-restart smoke test —
 	// can fetch the actual bytes, not just the checksum.
 	Persist bool `json:"persist,omitempty"`
+}
+
+// DeltaSpec shapes the synthetic delta stream of a kind="delta" job. Each
+// batch deletes DeleteFrac and appends AppendFrac of the resident row count,
+// drawing rows and victims from a PRNG seeded by (Seed, batch index) — a pure
+// function of journal history, which is what makes crash-recovery replay land
+// on byte-identical partitions.
+type DeltaSpec struct {
+	// Batches is the number of delta batches to apply (1..64).
+	Batches int `json:"batches"`
+	// AppendFrac is the per-batch append volume as a fraction of the
+	// resident rows (0..1).
+	AppendFrac float64 `json:"append_frac"`
+	// DeleteFrac is the per-batch delete volume as a fraction of the
+	// resident rows (0..1).
+	DeleteFrac float64 `json:"delete_frac"`
+	// Seed drives batch synthesis.
+	Seed int64 `json:"seed"`
 }
 
 // workflowFiles maps a workflow name to its embedded input + workflow
@@ -136,6 +167,43 @@ func (s *JobSpec) Validate() error {
 		default:
 			return fmt.Errorf("unknown workflow argument %q", k)
 		}
+	}
+	switch s.Kind {
+	case "", "partition":
+		if s.Delta != nil {
+			return fmt.Errorf("kind %q takes no delta spec", s.Kind)
+		}
+		if s.NewPartitions != 0 {
+			return fmt.Errorf("kind %q takes no new_partitions", s.Kind)
+		}
+	case "delta":
+		if s.Delta == nil {
+			return fmt.Errorf("delta jobs need a delta spec")
+		}
+		if s.Delta.Batches < 1 || s.Delta.Batches > 64 {
+			return fmt.Errorf("delta batches %d out of range [1, 64]", s.Delta.Batches)
+		}
+		if s.Delta.AppendFrac < 0 || s.Delta.AppendFrac > 1 {
+			return fmt.Errorf("delta append_frac %g out of range [0, 1]", s.Delta.AppendFrac)
+		}
+		if s.Delta.DeleteFrac < 0 || s.Delta.DeleteFrac > 1 {
+			return fmt.Errorf("delta delete_frac %g out of range [0, 1]", s.Delta.DeleteFrac)
+		}
+		if s.Delta.AppendFrac == 0 && s.Delta.DeleteFrac == 0 {
+			return fmt.Errorf("delta jobs need append_frac or delete_frac > 0")
+		}
+		if s.NewPartitions != 0 {
+			return fmt.Errorf("delta jobs take no new_partitions")
+		}
+	case "repartition", "coalesce":
+		if s.NewPartitions < 1 {
+			return fmt.Errorf("%s jobs need new_partitions >= 1", s.Kind)
+		}
+		if s.Delta != nil {
+			return fmt.Errorf("%s jobs take no delta spec", s.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (partition, delta, repartition, coalesce)", s.Kind)
 	}
 	return nil
 }
@@ -309,6 +377,9 @@ type Job struct {
 	Checksum uint64 `json:"checksum,omitempty"`
 	// MakespanNS is the virtual makespan of the successful run.
 	MakespanNS int64 `json:"makespan_ns,omitempty"`
+	// MovedRows counts the rows the incremental engine actually shipped for
+	// a delta/repartition job (state done, incremental kinds only).
+	MovedRows int `json:"moved_rows,omitempty"`
 	// Error is the permanent failure reason (state failed).
 	Error string `json:"error,omitempty"`
 	// LatencyMS is wall-clock admission-to-terminal latency.
@@ -325,6 +396,9 @@ type Job struct {
 	// accepted/deadline bound the job's wall-clock life.
 	accepted time.Time
 	deadline time.Time
+	// applied counts delta batches already committed AND journaled; retries
+	// and crash recovery resume after them, never re-applying a batch.
+	applied int
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 }

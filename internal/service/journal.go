@@ -44,12 +44,18 @@ var journalCRC = crc32.MakeTable(crc32.Castagnoli)
 //     crash-recovery invariant is checked against.
 //   - "failed": the job failed permanently (retries exhausted, deadline
 //     exceeded); Error carries the reason.
+//   - "applied": a delta job committed batch number Batch to its resident
+//     incremental engine; Checksum is the engine fingerprint right after the
+//     commit. Recovery replays applied records in journal order to rebuild
+//     engines and resumes interrupted delta jobs after their last journaled
+//     batch, so no batch is ever applied twice.
 type Record struct {
 	Type       string   `json:"type"`
 	ID         string   `json:"id"`
 	Key        string   `json:"key,omitempty"`
 	Tenant     string   `json:"tenant,omitempty"`
 	Spec       *JobSpec `json:"spec,omitempty"`
+	Batch      int      `json:"batch,omitempty"`
 	Checksum   uint64   `json:"checksum,omitempty"`
 	MakespanNS int64    `json:"makespan_ns,omitempty"`
 	Attempts   int      `json:"attempts,omitempty"`

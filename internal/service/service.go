@@ -113,6 +113,12 @@ type Server struct {
 	journal *Journal
 	rts     runtimes
 
+	// engines holds the resident incremental engines (one per runtime key)
+	// that delta/repartition/coalesce jobs mutate; engMu guards the map only,
+	// each slot carries its own lock.
+	engMu   sync.Mutex
+	engines map[string]*deltaEngine
+
 	mu   sync.Mutex
 	cond *sync.Cond
 	jobs map[string]*Job
@@ -171,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		obs:     cfg.Obs,
+		engines: map[string]*deltaEngine{},
 		jobs:    map[string]*Job{},
 		byKey:   map[string]*Job{},
 		q:       newFairQueue(),
@@ -220,6 +227,17 @@ func (s *Server) recover(recs []Record) error {
 			if _, err := fmt.Sscanf(rec.ID, "j-%d", &seq); err == nil && seq >= s.seq {
 				s.seq = seq + 1
 			}
+		case "applied":
+			// A committed engine mutation (delta batch or resize): re-derive
+			// and re-apply it so the resident engine state matches what the
+			// dead process had acknowledged.
+			j := s.jobs[rec.ID]
+			if j == nil {
+				return fmt.Errorf("service: journal applied record for unknown job %s", rec.ID)
+			}
+			if err := s.replayIncremental(rec, j); err != nil {
+				return err
+			}
 		case "done", "failed":
 			j := s.jobs[rec.ID]
 			if j == nil {
@@ -252,7 +270,7 @@ func (s *Server) recover(recs []Record) error {
 			continue
 		}
 		j.rt = rt
-		j.predicted = s.rts.predict(rt, 2*s.cfg.Nodes)
+		j.predicted = s.predictJob(rt, &j.Spec)
 		j.Recovered = true
 		j.accepted = now
 		j.deadline = now.Add(s.jobDeadline(&j.Spec))
@@ -307,7 +325,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, *AdmissionError) {
 	if err != nil {
 		return nil, &AdmissionError{Status: 400, Reason: err.Error()}
 	}
-	predicted := s.rts.predict(rt, 2*s.cfg.Nodes)
+	predicted := s.predictJob(rt, &spec)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -488,6 +506,8 @@ type attemptResult struct {
 	makespan   vtime.Duration
 	wall       time.Duration
 	partitions int
+	// moved is the incremental engine's shipped-row count (incremental kinds).
+	moved int
 }
 
 // executeAttempt runs one attempt on the worker's resident cluster.
@@ -512,6 +532,11 @@ func (s *Server) executeAttempt(w *worker, j *Job, attempt int) (attemptResult, 
 		}
 	}()
 	defer close(stop)
+
+	switch j.Spec.Kind {
+	case "delta", "repartition", "coalesce":
+		return s.executeIncremental(j, attempt, cancel)
+	}
 
 	cl := w.cl
 	in := core.Input{LocalRows: spreadRows(j.rt.rows, cl.Size())}
@@ -598,6 +623,7 @@ func (s *Server) complete(j *Job, res attemptResult) {
 		s.calib = 0.7*s.calib + 0.3*ratio
 	}
 	s.q.finish(j, res.makespan)
+	j.MovedRows = res.moved
 	s.finalize(j, StateDone, "", res.checksum, int64(res.makespan), false)
 }
 
